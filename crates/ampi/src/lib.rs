@@ -1,0 +1,279 @@
+//! # flows-ampi — Adaptive MPI
+//!
+//! The paper's AMPI (§4.1, §4.5, refs [15][16]): an MPI-like programming
+//! interface whose "processes" are migratable user-level threads. Because
+//! each rank is an isomalloc thread (§3.4.2), the runtime can move ranks
+//! between PEs at `migrate()` points for measurement-based load balancing
+//! — with many more ranks than PEs, overloaded PEs shed work to idle ones,
+//! which is exactly the Figure 12 experiment.
+//!
+//! ```
+//! use flows_ampi::{run_world, AmpiOptions};
+//!
+//! let report = run_world(AmpiOptions::new(4, 2), |ampi| {
+//!     // Classic ring: rank r sends to r+1, receives from r-1.
+//!     let next = (ampi.rank() + 1) % ampi.size();
+//!     ampi.send(next, 7, vec![ampi.rank() as u8]);
+//!     let (src, tag, data) = ampi.recv(None, Some(7));
+//!     assert_eq!(tag, 7);
+//!     assert_eq!(data[0] as usize, src);
+//!     ampi.barrier();
+//! });
+//! assert_eq!(report.stranded_threads.iter().sum::<usize>(), 0);
+//! ```
+//!
+//! Blocking calls (`recv`, `barrier`, `allreduce_*`, `migrate`) suspend
+//! the calling user-level thread and let the PE run other ranks — the
+//! §2.3 answer to the blocking problem that kernel threads solve with far
+//! heavier machinery.
+
+#![warn(missing_docs)]
+
+pub mod nonblocking;
+pub mod proto;
+pub mod world;
+
+pub use nonblocking::{Request, RESERVED_TAG_BASE};
+pub use world::{pe_of_rank, run_world, AmpiOptions};
+
+use crate::proto::{LoadReport, RankWire, PORT_AMPI};
+use crate::world::{contribute_now, obj_of, tag_coll, tag_lb, with_rank_box, Wait};
+use flows_comm::ReduceOp;
+use flows_core::suspend;
+
+/// Per-rank handle passed to the world's main function. Lives on the
+/// rank's own (migratable) stack, so its sequence counters travel with
+/// the rank.
+#[derive(Debug)]
+pub struct Ampi {
+    world: u64,
+    rank: usize,
+    size: usize,
+    coll_seq: u64,
+    lb_seq: u64,
+    /// Per-destination point-to-point sequence numbers (non-overtaking).
+    send_seq: std::collections::HashMap<usize, u64>,
+    /// Counter for the reserved tags of the pt2pt-based collectives.
+    pub(crate) p2p_coll_seq: u64,
+}
+
+impl Ampi {
+    pub(crate) fn new(world: u64, rank: usize, size: usize) -> Ampi {
+        Ampi {
+            world,
+            rank,
+            size,
+            coll_seq: 0,
+            lb_seq: 0,
+            send_seq: std::collections::HashMap::new(),
+            p2p_coll_seq: 0,
+        }
+    }
+
+    /// This rank's index (`MPI_Comm_rank`).
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size (`MPI_Comm_size`).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The PE this rank is currently executing on (changes across
+    /// [`Ampi::migrate`]).
+    pub fn current_pe(&self) -> usize {
+        flows_converse::my_pe()
+    }
+
+    /// Asynchronous-eager send (`MPI_Send` with buffering semantics):
+    /// never blocks; the payload is routed to wherever `dest` lives.
+    pub fn send(&mut self, dest: usize, tag: u64, data: Vec<u8>) {
+        assert!(dest < self.size, "send to rank {dest} of {}", self.size);
+        debug_assert!(
+            tag <= crate::nonblocking::RESERVED_TAG_BASE + (1 << 32),
+            "tag out of range"
+        );
+        let seq = self.send_seq.entry(dest).or_insert(0);
+        let this_seq = *seq;
+        *seq += 1;
+        let mut w = RankWire {
+            kind: 0,
+            a: self.rank as u64,
+            b: tag,
+            seq: this_seq,
+            data,
+        };
+        let obj = obj_of(self.world, dest as u64);
+        flows_converse::with_pe(|pe| {
+            flows_comm::route(pe, obj, PORT_AMPI, flows_pup::to_bytes(&mut w))
+        });
+    }
+
+    /// Blocking receive (`MPI_Recv`): `None` matches any source / any tag.
+    /// Returns `(source, tag, payload)`. Suspends the rank's thread while
+    /// waiting, letting other ranks on this PE run.
+    pub fn recv(&self, src: Option<usize>, tag: Option<u64>) -> (usize, u64, Vec<u8>) {
+        let want_src = src.map(|s| s as u64);
+        loop {
+            let hit = with_rank_box(self.rank as u64, |b| {
+                let pos = b.mailbox.iter().position(|m| {
+                    want_src.is_none_or(|s| s == m.src) && tag.is_none_or(|t| t == m.tag)
+                });
+                match pos {
+                    Some(i) => {
+                        let m = b.mailbox.remove(i).expect("found above");
+                        Some((m.src as usize, m.tag, m.data))
+                    }
+                    None => {
+                        b.wait = Wait::Recv {
+                            src: want_src,
+                            tag,
+                        };
+                        None
+                    }
+                }
+            });
+            match hit {
+                Some(r) => return r,
+                None => suspend(),
+            }
+        }
+    }
+
+    /// Send then receive (`MPI_Sendrecv`).
+    pub fn sendrecv(
+        &mut self,
+        dest: usize,
+        send_tag: u64,
+        data: Vec<u8>,
+        src: Option<usize>,
+        recv_tag: Option<u64>,
+    ) -> (usize, u64, Vec<u8>) {
+        self.send(dest, send_tag, data);
+        self.recv(src, recv_tag)
+    }
+
+    fn collective(&mut self, op: ReduceOp, data: Vec<u8>) -> Vec<u8> {
+        self.coll_seq += 1;
+        let seq = self.coll_seq;
+        with_rank_box(self.rank as u64, |b| {
+            b.coll_result = None;
+            b.wait = Wait::Coll { seq };
+        });
+        contribute_now(
+            self.world,
+            tag_coll(self.world),
+            seq,
+            self.rank as u64,
+            op,
+            self.size,
+            data,
+        );
+        suspend();
+        with_rank_box(self.rank as u64, |b| b.coll_result.take())
+            .expect("collective completed without a result")
+    }
+
+    /// Barrier across all ranks (`MPI_Barrier`).
+    pub fn barrier(&mut self) {
+        let _ = self.collective(ReduceOp::SumU64, Vec::new());
+    }
+
+    /// Elementwise allreduce over `f64` vectors (`MPI_Allreduce`). `op`
+    /// must be one of the f64 reduce ops.
+    pub fn allreduce_f64(&mut self, vals: &[f64], op: ReduceOp) -> Vec<f64> {
+        assert!(matches!(
+            op,
+            ReduceOp::SumF64 | ReduceOp::MaxF64 | ReduceOp::MinF64
+        ));
+        let mut bytes = Vec::with_capacity(vals.len() * 8);
+        for v in vals {
+            bytes.extend(v.to_le_bytes());
+        }
+        let out = self.collective(op, bytes);
+        out.chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect()
+    }
+
+    /// Elementwise sum-allreduce over `u64` vectors.
+    pub fn allreduce_u64_sum(&mut self, vals: &[u64]) -> Vec<u64> {
+        let mut bytes = Vec::with_capacity(vals.len() * 8);
+        for v in vals {
+            bytes.extend(v.to_le_bytes());
+        }
+        let out = self.collective(ReduceOp::SumU64, bytes);
+        out.chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect()
+    }
+
+    /// Allgather of one `f64` per rank, in rank order (`MPI_Allgather`).
+    pub fn allgather_f64(&mut self, v: f64) -> Vec<f64> {
+        let out = self.collective(ReduceOp::Concat, v.to_le_bytes().to_vec());
+        out.chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect()
+    }
+
+    /// Allgather of raw byte blocks (caller frames them; blocks are
+    /// concatenated in rank order).
+    pub fn allgather_bytes(&mut self, data: Vec<u8>) -> Vec<u8> {
+        self.collective(ReduceOp::Concat, data)
+    }
+
+    /// The load-balancing point (`AMPI_Migrate`): a collective at which
+    /// every rank reports its measured load; the configured strategy
+    /// decides; ranks ordered to move are packed (isomalloc byte copy,
+    /// §3.4.2), shipped, and resume transparently on their new PE.
+    pub fn migrate(&mut self) {
+        self.lb_seq += 1;
+        let seq = self.lb_seq;
+        let mut report = LoadReport {
+            rank: self.rank as u64,
+            pe: flows_converse::my_pe() as u64,
+            load_ns: flows_core::current_load_ns().unwrap_or(0),
+        };
+        with_rank_box(self.rank as u64, |b| b.wait = Wait::Lb { seq });
+        contribute_now(
+            self.world,
+            tag_lb(self.world),
+            seq,
+            self.rank as u64,
+            ReduceOp::Concat,
+            self.size,
+            flows_pup::to_bytes(&mut report),
+        );
+        suspend();
+        // Resumed — possibly on a different PE; nothing else to do, which
+        // is the whole point.
+    }
+
+    /// Virtual wall-clock seconds of the current PE (`MPI_Wtime` on the
+    /// modeled machine; see flows-converse on virtual time).
+    pub fn wtime(&self) -> f64 {
+        flows_converse::vtime_ns() as f64 * 1e-9
+    }
+
+    /// Charge modeled work to the PE's virtual clock (for workloads that
+    /// model rather than burn CPU).
+    pub fn charge_ns(&self, ns: u64) {
+        flows_converse::charge_ns(ns);
+    }
+
+    /// Allocate from this rank's migratable heap (the paper's
+    /// thread-context `malloc` override).
+    pub fn malloc(&self, size: usize) -> Option<*mut u8> {
+        flows_core::iso_malloc(size)
+    }
+
+    /// Free a pointer from [`Ampi::malloc`].
+    pub fn free(&self, ptr: *mut u8) -> bool {
+        flows_core::iso_free(ptr)
+    }
+
+    pub(crate) fn finish(&self) {
+        crate::world::note_finished(self.rank as u64);
+    }
+}

@@ -1,0 +1,100 @@
+//! Wire formats of the AMPI layer.
+
+#![allow(missing_docs)] // field meanings documented on each struct
+
+use flows_comm::Port;
+use flows_pup::pup_fields;
+
+/// The comm-layer port AMPI rank traffic travels on.
+pub const PORT_AMPI: Port = 1;
+
+/// Payload routed to a rank. `kind` selects the interpretation:
+/// * 0 — point-to-point message: `a` = source rank, `b` = tag, `seq` =
+///   per-(source, destination) sequence number enforcing MPI's
+///   non-overtaking guarantee even when forwarding paths race during
+///   migration;
+/// * 1 — collective result: `a` = collective sequence number;
+/// * 2 — load-balance decision: `a` = LB sequence, `b` = destination PE.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct RankWire {
+    pub kind: u8,
+    pub a: u64,
+    pub b: u64,
+    pub seq: u64,
+    pub data: Vec<u8>,
+}
+pup_fields!(RankWire { kind, a, b, seq, data });
+
+/// One parked point-to-point message.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct MailEntry {
+    pub src: u64,
+    pub tag: u64,
+    pub data: Vec<u8>,
+}
+pup_fields!(MailEntry { src, tag, data });
+
+/// A rank in transit between PEs: the packed thread plus the runtime
+/// state that lives outside the thread's own memory — its mailbox and the
+/// per-sender in-order delivery state.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct RankMove {
+    pub world: u64,
+    pub rank: u64,
+    pub thread: Vec<u8>,
+    pub mailbox: Vec<MailEntry>,
+    /// Next expected per-sender sequence numbers: (src, seq) pairs.
+    pub next_seq: Vec<(u64, u64)>,
+    /// Out-of-order messages held back: (src, seq, tag, data).
+    pub stashed: Vec<(u64, u64, u64, Vec<u8>)>,
+}
+pup_fields!(RankMove {
+    world,
+    rank,
+    thread,
+    mailbox,
+    next_seq,
+    stashed
+});
+
+/// One rank's measured load, contributed to the LB reduction.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct LoadReport {
+    pub rank: u64,
+    pub pe: u64,
+    pub load_ns: u64,
+}
+pup_fields!(LoadReport { rank, pe, load_ns });
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wires_round_trip() {
+        let mut w = RankWire {
+            kind: 2,
+            a: 5,
+            b: 7,
+            seq: 9,
+            data: vec![1, 2, 3],
+        };
+        let bytes = flows_pup::to_bytes(&mut w);
+        assert_eq!(flows_pup::from_bytes::<RankWire>(&bytes).unwrap(), w);
+
+        let mut mv = RankMove {
+            world: 1,
+            rank: 3,
+            thread: vec![9; 100],
+            mailbox: vec![MailEntry {
+                src: 0,
+                tag: 42,
+                data: vec![7],
+            }],
+            next_seq: vec![(0, 3)],
+            stashed: vec![(0, 5, 42, vec![8])],
+        };
+        let bytes = flows_pup::to_bytes(&mut mv);
+        assert_eq!(flows_pup::from_bytes::<RankMove>(&bytes).unwrap(), mv);
+    }
+}

@@ -1,0 +1,473 @@
+//! The AMPI world: rank placement, message delivery, collectives and the
+//! measurement-based load-balancing epoch.
+
+use crate::proto::{LoadReport, MailEntry, RankMove, RankWire, PORT_AMPI};
+use flows_comm::{CommLayer, ObjId, ReduceOp};
+use flows_converse::{MachineBuilder, MachineReport, Message, NetModel, Pe};
+use flows_core::{SchedConfig, StackFlavor, ThreadId, ThreadState};
+use flows_lb::{LbStats, LbStrategy, NullLb, ObjLoad};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+static NEXT_WORLD: AtomicU64 = AtomicU64::new(1);
+static MOVE_HANDLER: OnceLock<flows_converse::HandlerId> = OnceLock::new();
+
+#[allow(missing_docs)]
+/// What a rank's thread is currently blocked on.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Wait {
+    None,
+    Recv {
+        src: Option<u64>,
+        tag: Option<u64>,
+    },
+    Coll {
+        seq: u64,
+    },
+    Lb {
+        seq: u64,
+    },
+}
+
+pub(crate) struct RankBox {
+    pub tid: ThreadId,
+    pub mailbox: VecDeque<MailEntry>,
+    pub wait: Wait,
+    pub coll_result: Option<Vec<u8>>,
+    /// Next expected sequence number per source rank (MPI non-overtaking).
+    pub next_seq: HashMap<u64, u64>,
+    /// Messages that arrived ahead of their sequence, keyed (src, seq).
+    pub stashed: BTreeMap<(u64, u64), (u64, Vec<u8>)>,
+}
+
+impl RankBox {
+    fn new(tid: ThreadId) -> RankBox {
+        RankBox {
+            tid,
+            mailbox: VecDeque::new(),
+            wait: Wait::None,
+            coll_result: None,
+            next_seq: HashMap::new(),
+            stashed: BTreeMap::new(),
+        }
+    }
+
+    /// Admit a point-to-point message in per-sender order: append it (and
+    /// any unblocked stashed successors) to the mailbox, or stash it.
+    fn admit(&mut self, src: u64, seq: u64, tag: u64, data: Vec<u8>) {
+        let expect = self.next_seq.entry(src).or_insert(0);
+        if seq == *expect {
+            *expect += 1;
+            self.mailbox.push_back(MailEntry { src, tag, data });
+            // Drain consecutive stashed messages from this source.
+            while let Some((t, d)) = self.stashed.remove(&(src, *self.next_seq.get(&src).expect("just set"))) {
+                *self.next_seq.get_mut(&src).expect("just set") += 1;
+                self.mailbox.push_back(MailEntry { src, tag: t, data: d });
+            }
+        } else {
+            assert!(seq > *expect, "duplicate point-to-point message");
+            self.stashed.insert((src, seq), (tag, data));
+        }
+    }
+
+    /// Does any mailbox entry match the current Recv wait?
+    fn wait_satisfied(&self) -> bool {
+        if let Wait::Recv { src, tag } = &self.wait {
+            self.mailbox
+                .iter()
+                .any(|m| src.is_none_or(|s| s == m.src) && tag.is_none_or(|t| t == m.tag))
+        } else {
+            false
+        }
+    }
+}
+
+#[derive(Default)]
+pub(crate) struct AmpiState {
+    pub meta: Option<Arc<WorldMeta>>,
+    pub ranks: HashMap<u64, RankBox>,
+    /// Ranks that finished on this PE (diagnostics).
+    pub finished: u64,
+    /// Migrations executed from this PE.
+    pub moves_out: u64,
+}
+
+/// World-wide constants every PE knows.
+#[allow(missing_docs)]
+pub struct WorldMeta {
+    pub world: u64,
+    pub size: usize,
+    pub strategy: Arc<dyn LbStrategy + Send + Sync>,
+}
+
+impl std::fmt::Debug for WorldMeta {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorldMeta")
+            .field("world", &self.world)
+            .field("size", &self.size)
+            .field("strategy", &self.strategy.name())
+            .finish()
+    }
+}
+
+/// The routed object id of rank `r` of world `w`.
+pub(crate) fn obj_of(world: u64, rank: u64) -> ObjId {
+    ObjId((world << 32) | rank)
+}
+
+pub(crate) fn tag_coll(world: u64) -> u64 {
+    world << 1
+}
+
+pub(crate) fn tag_lb(world: u64) -> u64 {
+    (world << 1) | 1
+}
+
+/// Block mapping of ranks onto PEs (AMPI's default).
+pub fn pe_of_rank(rank: usize, ranks: usize, pes: usize) -> usize {
+    rank * pes / ranks
+}
+
+/// Options for an AMPI run.
+#[derive(Clone)]
+pub struct AmpiOptions {
+    /// Number of AMPI ranks (virtual processors).
+    pub ranks: usize,
+    /// Number of PEs (physical processors of the simulated machine).
+    pub pes: usize,
+    /// The load balancer invoked at `migrate()` points.
+    pub strategy: Arc<dyn LbStrategy + Send + Sync>,
+    /// Interconnect model.
+    pub net: NetModel,
+    /// Drive PEs on real OS threads (`false` = deterministic round-robin).
+    pub threaded: bool,
+    /// Committed stack bytes per rank thread.
+    pub stack_len: usize,
+    /// Isomalloc slot bytes per rank thread (stack + heap).
+    pub slot_len: usize,
+}
+
+impl AmpiOptions {
+    /// `ranks` ranks over `pes` PEs, defaults elsewhere.
+    pub fn new(ranks: usize, pes: usize) -> AmpiOptions {
+        AmpiOptions {
+            ranks,
+            pes,
+            strategy: Arc::new(NullLb),
+            net: NetModel::default(),
+            threaded: false,
+            stack_len: 64 * 1024,
+            slot_len: 1 << 20,
+        }
+    }
+
+    /// Use a specific LB strategy.
+    pub fn with_strategy(mut self, s: Arc<dyn LbStrategy + Send + Sync>) -> Self {
+        self.strategy = s;
+        self
+    }
+
+    /// Use a specific network model.
+    pub fn with_net(mut self, net: NetModel) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Threaded drive mode.
+    pub fn threaded(mut self, yes: bool) -> Self {
+        self.threaded = yes;
+        self
+    }
+}
+
+/// Run `main` as every rank of a fresh AMPI world. Returns the machine
+/// report (virtual times, scheduler stats) for the harnesses.
+pub fn run_world(
+    opts: AmpiOptions,
+    main: impl Fn(&mut crate::Ampi) + Send + Sync + 'static,
+) -> MachineReport {
+    assert!(opts.ranks > 0 && opts.pes > 0);
+    assert!(
+        opts.ranks >= opts.pes,
+        "AMPI needs at least one rank per PE (got {} ranks on {} PEs)",
+        opts.ranks,
+        opts.pes
+    );
+    let world = NEXT_WORLD.fetch_add(1, Ordering::Relaxed);
+    let meta = Arc::new(WorldMeta {
+        world,
+        size: opts.ranks,
+        strategy: opts.strategy.clone(),
+    });
+    let main: Arc<dyn Fn(&mut crate::Ampi) + Send + Sync> = Arc::new(main);
+
+    let mut mb = MachineBuilder::new(opts.pes)
+        .net_model(opts.net)
+        .iso_layout(opts.slot_len, (opts.ranks / opts.pes + 2) * 2)
+        .sched_config(SchedConfig {
+            stack_len: opts.stack_len,
+            ..SchedConfig::default()
+        });
+    let _ = CommLayer::register(&mut mb);
+    let mv = mb.handler(on_rank_move);
+    let stored = *MOVE_HANDLER.get_or_init(|| mv);
+    assert_eq!(stored, mv, "AMPI must occupy the same handler slot in every machine");
+
+    let opts2 = opts.clone();
+    let init = move |pe: &Pe| {
+        init_pe(pe, &meta, &opts2, &main);
+    };
+    if opts.threaded {
+        mb.run(init)
+    } else {
+        mb.run_deterministic(init)
+    }
+}
+
+fn init_pe(
+    pe: &Pe,
+    meta: &Arc<WorldMeta>,
+    opts: &AmpiOptions,
+    main: &Arc<dyn Fn(&mut crate::Ampi) + Send + Sync>,
+) {
+    pe.ext::<AmpiState, _>(|st| st.meta = Some(meta.clone()));
+    flows_comm::set_delivery(pe, PORT_AMPI, deliver);
+    let meta_for_sink = meta.clone();
+    flows_comm::set_reduction_sink(pe, move |pe, red| on_reduction(pe, &meta_for_sink, red));
+
+    for rank in 0..opts.ranks {
+        if pe_of_rank(rank, opts.ranks, opts.pes) != pe.id() {
+            continue;
+        }
+        let main = main.clone();
+        let world = meta.world;
+        let size = meta.size;
+        let tid = pe
+            .sched()
+            .spawn(StackFlavor::Isomalloc, move || {
+                let mut ampi = crate::Ampi::new(world, rank, size);
+                main(&mut ampi);
+                ampi.finish();
+            })
+            .expect("spawn rank thread");
+        pe.ext::<AmpiState, _>(|st| {
+            st.ranks.insert(rank as u64, RankBox::new(tid));
+        });
+        flows_comm::register_obj(pe, obj_of(meta.world, rank as u64));
+    }
+}
+
+/// Routed delivery to a rank living on this PE.
+fn deliver(pe: &Pe, obj: ObjId, payload: Vec<u8>) {
+    let w: RankWire = flows_pup::from_bytes(&payload).expect("rank wire");
+    let rank = obj.0 & 0xFFFF_FFFF;
+    match w.kind {
+        0 => {
+            // Point-to-point: admit in per-sender order, wake a matching
+            // waiter.
+            let wake = pe.ext::<AmpiState, _>(|st| {
+                let b = st.ranks.get_mut(&rank).expect("mail for missing rank");
+                b.admit(w.a, w.seq, w.b, w.data);
+                if b.wait_satisfied() {
+                    b.wait = Wait::None;
+                    Some(b.tid)
+                } else {
+                    None
+                }
+            });
+            if let Some(tid) = wake {
+                pe.sched().awaken_tid(tid).expect("awaken recv");
+            }
+        }
+        1 => {
+            // Collective result.
+            let wake = pe.ext::<AmpiState, _>(|st| {
+                let b = st.ranks.get_mut(&rank).expect("result for missing rank");
+                b.coll_result = Some(w.data);
+                if matches!(b.wait, Wait::Coll { seq } if seq == w.a) {
+                    b.wait = Wait::None;
+                    Some(b.tid)
+                } else {
+                    None
+                }
+            });
+            if let Some(tid) = wake {
+                pe.sched().awaken_tid(tid).expect("awaken collective");
+            }
+        }
+        2 => on_lb_decision(pe, rank, w.a, w.b as usize),
+        k => panic!("bad rank wire kind {k}"),
+    }
+}
+
+/// Reduction completions: collectives broadcast their result to every
+/// rank; the LB reduction runs the strategy and broadcasts decisions.
+fn on_reduction(pe: &Pe, meta: &Arc<WorldMeta>, red: flows_comm::Reduction) {
+    if red.tag == tag_coll(meta.world) {
+        for r in 0..meta.size as u64 {
+            let mut w = RankWire {
+                kind: 1,
+                a: red.seq,
+                b: 0,
+                seq: 0,
+                data: red.data.clone(),
+            };
+            flows_comm::route(
+                pe,
+                obj_of(meta.world, r),
+                PORT_AMPI,
+                flows_pup::to_bytes(&mut w),
+            );
+        }
+    } else if red.tag == tag_lb(meta.world) {
+        // Decode the gathered load reports.
+        let mut reports = Vec::with_capacity(meta.size);
+        let mut rest = &red.data[..];
+        while !rest.is_empty() {
+            let (rep, used): (LoadReport, usize) =
+                flows_pup::from_bytes_prefix(rest).expect("load report");
+            reports.push(rep);
+            rest = &rest[used..];
+        }
+        let stats = LbStats {
+            num_pes: pe.num_pes(),
+            objs: reports
+                .iter()
+                .map(|r| ObjLoad {
+                    id: r.rank,
+                    pe: r.pe as usize,
+                    load: r.load_ns as f64 * 1e-9,
+                    migratable: true,
+                })
+                .collect(),
+            background: Vec::new(),
+        };
+        if std::env::var_os("FLOWS_LB_DEBUG").is_some() {
+            let mut objs = stats.objs.clone();
+            objs.sort_by_key(|o| o.id);
+            eprintln!("[lb] seq {} loads:", red.seq);
+            for o in &objs {
+                eprintln!("[lb]   rank {:3} pe {} load {:.4}s", o.id, o.pe, o.load);
+            }
+        }
+        let migs = meta.strategy.decide(&stats);
+        if std::env::var_os("FLOWS_LB_DEBUG").is_some() {
+            eprintln!("[lb] decisions: {migs:?}");
+        }
+        let dest_of: HashMap<u64, usize> = migs.iter().map(|m| (m.obj, m.to)).collect();
+        for rep in &reports {
+            let dest = dest_of.get(&rep.rank).copied().unwrap_or(rep.pe as usize);
+            let mut w = RankWire {
+                kind: 2,
+                a: red.seq,
+                b: dest as u64,
+                seq: 0,
+                data: Vec::new(),
+            };
+            flows_comm::route(
+                pe,
+                obj_of(meta.world, rep.rank),
+                PORT_AMPI,
+                flows_pup::to_bytes(&mut w),
+            );
+        }
+    } else {
+        panic!("reduction for unknown tag {}", red.tag);
+    }
+}
+
+/// A decision arrived for a rank suspended in `migrate()`.
+fn on_lb_decision(pe: &Pe, rank: u64, seq: u64, dest: usize) {
+    let meta = pe.ext::<AmpiState, _>(|st| st.meta.clone()).expect("meta");
+    if dest == pe.id() {
+        // Staying: wake the rank, roll its load epoch.
+        let tid = pe.ext::<AmpiState, _>(|st| {
+            let b = st.ranks.get_mut(&rank).expect("decision for missing rank");
+            assert!(
+                matches!(b.wait, Wait::Lb { seq: s } if s == seq),
+                "rank {rank} got an LB decision it was not waiting for"
+            );
+            b.wait = Wait::None;
+            b.tid
+        });
+        pe.sched().reset_load_tid(tid);
+        pe.sched().awaken_tid(tid).expect("awaken stayer");
+        return;
+    }
+    // Moving: pack the thread and its mailbox, ship, forward the location.
+    let bx = pe.ext::<AmpiState, _>(|st| {
+        st.moves_out += 1;
+        st.ranks.remove(&rank).expect("decision for missing rank")
+    });
+    assert_eq!(
+        pe.sched().state(bx.tid),
+        Some(ThreadState::Suspended),
+        "rank {rank} must be suspended at its migrate() point"
+    );
+    let packed = pe.sched().pack_thread(bx.tid).expect("pack rank thread");
+    flows_comm::migrate_obj_out(pe, obj_of(meta.world, rank), dest);
+    let mut mv = RankMove {
+        world: meta.world,
+        rank,
+        thread: packed.to_bytes(),
+        mailbox: bx.mailbox.into_iter().collect(),
+        next_seq: bx.next_seq.into_iter().collect(),
+        stashed: bx
+            .stashed
+            .into_iter()
+            .map(|((src, seq), (tag, data))| (src, seq, tag, data))
+            .collect(),
+    };
+    pe.send(
+        dest,
+        *MOVE_HANDLER.get().expect("registered"),
+        flows_pup::to_bytes(&mut mv),
+    );
+}
+
+/// A migrated rank arrives.
+fn on_rank_move(pe: &Pe, msg: Message) {
+    let mv: RankMove = flows_pup::from_bytes(&msg.data).expect("rank move wire");
+    let packed = flows_core::PackedThread::from_bytes(&mv.thread).expect("packed thread");
+    let tid = pe.sched().unpack_thread(packed).expect("unpack rank thread");
+    let mut bx = RankBox::new(tid);
+    bx.mailbox = mv.mailbox.into();
+    bx.next_seq = mv.next_seq.into_iter().collect();
+    bx.stashed = mv
+        .stashed
+        .into_iter()
+        .map(|(src, seq, tag, data)| ((src, seq), (tag, data)))
+        .collect();
+    pe.ext::<AmpiState, _>(|st| {
+        st.ranks.insert(mv.rank, bx);
+    });
+    flows_comm::migrate_obj_in(pe, obj_of(mv.world, mv.rank));
+    pe.sched().reset_load_tid(tid);
+    pe.sched().awaken_tid(tid).expect("awaken migrated rank");
+}
+
+/// Internal accessors used by the `Ampi` handle (crate-private).
+pub(crate) fn with_rank_box<R>(rank: u64, f: impl FnOnce(&mut RankBox) -> R) -> R {
+    flows_converse::with_pe(|pe| {
+        pe.ext::<AmpiState, _>(|st| {
+            f(st.ranks.get_mut(&rank).expect("rank box on current PE"))
+        })
+    })
+}
+
+pub(crate) fn note_finished(rank: u64) {
+    flows_converse::with_pe(|pe| {
+        pe.ext::<AmpiState, _>(|st| {
+            st.ranks.remove(&rank);
+            st.finished += 1;
+        });
+    });
+}
+
+pub(crate) fn contribute_now(world: u64, tag: u64, seq: u64, rank: u64, op: ReduceOp, size: usize, data: Vec<u8>) {
+    let _ = world;
+    flows_converse::with_pe(|pe| {
+        flows_comm::contribute(pe, tag, seq, rank, op, size as u64, data)
+    });
+}

@@ -1,0 +1,322 @@
+//! AMPI semantics: point-to-point ordering/matching, collectives, and —
+//! the paper's centerpiece — transparent rank migration under load
+//! balancing.
+
+use flows_ampi::{run_world, AmpiOptions};
+use flows_comm::ReduceOp;
+use flows_converse::NetModel;
+use flows_lb::{GreedyLb, RotateLb};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+fn opts(ranks: usize, pes: usize) -> AmpiOptions {
+    AmpiOptions::new(ranks, pes).with_net(NetModel::zero())
+}
+
+#[test]
+fn ring_passes_payloads() {
+    let sum = Arc::new(AtomicU64::new(0));
+    let s2 = sum.clone();
+    let report = run_world(opts(6, 3), move |ampi| {
+        let next = (ampi.rank() + 1) % ampi.size();
+        ampi.send(next, 1, vec![ampi.rank() as u8; 3]);
+        let (src, tag, data) = ampi.recv(None, Some(1));
+        assert_eq!(tag, 1);
+        assert_eq!(src, (ampi.rank() + ampi.size() - 1) % ampi.size());
+        assert_eq!(data, vec![src as u8; 3]);
+        s2.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(sum.load(Ordering::Relaxed), 6);
+    assert_eq!(report.stranded_threads.iter().sum::<usize>(), 0);
+}
+
+#[test]
+fn tag_and_source_matching_is_selective() {
+    run_world(opts(2, 2), |ampi| {
+        if ampi.rank() == 0 {
+            // Send in a deliberately confusing order.
+            ampi.send(1, 30, vec![30]);
+            ampi.send(1, 10, vec![10]);
+            ampi.send(1, 20, vec![20]);
+        } else {
+            // Receive by specific tags, out of arrival order.
+            let (_, t, d) = ampi.recv(Some(0), Some(10));
+            assert_eq!((t, d[0]), (10, 10));
+            let (_, t, d) = ampi.recv(Some(0), Some(20));
+            assert_eq!((t, d[0]), (20, 20));
+            let (_, t, d) = ampi.recv(None, None); // wildcard gets the rest
+            assert_eq!((t, d[0]), (30, 30));
+        }
+    });
+}
+
+#[test]
+fn same_tag_messages_arrive_in_send_order() {
+    run_world(opts(2, 1), |ampi| {
+        if ampi.rank() == 0 {
+            for i in 0..10u8 {
+                ampi.send(1, 5, vec![i]);
+            }
+        } else {
+            for i in 0..10u8 {
+                let (_, _, d) = ampi.recv(Some(0), Some(5));
+                assert_eq!(d[0], i, "FIFO per (src, tag)");
+            }
+        }
+    });
+}
+
+#[test]
+fn collectives_compute_correct_results() {
+    run_world(opts(5, 2), |ampi| {
+        let r = ampi.rank() as f64;
+        // sum over ranks of [r, 2r]
+        let s = ampi.allreduce_f64(&[r, 2.0 * r], ReduceOp::SumF64);
+        assert_eq!(s, vec![10.0, 20.0]);
+        let mx = ampi.allreduce_f64(&[r], ReduceOp::MaxF64);
+        assert_eq!(mx, vec![4.0]);
+        let mn = ampi.allreduce_f64(&[-r], ReduceOp::MinF64);
+        assert_eq!(mn, vec![-4.0]);
+        let g = ampi.allgather_f64(r * r);
+        assert_eq!(g, vec![0.0, 1.0, 4.0, 9.0, 16.0]);
+        let u = ampi.allreduce_u64_sum(&[ampi.rank() as u64, 1]);
+        assert_eq!(u, vec![10, 5]);
+    });
+}
+
+#[test]
+fn barriers_order_phases() {
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let l2 = log.clone();
+    run_world(opts(4, 2), move |ampi| {
+        l2.lock().unwrap().push((1, ampi.rank()));
+        ampi.barrier();
+        l2.lock().unwrap().push((2, ampi.rank()));
+        ampi.barrier();
+        l2.lock().unwrap().push((3, ampi.rank()));
+    });
+    let log = log.lock().unwrap();
+    // Every phase-1 entry precedes every phase-2 entry, etc.
+    let phase_positions: Vec<(usize, usize)> =
+        log.iter().enumerate().map(|(i, &(p, _))| (p, i)).collect();
+    for &(p, i) in &phase_positions {
+        for &(q, j) in &phase_positions {
+            if p < q {
+                assert!(i < j, "phase {p} at {i} must precede phase {q} at {j}: {log:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn rotate_lb_migrates_every_rank_and_execution_continues() {
+    // RotateLB moves every rank to the next PE at the migrate() point —
+    // maximal stress on pack/ship/unpack.
+    let seen_pes = Arc::new(Mutex::new(Vec::new()));
+    let s2 = seen_pes.clone();
+    let report = run_world(
+        opts(4, 2).with_strategy(Arc::new(RotateLb)),
+        move |ampi| {
+            let before = ampi.current_pe();
+            // Local state that must survive migration byte-for-byte.
+            let mut acc: Vec<u64> = (0..100).map(|i| i * ampi.rank() as u64).collect();
+            let heap = ampi.malloc(256).expect("iso heap");
+            // SAFETY: fresh allocation, 256 bytes.
+            unsafe { std::ptr::write_bytes(heap, ampi.rank() as u8, 256) };
+
+            ampi.migrate();
+
+            let after = ampi.current_pe();
+            acc.push(before as u64);
+            acc.push(after as u64);
+            // SAFETY: heap migrated with us (same address).
+            unsafe {
+                assert_eq!(*heap, ampi.rank() as u8);
+                assert_eq!(*heap.add(255), ampi.rank() as u8);
+            }
+            assert!(ampi.free(heap));
+            let check: u64 = acc.iter().sum();
+            let expect: u64 =
+                (0..100u64).map(|i| i * ampi.rank() as u64).sum::<u64>() + before as u64 + after as u64;
+            assert_eq!(check, expect);
+            s2.lock().unwrap().push((ampi.rank(), before, after));
+        },
+    );
+    let seen = seen_pes.lock().unwrap();
+    assert_eq!(seen.len(), 4);
+    for &(_rank, before, after) in seen.iter() {
+        assert_eq!(after, (before + 1) % 2, "every rank rotated one PE over");
+    }
+    assert_eq!(report.stranded_threads.iter().sum::<usize>(), 0);
+}
+
+#[test]
+fn messages_chase_migrated_ranks() {
+    // Rank 0 stays (on PE0 side of block map), sends to rank 3 *after*
+    // rank 3 has rotated away; delivery must follow it.
+    let got = Arc::new(AtomicUsize::new(0));
+    let g2 = got.clone();
+    run_world(
+        opts(4, 2).with_strategy(Arc::new(RotateLb)),
+        move |ampi| {
+            if ampi.rank() == 0 {
+                ampi.migrate();
+                // After the collective migrate, rank 3 lives on a new PE.
+                ampi.send(3, 9, vec![99]);
+            } else if ampi.rank() == 3 {
+                ampi.migrate();
+                let (src, tag, data) = ampi.recv(None, None);
+                assert_eq!((src, tag, data[0]), (0, 9, 99));
+                g2.fetch_add(1, Ordering::Relaxed);
+            } else {
+                ampi.migrate();
+            }
+        },
+    );
+    assert_eq!(got.load(Ordering::Relaxed), 1);
+}
+
+#[test]
+fn greedy_lb_drains_overloaded_pe() {
+    // 8 ranks block-mapped onto 2 PEs: ranks 0..4 on PE0, 4..8 on PE1.
+    // Ranks 0..4 do heavy work before migrate(); greedy should spread
+    // them afterwards. We verify some rank actually moved and everything
+    // completes.
+    let moves = Arc::new(Mutex::new(Vec::new()));
+    let m2 = moves.clone();
+    run_world(
+        opts(8, 2).with_strategy(Arc::new(GreedyLb)),
+        move |ampi| {
+            // Unbalanced work: low ranks burn CPU.
+            let mut sink = 0u64;
+            let reps = if ampi.rank() < 4 { 200_000 } else { 1_000 };
+            for i in 0..reps {
+                sink = sink.wrapping_mul(31).wrapping_add(i);
+            }
+            std::hint::black_box(sink);
+            let before = ampi.current_pe();
+            ampi.migrate();
+            let after = ampi.current_pe();
+            m2.lock().unwrap().push((ampi.rank(), before, after));
+            ampi.barrier(); // post-migration collectives still work
+        },
+    );
+    let moves = moves.lock().unwrap();
+    assert_eq!(moves.len(), 8);
+    assert!(
+        moves.iter().any(|&(_, b, a)| b != a),
+        "greedy must move someone: {moves:?}"
+    );
+}
+
+#[test]
+fn threaded_mode_runs_the_ring_too() {
+    let sum = Arc::new(AtomicU64::new(0));
+    let s2 = sum.clone();
+    run_world(opts(4, 2).threaded(true), move |ampi| {
+        let next = (ampi.rank() + 1) % ampi.size();
+        ampi.send(next, 1, vec![1]);
+        let _ = ampi.recv(None, Some(1));
+        s2.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(sum.load(Ordering::Relaxed), 4);
+}
+
+#[test]
+#[should_panic(expected = "at least one rank per PE")]
+fn too_few_ranks_is_refused() {
+    run_world(opts(1, 2), |_ampi| {});
+}
+
+#[test]
+fn nonblocking_irecv_overlaps_compute() {
+    run_world(opts(2, 2), |ampi| {
+        if ampi.rank() == 0 {
+            // Post the receive before the data exists, compute meanwhile.
+            let req = ampi.irecv(Some(1), Some(3));
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            std::hint::black_box(acc);
+            ampi.send(1, 1, vec![1]); // release the partner
+            let (src, tag, data) = ampi.wait(req).expect("recv payload");
+            assert_eq!((src, tag, data[0]), (1, 3, 77));
+        } else {
+            let _ = ampi.recv(Some(0), Some(1)); // wait for go-ahead
+            ampi.send(0, 3, vec![77]);
+        }
+    });
+}
+
+#[test]
+fn test_polls_without_blocking() {
+    run_world(opts(2, 1), |ampi| {
+        if ampi.rank() == 0 {
+            let mut req = ampi.irecv(Some(1), Some(9));
+            assert!(!ampi.test(&mut req), "nothing sent yet");
+            assert!(!req.is_complete());
+            ampi.send(1, 8, vec![0]); // tell rank 1 to go
+            // Spin-test with yields until the payload lands.
+            while !ampi.test(&mut req) {
+                flows_core::yield_now();
+            }
+            assert!(req.is_complete());
+            let (_, _, d) = ampi.wait(req).unwrap();
+            assert_eq!(d, vec![5]);
+            // isend requests are born complete.
+            let s = ampi.isend(1, 10, vec![1]);
+            assert!(s.is_complete());
+        } else {
+            let _ = ampi.recv(Some(0), Some(8));
+            ampi.send(0, 9, vec![5]);
+            let _ = ampi.recv(Some(0), Some(10));
+        }
+    });
+}
+
+#[test]
+fn bcast_scatter_alltoall() {
+    run_world(opts(4, 2), |ampi| {
+        let n = ampi.size();
+        let me = ampi.rank();
+        // Bcast from rank 2.
+        let got = ampi.bcast(2, if me == 2 { vec![42, 43] } else { vec![] });
+        assert_eq!(got, vec![42, 43]);
+        // Scatter from rank 1: chunk j = [j; j+1].
+        let chunks = (me == 1).then(|| (0..n).map(|j| vec![j as u8; j + 1]).collect());
+        let mine = ampi.scatter(1, chunks);
+        assert_eq!(mine, vec![me as u8; me + 1]);
+        // Alltoall: part for j = [me*10 + j]. Received[src] = [src*10 + me].
+        let parts = (0..n).map(|j| vec![(me * 10 + j) as u8]).collect();
+        let blocks = ampi.alltoall(parts);
+        for (src, b) in blocks.iter().enumerate() {
+            assert_eq!(b, &vec![(src * 10 + me) as u8]);
+        }
+        // Twice in a row: reserved tags must not collide.
+        let parts = (0..n).map(|j| vec![(me + j) as u8]).collect();
+        let blocks = ampi.alltoall(parts);
+        for (src, b) in blocks.iter().enumerate() {
+            assert_eq!(b, &vec![(src + me) as u8]);
+        }
+    });
+}
+
+#[test]
+fn waitall_gathers_many() {
+    run_world(opts(3, 1), |ampi| {
+        if ampi.rank() == 0 {
+            let reqs: Vec<_> = (1..3).map(|s| ampi.irecv(Some(s), Some(4))).collect();
+            ampi.send(1, 1, vec![]);
+            ampi.send(2, 1, vec![]);
+            let got = ampi.waitall(reqs);
+            assert_eq!(got.len(), 2);
+            let mut vals: Vec<u8> = got.into_iter().map(|g| g.unwrap().2[0]).collect();
+            vals.sort();
+            assert_eq!(vals, vec![10, 20]);
+        } else {
+            let _ = ampi.recv(Some(0), Some(1));
+            ampi.send(0, 4, vec![ampi.rank() as u8 * 10]);
+        }
+    });
+}

@@ -1,0 +1,177 @@
+//! Saved flows of control and the swap operation over them.
+
+use crate::swap::{flows_swap_full, flows_swap_min};
+use std::fmt;
+
+/// Which swap routine a [`Context`] uses (see crate docs and paper §4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SwapKind {
+    /// Figure 10(b): callee-saved registers only — the minimal correct swap.
+    Minimal,
+    /// Every GPR plus the 512-byte FXSAVE area (deliberately wasteful).
+    Full,
+    /// Minimal swap bracketed by `sigprocmask` save/restore system calls,
+    /// emulating `swapcontext`-based thread packages.
+    SignalMask,
+}
+
+impl SwapKind {
+    /// All kinds, for sweep-style benches and tests.
+    pub const ALL: [SwapKind; 3] = [SwapKind::Minimal, SwapKind::Full, SwapKind::SignalMask];
+
+    /// Short stable name used in benchmark output tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            SwapKind::Minimal => "minimal",
+            SwapKind::Full => "full",
+            SwapKind::SignalMask => "sigmask",
+        }
+    }
+}
+
+/// A suspended flow of control: a saved stack pointer (everything else
+/// lives on the flow's own stack), the swap flavor it was built for, and —
+/// for [`SwapKind::SignalMask`] — the saved signal mask.
+pub struct Context {
+    pub(crate) sp: usize,
+    kind: SwapKind,
+    mask: libc::sigset_t,
+}
+
+impl Context {
+    /// An empty context of the given kind. It becomes valid the first time
+    /// a flow swaps *out* through it, or when built by
+    /// [`crate::InitialStack`].
+    pub fn new(kind: SwapKind) -> Context {
+        // SAFETY: sigset_t is a plain bitmask; an empty mask is a valid
+        // value and is immediately overwritten by sigprocmask when used.
+        let mut mask: libc::sigset_t = unsafe { std::mem::zeroed() };
+        if kind == SwapKind::SignalMask {
+            // Capture the creating thread's mask as the initial mask, as
+            // swapcontext-style packages do.
+            // SAFETY: querying the current mask into a valid sigset_t.
+            unsafe { libc::pthread_sigmask(libc::SIG_SETMASK, std::ptr::null(), &mut mask) };
+        }
+        Context { sp: 0, kind, mask }
+    }
+
+    /// The swap flavor of this context.
+    pub fn kind(&self) -> SwapKind {
+        self.kind
+    }
+
+    /// The saved stack pointer (0 until first used). Exposed for the thread
+    /// package's migration logic, which needs to relocate or validate it.
+    pub fn saved_sp(&self) -> usize {
+        self.sp
+    }
+
+    /// Overwrite the saved stack pointer. Used when a migrated thread's
+    /// stack bytes have been reinstated at the same virtual address on the
+    /// destination processor (isomalloc guarantees the address is equal, so
+    /// the value is carried over verbatim).
+    ///
+    /// # Safety
+    /// `sp` must point into a live stack whose contents were produced by a
+    /// suspend through a context of the same [`SwapKind`].
+    pub unsafe fn set_saved_sp(&mut self, sp: usize) {
+        self.sp = sp;
+    }
+
+    /// Suspend the calling flow into `old` and resume the flow saved in
+    /// `new`.
+    ///
+    /// # Safety
+    /// * `new` must contain a valid saved flow (crafted by
+    ///   [`crate::InitialStack`] or saved by a previous swap of the same
+    ///   kind);
+    /// * the flow saved in `new` must not be resumed concurrently from
+    ///   another OS thread;
+    /// * both contexts must have the same [`SwapKind`] (checked, panics).
+    pub unsafe fn swap(old: &mut Context, new: &Context) {
+        // SAFETY: forwarded contract.
+        unsafe { Context::swap_raw(old, new) }
+    }
+
+    /// Raw-pointer variant of [`Context::swap`] for runtime schedulers.
+    ///
+    /// A scheduler resuming a thread keeps the `swap` call frame alive for
+    /// the *entire* execution of the thread, so holding Rust references to
+    /// either context across the switch would alias the references the
+    /// thread itself creates when it suspends. Passing raw pointers keeps
+    /// the program free of overlapping references.
+    ///
+    /// # Safety
+    /// As [`Context::swap`], plus: both pointers must be valid for the full
+    /// duration of the switch and must not be used to create overlapping
+    /// references elsewhere.
+    pub unsafe fn swap_raw(old: *mut Context, new: *const Context) {
+        // SAFETY: short-lived reads of the kind fields; no references are
+        // held across the actual switch below.
+        let (old_kind, new_kind) = unsafe { ((*old).kind, (*new).kind) };
+        assert_eq!(
+            old_kind, new_kind,
+            "cannot swap between contexts of different SwapKind"
+        );
+        match old_kind {
+            SwapKind::Minimal => {
+                // SAFETY: per this function's contract.
+                unsafe { flows_swap_min(&raw mut (*old).sp, &raw const (*new).sp) }
+            }
+            SwapKind::Full => {
+                // SAFETY: per this function's contract.
+                unsafe { flows_swap_full(&raw mut (*old).sp, &raw const (*new).sp) }
+            }
+            SwapKind::SignalMask => {
+                // Emulate swapcontext: save our mask into `old`, install
+                // `new`'s mask, then do the register swap. Two syscalls per
+                // switch — exactly the overhead §4.3 warns about.
+                // SAFETY: valid sigset_t pointers; mask writes race nothing
+                // (caller guarantees exclusive access to *old).
+                unsafe {
+                    libc::pthread_sigmask(
+                        libc::SIG_SETMASK,
+                        std::ptr::null(),
+                        &raw mut (*old).mask,
+                    );
+                    libc::pthread_sigmask(
+                        libc::SIG_SETMASK,
+                        &raw const (*new).mask,
+                        std::ptr::null_mut(),
+                    );
+                    flows_swap_min(&raw mut (*old).sp, &raw const (*new).sp);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Context {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Context")
+            .field("sp", &format_args!("{:#x}", self.sp))
+            .field("kind", &self.kind)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_have_distinct_names() {
+        let names: std::collections::HashSet<_> =
+            SwapKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "different SwapKind")]
+    fn mixed_kind_swap_panics() {
+        let mut a = Context::new(SwapKind::Minimal);
+        let b = Context::new(SwapKind::Full);
+        // SAFETY: panics on the kind check before touching any stack.
+        unsafe { Context::swap(&mut a, &b) };
+    }
+}

@@ -1,0 +1,34 @@
+//! # flows-arch — machine-level context switching
+//!
+//! This crate implements the paper's Figure 10: the *minimal correct*
+//! user-level thread swap routine. Because the swap is entered by an
+//! ordinary subroutine call, only the callee-saved registers of the
+//! platform ABI need to be saved and restored — scratch registers are
+//! already dead or spilled by the compiler at any call site, and on x86-64
+//! the x87/SSE state is in its ABI-mandated call-boundary state.
+//!
+//! Three swap flavors are provided so the §4.3 ablation ("most thread
+//! packages save far more state than necessary") can be measured:
+//!
+//! * [`SwapKind::Minimal`] — Figure 10(b): callee-saved GPRs only;
+//! * [`SwapKind::Full`] — additionally saves every general-purpose register
+//!   and the complete 512-byte FXSAVE area, emulating the "save everything
+//!   through fear or ignorance" packages;
+//! * [`SwapKind::SignalMask`] — the minimal swap bracketed by two
+//!   `sigprocmask` system calls, emulating `swapcontext`/`setjmp` with
+//!   signal-mask save/restore, which the paper identifies as the idiom that
+//!   squanders the entire advantage of user-level threads.
+//!
+//! The public entry points are [`Context`] (a saved flow of control) and
+//! [`Context::swap`]. Stack bootstrap for brand-new flows is in
+//! [`stack::InitialStack`].
+
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod stack;
+mod swap;
+
+pub use context::{Context, SwapKind};
+pub use stack::InitialStack;
+pub use swap::set_exit_hook;

@@ -1,0 +1,259 @@
+//! Bootstrap frames: making a fresh stack *look* suspended.
+//!
+//! A new flow has never executed, so [`Context::swap`] cannot have saved
+//! it. Instead we hand-craft the exact stack image the swap routine's
+//! resume path expects: the pop sequence delivers the entry argument in
+//! `%rdi` (the paper's `swap64` deliberately includes `%rdi` in its saved
+//! set for this purpose), `ret` jumps to the entry function, and when the
+//! entry function returns it "returns" into the exit trampoline.
+
+use crate::context::{Context, SwapKind};
+use crate::swap::{flows_fxsave, flows_thread_exit_tramp};
+
+/// Entry signature for a brand-new flow: a C-ABI function taking one
+/// pointer-sized argument.
+pub type Entry = extern "C" fn(usize);
+
+/// Builder for the initial stack frame of a new flow.
+pub struct InitialStack;
+
+/// Bytes of the crafted frame below the (aligned) stack top, for the most
+/// expensive kind ([`SwapKind::Full`]): 2 control words + 15 registers +
+/// 544 bytes of FXSAVE scratch. Callers must provide stacks comfortably
+/// larger than this.
+pub const MIN_STACK: usize = 1024;
+
+impl InitialStack {
+    /// Craft an initial frame at the top of the stack whose *highest*
+    /// usable address is `stack_top` (it is aligned down to 16 bytes
+    /// internally), so that swapping to the returned [`Context`] invokes
+    /// `entry(arg)` on that stack. When `entry` returns, the exit hook
+    /// installed via [`crate::set_exit_hook`] runs.
+    ///
+    /// # Safety
+    /// * `[stack_top - len, stack_top)` for some `len >= MIN_STACK` must be
+    ///   committed, writable memory owned by the caller and unused by
+    ///   anything else;
+    /// * the stack must remain valid (same address, committed) for as long
+    ///   as the flow can run;
+    /// * the returned context must be swapped to at most from one OS thread
+    ///   at a time.
+    pub unsafe fn build(kind: SwapKind, stack_top: *mut u8, entry: Entry, arg: usize) -> Context {
+        let top = (stack_top as usize) & !15usize;
+        debug_assert!(top != 0, "null stack top");
+
+        // SAFETY: per the function contract the region below `top` is
+        // writable; all stores below stay within MIN_STACK bytes of it.
+        unsafe {
+            let word = |off_from_top: usize| (top - off_from_top) as *mut usize;
+            // Control words: entry's fake return address, then the `ret`
+            // target of the swap routine.
+            *word(8) = flows_thread_exit_tramp as *const () as usize;
+            *word(16) = entry as *const () as usize;
+            // Popped register file. %rdi carries the argument.
+            *word(24) = arg; // rdi
+            for off in [32, 40, 48, 56, 64, 72] {
+                *word(off) = 0; // rbp, rbx, r12, r13, r14, r15
+            }
+            let mut ctx = Context::new(kind);
+            match kind {
+                SwapKind::Minimal | SwapKind::SignalMask => {
+                    ctx.sp = top - 72;
+                }
+                SwapKind::Full => {
+                    // The full swap also pops the 8 caller-saved GPRs...
+                    for off in [80, 88, 96, 104, 112, 120, 128, 136] {
+                        *word(off) = 0; // rax, rcx, rdx, rsi, r8..r11
+                    }
+                    // ...and restores an FXSAVE image from a 16-aligned
+                    // area, with the pre-alignment stack pointer stashed at
+                    // +512. Mirror flows_swap_full's epilogue expectations.
+                    let pre_align_sp = top - 136;
+                    let aligned = (pre_align_sp - 544) & !15usize;
+                    *((aligned + 512) as *mut usize) = pre_align_sp;
+                    // Seed a valid FXSAVE image by capturing the current
+                    // thread's (ABI-clean at this point) FP/SSE state.
+                    flows_fxsave(aligned as *mut u8);
+                    ctx.sp = aligned;
+                }
+            }
+            ctx
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::set_exit_hook;
+    use std::cell::Cell;
+
+    /// Shared state for ping-pong tests. Accessed only through raw
+    /// pointers so the two flows never hold overlapping Rust references.
+    struct PingPong {
+        main: Context,
+        flow: Context,
+        counter: u64,
+        kind: SwapKind,
+        exited: bool,
+        _stack: Vec<u8>,
+    }
+
+    thread_local! {
+        static EXIT_TARGET: Cell<*mut PingPong> = const { Cell::new(std::ptr::null_mut()) };
+    }
+
+    fn exit_hook() -> ! {
+        let st = EXIT_TARGET.with(|c| c.get());
+        assert!(!st.is_null(), "exit hook fired without a registered test");
+        // SAFETY: the test keeps `st` alive until the main flow resumes.
+        unsafe {
+            (*st).exited = true;
+            let mut dead = Context::new((*st).kind);
+            Context::swap(&mut dead, &(*st).main);
+        }
+        unreachable!("a dead flow was resumed");
+    }
+
+    fn new_pingpong(kind: SwapKind, entry: Entry) -> *mut PingPong {
+        let mut stack = vec![0u8; 128 * 1024];
+        let top = unsafe { stack.as_mut_ptr().add(stack.len()) };
+        let st = Box::into_raw(Box::new(PingPong {
+            main: Context::new(kind),
+            flow: Context::new(kind),
+            counter: 0,
+            kind,
+            exited: false,
+            _stack: stack,
+        }));
+        // SAFETY: the stack vec is owned by the PingPong and outlives the flow.
+        unsafe { (*st).flow = InitialStack::build(kind, top, entry, st as usize) };
+        EXIT_TARGET.with(|c| c.set(st));
+        set_exit_hook(exit_hook);
+        st
+    }
+
+    extern "C" fn yielding_entry(arg: usize) {
+        let st = arg as *mut PingPong;
+        // SAFETY: the main flow only touches disjoint state while we run.
+        unsafe {
+            for _ in 0..3 {
+                (*st).counter += 1;
+                Context::swap(&mut (*st).flow, &(*st).main);
+            }
+        }
+        // Returning triggers the exit trampoline.
+    }
+
+    fn run_pingpong(kind: SwapKind) {
+        let st = new_pingpong(kind, yielding_entry);
+        // SAFETY: st outlives the flow; we only resume a suspended flow.
+        unsafe {
+            for expect in 1..=3u64 {
+                Context::swap(&mut (*st).main, &(*st).flow);
+                assert_eq!((*st).counter, expect);
+            }
+            assert!(!(*st).exited);
+            // Fourth resume: the loop ends, the entry returns, the exit
+            // hook swaps back to us.
+            Context::swap(&mut (*st).main, &(*st).flow);
+            assert!((*st).exited, "exit trampoline must fire");
+            drop(Box::from_raw(st));
+        }
+        EXIT_TARGET.with(|c| c.set(std::ptr::null_mut()));
+    }
+
+    #[test]
+    fn pingpong_minimal() {
+        run_pingpong(SwapKind::Minimal);
+    }
+
+    #[test]
+    fn pingpong_full() {
+        run_pingpong(SwapKind::Full);
+    }
+
+    #[test]
+    fn pingpong_sigmask() {
+        run_pingpong(SwapKind::SignalMask);
+    }
+
+    /// Recursive, stack-hungry entry that yields mid-recursion: verifies
+    /// that deep frames survive suspension and that the argument made it
+    /// through the crafted frame.
+    extern "C" fn deep_entry(arg: usize) {
+        let st = arg as *mut PingPong;
+        fn burn(st: *mut PingPong, depth: usize, acc: u64) -> u64 {
+            let mut pad = [0u8; 512];
+            pad[0] = depth as u8;
+            pad[511] = (depth >> 8) as u8;
+            std::hint::black_box(&mut pad);
+            if depth == 0 {
+                // SAFETY: disjoint-field access as in yielding_entry.
+                unsafe {
+                    (*st).counter = acc;
+                    Context::swap(&mut (*st).flow, &(*st).main);
+                }
+                return acc;
+            }
+            let r = burn(st, depth - 1, acc + pad[0] as u64);
+            std::hint::black_box(pad[511]);
+            r
+        }
+        let total = burn(st, 64, 0);
+        // SAFETY: as above.
+        unsafe { (*st).counter = total + 1_000_000 };
+    }
+
+    #[test]
+    fn deep_recursion_survives_suspension() {
+        let st = new_pingpong(SwapKind::Minimal, deep_entry);
+        // SAFETY: as in run_pingpong.
+        unsafe {
+            Context::swap(&mut (*st).main, &(*st).flow);
+            let mid = (*st).counter;
+            assert!(mid > 0, "suspended mid-recursion with accumulator");
+            Context::swap(&mut (*st).main, &(*st).flow);
+            assert_eq!((*st).counter, mid + 1_000_000);
+            assert!((*st).exited);
+            drop(Box::from_raw(st));
+        }
+        EXIT_TARGET.with(|c| c.set(std::ptr::null_mut()));
+    }
+
+    /// Two flows of different kinds can coexist on one OS thread as long as
+    /// each is swapped with a matching-kind partner context.
+    #[test]
+    fn many_switches_are_stable() {
+        let st = new_pingpong(SwapKind::Minimal, counting_entry);
+        // SAFETY: as in run_pingpong.
+        unsafe {
+            for i in 1..=10_000u64 {
+                Context::swap(&mut (*st).main, &(*st).flow);
+                assert_eq!((*st).counter, i);
+            }
+            // Tell the flow to finish.
+            (*st).counter = u64::MAX;
+            Context::swap(&mut (*st).main, &(*st).flow);
+            assert!((*st).exited);
+            drop(Box::from_raw(st));
+        }
+        EXIT_TARGET.with(|c| c.set(std::ptr::null_mut()));
+    }
+
+    extern "C" fn counting_entry(arg: usize) {
+        let st = arg as *mut PingPong;
+        // SAFETY: as in yielding_entry.
+        unsafe {
+            let mut n = 0u64;
+            loop {
+                if (*st).counter == u64::MAX {
+                    return;
+                }
+                n += 1;
+                (*st).counter = n;
+                Context::swap(&mut (*st).flow, &(*st).main);
+            }
+        }
+    }
+}

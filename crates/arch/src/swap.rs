@@ -1,0 +1,182 @@
+//! The swap routines themselves (paper Figure 10) plus the thread-exit
+//! trampoline, as `global_asm!`.
+//!
+//! Only x86-64 is implemented with hand assembly, mirroring the paper's
+//! `swap64` routine. The crate fails to compile on other architectures,
+//! which is the honest statement of the paper's Table 1 for our
+//! implementation ("Yes" on x86-64, "Maybe" elsewhere).
+
+#[cfg(not(target_arch = "x86_64"))]
+compile_error!(
+    "flows-arch implements the paper's x86-64 swap routine (Fig. 10b); \
+     other architectures would need their own callee-saved register set"
+);
+
+use std::cell::Cell;
+
+// ---------------------------------------------------------------------------
+// flows_swap_min — Figure 10(b), verbatim register set.
+//
+// C signature: void flows_swap_min(usize *old_sp, const usize *new_sp);
+//
+// Pushes the SysV callee-saved registers (plus %rdi, exactly as the paper
+// does, so a crafted initial frame can deliver the entry argument through
+// the normal pop sequence), stores the stack pointer through `old_sp`,
+// loads the new stack pointer from `new_sp`, pops, and returns on the new
+// stack.
+// ---------------------------------------------------------------------------
+core::arch::global_asm!(
+    r#"
+    .text
+    .globl flows_swap_min
+    .type flows_swap_min,@function
+    .align 16
+flows_swap_min:
+    push %rdi
+    push %rbp
+    push %rbx
+    push %r12
+    push %r13
+    push %r14
+    push %r15
+    mov %rsp,(%rdi)
+    mov (%rsi),%rsp
+    pop %r15
+    pop %r14
+    pop %r13
+    pop %r12
+    pop %rbx
+    pop %rbp
+    pop %rdi
+    ret
+    .size flows_swap_min,.-flows_swap_min
+"#,
+    options(att_syntax)
+);
+
+// ---------------------------------------------------------------------------
+// flows_swap_full — the "fear or ignorance" variant for the §4.3 ablation:
+// saves every GPR and the full 512-byte FXSAVE area (x87/SSE state), like
+// thread packages built on swapcontext without the signal mask.
+//
+// Stack layout below the 15 pushed GPRs:
+//   [aligned+512] : pre-alignment %rsp (to undo the 16-byte alignment)
+//   [aligned+0..512) : FXSAVE image
+// The saved stack pointer is `aligned`, so the resume path can fxrstor
+// directly from it.
+// ---------------------------------------------------------------------------
+core::arch::global_asm!(
+    r#"
+    .text
+    .globl flows_swap_full
+    .type flows_swap_full,@function
+    .align 16
+flows_swap_full:
+    push %rdi
+    push %rbp
+    push %rbx
+    push %r12
+    push %r13
+    push %r14
+    push %r15
+    push %rax
+    push %rcx
+    push %rdx
+    push %rsi
+    push %r8
+    push %r9
+    push %r10
+    push %r11
+    mov %rsp,%rax
+    sub $544,%rsp
+    and $-16,%rsp
+    mov %rax,512(%rsp)
+    fxsave (%rsp)
+    mov %rsp,(%rdi)
+    mov (%rsi),%rsp
+    fxrstor (%rsp)
+    mov 512(%rsp),%rsp
+    pop %r11
+    pop %r10
+    pop %r9
+    pop %r8
+    pop %rsi
+    pop %rdx
+    pop %rcx
+    pop %rax
+    pop %r15
+    pop %r14
+    pop %r13
+    pop %r12
+    pop %rbx
+    pop %rbp
+    pop %rdi
+    ret
+    .size flows_swap_full,.-flows_swap_full
+"#,
+    options(att_syntax)
+);
+
+// ---------------------------------------------------------------------------
+// flows_thread_exit_tramp — where a flow's entry function "returns" to.
+// Calls the per-OS-thread exit hook, which must never return.
+//
+// flows_fxsave — helper so initial FULL frames can be seeded with a valid
+// FXSAVE image without relying on intrinsics.
+// ---------------------------------------------------------------------------
+core::arch::global_asm!(
+    r#"
+    .text
+    .globl flows_thread_exit_tramp
+    .type flows_thread_exit_tramp,@function
+    .align 16
+flows_thread_exit_tramp:
+    xor %ebp,%ebp
+    call flows_arch_on_thread_exit
+    ud2
+    .size flows_thread_exit_tramp,.-flows_thread_exit_tramp
+
+    .globl flows_fxsave
+    .type flows_fxsave,@function
+    .align 16
+flows_fxsave:
+    fxsave (%rdi)
+    ret
+    .size flows_fxsave,.-flows_fxsave
+"#,
+    options(att_syntax)
+);
+
+extern "C" {
+    pub(crate) fn flows_swap_min(old_sp: *mut usize, new_sp: *const usize);
+    pub(crate) fn flows_swap_full(old_sp: *mut usize, new_sp: *const usize);
+    pub(crate) fn flows_thread_exit_tramp();
+    pub(crate) fn flows_fxsave(area: *mut u8);
+}
+
+thread_local! {
+    static EXIT_HOOK: Cell<Option<fn() -> !>> = const { Cell::new(None) };
+}
+
+/// Install the per-OS-thread hook invoked when a flow's entry function
+/// returns. The thread package (flows-core) points this at "mark current
+/// flow done and swap to the scheduler". The hook must not return.
+pub fn set_exit_hook(hook: fn() -> !) {
+    EXIT_HOOK.with(|h| h.set(Some(hook)));
+}
+
+/// Landing function for the exit trampoline. Never returns.
+#[no_mangle]
+extern "C" fn flows_arch_on_thread_exit() -> ! {
+    let hook = EXIT_HOOK.with(|h| h.get());
+    match hook {
+        Some(f) => f(),
+        None => {
+            eprintln!(
+                "flows-arch: a flow's entry function returned but no exit \
+                 hook is installed on this OS thread; aborting"
+            );
+            std::process::abort();
+        }
+    }
+}

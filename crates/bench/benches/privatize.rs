@@ -1,0 +1,76 @@
+//! Criterion bench: swap-global privatization ablation — GOT-style base
+//! pointer swap vs copying the globals block in and out per switch
+//! (§3.1.1: why the GOT swap matters as globals grow).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flows_bench::bench_pools;
+use flows_core::{
+    yield_now, GlobalsLayoutBuilder, PrivatizeMode, SchedConfig, Scheduler, StackFlavor,
+};
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Cost per context switch with `n_globals` privatized u64 globals, under
+/// the given privatization mode.
+fn switch_cost(mode: PrivatizeMode, n_globals: usize, switches: u64) -> std::time::Duration {
+    let mut b = GlobalsLayoutBuilder::new();
+    for i in 0..n_globals {
+        b.register::<u64>(i as u64);
+    }
+    let layout = b.finish();
+    let sched = Scheduler::new(
+        0,
+        bench_pools(1, 1 << 20, 1 << 20, 16),
+        SchedConfig {
+            globals: Some(layout),
+            privatize: mode,
+            ..SchedConfig::default()
+        },
+    );
+    let stop = Rc::new(Cell::new(false));
+    for _ in 0..2 {
+        let stop = stop.clone();
+        sched
+            .spawn(StackFlavor::Standard, move || {
+                while !stop.get() {
+                    yield_now();
+                }
+            })
+            .unwrap();
+    }
+    for _ in 0..64 {
+        sched.step();
+    }
+    let t0 = std::time::Instant::now();
+    for _ in 0..switches {
+        sched.step();
+    }
+    let el = t0.elapsed();
+    stop.set(true);
+    sched.run();
+    el
+}
+
+fn bench_privatize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("privatize_switch");
+    for n_globals in [8usize, 512, 8192] {
+        for mode in [PrivatizeMode::GotSwap, PrivatizeMode::CopyInOut] {
+            let label = format!("{mode:?}");
+            g.bench_with_input(
+                BenchmarkId::new(label, n_globals),
+                &n_globals,
+                |b, &n| {
+                    b.iter_custom(|iters| switch_cost(mode, n, iters));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_privatize
+}
+criterion_main!(benches);

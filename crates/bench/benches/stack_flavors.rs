@@ -1,0 +1,86 @@
+//! Criterion bench: yield cost per stack flavor at a fixed live-stack
+//! size (the micro version of Figure 9) plus thread creation cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flows_bench::{bench_pools, with_stack_bytes};
+use flows_core::{yield_now, SchedConfig, Scheduler, StackFlavor};
+use std::cell::Cell;
+use std::rc::Rc;
+
+fn switch_cost(flavor: StackFlavor, live_stack: usize, switches: u64) -> std::time::Duration {
+    let sched = Scheduler::new(
+        0,
+        bench_pools(1, 1 << 20, 1 << 20, 16),
+        SchedConfig {
+            stack_len: 256 * 1024,
+            ..SchedConfig::default()
+        },
+    );
+    let stop = Rc::new(Cell::new(false));
+    for _ in 0..2 {
+        let stop = stop.clone();
+        sched
+            .spawn(flavor, move || {
+                with_stack_bytes(live_stack, || {
+                    while !stop.get() {
+                        yield_now();
+                    }
+                })
+            })
+            .unwrap();
+    }
+    for _ in 0..64 {
+        sched.step();
+    }
+    let t0 = std::time::Instant::now();
+    for _ in 0..switches {
+        sched.step();
+    }
+    let el = t0.elapsed();
+    stop.set(true);
+    sched.run();
+    el
+}
+
+fn bench_flavors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flavor_switch_16k_stack");
+    for flavor in StackFlavor::ALL {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(flavor.name()),
+            &flavor,
+            |b, &f| b.iter_custom(|iters| switch_cost(f, 16 * 1024, iters)),
+        );
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("spawn_and_run_empty_thread");
+    for flavor in StackFlavor::ALL {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(flavor.name()),
+            &flavor,
+            |b, &f| {
+                b.iter_custom(|iters| {
+                    let sched = Scheduler::new(
+                        0,
+                        bench_pools(1, 1 << 20, 1 << 20, 1024),
+                        SchedConfig::default(),
+                    );
+                    let t0 = std::time::Instant::now();
+                    for _ in 0..iters {
+                        sched.spawn_with(f, 32 * 1024, || {}).unwrap();
+                        sched.run();
+                    }
+                    t0.elapsed()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_flavors
+}
+criterion_main!(benches);

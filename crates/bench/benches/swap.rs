@@ -1,0 +1,83 @@
+//! Criterion bench: the three swap routines (Fig. 10 / §4.3 ablation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flows_arch::{Context, InitialStack, SwapKind};
+use std::cell::Cell;
+
+struct PingPong {
+    main: Context,
+    flow: Context,
+    stop: bool,
+    _stack: Vec<u8>,
+}
+
+thread_local! {
+    static EXIT_TARGET: Cell<*mut PingPong> = const { Cell::new(std::ptr::null_mut()) };
+}
+
+fn exit_hook() -> ! {
+    let st = EXIT_TARGET.with(|c| c.get());
+    // SAFETY: installed by setup below.
+    unsafe {
+        let mut dead = Context::new((*st).main.kind());
+        Context::swap_raw(&raw mut dead, &raw const (*st).main);
+    }
+    unreachable!()
+}
+
+extern "C" fn partner(arg: usize) {
+    let st = arg as *mut PingPong;
+    // SAFETY: cooperative ping-pong; main runs only while we're suspended.
+    unsafe {
+        while !(*st).stop {
+            Context::swap_raw(&raw mut (*st).flow, &raw const (*st).main);
+        }
+    }
+}
+
+fn make(kind: SwapKind) -> *mut PingPong {
+    let mut stack = vec![0u8; 64 * 1024];
+    let top = unsafe { stack.as_mut_ptr().add(stack.len()) };
+    let st = Box::into_raw(Box::new(PingPong {
+        main: Context::new(kind),
+        flow: Context::new(kind),
+        stop: false,
+        _stack: stack,
+    }));
+    flows_arch::set_exit_hook(exit_hook);
+    EXIT_TARGET.with(|c| c.set(st));
+    // SAFETY: stack owned by the PingPong.
+    unsafe { (*st).flow = InitialStack::build(kind, top, partner, st as usize) };
+    st
+}
+
+fn finish(st: *mut PingPong) {
+    // SAFETY: tell the partner to exit, then reclaim.
+    unsafe {
+        (*st).stop = true;
+        Context::swap_raw(&raw mut (*st).main, &raw const (*st).flow);
+        drop(Box::from_raw(st));
+    }
+}
+
+fn bench_swaps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("swap_roundtrip");
+    for kind in [SwapKind::Minimal, SwapKind::Full, SwapKind::SignalMask] {
+        let st = make(kind);
+        g.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                // SAFETY: ping-pong as above.
+                unsafe { Context::swap_raw(&raw mut (*st).main, &raw const (*st).flow) }
+            })
+        });
+        finish(st);
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_swaps
+}
+criterion_main!(benches);

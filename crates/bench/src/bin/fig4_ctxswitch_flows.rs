@@ -1,0 +1,96 @@
+//! Figures 4–8: context-switch time vs number of flows, for processes,
+//! kernel threads (pthreads), Cth-style user-level threads, and
+//! AMPI-style (isomalloc, migratable) user-level threads.
+//!
+//! Figure 4 is the x86 Linux instance, which this host reproduces
+//! directly; Figures 5–8 are the same experiment on Mac G5 / Solaris /
+//! IBM SP / Alpha hardware we do not have (see DESIGN.md §2). The paper's
+//! caveat applies here too: `sched_yield()` storms under-measure when the
+//! kernel elides yields.
+//!
+//! Flags: `--full` extends the sweep (more flows), `--window-ms N` sets
+//! the per-point measurement window.
+
+use flows_bench::{arg_flag, arg_val, bench_pools, uthread_switch_bench, Table};
+use flows_core::StackFlavor;
+
+fn main() {
+    let window: u64 = arg_val("window-ms").and_then(|v| v.parse().ok()).unwrap_or(150);
+    let full = arg_flag("full");
+
+    let uthread_counts: &[usize] = if full {
+        &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 50000]
+    } else {
+        &[1, 4, 16, 64, 256, 1024, 4096, 16384]
+    };
+    let proc_counts: &[usize] = if full {
+        &[2, 4, 8, 16, 32, 64, 128, 256, 512]
+    } else {
+        &[2, 8, 32, 128]
+    };
+    let kthread_counts: &[usize] = if full {
+        &[2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048]
+    } else {
+        &[2, 8, 32, 128, 512]
+    };
+
+    let mut t = Table::new(&["flows", "mechanism", "ns/switch", "switches"]);
+
+    for &n in proc_counts {
+        match flows_mech::procs::yield_benchmark(n, window) {
+            Ok(b) => t.row(vec![
+                n.to_string(),
+                "process".into(),
+                format!("{:.1}", b.ns_per_switch()),
+                b.total_yields.to_string(),
+            ]),
+            Err(e) => t.row(vec![n.to_string(), "process".into(), format!("err: {e}"), "0".into()]),
+        }
+    }
+    for &n in kthread_counts {
+        match flows_mech::kthreads::yield_benchmark(n, window) {
+            Ok(b) => t.row(vec![
+                n.to_string(),
+                "pthread".into(),
+                format!("{:.1}", b.ns_per_switch()),
+                b.total_yields.to_string(),
+            ]),
+            Err(e) => t.row(vec![n.to_string(), "pthread".into(), format!("err: {e}"), "0".into()]),
+        }
+    }
+    // Cth analog: standard (non-migratable) user-level threads.
+    for &n in uthread_counts {
+        let pools = bench_pools(1, 1 << 20, 1 << 20, 64);
+        let (ns, sw) = uthread_switch_bench(StackFlavor::Standard, n, 16 * 1024, window, pools);
+        t.row(vec![
+            n.to_string(),
+            "cth (user-level)".into(),
+            format!("{ns:.1}"),
+            sw.to_string(),
+        ]);
+    }
+    // AMPI analog: isomalloc migratable threads (no migrations occur,
+    // exactly as in the paper's measurement).
+    let ampi_counts: Vec<usize> = uthread_counts
+        .iter()
+        .copied()
+        .filter(|&n| n <= 16384)
+        .collect();
+    for &n in &ampi_counts {
+        let pools = bench_pools(1, 1 << 20, 256 * 1024, n + 8);
+        let (ns, sw) = uthread_switch_bench(StackFlavor::Isomalloc, n, 16 * 1024, window, pools);
+        t.row(vec![
+            n.to_string(),
+            "ampi (isomalloc)".into(),
+            format!("{ns:.1}"),
+            sw.to_string(),
+        ]);
+    }
+
+    t.print("Figure 4: context switch time vs number of flows (this host = the paper's Linux/x86 case)");
+    println!(
+        "\nexpected shape (paper): user-level threads switch fastest and \
+         stay flat into the tens of thousands of flows; processes and \
+         pthreads are slower and capped far earlier (Table 2)."
+    );
+}

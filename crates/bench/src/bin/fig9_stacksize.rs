@@ -1,0 +1,94 @@
+//! Figure 9: context-switch time vs stack size for the three migratable
+//! thread techniques (stack-copy, isomalloc, memory-alias).
+//!
+//! Threads pin 8 KB – 8 MB of live stack (the paper used `alloca()`) and
+//! then yield in a circle. Expected shape: stack-copy cost grows linearly
+//! with live stack (unusable past ~20 KB); isomalloc is flat; memory
+//! aliasing is a flat few µs (one mmap per switch), independent of stack.
+
+use flows_bench::{arg_val, bench_pools, with_stack_bytes, Table};
+use flows_core::{yield_now, SchedConfig, Scheduler, StackFlavor};
+use std::cell::Cell;
+use std::rc::Rc;
+
+fn bench_flavor(
+    flavor: StackFlavor,
+    live_stack: usize,
+    window_ms: u64,
+) -> (f64, u64) {
+    // Region/frame/slot sizes big enough for 8 MB live stacks + margin.
+    let pools = bench_pools(1, 16 << 20, 32 << 20, 8);
+    let sched = Scheduler::new(
+        0,
+        pools,
+        SchedConfig {
+            stack_len: 12 << 20,
+            ..SchedConfig::default()
+        },
+    );
+    let stop = Rc::new(Cell::new(false));
+    for _ in 0..2 {
+        let stop = stop.clone();
+        sched
+            .spawn(flavor, move || {
+                with_stack_bytes(live_stack, || {
+                    while !stop.get() {
+                        yield_now();
+                    }
+                })
+            })
+            .expect("spawn");
+    }
+    for _ in 0..16 {
+        sched.step();
+    }
+    let s0 = sched.stats().switches;
+    let t0 = std::time::Instant::now();
+    let window = std::time::Duration::from_millis(window_ms);
+    while t0.elapsed() < window {
+        for _ in 0..8 {
+            sched.step();
+        }
+    }
+    let elapsed = t0.elapsed().as_nanos() as u64;
+    let switches = sched.stats().switches - s0;
+    stop.set(true);
+    sched.run();
+    (elapsed as f64 / switches.max(1) as f64, switches)
+}
+
+fn main() {
+    let window: u64 = arg_val("window-ms").and_then(|v| v.parse().ok()).unwrap_or(120);
+    let sizes: &[usize] = &[
+        8 << 10,
+        16 << 10,
+        32 << 10,
+        64 << 10,
+        128 << 10,
+        256 << 10,
+        512 << 10,
+        1 << 20,
+        2 << 20,
+        4 << 20,
+        8 << 20,
+    ];
+    let mut t = Table::new(&["stack bytes", "stack-copy ns", "isomalloc ns", "memory-alias ns"]);
+    for &s in sizes {
+        let (copy_ns, _) = bench_flavor(StackFlavor::StackCopy, s, window);
+        let (iso_ns, _) = bench_flavor(StackFlavor::Isomalloc, s, window);
+        let (alias_ns, _) = bench_flavor(StackFlavor::Alias, s, window);
+        t.row(vec![
+            s.to_string(),
+            format!("{copy_ns:.0}"),
+            format!("{iso_ns:.0}"),
+            format!("{alias_ns:.0}"),
+        ]);
+    }
+    t.print("Figure 9: context switch time vs live stack size (three migratable techniques)");
+    println!(
+        "\nexpected shape (paper): stack-copy grows ~linearly with live \
+         stack and becomes unusable past ~20 KB; isomalloc is flat and \
+         fastest; memory-alias is a flat mmap cost (~4 µs in 2006), \
+         slightly growing, far below stack-copy for large stacks."
+    );
+}

@@ -1,0 +1,29 @@
+//! Table 1: portability of the migratable-thread techniques.
+//!
+//! The paper reports a hand-audited matrix over nine platforms; this
+//! binary produces our row for the host it runs on by *probing* — trying
+//! each technique's kernel prerequisites and reporting Yes/No with the
+//! reason. Run on other hosts to extend the matrix.
+
+use flows_bench::Table;
+use flows_mem::probe::Portability;
+
+fn main() {
+    let p = Portability::detect();
+    let mut t = Table::new(&["Technique", "This host"]);
+    for (name, verdict) in p.table1_rows() {
+        t.row(vec![name.to_string(), verdict]);
+    }
+    t.print("Table 1 (host row): portability of migratable thread techniques");
+    println!(
+        "\nhost: {}-bit pointers, vm.max_map_count = {}",
+        p.pointer_bits,
+        p.max_map_count
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "unknown".into())
+    );
+    println!(
+        "paper context: x86 Linux row of Table 1 is Yes/Yes/Yes; isomalloc \
+         address-space pressure only binds on 32-bit hosts."
+    );
+}

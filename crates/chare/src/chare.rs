@@ -1,0 +1,175 @@
+//! Event-driven objects ("chares", paper §2.4 and §3.2).
+//!
+//! A chare is a location-independent object with numbered entry methods.
+//! Messages are routed to wherever the chare currently lives via
+//! `flows-comm`; migration (the "simplest kind" per §3.2) packs the
+//! object's application state with PUP and re-creates it from a registered
+//! factory on the destination PE.
+
+use flows_comm::{ObjId, Port};
+use flows_converse::{MachineBuilder, Message, Pe};
+use flows_pup::pup_fields;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::{Mutex, OnceLock};
+
+/// The comm-layer port chare traffic travels on.
+pub const PORT_CHARE: Port = 0;
+
+/// An event-driven object.
+pub trait Chare: 'static {
+    /// Entry-method dispatch: `ep` selects the method, `data` its payload.
+    fn receive(&mut self, pe: &Pe, ep: u32, data: Vec<u8>);
+
+    /// Serialize application state for migration (paired with the factory
+    /// given to [`register_chare_type`]).
+    fn pack(&mut self) -> Vec<u8> {
+        Vec::new()
+    }
+}
+
+/// Re-creates a chare from its packed state on the destination PE.
+pub type ChareFactory = fn(Vec<u8>) -> Box<dyn Chare>;
+
+/// Identifies a registered chare type across the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChareTypeId(u32);
+
+static FACTORIES: Mutex<Vec<ChareFactory>> = Mutex::new(Vec::new());
+
+/// Register a chare type's reconstruction factory (process-wide; do this
+/// before machines run, symmetrically everywhere, like Charm++'s
+/// registration phase).
+pub fn register_chare_type(factory: ChareFactory) -> ChareTypeId {
+    let mut f = FACTORIES.lock().unwrap();
+    f.push(factory);
+    ChareTypeId((f.len() - 1) as u32)
+}
+
+#[derive(Debug, Default, Clone, PartialEq)]
+struct EpMsg {
+    ep: u32,
+    data: Vec<u8>,
+}
+pup_fields!(EpMsg { ep, data });
+
+#[derive(Debug, Default, Clone, PartialEq)]
+struct MoveMsg {
+    obj: ObjId,
+    type_id: u32,
+    state: Vec<u8>,
+}
+pup_fields!(MoveMsg {
+    obj,
+    type_id,
+    state
+});
+
+type ChareRef = Rc<RefCell<Box<dyn Chare>>>;
+
+#[derive(Default)]
+struct ChareState {
+    chares: HashMap<ObjId, (u32, ChareRef)>,
+}
+
+static MOVE_HANDLER: OnceLock<flows_converse::HandlerId> = OnceLock::new();
+
+/// The chare layer; register after [`flows_comm::CommLayer`].
+#[derive(Debug, Clone, Copy)]
+pub struct ChareLayer;
+
+impl ChareLayer {
+    /// Register the chare-migration handler on the machine builder.
+    pub fn register(mb: &mut MachineBuilder) -> ChareLayer {
+        let id = mb.handler(on_move);
+        let stored = *MOVE_HANDLER.get_or_init(|| id);
+        assert_eq!(stored, id, "ChareLayer must occupy the same handler slot in every machine");
+        ChareLayer
+    }
+}
+
+/// Install chare delivery on this PE (once, from the machine's init).
+pub fn init_pe(pe: &Pe) {
+    flows_comm::set_delivery(pe, PORT_CHARE, deliver);
+}
+
+fn deliver(pe: &Pe, obj: ObjId, payload: Vec<u8>) {
+    let m: EpMsg = flows_pup::from_bytes(&payload).expect("chare wire");
+    let chare = pe.ext::<ChareState, _>(|st| {
+        st.chares
+            .get(&obj)
+            .unwrap_or_else(|| panic!("message for unknown chare {obj:?} on PE {}", pe.id()))
+            .1
+            .clone()
+    });
+    // The Rc keeps the chare alive even if it migrates *itself* inside the
+    // entry method; borrow ends before any further dispatch.
+    chare.borrow_mut().receive(pe, m.ep, m.data);
+}
+
+fn on_move(pe: &Pe, msg: Message) {
+    let m: MoveMsg = flows_pup::from_bytes(&msg.data).expect("move wire");
+    let factory = {
+        let f = FACTORIES.lock().unwrap();
+        *f.get(m.type_id as usize)
+            .unwrap_or_else(|| panic!("unregistered chare type {}", m.type_id))
+    };
+    let chare = factory(m.state);
+    pe.ext::<ChareState, _>(|st| {
+        st.chares
+            .insert(m.obj, (m.type_id, Rc::new(RefCell::new(chare))))
+    });
+    flows_comm::migrate_obj_in(pe, m.obj);
+}
+
+/// Create a chare of `type_id` as object `obj` on this PE.
+pub fn create(pe: &Pe, obj: ObjId, type_id: ChareTypeId, chare: Box<dyn Chare>) {
+    pe.ext::<ChareState, _>(|st| {
+        let prev = st
+            .chares
+            .insert(obj, (type_id.0, Rc::new(RefCell::new(chare))));
+        assert!(prev.is_none(), "chare {obj:?} already exists on this PE");
+    });
+    flows_comm::register_obj(pe, obj);
+}
+
+/// Invoke entry method `ep` of chare `obj` with `data`, wherever it lives.
+pub fn send(pe: &Pe, obj: ObjId, ep: u32, data: Vec<u8>) {
+    let mut m = EpMsg { ep, data };
+    flows_comm::route(pe, obj, PORT_CHARE, flows_pup::to_bytes(&mut m));
+}
+
+/// Convenience: send using the ambient PE (handlers, threads).
+pub fn send_from_here(obj: ObjId, ep: u32, data: Vec<u8>) {
+    flows_converse::with_pe(|pe| send(pe, obj, ep, data));
+}
+
+/// Migrate chare `obj` from this PE to `dest`: pack its state, update the
+/// location layer, ship it. Event-driven object migration is "the simplest
+/// kind" (§3.2): data structures plus the name of the next event.
+pub fn migrate(pe: &Pe, obj: ObjId, dest: usize) {
+    assert_ne!(dest, pe.id(), "migrating to self is a no-op");
+    let (type_id, chare) = pe.ext::<ChareState, _>(|st| {
+        st.chares
+            .remove(&obj)
+            .unwrap_or_else(|| panic!("cannot migrate unknown chare {obj:?}"))
+    });
+    let state = chare.borrow_mut().pack();
+    flows_comm::migrate_obj_out(pe, obj, dest);
+    let mut m = MoveMsg {
+        obj,
+        type_id,
+        state,
+    };
+    pe.send(
+        dest,
+        *MOVE_HANDLER.get().expect("ChareLayer::register first"),
+        flows_pup::to_bytes(&mut m),
+    );
+}
+
+/// Number of chares resident on this PE.
+pub fn local_count(pe: &Pe) -> usize {
+    pe.ext::<ChareState, _>(|st| st.chares.len())
+}

@@ -1,0 +1,197 @@
+//! Machine-level chare tests: entry dispatch, SDAG-driven chares, and
+//! chare migration with messages in flight.
+
+use flows_chare::{
+    create, init_pe, migrate, register_chare_type, send, send_from_here, Chare, ChareLayer,
+    ChareTypeId,
+};
+use flows_comm::{CommLayer, ObjId};
+use flows_converse::{MachineBuilder, NetModel, Pe};
+use flows_pup::{from_bytes, pup_fields, to_bytes};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A counter chare: ep 0 adds the payload byte, ep 1 reports its total to
+/// a process-global sink (test observability).
+#[derive(Default, Debug, Clone, PartialEq)]
+struct Counter {
+    total: u64,
+}
+pup_fields!(Counter { total });
+
+static SINK: OnceLock<Arc<Mutex<Vec<(usize, u64)>>>> = OnceLock::new();
+
+impl Chare for Counter {
+    fn receive(&mut self, pe: &Pe, ep: u32, data: Vec<u8>) {
+        match ep {
+            0 => self.total += data[0] as u64,
+            1 => SINK
+                .get()
+                .unwrap()
+                .lock()
+                .unwrap()
+                .push((pe.id(), self.total)),
+            _ => panic!("unknown ep {ep}"),
+        }
+    }
+
+    fn pack(&mut self) -> Vec<u8> {
+        to_bytes(self)
+    }
+}
+
+fn counter_factory(bytes: Vec<u8>) -> Box<dyn Chare> {
+    Box::new(from_bytes::<Counter>(&bytes).expect("counter state"))
+}
+
+fn counter_type() -> ChareTypeId {
+    static TY: OnceLock<ChareTypeId> = OnceLock::new();
+    *TY.get_or_init(|| register_chare_type(counter_factory))
+}
+
+fn machine(pes: usize) -> MachineBuilder {
+    SINK.get_or_init(|| Arc::new(Mutex::new(Vec::new())));
+    let mut mb = MachineBuilder::new(pes).net_model(NetModel::zero());
+    let _ = CommLayer::register(&mut mb);
+    let _ = ChareLayer::register(&mut mb);
+    mb
+}
+
+#[test]
+fn entry_methods_dispatch_across_pes() {
+    let mut mb = machine(3);
+    let ty = counter_type();
+    let go = mb.handler(move |pe, _| {
+        // Every PE pokes the chare on PE1 three times.
+        for v in 1..=3u8 {
+            send_from_here(ObjId(100), 0, vec![v]);
+        }
+        let _ = pe;
+    });
+    let report = mb.handler(move |_pe, _| send_from_here(ObjId(100), 1, vec![]));
+    mb.run_deterministic(move |pe| {
+        init_pe(pe);
+        if pe.id() == 1 {
+            create(pe, ObjId(100), ty, Box::new(Counter::default()));
+        }
+        pe.send(pe.id(), go, vec![]);
+        if pe.id() == 0 {
+            // Report after the pokes quiesce-ish; ordering is guaranteed
+            // by the deterministic driver only loosely, so send it last
+            // from a chain: poke, then report.
+            pe.send(0, report, vec![]);
+        }
+    });
+    let sink = SINK.get().unwrap().lock().unwrap();
+    let (pe_id, total) = *sink.last().expect("report arrived");
+    assert_eq!(pe_id, 1);
+    // 3 PEs x (1+2+3) = 18, though the report may have raced some pokes in
+    // the deterministic interleaving; it must at least see its own PE's.
+    assert!(total <= 18 && total >= 6, "saw {total}");
+    drop(sink);
+    SINK.get().unwrap().lock().unwrap().clear();
+}
+
+#[test]
+fn chare_migration_carries_state_and_messages_follow() {
+    let mut mb = machine(2);
+    let ty = counter_type();
+    let moved = Arc::new(AtomicU64::new(0));
+    let m2 = moved.clone();
+    let do_move = mb.handler(move |pe, _| {
+        migrate(pe, ObjId(7), 1);
+        m2.fetch_add(1, Ordering::Relaxed);
+        // Messages sent after departure must chase it to PE1.
+        send(pe, ObjId(7), 0, vec![5]);
+    });
+    let report = mb.handler(move |_pe, _| send_from_here(ObjId(7), 1, vec![]));
+    mb.run_deterministic(move |pe| {
+        init_pe(pe);
+        if pe.id() == 0 {
+            create(pe, ObjId(7), ty, Box::new(Counter { total: 0 }));
+            send(pe, ObjId(7), 0, vec![10]); // delivered locally, pre-move
+            pe.send(0, do_move, vec![]);
+            pe.send(0, report, vec![]);
+        }
+    });
+    assert_eq!(moved.load(Ordering::Relaxed), 1);
+    let sink = SINK.get().unwrap().lock().unwrap();
+    let (pe_id, total) = *sink.last().expect("report");
+    assert_eq!(pe_id, 1, "chare answered from its new home");
+    assert_eq!(total, 15, "pre-move 10 + chased 5");
+    drop(sink);
+    SINK.get().unwrap().lock().unwrap().clear();
+}
+
+/// A chare driven by an SDAG program — the Figure 1 shape on a live
+/// machine: two "ghost strip" events per iteration, any order.
+struct StencilStrip {
+    run: flows_chare::SdagRun<StripState>,
+}
+
+#[derive(Default)]
+struct StripState {
+    iterations_done: u64,
+    ghost_sum: u64,
+}
+
+impl Chare for StencilStrip {
+    fn receive(&mut self, _pe: &Pe, ep: u32, data: Vec<u8>) {
+        self.run.deliver(ep, data);
+    }
+}
+
+#[test]
+fn sdag_chare_runs_figure1_lifecycle_on_machine() {
+    use flows_chare::{atomic, for_n, overlap, seq, when};
+    const ITERS: u64 = 3;
+
+    static DONE: OnceLock<Arc<AtomicU64>> = OnceLock::new();
+    let done = DONE.get_or_init(|| Arc::new(AtomicU64::new(0))).clone();
+
+    fn strip_factory(_: Vec<u8>) -> Box<dyn Chare> {
+        let done = DONE.get().unwrap().clone();
+        let prog = for_n(
+            move |_s: &StripState| ITERS,
+            seq(vec![
+                overlap(vec![
+                    when(0, |s: &mut StripState, m: Vec<u8>| {
+                        s.ghost_sum += m[0] as u64
+                    }),
+                    when(1, |s: &mut StripState, m: Vec<u8>| {
+                        s.ghost_sum += m[0] as u64
+                    }),
+                ]),
+                atomic(move |s: &mut StripState| {
+                    s.iterations_done += 1;
+                }),
+            ]),
+        );
+        let _ = &done;
+        Box::new(StencilStrip {
+            run: flows_chare::SdagRun::new(&prog, StripState::default()),
+        })
+    }
+    let ty = register_chare_type(strip_factory);
+
+    let mut mb = machine(2);
+    let done2 = done.clone();
+    let check = mb.handler(move |_pe, _| {
+        done2.fetch_add(1, Ordering::Relaxed);
+    });
+    mb.run_deterministic(move |pe| {
+        init_pe(pe);
+        if pe.id() == 0 {
+            create(pe, ObjId(50), ty, strip_factory(Vec::new()));
+        }
+        if pe.id() == 1 {
+            // Feed 3 iterations of ghosts, right-then-left each time.
+            for i in 0..ITERS {
+                send_from_here(ObjId(50), 1, vec![(2 * i + 1) as u8]);
+                send_from_here(ObjId(50), 0, vec![(2 * i + 2) as u8]);
+            }
+            pe.send(0, check, vec![]);
+        }
+    });
+    assert_eq!(done.load(Ordering::Relaxed), 1);
+}

@@ -1,0 +1,287 @@
+//! Object location management: registration, routing, forwarding,
+//! buffering, migration notices.
+
+use flows_converse::{HandlerId, MachineBuilder, Message, Pe};
+use flows_pup::{pup_fields, Pup};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::rc::Rc;
+use std::sync::OnceLock;
+
+/// Location-independent endpoint identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ObjId(pub u64);
+
+impl ObjId {
+    /// The PE that maintains this object's authoritative location.
+    pub fn home(self, num_pes: usize) -> usize {
+        (self.0 % num_pes as u64) as usize
+    }
+}
+
+impl Pup for ObjId {
+    fn pup(&mut self, p: &mut flows_pup::Puper) {
+        self.0.pup(p);
+    }
+}
+
+#[derive(Debug, Default, Clone, PartialEq)]
+struct RouteMsg {
+    obj: ObjId,
+    port: u8,
+    hops: u32,
+    payload: Vec<u8>,
+}
+pup_fields!(RouteMsg { obj, port, hops, payload });
+
+#[derive(Debug, Default, Clone, PartialEq)]
+struct UpdateMsg {
+    obj: ObjId,
+    pe: u64,
+}
+pup_fields!(UpdateMsg { obj, pe });
+
+type DeliveryFn = Rc<dyn Fn(&Pe, ObjId, Vec<u8>)>;
+
+/// Subsystem *port*: distinguishes the layers multiplexed over one routed
+/// object space (chare arrays, AMPI, applications...).
+pub type Port = u8;
+
+/// Per-PE location tables (lives in the PE's extension slots).
+#[derive(Default)]
+pub(crate) struct CommState {
+    local: HashSet<ObjId>,
+    /// Best known location per object (authoritative on the home PE).
+    locations: HashMap<ObjId, usize>,
+    /// Messages parked at the home (or at the destination) until the
+    /// object (re)appears.
+    buffered: HashMap<ObjId, VecDeque<(Port, Vec<u8>)>>,
+    delivery: HashMap<Port, DeliveryFn>,
+}
+
+/// Handler ids of the communication layer, shared by every PE.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CommIds {
+    pub route: HandlerId,
+    pub update: HandlerId,
+    pub contrib: HandlerId,
+}
+
+static IDS: OnceLock<CommIds> = OnceLock::new();
+
+pub(crate) fn ids() -> CommIds {
+    *IDS.get()
+        .expect("CommLayer::register must run before using flows-comm")
+}
+
+/// The communication layer: register once on the machine builder.
+#[derive(Debug, Clone, Copy)]
+pub struct CommLayer {
+    /// Routing handler id (exposed for diagnostics).
+    pub route: HandlerId,
+}
+
+impl CommLayer {
+    /// Register the layer's handlers. Call exactly once per process,
+    /// before any machine using flows-comm runs. (Machines in one process
+    /// share the handler table shape, mirroring Converse's static handler
+    /// registration.)
+    pub fn register(mb: &mut MachineBuilder) -> CommLayer {
+        let route = mb.handler(on_route);
+        let update = mb.handler(on_update);
+        let contrib = mb.handler(crate::reduce::on_contrib);
+        let ids = CommIds {
+            route,
+            update,
+            contrib,
+        };
+        let stored = *IDS.get_or_init(|| ids);
+        assert_eq!(
+            (stored.route, stored.update, stored.contrib),
+            (ids.route, ids.update, ids.contrib),
+            "CommLayer must be registered at the same handler slots in \
+             every machine of this process (register it first)"
+        );
+        CommLayer { route }
+    }
+}
+
+fn on_route(pe: &Pe, msg: Message) {
+    let m: RouteMsg = flows_pup::from_bytes(&msg.data).expect("route wire");
+    route_inner(pe, m, Some(msg.src_pe));
+}
+
+fn on_update(pe: &Pe, msg: Message) {
+    let m: UpdateMsg = flows_pup::from_bytes(&msg.data).expect("update wire");
+    let flushed = pe.ext::<CommState, _>(|st| {
+        st.locations.insert(m.obj, m.pe as usize);
+        st.buffered.remove(&m.obj).unwrap_or_default()
+    });
+    for (port, payload) in flushed {
+        route(pe, m.obj, port, payload);
+    }
+}
+
+fn route_inner(pe: &Pe, mut m: RouteMsg, came_from: Option<usize>) {
+    let me = pe.id();
+    let num = pe.num_pes();
+    assert!(
+        m.hops <= 2 * num as u32 + 4,
+        "routing loop for {:?}: message bounced {} times",
+        m.obj,
+        m.hops
+    );
+    enum Action {
+        Deliver(DeliveryFn),
+        Forward(usize),
+        Buffered,
+    }
+    let action = pe.ext::<CommState, _>(|st| {
+        if st.local.contains(&m.obj) {
+            Action::Deliver(
+                st.delivery
+                    .get(&m.port)
+                    .unwrap_or_else(|| {
+                        panic!("no delivery installed for port {} on PE {me}", m.port)
+                    })
+                    .clone(),
+            )
+        } else if let Some(&loc) = st.locations.get(&m.obj) {
+            if loc == me {
+                // Stale self-reference: the object left without a trace —
+                // treat as unknown, buffer if home.
+                if m.obj.home(num) == me {
+                    st.buffered
+                        .entry(m.obj)
+                        .or_default()
+                        .push_back((m.port, std::mem::take(&mut m.payload)));
+                    Action::Buffered
+                } else {
+                    Action::Forward(m.obj.home(num))
+                }
+            } else {
+                Action::Forward(loc)
+            }
+        } else if m.obj.home(num) == me {
+            st.buffered
+                .entry(m.obj)
+                .or_default()
+                .push_back((m.port, std::mem::take(&mut m.payload)));
+            Action::Buffered
+        } else {
+            Action::Forward(m.obj.home(num))
+        }
+    });
+    match action {
+        Action::Deliver(f) => f(pe, m.obj, m.payload),
+        Action::Forward(dest) => {
+            // Teach the stale sender where the object went, so its future
+            // sends go direct instead of detouring through us forever —
+            // the location-cache update of the paper's comm layer [28].
+            if let Some(src) = came_from {
+                if src != me && src != dest {
+                    let mut u = UpdateMsg {
+                        obj: m.obj,
+                        pe: dest as u64,
+                    };
+                    pe.send(src, ids().update, flows_pup::to_bytes(&mut u));
+                }
+            }
+            m.hops += 1;
+            pe.send(dest, ids().route, flows_pup::to_bytes(&mut m));
+        }
+        Action::Buffered => {}
+    }
+}
+
+/// Install this PE's delivery callback for `port` (invoked for every
+/// payload routed on that port to a locally resident object). Must be set
+/// once per (PE, port) before messages arrive.
+pub fn set_delivery(pe: &Pe, port: Port, f: impl Fn(&Pe, ObjId, Vec<u8>) + 'static) {
+    pe.ext::<CommState, _>(|st| {
+        let prev = st.delivery.insert(port, Rc::new(f));
+        assert!(prev.is_none(), "delivery already set for port {port} on this PE");
+    });
+}
+
+/// Register a newly created object as living on this PE and notify its
+/// home.
+pub fn register_obj(pe: &Pe, obj: ObjId) {
+    let me = pe.id();
+    pe.ext::<CommState, _>(|st| {
+        st.local.insert(obj);
+        st.locations.insert(obj, me);
+    });
+    notify_home(pe, obj, me);
+}
+
+/// Record that `obj` is leaving this PE for `dest` (call before shipping
+/// the packed thread/object). Later arrivals here are forwarded.
+pub fn migrate_obj_out(pe: &Pe, obj: ObjId, dest: usize) {
+    pe.ext::<CommState, _>(|st| {
+        st.local.remove(&obj);
+        st.locations.insert(obj, dest);
+    });
+    notify_home(pe, obj, dest);
+}
+
+/// Record that `obj` has arrived on this PE (call after unpacking).
+/// Flushes anything buffered here and re-points the home.
+pub fn migrate_obj_in(pe: &Pe, obj: ObjId) {
+    let me = pe.id();
+    let flushed = pe.ext::<CommState, _>(|st| {
+        st.local.insert(obj);
+        st.locations.insert(obj, me);
+        st.buffered.remove(&obj).unwrap_or_default()
+    });
+    notify_home(pe, obj, me);
+    for (port, payload) in flushed {
+        route(pe, obj, port, payload);
+    }
+}
+
+fn notify_home(pe: &Pe, obj: ObjId, loc: usize) {
+    let home = obj.home(pe.num_pes());
+    if home != pe.id() {
+        let mut m = UpdateMsg {
+            obj,
+            pe: loc as u64,
+        };
+        pe.send(home, ids().update, flows_pup::to_bytes(&mut m));
+    } else {
+        // We are the home: flush anything parked for the object.
+        let flushed = pe.ext::<CommState, _>(|st| {
+            st.locations.insert(obj, loc);
+            st.buffered.remove(&obj).unwrap_or_default()
+        });
+        for (port, payload) in flushed {
+            route(pe, obj, port, payload);
+        }
+    }
+}
+
+/// Send `payload` to `obj` on `port`, wherever the object lives.
+///
+/// Always enqueues (even for locally resident objects) rather than
+/// delivering inline: a delivery callback may itself `route`, and inline
+/// delivery would re-enter the destination object while the sender is
+/// still borrowed — the classic event-driven re-entrancy hazard. One hop
+/// through the PE's local queue keeps every delivery top-level.
+pub fn route(pe: &Pe, obj: ObjId, port: Port, payload: Vec<u8>) {
+    let mut m = RouteMsg {
+        obj,
+        port,
+        hops: 0,
+        payload,
+    };
+    pe.send(pe.id(), ids().route, flows_pup::to_bytes(&mut m));
+}
+
+/// Convenience wrapper over [`route`] using the calling context's PE.
+pub fn route_from_here(obj: ObjId, port: Port, payload: Vec<u8>) {
+    flows_converse::with_pe(|pe| route(pe, obj, port, payload));
+}
+
+/// Number of messages parked here for `obj` (diagnostics/tests).
+pub fn buffered_count(pe: &Pe, obj: ObjId) -> usize {
+    pe.ext::<CommState, _>(|st| st.buffered.get(&obj).map(|q| q.len()).unwrap_or(0))
+}

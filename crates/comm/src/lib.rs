@@ -1,0 +1,31 @@
+//! # flows-comm — location-independent communication
+//!
+//! The paper's migratable entities "only communicate via the communication
+//! sub-system, which provides location-independent communication that
+//! supports migration at any time" (§3.1.2, ref [28]). This crate is that
+//! subsystem for our machine:
+//!
+//! * every endpoint is an [`ObjId`] with a *home PE* (`id mod num_pes`)
+//!   that maintains its authoritative location;
+//! * [`route`] delivers a payload to an object wherever it currently
+//!   lives: locally, via a cached location, or via the home PE, with
+//!   forwarding and buffering while the object is in flight;
+//! * [`contribute`] implements migration-tolerant reductions: every
+//!   contribution is tagged with its (tag, seq, rank) and collected at a
+//!   fixed root, so a rank may migrate mid-reduction without any protocol
+//!   distress — the basis for AMPI's barrier/reduce/allreduce.
+//!
+//! The layer is registered on a [`flows_converse::MachineBuilder`] before
+//! the machine runs ([`CommLayer::register`]); each PE then installs its
+//! delivery callback with [`set_delivery`].
+
+#![warn(missing_docs)]
+
+pub mod layer;
+pub mod reduce;
+
+pub use layer::{
+    buffered_count, migrate_obj_in, migrate_obj_out, register_obj, route, route_from_here,
+    set_delivery, CommLayer, ObjId, Port,
+};
+pub use reduce::{contribute, set_reduction_sink, ReduceOp, Reduction};

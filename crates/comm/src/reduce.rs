@@ -1,0 +1,253 @@
+//! Migration-tolerant reductions.
+//!
+//! Every participant contributes a value tagged `(tag, seq, rank)`; the
+//! reduction root (a fixed PE derived from the tag) folds contributions
+//! and hands the finished result to the PE's *reduction sink*. Because
+//! contributions are addressed to a fixed PE and identified by rank, a
+//! participant may migrate at any moment — even between contributing and
+//! the reduction finishing — without the protocol noticing (§3.1.2).
+
+use flows_converse::{Message, Pe};
+use flows_pup::pup_fields;
+use std::cell::OnceCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Combining operation applied elementwise to the byte payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Elementwise sum of little-endian `f64` vectors.
+    SumF64,
+    /// Elementwise sum of little-endian `u64` vectors.
+    SumU64,
+    /// Elementwise max of little-endian `f64` vectors.
+    MaxF64,
+    /// Elementwise min of little-endian `f64` vectors.
+    MinF64,
+    /// Concatenate payloads in rank order (gather).
+    Concat,
+}
+
+impl ReduceOp {
+    fn tag(self) -> u8 {
+        match self {
+            ReduceOp::SumF64 => 0,
+            ReduceOp::SumU64 => 1,
+            ReduceOp::MaxF64 => 2,
+            ReduceOp::MinF64 => 3,
+            ReduceOp::Concat => 4,
+        }
+    }
+
+    fn from_tag(t: u8) -> ReduceOp {
+        match t {
+            0 => ReduceOp::SumF64,
+            1 => ReduceOp::SumU64,
+            2 => ReduceOp::MaxF64,
+            3 => ReduceOp::MinF64,
+            _ => ReduceOp::Concat,
+        }
+    }
+}
+
+/// A completed reduction, as handed to the sink.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reduction {
+    /// The reduction stream (e.g. one per AMPI communicator).
+    pub tag: u64,
+    /// Sequence number within the stream.
+    pub seq: u64,
+    /// Folded payload.
+    pub data: Vec<u8>,
+}
+
+#[derive(Debug, Default, Clone, PartialEq)]
+struct ContribMsg {
+    tag: u64,
+    seq: u64,
+    rank: u64,
+    op: u8,
+    expected: u64,
+    data: Vec<u8>,
+}
+pup_fields!(ContribMsg {
+    tag,
+    seq,
+    rank,
+    op,
+    expected,
+    data
+});
+
+type SinkFn = Rc<dyn Fn(&Pe, Reduction)>;
+
+#[derive(Default)]
+struct ReduceState {
+    pending: HashMap<(u64, u64), Pending>,
+    sink: OnceCell<SinkFn>,
+}
+
+struct Pending {
+    got: u64,
+    expected: u64,
+    op: ReduceOp,
+    gather: Vec<(u64, Vec<u8>)>,
+}
+
+/// The PE acting as root for reduction stream `tag`.
+pub fn root_of(tag: u64, num_pes: usize) -> usize {
+    (tag % num_pes as u64) as usize
+}
+
+/// Install this PE's completion sink (invoked at the root when a
+/// reduction finishes).
+pub fn set_reduction_sink(pe: &Pe, f: impl Fn(&Pe, Reduction) + 'static) {
+    pe.ext::<ReduceState, _>(|st| {
+        st.sink
+            .set(Rc::new(f))
+            .map_err(|_| ())
+            .expect("reduction sink already set on this PE")
+    });
+}
+
+/// Contribute `data` to reduction `(tag, seq)` on behalf of `rank`; the
+/// reduction completes at the root once `expected` distinct contributions
+/// arrive. Safe to call from a thread that migrates immediately after.
+pub fn contribute(pe: &Pe, tag: u64, seq: u64, rank: u64, op: ReduceOp, expected: u64, data: Vec<u8>) {
+    let mut m = ContribMsg {
+        tag,
+        seq,
+        rank,
+        op: op.tag(),
+        expected,
+        data,
+    };
+    let root = root_of(tag, pe.num_pes());
+    pe.send(root, crate::layer::ids().contrib, flows_pup::to_bytes(&mut m));
+}
+
+pub(crate) fn on_contrib(pe: &Pe, msg: Message) {
+    let m: ContribMsg = flows_pup::from_bytes(&msg.data).expect("contrib wire");
+    let op = ReduceOp::from_tag(m.op);
+    let finished = pe.ext::<ReduceState, _>(|st| {
+        let p = st
+            .pending
+            .entry((m.tag, m.seq))
+            .or_insert_with(|| Pending {
+                got: 0,
+                expected: m.expected,
+                op,
+                gather: Vec::new(),
+            });
+        assert_eq!(p.expected, m.expected, "inconsistent reduction size");
+        assert_eq!(p.op, op, "inconsistent reduction op");
+        p.got += 1;
+        // Buffer every contribution; fold at completion in *rank order* so
+        // floating-point reductions are deterministic no matter how
+        // migration reshuffles arrival order.
+        p.gather.push((m.rank, m.data.clone()));
+        if p.got == p.expected {
+            let mut p = st.pending.remove(&(m.tag, m.seq)).expect("just inserted");
+            p.gather.sort_by_key(|(r, _)| *r);
+            let data = if op == ReduceOp::Concat {
+                p.gather.into_iter().flat_map(|(_, d)| d).collect()
+            } else {
+                let mut acc = None;
+                for (_, d) in &p.gather {
+                    combine(op, &mut acc, d);
+                }
+                acc.unwrap_or_default()
+            };
+            Some(Reduction {
+                tag: m.tag,
+                seq: m.seq,
+                data,
+            })
+        } else {
+            None
+        }
+    });
+    if let Some(red) = finished {
+        let sink = pe.ext::<ReduceState, _>(|st| st.sink.get().cloned());
+        let sink = sink.expect("reduction finished but no sink installed on root PE");
+        sink(pe, red);
+    }
+}
+
+fn combine(op: ReduceOp, acc: &mut Option<Vec<u8>>, data: &[u8]) {
+    match acc {
+        None => *acc = Some(data.to_vec()),
+        Some(a) => {
+            assert_eq!(a.len(), data.len(), "reduction payloads must agree in length");
+            match op {
+                ReduceOp::SumF64 | ReduceOp::MaxF64 | ReduceOp::MinF64 => {
+                    for i in (0..a.len()).step_by(8) {
+                        let x = f64::from_le_bytes(a[i..i + 8].try_into().unwrap());
+                        let y = f64::from_le_bytes(data[i..i + 8].try_into().unwrap());
+                        let r = match op {
+                            ReduceOp::SumF64 => x + y,
+                            ReduceOp::MaxF64 => x.max(y),
+                            ReduceOp::MinF64 => x.min(y),
+                            _ => unreachable!(),
+                        };
+                        a[i..i + 8].copy_from_slice(&r.to_le_bytes());
+                    }
+                }
+                ReduceOp::SumU64 => {
+                    for i in (0..a.len()).step_by(8) {
+                        let x = u64::from_le_bytes(a[i..i + 8].try_into().unwrap());
+                        let y = u64::from_le_bytes(data[i..i + 8].try_into().unwrap());
+                        a[i..i + 8].copy_from_slice(&(x.wrapping_add(y)).to_le_bytes());
+                    }
+                }
+                ReduceOp::Concat => unreachable!("gathered separately"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_tags_round_trip() {
+        for op in [
+            ReduceOp::SumF64,
+            ReduceOp::SumU64,
+            ReduceOp::MaxF64,
+            ReduceOp::MinF64,
+            ReduceOp::Concat,
+        ] {
+            assert_eq!(ReduceOp::from_tag(op.tag()), op);
+        }
+    }
+
+    #[test]
+    fn combine_folds_elementwise() {
+        let mut acc = None;
+        combine(ReduceOp::SumF64, &mut acc, &1.5f64.to_le_bytes());
+        combine(ReduceOp::SumF64, &mut acc, &2.25f64.to_le_bytes());
+        let r = f64::from_le_bytes(acc.unwrap()[..8].try_into().unwrap());
+        assert_eq!(r, 3.75);
+
+        let mut acc = None;
+        combine(ReduceOp::MaxF64, &mut acc, &1.0f64.to_le_bytes());
+        combine(ReduceOp::MaxF64, &mut acc, &(-5.0f64).to_le_bytes());
+        let r = f64::from_le_bytes(acc.unwrap()[..8].try_into().unwrap());
+        assert_eq!(r, 1.0);
+
+        let mut acc = None;
+        combine(ReduceOp::SumU64, &mut acc, &7u64.to_le_bytes());
+        combine(ReduceOp::SumU64, &mut acc, &8u64.to_le_bytes());
+        let r = u64::from_le_bytes(acc.unwrap()[..8].try_into().unwrap());
+        assert_eq!(r, 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn mismatched_lengths_panic() {
+        let mut acc = Some(vec![0u8; 8]);
+        combine(ReduceOp::SumF64, &mut acc, &[0u8; 16]);
+    }
+}

@@ -1,0 +1,460 @@
+//! Building and driving the machine: handler registration, the two drive
+//! modes, and quiescence detection.
+
+use crate::msg::{HandlerId, Message, NetModel};
+use crate::pe::{Handler, Pe};
+use crossbeam::channel::unbounded;
+use flows_core::{SchedConfig, SchedStats, Scheduler, SharedPools};
+use flows_mem::IsoConfig;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Shared counters used for machine-wide quiescence detection (the
+/// Converse QD analog): the machine is quiescent when every PE is idle and
+/// every sent message has been received.
+#[derive(Debug, Default)]
+pub(crate) struct Hub {
+    pub sent: AtomicU64,
+    pub recv: AtomicU64,
+    idle: AtomicUsize,
+    done: AtomicBool,
+}
+
+/// Results of one machine run.
+#[derive(Debug, Clone)]
+pub struct MachineReport {
+    /// Final virtual clock of each PE — `max` is the modeled parallel
+    /// completion time.
+    pub pe_vtimes: Vec<u64>,
+    /// Wall-clock duration of the run (host time; on a 1-core host this is
+    /// roughly the *sum* of PE work, not the parallel time).
+    pub wall_ns: u64,
+    /// Scheduler counters per PE.
+    pub sched_stats: Vec<SchedStats>,
+    /// Total messages sent machine-wide.
+    pub messages: u64,
+    /// Threads still suspended at quiescence per PE (should be 0 for a
+    /// clean application; useful to detect lost wake-ups in tests).
+    pub stranded_threads: Vec<usize>,
+    /// Busy virtual time per PE (work only, no arrival waits) — the load
+    /// balance picture.
+    pub pe_busy: Vec<u64>,
+}
+
+impl MachineReport {
+    /// The modeled parallel completion time: max over PEs of virtual time.
+    pub fn parallel_time_ns(&self) -> u64 {
+        self.pe_vtimes.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Configures and launches a machine. Register all handlers before `run`.
+pub struct MachineBuilder {
+    num_pes: usize,
+    sched_cfg: SchedConfig,
+    net: NetModel,
+    handlers: Vec<Handler>,
+    shared: Option<Arc<SharedPools>>,
+    slot_len: usize,
+    slots_per_pe: usize,
+}
+
+impl MachineBuilder {
+    /// A machine of `num_pes` PEs with default configuration.
+    pub fn new(num_pes: usize) -> MachineBuilder {
+        assert!(num_pes > 0, "a machine needs at least one PE");
+        MachineBuilder {
+            num_pes,
+            sched_cfg: SchedConfig::default(),
+            net: NetModel::default(),
+            handlers: Vec::new(),
+            shared: None,
+            slot_len: 1 << 20,
+            slots_per_pe: 1024,
+        }
+    }
+
+    /// Use a specific per-PE scheduler configuration.
+    pub fn sched_config(mut self, cfg: SchedConfig) -> Self {
+        self.sched_cfg = cfg;
+        self
+    }
+
+    /// Use a specific network cost model.
+    pub fn net_model(mut self, net: NetModel) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Isomalloc layout knobs (slot bytes, slots per PE).
+    pub fn iso_layout(mut self, slot_len: usize, slots_per_pe: usize) -> Self {
+        self.slot_len = slot_len;
+        self.slots_per_pe = slots_per_pe;
+        self
+    }
+
+    /// Provide pre-built memory pools (to share across machines in tests).
+    pub fn shared_pools(mut self, shared: Arc<SharedPools>) -> Self {
+        self.shared = Some(shared);
+        self
+    }
+
+    /// Register a message handler; returns its machine-wide id.
+    pub fn handler(&mut self, f: impl Fn(&Pe, Message) + Send + Sync + 'static) -> HandlerId {
+        self.handlers.push(Arc::new(f));
+        HandlerId(self.handlers.len() - 1)
+    }
+
+    fn build_shared(&mut self) -> Arc<SharedPools> {
+        if let Some(s) = &self.shared {
+            return s.clone();
+        }
+        let mut iso = IsoConfig::for_pes(self.num_pes);
+        iso.base = 0; // machines in one process must not fight over a base
+        iso.slot_len = self.slot_len;
+        iso.slots_per_pe = self.slots_per_pe;
+        SharedPools::new(iso, 1 << 20).expect("machine memory pools")
+    }
+
+    fn make_seeds(&mut self) -> (Vec<PeSeed>, Arc<Hub>) {
+        let shared = self.build_shared();
+        let handlers = Arc::new(std::mem::take(&mut self.handlers));
+        let hub = Arc::new(Hub::default());
+        let (txs, rxs): (Vec<_>, Vec<_>) = (0..self.num_pes).map(|_| unbounded()).unzip();
+        let seeds = rxs
+            .into_iter()
+            .enumerate()
+            .map(|(i, rx)| PeSeed {
+                id: i,
+                num_pes: self.num_pes,
+                shared: shared.clone(),
+                sched_cfg: self.sched_cfg.clone(),
+                rx,
+                txs: txs.clone(),
+                handlers: handlers.clone(),
+                hub: hub.clone(),
+                net: self.net,
+            })
+            .collect();
+        (seeds, hub)
+    }
+
+    /// Drive all PEs round-robin on the calling OS thread until
+    /// quiescence. Deterministic given deterministic application code.
+    pub fn run_deterministic(mut self, init: impl Fn(&Pe)) -> MachineReport {
+        let (seeds, hub) = self.make_seeds();
+        let pes: Vec<Pe> = seeds.into_iter().map(PeSeed::build).collect();
+        let t0 = flows_sys::time::monotonic_ns();
+        for pe in &pes {
+            let prev = pe.enter();
+            init(pe);
+            pe.leave(prev);
+        }
+        loop {
+            let mut progress = false;
+            for pe in &pes {
+                let prev = pe.enter();
+                // Bounded burst per turn: draining a PE completely would
+                // livelock on cross-PE spin synchronization (threads that
+                // yield while waiting for another PE's progress stay
+                // runnable forever).
+                for _ in 0..64 {
+                    if !pe.pump() {
+                        break;
+                    }
+                    progress = true;
+                }
+                pe.leave(prev);
+            }
+            if !progress
+                && hub.sent.load(Ordering::SeqCst) == hub.recv.load(Ordering::SeqCst)
+                && pes.iter().all(|p| !p.has_work())
+            {
+                break;
+            }
+        }
+        let wall_ns = flows_sys::time::monotonic_ns() - t0;
+        report(&pes, &hub, wall_ns)
+    }
+
+    /// Drive each PE on its own OS thread until quiescence.
+    pub fn run(mut self, init: impl Fn(&Pe) + Send + Sync) -> MachineReport {
+        let (seeds, hub) = self.make_seeds();
+        let num_pes = self.num_pes;
+        let t0 = flows_sys::time::monotonic_ns();
+        let results: Vec<(u64, SchedStats, usize, u64)> = std::thread::scope(|s| {
+            let init = &init;
+            let handles: Vec<_> = seeds
+                .into_iter()
+                .map(|seed| {
+                    let hub = hub.clone();
+                    s.spawn(move || {
+                        // The Pe (and its !Send scheduler) is born on the
+                        // OS thread that will drive it.
+                        let pe = seed.build();
+                        let prev = pe.enter();
+                        init(&pe);
+                        drive_until_quiescent(&pe, &hub, num_pes);
+                        pe.leave(prev);
+                        (
+                            pe.vtime_ns(),
+                            pe.sched().stats(),
+                            pe.sched().thread_count(),
+                            pe.busy_ns(),
+                        )
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("PE thread")).collect()
+        });
+        let wall_ns = flows_sys::time::monotonic_ns() - t0;
+        MachineReport {
+            pe_vtimes: results.iter().map(|r| r.0).collect(),
+            wall_ns,
+            sched_stats: results.iter().map(|r| r.1).collect(),
+            messages: hub.sent.load(Ordering::SeqCst),
+            stranded_threads: results.iter().map(|r| r.2).collect(),
+            pe_busy: results.iter().map(|r| r.3).collect(),
+        }
+    }
+}
+
+/// Everything needed to build a [`Pe`]; unlike a Pe it is `Send`, so the
+/// threaded drive mode can ship one seed to each PE's OS thread.
+struct PeSeed {
+    id: usize,
+    num_pes: usize,
+    shared: Arc<SharedPools>,
+    sched_cfg: SchedConfig,
+    rx: crossbeam::channel::Receiver<Message>,
+    txs: Vec<crossbeam::channel::Sender<Message>>,
+    handlers: Arc<Vec<Handler>>,
+    hub: Arc<Hub>,
+    net: NetModel,
+}
+
+impl PeSeed {
+    fn build(self) -> Pe {
+        Pe::new(
+            self.id,
+            self.num_pes,
+            Scheduler::new(self.id, self.shared, self.sched_cfg),
+            self.rx,
+            self.txs,
+            self.handlers,
+            self.hub,
+            self.net,
+        )
+    }
+}
+
+fn report(pes: &[Pe], hub: &Hub, wall_ns: u64) -> MachineReport {
+    MachineReport {
+        pe_vtimes: pes.iter().map(|p| p.vtime_ns()).collect(),
+        wall_ns,
+        sched_stats: pes.iter().map(|p| p.sched().stats()).collect(),
+        messages: hub.sent.load(Ordering::SeqCst),
+        stranded_threads: pes.iter().map(|p| p.sched().thread_count()).collect(),
+        pe_busy: pes.iter().map(|p| p.busy_ns()).collect(),
+    }
+}
+
+/// The per-PE loop of threaded mode with distributed quiescence detection.
+fn drive_until_quiescent(pe: &Pe, hub: &Hub, num_pes: usize) {
+    loop {
+        let mut progress = false;
+        while pe.pump() {
+            progress = true;
+        }
+        if progress {
+            continue;
+        }
+        // Enter the idle barrier.
+        hub.idle.fetch_add(1, Ordering::SeqCst);
+        loop {
+            if hub.done.load(Ordering::SeqCst) {
+                return;
+            }
+            if pe.has_work() {
+                hub.idle.fetch_sub(1, Ordering::SeqCst);
+                break;
+            }
+            if hub.idle.load(Ordering::SeqCst) == num_pes
+                && hub.sent.load(Ordering::SeqCst) == hub.recv.load(Ordering::SeqCst)
+            {
+                // Everyone idle and no message in flight: quiescent.
+                hub.done.store(true, Ordering::SeqCst);
+                return;
+            }
+            std::thread::yield_now();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pe::{send, with_pe};
+    use flows_core::{suspend, yield_now, StackFlavor, ThreadId};
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn deterministic_ring_passes_token() {
+        // Each PE forwards an incrementing token around the ring 3 times.
+        let total = Arc::new(AtomicU64::new(0));
+        let mut mb = MachineBuilder::new(4).net_model(NetModel::zero());
+        let h = {
+            let total = total.clone();
+            mb.handler(move |pe, msg| {
+                let hops = u64::from_le_bytes(msg.data[..8].try_into().unwrap());
+                total.fetch_add(1, Ordering::Relaxed);
+                if hops > 0 {
+                    pe.send(
+                        (pe.id() + 1) % pe.num_pes(),
+                        msg.handler,
+                        (hops - 1).to_le_bytes().to_vec(),
+                    );
+                }
+            })
+        };
+        let rep = mb.run_deterministic(|pe| {
+            if pe.id() == 0 {
+                pe.send(1, h, 12u64.to_le_bytes().to_vec());
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 13, "12 hops + initial");
+        assert_eq!(rep.messages, 13);
+        assert!(rep.stranded_threads.iter().all(|&n| n == 0));
+    }
+
+    #[test]
+    fn threaded_mode_matches_deterministic_semantics() {
+        let total = Arc::new(AtomicU64::new(0));
+        let mut mb = MachineBuilder::new(3);
+        let h = {
+            let total = total.clone();
+            mb.handler(move |_pe, msg| {
+                total.fetch_add(msg.data.len() as u64, Ordering::Relaxed);
+            })
+        };
+        mb.run(move |pe| {
+            for d in 0..pe.num_pes() {
+                pe.send(d, h, vec![0; 10 * (pe.id() + 1)]);
+            }
+        });
+        // PE i sends 3 messages of 10(i+1) bytes: total = 3*(10+20+30).
+        assert_eq!(total.load(Ordering::Relaxed), 180);
+    }
+
+    #[test]
+    fn threads_can_send_and_block_on_messages() {
+        // A thread on PE0 suspends; a handler on PE1 bounces a reply that
+        // awakens it.
+        let done = Arc::new(AtomicU64::new(0));
+        let mut mb = MachineBuilder::new(2).net_model(NetModel::zero());
+        // reply handler: awaken the thread named in the payload.
+        let reply = mb.handler(move |pe, msg| {
+            let tid = ThreadId(u64::from_le_bytes(msg.data[..8].try_into().unwrap()));
+            pe.sched().awaken_tid(tid).unwrap();
+        });
+        // ping handler on PE1: send the tid back.
+        let ping = mb.handler(move |pe, msg| {
+            pe.send(msg.src_pe, reply, msg.data.clone());
+        });
+        let done2 = done.clone();
+        mb.run_deterministic(move |pe| {
+            if pe.id() == 0 {
+                let done = done2.clone();
+                pe.sched()
+                    .spawn(StackFlavor::Isomalloc, move || {
+                        let me = flows_core::current().unwrap();
+                        send(1, ping, me.0.to_le_bytes().to_vec());
+                        suspend(); // until the reply awakens us
+                        done.fetch_add(1, Ordering::Relaxed);
+                    })
+                    .unwrap();
+            }
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn virtual_time_respects_message_latency() {
+        let mut mb = MachineBuilder::new(2).net_model(NetModel {
+            latency_ns: 1_000_000,
+            ns_per_byte: 0.0,
+        });
+        let h = mb.handler(|_pe, _msg| {});
+        let rep = mb.run_deterministic(|pe| {
+            if pe.id() == 0 {
+                pe.send(1, h, vec![1, 2, 3]);
+            }
+        });
+        assert!(
+            rep.pe_vtimes[1] >= 1_000_000,
+            "receiver clock must include latency: {:?}",
+            rep.pe_vtimes
+        );
+        assert!(rep.parallel_time_ns() >= 1_000_000);
+    }
+
+    #[test]
+    fn charge_ns_advances_only_local_clock() {
+        let mut mb = MachineBuilder::new(2).net_model(NetModel::zero());
+        let _ = mb.handler(|_, _| {});
+        let rep = mb.run_deterministic(|pe| {
+            if pe.id() == 1 {
+                pe.charge_ns(5_000_000);
+            }
+        });
+        assert!(rep.pe_vtimes[1] >= 5_000_000);
+        assert!(rep.pe_vtimes[0] < 5_000_000);
+    }
+
+    #[test]
+    fn ext_slots_are_typed_and_per_pe() {
+        #[derive(Default)]
+        struct Counter(u64);
+        let mut mb = MachineBuilder::new(2).net_model(NetModel::zero());
+        let h = mb.handler(|pe, _msg| {
+            pe.ext::<Counter, _>(|c| c.0 += 1);
+        });
+        let seen = Arc::new(AtomicU64::new(0));
+        let seen2 = seen.clone();
+        let check = mb.handler(move |pe, _msg| {
+            let v = pe.ext::<Counter, _>(|c| c.0);
+            seen2.fetch_add(v, Ordering::Relaxed);
+        });
+        mb.run_deterministic(move |pe| {
+            if pe.id() == 0 {
+                pe.send(1, h, vec![]);
+                pe.send(1, h, vec![]);
+                pe.send(0, h, vec![]);
+                pe.send(1, check, vec![]);
+            }
+        });
+        // PE1 counted 2; PE0's counter (1) is separate.
+        assert_eq!(seen.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn stranded_threads_are_reported() {
+        let mut mb = MachineBuilder::new(1).net_model(NetModel::zero());
+        let _ = mb.handler(|_, _| {});
+        let rep = mb.run_deterministic(|pe| {
+            pe.sched()
+                .spawn(StackFlavor::Standard, || {
+                    yield_now();
+                    suspend(); // nobody will wake us
+                })
+                .unwrap();
+        });
+        assert_eq!(rep.stranded_threads, vec![1]);
+    }
+
+    #[test]
+    fn with_pe_panics_outside_machine() {
+        let r = std::panic::catch_unwind(|| with_pe(|p| p.id()));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,78 @@
+//! Messages, handlers and the network cost model.
+
+/// Index of a registered handler. Handler registration happens in the
+/// [`crate::MachineBuilder`] *before* the machine starts, so every PE
+/// shares the same table — exactly Converse's convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HandlerId(pub(crate) usize);
+
+/// A machine message: destination handler plus a byte payload.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// The handler to invoke on the destination PE.
+    pub handler: HandlerId,
+    /// Payload bytes (PUP-packed by the layers above).
+    pub data: Vec<u8>,
+    /// Sending PE.
+    pub src_pe: usize,
+    /// Sender's virtual clock at send time (nanoseconds).
+    pub sent_vtime: u64,
+}
+
+/// The modeled interconnect: a fixed per-message latency plus a
+/// per-byte cost. Defaults approximate a 2000s-era Myrinet-class network
+/// (the paper's Tungsten testbed): 10 µs latency, 4 ns/byte (~250 MB/s).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetModel {
+    /// Per-message latency in nanoseconds.
+    pub latency_ns: u64,
+    /// Transfer cost per payload byte in nanoseconds.
+    pub ns_per_byte: f64,
+}
+
+impl Default for NetModel {
+    fn default() -> Self {
+        NetModel {
+            latency_ns: 10_000,
+            ns_per_byte: 4.0,
+        }
+    }
+}
+
+impl NetModel {
+    /// An idealized zero-cost network (for tests that want pure logic).
+    pub fn zero() -> NetModel {
+        NetModel {
+            latency_ns: 0,
+            ns_per_byte: 0.0,
+        }
+    }
+
+    /// Modeled arrival time of a message sent at `sent_vtime` carrying
+    /// `bytes` bytes. Self-sends are free (delivered through the local
+    /// queue in real Converse too).
+    pub fn arrival(&self, sent_vtime: u64, bytes: usize, self_send: bool) -> u64 {
+        if self_send {
+            sent_vtime
+        } else {
+            sent_vtime + self.latency_ns + (bytes as f64 * self.ns_per_byte) as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_model() {
+        let n = NetModel {
+            latency_ns: 1000,
+            ns_per_byte: 2.0,
+        };
+        assert_eq!(n.arrival(500, 10, false), 500 + 1000 + 20);
+        assert_eq!(n.arrival(500, 10, true), 500);
+        let z = NetModel::zero();
+        assert_eq!(z.arrival(7, 10_000, false), 7);
+    }
+}

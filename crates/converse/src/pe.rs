@@ -1,0 +1,252 @@
+//! One processing element: message pump + thread scheduler + virtual clock.
+
+use crate::machine::Hub;
+use crate::msg::{HandlerId, Message, NetModel};
+use crossbeam::channel::{Receiver, Sender};
+use flows_core::Scheduler;
+use flows_sys::time::thread_cpu_ns;
+use std::any::{Any, TypeId};
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+pub(crate) type Handler = Arc<dyn Fn(&Pe, Message) + Send + Sync>;
+
+thread_local! {
+    static CURRENT_PE: Cell<*const Pe> = const { Cell::new(std::ptr::null()) };
+}
+
+/// A processing element of the simulated machine. All methods take `&self`
+/// (interior mutability), so code running inside handlers *and* inside
+/// user-level threads can reach its services through [`with_pe`] and the
+/// crate-level free functions without aliasing `&mut`.
+pub struct Pe {
+    id: usize,
+    num_pes: usize,
+    sched: Scheduler,
+    rx: Receiver<Message>,
+    txs: Vec<Sender<Message>>,
+    handlers: Arc<Vec<Handler>>,
+    hub: Arc<Hub>,
+    net: NetModel,
+    vtime: Cell<u64>,
+    busy: Cell<u64>,
+    local_q: RefCell<VecDeque<Message>>,
+    exts: RefCell<HashMap<TypeId, Box<dyn Any>>>,
+}
+
+impl std::fmt::Debug for Pe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pe")
+            .field("id", &self.id)
+            .field("vtime_ns", &self.vtime.get())
+            .field("sched", &self.sched)
+            .finish()
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+impl Pe {
+    pub(crate) fn new(
+        id: usize,
+        num_pes: usize,
+        sched: Scheduler,
+        rx: Receiver<Message>,
+        txs: Vec<Sender<Message>>,
+        handlers: Arc<Vec<Handler>>,
+        hub: Arc<Hub>,
+        net: NetModel,
+    ) -> Pe {
+        Pe {
+            id,
+            num_pes,
+            sched,
+            rx,
+            txs,
+            handlers,
+            hub,
+            net,
+            vtime: Cell::new(0),
+            busy: Cell::new(0),
+            local_q: RefCell::new(VecDeque::new()),
+            exts: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// This PE's index.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Machine size.
+    pub fn num_pes(&self) -> usize {
+        self.num_pes
+    }
+
+    /// The PE's thread scheduler.
+    pub fn sched(&self) -> &Scheduler {
+        &self.sched
+    }
+
+    /// Current virtual time in nanoseconds (see crate docs).
+    pub fn vtime_ns(&self) -> u64 {
+        self.vtime.get()
+    }
+
+    /// Advance the virtual clock by an explicit modeled cost (counted as
+    /// busy time).
+    pub fn charge_ns(&self, ns: u64) {
+        self.vtime.set(self.vtime.get() + ns);
+        self.busy.set(self.busy.get() + ns);
+    }
+
+    /// Accumulated *busy* virtual time: work charged on this PE, excluding
+    /// waits imposed by message arrival times. `vtime - busy` is how long
+    /// the PE's clock sat waiting on the critical path.
+    pub fn busy_ns(&self) -> u64 {
+        self.busy.get()
+    }
+
+    /// Send `data` to `handler` on PE `dest`. Never blocks; self-sends go
+    /// through the local queue.
+    pub fn send(&self, dest: usize, handler: HandlerId, data: Vec<u8>) {
+        assert!(dest < self.num_pes, "send to PE {dest} of {}", self.num_pes);
+        let msg = Message {
+            handler,
+            data,
+            src_pe: self.id,
+            sent_vtime: self.vtime.get(),
+        };
+        self.hub.sent.fetch_add(1, Ordering::SeqCst);
+        if dest == self.id {
+            self.local_q.borrow_mut().push_back(msg);
+        } else {
+            // Unbounded channel: send can only fail if the PE is gone,
+            // which means the machine is shutting down.
+            let _ = self.txs[dest].send(msg);
+        }
+    }
+
+    /// Access (creating on first use) a typed per-PE extension slot. The
+    /// comm/chare/AMPI layers keep their tables here. The closure must not
+    /// suspend the calling thread (the borrow is checked at runtime).
+    pub fn ext<T: Any + Default, R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        let mut exts = self.exts.borrow_mut();
+        let slot = exts
+            .entry(TypeId::of::<T>())
+            .or_insert_with(|| Box::new(T::default()));
+        f(slot.downcast_mut::<T>().expect("ext type"))
+    }
+
+    /// Deliver one pending message, if any. Returns whether one was
+    /// processed.
+    fn deliver_one(&self) -> bool {
+        let msg = {
+            let local = self.local_q.borrow_mut().pop_front();
+            match local {
+                Some(m) => Some(m),
+                None => self.rx.try_recv().ok(),
+            }
+        };
+        let Some(msg) = msg else { return false };
+        self.hub.recv.fetch_add(1, Ordering::SeqCst);
+        // Virtual clock: the message cannot be processed before it arrives.
+        let arrival = self
+            .net
+            .arrival(msg.sent_vtime, msg.data.len(), msg.src_pe == self.id);
+        self.vtime.set(self.vtime.get().max(arrival));
+        let handler = self
+            .handlers
+            .get(msg.handler.0)
+            .unwrap_or_else(|| panic!("unregistered handler {:?}", msg.handler))
+            .clone();
+        handler(self, msg);
+        true
+    }
+
+    /// One scheduler-loop iteration: deliver pending messages, then run
+    /// one thread burst. Returns whether any progress was made.
+    /// The wall time spent is charged to the virtual clock.
+    pub fn pump(&self) -> bool {
+        // CPU time (see flows_sys::time::thread_cpu_ns): virtual time must
+        // charge this PE's own work, not host preemption.
+        let t0 = thread_cpu_ns();
+        let mut progress = false;
+        // Drain a bounded batch of messages so threads stay responsive.
+        for _ in 0..64 {
+            if !self.deliver_one() {
+                break;
+            }
+            progress = true;
+        }
+        if self.sched.step() {
+            progress = true;
+        }
+        if progress {
+            self.charge_ns(thread_cpu_ns().saturating_sub(t0));
+        }
+        progress
+    }
+
+    /// Is there any local work (messages or runnable threads)?
+    pub fn has_work(&self) -> bool {
+        !self.local_q.borrow().is_empty() || !self.rx.is_empty() || self.sched.runnable() > 0
+    }
+
+    pub(crate) fn enter(&self) -> *const Pe {
+        CURRENT_PE.with(|c| c.replace(self as *const Pe))
+    }
+
+    pub(crate) fn leave(&self, prev: *const Pe) {
+        CURRENT_PE.with(|c| c.set(prev));
+    }
+}
+
+/// Run `f` with the PE that is driving the calling code (handler or
+/// user-level thread). Panics outside a machine.
+pub fn with_pe<R>(f: impl FnOnce(&Pe) -> R) -> R {
+    let p = CURRENT_PE.with(|c| c.get());
+    assert!(
+        !p.is_null(),
+        "not running on a PE (use MachineBuilder::run / run_deterministic)"
+    );
+    // SAFETY: the pointer is installed by Pe::enter for exactly the span
+    // the PE is being driven on this OS thread; Pe methods take &self.
+    f(unsafe { &*p })
+}
+
+/// Like [`with_pe`] but returns `None` outside a machine.
+pub fn try_with_pe<R>(f: impl FnOnce(&Pe) -> R) -> Option<R> {
+    let p = CURRENT_PE.with(|c| c.get());
+    if p.is_null() {
+        return None;
+    }
+    // SAFETY: as in with_pe.
+    Some(f(unsafe { &*p }))
+}
+
+/// The calling PE's index.
+pub fn my_pe() -> usize {
+    with_pe(|p| p.id())
+}
+
+/// Machine size.
+pub fn num_pes() -> usize {
+    with_pe(|p| p.num_pes())
+}
+
+/// Send a message from whatever context is running on this PE.
+pub fn send(dest: usize, handler: HandlerId, data: Vec<u8>) {
+    with_pe(|p| p.send(dest, handler, data))
+}
+
+/// Current virtual time of the calling PE.
+pub fn vtime_ns() -> u64 {
+    with_pe(|p| p.vtime_ns())
+}
+
+/// Charge modeled work to the calling PE's virtual clock.
+pub fn charge_ns(ns: u64) {
+    with_pe(|p| p.charge_ns(ns))
+}

@@ -1,0 +1,252 @@
+//! Checkpoint/restart and PE evacuation — two applications the paper
+//! derives directly from migration (§3): *"checkpointing is simply
+//! migration to disk or the local memory of a remote processor"*
+//! (refs [12], [42]), and moving all work off a processor to vacate a
+//! node expected to fail or be shut down (refs [17], [34]).
+//!
+//! A [`Checkpoint`] is the packed images of every migratable thread of a
+//! scheduler. It serializes with PUP, so it can be written to disk and
+//! read back. Restoring requires the same process/isomalloc region (the
+//! slots' virtual addresses must still be reserved) — on a real machine
+//! this is the "restart on the same cluster layout" requirement the
+//! Charm++ checkpoint papers describe.
+
+use crate::migrate::PackedThread;
+use crate::scheduler::Scheduler;
+use crate::tcb::{ThreadId, ThreadState};
+use flows_pup::pup_fields;
+use flows_sys::error::{SysError, SysResult};
+
+/// A scheduler's worth of suspended work, as bytes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Checkpoint {
+    /// Source PE (informational).
+    pub pe: u64,
+    threads: Vec<PackedThread>,
+}
+pup_fields!(Checkpoint { pe, threads });
+
+impl Checkpoint {
+    /// Number of packed threads.
+    pub fn len(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Whether the checkpoint holds no threads.
+    pub fn is_empty(&self) -> bool {
+        self.threads.is_empty()
+    }
+
+    /// Ids of the packed threads.
+    pub fn thread_ids(&self) -> Vec<ThreadId> {
+        self.threads.iter().map(|t| t.id()).collect()
+    }
+
+    /// Serialize (the "to disk" half of migration-to-disk).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut me = self.clone();
+        flows_pup::to_bytes(&mut me)
+    }
+
+    /// Deserialize.
+    pub fn from_bytes(bytes: &[u8]) -> SysResult<Checkpoint> {
+        flows_pup::from_bytes(bytes)
+            .map_err(|e| SysError::logic("checkpoint", format!("corrupt: {e}")))
+    }
+
+    /// Write to a file.
+    pub fn save(&self, path: &std::path::Path) -> SysResult<()> {
+        std::fs::write(path, self.to_bytes())
+            .map_err(|e| SysError::logic("checkpoint_save", e.to_string()))
+    }
+
+    /// Read from a file.
+    pub fn load(path: &std::path::Path) -> SysResult<Checkpoint> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| SysError::logic("checkpoint_load", e.to_string()))?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+impl Scheduler {
+    /// Pack **every** thread of this scheduler into a checkpoint, leaving
+    /// the scheduler empty (the threads now live in the image — exactly a
+    /// migration whose destination is a byte buffer).
+    ///
+    /// Fails without side effects if any live thread cannot be packed
+    /// (running, unstarted, or of the non-migratable Standard flavor);
+    /// checkpointing half a computation would be worse than failing.
+    pub fn checkpoint(&self) -> SysResult<Checkpoint> {
+        // SAFETY: single-OS-thread access between context switches.
+        let ids: Vec<ThreadId> = unsafe {
+            let inner = &*self.inner_ptr();
+            // Pre-validate so failure leaves everything in place.
+            for t in inner.threads.values() {
+                if !t.started {
+                    return Err(SysError::logic(
+                        "checkpoint",
+                        format!("{} has not started", t.id),
+                    ));
+                }
+                if !t.flavor.flavor().migratable() {
+                    return Err(SysError::logic(
+                        "checkpoint",
+                        format!("{} uses a non-migratable {} stack", t.id, t.flavor.flavor().name()),
+                    ));
+                }
+                if !matches!(t.state, ThreadState::Ready | ThreadState::Suspended) {
+                    return Err(SysError::logic(
+                        "checkpoint",
+                        format!("{} is {:?}", t.id, t.state),
+                    ));
+                }
+            }
+            inner.threads.keys().copied().collect()
+        };
+        let mut threads = Vec::with_capacity(ids.len());
+        for tid in ids {
+            threads.push(self.pack_thread(tid)?);
+        }
+        Ok(Checkpoint {
+            pe: self.pe() as u64,
+            threads,
+        })
+    }
+
+    /// Reinstate every thread of a checkpoint on this scheduler (the
+    /// restart half, or the arrival half of evacuation). Ready threads
+    /// rejoin the run queue; suspended ones await their wake-ups.
+    pub fn restore(&self, ckpt: Checkpoint) -> SysResult<Vec<ThreadId>> {
+        let mut ids = Vec::with_capacity(ckpt.threads.len());
+        for packed in ckpt.threads {
+            ids.push(self.unpack_thread(packed)?);
+        }
+        Ok(ids)
+    }
+}
+
+/// Vacate `from`: move every thread it holds onto `to` (paper §3 —
+/// "migration can allow all the work to be moved off a processor ... to
+/// vacate a node that is expected to fail").
+pub fn evacuate(from: &Scheduler, to: &Scheduler) -> SysResult<Vec<ThreadId>> {
+    let ckpt = from.checkpoint()?;
+    to.restore(ckpt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{suspend, SchedConfig, SharedPools, StackFlavor};
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    fn two_phase(result: Rc<Cell<u64>>, x: u64) -> impl FnOnce() + 'static {
+        move || {
+            let partial: u64 = (0..x).map(|i| i * i).sum();
+            suspend(); // ---- checkpoint happens here ----
+            result.set(result.get() + partial + x);
+        }
+    }
+
+    #[test]
+    fn checkpoint_to_disk_and_restart() {
+        let pools = SharedPools::new_for_tests();
+        let pe0 = Scheduler::new(0, pools.clone(), SchedConfig::default());
+        let result = Rc::new(Cell::new(0u64));
+        let mut tids = Vec::new();
+        for x in [10u64, 20, 30] {
+            tids.push(
+                pe0.spawn(StackFlavor::Isomalloc, two_phase(result.clone(), x))
+                    .unwrap(),
+            );
+        }
+        pe0.run(); // phase 1 everywhere, all suspended
+        let ckpt = pe0.checkpoint().unwrap();
+        assert_eq!(ckpt.len(), 3);
+        assert_eq!(pe0.thread_count(), 0, "threads now live in the image");
+
+        // Round-trip through a real file: migration to disk.
+        let path = std::env::temp_dir().join(format!("flows-ckpt-{}.bin", std::process::id()));
+        ckpt.save(&path).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.len(), 3);
+
+        // "Restart": a fresh scheduler adopts the threads and finishes.
+        let pe1 = Scheduler::new(1, pools, SchedConfig::default());
+        let ids = pe1.restore(loaded).unwrap();
+        assert_eq!(ids.len(), 3);
+        for tid in tids {
+            pe1.awaken_tid(tid).unwrap();
+        }
+        pe1.run();
+        let expect: u64 = [10u64, 20, 30]
+            .iter()
+            .map(|&x| (0..x).map(|i| i * i).sum::<u64>() + x)
+            .sum();
+        assert_eq!(result.get(), expect);
+    }
+
+    #[test]
+    fn checkpoint_is_atomic_on_failure() {
+        let pools = SharedPools::new_for_tests();
+        let pe0 = Scheduler::new(0, pools, SchedConfig::default());
+        let r = Rc::new(Cell::new(0u64));
+        pe0.spawn(StackFlavor::Isomalloc, two_phase(r.clone(), 5))
+            .unwrap();
+        // A Standard thread poisons the checkpoint...
+        let t_std = pe0
+            .spawn(StackFlavor::Standard, two_phase(r.clone(), 7))
+            .unwrap();
+        pe0.run();
+        let err = pe0.checkpoint().unwrap_err();
+        assert!(err.to_string().contains("non-migratable"));
+        // ...but nothing was lost: both threads still here and resumable.
+        assert_eq!(pe0.thread_count(), 2);
+        pe0.awaken_tid(t_std).unwrap();
+        pe0.run();
+        assert_eq!(r.get(), (0..7u64).map(|i| i * i).sum::<u64>() + 7);
+    }
+
+    #[test]
+    fn evacuation_moves_everything() {
+        let pools = SharedPools::new_for_tests();
+        let pe0 = Scheduler::new(0, pools.clone(), SchedConfig::default());
+        let pe1 = Scheduler::new(1, pools, SchedConfig::default());
+        let result = Rc::new(Cell::new(0u64));
+        let mut tids = Vec::new();
+        for x in 1..=5u64 {
+            for flavor in [StackFlavor::Isomalloc, StackFlavor::StackCopy, StackFlavor::Alias] {
+                tids.push(
+                    pe0.spawn(flavor, two_phase(result.clone(), x)).unwrap(),
+                );
+            }
+        }
+        pe0.run();
+        let moved = evacuate(&pe0, &pe1).unwrap();
+        assert_eq!(moved.len(), 15);
+        assert_eq!(pe0.thread_count(), 0, "PE0 is vacated");
+        for tid in tids {
+            pe1.awaken_tid(tid).unwrap();
+        }
+        pe1.run();
+        let expect: u64 = (1..=5u64)
+            .map(|x| 3 * ((0..x).map(|i| i * i).sum::<u64>() + x))
+            .sum();
+        assert_eq!(result.get(), expect);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_files_are_rejected() {
+        let pools = SharedPools::new_for_tests();
+        let pe0 = Scheduler::new(0, pools, SchedConfig::default());
+        let r = Rc::new(Cell::new(0u64));
+        pe0.spawn(StackFlavor::Isomalloc, two_phase(r, 3)).unwrap();
+        pe0.run();
+        let bytes = pe0.checkpoint().unwrap().to_bytes();
+        assert!(Checkpoint::from_bytes(&bytes[..bytes.len() / 2]).is_err());
+        assert!(Checkpoint::from_bytes(&[]).is_ok_and(|c| c.is_empty()) == false);
+        let ok = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(ok.len(), 1);
+    }
+}

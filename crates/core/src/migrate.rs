@@ -1,0 +1,262 @@
+//! Thread migration: packing a suspended thread into bytes and
+//! reinstating it on another PE (paper §3.4).
+//!
+//! What travels: the live stack bytes, the isomalloc heap (for
+//! [`StackFlavor::Isomalloc`]), the privatized globals block, the saved
+//! stack pointer and metadata. What does *not* travel: nothing needs to —
+//! all three migratable flavors guarantee the stack executes at the same
+//! virtual address on the destination, so every pointer in the image stays
+//! valid (the paper's central trick).
+
+use crate::scheduler::Scheduler;
+use crate::tcb::{FlavorData, StackFlavor, Tcb, ThreadId, ThreadState};
+use flows_arch::{Context, SwapKind};
+use flows_pup::{pup_fields, Pup};
+use flows_sys::error::{SysError, SysResult};
+
+/// A thread serialized for migration (opaque PUP image).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PackedThread {
+    wire: Wire,
+}
+impl Pup for PackedThread {
+    fn pup(&mut self, p: &mut flows_pup::Puper) {
+        self.wire.pup(p);
+    }
+}
+
+#[derive(Debug, Clone, Default, PartialEq)]
+struct Wire {
+    id: ThreadId,
+    swap_kind: u8,
+    flavor: u8,
+    state: u8,
+    sp: u64,
+    load_ns: u64,
+    priority: i32,
+    globals: Option<Vec<u8>>,
+    payload: Vec<u8>,
+}
+pup_fields!(Wire {
+    id,
+    swap_kind,
+    flavor,
+    state,
+    sp,
+    load_ns,
+    priority,
+    globals,
+    payload
+});
+
+fn kind_tag(k: SwapKind) -> u8 {
+    match k {
+        SwapKind::Minimal => 0,
+        SwapKind::Full => 1,
+        SwapKind::SignalMask => 2,
+    }
+}
+
+fn tag_kind(t: u8) -> SysResult<SwapKind> {
+    Ok(match t {
+        0 => SwapKind::Minimal,
+        1 => SwapKind::Full,
+        2 => SwapKind::SignalMask,
+        _ => return Err(SysError::logic("unpack", "bad swap kind tag".into())),
+    })
+}
+
+fn flavor_tag(f: StackFlavor) -> u8 {
+    match f {
+        StackFlavor::StackCopy => 0,
+        StackFlavor::Isomalloc => 1,
+        StackFlavor::Alias => 2,
+        StackFlavor::Standard => 3,
+    }
+}
+
+impl PackedThread {
+    /// The migrating thread's id.
+    pub fn id(&self) -> ThreadId {
+        self.wire.id
+    }
+
+    /// Bytes in the image payload (stack + heap data).
+    pub fn payload_len(&self) -> usize {
+        self.wire.payload.len()
+    }
+
+    /// Serialize to raw bytes (for shipping through a message layer).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut me = self.clone();
+        flows_pup::to_bytes(&mut me)
+    }
+
+    /// Deserialize from raw bytes.
+    pub fn from_bytes(bytes: &[u8]) -> SysResult<PackedThread> {
+        flows_pup::from_bytes(bytes)
+            .map_err(|e| SysError::logic("packed_thread", format!("corrupt: {e}")))
+    }
+}
+
+impl Scheduler {
+    /// Pack `tid` for migration away from this PE.
+    ///
+    /// The thread must be started (its entry closure has begun executing),
+    /// not currently running, and of a migratable flavor. On success the
+    /// thread no longer exists on this PE.
+    pub fn pack_thread(&self, tid: ThreadId) -> SysResult<PackedThread> {
+        // SAFETY: single-OS-thread access between context switches.
+        let inner = unsafe { &mut *self.inner_ptr() };
+        if inner.current == Some(tid) {
+            return Err(SysError::logic("pack", format!("{tid} is running")));
+        }
+        {
+            let tcb = inner
+                .threads
+                .get(&tid)
+                .ok_or_else(|| SysError::logic("pack", format!("{tid} is not here")))?;
+            if !tcb.started {
+                return Err(SysError::logic(
+                    "pack",
+                    format!("{tid} has not started: its entry closure is not serializable"),
+                ));
+            }
+            if !tcb.flavor.flavor().migratable() {
+                return Err(SysError::logic(
+                    "pack",
+                    format!("{tid} uses a {} stack, which cannot migrate", tcb.flavor.flavor().name()),
+                ));
+            }
+            if !matches!(tcb.state, ThreadState::Ready | ThreadState::Suspended) {
+                return Err(SysError::logic(
+                    "pack",
+                    format!("{tid} is {:?}", tcb.state),
+                ));
+            }
+        }
+        let mut tcb = inner.threads.remove(&tid).expect("checked above");
+        inner.runq.remove(tid);
+        let sp = tcb.ctx.saved_sp();
+        let flavor = tcb.flavor.flavor();
+        // Replace the flavor data with an empty placeholder so we can move
+        // the real resources out of the box.
+        let data = std::mem::replace(
+            &mut tcb.flavor,
+            FlavorData::Copy {
+                image: flows_mem::CopyStack::new(),
+            },
+        );
+        let payload = match data {
+            FlavorData::Iso { slab } => slab.pack(sp)?,
+            FlavorData::Copy { mut image } => flows_pup::to_bytes(&mut image),
+            FlavorData::Alias { frame } => {
+                let mut pool = inner.shared.alias().lock();
+                if pool.active() == Some(frame) {
+                    // The scheduler leaves the last-run frame mapped; undo
+                    // that before taking the frame away.
+                    pool.deactivate()?;
+                }
+                let bytes = pool.read_frame(frame)?;
+                pool.free_frame(frame)?;
+                bytes
+            }
+            FlavorData::Standard { .. } => unreachable!("checked migratable"),
+        };
+        inner.stats.migrations_out += 1;
+        Ok(PackedThread {
+            wire: Wire {
+                id: tid,
+                swap_kind: kind_tag(tcb.ctx.kind()),
+                flavor: flavor_tag(flavor),
+                state: matches!(tcb.state, ThreadState::Ready) as u8,
+                sp: sp as u64,
+                load_ns: tcb.load_ns,
+                priority: tcb.priority,
+                globals: tcb.globals.take(),
+                payload,
+            },
+        })
+    }
+
+    /// Reinstate a migrated thread on this PE. Ready threads join the run
+    /// queue; suspended threads wait for [`Scheduler::awaken_tid`].
+    pub fn unpack_thread(&self, packed: PackedThread) -> SysResult<ThreadId> {
+        // SAFETY: single-OS-thread access between context switches.
+        let inner = unsafe { &mut *self.inner_ptr() };
+        let w = packed.wire;
+        if inner.threads.contains_key(&w.id) {
+            return Err(SysError::logic(
+                "unpack",
+                format!("{} already lives on this PE", w.id),
+            ));
+        }
+        let kind = tag_kind(w.swap_kind)?;
+        if kind != inner.cfg.swap_kind {
+            return Err(SysError::logic(
+                "unpack",
+                format!(
+                    "thread uses {} swap but this scheduler uses {}",
+                    kind.name(),
+                    inner.cfg.swap_kind.name()
+                ),
+            ));
+        }
+        let (flavor, sp) = match w.flavor {
+            0 => {
+                let image: flows_mem::CopyStack = flows_pup::from_bytes(&w.payload)
+                    .map_err(|e| SysError::logic("unpack", format!("copy image: {e}")))?;
+                (FlavorData::Copy { image }, w.sp as usize)
+            }
+            1 => {
+                let (slab, sp) =
+                    flows_mem::ThreadSlab::unpack(inner.shared.region(), &w.payload)?;
+                if sp != w.sp as usize {
+                    return Err(SysError::logic("unpack", "sp mismatch in image".into()));
+                }
+                (FlavorData::Iso { slab }, sp)
+            }
+            2 => {
+                let mut pool = inner.shared.alias().lock();
+                let frame = pool.alloc_frame()?;
+                pool.write_frame(frame, &w.payload)?;
+                (FlavorData::Alias { frame }, w.sp as usize)
+            }
+            _ => return Err(SysError::logic("unpack", "bad flavor tag".into())),
+        };
+        let mut ctx = Context::new(kind);
+        // SAFETY: sp was saved by a suspend through a same-kind context and
+        // its stack bytes were just reinstated at the same address.
+        unsafe { ctx.set_saved_sp(sp) };
+        let ready = w.state == 1;
+        let tcb = Box::new(Tcb {
+            id: w.id,
+            ctx,
+            state: if ready {
+                ThreadState::Ready
+            } else {
+                ThreadState::Suspended
+            },
+            flavor,
+            entry_raw: None,
+            started: true,
+            globals: w.globals,
+            load_ns: w.load_ns,
+            panicked: false,
+            priority: w.priority,
+        });
+        inner.threads.insert(w.id, tcb);
+        if ready {
+            inner.runq.push(w.id, w.priority);
+        }
+        inner.stats.migrations_in += 1;
+        Ok(w.id)
+    }
+}
+
+/// Convenience for in-process machines: pack on `from`, unpack on `to`.
+pub fn migrate(from: &Scheduler, to: &Scheduler, tid: ThreadId) -> SysResult<()> {
+    let packed = from.pack_thread(tid)?;
+    to.unpack_thread(packed)?;
+    Ok(())
+}

@@ -1,0 +1,261 @@
+//! Swap-global privatization (paper §3.1.1).
+//!
+//! Kernel threads share one copy of every global variable, which is the
+//! single biggest obstacle to porting legacy codes onto threads (§2.2).
+//! The paper's solution for ELF platforms is to give each user-level
+//! thread its own copy of the Global Offset Table and swap one pointer per
+//! context switch. Rust has no patchable GOT, so we reproduce the
+//! *mechanism* with an explicit layout: programs register their globals
+//! once into a [`GlobalsLayout`]; each thread carries a private block of
+//! that layout; a thread-local *base pointer* is swapped on every context
+//! switch (the GOT-swap analog — O(1), independent of how many globals
+//! exist). [`PrivatizeMode::CopyInOut`] is the ablation alternative that
+//! memcpy's the block instead.
+//!
+//! ```
+//! use flows_core::privatize::GlobalsLayoutBuilder;
+//! let mut b = GlobalsLayoutBuilder::new();
+//! let counter = b.register::<u64>(0);
+//! let scale = b.register::<f64>(1.5);
+//! let layout = b.finish();
+//! // Outside any thread, accesses hit the layout's main block:
+//! layout.install_main();
+//! counter.set(counter.get() + 1);
+//! assert_eq!(counter.get(), 1);
+//! assert_eq!(scale.get(), 1.5);
+//! ```
+
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+thread_local! {
+    /// Base pointer of the currently installed globals block — the "GOT"
+    /// that the scheduler swaps. Also records which layout it belongs to.
+    static ACTIVE: Cell<(*mut u8, u64)> = const { Cell::new((std::ptr::null_mut(), 0)) };
+}
+
+static LAYOUT_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// How the scheduler privatizes globals at a context switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PrivatizeMode {
+    /// Swap the base pointer (the paper's GOT-swap scheme): O(1) per
+    /// switch.
+    #[default]
+    GotSwap,
+    /// Copy the thread's block into a fixed buffer on switch-in and back
+    /// out on switch-out: O(block size) per switch. Exists to measure what
+    /// GOT swapping buys (ablation bench).
+    CopyInOut,
+}
+
+/// An immutable description of every registered global: sizes, alignments,
+/// offsets and initial image.
+#[derive(Debug)]
+pub struct GlobalsLayout {
+    id: u64,
+    len: usize,
+    init: Vec<u8>,
+    /// The block used when no thread is running (the "process globals").
+    main: parking_lot::Mutex<Vec<u8>>,
+}
+
+impl GlobalsLayout {
+    /// Total block length in bytes.
+    pub fn block_len(&self) -> usize {
+        self.len
+    }
+
+    /// Unique id (guards against mixing vars across layouts).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// A fresh private block holding the initial values.
+    pub fn new_block(&self) -> Vec<u8> {
+        self.init.clone()
+    }
+
+    /// Install the layout's *main* block on this OS thread, for code
+    /// running outside any user-level thread. (Holds no lock afterwards:
+    /// the main block is only sound if a single OS thread uses it, which
+    /// matches "the main flow of control" it models.)
+    pub fn install_main(self: &Arc<Self>) {
+        let ptr = self.main.lock().as_mut_ptr();
+        ACTIVE.with(|a| a.set((ptr, self.id)));
+    }
+
+    /// Install an arbitrary block (the scheduler's GOT swap). Returns the
+    /// previously installed `(ptr, layout_id)` so it can be restored.
+    pub fn install_block(&self, block: &mut [u8]) -> (*mut u8, u64) {
+        assert_eq!(block.len(), self.len, "block does not match layout");
+        ACTIVE.with(|a| a.replace((block.as_mut_ptr(), self.id)))
+    }
+
+    /// Restore a previously captured installation.
+    pub fn restore(&self, prev: (*mut u8, u64)) {
+        ACTIVE.with(|a| a.set(prev));
+    }
+}
+
+/// Builder: register each global with its initial value, then `finish()`.
+#[derive(Debug, Default)]
+pub struct GlobalsLayoutBuilder {
+    bytes: Vec<u8>,
+    id: u64,
+}
+
+impl GlobalsLayoutBuilder {
+    /// Start a new layout.
+    pub fn new() -> GlobalsLayoutBuilder {
+        GlobalsLayoutBuilder {
+            bytes: Vec::new(),
+            id: LAYOUT_IDS.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// Register one global of type `T` with initial value `init`,
+    /// returning its handle. `T` must be `Copy` (plain data, like a C
+    /// global) and is stored at its natural alignment.
+    pub fn register<T: Copy + 'static>(&mut self, init: T) -> GlobalVar<T> {
+        let align = std::mem::align_of::<T>();
+        let size = std::mem::size_of::<T>();
+        let off = (self.bytes.len() + align - 1) & !(align - 1);
+        self.bytes.resize(off + size, 0);
+        // SAFETY: freshly resized range of exactly `size` bytes; T: Copy
+        // has no drop obligations.
+        unsafe {
+            std::ptr::write_unaligned(self.bytes.as_mut_ptr().add(off).cast::<T>(), init);
+        }
+        GlobalVar {
+            offset: off,
+            layout_id: self.id,
+            _t: PhantomData,
+        }
+    }
+
+    /// Freeze the layout.
+    pub fn finish(self) -> Arc<GlobalsLayout> {
+        Arc::new(GlobalsLayout {
+            id: self.id,
+            len: self.bytes.len(),
+            main: parking_lot::Mutex::new(self.bytes.clone()),
+            init: self.bytes,
+        })
+    }
+}
+
+/// Handle to one privatized global of type `T` — the analog of a GOT slot.
+///
+/// Reads and writes go to whichever block is currently installed on this
+/// OS thread (the running user-level thread's private copy, or the
+/// layout's main block).
+#[derive(Debug, Clone, Copy)]
+pub struct GlobalVar<T: Copy + 'static> {
+    offset: usize,
+    layout_id: u64,
+    _t: PhantomData<fn() -> T>,
+}
+
+impl<T: Copy + 'static> GlobalVar<T> {
+    fn base(&self) -> *mut u8 {
+        let (ptr, id) = ACTIVE.with(|a| a.get());
+        assert!(
+            !ptr.is_null(),
+            "no globals block installed on this OS thread (run inside a \
+             scheduler with a GlobalsLayout, or call install_main)"
+        );
+        assert_eq!(
+            id, self.layout_id,
+            "installed globals block belongs to a different GlobalsLayout"
+        );
+        ptr
+    }
+
+    /// Read the current thread's copy.
+    pub fn get(&self) -> T {
+        // SAFETY: base() checked the installed block matches our layout,
+        // whose builder sized and aligned this offset for T.
+        unsafe { std::ptr::read_unaligned(self.base().add(self.offset).cast::<T>()) }
+    }
+
+    /// Write the current thread's copy.
+    pub fn set(&self, v: T) {
+        // SAFETY: as in get().
+        unsafe { std::ptr::write_unaligned(self.base().add(self.offset).cast::<T>(), v) }
+    }
+
+    /// Read-modify-write convenience.
+    pub fn update(&self, f: impl FnOnce(T) -> T) {
+        self.set(f(self.get()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn main_block_reads_initials_and_persists_writes() {
+        let mut b = GlobalsLayoutBuilder::new();
+        let x = b.register::<u32>(7);
+        let y = b.register::<f64>(2.5);
+        let z = b.register::<[u8; 3]>([1, 2, 3]);
+        let layout = b.finish();
+        layout.install_main();
+        assert_eq!(x.get(), 7);
+        assert_eq!(y.get(), 2.5);
+        assert_eq!(z.get(), [1, 2, 3]);
+        x.set(100);
+        y.update(|v| v * 2.0);
+        assert_eq!(x.get(), 100);
+        assert_eq!(y.get(), 5.0);
+    }
+
+    #[test]
+    fn blocks_are_private_per_installation() {
+        let mut b = GlobalsLayoutBuilder::new();
+        let x = b.register::<u64>(0);
+        let layout = b.finish();
+        let mut block_a = layout.new_block();
+        let mut block_b = layout.new_block();
+
+        let prev = layout.install_block(&mut block_a);
+        x.set(111);
+        layout.restore(prev);
+        let prev = layout.install_block(&mut block_b);
+        assert_eq!(x.get(), 0, "thread B sees its own pristine copy");
+        x.set(222);
+        layout.restore(prev);
+        let prev = layout.install_block(&mut block_a);
+        assert_eq!(x.get(), 111, "thread A's value survived B running");
+        layout.restore(prev);
+        drop((block_a, block_b));
+    }
+
+    #[test]
+    #[should_panic(expected = "different GlobalsLayout")]
+    fn cross_layout_access_is_caught() {
+        let mut b1 = GlobalsLayoutBuilder::new();
+        let _x1 = b1.register::<u32>(1);
+        let l1 = b1.finish();
+        let mut b2 = GlobalsLayoutBuilder::new();
+        let x2 = b2.register::<u32>(2);
+        let _l2 = b2.finish();
+        l1.install_main();
+        let _ = x2.get();
+    }
+
+    #[test]
+    fn alignment_is_respected() {
+        let mut b = GlobalsLayoutBuilder::new();
+        let _a = b.register::<u8>(1);
+        let d = b.register::<u64>(0x0123_4567_89AB_CDEF);
+        let layout = b.finish();
+        layout.install_main();
+        assert_eq!(d.get(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(layout.block_len() % 8, 0 /* u64 tail */);
+    }
+}

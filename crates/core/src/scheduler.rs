@@ -1,0 +1,660 @@
+//! The per-PE user-level thread scheduler (the "Cth" analog, §2.3).
+//!
+//! Non-preemptive: a thread runs until it calls [`yield_now`], [`suspend`],
+//! or returns. The scheduler is strictly single-OS-thread (one per PE of
+//! the simulated machine); cross-PE interaction happens through message
+//! queues in `flows-converse` and through thread migration
+//! ([`Scheduler::pack_thread`] / [`Scheduler::unpack_thread`]).
+//!
+//! ### Aliasing discipline
+//! A scheduler's state is mutated both by `step()` (on the scheduler side
+//! of a context switch) and by the free functions called from inside
+//! threads (on the other side). All such access goes through a raw pointer
+//! to an `UnsafeCell`'d inner struct, and **no Rust reference to scheduler
+//! state is ever held across a context switch** — see `Context::swap_raw`.
+
+use crate::privatize::PrivatizeMode;
+use crate::shared::{SharedPools, DEFAULT_STACK_LEN};
+use crate::tcb::{FlavorData, StackFlavor, Tcb, ThreadId, ThreadState};
+use flows_arch::{set_exit_hook, Context, InitialStack, SwapKind};
+use flows_sys::error::{SysError, SysResult};
+use flows_sys::time::thread_cpu_ns;
+use std::cell::{Cell, UnsafeCell};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static CURRENT_SCHED: Cell<*const Scheduler> = const { Cell::new(std::ptr::null()) };
+}
+
+/// Scheduler configuration.
+#[derive(Debug, Clone)]
+pub struct SchedConfig {
+    /// Swap routine used for every thread of this scheduler.
+    pub swap_kind: SwapKind,
+    /// Committed stack bytes for Standard and Isomalloc threads.
+    pub stack_len: usize,
+    /// How privatized globals are switched.
+    pub privatize: PrivatizeMode,
+    /// The registered globals, if the program privatizes any.
+    pub globals: Option<Arc<crate::privatize::GlobalsLayout>>,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig {
+            swap_kind: SwapKind::Minimal,
+            stack_len: DEFAULT_STACK_LEN,
+            privatize: PrivatizeMode::GotSwap,
+            globals: None,
+        }
+    }
+}
+
+/// Counters exposed for tests and benches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Thread resumes (≈ context switches into threads).
+    pub switches: u64,
+    /// Threads ever spawned here.
+    pub spawned: u64,
+    /// Threads that finished here.
+    pub completed: u64,
+    /// Threads packed for migration away.
+    pub migrations_out: u64,
+    /// Threads unpacked after migrating in.
+    pub migrations_in: u64,
+}
+
+/// Priority run queue: lower priority value = more urgent (Charm++'s
+/// convention); FIFO among equal priorities (§2.3 — "the application's
+/// priority structure can be directly used by the thread scheduler").
+#[derive(Default)]
+pub(crate) struct RunQueue {
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(i32, u64, ThreadId)>>,
+    seq: u64,
+}
+
+impl RunQueue {
+    pub fn push(&mut self, tid: ThreadId, priority: i32) {
+        self.seq += 1;
+        self.heap.push(std::cmp::Reverse((priority, self.seq, tid)));
+    }
+
+    pub fn pop(&mut self) -> Option<ThreadId> {
+        self.heap.pop().map(|std::cmp::Reverse((_, _, tid))| tid)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn remove(&mut self, tid: ThreadId) {
+        let entries: Vec<_> = std::mem::take(&mut self.heap)
+            .into_iter()
+            .filter(|std::cmp::Reverse((_, _, t))| *t != tid)
+            .collect();
+        self.heap = entries.into();
+    }
+}
+
+pub(crate) struct Inner {
+    pub pe: usize,
+    pub shared: Arc<SharedPools>,
+    pub cfg: SchedConfig,
+    pub runq: RunQueue,
+    pub threads: HashMap<ThreadId, Box<Tcb>>,
+    pub current: Option<ThreadId>,
+    pub sched_ctx: Context,
+    pub stats: SchedStats,
+    /// Scratch buffer for `PrivatizeMode::CopyInOut`.
+    globals_buf: Vec<u8>,
+    /// Saved TLS installation to restore after a thread runs.
+    globals_prev: (*mut u8, u64),
+}
+
+/// One PE's user-level thread scheduler. `!Send`/`!Sync`: each PE's OS
+/// thread builds and drives its own.
+pub struct Scheduler {
+    inner: UnsafeCell<Inner>,
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // SAFETY: read-only peek at plain fields.
+        let inner = unsafe { &*self.inner.get() };
+        f.debug_struct("Scheduler")
+            .field("pe", &inner.pe)
+            .field("threads", &inner.threads.len())
+            .field("runnable", &inner.runq.len())
+            .finish()
+    }
+}
+
+impl Scheduler {
+    /// Create the scheduler for PE `pe` of the machine whose memory
+    /// substrate is `shared`.
+    pub fn new(pe: usize, shared: Arc<SharedPools>, cfg: SchedConfig) -> Scheduler {
+        let globals_buf = cfg
+            .globals
+            .as_ref()
+            .map(|l| vec![0u8; l.block_len()])
+            .unwrap_or_default();
+        Scheduler {
+            inner: UnsafeCell::new(Inner {
+                pe,
+                shared,
+                sched_ctx: Context::new(cfg.swap_kind),
+                cfg,
+                runq: RunQueue::default(),
+                threads: HashMap::new(),
+                current: None,
+                stats: SchedStats::default(),
+                globals_buf,
+                globals_prev: (std::ptr::null_mut(), 0),
+            }),
+        }
+    }
+
+    fn inner(&self) -> *mut Inner {
+        self.inner.get()
+    }
+
+    /// This scheduler's PE number.
+    pub fn pe(&self) -> usize {
+        // SAFETY: immutable field.
+        unsafe { (*self.inner()).pe }
+    }
+
+    /// The machine-wide memory pools.
+    pub fn shared(&self) -> Arc<SharedPools> {
+        // SAFETY: clone of an immutable Arc field.
+        unsafe { (*self.inner()).shared.clone() }
+    }
+
+    /// Spawn a thread with the scheduler's default stack length.
+    pub fn spawn(
+        &self,
+        flavor: StackFlavor,
+        f: impl FnOnce() + 'static,
+    ) -> SysResult<ThreadId> {
+        // SAFETY: default read.
+        let len = unsafe { (*self.inner()).cfg.stack_len };
+        self.spawn_with(flavor, len, f)
+    }
+
+    /// Spawn a thread with an explicit committed stack length (Standard
+    /// and Isomalloc flavors; Copy/Alias use the pool's common length).
+    pub fn spawn_with(
+        &self,
+        flavor: StackFlavor,
+        stack_len: usize,
+        f: impl FnOnce() + 'static,
+    ) -> SysResult<ThreadId> {
+        self.spawn_prio(flavor, stack_len, 0, f)
+    }
+
+    /// Spawn with a scheduling priority: lower values run first; equal
+    /// priorities round-robin. The default everywhere else is 0.
+    pub fn spawn_prio(
+        &self,
+        flavor: StackFlavor,
+        stack_len: usize,
+        priority: i32,
+        f: impl FnOnce() + 'static,
+    ) -> SysResult<ThreadId> {
+        // SAFETY: single-threaded access; no context switch in here.
+        let inner = unsafe { &mut *self.inner() };
+        let data = match flavor {
+            StackFlavor::Standard => FlavorData::Standard {
+                stack: vec![0u8; stack_len.max(flows_arch::stack::MIN_STACK * 4)],
+            },
+            StackFlavor::Isomalloc => {
+                let slot = inner.shared.region().alloc_slot(inner.pe)?;
+                let slab = flows_mem::ThreadSlab::new(
+                    slot,
+                    flows_sys::page::page_align_up(stack_len.max(4096)),
+                )?;
+                FlavorData::Iso { slab }
+            }
+            StackFlavor::Alias => {
+                let frame = inner.shared.alias().lock().alloc_frame()?;
+                FlavorData::Alias { frame }
+            }
+            StackFlavor::StackCopy => FlavorData::Copy {
+                image: flows_mem::CopyStack::new(),
+            },
+        };
+        let id = ThreadId(NEXT_TID.fetch_add(1, Ordering::Relaxed));
+        let entry: Box<dyn FnOnce()> = Box::new(f);
+        let entry_raw = Box::into_raw(Box::new(entry)) as usize;
+        let tcb = Box::new(Tcb {
+            id,
+            ctx: Context::new(inner.cfg.swap_kind),
+            state: ThreadState::Ready,
+            flavor: data,
+            entry_raw: Some(entry_raw),
+            started: false,
+            globals: inner.cfg.globals.as_ref().map(|l| l.new_block()),
+            load_ns: 0,
+            panicked: false,
+            priority,
+        });
+        inner.threads.insert(id, tcb);
+        inner.runq.push(id, priority);
+        inner.stats.spawned += 1;
+        Ok(id)
+    }
+
+    /// Run one ready thread until it suspends/yields/finishes. Returns
+    /// `false` when the run queue is empty.
+    pub fn step(&self) -> bool {
+        // SAFETY: see the module-level aliasing discipline. No reference
+        // into `inner` outlives a context switch.
+        unsafe {
+            let inner = self.inner();
+            assert!(
+                (*inner).current.is_none(),
+                "Scheduler::step called from inside a running thread"
+            );
+            let Some(tid) = (*inner).runq.pop() else {
+                return false;
+            };
+            let prev = CURRENT_SCHED.with(|c| c.replace(self as *const Scheduler));
+            set_exit_hook(thread_exit_hook);
+            self.resume(tid);
+            CURRENT_SCHED.with(|c| c.set(prev));
+            true
+        }
+    }
+
+    /// Run until no thread is runnable.
+    pub fn run(&self) {
+        while self.step() {}
+    }
+
+    /// # Safety
+    /// Must be called on the scheduler's own OS thread, outside any
+    /// running thread.
+    unsafe fn resume(&self, tid: ThreadId) {
+        let inner = self.inner();
+        // SAFETY: exclusive access between switches.
+        unsafe {
+            let tcb: *mut Tcb = match (*inner).threads.get_mut(&tid) {
+                Some(b) => &mut **b,
+                None => return, // packed away while queued
+            };
+            if (*tcb).state == ThreadState::Done {
+                return;
+            }
+
+            // Flavor preparation. The common-region locks are held for the
+            // whole time the thread is on the CPU (only one stack-copy or
+            // alias thread may run per address space).
+            let mut alias_guard = None;
+            let mut copy_guard = None;
+            let stack_top: usize = match &mut (*tcb).flavor {
+                FlavorData::Standard { stack } => stack.as_ptr() as usize + stack.len(),
+                FlavorData::Iso { slab } => slab.stack_top(),
+                FlavorData::Alias { frame } => {
+                    let mut g = (*inner).shared.alias().lock();
+                    if g.activate(*frame).is_err() {
+                        (*tcb).state = ThreadState::Done;
+                        (*tcb).panicked = true;
+                        return;
+                    }
+                    let top = g.window_top();
+                    alias_guard = Some(g);
+                    top
+                }
+                FlavorData::Copy { image } => {
+                    let g = (*inner).shared.copy().lock();
+                    // SAFETY: we hold the region lock; nothing executes on
+                    // the common region.
+                    if g.switch_in(image).is_err() {
+                        (*tcb).state = ThreadState::Done;
+                        (*tcb).panicked = true;
+                        return;
+                    }
+                    let top = g.top();
+                    copy_guard = Some(g);
+                    top
+                }
+            };
+
+            if !(*tcb).started {
+                let entry_raw = (*tcb)
+                    .entry_raw
+                    .take()
+                    .expect("unstarted thread without an entry closure");
+                // SAFETY: the stack region is committed/active; the frame
+                // stays valid while the thread lives (flavor data owns it).
+                (*tcb).ctx = InitialStack::build(
+                    (*inner).cfg.swap_kind,
+                    stack_top as *mut u8,
+                    thread_main,
+                    entry_raw,
+                );
+                (*tcb).started = true;
+            }
+
+            // Swap-global privatization: install the thread's block.
+            if let Some(layout) = (*inner).cfg.globals.clone() {
+                if let Some(block) = (*tcb).globals.as_mut() {
+                    let prev = match (*inner).cfg.privatize {
+                        PrivatizeMode::GotSwap => layout.install_block(block),
+                        PrivatizeMode::CopyInOut => {
+                            (*inner).globals_buf.copy_from_slice(block);
+                            layout.install_block(&mut (*inner).globals_buf)
+                        }
+                    };
+                    (*inner).globals_prev = prev;
+                }
+            }
+
+            (*inner).current = Some(tid);
+            (*tcb).state = ThreadState::Running;
+            (*inner).stats.switches += 1;
+            // CPU time, not wall time: a wall clock would charge random
+            // OS preemptions of this PE to whichever thread was running.
+            let t0 = thread_cpu_ns();
+
+            Context::swap_raw(&raw mut (*inner).sched_ctx, &raw const (*tcb).ctx);
+
+            // ---- the thread ran and came back ----
+            (*tcb).load_ns += thread_cpu_ns().saturating_sub(t0);
+            (*inner).current = None;
+            let done = (*tcb).state == ThreadState::Done;
+
+            if let Some(layout) = (*inner).cfg.globals.clone() {
+                if let Some(block) = (*tcb).globals.as_mut() {
+                    if (*inner).cfg.privatize == PrivatizeMode::CopyInOut {
+                        block.copy_from_slice(&(*inner).globals_buf);
+                    }
+                    layout.restore((*inner).globals_prev);
+                }
+            }
+
+            match &mut (*tcb).flavor {
+                FlavorData::Copy { image } => {
+                    if !done {
+                        let g = copy_guard.as_ref().expect("copy guard");
+                        // SAFETY: thread is suspended; we still hold the
+                        // region lock.
+                        g.switch_out(image, (*tcb).ctx.saved_sp())
+                            .expect("copy-stack switch out");
+                    }
+                }
+                FlavorData::Alias { frame } => {
+                    if done {
+                        let mut g = alias_guard.take().expect("alias guard");
+                        let f = *frame;
+                        let _ = g.deactivate();
+                        let _ = g.free_frame(f);
+                    }
+                }
+                _ => {}
+            }
+            drop(copy_guard);
+            drop(alias_guard);
+
+            if done {
+                (*inner).threads.remove(&tid);
+                (*inner).stats.completed += 1;
+            }
+        }
+    }
+
+    /// Move a suspended thread back to the run queue.
+    pub fn awaken_tid(&self, tid: ThreadId) -> SysResult<()> {
+        // SAFETY: single-threaded access between switches.
+        let inner = unsafe { &mut *self.inner() };
+        match inner.threads.get_mut(&tid) {
+            Some(tcb) if tcb.state == ThreadState::Suspended => {
+                tcb.state = ThreadState::Ready;
+                let prio = tcb.priority;
+                inner.runq.push(tid, prio);
+                Ok(())
+            }
+            Some(tcb) => Err(SysError::logic(
+                "awaken",
+                format!("{tid} is {:?}, not Suspended", tcb.state),
+            )),
+            None => Err(SysError::logic("awaken", format!("{tid} is not here"))),
+        }
+    }
+
+    /// Number of threads in the run queue.
+    pub fn runnable(&self) -> usize {
+        // SAFETY: plain read between switches.
+        unsafe { (*self.inner()).runq.len() }
+    }
+
+    /// Number of live threads on this PE.
+    pub fn thread_count(&self) -> usize {
+        // SAFETY: plain read between switches.
+        unsafe { (*self.inner()).threads.len() }
+    }
+
+    /// A thread's state, if it lives here.
+    pub fn state(&self, tid: ThreadId) -> Option<ThreadState> {
+        // SAFETY: plain read between switches.
+        unsafe { (*self.inner()).threads.get(&tid).map(|t| t.state) }
+    }
+
+    /// Whether the thread's entry panicked (observable until the Tcb is
+    /// reaped at completion — poll from another thread before then, or
+    /// check [`SchedStats::completed`]).
+    pub fn panicked(&self, tid: ThreadId) -> Option<bool> {
+        // SAFETY: plain read between switches.
+        unsafe { (*self.inner()).threads.get(&tid).map(|t| t.panicked) }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> SchedStats {
+        // SAFETY: plain read between switches.
+        unsafe { (*self.inner()).stats }
+    }
+
+    /// Measured per-thread on-CPU time (the load balancer's input):
+    /// `(thread, nanoseconds)` pairs.
+    pub fn loads(&self) -> Vec<(ThreadId, u64)> {
+        // SAFETY: plain read between switches.
+        let inner = unsafe { &*self.inner() };
+        inner.threads.values().map(|t| (t.id, t.load_ns)).collect()
+    }
+
+    /// Zero the per-thread load counters (start of a new LB epoch).
+    pub fn reset_loads(&self) {
+        // SAFETY: plain mutation between switches.
+        let inner = unsafe { &mut *self.inner() };
+        for t in inner.threads.values_mut() {
+            t.load_ns = 0;
+        }
+    }
+
+    /// Zero one thread's load counter (when its LB epoch rolls over).
+    pub fn reset_load_tid(&self, tid: ThreadId) {
+        // SAFETY: plain mutation between switches.
+        let inner = unsafe { &mut *self.inner() };
+        if let Some(t) = inner.threads.get_mut(&tid) {
+            t.load_ns = 0;
+        }
+    }
+
+    pub(crate) fn inner_ptr(&self) -> *mut Inner {
+        self.inner()
+    }
+}
+
+/// The C-ABI entry every flow starts in: consumes the boxed closure and
+/// runs it, catching panics so a failing thread cannot unwind into the
+/// hand-crafted bootstrap frame.
+extern "C" fn thread_main(arg: usize) {
+    // SAFETY: `arg` is the Box::into_raw of spawn's double-boxed closure,
+    // consumed exactly once (entry_raw was take()n before first resume).
+    let entry = unsafe { Box::from_raw(arg as *mut Box<dyn FnOnce()>) };
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(*entry));
+    if result.is_err() {
+        with_current_tcb(|tcb| tcb.panicked = true);
+    }
+    // Returning lands in the exit trampoline → thread_exit_hook.
+}
+
+fn with_current_tcb<R>(f: impl FnOnce(&mut Tcb) -> R) -> Option<R> {
+    let sched = CURRENT_SCHED.with(|c| c.get());
+    if sched.is_null() {
+        return None;
+    }
+    // SAFETY: called from inside a running thread; the scheduler side
+    // holds no references (see module docs).
+    unsafe {
+        let inner = (*sched).inner_ptr();
+        let tid = (*inner).current?;
+        let tcb = (*inner).threads.get_mut(&tid)?;
+        Some(f(tcb))
+    }
+}
+
+/// Exit hook installed per OS thread: marks the current thread Done and
+/// switches back to the scheduler, never to return.
+fn thread_exit_hook() -> ! {
+    let sched = CURRENT_SCHED.with(|c| c.get());
+    assert!(!sched.is_null(), "thread exited outside a scheduler");
+    // SAFETY: we are on the thread's stack; the scheduler context is valid
+    // (it is suspended in resume()).
+    unsafe {
+        let inner = (*sched).inner_ptr();
+        let tid = (*inner).current.expect("exit hook with no current thread");
+        let tcb: *mut Tcb = &mut **(*inner).threads.get_mut(&tid).expect("current tcb");
+        (*tcb).state = ThreadState::Done;
+        let mut scratch = Context::new((*tcb).ctx.kind());
+        Context::swap_raw(&raw mut scratch, &raw const (*inner).sched_ctx);
+    }
+    unreachable!("a finished thread was resumed");
+}
+
+fn current_sched() -> *const Scheduler {
+    let s = CURRENT_SCHED.with(|c| c.get());
+    assert!(
+        !s.is_null(),
+        "this operation must be called from inside a flows-core thread"
+    );
+    s
+}
+
+/// Put the calling thread at the back of the run queue and run someone
+/// else. No-op when called outside a thread.
+pub fn yield_now() {
+    let sched = CURRENT_SCHED.with(|c| c.get());
+    if sched.is_null() {
+        return;
+    }
+    // SAFETY: module-level aliasing discipline.
+    unsafe {
+        let inner = (*sched).inner_ptr();
+        let Some(tid) = (*inner).current else { return };
+        let tcb: *mut Tcb = &mut **(*inner).threads.get_mut(&tid).expect("current tcb");
+        (*tcb).state = ThreadState::Ready;
+        let prio = (*tcb).priority;
+        (*inner).runq.push(tid, prio);
+        Context::swap_raw(&raw mut (*tcb).ctx, &raw const (*inner).sched_ctx);
+    }
+}
+
+/// Suspend the calling thread until [`awaken`]/[`Scheduler::awaken_tid`].
+pub fn suspend() {
+    let sched = current_sched();
+    // SAFETY: module-level aliasing discipline.
+    unsafe {
+        let inner = (*sched).inner_ptr();
+        let tid = (*inner)
+            .current
+            .expect("suspend() called outside a thread");
+        let tcb: *mut Tcb = &mut **(*inner).threads.get_mut(&tid).expect("current tcb");
+        (*tcb).state = ThreadState::Suspended;
+        Context::swap_raw(&raw mut (*tcb).ctx, &raw const (*inner).sched_ctx);
+    }
+}
+
+/// The calling thread's id, if inside one.
+pub fn current() -> Option<ThreadId> {
+    let sched = CURRENT_SCHED.with(|c| c.get());
+    if sched.is_null() {
+        return None;
+    }
+    // SAFETY: plain read.
+    unsafe { (*(*sched).inner_ptr()).current }
+}
+
+/// Awaken a suspended thread *of the same PE* from inside another thread
+/// (or handler running on the PE).
+pub fn awaken(tid: ThreadId) -> SysResult<()> {
+    let sched = current_sched();
+    // SAFETY: same-OS-thread access.
+    unsafe { (*sched).awaken_tid_raw(tid) }
+}
+
+impl Scheduler {
+    /// Internal awaken usable while a thread is running (from `awaken`).
+    ///
+    /// # Safety
+    /// Must be called on the scheduler's OS thread.
+    unsafe fn awaken_tid_raw(&self, tid: ThreadId) -> SysResult<()> {
+        // SAFETY: forwarded; uses raw access like awaken_tid but without
+        // constructing &mut Inner that would overlap thread-side access.
+        unsafe {
+            let inner = self.inner();
+            match (*inner).threads.get_mut(&tid) {
+                Some(tcb) if tcb.state == ThreadState::Suspended => {
+                    tcb.state = ThreadState::Ready;
+                    let prio = tcb.priority;
+                    (*inner).runq.push(tid, prio);
+                    Ok(())
+                }
+                Some(tcb) => Err(SysError::logic(
+                    "awaken",
+                    format!("{tid} is {:?}, not Suspended", tcb.state),
+                )),
+                None => Err(SysError::logic("awaken", format!("{tid} is not here"))),
+            }
+        }
+    }
+}
+
+/// The calling thread's accumulated on-CPU time in nanoseconds (excludes
+/// the burst currently executing). `None` outside a thread.
+pub fn current_load_ns() -> Option<u64> {
+    with_current_tcb(|tcb| tcb.load_ns)
+}
+
+/// Change the calling thread's scheduling priority (takes effect at its
+/// next yield). `None` outside a thread.
+pub fn set_priority(priority: i32) -> Option<()> {
+    with_current_tcb(|tcb| {
+        tcb.priority = priority;
+    })
+}
+
+/// Allocate from the calling thread's migratable (isomalloc) heap — the
+/// paper's "override malloc inside the threading context" hook (§3.4.2).
+/// Returns `None` outside a thread or for non-isomalloc flavors.
+pub fn iso_malloc(size: usize) -> Option<*mut u8> {
+    with_current_tcb(|tcb| match &mut tcb.flavor {
+        FlavorData::Iso { slab } => slab.malloc(size).ok(),
+        _ => None,
+    })
+    .flatten()
+}
+
+/// Free a pointer from [`iso_malloc`]. Returns whether the free succeeded.
+pub fn iso_free(ptr: *mut u8) -> bool {
+    with_current_tcb(|tcb| match &mut tcb.flavor {
+        FlavorData::Iso { slab } => slab.free(ptr).is_ok(),
+        _ => false,
+    })
+    .unwrap_or(false)
+}

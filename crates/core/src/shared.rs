@@ -1,0 +1,84 @@
+//! Process-wide memory pools shared by every PE's scheduler.
+//!
+//! Isomalloc slots are carved per-PE from one region; the stack-copy and
+//! memory-alias schemes share one *common address* each, so (as the paper
+//! notes for both, §3.4.1/§3.4.3) only one such thread may be running per
+//! address space — enforced here with process-wide locks that a scheduler
+//! holds exactly while such a thread is on the CPU.
+
+use flows_mem::{AliasStackPool, CopyStackPool, IsoConfig, IsoRegion};
+use flows_sys::SysResult;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Default committed stack bytes for migratable threads (64 KiB).
+pub const DEFAULT_STACK_LEN: usize = 64 * 1024;
+
+/// Default common-region / frame length for copy and alias stacks.
+pub const DEFAULT_COMMON_LEN: usize = 1 << 20;
+
+/// The process-wide ("machine-wide" in the simulated machine) memory
+/// substrate: the isomalloc region plus the single copy-stack region and
+/// alias-stack window.
+pub struct SharedPools {
+    region: Arc<IsoRegion>,
+    alias: Mutex<AliasStackPool>,
+    copy: Mutex<CopyStackPool>,
+}
+
+impl std::fmt::Debug for SharedPools {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedPools")
+            .field("region", &self.region)
+            .finish()
+    }
+}
+
+impl SharedPools {
+    /// Build pools for a machine of `num_pes` PEs with the given isomalloc
+    /// layout and common-region length.
+    pub fn new(iso: IsoConfig, common_len: usize) -> SysResult<Arc<SharedPools>> {
+        Ok(Arc::new(SharedPools {
+            region: IsoRegion::new(iso)?,
+            alias: Mutex::new(AliasStackPool::new(common_len, 4)?),
+            copy: Mutex::new(CopyStackPool::new(common_len)?),
+        }))
+    }
+
+    /// Pools for a small test machine (2 PEs, kernel-chosen region base so
+    /// parallel test binaries never collide).
+    pub fn new_for_tests() -> Arc<SharedPools> {
+        let mut cfg = IsoConfig::for_pes(2);
+        cfg.base = 0; // anywhere
+        cfg.slots_per_pe = 64;
+        Self::new(cfg, 256 * 1024).expect("test pools")
+    }
+
+    /// The machine-wide isomalloc region.
+    pub fn region(&self) -> &Arc<IsoRegion> {
+        &self.region
+    }
+
+    /// The memory-alias pool (process-wide lock).
+    pub fn alias(&self) -> &Mutex<AliasStackPool> {
+        &self.alias
+    }
+
+    /// The stack-copy pool (process-wide lock).
+    pub fn copy(&self) -> &Mutex<CopyStackPool> {
+        &self.copy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_construct_and_expose_parts() {
+        let p = SharedPools::new_for_tests();
+        assert_eq!(p.region().cfg().num_pes, 2);
+        assert!(p.alias().lock().frame_len() > 0);
+        assert!(p.copy().lock().len() > 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Thread control blocks and stack flavors.
+
+use flows_arch::Context;
+use flows_mem::{CopyStack, FrameId, ThreadSlab};
+
+/// Machine-wide unique identifier of a user-level thread. Survives
+/// migration (allocated from one process-wide counter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ThreadId(pub u64);
+
+impl std::fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl flows_pup::Pup for ThreadId {
+    fn pup(&mut self, p: &mut flows_pup::Puper) {
+        self.0.pup(p);
+    }
+}
+
+/// Lifecycle state of a thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadState {
+    /// In the run queue, waiting for the CPU.
+    Ready,
+    /// On the CPU right now.
+    Running,
+    /// Off the run queue, waiting for an [`crate::awaken`].
+    Suspended,
+    /// Entry function returned (or panicked); resources reclaimed.
+    Done,
+}
+
+/// Which stack management scheme a thread uses (paper §3.4; see crate
+/// docs for the trade-offs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StackFlavor {
+    /// Heap-allocated private stack; fastest switch; **not** migratable.
+    Standard,
+    /// One common stack address; data copied in/out each switch (§3.4.1).
+    StackCopy,
+    /// Globally unique slot with stack + heap; migration = byte copy
+    /// (§3.4.2).
+    Isomalloc,
+    /// Per-thread physical frames remapped over a common address each
+    /// switch (§3.4.3).
+    Alias,
+}
+
+impl StackFlavor {
+    /// All flavors, for sweeps.
+    pub const ALL: [StackFlavor; 4] = [
+        StackFlavor::Standard,
+        StackFlavor::StackCopy,
+        StackFlavor::Isomalloc,
+        StackFlavor::Alias,
+    ];
+
+    /// Short stable name for benchmark tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            StackFlavor::Standard => "standard",
+            StackFlavor::StackCopy => "stack-copy",
+            StackFlavor::Isomalloc => "isomalloc",
+            StackFlavor::Alias => "memory-alias",
+        }
+    }
+
+    /// Can threads of this flavor migrate between PEs?
+    pub fn migratable(self) -> bool {
+        !matches!(self, StackFlavor::Standard)
+    }
+}
+
+/// Per-flavor owned memory resources.
+#[derive(Debug)]
+pub(crate) enum FlavorData {
+    Standard { stack: Vec<u8> },
+    Iso { slab: ThreadSlab },
+    Alias { frame: FrameId },
+    Copy { image: CopyStack },
+}
+
+impl FlavorData {
+    pub(crate) fn flavor(&self) -> StackFlavor {
+        match self {
+            FlavorData::Standard { .. } => StackFlavor::Standard,
+            FlavorData::Iso { .. } => StackFlavor::Isomalloc,
+            FlavorData::Alias { .. } => StackFlavor::Alias,
+            FlavorData::Copy { .. } => StackFlavor::StackCopy,
+        }
+    }
+}
+
+/// The control block: everything the scheduler knows about one thread.
+pub(crate) struct Tcb {
+    pub id: ThreadId,
+    pub ctx: Context,
+    pub state: ThreadState,
+    pub flavor: FlavorData,
+    /// Raw `Box<Box<dyn FnOnce()>>` passed to the entry trampoline at
+    /// first resume; consumed there. Present only before the thread starts.
+    pub entry_raw: Option<usize>,
+    pub started: bool,
+    /// Private globals block (swap-global privatization), if the scheduler
+    /// has a `GlobalsLayout`.
+    pub globals: Option<Vec<u8>>,
+    /// Accumulated on-CPU wall time (nanoseconds) — the load-balancer's
+    /// measurement input.
+    pub load_ns: u64,
+    pub panicked: bool,
+    /// Scheduling priority: lower runs first (Charm++ convention).
+    pub priority: i32,
+}
+
+impl std::fmt::Debug for Tcb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tcb")
+            .field("id", &self.id)
+            .field("state", &self.state)
+            .field("flavor", &self.flavor.flavor())
+            .field("started", &self.started)
+            .field("load_ns", &self.load_ns)
+            .finish()
+    }
+}
+
+impl Drop for Tcb {
+    fn drop(&mut self) {
+        // Reclaim a never-started entry closure.
+        if let Some(raw) = self.entry_raw.take() {
+            // SAFETY: `raw` came from Box::into_raw in spawn and was not
+            // consumed (the thread never started).
+            drop(unsafe { Box::from_raw(raw as *mut Box<dyn FnOnce()>) });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flavor_names_and_migratability() {
+        assert!(!StackFlavor::Standard.migratable());
+        for f in [StackFlavor::StackCopy, StackFlavor::Isomalloc, StackFlavor::Alias] {
+            assert!(f.migratable());
+        }
+        let names: std::collections::HashSet<_> =
+            StackFlavor::ALL.iter().map(|f| f.name()).collect();
+        assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    fn thread_id_pups() {
+        let mut id = ThreadId(42);
+        let bytes = flows_pup::to_bytes(&mut id);
+        let back: ThreadId = flows_pup::from_bytes(&bytes).unwrap();
+        assert_eq!(back, id);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests on the scheduler and migration: random flavor mixes,
+//! random yield/suspend patterns and random migration points must never
+//! lose work or corrupt results.
+
+use flows_core::{
+    migrate::migrate, suspend, yield_now, SchedConfig, Scheduler, SharedPools, StackFlavor,
+    ThreadState,
+};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn flavor_of(i: u8) -> StackFlavor {
+    StackFlavor::ALL[(i % 4) as usize]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// N threads of random flavors each do a random number of yields and
+    /// then report; every thread completes exactly once and the scheduler
+    /// ends empty.
+    #[test]
+    fn random_flavor_mix_always_completes(
+        specs in proptest::collection::vec((any::<u8>(), 1usize..12), 1..20)
+    ) {
+        let s = Scheduler::new(0, SharedPools::new_for_tests(), SchedConfig::default());
+        let done: Rc<RefCell<Vec<usize>>> = Rc::new(RefCell::new(Vec::new()));
+        for (i, (fl, yields)) in specs.iter().enumerate() {
+            let done = done.clone();
+            let yields = *yields;
+            s.spawn(flavor_of(*fl), move || {
+                for _ in 0..yields {
+                    yield_now();
+                }
+                done.borrow_mut().push(i);
+            }).unwrap();
+        }
+        s.run();
+        let mut d = done.borrow().clone();
+        d.sort();
+        prop_assert_eq!(d, (0..specs.len()).collect::<Vec<_>>());
+        prop_assert_eq!(s.thread_count(), 0);
+        prop_assert_eq!(s.stats().completed, specs.len() as u64);
+    }
+
+    /// Threads suspend at random points; migrating a random subset to a
+    /// second PE and finishing there must preserve every accumulator.
+    #[test]
+    fn random_migrations_preserve_results(
+        specs in proptest::collection::vec((0u8..3, 1u64..50, any::<bool>()), 1..12)
+    ) {
+        let shared = SharedPools::new_for_tests();
+        let pe0 = Scheduler::new(0, shared.clone(), SchedConfig::default());
+        let pe1 = Scheduler::new(1, shared, SchedConfig::default());
+        let results: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+        let migratable = [StackFlavor::StackCopy, StackFlavor::Isomalloc, StackFlavor::Alias];
+        let mut tids = Vec::new();
+        for &(fl, work, _) in &specs {
+            let results = results.clone();
+            let tid = pe0.spawn(migratable[(fl % 3) as usize], move || {
+                let mut acc: u64 = (0..work).sum();
+                suspend(); // migration may happen here
+                acc += (work..2 * work).sum::<u64>();
+                results.borrow_mut().push(acc);
+            }).unwrap();
+            tids.push(tid);
+        }
+        pe0.run(); // all suspended
+        for (tid, &(_, _, move_it)) in tids.iter().zip(&specs) {
+            prop_assert_eq!(pe0.state(*tid), Some(ThreadState::Suspended));
+            if move_it {
+                migrate(&pe0, &pe1, *tid).unwrap();
+                pe1.awaken_tid(*tid).unwrap();
+            } else {
+                pe0.awaken_tid(*tid).unwrap();
+            }
+        }
+        pe0.run();
+        pe1.run();
+        let mut got = results.borrow().clone();
+        got.sort_unstable();
+        let mut expect: Vec<u64> = specs.iter().map(|&(_, w, _)| (0..2 * w).sum()).collect();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+        prop_assert_eq!(pe0.thread_count() + pe1.thread_count(), 0);
+    }
+
+    /// Priorities: whatever the spawn order, strictly higher-priority
+    /// (lower-valued) non-yielding threads finish in priority order.
+    #[test]
+    fn priority_order_is_respected(prios in proptest::collection::vec(-20i32..20, 2..15)) {
+        let s = Scheduler::new(0, SharedPools::new_for_tests(), SchedConfig::default());
+        let order: Rc<RefCell<Vec<i32>>> = Rc::new(RefCell::new(Vec::new()));
+        for &p in &prios {
+            let order = order.clone();
+            s.spawn_prio(StackFlavor::Standard, 32 * 1024, p, move || {
+                order.borrow_mut().push(p);
+            }).unwrap();
+        }
+        s.run();
+        let got = order.borrow().clone();
+        let mut expect = prios.clone();
+        expect.sort(); // stable: equal priorities keep spawn order
+        prop_assert_eq!(got, expect);
+    }
+}

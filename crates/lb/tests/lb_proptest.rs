@@ -1,0 +1,78 @@
+//! Properties every strategy must satisfy, checked on random load
+//! snapshots.
+
+use flows_lb::{GreedyLb, LbStats, LbStrategy, NullLb, ObjLoad, RefineLb, RotateLb};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn arb_stats() -> impl Strategy<Value = LbStats> {
+    (2usize..9, proptest::collection::vec((0.01f64..100.0, any::<bool>()), 0..40)).prop_map(
+        |(num_pes, loads)| LbStats {
+            num_pes,
+            objs: loads
+                .into_iter()
+                .enumerate()
+                .map(|(i, (load, migratable))| ObjLoad {
+                    id: i as u64,
+                    pe: i % num_pes,
+                    load,
+                    migratable,
+                })
+                .collect(),
+            background: Vec::new(),
+        },
+    )
+}
+
+fn check_validity(stats: &LbStats, strat: &dyn LbStrategy) -> Result<(), TestCaseError> {
+    let migs = strat.decide(stats);
+    let mut seen = HashSet::new();
+    for m in &migs {
+        let obj = stats
+            .objs
+            .iter()
+            .find(|o| o.id == m.obj)
+            .ok_or_else(|| TestCaseError::fail(format!("{}: unknown obj {}", strat.name(), m.obj)))?;
+        prop_assert!(obj.migratable, "{}: moved pinned obj", strat.name());
+        prop_assert_eq!(m.from, obj.pe, "{}: wrong source", strat.name());
+        prop_assert!(m.to < stats.num_pes, "{}: bad destination", strat.name());
+        prop_assert!(m.from != m.to, "{}: self-migration", strat.name());
+        prop_assert!(seen.insert(m.obj), "{}: duplicate decision", strat.name());
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn all_strategies_emit_valid_decisions(stats in arb_stats()) {
+        check_validity(&stats, &NullLb)?;
+        check_validity(&stats, &GreedyLb)?;
+        check_validity(&stats, &RefineLb::default())?;
+        check_validity(&stats, &RotateLb)?;
+    }
+
+    #[test]
+    fn greedy_meets_the_lpt_makespan_bound(
+        mut stats in arb_stats(),
+    ) {
+        for o in &mut stats.objs {
+            o.migratable = true;
+        }
+        prop_assume!(!stats.objs.is_empty());
+        // Classic greedy guarantee: makespan <= average + largest job.
+        let total: f64 = stats.objs.iter().map(|o| o.load).sum();
+        let avg = total / stats.num_pes as f64;
+        let biggest = stats.objs.iter().map(|o| o.load).fold(0.0, f64::max);
+        let after_loads = stats.loads_after(&GreedyLb.decide(&stats));
+        let after: f64 = after_loads.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(after <= avg + biggest + 1e-9, "max {after} vs bound {}", avg + biggest);
+    }
+
+    #[test]
+    fn refine_never_worsens_max(stats in arb_stats()) {
+        let before: f64 = stats.pe_loads().iter().cloned().fold(0.0, f64::max);
+        let after_loads = stats.loads_after(&RefineLb::default().decide(&stats));
+        let after: f64 = after_loads.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(after <= before + 1e-9, "max {before} -> {after}");
+    }
+}

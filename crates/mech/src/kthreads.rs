@@ -1,0 +1,110 @@
+//! Kernel-thread flows of control (paper §2.2), via `std::thread`
+//! (pthreads on Linux).
+
+use crate::procs::YieldBench;
+use flows_sys::error::{SysError, SysResult};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Hard ceiling on kernel-thread flows the benchmark will create.
+pub const MAX_KTHREAD_FLOWS: usize = 8192;
+
+/// Run the kernel-thread yield benchmark: `flows` OS threads spin on
+/// `sched_yield()` for `duration_ms`, counting yields.
+pub fn yield_benchmark(flows: usize, duration_ms: u64) -> SysResult<YieldBench> {
+    if flows == 0 || flows > MAX_KTHREAD_FLOWS {
+        return Err(SysError::logic(
+            "kthread_bench",
+            format!("flows must be 1..={MAX_KTHREAD_FLOWS}"),
+        ));
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let total = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::with_capacity(flows);
+    for i in 0..flows {
+        let t_stop = stop.clone();
+        let t_total = total.clone();
+        let h = std::thread::Builder::new()
+            .name(format!("flows-kt-{i}"))
+            .stack_size(64 * 1024)
+            .spawn(move || {
+                let mut local = 0u64;
+                while !t_stop.load(Ordering::Relaxed) {
+                    flows_sys::os::sched_yield();
+                    local += 1;
+                }
+                t_total.fetch_add(local, Ordering::Relaxed);
+            });
+        match h {
+            Ok(h) => handles.push(h),
+            Err(e) => {
+                stop.store(true, Ordering::SeqCst);
+                for h in handles {
+                    let _ = h.join();
+                }
+                return Err(SysError::logic(
+                    "kthread_spawn",
+                    format!("at flow {i}: {e}"),
+                ));
+            }
+        }
+    }
+    let t0 = std::time::Instant::now();
+    std::thread::sleep(std::time::Duration::from_millis(duration_ms));
+    stop.store(true, Ordering::SeqCst);
+    for h in handles {
+        let _ = h.join();
+    }
+    let elapsed_ns = t0.elapsed().as_nanos() as u64;
+    Ok(YieldBench {
+        flows,
+        total_yields: total.load(Ordering::SeqCst),
+        elapsed_ns,
+    })
+}
+
+/// Time `n` spawn-and-join cycles; returns nanoseconds per create+join.
+/// (Table 2 discusses creation cost alongside the hard limits.)
+pub fn creation_cost_ns(n: usize) -> SysResult<f64> {
+    if n == 0 {
+        return Err(SysError::logic("kthread_create", "n must be positive".into()));
+    }
+    let t0 = std::time::Instant::now();
+    for _ in 0..n {
+        std::thread::Builder::new()
+            .stack_size(64 * 1024)
+            .spawn(|| {})
+            .map_err(|e| SysError::logic("kthread_spawn", e.to_string()))?
+            .join()
+            .map_err(|_| SysError::logic("kthread_join", "thread panicked".into()))?;
+    }
+    Ok(t0.elapsed().as_nanos() as f64 / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_enforced() {
+        assert!(yield_benchmark(0, 10).is_err());
+        assert!(yield_benchmark(MAX_KTHREAD_FLOWS + 1, 10).is_err());
+        assert!(creation_cost_ns(0).is_err());
+    }
+
+    #[test]
+    fn small_thread_storm_yields() {
+        let b = yield_benchmark(4, 60).unwrap();
+        assert_eq!(b.flows, 4);
+        assert!(b.total_yields > 0);
+        assert!(b.ns_per_switch().is_finite());
+    }
+
+    #[test]
+    fn creation_cost_is_positive() {
+        let ns = creation_cost_ns(10).unwrap();
+        assert!(ns > 0.0);
+        // Creating a kernel thread costs at least a microsecond anywhere.
+        assert!(ns > 1_000.0, "implausibly fast kernel thread creation: {ns}");
+    }
+}

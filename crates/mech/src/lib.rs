@@ -1,0 +1,22 @@
+//! # flows-mech — OS-level flow-of-control mechanisms
+//!
+//! The paper's §2 compares four mechanisms for multiple flows of control.
+//! Two of them — processes (§2.1) and kernel threads (§2.2) — belong to
+//! the operating system, not to our runtime; this crate wraps them behind
+//! a small common interface so the §4.1 context-switch benchmark
+//! (Figures 4–8) and the Table 2 limit probe can treat all four uniformly.
+//!
+//! * [`procs`] — `fork()`-based flows yielding with `sched_yield()`;
+//! * [`kthreads`] — POSIX-thread (std::thread) flows yielding with
+//!   `sched_yield()`;
+//! * [`limits`] — bounded, non-destructive probing of "how many flows can
+//!   this system actually create" (Table 2), with explicit caps so the
+//!   probe can never take the host down.
+
+#![warn(missing_docs)]
+
+pub mod kthreads;
+pub mod limits;
+pub mod procs;
+
+pub use limits::{probe_kernel_threads, probe_user_threads, LimitReport};

@@ -1,0 +1,141 @@
+//! Bounded "how many flows can we create?" probes — the paper's Table 2.
+//!
+//! The paper reports e.g. "250 pthreads on stock Linux", "90000+ user
+//! threads". A naive probe would exhaust the machine, so every probe here
+//! takes a hard cap and reports `created == cap` as "cap+", mirroring the
+//! paper's "90000+" notation.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Outcome of one mechanism's probe.
+#[derive(Debug, Clone)]
+pub struct LimitReport {
+    /// Mechanism name ("process", "kernel-thread", "user-thread").
+    pub mechanism: &'static str,
+    /// Flows actually created before failure or cap.
+    pub created: usize,
+    /// The cap the probe was run with.
+    pub cap: usize,
+    /// True when the probe stopped at the cap rather than at a failure.
+    pub hit_cap: bool,
+    /// The relevant configured limit (rlimit / kernel tunable), if known.
+    pub configured_limit: Option<u64>,
+    /// The creation error that ended the probe, if any.
+    pub error: Option<String>,
+}
+
+impl LimitReport {
+    /// A probe that failed before creating anything useful.
+    pub fn errored(mechanism: &'static str, cap: usize, msg: &str) -> LimitReport {
+        LimitReport {
+            mechanism,
+            created: 0,
+            cap,
+            hit_cap: false,
+            configured_limit: None,
+            error: Some(msg.to_string()),
+        }
+    }
+
+    /// Table-2-style summary: `"8192+"` when capped, `"1234"` when a real
+    /// limit was hit.
+    pub fn summary(&self) -> String {
+        if self.hit_cap {
+            format!("{}+", self.created)
+        } else {
+            format!("{}", self.created)
+        }
+    }
+}
+
+/// Probe kernel threads: spawn blocked threads until creation fails or
+/// `cap` is reached, then release and join them all.
+pub fn probe_kernel_threads(cap: usize) -> LimitReport {
+    let cap = cap.clamp(1, 65_536);
+    let release = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    let mut error = None;
+    for _ in 0..cap {
+        let release = release.clone();
+        match std::thread::Builder::new()
+            .stack_size(16 * 1024)
+            .spawn(move || {
+                while !release.load(Ordering::Relaxed) {
+                    std::thread::park_timeout(std::time::Duration::from_millis(50));
+                }
+            }) {
+            Ok(h) => handles.push(h),
+            Err(e) => {
+                error = Some(e.to_string());
+                break;
+            }
+        }
+    }
+    let created = handles.len();
+    release.store(true, Ordering::SeqCst);
+    for h in handles {
+        h.thread().unpark();
+        let _ = h.join();
+    }
+    LimitReport {
+        mechanism: "kernel-thread",
+        created,
+        cap,
+        hit_cap: created == cap,
+        configured_limit: flows_sys::os::kernel_threads_max(),
+        error,
+    }
+}
+
+/// Probe an arbitrary user-level mechanism: `spawn(i)` must create flow
+/// `i` and return whether it succeeded. The caller owns cleanup.
+pub fn probe_user_threads(cap: usize, mut spawn: impl FnMut(usize) -> bool) -> LimitReport {
+    let cap = cap.max(1);
+    let mut created = 0;
+    let mut error = None;
+    for i in 0..cap {
+        if spawn(i) {
+            created += 1;
+        } else {
+            error = Some(format!("creation failed at flow {i}"));
+            break;
+        }
+    }
+    LimitReport {
+        mechanism: "user-thread",
+        created,
+        cap,
+        hit_cap: created == cap,
+        configured_limit: None,
+        error,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_thread_probe_small_cap() {
+        let r = probe_kernel_threads(16);
+        assert_eq!(r.created, 16);
+        assert!(r.hit_cap);
+        assert_eq!(r.summary(), "16+");
+    }
+
+    #[test]
+    fn user_probe_counts_until_failure() {
+        let r = probe_user_threads(100, |i| i < 37);
+        assert_eq!(r.created, 37);
+        assert!(!r.hit_cap);
+        assert_eq!(r.summary(), "37");
+        assert!(r.error.is_some());
+    }
+
+    #[test]
+    fn user_probe_hits_cap() {
+        let r = probe_user_threads(10, |_| true);
+        assert_eq!(r.summary(), "10+");
+    }
+}

@@ -1,0 +1,218 @@
+//! Process-based flows of control (paper §2.1).
+//!
+//! Reproduces the §4.1 measurement methodology: N processes are forked,
+//! each spins on `sched_yield()` while counting its yields into a shared
+//! page; after a fixed wall-time the parent stops them and computes the
+//! per-flow per-switch time. (The paper notes this benchmark is imperfect
+//! because some kernels ignore repeated `sched_yield()`; we inherit that
+//! honestly.)
+
+use flows_sys::error::{SysError, SysResult};
+use flows_sys::page::page_align_up;
+
+/// Result of a yield-storm benchmark over any mechanism.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct YieldBench {
+    /// Number of concurrent flows.
+    pub flows: usize,
+    /// Total `sched_yield` calls observed across all flows.
+    pub total_yields: u64,
+    /// Wall time of the measurement window in nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+impl YieldBench {
+    /// Nanoseconds per context switch per flow: the figure the paper's
+    /// y-axes report. With `n` flows sharing a processor, `total_yields`
+    /// voluntary switches happened in `elapsed_ns`, so one switch costs
+    /// `elapsed / total` — independent of `n` for a fair scheduler.
+    pub fn ns_per_switch(&self) -> f64 {
+        if self.total_yields == 0 {
+            f64::INFINITY
+        } else {
+            self.elapsed_ns as f64 / self.total_yields as f64
+        }
+    }
+}
+
+/// Hard ceiling on process flows the benchmark will create.
+pub const MAX_PROCESS_FLOWS: usize = 4096;
+
+/// Run the process yield benchmark: fork `flows` children, let them spin
+/// on `sched_yield` for `duration_ms`, and collect counts through a shared
+/// anonymous mapping.
+pub fn yield_benchmark(flows: usize, duration_ms: u64) -> SysResult<YieldBench> {
+    use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+    if flows == 0 || flows > MAX_PROCESS_FLOWS {
+        return Err(SysError::logic(
+            "proc_bench",
+            format!("flows must be 1..={MAX_PROCESS_FLOWS}"),
+        ));
+    }
+    let bytes = page_align_up(16 + 8 * flows);
+    // SAFETY: fresh anonymous shared mapping, used only through atomics.
+    let shared = unsafe {
+        libc::mmap(
+            std::ptr::null_mut(),
+            bytes,
+            libc::PROT_READ | libc::PROT_WRITE,
+            libc::MAP_SHARED | libc::MAP_ANONYMOUS,
+            -1,
+            0,
+        )
+    };
+    if shared == libc::MAP_FAILED {
+        return Err(SysError::last("mmap"));
+    }
+    let stop = shared as *const AtomicU32;
+    // SAFETY: in-bounds pointer arithmetic inside the mapping.
+    let counter = |i: usize| unsafe { &*(shared.cast::<u8>().add(16 + 8 * i) as *const AtomicU64) };
+
+    let mut pids = Vec::with_capacity(flows);
+    for i in 0..flows {
+        // SAFETY: fork; the child only calls async-signal-safe functions
+        // (sched_yield, atomic ops on shared memory, _exit).
+        let pid = unsafe { libc::fork() };
+        match pid {
+            -1 => {
+                // Couldn't create them all: stop the ones we have.
+                // SAFETY: valid mapping; releasing children.
+                unsafe { (*stop).store(1, Ordering::SeqCst) };
+                reap(&pids);
+                // SAFETY: unmapping our own mapping.
+                unsafe { libc::munmap(shared, bytes) };
+                return Err(SysError::last_with("fork", format!("at flow {i}")));
+            }
+            0 => {
+                // Child: spin until told to stop.
+                let c = counter(i);
+                // SAFETY: shared mapping is inherited and valid.
+                let stop_ref = unsafe { &*stop };
+                while stop_ref.load(Ordering::Relaxed) == 0 {
+                    flows_sys::os::sched_yield();
+                    c.fetch_add(1, Ordering::Relaxed);
+                }
+                // SAFETY: terminating the child without running Rust
+                // destructors that might touch parent state.
+                unsafe { libc::_exit(0) };
+            }
+            child => pids.push(child),
+        }
+    }
+
+    let t0 = std::time::Instant::now();
+    std::thread::sleep(std::time::Duration::from_millis(duration_ms));
+    // SAFETY: valid mapping.
+    unsafe { (*stop).store(1, Ordering::SeqCst) };
+    let elapsed_ns = t0.elapsed().as_nanos() as u64;
+    reap(&pids);
+
+    let mut total = 0u64;
+    for i in 0..flows {
+        total += counter(i).load(Ordering::SeqCst);
+    }
+    // SAFETY: unmapping our own mapping.
+    unsafe { libc::munmap(shared, bytes) };
+    Ok(YieldBench {
+        flows,
+        total_yields: total,
+        elapsed_ns,
+    })
+}
+
+fn reap(pids: &[libc::pid_t]) {
+    for &pid in pids {
+        let mut status = 0;
+        // SAFETY: waiting on our own children.
+        unsafe { libc::waitpid(pid, &mut status, 0) };
+    }
+}
+
+/// Bounded probe of how many processes this user can actually create
+/// (Table 2's "Process" row). Children block on a pipe read and exit when
+/// the parent closes it; never more than `cap` are alive.
+pub fn probe_processes(cap: usize) -> crate::limits::LimitReport {
+    let cap = cap.clamp(1, MAX_PROCESS_FLOWS);
+    let mut fds = [0i32; 2];
+    // SAFETY: fresh pipe.
+    if unsafe { libc::pipe(fds.as_mut_ptr()) } != 0 {
+        return crate::limits::LimitReport::errored("process", cap, "pipe failed");
+    }
+    let (rd, wr) = (fds[0], fds[1]);
+    let mut pids = Vec::new();
+    let mut error = None;
+    for _ in 0..cap {
+        // SAFETY: child blocks on read then exits; async-signal-safe only.
+        let pid = unsafe { libc::fork() };
+        match pid {
+            -1 => {
+                error = Some(std::io::Error::last_os_error().to_string());
+                break;
+            }
+            0 => {
+                // SAFETY: child: close writer so read can return, block.
+                unsafe {
+                    libc::close(wr);
+                    let mut b = 0u8;
+                    libc::read(rd, (&mut b as *mut u8).cast(), 1);
+                    libc::_exit(0);
+                }
+            }
+            child => pids.push(child),
+        }
+    }
+    let created = pids.len();
+    // SAFETY: closing our pipe ends releases every child.
+    unsafe {
+        libc::close(wr);
+        libc::close(rd);
+    }
+    reap(&pids);
+    crate::limits::LimitReport {
+        mechanism: "process",
+        created,
+        cap,
+        hit_cap: created == cap,
+        configured_limit: flows_sys::os::nproc_limit().ok().and_then(|l| l.soft),
+        error,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_bounds_are_enforced() {
+        assert!(yield_benchmark(0, 10).is_err());
+        assert!(yield_benchmark(MAX_PROCESS_FLOWS + 1, 10).is_err());
+    }
+
+    #[test]
+    fn small_process_storm_yields() {
+        let b = yield_benchmark(2, 60).unwrap();
+        assert_eq!(b.flows, 2);
+        assert!(b.total_yields > 0, "children must have spun");
+        assert!(b.elapsed_ns >= 50_000_000);
+        assert!(b.ns_per_switch().is_finite());
+    }
+
+    #[test]
+    fn probe_small_cap_hits_cap() {
+        let r = probe_processes(8);
+        assert_eq!(r.created, 8);
+        assert!(r.hit_cap);
+        assert!(r.error.is_none());
+        assert!(r.summary().contains("8+"));
+    }
+
+    #[test]
+    fn zero_yield_bench_reports_infinity() {
+        let b = YieldBench {
+            flows: 1,
+            total_yields: 0,
+            elapsed_ns: 1,
+        };
+        assert!(b.ns_per_switch().is_infinite());
+    }
+}

@@ -1,0 +1,291 @@
+//! Memory-aliasing stacks (paper §3.4.3, Figure 3).
+//!
+//! Every thread's stack lives in its own physical *frame* — a page-aligned
+//! extent of one `memfd` object — and all threads execute from a single
+//! common virtual address range (the *window*). Switching to thread *i*
+//! does **not** copy any stack data: it remaps the window onto frame *i*
+//! with one `mmap(MAP_FIXED)` call. Virtual-address cost is one stack, no
+//! matter how many threads exist, which is why the paper proposes this
+//! scheme for 32-bit machines where isomalloc runs out of address space.
+//!
+//! Like stack-copying threads, only one aliased thread can be *running*
+//! per address space (the window is shared); the thread package enforces
+//! that with a process-wide lock.
+
+use flows_sys::error::{SysError, SysResult};
+use flows_sys::map::Mapping;
+use flows_sys::memfd::MemFd;
+use flows_sys::page::page_size;
+
+/// Identifier of a stack frame inside the pool's `memfd`.
+pub type FrameId = usize;
+
+/// A pool of aliasable stack frames plus the common execution window.
+#[derive(Debug)]
+pub struct AliasStackPool {
+    memfd: MemFd,
+    frame_len: usize,
+    window: Mapping,
+    n_frames: usize,
+    free: Vec<FrameId>,
+    active: Option<FrameId>,
+}
+
+impl AliasStackPool {
+    /// Create a pool with frames of `frame_len` bytes (page multiple) and
+    /// capacity for `initial_frames` (grows on demand).
+    pub fn new(frame_len: usize, initial_frames: usize) -> SysResult<AliasStackPool> {
+        let pg = page_size();
+        if frame_len == 0 || frame_len % pg != 0 {
+            return Err(SysError::logic(
+                "alias_pool",
+                format!("frame_len {frame_len:#x} must be a positive page multiple"),
+            ));
+        }
+        let cap = initial_frames.max(1);
+        let memfd = MemFd::new("flows-alias-stacks", (frame_len * cap) as u64)?;
+        let window = Mapping::reserve(frame_len)?;
+        Ok(AliasStackPool {
+            memfd,
+            frame_len,
+            window,
+            n_frames: 0,
+            free: Vec::new(),
+            active: None,
+        })
+    }
+
+    /// Bytes per frame.
+    pub fn frame_len(&self) -> usize {
+        self.frame_len
+    }
+
+    /// Lowest address of the common window.
+    pub fn window_base(&self) -> usize {
+        self.window.addr()
+    }
+
+    /// One past the highest address of the common window — every aliased
+    /// thread's initial stack top.
+    pub fn window_top(&self) -> usize {
+        self.window.addr() + self.frame_len
+    }
+
+    /// The frame currently mapped into the window, if any.
+    pub fn active(&self) -> Option<FrameId> {
+        self.active
+    }
+
+    /// Number of frames ever created and not freed.
+    pub fn live_frames(&self) -> usize {
+        self.n_frames - self.free.len()
+    }
+
+    /// Allocate a (zero-filled) frame.
+    pub fn alloc_frame(&mut self) -> SysResult<FrameId> {
+        if let Some(f) = self.free.pop() {
+            // Recycled frames were hole-punched on free, so they read zero.
+            return Ok(f);
+        }
+        let f = self.n_frames;
+        let needed = ((f + 1) * self.frame_len) as u64;
+        if needed > self.memfd.len() {
+            let target = (self.memfd.len() * 2).max(needed);
+            self.memfd.grow(target)?;
+        }
+        self.n_frames += 1;
+        Ok(f)
+    }
+
+    /// Free a frame, returning its physical pages to the kernel.
+    pub fn free_frame(&mut self, f: FrameId) -> SysResult<()> {
+        self.check(f)?;
+        if self.active == Some(f) {
+            return Err(SysError::logic("alias_free", "frame is active".into()));
+        }
+        self.memfd
+            .discard((f * self.frame_len) as u64, self.frame_len as u64)?;
+        self.free.push(f);
+        Ok(())
+    }
+
+    /// The memory-aliasing context switch: map frame `f` into the window.
+    /// One `mmap` system call; no data is copied.
+    pub fn activate(&mut self, f: FrameId) -> SysResult<()> {
+        self.check(f)?;
+        self.window.alias_file(
+            0,
+            self.frame_len,
+            self.memfd.fd(),
+            (f * self.frame_len) as u64,
+        )?;
+        self.active = Some(f);
+        Ok(())
+    }
+
+    /// Unmap the window (back to `PROT_NONE` reservation). Stack contents
+    /// persist in the frame.
+    pub fn deactivate(&mut self) -> SysResult<()> {
+        self.window.unalias(0, self.frame_len)?;
+        self.active = None;
+        Ok(())
+    }
+
+    /// Read a frame's bytes without mapping it (used to pack a migrating
+    /// thread). Works whether or not the frame is active.
+    pub fn read_frame(&self, f: FrameId) -> SysResult<Vec<u8>> {
+        self.check(f)?;
+        let mut buf = vec![0u8; self.frame_len];
+        // SAFETY: pread into a buffer we own, from an fd we own.
+        let n = unsafe {
+            libc::pread(
+                self.memfd.fd(),
+                buf.as_mut_ptr().cast(),
+                self.frame_len,
+                (f * self.frame_len) as libc::off_t,
+            )
+        };
+        if n != self.frame_len as isize {
+            return Err(SysError::last("pread"));
+        }
+        Ok(buf)
+    }
+
+    /// Overwrite a frame's bytes (used to unpack a migrated-in thread).
+    pub fn write_frame(&mut self, f: FrameId, bytes: &[u8]) -> SysResult<()> {
+        self.check(f)?;
+        if bytes.len() != self.frame_len {
+            return Err(SysError::logic(
+                "alias_write",
+                format!("image is {} bytes, frame is {}", bytes.len(), self.frame_len),
+            ));
+        }
+        // SAFETY: pwrite from a buffer we borrow, to an fd we own.
+        let n = unsafe {
+            libc::pwrite(
+                self.memfd.fd(),
+                bytes.as_ptr().cast(),
+                self.frame_len,
+                (f * self.frame_len) as libc::off_t,
+            )
+        };
+        if n != self.frame_len as isize {
+            return Err(SysError::last("pwrite"));
+        }
+        Ok(())
+    }
+
+    fn check(&self, f: FrameId) -> SysResult<()> {
+        if f >= self.n_frames || self.free.contains(&f) {
+            return Err(SysError::logic(
+                "alias_frame",
+                format!("frame {f} is not live (of {})", self.n_frames),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> AliasStackPool {
+        AliasStackPool::new(64 * 1024, 2).unwrap()
+    }
+
+    #[test]
+    fn switch_preserves_per_frame_contents() {
+        let mut p = pool();
+        let a = p.alloc_frame().unwrap();
+        let b = p.alloc_frame().unwrap();
+        let top = p.window_top();
+
+        p.activate(a).unwrap();
+        // SAFETY: window is mapped read-write while active.
+        unsafe { *((top - 8) as *mut u64) = 0xAAAA };
+        p.activate(b).unwrap();
+        // SAFETY: as above.
+        unsafe {
+            assert_eq!(*((top - 8) as *const u64), 0, "fresh frame reads zero");
+            *((top - 8) as *mut u64) = 0xBBBB;
+        }
+        p.activate(a).unwrap();
+        // SAFETY: as above.
+        unsafe { assert_eq!(*((top - 8) as *const u64), 0xAAAA) };
+        p.activate(b).unwrap();
+        // SAFETY: as above.
+        unsafe { assert_eq!(*((top - 8) as *const u64), 0xBBBB) };
+    }
+
+    #[test]
+    fn pool_grows_on_demand() {
+        let mut p = AliasStackPool::new(page_size(), 1).unwrap();
+        let frames: Vec<_> = (0..20).map(|_| p.alloc_frame().unwrap()).collect();
+        assert_eq!(frames.len(), 20);
+        assert_eq!(p.live_frames(), 20);
+    }
+
+    #[test]
+    fn freed_frames_recycle_zeroed() {
+        let mut p = pool();
+        let a = p.alloc_frame().unwrap();
+        p.activate(a).unwrap();
+        let top = p.window_top();
+        // SAFETY: active window.
+        unsafe { *((top - 8) as *mut u64) = 77 };
+        p.deactivate().unwrap();
+        p.free_frame(a).unwrap();
+        let b = p.alloc_frame().unwrap();
+        assert_eq!(a, b, "frame id recycled");
+        p.activate(b).unwrap();
+        // SAFETY: active window.
+        unsafe { assert_eq!(*((top - 8) as *const u64), 0, "hole punch zeroed it") };
+    }
+
+    #[test]
+    fn cannot_free_active_or_bogus_frames() {
+        let mut p = pool();
+        let a = p.alloc_frame().unwrap();
+        p.activate(a).unwrap();
+        assert!(p.free_frame(a).is_err());
+        assert!(p.free_frame(99).is_err());
+        p.deactivate().unwrap();
+        p.free_frame(a).unwrap();
+        assert!(p.free_frame(a).is_err(), "double free rejected");
+    }
+
+    #[test]
+    fn read_write_frame_round_trip() {
+        let mut p = pool();
+        let a = p.alloc_frame().unwrap();
+        let mut img = vec![0u8; p.frame_len()];
+        for (i, b) in img.iter_mut().enumerate() {
+            *b = (i % 251) as u8;
+        }
+        p.write_frame(a, &img).unwrap();
+        assert_eq!(p.read_frame(a).unwrap(), img);
+        // The window sees what pwrite wrote (same physical pages).
+        p.activate(a).unwrap();
+        // SAFETY: active window.
+        let seen = unsafe {
+            std::slice::from_raw_parts(p.window_base() as *const u8, p.frame_len())
+        };
+        assert_eq!(seen, &img[..]);
+        // Size mismatch rejected.
+        p.deactivate().unwrap();
+        assert!(p.write_frame(a, &img[1..]).is_err());
+    }
+
+    #[test]
+    fn window_is_inaccessible_when_deactivated() {
+        let mut p = pool();
+        let a = p.alloc_frame().unwrap();
+        p.activate(a).unwrap();
+        assert_eq!(p.active(), Some(a));
+        p.deactivate().unwrap();
+        assert_eq!(p.active(), None);
+        // (Touching the window now would SIGSEGV; we assert the bookkeeping
+        // rather than install a fault handler.)
+    }
+}

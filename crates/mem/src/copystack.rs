@@ -1,0 +1,219 @@
+//! Stack-copying threads (paper §3.4.1).
+//!
+//! The oldest migratable-thread scheme: one stack address system-wide; a
+//! thread's stack *data* is memcpy'd into the common region before it runs
+//! and memcpy'd back out when it suspends. Migration is trivial (the saved
+//! bytes are position-independent only because they always execute from
+//! the same address), but every context switch pays a copy proportional to
+//! the live stack — the cost Figure 9 shows growing past usability above
+//! ~20 KB of stack data.
+
+use flows_pup::pup_fields;
+use flows_sys::error::{SysError, SysResult};
+use flows_sys::map::{Mapping, Protection};
+use flows_sys::page::page_size;
+
+/// Bytes below the suspended stack pointer saved along with the frame
+/// (x86-64 red zone with margin; see `slab::STACK_RED_ZONE`).
+pub const RED_ZONE: usize = 256;
+
+/// The single common execution region shared by all copy-stacks.
+#[derive(Debug)]
+pub struct CopyStackPool {
+    window: Mapping,
+    len: usize,
+}
+
+/// The saved stack data of one suspended copy-stack thread: the bytes from
+/// `top - saved.len()` to `top`. Being plain bytes, it migrates as-is
+/// (PUP-serializable).
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct CopyStack {
+    saved: Vec<u8>,
+}
+pup_fields!(CopyStack { saved });
+
+impl CopyStack {
+    /// A brand-new (empty) stack image.
+    pub fn new() -> CopyStack {
+        CopyStack::default()
+    }
+
+    /// Bytes currently saved.
+    pub fn saved_len(&self) -> usize {
+        self.saved.len()
+    }
+}
+
+impl CopyStackPool {
+    /// Create a pool whose common region is `len` bytes (page multiple).
+    pub fn new(len: usize) -> SysResult<CopyStackPool> {
+        let pg = page_size();
+        if len == 0 || len % pg != 0 {
+            return Err(SysError::logic(
+                "copystack_pool",
+                format!("len {len:#x} must be a positive page multiple"),
+            ));
+        }
+        let window = Mapping::reserve(len)?;
+        window.commit(0, len, Protection::ReadWrite)?;
+        Ok(CopyStackPool { window, len })
+    }
+
+    /// Lowest address of the common region.
+    pub fn base(&self) -> usize {
+        self.window.addr()
+    }
+
+    /// One past the highest address — every copy-stack thread's stack top.
+    pub fn top(&self) -> usize {
+        self.window.addr() + self.len
+    }
+
+    /// Region length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Pools are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Copy a suspended thread's bytes into the common region (the
+    /// "switch in" half of a stack-copying context switch).
+    ///
+    /// # Safety
+    /// No other copy-stack thread may be executing from this pool's region
+    /// (the thread package serializes with a lock).
+    pub unsafe fn switch_in(&self, s: &CopyStack) -> SysResult<()> {
+        if s.saved.len() > self.len {
+            return Err(SysError::logic(
+                "copystack_in",
+                format!("saved {} bytes > region {}", s.saved.len(), self.len),
+            ));
+        }
+        let dst = self.top() - s.saved.len();
+        // SAFETY: [dst, top) is inside our committed region; caller
+        // guarantees nothing is executing on it.
+        unsafe {
+            std::ptr::copy_nonoverlapping(s.saved.as_ptr(), dst as *mut u8, s.saved.len());
+        }
+        Ok(())
+    }
+
+    /// Copy the live bytes (`sp - RED_ZONE` .. top) out of the common
+    /// region into the thread's image (the "switch out" half).
+    ///
+    /// # Safety
+    /// The thread that was executing on the region must be suspended with
+    /// stack pointer `sp`.
+    pub unsafe fn switch_out(&self, s: &mut CopyStack, sp: usize) -> SysResult<()> {
+        if sp < self.base() || sp > self.top() {
+            return Err(SysError::logic(
+                "copystack_out",
+                format!("sp {sp:#x} outside region [{:#x},{:#x}]", self.base(), self.top()),
+            ));
+        }
+        let floor = sp.saturating_sub(RED_ZONE).max(self.base());
+        let used = self.top() - floor;
+        s.saved.resize(used, 0);
+        // SAFETY: [floor, top) is committed and the flow on it is suspended.
+        unsafe {
+            std::ptr::copy_nonoverlapping(floor as *const u8, s.saved.as_mut_ptr(), used);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switch_round_trip_preserves_bytes() {
+        let pool = CopyStackPool::new(64 * 1024).unwrap();
+        let top = pool.top();
+
+        // Simulate a thread that used 1 KiB of stack.
+        let sp = top - 1024;
+        // SAFETY: committed region, nothing running on it.
+        unsafe {
+            for i in 0..1024u64 / 8 {
+                *((sp + (i * 8) as usize) as *mut u64) = i * 3 + 1;
+            }
+        }
+        let mut img = CopyStack::new();
+        // SAFETY: no flow executing on the region in this test.
+        unsafe { pool.switch_out(&mut img, sp).unwrap() };
+        assert_eq!(img.saved_len(), 1024 + RED_ZONE);
+
+        // Clobber the region, then switch the image back in.
+        // SAFETY: as above.
+        unsafe {
+            std::ptr::write_bytes(pool.base() as *mut u8, 0xFF, pool.len());
+            pool.switch_in(&img).unwrap();
+            for i in 0..1024u64 / 8 {
+                assert_eq!(*((sp + (i * 8) as usize) as *const u64), i * 3 + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn two_threads_interleave_without_corruption() {
+        let pool = CopyStackPool::new(16 * 1024).unwrap();
+        let top = pool.top();
+        let mut a = CopyStack::new();
+        let mut b = CopyStack::new();
+
+        // Thread A writes a pattern, suspends.
+        let sp_a = top - 512;
+        // SAFETY: serialized access in this test.
+        unsafe {
+            *((sp_a) as *mut u64) = 0xA;
+            pool.switch_out(&mut a, sp_a).unwrap();
+            // Thread B runs with different depth and pattern.
+            let sp_b = top - 2048;
+            *((sp_b) as *mut u64) = 0xB;
+            pool.switch_out(&mut b, sp_b).unwrap();
+            // Resume A: its word must be back.
+            pool.switch_in(&a).unwrap();
+            assert_eq!(*((sp_a) as *const u64), 0xA);
+            // Resume B likewise.
+            pool.switch_in(&b).unwrap();
+            assert_eq!(*((sp_b) as *const u64), 0xB);
+        }
+    }
+
+    #[test]
+    fn images_are_pup_migratable() {
+        let pool = CopyStackPool::new(16 * 1024).unwrap();
+        let sp = pool.top() - 304;
+        // SAFETY: test-serialized.
+        unsafe { *(sp as *mut u64) = 42 };
+        let mut img = CopyStack::new();
+        // SAFETY: test-serialized.
+        unsafe { pool.switch_out(&mut img, sp).unwrap() };
+        let bytes = flows_pup::to_bytes(&mut img);
+        let img2: CopyStack = flows_pup::from_bytes(&bytes).unwrap();
+        assert_eq!(img2, img);
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let pool = CopyStackPool::new(page_size()).unwrap();
+        let mut img = CopyStack::new();
+        // SAFETY: error paths only.
+        unsafe {
+            assert!(pool.switch_out(&mut img, pool.base() - 8).is_err());
+            assert!(pool.switch_out(&mut img, pool.top() + 8).is_err());
+        }
+        let oversize = CopyStack {
+            saved: vec![0; pool.len() + 1],
+        };
+        // SAFETY: error path only.
+        unsafe { assert!(pool.switch_in(&oversize).is_err()) };
+        assert!(CopyStackPool::new(0).is_err());
+        assert!(CopyStackPool::new(123).is_err());
+    }
+}

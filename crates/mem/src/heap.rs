@@ -1,0 +1,397 @@
+//! The per-thread isomalloc heap.
+//!
+//! The paper extends PM2's isomalloc so that *unmodified* application code
+//! calling `malloc`/`free` from inside a thread gets memory inside the
+//! thread's own globally unique address range (§3.4.2). This module is
+//! that allocator: a segregated-free-list arena that lives entirely inside
+//! a thread's slot, commits physical pages lazily, and whose bookkeeping is
+//! PUP-serializable so the whole heap migrates as raw bytes.
+//!
+//! The allocator state deliberately lives *outside* the arena (in the
+//! thread control block) — the arena holds only headers and payloads — so
+//! packing the heap is `memcpy(arena, used_extent)` plus pupping this
+//! struct.
+
+use flows_pup::{pup_fields, Pup, Puper};
+use flows_sys::error::{SysError, SysResult};
+use flows_sys::page::page_align_up;
+
+/// Size classes for small allocations (payload bytes).
+pub const CLASSES: &[usize] = &[
+    16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536,
+];
+
+const HEADER: usize = 16;
+const MAGIC_ALLOC: u64 = 0xA110_CA11_A110_CA11;
+const MAGIC_FREE: u64 = 0xF4EE_B10C_F4EE_B10C;
+const LARGE_FLAG: u64 = 1 << 63;
+
+/// A large freed block: (arena offset, block length including header).
+#[derive(Default, Debug, Clone, PartialEq)]
+struct LargeBlock {
+    off: u64,
+    len: u64,
+}
+pup_fields!(LargeBlock { off, len });
+
+/// Allocator state for one thread's heap arena.
+#[derive(Debug, Default)]
+pub struct IsoHeap {
+    arena_base: usize,
+    arena_len: usize,
+    brk: usize,
+    committed: usize,
+    free_lists: Vec<Vec<u64>>,
+    large_free: Vec<LargeBlock>,
+    live: usize,
+}
+
+impl Pup for IsoHeap {
+    fn pup(&mut self, p: &mut Puper) {
+        self.arena_base.pup(p);
+        self.arena_len.pup(p);
+        self.brk.pup(p);
+        self.committed.pup(p);
+        self.free_lists.pup(p);
+        self.large_free.pup(p);
+        self.live.pup(p);
+    }
+}
+
+fn class_of(size: usize) -> Option<usize> {
+    CLASSES.iter().position(|&c| c >= size)
+}
+
+impl IsoHeap {
+    /// A fresh heap over the arena `[arena_base, arena_base + arena_len)`.
+    /// No pages are committed until the first allocation.
+    pub fn new(arena_base: usize, arena_len: usize) -> IsoHeap {
+        IsoHeap {
+            arena_base,
+            arena_len,
+            brk: 0,
+            committed: 0,
+            free_lists: vec![Vec::new(); CLASSES.len()],
+            large_free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Base address of the arena.
+    pub fn arena_base(&self) -> usize {
+        self.arena_base
+    }
+
+    /// Arena length in bytes.
+    pub fn arena_len(&self) -> usize {
+        self.arena_len
+    }
+
+    /// Bytes of arena that have ever been handed out (page-aligned); this
+    /// is the extent that must travel with a migrating thread.
+    pub fn used_extent(&self) -> usize {
+        page_align_up(self.brk)
+    }
+
+    /// Bytes of arena currently committed to physical pages.
+    pub fn committed(&self) -> usize {
+        self.committed
+    }
+
+    /// Number of live (allocated, not freed) blocks.
+    pub fn live_blocks(&self) -> usize {
+        self.live
+    }
+
+    /// Allocate `size` bytes, 16-aligned. `commit(offset, len)` is invoked
+    /// when the arena needs more committed pages (offsets relative to the
+    /// arena base).
+    pub fn alloc_with(
+        &mut self,
+        size: usize,
+        commit: &mut dyn FnMut(usize, usize) -> SysResult<()>,
+    ) -> SysResult<usize> {
+        let size = size.max(1);
+        // Try a recycled block first.
+        if let Some(ci) = class_of(size) {
+            if let Some(off) = self.free_lists[ci].pop() {
+                self.live += 1;
+                // SAFETY: block was committed when first carved.
+                unsafe { self.write_header(off as usize, ci as u64, MAGIC_ALLOC) };
+                return Ok(self.arena_base + off as usize + HEADER);
+            }
+        } else if let Some(pos) = self
+            .large_free
+            .iter()
+            .position(|b| b.len as usize >= HEADER + align16(size))
+        {
+            let b = self.large_free.swap_remove(pos);
+            self.live += 1;
+            // SAFETY: committed when first carved.
+            unsafe { self.write_header(b.off as usize, LARGE_FLAG | b.len, MAGIC_ALLOC) };
+            return Ok(self.arena_base + b.off as usize + HEADER);
+        }
+        // Carve fresh space at the brk.
+        let (tag, block_len) = match class_of(size) {
+            Some(ci) => (ci as u64, HEADER + CLASSES[ci]),
+            None => {
+                let bl = HEADER + align16(size);
+                (LARGE_FLAG | bl as u64, bl)
+            }
+        };
+        let off = self.brk;
+        let end = off
+            .checked_add(block_len)
+            .ok_or_else(|| SysError::logic("iso_alloc", "size overflow".into()))?;
+        if end > self.arena_len {
+            return Err(SysError::logic(
+                "iso_alloc",
+                format!(
+                    "arena exhausted: need {block_len} bytes at {off:#x}, arena is {:#x}",
+                    self.arena_len
+                ),
+            ));
+        }
+        if end > self.committed {
+            let new_committed = page_align_up(end).min(self.arena_len);
+            commit(self.committed, new_committed - self.committed)?;
+            self.committed = new_committed;
+        }
+        self.brk = end;
+        self.live += 1;
+        // SAFETY: just committed through `commit`.
+        unsafe { self.write_header(off, tag, MAGIC_ALLOC) };
+        Ok(self.arena_base + off + HEADER)
+    }
+
+    /// Free a block previously returned by [`IsoHeap::alloc_with`].
+    /// Detects double frees and foreign pointers.
+    pub fn free(&mut self, addr: usize) -> SysResult<()> {
+        if addr < self.arena_base + HEADER || addr >= self.arena_base + self.brk {
+            return Err(SysError::logic(
+                "iso_free",
+                format!("{addr:#x} is not inside this arena"),
+            ));
+        }
+        let off = addr - self.arena_base - HEADER;
+        // SAFETY: inside the used extent, which is committed.
+        let (tag, magic) = unsafe { self.read_header(off) };
+        if magic == MAGIC_FREE {
+            return Err(SysError::logic("iso_free", format!("double free of {addr:#x}")));
+        }
+        if magic != MAGIC_ALLOC {
+            return Err(SysError::logic(
+                "iso_free",
+                format!("{addr:#x} does not point at an allocated block"),
+            ));
+        }
+        if tag & LARGE_FLAG != 0 {
+            self.large_free.push(LargeBlock {
+                off: off as u64,
+                len: tag & !LARGE_FLAG,
+            });
+        } else {
+            let ci = tag as usize;
+            if ci >= CLASSES.len() {
+                return Err(SysError::logic("iso_free", "corrupt size class".into()));
+            }
+            self.free_lists[ci].push(off as u64);
+        }
+        self.live -= 1;
+        // SAFETY: same block as above.
+        unsafe { self.write_header(off, tag, MAGIC_FREE) };
+        Ok(())
+    }
+
+    /// Payload capacity of the block at `addr` (for realloc-style callers).
+    pub fn block_capacity(&self, addr: usize) -> SysResult<usize> {
+        if addr < self.arena_base + HEADER || addr >= self.arena_base + self.brk {
+            return Err(SysError::logic("iso_capacity", "foreign pointer".into()));
+        }
+        let off = addr - self.arena_base - HEADER;
+        // SAFETY: inside the committed used extent.
+        let (tag, magic) = unsafe { self.read_header(off) };
+        if magic != MAGIC_ALLOC {
+            return Err(SysError::logic("iso_capacity", "not an allocated block".into()));
+        }
+        Ok(if tag & LARGE_FLAG != 0 {
+            (tag & !LARGE_FLAG) as usize - HEADER
+        } else {
+            CLASSES[tag as usize]
+        })
+    }
+
+    /// Reset the committed-bytes bookkeeping after migration: the
+    /// destination PE recommits exactly the used extent, whatever the
+    /// source had committed beyond it.
+    pub(crate) fn set_committed(&mut self, bytes: usize) {
+        debug_assert!(bytes >= self.used_extent());
+        self.committed = bytes.max(self.used_extent());
+    }
+
+    /// # Safety
+    /// `off` must start a committed block header.
+    unsafe fn write_header(&self, off: usize, tag: u64, magic: u64) {
+        let p = (self.arena_base + off) as *mut u64;
+        // SAFETY: per contract.
+        unsafe {
+            *p = tag;
+            *p.add(1) = magic;
+        }
+    }
+
+    /// # Safety
+    /// `off` must start a committed block header.
+    unsafe fn read_header(&self, off: usize) -> (u64, u64) {
+        let p = (self.arena_base + off) as *const u64;
+        // SAFETY: per contract.
+        unsafe { (*p, *p.add(1)) }
+    }
+}
+
+fn align16(n: usize) -> usize {
+    (n + 15) & !15
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flows_sys::map::{Mapping, Protection};
+
+    fn arena() -> (Mapping, IsoHeap) {
+        let len = 1 << 20;
+        let m = Mapping::reserve(len).unwrap();
+        let h = IsoHeap::new(m.addr(), len);
+        (m, h)
+    }
+
+    fn committer(m: &Mapping) -> impl FnMut(usize, usize) -> SysResult<()> + '_ {
+        move |off, len| m.commit(off, len, Protection::ReadWrite)
+    }
+
+    #[test]
+    fn alloc_is_aligned_and_writable() {
+        let (m, mut h) = arena();
+        let mut c = committer(&m);
+        for size in [1, 15, 16, 17, 100, 4096, 70_000] {
+            let a = h.alloc_with(size, &mut c).unwrap();
+            assert_eq!(a % 16, 0, "allocation must be 16-aligned");
+            // SAFETY: freshly allocated, committed.
+            unsafe {
+                std::ptr::write_bytes(a as *mut u8, 0xCD, size);
+                assert_eq!(*(a as *const u8), 0xCD);
+            }
+        }
+        assert_eq!(h.live_blocks(), 7);
+    }
+
+    #[test]
+    fn free_and_reuse_same_class() {
+        let (m, mut h) = arena();
+        let mut c = committer(&m);
+        let a = h.alloc_with(100, &mut c).unwrap();
+        let brk_after_first = h.used_extent();
+        h.free(a).unwrap();
+        let b = h.alloc_with(120, &mut c).unwrap(); // same 128-class
+        assert_eq!(a, b, "freed block must be recycled");
+        assert_eq!(h.used_extent(), brk_after_first, "no new carving");
+    }
+
+    #[test]
+    fn large_blocks_recycle() {
+        let (m, mut h) = arena();
+        let mut c = committer(&m);
+        let a = h.alloc_with(100_000, &mut c).unwrap();
+        h.free(a).unwrap();
+        let b = h.alloc_with(90_000, &mut c).unwrap();
+        assert_eq!(a, b, "large free block should satisfy smaller large alloc");
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let (m, mut h) = arena();
+        let mut c = committer(&m);
+        let a = h.alloc_with(64, &mut c).unwrap();
+        h.free(a).unwrap();
+        let e = h.free(a).unwrap_err();
+        assert!(e.to_string().contains("double free"));
+    }
+
+    #[test]
+    fn foreign_pointer_rejected() {
+        let (m, mut h) = arena();
+        let mut c = committer(&m);
+        let _ = h.alloc_with(64, &mut c).unwrap();
+        assert!(h.free(0x1234).is_err());
+        let stack_var = 0u8;
+        assert!(h.free(&stack_var as *const u8 as usize).is_err());
+    }
+
+    #[test]
+    fn arena_exhaustion_is_an_error() {
+        let len = 64 * 1024;
+        let m = Mapping::reserve(len).unwrap();
+        let mut h = IsoHeap::new(m.addr(), len);
+        let mut c = committer(&m);
+        let mut got = 0;
+        loop {
+            match h.alloc_with(4096, &mut c) {
+                Ok(_) => got += 1,
+                Err(e) => {
+                    assert!(e.to_string().contains("arena exhausted"));
+                    break;
+                }
+            }
+            assert!(got < 100, "must exhaust eventually");
+        }
+        assert!(got >= 10);
+    }
+
+    #[test]
+    fn commit_is_lazy_and_monotonic() {
+        let (m, mut h) = arena();
+        assert_eq!(h.committed(), 0);
+        let mut ranges = Vec::new();
+        let mut c = |off: usize, len: usize| {
+            ranges.push((off, len));
+            m.commit(off, len, Protection::ReadWrite)
+        };
+        let _ = h.alloc_with(10, &mut c).unwrap();
+        let first_commit = h.committed();
+        assert!(first_commit > 0);
+        // Small allocations fit in the already-committed page(s).
+        for _ in 0..10 {
+            let _ = h.alloc_with(10, &mut c).unwrap();
+        }
+        assert_eq!(h.committed(), first_commit);
+        for w in ranges.windows(2) {
+            assert!(w[0].0 + w[0].1 <= w[1].0, "commit ranges must not overlap");
+        }
+    }
+
+    #[test]
+    fn state_pups_round_trip() {
+        let (m, mut h) = arena();
+        let mut c = committer(&m);
+        let a = h.alloc_with(64, &mut c).unwrap();
+        let _b = h.alloc_with(100_000, &mut c).unwrap();
+        h.free(a).unwrap();
+        let bytes = flows_pup::to_bytes(&mut h);
+        let h2: IsoHeap = flows_pup::from_bytes(&bytes).unwrap();
+        assert_eq!(h2.arena_base(), h.arena_base());
+        assert_eq!(h2.used_extent(), h.used_extent());
+        assert_eq!(h2.live_blocks(), h.live_blocks());
+    }
+
+    #[test]
+    fn capacity_queries() {
+        let (m, mut h) = arena();
+        let mut c = committer(&m);
+        let a = h.alloc_with(100, &mut c).unwrap();
+        assert_eq!(h.block_capacity(a).unwrap(), 128);
+        let b = h.alloc_with(100_000, &mut c).unwrap();
+        assert!(h.block_capacity(b).unwrap() >= 100_000);
+        h.free(a).unwrap();
+        assert!(h.block_capacity(a).is_err(), "freed block has no capacity");
+    }
+}

@@ -1,0 +1,36 @@
+//! # flows-mem — memory substrates for migratable threads
+//!
+//! Implements the three stack/heap management schemes of paper §3.4, on top
+//! of the raw VM operations in `flows-sys`:
+//!
+//! * **Isomalloc** ([`region`], [`heap`], [`slab`]) — one machine-wide
+//!   reservation of virtual address space is divided into per-PE ranges of
+//!   fixed-size *slots*; every migratable thread owns a slot holding its
+//!   stack (top) and heap arena (bottom). Because a slot's addresses are
+//!   globally unique, migration is a raw byte copy: no pointer inside the
+//!   stack or heap ever needs rewriting (§3.4.2, Figure 2).
+//! * **Memory-aliasing stacks** ([`alias`]) — every thread's stack lives in
+//!   distinct physical pages (frames of one `memfd`), and the running
+//!   thread's frame is `mmap`ed over a single common virtual address; a
+//!   context switch is one remap instead of a copy (§3.4.3, Figure 3).
+//! * **Stack-copying threads** ([`copystack`]) — all threads execute from
+//!   one common stack region and their data is memcpy'd in and out around
+//!   every switch (§3.4.1).
+//!
+//! [`probe`] performs the runtime feature detection behind our row of the
+//! paper's Table 1.
+
+#![warn(missing_docs)]
+
+pub mod alias;
+pub mod copystack;
+pub mod heap;
+pub mod probe;
+pub mod region;
+pub mod slab;
+
+pub use alias::{AliasStackPool, FrameId};
+pub use copystack::{CopyStack, CopyStackPool};
+pub use heap::IsoHeap;
+pub use region::{IsoConfig, IsoRegion, Slot};
+pub use slab::ThreadSlab;

@@ -1,0 +1,110 @@
+//! Runtime feature detection behind this platform's row of the paper's
+//! Table 1 (portability of the three migratable-thread techniques).
+
+use crate::alias::AliasStackPool;
+use crate::copystack::CopyStackPool;
+use crate::region::{IsoConfig, IsoRegion, DEFAULT_BASE};
+use flows_sys::os;
+use flows_sys::page::page_size;
+
+/// What each migration technique needs and whether this host provides it.
+#[derive(Debug, Clone)]
+pub struct Portability {
+    /// Pointer width (32-bit machines are where isomalloc runs out of
+    /// address space and memory-aliasing earns its keep).
+    pub pointer_bits: u32,
+    /// Can we reserve a large fixed-address region (isomalloc)?
+    pub isomalloc_fixed_base: bool,
+    /// Can we create large `PROT_NONE` reservations at all (isomalloc with
+    /// a negotiated base)?
+    pub isomalloc_reserve: bool,
+    /// Is `memfd_create` + `MAP_FIXED` aliasing available (memory-aliasing
+    /// stacks)?
+    pub memory_alias: bool,
+    /// Can a common read-write region be set up (stack copying)?
+    pub stack_copy: bool,
+    /// `vm.max_map_count`, which bounds simultaneously committed slots.
+    pub max_map_count: Option<u64>,
+}
+
+impl Portability {
+    /// Probe the current host.
+    pub fn detect() -> Portability {
+        let pg = page_size();
+        let iso_fixed = {
+            // Probe far from the default so a live region doesn't collide.
+            let probe_base = DEFAULT_BASE + (101 << 30);
+            flows_sys::map::fixed_range_available(probe_base, 64 * pg)
+        };
+        let iso_any = IsoRegion::new(IsoConfig {
+            base: 0,
+            num_pes: 1,
+            slots_per_pe: 2,
+            slot_len: 16 * pg,
+        })
+        .is_ok();
+        let alias = AliasStackPool::new(16 * pg, 1)
+            .and_then(|mut p| {
+                let f = p.alloc_frame()?;
+                p.activate(f)?;
+                p.deactivate()
+            })
+            .is_ok();
+        let copy = CopyStackPool::new(16 * pg).is_ok();
+        Portability {
+            pointer_bits: os::pointer_bits(),
+            isomalloc_fixed_base: iso_fixed,
+            isomalloc_reserve: iso_any,
+            memory_alias: alias,
+            stack_copy: copy,
+            max_map_count: os::max_map_count(),
+        }
+    }
+
+    /// Render this host's Table 1 row: technique → Yes/No with reason.
+    pub fn table1_rows(&self) -> Vec<(&'static str, String)> {
+        let yes_no = |b: bool| if b { "Yes" } else { "No" };
+        vec![
+            (
+                "Stack Copy",
+                format!("{} (common RW region)", yes_no(self.stack_copy)),
+            ),
+            (
+                "Isomalloc",
+                format!(
+                    "{} (fixed base {}, {}-bit VA)",
+                    yes_no(self.isomalloc_reserve),
+                    if self.isomalloc_fixed_base {
+                        "available"
+                    } else {
+                        "unavailable"
+                    },
+                    self.pointer_bits
+                ),
+            ),
+            (
+                "Memory Alias",
+                format!("{} (memfd + MAP_FIXED)", yes_no(self.memory_alias)),
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linux_x86_64_supports_everything() {
+        let p = Portability::detect();
+        assert!(p.stack_copy);
+        assert!(p.isomalloc_reserve);
+        assert!(p.memory_alias);
+        assert_eq!(p.pointer_bits, 64);
+        let rows = p.table1_rows();
+        assert_eq!(rows.len(), 3);
+        for (_, v) in rows {
+            assert!(v.starts_with("Yes"), "this host should say Yes: {v}");
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! The isomalloc region: one machine-wide address-space reservation,
+//! divided into per-PE slot ranges (paper §3.4.2, Figure 2).
+//!
+//! All PEs agree on the region layout at startup. PE *p* allocates thread
+//! slots only from its own range, so slot addresses are unique across the
+//! whole (simulated) machine and a thread can migrate anywhere knowing its
+//! addresses are free on the destination.
+
+use flows_sys::error::{SysError, SysResult};
+use flows_sys::map::{Mapping, Protection};
+use flows_sys::page::{page_align_up, page_size};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Default preferred base of the isomalloc region: 16 TiB, far above the
+/// heap and far below the stack / vdso region on x86-64 Linux.
+pub const DEFAULT_BASE: usize = 0x1000_0000_0000;
+
+/// Layout of the machine-wide isomalloc region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IsoConfig {
+    /// Preferred fixed base address (0 = let the kernel choose; migration
+    /// still works inside one OS process because every PE shares the same
+    /// mapping object, but a real multi-node machine needs the fixed base).
+    pub base: usize,
+    /// Number of PE ranges to carve.
+    pub num_pes: usize,
+    /// Slots in each PE range.
+    pub slots_per_pe: usize,
+    /// Bytes per slot (page multiple; stack at the top, heap at the bottom).
+    pub slot_len: usize,
+}
+
+impl IsoConfig {
+    /// A reasonable configuration for `num_pes` PEs: 1 MiB slots, 1024
+    /// slots per PE.
+    pub fn for_pes(num_pes: usize) -> IsoConfig {
+        IsoConfig {
+            base: DEFAULT_BASE,
+            num_pes,
+            slots_per_pe: 1024,
+            slot_len: 1 << 20,
+        }
+    }
+
+    /// Total bytes of address space the region reserves.
+    pub fn total_len(&self) -> usize {
+        self.num_pes * self.slots_per_pe * self.slot_len
+    }
+
+    fn validate(&self) -> SysResult<()> {
+        if self.num_pes == 0 || self.slots_per_pe == 0 {
+            return Err(SysError::logic("iso_config", "zero PEs or slots".into()));
+        }
+        if self.slot_len == 0 || self.slot_len % page_size() != 0 {
+            return Err(SysError::logic(
+                "iso_config",
+                format!("slot_len {:#x} must be a positive page multiple", self.slot_len),
+            ));
+        }
+        if self.base % page_size() != 0 {
+            return Err(SysError::logic("iso_config", "unaligned base".into()));
+        }
+        Ok(())
+    }
+}
+
+struct PeSlots {
+    next_fresh: usize,
+    free: Vec<usize>,
+    live: usize,
+}
+
+/// The reserved region plus per-PE slot allocators.
+pub struct IsoRegion {
+    cfg: IsoConfig,
+    map: Mapping,
+    pes: Vec<Mutex<PeSlots>>,
+}
+
+impl std::fmt::Debug for IsoRegion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IsoRegion")
+            .field("base", &format_args!("{:#x}", self.map.addr()))
+            .field("cfg", &self.cfg)
+            .finish()
+    }
+}
+
+impl IsoRegion {
+    /// Reserve the region. Tries the configured fixed base first and falls
+    /// back to a kernel-chosen address (reported by [`IsoRegion::base`]).
+    pub fn new(cfg: IsoConfig) -> SysResult<Arc<IsoRegion>> {
+        cfg.validate()?;
+        let total = page_align_up(cfg.total_len());
+        let map = if cfg.base != 0 {
+            match Mapping::reserve_at(cfg.base, total) {
+                Ok(m) => m,
+                Err(_) => Mapping::reserve(total)?,
+            }
+        } else {
+            Mapping::reserve(total)?
+        };
+        let pes = (0..cfg.num_pes)
+            .map(|_| {
+                Mutex::new(PeSlots {
+                    next_fresh: 0,
+                    free: Vec::new(),
+                    live: 0,
+                })
+            })
+            .collect();
+        Ok(Arc::new(IsoRegion { cfg, map, pes }))
+    }
+
+    /// Actual base address of the reservation.
+    pub fn base(&self) -> usize {
+        self.map.addr()
+    }
+
+    /// The layout this region was built with.
+    pub fn cfg(&self) -> &IsoConfig {
+        &self.cfg
+    }
+
+    /// Whether the region landed at its preferred fixed base — required
+    /// for cross-address-space migration on a real machine.
+    pub fn at_fixed_base(&self) -> bool {
+        self.cfg.base != 0 && self.map.addr() == self.cfg.base
+    }
+
+    fn slot_offset(&self, global_index: usize) -> usize {
+        global_index * self.cfg.slot_len
+    }
+
+    /// Allocate a fresh slot from `pe`'s range.
+    pub fn alloc_slot(self: &Arc<Self>, pe: usize) -> SysResult<Slot> {
+        if pe >= self.cfg.num_pes {
+            return Err(SysError::logic(
+                "alloc_slot",
+                format!("pe {pe} out of range ({} PEs)", self.cfg.num_pes),
+            ));
+        }
+        let mut st = self.pes[pe].lock();
+        let local = if let Some(i) = st.free.pop() {
+            i
+        } else if st.next_fresh < self.cfg.slots_per_pe {
+            let i = st.next_fresh;
+            st.next_fresh += 1;
+            i
+        } else {
+            return Err(SysError::logic(
+                "alloc_slot",
+                format!("pe {pe} exhausted its {} slots", self.cfg.slots_per_pe),
+            ));
+        };
+        st.live += 1;
+        drop(st);
+        Ok(Slot {
+            region: Arc::clone(self),
+            global_index: pe * self.cfg.slots_per_pe + local,
+        })
+    }
+
+    /// Re-materialize a slot handle from its global index after migration.
+    /// The caller is responsible for ensuring exactly one live handle per
+    /// index (the migration protocol releases the source handle with
+    /// [`Slot::into_global_index`] before the destination adopts it).
+    pub fn adopt_slot(self: &Arc<Self>, global_index: usize) -> SysResult<Slot> {
+        if global_index >= self.cfg.num_pes * self.cfg.slots_per_pe {
+            return Err(SysError::logic(
+                "adopt_slot",
+                format!("slot index {global_index} out of range"),
+            ));
+        }
+        Ok(Slot {
+            region: Arc::clone(self),
+            global_index,
+        })
+    }
+
+    /// Number of live slots currently allocated from `pe`'s range.
+    pub fn live_slots(&self, pe: usize) -> usize {
+        self.pes[pe].lock().live
+    }
+}
+
+/// An owned thread slot: `slot_len` bytes of globally unique address space.
+///
+/// Dropping the slot decommits its pages and returns it to its home PE's
+/// free list.
+#[derive(Debug)]
+pub struct Slot {
+    region: Arc<IsoRegion>,
+    global_index: usize,
+}
+
+impl Slot {
+    /// First address of the slot.
+    pub fn base(&self) -> usize {
+        self.region.base() + self.region.slot_offset(self.global_index)
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.region.cfg.slot_len
+    }
+
+    /// Slots are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// One-past-the-end address (the initial stack top).
+    pub fn top(&self) -> usize {
+        self.base() + self.len()
+    }
+
+    /// The machine-wide slot index (stable across migration).
+    pub fn global_index(&self) -> usize {
+        self.global_index
+    }
+
+    /// The PE from whose range this slot was carved.
+    pub fn home_pe(&self) -> usize {
+        self.global_index / self.region.cfg.slots_per_pe
+    }
+
+    /// The region this slot belongs to.
+    pub fn region(&self) -> &Arc<IsoRegion> {
+        &self.region
+    }
+
+    /// Commit `[offset, offset+len)` of the slot read-write.
+    pub fn commit(&self, offset: usize, len: usize) -> SysResult<()> {
+        self.check(offset, len)?;
+        self.region
+            .map
+            .commit(self.region.slot_offset(self.global_index) + offset, len, Protection::ReadWrite)
+    }
+
+    /// Decommit `[offset, offset+len)` (pages returned to the kernel).
+    pub fn decommit(&self, offset: usize, len: usize) -> SysResult<()> {
+        self.check(offset, len)?;
+        self.region
+            .map
+            .decommit(self.region.slot_offset(self.global_index) + offset, len)
+    }
+
+    fn check(&self, offset: usize, len: usize) -> SysResult<()> {
+        if offset.checked_add(len).is_none_or(|e| e > self.len()) {
+            return Err(SysError::logic(
+                "slot_range",
+                format!("{offset:#x}+{len:#x} outside slot of {:#x}", self.len()),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Release ownership for migration: decommits nothing, frees nothing —
+    /// the slot's bytes travel with the packed thread and the index is
+    /// re-adopted on the destination PE.
+    pub fn into_global_index(self) -> usize {
+        let idx = self.global_index;
+        std::mem::forget(self);
+        idx
+    }
+}
+
+impl Drop for Slot {
+    fn drop(&mut self) {
+        // Best effort: return physical pages and recycle the index.
+        let off = self.region.slot_offset(self.global_index);
+        let _ = self.region.map.decommit(off, self.region.cfg.slot_len);
+        let pe = self.home_pe();
+        let local = self.global_index % self.region.cfg.slots_per_pe;
+        let mut st = self.region.pes[pe].lock();
+        st.free.push(local);
+        st.live -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_region(pes: usize) -> Arc<IsoRegion> {
+        IsoRegion::new(IsoConfig {
+            base: 0, // anywhere: unit tests must not fight over the fixed base
+            num_pes: pes,
+            slots_per_pe: 4,
+            slot_len: 64 * 1024,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn slots_are_disjoint_and_unique() {
+        let r = small_region(3);
+        let mut slots = Vec::new();
+        for pe in 0..3 {
+            for _ in 0..4 {
+                slots.push(r.alloc_slot(pe).unwrap());
+            }
+        }
+        let mut ranges: Vec<_> = slots.iter().map(|s| (s.base(), s.top())).collect();
+        ranges.sort();
+        for w in ranges.windows(2) {
+            assert!(w[0].1 <= w[1].0, "slots must not overlap");
+        }
+        let ids: std::collections::HashSet<_> =
+            slots.iter().map(|s| s.global_index()).collect();
+        assert_eq!(ids.len(), 12);
+    }
+
+    #[test]
+    fn exhaustion_and_reuse() {
+        let r = small_region(1);
+        let slots: Vec<_> = (0..4).map(|_| r.alloc_slot(0).unwrap()).collect();
+        assert!(r.alloc_slot(0).is_err(), "5th slot must fail");
+        assert_eq!(r.live_slots(0), 4);
+        let freed_base = slots[1].base();
+        drop(slots);
+        assert_eq!(r.live_slots(0), 0);
+        let s = r.alloc_slot(0).unwrap();
+        // Freed slots are recycled (LIFO), same address range reappears.
+        assert!(s.base() >= freed_base - 3 * 64 * 1024);
+    }
+
+    #[test]
+    fn commit_write_read_across_alloc_free() {
+        let r = small_region(1);
+        let s = r.alloc_slot(0).unwrap();
+        s.commit(0, 4096).unwrap();
+        // SAFETY: just committed.
+        unsafe {
+            *(s.base() as *mut u64) = 0xDEAD_BEEF;
+            assert_eq!(*(s.base() as *const u64), 0xDEAD_BEEF);
+        }
+        let idx = s.global_index();
+        let base = s.base();
+        drop(s);
+        // Recycled slot must read zero after recommit (decommitted on drop).
+        let s2 = r.alloc_slot(0).unwrap();
+        assert_eq!(s2.global_index(), idx);
+        assert_eq!(s2.base(), base);
+        s2.commit(0, 4096).unwrap();
+        // SAFETY: just committed.
+        unsafe { assert_eq!(*(s2.base() as *const u64), 0) };
+    }
+
+    #[test]
+    fn adopt_round_trip() {
+        let r = small_region(2);
+        let s = r.alloc_slot(1).unwrap();
+        let base = s.base();
+        let idx = s.into_global_index();
+        let s2 = r.adopt_slot(idx).unwrap();
+        assert_eq!(s2.base(), base);
+        assert_eq!(s2.home_pe(), 1);
+        assert!(r.adopt_slot(999).is_err());
+    }
+
+    #[test]
+    fn out_of_range_pe_rejected() {
+        let r = small_region(1);
+        assert!(r.alloc_slot(1).is_err());
+    }
+
+    #[test]
+    fn fixed_base_reservation_when_available() {
+        // The default 16 TiB base should be free in a test process; if some
+        // sanitizer claims it, the fallback still yields a working region.
+        let r = IsoRegion::new(IsoConfig {
+            base: DEFAULT_BASE + (7 << 30), // offset to dodge other tests
+            num_pes: 1,
+            slots_per_pe: 2,
+            slot_len: 64 * 1024,
+        })
+        .unwrap();
+        let s = r.alloc_slot(0).unwrap();
+        s.commit(0, 4096).unwrap();
+        // SAFETY: just committed.
+        unsafe { *(s.base() as *mut u8) = 1 };
+    }
+}

@@ -1,0 +1,384 @@
+//! A thread's *slab*: its slot carved into stack + guard + heap arena,
+//! with pack/unpack for migration.
+//!
+//! ```text
+//!  slot base                                                   slot top
+//!  ├── heap arena (commits grow upward) ── guard page ── stack ──┤
+//! ```
+//!
+//! Packing produces a self-describing byte image (PUP format) containing
+//! the allocator bookkeeping, the used heap extent, and the live stack
+//! bytes. Because isomalloc guarantees the slot occupies the same virtual
+//! addresses on every PE, unpacking is: adopt slot → commit pages → copy
+//! bytes. No pointer fixups, exactly as in the paper (§3.4.2).
+
+use crate::heap::IsoHeap;
+use crate::region::{IsoRegion, Slot};
+use flows_pup::pup_fields;
+use flows_sys::error::{SysError, SysResult};
+use flows_sys::page::{page_align_down, page_size};
+use std::sync::Arc;
+
+/// Bytes below the suspended stack pointer that must travel with the
+/// thread: the x86-64 SysV red zone is 128 bytes; we double it for margin.
+pub const STACK_RED_ZONE: usize = 256;
+
+/// A migratable thread's memory: stack at the top of its slot, isomalloc
+/// heap at the bottom, one never-committed guard page between.
+#[derive(Debug)]
+pub struct ThreadSlab {
+    slot: Slot,
+    heap: IsoHeap,
+    stack_len: usize,
+}
+
+#[derive(Default, Debug)]
+struct PackedSlab {
+    global_index: u64,
+    slot_len: u64,
+    stack_len: u64,
+    sp: u64,
+    heap: IsoHeap,
+    heap_bytes: Vec<u8>,
+    stack_floor: u64,
+    stack_bytes: Vec<u8>,
+}
+pup_fields!(PackedSlab {
+    global_index,
+    slot_len,
+    stack_len,
+    sp,
+    heap,
+    heap_bytes,
+    stack_floor,
+    stack_bytes
+});
+
+impl ThreadSlab {
+    /// Build a slab in `slot` with `stack_len` bytes of committed stack at
+    /// the top. `stack_len` must be a page multiple small enough to leave
+    /// room for the guard page and a non-empty heap arena.
+    pub fn new(slot: Slot, stack_len: usize) -> SysResult<ThreadSlab> {
+        let pg = page_size();
+        if stack_len == 0 || stack_len % pg != 0 {
+            return Err(SysError::logic(
+                "thread_slab",
+                format!("stack_len {stack_len:#x} must be a positive page multiple"),
+            ));
+        }
+        if stack_len + 2 * pg >= slot.len() {
+            return Err(SysError::logic(
+                "thread_slab",
+                format!(
+                    "stack_len {stack_len:#x} leaves no heap room in slot of {:#x}",
+                    slot.len()
+                ),
+            ));
+        }
+        slot.commit(slot.len() - stack_len, stack_len)?;
+        let arena_len = page_align_down(slot.len() - stack_len - pg);
+        let heap = IsoHeap::new(slot.base(), arena_len);
+        Ok(ThreadSlab {
+            slot,
+            heap,
+            stack_len,
+        })
+    }
+
+    /// Highest stack address (initial stack pointer goes just below).
+    pub fn stack_top(&self) -> usize {
+        self.slot.top()
+    }
+
+    /// Lowest committed stack address.
+    pub fn stack_bottom(&self) -> usize {
+        self.slot.top() - self.stack_len
+    }
+
+    /// Committed stack bytes.
+    pub fn stack_len(&self) -> usize {
+        self.stack_len
+    }
+
+    /// The underlying slot.
+    pub fn slot(&self) -> &Slot {
+        &self.slot
+    }
+
+    /// The heap allocator (for inspection).
+    pub fn heap(&self) -> &IsoHeap {
+        &self.heap
+    }
+
+    /// Allocate `size` bytes from the thread's migratable heap.
+    pub fn malloc(&mut self, size: usize) -> SysResult<*mut u8> {
+        let slot = &self.slot;
+        let addr = self
+            .heap
+            .alloc_with(size, &mut |off, len| slot.commit(off, len))?;
+        Ok(addr as *mut u8)
+    }
+
+    /// Free a pointer previously returned by [`ThreadSlab::malloc`].
+    pub fn free(&mut self, ptr: *mut u8) -> SysResult<()> {
+        self.heap.free(ptr as usize)
+    }
+
+    /// Pack for migration. `sp` is the thread's suspended stack pointer;
+    /// bytes from `sp - STACK_RED_ZONE` to the stack top travel with the
+    /// thread. Consumes the slab: the slot index ownership moves into the
+    /// returned image (the source decommits its pages but does *not*
+    /// recycle the index — it is still live, just remote).
+    pub fn pack(self, sp: usize) -> SysResult<Vec<u8>> {
+        let top = self.stack_top();
+        let bottom = self.stack_bottom();
+        if sp < bottom || sp > top {
+            return Err(SysError::logic(
+                "slab_pack",
+                format!("sp {sp:#x} outside stack [{bottom:#x},{top:#x}]"),
+            ));
+        }
+        let floor = sp.saturating_sub(STACK_RED_ZONE).max(bottom);
+        let heap_used = self.heap.used_extent();
+        // SAFETY: [arena, arena+heap_used) and [floor, top) are committed
+        // ranges of our own slot.
+        let (heap_bytes, stack_bytes) = unsafe {
+            (
+                std::slice::from_raw_parts(self.heap.arena_base() as *const u8, heap_used)
+                    .to_vec(),
+                std::slice::from_raw_parts(floor as *const u8, top - floor).to_vec(),
+            )
+        };
+        let mut packed = PackedSlab {
+            global_index: self.slot.global_index() as u64,
+            slot_len: self.slot.len() as u64,
+            stack_len: self.stack_len as u64,
+            sp: sp as u64,
+            heap: self.heap,
+            heap_bytes,
+            stack_floor: floor as u64,
+            stack_bytes,
+        };
+        let image = flows_pup::to_bytes(&mut packed);
+        // Release physical pages on the "source processor"; keep the index.
+        let slot = self.slot;
+        let _ = slot.decommit(0, slot.len());
+        let _ = slot.into_global_index();
+        Ok(image)
+    }
+
+    /// Unpack an image produced by [`ThreadSlab::pack`] on the destination
+    /// PE, reinstating every byte at its original virtual address. Returns
+    /// the slab and the suspended stack pointer to resume from.
+    pub fn unpack(region: &Arc<IsoRegion>, image: &[u8]) -> SysResult<(ThreadSlab, usize)> {
+        let packed: PackedSlab = flows_pup::from_bytes(image)
+            .map_err(|e| SysError::logic("slab_unpack", format!("corrupt image: {e}")))?;
+        let slot = region.adopt_slot(packed.global_index as usize)?;
+        if slot.len() as u64 != packed.slot_len {
+            return Err(SysError::logic(
+                "slab_unpack",
+                format!(
+                    "slot length mismatch: image {:#x}, region {:#x}",
+                    packed.slot_len,
+                    slot.len()
+                ),
+            ));
+        }
+        let stack_len = packed.stack_len as usize;
+        if packed.heap.arena_base() != slot.base() {
+            return Err(SysError::logic(
+                "slab_unpack",
+                "arena base mismatch: image from a different region layout".into(),
+            ));
+        }
+        // Recommit and refill the heap's used extent.
+        let heap_used = packed.heap.used_extent();
+        if heap_used != packed.heap_bytes.len() {
+            return Err(SysError::logic("slab_unpack", "heap extent mismatch".into()));
+        }
+        if heap_used > 0 {
+            slot.commit(0, heap_used)?;
+            // SAFETY: just committed; copying the packed bytes back to the
+            // identical addresses they came from.
+            unsafe {
+                std::ptr::copy_nonoverlapping(
+                    packed.heap_bytes.as_ptr(),
+                    slot.base() as *mut u8,
+                    heap_used,
+                );
+            }
+        }
+        // Recommit the whole stack, refill the live portion.
+        slot.commit(slot.len() - stack_len, stack_len)?;
+        let floor = packed.stack_floor as usize;
+        let top = slot.top();
+        if floor + packed.stack_bytes.len() != top
+            || floor < top - stack_len
+            || packed.sp as usize > top
+            || (packed.sp as usize) < top - stack_len
+        {
+            return Err(SysError::logic("slab_unpack", "stack extent mismatch".into()));
+        }
+        // SAFETY: stack range just committed; identical addresses.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                packed.stack_bytes.as_ptr(),
+                floor as *mut u8,
+                packed.stack_bytes.len(),
+            );
+        }
+        // Rebuild heap committed state: exactly the used extent is backed.
+        let mut heap = packed.heap;
+        heap.set_committed(heap_used);
+        Ok((
+            ThreadSlab {
+                slot,
+                heap,
+                stack_len,
+            },
+            packed.sp as usize,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::IsoConfig;
+
+    fn region() -> Arc<IsoRegion> {
+        IsoRegion::new(IsoConfig {
+            base: 0,
+            num_pes: 2,
+            slots_per_pe: 4,
+            slot_len: 256 * 1024,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn slab_layout_is_sane() {
+        let r = region();
+        let slab = ThreadSlab::new(r.alloc_slot(0).unwrap(), 64 * 1024).unwrap();
+        assert_eq!(slab.stack_top() - slab.stack_bottom(), 64 * 1024);
+        assert!(slab.heap().arena_len() > 0);
+        assert!(slab.heap().arena_base() + slab.heap().arena_len() < slab.stack_bottom());
+    }
+
+    #[test]
+    fn bad_stack_lens_rejected() {
+        let r = region();
+        assert!(ThreadSlab::new(r.alloc_slot(0).unwrap(), 0).is_err());
+        assert!(ThreadSlab::new(r.alloc_slot(0).unwrap(), 100).is_err());
+        assert!(ThreadSlab::new(r.alloc_slot(0).unwrap(), 256 * 1024).is_err());
+    }
+
+    #[test]
+    fn stack_is_writable_heap_allocs_work() {
+        let r = region();
+        let mut slab = ThreadSlab::new(r.alloc_slot(0).unwrap(), 16 * 1024).unwrap();
+        // SAFETY: committed stack range.
+        unsafe {
+            let top = slab.stack_top() as *mut u64;
+            *top.sub(1) = 0x5AFE;
+            assert_eq!(*top.sub(1), 0x5AFE);
+        }
+        let p = slab.malloc(1000).unwrap();
+        // SAFETY: fresh allocation.
+        unsafe { std::ptr::write_bytes(p, 7, 1000) };
+        slab.free(p).unwrap();
+    }
+
+    /// The headline isomalloc property: a heap structure full of absolute
+    /// pointers survives pack → decommit → unpack byte-for-byte, with all
+    /// pointers still valid, because the addresses are identical.
+    #[test]
+    fn migration_preserves_pointer_graph() {
+        let r = region();
+        let mut slab = ThreadSlab::new(r.alloc_slot(0).unwrap(), 16 * 1024).unwrap();
+
+        // Build a linked list in the migratable heap.
+        #[repr(C)]
+        struct Node {
+            value: u64,
+            next: *mut Node,
+        }
+        let mut head: *mut Node = std::ptr::null_mut();
+        for i in 0..10u64 {
+            let n = slab.malloc(std::mem::size_of::<Node>()).unwrap() as *mut Node;
+            // SAFETY: fresh allocation.
+            unsafe {
+                (*n).value = i;
+                (*n).next = head;
+            }
+            head = n;
+        }
+        // Park a pointer to the list head in the stack region, as a real
+        // suspended thread would.
+        let sp = slab.stack_top() - 4096;
+        // SAFETY: committed stack.
+        unsafe { *(sp as *mut u64) = head as u64 };
+
+        let image = slab.pack(sp).unwrap();
+
+        // "Arrive" on PE 1: unpack and walk the list through the stack slot.
+        let (slab2, sp2) = ThreadSlab::unpack(&r, &image).unwrap();
+        assert_eq!(sp2, sp);
+        // SAFETY: unpack recommitted and refilled these addresses.
+        unsafe {
+            let mut cur = *(sp2 as *const u64) as *mut Node;
+            let mut expect = 9i64;
+            while !cur.is_null() {
+                assert_eq!((*cur).value as i64, expect);
+                expect -= 1;
+                cur = (*cur).next;
+            }
+            assert_eq!(expect, -1, "all ten nodes reachable after migration");
+        }
+        drop(slab2);
+    }
+
+    #[test]
+    fn pack_rejects_foreign_sp() {
+        let r = region();
+        let slab = ThreadSlab::new(r.alloc_slot(0).unwrap(), 16 * 1024).unwrap();
+        let below = slab.stack_bottom() - 8;
+        assert!(slab.pack(below).is_err());
+    }
+
+    #[test]
+    fn unpack_rejects_corrupt_images() {
+        let r = region();
+        let slab = ThreadSlab::new(r.alloc_slot(0).unwrap(), 16 * 1024).unwrap();
+        let sp = slab.stack_top() - 64;
+        let image = slab.pack(sp).unwrap();
+        assert!(ThreadSlab::unpack(&r, &image[..image.len() / 2]).is_err());
+        let mut garbage = image.clone();
+        garbage[0] ^= 0xFF; // clobber the slot index
+        assert!(ThreadSlab::unpack(&r, &garbage).is_err());
+        // The pristine image still works.
+        let (s2, _) = ThreadSlab::unpack(&r, &image).unwrap();
+        drop(s2);
+    }
+
+    #[test]
+    fn heap_contents_survive_migration() {
+        let r = region();
+        let mut slab = ThreadSlab::new(r.alloc_slot(1).unwrap(), 16 * 1024).unwrap();
+        let p = slab.malloc(8192).unwrap();
+        let data: Vec<u8> = (0..8192).map(|i| (i * 7 % 251) as u8).collect();
+        // SAFETY: fresh allocation.
+        unsafe { std::ptr::copy_nonoverlapping(data.as_ptr(), p, 8192) };
+        let sp = slab.stack_top() - 128;
+        let image = slab.pack(sp).unwrap();
+        let (mut slab2, _) = ThreadSlab::unpack(&r, &image).unwrap();
+        // SAFETY: same address, recommitted by unpack.
+        let got = unsafe { std::slice::from_raw_parts(p as *const u8, 8192) };
+        assert_eq!(got, &data[..]);
+        // Allocator bookkeeping also survived: freeing still works and the
+        // block is recycled.
+        slab2.free(p).unwrap();
+        let q = slab2.malloc(8192).unwrap();
+        assert_eq!(q, p);
+    }
+}

@@ -1,0 +1,129 @@
+//! Model-based property tests: the isomalloc heap against a reference
+//! model, and slot allocation invariants under random operation sequences.
+
+use flows_mem::{IsoConfig, IsoHeap, IsoRegion};
+use flows_sys::map::{Mapping, Protection};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum HeapOp {
+    Alloc(usize),
+    /// Free the nth live allocation (mod live count).
+    Free(usize),
+    /// Write/readback check on the nth live allocation.
+    Touch(usize),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<HeapOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (1usize..100_000).prop_map(HeapOp::Alloc),
+            (0usize..64).prop_map(HeapOp::Free),
+            (0usize..64).prop_map(HeapOp::Touch),
+        ],
+        1..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The heap never hands out overlapping blocks, blocks stay writable
+    /// and retain their fill pattern, and free/alloc cycles never corrupt
+    /// neighbours.
+    #[test]
+    fn heap_against_reference_model(ops in arb_ops()) {
+        let len = 8 << 20;
+        let m = Mapping::reserve(len).unwrap();
+        let mut h = IsoHeap::new(m.addr(), len);
+        let mut commit = |off: usize, l: usize| m.commit(off, l, Protection::ReadWrite);
+        // live: addr -> (size, fill byte)
+        let mut live: Vec<(usize, usize, u8)> = Vec::new();
+        let mut next_fill = 1u8;
+
+        for op in ops {
+            match op {
+                HeapOp::Alloc(size) => {
+                    match h.alloc_with(size, &mut commit) {
+                        Ok(addr) => {
+                            // No overlap with any live block.
+                            for &(a, s, _) in &live {
+                                prop_assert!(
+                                    addr + size <= a || a + s <= addr,
+                                    "overlap: new [{addr:#x},{:#x}) vs live [{a:#x},{:#x})",
+                                    addr + size, a + s
+                                );
+                            }
+                            // SAFETY: fresh allocation of `size` bytes.
+                            unsafe { std::ptr::write_bytes(addr as *mut u8, next_fill, size) };
+                            live.push((addr, size, next_fill));
+                            next_fill = next_fill.wrapping_add(1).max(1);
+                        }
+                        Err(e) => {
+                            prop_assert!(
+                                e.to_string().contains("arena exhausted"),
+                                "only exhaustion may fail: {e}"
+                            );
+                        }
+                    }
+                }
+                HeapOp::Free(i) => {
+                    if !live.is_empty() {
+                        let (addr, _, _) = live.swap_remove(i % live.len());
+                        prop_assert!(h.free(addr).is_ok());
+                        prop_assert!(h.free(addr).is_err(), "double free must fail");
+                    }
+                }
+                HeapOp::Touch(i) => {
+                    if !live.is_empty() {
+                        let (addr, size, fill) = live[i % live.len()];
+                        // SAFETY: live allocation.
+                        let bytes = unsafe { std::slice::from_raw_parts(addr as *const u8, size) };
+                        prop_assert!(
+                            bytes.iter().all(|&b| b == fill),
+                            "block at {addr:#x} lost its fill"
+                        );
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(h.live_blocks(), live.len());
+    }
+
+    /// Slot allocation: unique, disjoint, recycled exactly once.
+    #[test]
+    fn slot_allocator_invariants(frees in proptest::collection::vec(any::<bool>(), 1..40)) {
+        let region = IsoRegion::new(IsoConfig {
+            base: 0,
+            num_pes: 2,
+            slots_per_pe: 16,
+            slot_len: 64 * 1024,
+        }).unwrap();
+        let mut held = HashMap::new();
+        for (i, do_free) in frees.iter().enumerate() {
+            let pe = i % 2;
+            if *do_free && !held.is_empty() {
+                let k = *held.keys().next().unwrap();
+                held.remove(&k);
+            } else if let Ok(slot) = region.alloc_slot(pe) {
+                let base = slot.base();
+                prop_assert!(
+                    !held.contains_key(&base),
+                    "live slot address handed out twice"
+                );
+                // Slot is inside its PE's range.
+                let idx = slot.global_index();
+                prop_assert_eq!(idx / 16, pe, "slot from the wrong PE range");
+                held.insert(base, slot);
+            }
+        }
+        // All remaining slots are disjoint.
+        let mut spans: Vec<(usize, usize)> =
+            held.values().map(|s| (s.base(), s.top())).collect();
+        spans.sort();
+        for w in spans.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0);
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Multi-zone mesh definitions: zone counts and the BT-MZ zone-size law.
+//!
+//! The NAS Multi-Zone benchmarks partition a global mesh into zones that
+//! are solved independently and exchange boundary values each iteration.
+//! SP-MZ uses equal zones; **BT-MZ deliberately makes zone sizes follow a
+//! geometric progression with a ≈20× spread between the largest and
+//! smallest zone**, which is what creates the "most dramatic load
+//! imbalance" the paper uses for Figure 12.
+
+/// Problem classes (grid sizes scaled to laptop scale; the *structure* —
+/// zone counts and the 20× spread — matches the NPB-MZ definitions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MzClass {
+    /// Sample: 2×2 zones over 64².
+    S,
+    /// Workstation: 4×4 zones over 96².
+    W,
+    /// Class A: 4×4 zones over 128².
+    A,
+    /// Class B: 8×8 zones over 192².
+    B,
+}
+
+impl MzClass {
+    /// (zone-grid x, zone-grid y, total nx, total ny)
+    pub fn shape(self) -> (usize, usize, usize, usize) {
+        match self {
+            MzClass::S => (2, 2, 64, 64),
+            MzClass::W => (4, 4, 96, 96),
+            MzClass::A => (4, 4, 128, 128),
+            MzClass::B => (8, 8, 192, 192),
+        }
+    }
+
+    /// Number of zones.
+    pub fn zones(self) -> usize {
+        let (gx, gy, _, _) = self.shape();
+        gx * gy
+    }
+
+    /// Parse "S"/"W"/"A"/"B".
+    pub fn parse(s: &str) -> Option<MzClass> {
+        match s {
+            "S" | "s" => Some(MzClass::S),
+            "W" | "w" => Some(MzClass::W),
+            "A" | "a" => Some(MzClass::A),
+            "B" | "b" => Some(MzClass::B),
+            _ => None,
+        }
+    }
+}
+
+/// Which multi-zone benchmark (zone-size distribution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MzBench {
+    /// Uneven zones (≈20× area spread) — the load-imbalance stressor.
+    BtMz,
+    /// Equal zones — balanced by construction.
+    SpMz,
+}
+
+/// One zone of the partitioned mesh.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Zone {
+    /// Zone index (row-major in the zone grid).
+    pub id: usize,
+    /// Position in the zone grid.
+    pub gx: usize,
+    /// Position in the zone grid.
+    pub gy: usize,
+    /// Interior points in x.
+    pub nx: usize,
+    /// Interior points in y.
+    pub ny: usize,
+}
+
+impl Zone {
+    /// Interior area (the per-iteration work scale).
+    pub fn area(&self) -> usize {
+        self.nx * self.ny
+    }
+}
+
+/// Split `total` into `parts` spans of size ∝ `ratio^i` (each ≥ 4),
+/// exactly summing to `total`.
+fn geometric_split(total: usize, parts: usize, ratio: f64) -> Vec<usize> {
+    let weights: Vec<f64> = (0..parts).map(|i| ratio.powi(i as i32)).collect();
+    let wsum: f64 = weights.iter().sum();
+    let mut sizes: Vec<usize> = weights
+        .iter()
+        .map(|w| ((w / wsum) * total as f64).floor().max(4.0) as usize)
+        .collect();
+    // Fix the rounding drift on the largest part.
+    let assigned: usize = sizes.iter().sum();
+    let last = parts - 1;
+    if assigned <= total {
+        sizes[last] += total - assigned;
+    } else {
+        let over = assigned - total;
+        assert!(sizes[last] > over + 4, "split drift too large");
+        sizes[last] -= over;
+    }
+    sizes
+}
+
+/// Compute every zone of a benchmark/class pair.
+///
+/// For BT-MZ the per-dimension ratio `q` is chosen so the largest/smallest
+/// zone *area* ratio is ≈20 (NPB-MZ's published characteristic):
+/// `q^(gx-1) * q^(gy-1) = 20`.
+pub fn zone_layout(bench: MzBench, class: MzClass) -> Vec<Zone> {
+    let (gx, gy, nx, ny) = class.shape();
+    let (xs, ys) = match bench {
+        MzBench::SpMz => (
+            geometric_split(nx, gx, 1.0),
+            geometric_split(ny, gy, 1.0),
+        ),
+        MzBench::BtMz => {
+            let exponent = (gx - 1) + (gy - 1);
+            let q = if exponent == 0 {
+                1.0
+            } else {
+                20f64.powf(1.0 / exponent as f64)
+            };
+            (geometric_split(nx, gx, q), geometric_split(ny, gy, q))
+        }
+    };
+    let mut zones = Vec::with_capacity(gx * gy);
+    for j in 0..gy {
+        for i in 0..gx {
+            zones.push(Zone {
+                id: j * gx + i,
+                gx: i,
+                gy: j,
+                nx: xs[i],
+                ny: ys[j],
+            });
+        }
+    }
+    zones
+}
+
+/// Zone-to-rank assignment: round-robin over zone ids, as in the NPB-MZ
+/// reference. Composed with AMPI's block rank→PE map, different NPROCS
+/// values scatter the geometric zone sizes very differently across PEs —
+/// which is exactly why the paper's no-LB times vary so dramatically
+/// between e.g. B.16, B.32 and B.64 on the same 8 PEs.
+pub fn rank_of_zone(zone: usize, zones: usize, ranks: usize) -> usize {
+    let _ = zones;
+    zone % ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_are_consistent() {
+        for class in [MzClass::S, MzClass::W, MzClass::A, MzClass::B] {
+            for bench in [MzBench::BtMz, MzBench::SpMz] {
+                let (gx, gy, nx, ny) = class.shape();
+                let zones = zone_layout(bench, class);
+                assert_eq!(zones.len(), gx * gy);
+                // Widths along each row sum to the full mesh.
+                let row_total: usize = zones[..gx].iter().map(|z| z.nx).sum();
+                assert_eq!(row_total, nx, "{bench:?} {class:?}");
+                let col_total: usize = zones.iter().step_by(gx).map(|z| z.ny).sum();
+                assert_eq!(col_total, ny);
+                for z in &zones {
+                    assert!(z.nx >= 4 && z.ny >= 4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn btmz_has_large_area_spread_spmz_is_flat() {
+        for class in [MzClass::W, MzClass::A, MzClass::B] {
+            let bt = zone_layout(MzBench::BtMz, class);
+            let max = bt.iter().map(Zone::area).max().unwrap() as f64;
+            let min = bt.iter().map(Zone::area).min().unwrap() as f64;
+            assert!(
+                max / min > 6.0,
+                "{class:?}: BT-MZ spread must be large, got {}",
+                max / min
+            );
+            let sp = zone_layout(MzBench::SpMz, class);
+            let smax = sp.iter().map(Zone::area).max().unwrap() as f64;
+            let smin = sp.iter().map(Zone::area).min().unwrap() as f64;
+            assert!(smax / smin < 1.5, "{class:?}: SP-MZ must be near-equal");
+        }
+    }
+
+    #[test]
+    fn round_robin_assignment_covers_all_ranks_evenly() {
+        let zones = 16;
+        let ranks = 8;
+        let mut per_rank = vec![0; ranks];
+        for z in 0..zones {
+            per_rank[rank_of_zone(z, zones, ranks)] += 1;
+        }
+        assert!(per_rank.iter().all(|&c| c == 2));
+        assert_eq!(rank_of_zone(0, zones, ranks), 0);
+        assert_eq!(rank_of_zone(8, zones, ranks), 0, "wraps around");
+        assert_eq!(rank_of_zone(9, zones, ranks), 1);
+    }
+
+    #[test]
+    fn class_parsing() {
+        assert_eq!(MzClass::parse("A"), Some(MzClass::A));
+        assert_eq!(MzClass::parse("b"), Some(MzClass::B));
+        assert_eq!(MzClass::parse("q"), None);
+    }
+}

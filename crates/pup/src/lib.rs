@@ -1,0 +1,97 @@
+//! # flows-pup — the PUP (Pack/UnPack) framework
+//!
+//! The paper (§3.1.1) migrates heap state of object-oriented applications
+//! with Charm++'s PUP framework: one user-written traversal of an object's
+//! fields serves three operations — *sizing* (how many bytes will this
+//! object occupy?), *packing* (serialize into a buffer) and *unpacking*
+//! (reconstruct from a buffer). This crate is a faithful Rust rendition:
+//!
+//! ```
+//! use flows_pup::{Pup, Puper, pup_fields, to_bytes, from_bytes};
+//!
+//! #[derive(Default, Debug, PartialEq)]
+//! struct Particle { x: f64, y: f64, charge: i32, tags: Vec<u32> }
+//! pup_fields!(Particle { x, y, charge, tags });
+//!
+//! let mut p = Particle { x: 1.0, y: -2.0, charge: 3, tags: vec![7, 8] };
+//! let bytes = to_bytes(&mut p);
+//! let q: Particle = from_bytes(&bytes).unwrap();
+//! assert_eq!(p, q);
+//! ```
+//!
+//! The same `pup` traversal drives all three modes, so sizing, packing and
+//! unpacking can never drift apart — the property the Charm++ design is
+//! built around.
+
+#![warn(missing_docs)]
+
+mod error;
+mod impls;
+mod puper;
+
+pub use error::PupError;
+pub use puper::{Pup, Puper};
+
+/// Compute the packed size of `v` in bytes.
+pub fn packed_size<T: Pup + ?Sized>(v: &mut T) -> usize {
+    let mut p = Puper::sizer();
+    v.pup(&mut p);
+    p.size()
+}
+
+/// Pack `v` into a fresh byte vector.
+///
+/// `v` is `&mut` because the same traversal serves packing and unpacking;
+/// packing never mutates the value.
+pub fn to_bytes<T: Pup + ?Sized>(v: &mut T) -> Vec<u8> {
+    let mut out = Vec::with_capacity(packed_size(v));
+    let mut p = Puper::packer(&mut out);
+    v.pup(&mut p);
+    out
+}
+
+/// Pack `v` onto the end of `out`, returning the number of bytes appended.
+pub fn pack_into<T: Pup + ?Sized>(v: &mut T, out: &mut Vec<u8>) -> usize {
+    let before = out.len();
+    let mut p = Puper::packer(out);
+    v.pup(&mut p);
+    out.len() - before
+}
+
+/// Unpack a `T` from `bytes`, requiring every byte to be consumed.
+pub fn from_bytes<T: Pup + Default>(bytes: &[u8]) -> Result<T, PupError> {
+    let mut v = T::default();
+    let mut p = Puper::unpacker(bytes);
+    v.pup(&mut p);
+    p.finish_exact()?;
+    Ok(v)
+}
+
+/// Unpack a `T` from the front of `bytes`, returning the value and the
+/// number of bytes consumed (for streams of packed records).
+pub fn from_bytes_prefix<T: Pup + Default>(bytes: &[u8]) -> Result<(T, usize), PupError> {
+    let mut v = T::default();
+    let mut p = Puper::unpacker(bytes);
+    v.pup(&mut p);
+    let used = p.finish()?;
+    Ok((v, used))
+}
+
+/// Implement [`Pup`] for a struct by pupping the listed fields in order.
+///
+/// ```
+/// use flows_pup::pup_fields;
+/// #[derive(Default)]
+/// struct S { a: u32, b: String }
+/// pup_fields!(S { a, b });
+/// ```
+#[macro_export]
+macro_rules! pup_fields {
+    ($ty:ty { $($field:ident),* $(,)? }) => {
+        impl $crate::Pup for $ty {
+            fn pup(&mut self, p: &mut $crate::Puper) {
+                $( self.$field.pup(p); )*
+            }
+        }
+    };
+}

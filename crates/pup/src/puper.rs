@@ -1,0 +1,172 @@
+//! The three-mode traversal driver.
+
+use crate::error::PupError;
+
+enum Mode<'a> {
+    Size {
+        bytes: usize,
+    },
+    Pack {
+        out: &'a mut Vec<u8>,
+    },
+    Unpack {
+        input: &'a [u8],
+        pos: usize,
+        error: Option<PupError>,
+    },
+}
+
+/// A single sizing / packing / unpacking pass over an object graph.
+///
+/// User code rarely constructs these directly — use the crate-level
+/// [`crate::to_bytes`] / [`crate::from_bytes`] helpers — but custom [`Pup`]
+/// implementations interact with the methods here.
+pub struct Puper<'a> {
+    mode: Mode<'a>,
+}
+
+impl<'a> Puper<'a> {
+    /// A sizing pass.
+    pub fn sizer() -> Puper<'static> {
+        Puper {
+            mode: Mode::Size { bytes: 0 },
+        }
+    }
+
+    /// A packing pass appending to `out`.
+    pub fn packer(out: &'a mut Vec<u8>) -> Puper<'a> {
+        Puper {
+            mode: Mode::Pack { out },
+        }
+    }
+
+    /// An unpacking pass reading from `input`.
+    pub fn unpacker(input: &'a [u8]) -> Puper<'a> {
+        Puper {
+            mode: Mode::Unpack {
+                input,
+                pos: 0,
+                error: None,
+            },
+        }
+    }
+
+    /// True while unpacking — implementations use this to apply decoded
+    /// bytes back to their fields.
+    pub fn is_unpacking(&self) -> bool {
+        matches!(self.mode, Mode::Unpack { .. })
+    }
+
+    /// True while sizing.
+    pub fn is_sizing(&self) -> bool {
+        matches!(self.mode, Mode::Size { .. })
+    }
+
+    /// True while packing.
+    pub fn is_packing(&self) -> bool {
+        matches!(self.mode, Mode::Pack { .. })
+    }
+
+    /// The core operation: in sizing mode count `buf.len()`, in packing
+    /// mode append `buf`, in unpacking mode overwrite `buf` with the next
+    /// bytes from the input (zero-filling after a truncation error, so the
+    /// traversal stays memory-safe and the error surfaces at the end).
+    pub fn raw(&mut self, buf: &mut [u8]) {
+        match &mut self.mode {
+            Mode::Size { bytes } => *bytes += buf.len(),
+            Mode::Pack { out } => out.extend_from_slice(buf),
+            Mode::Unpack { input, pos, error } => {
+                if error.is_some() {
+                    buf.fill(0);
+                    return;
+                }
+                let end = *pos + buf.len();
+                if end > input.len() {
+                    *error = Some(PupError::Truncated {
+                        needed: buf.len(),
+                        at: *pos,
+                    });
+                    buf.fill(0);
+                    return;
+                }
+                buf.copy_from_slice(&input[*pos..end]);
+                *pos = end;
+            }
+        }
+    }
+
+    /// Record a decoding error discovered by an implementation (e.g. a
+    /// corrupt tag). Subsequent reads return zeros; the error is reported
+    /// by [`Puper::finish`].
+    pub fn fail(&mut self, e: PupError) {
+        if let Mode::Unpack { error, .. } = &mut self.mode {
+            if error.is_none() {
+                *error = Some(e);
+            }
+        } else {
+            panic!("Puper::fail called while not unpacking: {e}");
+        }
+    }
+
+    /// True when an unpacking error has already been recorded. Container
+    /// implementations consult this to stop materializing elements once the
+    /// input has failed (a hostile length prefix must not drive an
+    /// unbounded loop of zero-filled elements).
+    pub fn has_error(&self) -> bool {
+        matches!(
+            self.mode,
+            Mode::Unpack {
+                error: Some(_),
+                ..
+            }
+        )
+    }
+
+    /// Current unpack offset (0 outside unpack mode). Implementations use
+    /// it to produce located errors.
+    pub fn offset(&self) -> usize {
+        match &self.mode {
+            Mode::Unpack { pos, .. } => *pos,
+            _ => 0,
+        }
+    }
+
+    /// Sizing result.
+    pub(crate) fn size(&self) -> usize {
+        match &self.mode {
+            Mode::Size { bytes } => *bytes,
+            _ => panic!("size() on a non-sizing Puper"),
+        }
+    }
+
+    /// Finish an unpacking pass, returning bytes consumed.
+    pub(crate) fn finish(self) -> Result<usize, PupError> {
+        match self.mode {
+            Mode::Unpack { pos, error, .. } => match error {
+                Some(e) => Err(e),
+                None => Ok(pos),
+            },
+            _ => panic!("finish() on a non-unpacking Puper"),
+        }
+    }
+
+    /// Finish an unpacking pass, requiring full consumption of the input.
+    pub(crate) fn finish_exact(self) -> Result<(), PupError> {
+        match self.mode {
+            Mode::Unpack { input, pos, error } => match error {
+                Some(e) => Err(e),
+                None if pos == input.len() => Ok(()),
+                None => Err(PupError::TrailingBytes(input.len() - pos)),
+            },
+            _ => panic!("finish_exact() on a non-unpacking Puper"),
+        }
+    }
+}
+
+/// A migratable piece of state: one traversal drives sizing, packing and
+/// unpacking (see crate docs).
+pub trait Pup {
+    /// Visit every field, in a fixed order, with [`Puper::raw`]-derived
+    /// operations.
+    fn pup(&mut self, p: &mut Puper);
+}

@@ -1,0 +1,77 @@
+//! Property tests: PUP round-trips are exact for arbitrary value trees and
+//! unpacking never panics on arbitrary (including corrupt) byte soup.
+
+use flows_pup::{from_bytes, pup_fields, to_bytes};
+use proptest::prelude::*;
+
+#[derive(Default, Debug, PartialEq, Clone)]
+struct Record {
+    id: u64,
+    weight: f64,
+    name: String,
+    samples: Vec<i32>,
+    maybe: Option<u16>,
+    pairs: Vec<(u8, String)>,
+}
+pup_fields!(Record {
+    id,
+    weight,
+    name,
+    samples,
+    maybe,
+    pairs
+});
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    (
+        any::<u64>(),
+        any::<f64>().prop_filter("NaN compares unequal", |f| !f.is_nan()),
+        ".{0,40}",
+        proptest::collection::vec(any::<i32>(), 0..50),
+        any::<Option<u16>>(),
+        proptest::collection::vec((any::<u8>(), ".{0,10}"), 0..10),
+    )
+        .prop_map(|(id, weight, name, samples, maybe, pairs)| Record {
+            id,
+            weight,
+            name,
+            samples,
+            maybe,
+            pairs,
+        })
+}
+
+proptest! {
+    #[test]
+    fn record_roundtrips(r in arb_record()) {
+        let mut src = r.clone();
+        let bytes = to_bytes(&mut src);
+        let back: Record = from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, r);
+    }
+
+    #[test]
+    fn nested_vecs_roundtrip(v in proptest::collection::vec(
+        proptest::collection::vec(any::<u64>(), 0..20), 0..20)) {
+        let mut src = v.clone();
+        let bytes = to_bytes(&mut src);
+        let back: Vec<Vec<u64>> = from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        // Decoding garbage may fail, but must fail with an error value.
+        let _ = from_bytes::<Record>(&bytes);
+        let _ = from_bytes::<Vec<String>>(&bytes);
+        let _ = from_bytes::<Option<Vec<u32>>>(&bytes);
+    }
+
+    #[test]
+    fn sizing_matches_packing(r in arb_record()) {
+        let mut src = r;
+        let sized = flows_pup::packed_size(&mut src);
+        let packed = to_bytes(&mut src);
+        prop_assert_eq!(sized, packed.len());
+    }
+}

@@ -1,0 +1,102 @@
+//! Error type for OS-level failures.
+
+use std::fmt;
+
+/// Result alias used throughout `flows-sys`.
+pub type SysResult<T> = Result<T, SysError>;
+
+/// An error returned by an operating-system service.
+///
+/// Wraps the `errno` value together with the operation that failed so that
+/// diagnostics from deep inside the memory machinery stay actionable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SysError {
+    /// The syscall or logical operation that failed (static description).
+    pub op: &'static str,
+    /// The raw `errno` value at the time of failure (0 when not applicable).
+    pub errno: i32,
+    /// Optional extra context (an address, a size, ...).
+    pub detail: Option<String>,
+}
+
+impl SysError {
+    /// Capture the current `errno` for a failed operation `op`.
+    pub fn last(op: &'static str) -> Self {
+        SysError {
+            op,
+            errno: std::io::Error::last_os_error().raw_os_error().unwrap_or(0),
+            detail: None,
+        }
+    }
+
+    /// Capture the current `errno` with extra context.
+    pub fn last_with(op: &'static str, detail: String) -> Self {
+        let mut e = Self::last(op);
+        e.detail = Some(detail);
+        e
+    }
+
+    /// A logical (non-errno) error, e.g. an invariant violation detected
+    /// before reaching the kernel.
+    pub fn logic(op: &'static str, detail: String) -> Self {
+        SysError {
+            op,
+            errno: 0,
+            detail: Some(detail),
+        }
+    }
+
+    /// The failure as a `std::io::Error` (loses the `op` context).
+    pub fn as_io(&self) -> std::io::Error {
+        if self.errno != 0 {
+            std::io::Error::from_raw_os_error(self.errno)
+        } else {
+            std::io::Error::other(self.to_string())
+        }
+    }
+}
+
+impl fmt::Display for SysError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} failed", self.op)?;
+        if self.errno != 0 {
+            write!(
+                f,
+                ": {} (errno {})",
+                std::io::Error::from_raw_os_error(self.errno),
+                self.errno
+            )?;
+        }
+        if let Some(d) = &self.detail {
+            write!(f, " [{d}]")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for SysError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logic_error_formats_without_errno() {
+        let e = SysError::logic("slot_alloc", "out of slots".into());
+        let s = e.to_string();
+        assert!(s.contains("slot_alloc"));
+        assert!(s.contains("out of slots"));
+        assert!(!s.contains("errno"));
+    }
+
+    #[test]
+    fn errno_error_formats_with_code() {
+        let e = SysError {
+            op: "mmap",
+            errno: libc::ENOMEM,
+            detail: None,
+        };
+        assert!(e.to_string().contains("errno 12"));
+        assert_eq!(e.as_io().raw_os_error(), Some(libc::ENOMEM));
+    }
+}

@@ -1,0 +1,33 @@
+//! # flows-sys — raw OS services for the `flows` workspace
+//!
+//! This crate is the single home for every interaction with the operating
+//! system that the migratable-thread machinery needs:
+//!
+//! * page-granular virtual memory control ([`map`]): reserving large
+//!   `PROT_NONE` regions, committing/decommitting pages, `MAP_FIXED`
+//!   remapping — the substrate for *isomalloc* and *memory-aliasing* stacks
+//!   (paper §3.4.2–§3.4.3);
+//! * anonymous shared memory objects ([`memfd`]) that back memory-aliasing
+//!   stacks;
+//! * monotonic and cycle-accurate timing ([`time`]) used by every benchmark
+//!   harness;
+//! * process-level odds and ends ([`os`]): `sched_yield`, pids, resource
+//!   limits, `/proc` limit discovery for Table 2.
+//!
+//! Everything above this crate (except `flows-arch` and `flows-mem`) is
+//! safe Rust; the `unsafe` concentrated here is small and each block carries
+//! a `SAFETY` comment.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod map;
+pub mod memfd;
+pub mod os;
+pub mod page;
+pub mod time;
+
+pub use error::{SysError, SysResult};
+pub use map::{Mapping, Protection};
+pub use memfd::MemFd;
+pub use page::{page_align_down, page_align_up, page_size};

@@ -1,0 +1,350 @@
+//! Page-granular virtual-memory control.
+//!
+//! Isomalloc (paper §3.4.2) needs to *reserve* a huge span of virtual
+//! address space at a fixed, machine-wide-agreed address, then commit
+//! physical pages only to the slots of locally resident threads.
+//! Memory-aliasing stacks (paper §3.4.3) need to remap a shared-memory
+//! object over a fixed "common stack" address on every context switch.
+//! Both are expressed with the small vocabulary in this module:
+//!
+//! * [`Mapping::reserve`] / [`Mapping::reserve_at`] — claim address space
+//!   with `PROT_NONE` (no physical memory, no swap accounting);
+//! * [`Mapping::commit`] / [`Mapping::decommit`] — flip page ranges between
+//!   "backed, zero-filled, read-write" and "inaccessible, physical pages
+//!   returned to the kernel";
+//! * [`Mapping::alias_file`] / [`Mapping::unalias`] — splice a file-backed
+//!   (`memfd`) window over part of a reservation and put the `PROT_NONE`
+//!   reservation back afterwards.
+
+use crate::error::{SysError, SysResult};
+use crate::page::page_size;
+
+/// Memory protection for committed ranges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protection {
+    /// No access — reserved address space only.
+    None,
+    /// Read-only.
+    Read,
+    /// Read + write (the normal committed state).
+    ReadWrite,
+}
+
+impl Protection {
+    fn as_raw(self) -> libc::c_int {
+        match self {
+            Protection::None => libc::PROT_NONE,
+            Protection::Read => libc::PROT_READ,
+            Protection::ReadWrite => libc::PROT_READ | libc::PROT_WRITE,
+        }
+    }
+}
+
+/// An owned span of virtual address space.
+///
+/// Dropping a `Mapping` unmaps it. All offsets/lengths passed to methods
+/// must be page-aligned; this is asserted in debug builds and enforced with
+/// errors in release builds.
+#[derive(Debug)]
+pub struct Mapping {
+    addr: *mut u8,
+    len: usize,
+}
+
+// SAFETY: a `Mapping` is a handle to kernel state identified by an address
+// range; the kernel serializes the mmap/mprotect calls themselves. Racing
+// *data* accesses within the range are the responsibility of the memory
+// managers built on top (flows-mem), which guard them with locks.
+unsafe impl Send for Mapping {}
+// SAFETY: see above — all &self methods are kernel-serialized.
+unsafe impl Sync for Mapping {}
+
+impl Mapping {
+    /// Reserve `len` bytes of address space anywhere, with no backing pages.
+    pub fn reserve(len: usize) -> SysResult<Mapping> {
+        Self::reserve_inner(std::ptr::null_mut(), len, 0)
+    }
+
+    /// Reserve `len` bytes at exactly `addr`.
+    ///
+    /// Fails (rather than clobbering) if any byte of the range is already
+    /// mapped, which is how isomalloc detects that its agreed-upon region is
+    /// unavailable on this machine.
+    pub fn reserve_at(addr: usize, len: usize) -> SysResult<Mapping> {
+        Self::reserve_inner(addr as *mut libc::c_void, len, libc::MAP_FIXED_NOREPLACE)
+    }
+
+    fn reserve_inner(
+        addr: *mut libc::c_void,
+        len: usize,
+        extra_flags: libc::c_int,
+    ) -> SysResult<Mapping> {
+        check_aligned(len, "reserve len")?;
+        if len == 0 {
+            return Err(SysError::logic("mmap", "zero-length reservation".into()));
+        }
+        // SAFETY: anonymous PROT_NONE mapping; no existing memory is touched
+        // (MAP_FIXED_NOREPLACE refuses to replace existing mappings).
+        let p = unsafe {
+            libc::mmap(
+                addr,
+                len,
+                libc::PROT_NONE,
+                libc::MAP_PRIVATE | libc::MAP_ANONYMOUS | libc::MAP_NORESERVE | extra_flags,
+                -1,
+                0,
+            )
+        };
+        if p == libc::MAP_FAILED {
+            return Err(SysError::last_with(
+                "mmap",
+                format!("reserve {len:#x} bytes at {addr:p}"),
+            ));
+        }
+        if !addr.is_null() && p != addr {
+            // Pre-4.17 kernels ignore MAP_FIXED_NOREPLACE; treat a moved
+            // mapping as failure.
+            // SAFETY: unmapping the mapping we just created.
+            unsafe { libc::munmap(p, len) };
+            return Err(SysError::logic(
+                "mmap",
+                format!("kernel moved fixed reservation from {addr:p} to {p:p}"),
+            ));
+        }
+        Ok(Mapping {
+            addr: p.cast(),
+            len,
+        })
+    }
+
+    /// Base address of the mapping.
+    pub fn addr(&self) -> usize {
+        self.addr as usize
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the mapping has zero length (never constructed normally).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn check_range(&self, offset: usize, len: usize, op: &'static str) -> SysResult<()> {
+        check_aligned(offset, op)?;
+        check_aligned(len, op)?;
+        if offset.checked_add(len).is_none_or(|end| end > self.len) {
+            return Err(SysError::logic(
+                op,
+                format!(
+                    "range {offset:#x}+{len:#x} outside mapping of {:#x}",
+                    self.len
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Commit the page range `[offset, offset+len)` with the given
+    /// protection. Newly committed anonymous pages read as zero.
+    pub fn commit(&self, offset: usize, len: usize, prot: Protection) -> SysResult<()> {
+        self.check_range(offset, len, "mprotect")?;
+        // SAFETY: range checked against this mapping.
+        let rc = unsafe {
+            libc::mprotect(
+                self.addr.add(offset).cast(),
+                len,
+                prot.as_raw(),
+            )
+        };
+        if rc != 0 {
+            return Err(SysError::last_with(
+                "mprotect",
+                format!("commit {len:#x} at +{offset:#x}"),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Return the physical pages of `[offset, offset+len)` to the kernel and
+    /// make the range inaccessible again. The address space stays reserved.
+    pub fn decommit(&self, offset: usize, len: usize) -> SysResult<()> {
+        self.check_range(offset, len, "decommit")?;
+        // SAFETY: range checked; MADV_DONTNEED on an anonymous private
+        // mapping discards the pages (subsequent commits read zero).
+        unsafe {
+            let p = self.addr.add(offset).cast::<libc::c_void>();
+            if libc::madvise(p, len, libc::MADV_DONTNEED) != 0 {
+                return Err(SysError::last("madvise"));
+            }
+            if libc::mprotect(p, len, libc::PROT_NONE) != 0 {
+                return Err(SysError::last("mprotect"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Splice `len` bytes of `fd` starting at file offset `file_offset` over
+    /// `[offset, offset+len)` of this mapping (shared, read-write).
+    ///
+    /// This is the memory-aliasing primitive: the window contents become the
+    /// file contents, and stores are visible through every other alias of
+    /// the same file range.
+    pub fn alias_file(
+        &self,
+        offset: usize,
+        len: usize,
+        fd: std::os::fd::RawFd,
+        file_offset: u64,
+    ) -> SysResult<()> {
+        self.check_range(offset, len, "alias_file")?;
+        // SAFETY: MAP_FIXED over a range we own (checked above); replaces
+        // our own reservation, never foreign mappings.
+        let p = unsafe {
+            libc::mmap(
+                self.addr.add(offset).cast(),
+                len,
+                libc::PROT_READ | libc::PROT_WRITE,
+                libc::MAP_SHARED | libc::MAP_FIXED,
+                fd,
+                file_offset as libc::off_t,
+            )
+        };
+        if p == libc::MAP_FAILED {
+            return Err(SysError::last_with(
+                "mmap",
+                format!("alias {len:#x} at +{offset:#x} from fd {fd} @{file_offset:#x}"),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Replace `[offset, offset+len)` with a fresh anonymous `PROT_NONE`
+    /// reservation, undoing [`Mapping::alias_file`] or [`Mapping::commit`].
+    pub fn unalias(&self, offset: usize, len: usize) -> SysResult<()> {
+        self.check_range(offset, len, "unalias")?;
+        // SAFETY: MAP_FIXED over a range we own.
+        let p = unsafe {
+            libc::mmap(
+                self.addr.add(offset).cast(),
+                len,
+                libc::PROT_NONE,
+                libc::MAP_PRIVATE | libc::MAP_ANONYMOUS | libc::MAP_NORESERVE | libc::MAP_FIXED,
+                -1,
+                0,
+            )
+        };
+        if p == libc::MAP_FAILED {
+            return Err(SysError::last("mmap"));
+        }
+        Ok(())
+    }
+
+    /// Raw pointer to byte `offset` of the mapping. The caller must ensure
+    /// the range it dereferences is committed.
+    pub fn ptr(&self, offset: usize) -> *mut u8 {
+        assert!(offset <= self.len, "offset outside mapping");
+        // SAFETY: offset bounds-checked against the mapping length.
+        unsafe { self.addr.add(offset) }
+    }
+}
+
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        if !self.addr.is_null() && self.len > 0 {
+            // SAFETY: unmapping a region this handle owns.
+            unsafe { libc::munmap(self.addr.cast(), self.len) };
+        }
+    }
+}
+
+fn check_aligned(n: usize, op: &'static str) -> SysResult<()> {
+    if n % page_size() != 0 {
+        return Err(SysError::logic(
+            "align",
+            format!("{op}: {n:#x} is not page-aligned"),
+        ));
+    }
+    Ok(())
+}
+
+/// Is the fixed range `[addr, addr+len)` currently available (unmapped) in
+/// this process? Used by the Table 1 portability probe.
+pub fn fixed_range_available(addr: usize, len: usize) -> bool {
+    match Mapping::reserve_at(addr, len) {
+        Ok(_m) => true, // dropped => unmapped again
+        Err(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_commit_write_decommit() {
+        let p = page_size();
+        let m = Mapping::reserve(16 * p).unwrap();
+        m.commit(p, 2 * p, Protection::ReadWrite).unwrap();
+        // SAFETY: just committed read-write.
+        unsafe {
+            let q = m.ptr(p);
+            assert_eq!(*q, 0, "fresh pages must read zero");
+            *q = 0xAB;
+            assert_eq!(*q, 0xAB);
+        }
+        m.decommit(p, 2 * p).unwrap();
+        m.commit(p, p, Protection::ReadWrite).unwrap();
+        // SAFETY: recommitted read-write.
+        unsafe {
+            assert_eq!(*m.ptr(p), 0, "decommit must discard contents");
+        }
+    }
+
+    #[test]
+    fn reserve_at_conflict_detected() {
+        let p = page_size();
+        let m = Mapping::reserve(4 * p).unwrap();
+        // Reserving on top of an existing mapping must fail, not clobber.
+        let r = Mapping::reserve_at(m.addr(), 4 * p);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn reserve_at_free_range_works() {
+        let p = page_size();
+        // Find a free range by reserving and releasing.
+        let probe = Mapping::reserve(8 * p).unwrap();
+        let addr = probe.addr();
+        drop(probe);
+        let m = Mapping::reserve_at(addr, 8 * p).unwrap();
+        assert_eq!(m.addr(), addr);
+    }
+
+    #[test]
+    fn unaligned_arguments_rejected() {
+        let p = page_size();
+        let m = Mapping::reserve(4 * p).unwrap();
+        assert!(m.commit(1, p, Protection::ReadWrite).is_err());
+        assert!(m.commit(0, p + 1, Protection::ReadWrite).is_err());
+        assert!(m.commit(4 * p, p, Protection::ReadWrite).is_err());
+        assert!(m.commit(usize::MAX - p + 1, p, Protection::ReadWrite).is_err());
+    }
+
+    #[test]
+    fn zero_len_reserve_rejected() {
+        assert!(Mapping::reserve(0).is_err());
+    }
+
+    #[test]
+    fn fixed_probe_reports_truthfully() {
+        let p = page_size();
+        let m = Mapping::reserve(4 * p).unwrap();
+        assert!(!fixed_range_available(m.addr(), 4 * p));
+        let addr = m.addr();
+        drop(m);
+        assert!(fixed_range_available(addr, 4 * p));
+    }
+}

@@ -1,0 +1,163 @@
+//! Anonymous shared-memory objects (`memfd_create`).
+//!
+//! Memory-aliasing stacks (paper §3.4.3) store each thread's stack in
+//! distinct physical pages and map the running thread's pages over one
+//! common virtual address. The distinct physical pages are frames of a
+//! single `memfd` object; "switching in" thread *i* is one
+//! `mmap(MAP_FIXED, fd, i * frame_size)` call.
+
+use crate::error::{SysError, SysResult};
+use crate::page::page_size;
+use std::os::fd::RawFd;
+
+/// An owned anonymous file living entirely in memory.
+#[derive(Debug)]
+pub struct MemFd {
+    fd: RawFd,
+    len: u64,
+}
+
+impl MemFd {
+    /// Create a memfd named `name` (debug aid only) of `len` bytes.
+    pub fn new(name: &str, len: u64) -> SysResult<MemFd> {
+        if len == 0 || len % page_size() as u64 != 0 {
+            return Err(SysError::logic(
+                "memfd_create",
+                format!("length {len:#x} must be a positive page multiple"),
+            ));
+        }
+        let cname = std::ffi::CString::new(name)
+            .map_err(|_| SysError::logic("memfd_create", "name contains NUL".into()))?;
+        // SAFETY: memfd_create with a valid C string; no memory is shared
+        // until the fd is mapped.
+        let fd = unsafe { libc::memfd_create(cname.as_ptr(), libc::MFD_CLOEXEC) };
+        if fd < 0 {
+            return Err(SysError::last("memfd_create"));
+        }
+        // SAFETY: fd is a fresh memfd we own.
+        if unsafe { libc::ftruncate(fd, len as libc::off_t) } != 0 {
+            let e = SysError::last("ftruncate");
+            // SAFETY: closing the fd we just created.
+            unsafe { libc::close(fd) };
+            return Err(e);
+        }
+        Ok(MemFd { fd, len })
+    }
+
+    /// The raw file descriptor (owned by this object; do not close).
+    pub fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Size of the object in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when the object has zero length (cannot be constructed).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Grow the object to `new_len` bytes (must be a page multiple ≥ len).
+    pub fn grow(&mut self, new_len: u64) -> SysResult<()> {
+        if new_len < self.len || new_len % page_size() as u64 != 0 {
+            return Err(SysError::logic(
+                "ftruncate",
+                format!("bad grow {:#x} -> {new_len:#x}", self.len),
+            ));
+        }
+        // SAFETY: fd owned by self.
+        if unsafe { libc::ftruncate(self.fd, new_len as libc::off_t) } != 0 {
+            return Err(SysError::last("ftruncate"));
+        }
+        self.len = new_len;
+        Ok(())
+    }
+
+    /// Punch a hole: return the physical pages backing
+    /// `[offset, offset+len)` to the kernel; the range reads as zero after.
+    pub fn discard(&self, offset: u64, len: u64) -> SysResult<()> {
+        // SAFETY: fallocate PUNCH_HOLE on an fd we own.
+        let rc = unsafe {
+            libc::fallocate(
+                self.fd,
+                libc::FALLOC_FL_PUNCH_HOLE | libc::FALLOC_FL_KEEP_SIZE,
+                offset as libc::off_t,
+                len as libc::off_t,
+            )
+        };
+        if rc != 0 {
+            return Err(SysError::last("fallocate"));
+        }
+        Ok(())
+    }
+}
+
+impl Drop for MemFd {
+    fn drop(&mut self) {
+        // SAFETY: closing the fd this handle owns.
+        unsafe { libc::close(self.fd) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::Mapping;
+
+    #[test]
+    fn create_and_grow() {
+        let p = page_size() as u64;
+        let mut f = MemFd::new("flows-test", 4 * p).unwrap();
+        assert_eq!(f.len(), 4 * p);
+        f.grow(8 * p).unwrap();
+        assert_eq!(f.len(), 8 * p);
+        assert!(f.grow(4 * p).is_err(), "shrinking must be rejected");
+    }
+
+    #[test]
+    fn rejects_bad_lengths() {
+        assert!(MemFd::new("flows-test", 0).is_err());
+        assert!(MemFd::new("flows-test", 123).is_err());
+        assert!(MemFd::new("bad\0name", page_size() as u64).is_err());
+    }
+
+    #[test]
+    fn alias_two_windows_share_contents() {
+        // The heart of memory-aliasing: two virtual windows, one physical
+        // frame.
+        let p = page_size();
+        let f = MemFd::new("flows-alias", 2 * p as u64).unwrap();
+        let m = Mapping::reserve(2 * p).unwrap();
+        m.alias_file(0, p, f.fd(), 0).unwrap();
+        m.alias_file(p, p, f.fd(), 0).unwrap();
+        // SAFETY: both windows just mapped read-write.
+        unsafe {
+            *m.ptr(0) = 42;
+            assert_eq!(*m.ptr(p), 42, "aliased windows must share storage");
+        }
+        m.unalias(0, 2 * p).unwrap();
+    }
+
+    #[test]
+    fn switching_frames_switches_contents() {
+        // Frame 0 and frame 1 hold different data; remapping the common
+        // window flips which data is visible — the aliasing context switch.
+        let p = page_size();
+        let f = MemFd::new("flows-frames", 2 * p as u64).unwrap();
+        let m = Mapping::reserve(p).unwrap();
+        m.alias_file(0, p, f.fd(), 0).unwrap();
+        // SAFETY: window mapped read-write.
+        unsafe { *m.ptr(0) = 1 };
+        m.alias_file(0, p, f.fd(), p as u64).unwrap();
+        // SAFETY: window remapped to frame 1.
+        unsafe {
+            assert_eq!(*m.ptr(0), 0);
+            *m.ptr(0) = 2;
+        }
+        m.alias_file(0, p, f.fd(), 0).unwrap();
+        // SAFETY: back to frame 0.
+        unsafe { assert_eq!(*m.ptr(0), 1) };
+    }
+}

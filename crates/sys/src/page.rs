@@ -1,0 +1,73 @@
+//! Page-size discovery and alignment arithmetic.
+
+use std::sync::OnceLock;
+
+/// The system page size in bytes (cached after the first call).
+pub fn page_size() -> usize {
+    static PAGE: OnceLock<usize> = OnceLock::new();
+    *PAGE.get_or_init(|| {
+        // SAFETY: sysconf(_SC_PAGESIZE) has no preconditions.
+        let sz = unsafe { libc::sysconf(libc::_SC_PAGESIZE) };
+        if sz <= 0 {
+            4096
+        } else {
+            sz as usize
+        }
+    })
+}
+
+/// Round `n` up to the next multiple of the page size.
+pub fn page_align_up(n: usize) -> usize {
+    let p = page_size();
+    n.checked_add(p - 1).expect("page_align_up overflow") & !(p - 1)
+}
+
+/// Round `n` down to a multiple of the page size.
+pub fn page_align_down(n: usize) -> usize {
+    n & !(page_size() - 1)
+}
+
+/// Round `n` up to the next multiple of `align` (`align` must be a power of
+/// two).
+pub fn align_up(n: usize, align: usize) -> usize {
+    debug_assert!(align.is_power_of_two());
+    n.checked_add(align - 1).expect("align_up overflow") & !(align - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_size_is_power_of_two() {
+        let p = page_size();
+        assert!(p >= 4096);
+        assert!(p.is_power_of_two());
+    }
+
+    #[test]
+    fn align_round_trips() {
+        let p = page_size();
+        assert_eq!(page_align_up(0), 0);
+        assert_eq!(page_align_up(1), p);
+        assert_eq!(page_align_up(p), p);
+        assert_eq!(page_align_up(p + 1), 2 * p);
+        assert_eq!(page_align_down(p - 1), 0);
+        assert_eq!(page_align_down(p), p);
+        assert_eq!(page_align_down(2 * p + 5), 2 * p);
+    }
+
+    #[test]
+    fn align_up_generic() {
+        assert_eq!(align_up(0, 16), 0);
+        assert_eq!(align_up(1, 16), 16);
+        assert_eq!(align_up(16, 16), 16);
+        assert_eq!(align_up(17, 8), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn align_up_overflow_panics() {
+        let _ = page_align_up(usize::MAX);
+    }
+}

@@ -1,0 +1,129 @@
+//! Timing utilities for the benchmark harnesses.
+//!
+//! The paper reports context-switch times down to ~16 ns (Fig. 10), so the
+//! harness needs both a cheap monotonic nanosecond clock and, on x86-64, the
+//! TSC for cycle-level confirmation.
+
+use std::time::Instant;
+
+/// Monotonic nanoseconds since an arbitrary epoch (CLOCK_MONOTONIC).
+pub fn monotonic_ns() -> u64 {
+    let mut ts = libc::timespec {
+        tv_sec: 0,
+        tv_nsec: 0,
+    };
+    // SAFETY: clock_gettime writes into the timespec we provide.
+    unsafe { libc::clock_gettime(libc::CLOCK_MONOTONIC, &mut ts) };
+    ts.tv_sec as u64 * 1_000_000_000 + ts.tv_nsec as u64
+}
+
+/// CPU time consumed by the calling OS thread, in nanoseconds
+/// (CLOCK_THREAD_CPUTIME_ID). Use this — not wall time — to measure work
+/// bursts: wall time silently absorbs preemption by unrelated processes,
+/// which corrupts load measurement on busy hosts.
+pub fn thread_cpu_ns() -> u64 {
+    let mut ts = libc::timespec {
+        tv_sec: 0,
+        tv_nsec: 0,
+    };
+    // SAFETY: clock_gettime writes into the timespec we provide.
+    unsafe { libc::clock_gettime(libc::CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+    ts.tv_sec as u64 * 1_000_000_000 + ts.tv_nsec as u64
+}
+
+/// Read the time-stamp counter (x86-64). Falls back to `monotonic_ns` on
+/// other architectures so callers stay portable.
+#[inline]
+pub fn cycles() -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: rdtsc has no memory effects.
+        unsafe { core::arch::x86_64::_rdtsc() }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        monotonic_ns()
+    }
+}
+
+/// A stopwatch that reports elapsed wall time in seconds / nanoseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed seconds.
+    pub fn secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Elapsed nanoseconds.
+    pub fn nanos(&self) -> u128 {
+        self.start.elapsed().as_nanos()
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+/// Run `f` repeatedly until it has consumed at least `min_ns` nanoseconds
+/// and return `(iterations, elapsed_ns)`. `f` is called with the iteration
+/// batch size it should perform. Used by the figure harnesses to get stable
+/// per-operation times without criterion's full machinery.
+pub fn measure_for(min_ns: u64, mut batch: u64, mut f: impl FnMut(u64)) -> (u64, u64) {
+    let mut total_iters = 0u64;
+    let t0 = Instant::now();
+    loop {
+        f(batch);
+        total_iters += batch;
+        let el = t0.elapsed().as_nanos() as u64;
+        if el >= min_ns {
+            return (total_iters, el);
+        }
+        // Grow batches so the loop overhead stays negligible.
+        batch = batch.saturating_mul(2).min(1 << 24);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_increases() {
+        let a = monotonic_ns();
+        let b = monotonic_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn stopwatch_measures_something() {
+        let sw = Stopwatch::start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(sw.nanos() >= 1_000_000);
+        assert!(sw.secs() > 0.0);
+    }
+
+    #[test]
+    fn measure_for_counts_iterations() {
+        let mut calls = 0u64;
+        let (iters, ns) = measure_for(1_000_000, 10, |b| {
+            calls += b;
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        });
+        assert_eq!(calls, iters);
+        assert!(ns >= 1_000_000);
+        assert!(iters >= 10);
+    }
+}

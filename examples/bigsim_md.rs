@@ -1,0 +1,41 @@
+//! A small BigSim run (paper §4.4): simulate a 2 000-processor target
+//! machine running an MD-like timestep loop, using 2 000 user-level
+//! threads over 2 simulating PEs — the kind of thread count Table 2 shows
+//! is out of reach for processes or kernel threads.
+//!
+//! ```text
+//! cargo run --release --example bigsim_md
+//! ```
+
+use flows::bigsim::{run, BigSimConfig};
+
+fn main() {
+    let cfg = BigSimConfig {
+        target_procs: 2_000,
+        sim_pes: 2,
+        steps: 4,
+        particles_per_proc: 16,
+        stack_bytes: 16 * 1024,
+        threaded: false,
+        target: Default::default(),
+    };
+    println!(
+        "simulating a {}-processor target machine with {} user-level threads on {} PEs...",
+        cfg.target_procs, cfg.target_procs, cfg.sim_pes
+    );
+    let r = run(&cfg);
+    println!("steps simulated        : {}", r.steps);
+    println!("context switches       : {}", r.switches);
+    println!(
+        "modeled time per step  : {:.3} ms",
+        r.modeled_step_ns as f64 * 1e-6
+    );
+    for (i, ns) in r.per_step_wall_ns.iter().enumerate() {
+        println!("  host wall, step {i}    : {:.3} ms", *ns as f64 * 1e-6);
+    }
+    println!("state checksum         : {:#x}", r.checksum);
+    println!(
+        "\n(the Figure 11 harness sweeps simulating PEs 4..64 with 20k/200k \
+         threads: cargo run --release -p flows-bench --bin fig11_bigsim)"
+    );
+}

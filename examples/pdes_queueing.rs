@@ -1,0 +1,137 @@
+//! Parallel discrete-event simulation (paper §1: "each simulation object
+//! can be treated as a separate flow of control", ref [39] — POSE).
+//!
+//! A tandem queueing network simulated with event-driven objects: each
+//! queue station is a chare; jobs are timestamped events routed through
+//! the location-independent comm layer across 2 PEs. Conservative
+//! synchronization: stations process events in timestamp order from a
+//! local pending set, which is safe here because the network is
+//! feed-forward (station i only feeds station i+1, and per-sender FIFO
+//! delivery preserves timestamp order along each channel).
+//!
+//! ```text
+//! cargo run --release --example pdes_queueing
+//! ```
+
+use flows::chare::{create, init_pe, register_chare_type, send_from_here, Chare, ChareLayer};
+use flows::comm::{CommLayer, ObjId};
+use flows::converse::{MachineBuilder, NetModel, Pe};
+use flows::pup::{from_bytes, pup_fields, to_bytes};
+use std::sync::{Mutex, OnceLock};
+
+const STATIONS: usize = 4;
+const JOBS: u64 = 200;
+/// Entry point: a job arrives. Payload = pup'd Job.
+const EP_ARRIVE: u32 = 0;
+
+#[derive(Debug, Default, Clone, PartialEq)]
+struct Job {
+    id: u64,
+    /// Virtual arrival time at the current station.
+    time: u64,
+}
+pup_fields!(Job { id, time });
+
+/// One queue station: serves jobs in arrival order with a deterministic
+/// pseudo-random service time, forwarding to the next station.
+struct Station {
+    index: usize,
+    /// When the server becomes free (virtual time).
+    free_at: u64,
+    served: u64,
+    busy_time: u64,
+}
+
+static DONE: OnceLock<Mutex<Vec<(u64, u64)>>> = OnceLock::new();
+
+fn service_time(station: usize, job: u64) -> u64 {
+    // Deterministic "randomness": different stations have different rates.
+    let h = (job * 2654435761).wrapping_add(station as u64 * 40503);
+    10 + (h % (20 + 15 * station as u64))
+}
+
+impl Chare for Station {
+    fn receive(&mut self, _pe: &Pe, ep: u32, data: Vec<u8>) {
+        assert_eq!(ep, EP_ARRIVE);
+        let mut job: Job = from_bytes(&data).expect("job wire");
+        // Serve: start when both the job and the server are ready.
+        let start = job.time.max(self.free_at);
+        let svc = service_time(self.index, job.id);
+        self.free_at = start + svc;
+        self.busy_time += svc;
+        self.served += 1;
+        job.time = self.free_at;
+        if self.index + 1 < STATIONS {
+            send_from_here(ObjId((self.index + 1) as u64), EP_ARRIVE, to_bytes(&mut job));
+        } else {
+            DONE.get()
+                .unwrap()
+                .lock()
+                .unwrap()
+                .push((job.id, job.time));
+        }
+    }
+}
+
+fn station_factory(bytes: Vec<u8>) -> Box<dyn Chare> {
+    Box::new(Station {
+        index: bytes[0] as usize,
+        free_at: 0,
+        served: 0,
+        busy_time: 0,
+    })
+}
+
+fn main() {
+    DONE.get_or_init(|| Mutex::new(Vec::new()));
+    let mut mb = MachineBuilder::new(2).net_model(NetModel::zero());
+    let _ = CommLayer::register(&mut mb);
+    let _ = ChareLayer::register(&mut mb);
+    let ty = register_chare_type(station_factory);
+
+    mb.run_deterministic(move |pe| {
+        init_pe(pe);
+        // Stations striped across PEs: even on PE0, odd on PE1.
+        for s in 0..STATIONS {
+            if s % pe.num_pes() == pe.id() {
+                create(pe, ObjId(s as u64), ty, station_factory(vec![s as u8]));
+            }
+        }
+        if pe.id() == 0 {
+            // Poisson-ish arrivals into station 0.
+            let mut t = 0u64;
+            for id in 0..JOBS {
+                t += 5 + (id * 48271) % 30;
+                let mut job = Job { id, time: t };
+                send_from_here(ObjId(0), EP_ARRIVE, to_bytes(&mut job));
+            }
+        }
+    });
+
+    let done = DONE.get().unwrap().lock().unwrap();
+    assert_eq!(done.len(), JOBS as usize, "every job must leave the network");
+    let makespan = done.iter().map(|&(_, t)| t).max().unwrap();
+    let mean_sojourn: f64 = {
+        // Reconstruct each job's arrival time from the same generator.
+        let mut t = 0u64;
+        let mut total = 0u64;
+        let arrivals: std::collections::HashMap<u64, u64> = (0..JOBS)
+            .map(|id| {
+                t += 5 + (id * 48271) % 30;
+                (id, t)
+            })
+            .collect();
+        for &(id, finish) in done.iter() {
+            total += finish - arrivals[&id];
+        }
+        total as f64 / JOBS as f64
+    };
+    println!("tandem queue PDES: {STATIONS} stations on 2 PEs, {JOBS} jobs");
+    println!("  virtual makespan : {makespan}");
+    println!("  mean sojourn time: {mean_sojourn:.1}");
+    println!(
+        "\neach station is an event-driven object (§2.4); jobs are routed \
+         by the location-independent layer, so stations could be migrated \
+         mid-simulation exactly like any other chare."
+    );
+}

@@ -1,0 +1,62 @@
+//! Quickstart: user-level threads in four stack flavors, and a live
+//! migration of a suspended thread between two PEs.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use flows::core::{
+    migrate::migrate, suspend, yield_now, SchedConfig, Scheduler, SharedPools, StackFlavor,
+};
+use std::cell::Cell;
+use std::rc::Rc;
+
+fn main() {
+    // One set of machine-wide memory pools (isomalloc region, common
+    // stack regions), shared by every PE in this process.
+    let pools = SharedPools::new_for_tests();
+
+    // --- 1. Many cooperating flows on one PE -----------------------------
+    let pe0 = Scheduler::new(0, pools.clone(), SchedConfig::default());
+    let counter = Rc::new(Cell::new(0u64));
+    for flavor in StackFlavor::ALL {
+        let counter = counter.clone();
+        pe0.spawn(flavor, move || {
+            for _ in 0..3 {
+                counter.set(counter.get() + 1);
+                yield_now(); // cooperative: let the other flavors run
+            }
+            println!("  a {:12} thread finished", flows::core::current().unwrap());
+        })
+        .unwrap();
+    }
+    pe0.run();
+    println!(
+        "four flavors interleaved to {} increments; switches = {}",
+        counter.get(),
+        pe0.stats().switches
+    );
+
+    // --- 2. Migrate a computation mid-flight ------------------------------
+    let pe1 = Scheduler::new(1, pools, SchedConfig::default());
+    let result = Rc::new(Cell::new(0u64));
+    let r2 = result.clone();
+    let tid = pe0
+        .spawn(StackFlavor::Isomalloc, move || {
+            let mut acc: u64 = (1..=1000).sum(); // phase 1 on PE 0
+            suspend(); // ---- migration happens here ----
+            acc += (1001..=2000).sum::<u64>(); // phase 2 on PE 1
+            r2.set(acc);
+        })
+        .unwrap();
+    pe0.run(); // phase 1 runs, thread suspends
+    println!("thread {tid} suspended on PE0 — packing and shipping to PE1");
+    migrate(&pe0, &pe1, tid).unwrap();
+    pe1.awaken_tid(tid).unwrap();
+    pe1.run();
+    println!(
+        "thread resumed on PE1 with its stack intact: sum(1..=2000) = {}",
+        result.get()
+    );
+    assert_eq!(result.get(), 2001000);
+}

@@ -1,0 +1,14 @@
+#!/bin/bash
+# Regenerates every table/figure harness and the criterion benches,
+# capturing everything to bench_output.txt.
+set -u
+cd "$(dirname "$0")"
+{
+echo "=== flows bench harnesses ($(date -u +%FT%TZ), host: $(uname -m), $(nproc) cpu) ==="
+for b in table1_portability table2_limits fig10_minswap fig9_stacksize fig4_ctxswitch_flows fig11_bigsim fig12_btmz; do
+  echo; echo "### $b"
+  timeout 900 cargo run --release -q -p flows-bench --bin "$b" 2>&1
+done
+echo; echo "### criterion micro-benches"
+timeout 1200 cargo bench -p flows-bench 2>&1 | grep -vE "^(Benchmarking|Found|  [0-9]|  high|  low|Warning)" 
+} 

@@ -1,0 +1,29 @@
+//! # flows — migratable flows of control for parallel programs
+//!
+//! Umbrella crate re-exporting the public API of the `flows` workspace, a
+//! reproduction of Zheng, Lawlor & Kalé, *"Multiple Flows of Control in
+//! Migratable Parallel Programs"* (ICPP 2006).
+//!
+//! See the crate-level documentation of the member crates:
+//! [`flows_core`] (migratable user-level threads), [`flows_converse`]
+//! (PE runtime), [`flows_ampi`] (Adaptive-MPI-style interface),
+//! [`flows_chare`] (event-driven objects + Structured Dagger),
+//! [`flows_bigsim`] (machine simulator), [`flows_npb`] (NAS multi-zone
+//! workloads), [`flows_lb`] (load balancing), [`flows_mem`] (isomalloc and
+//! memory-aliasing), [`flows_pup`] (pack/unpack), [`flows_mech`]
+//! (process/kernel-thread mechanisms), [`flows_arch`] and [`flows_sys`]
+//! (machine/OS substrate).
+
+pub use flows_ampi as ampi;
+pub use flows_arch as arch;
+pub use flows_bigsim as bigsim;
+pub use flows_chare as chare;
+pub use flows_comm as comm;
+pub use flows_converse as converse;
+pub use flows_core as core;
+pub use flows_lb as lb;
+pub use flows_mech as mech;
+pub use flows_mem as mem;
+pub use flows_npb as npb;
+pub use flows_pup as pup;
+pub use flows_sys as sys;

@@ -1,0 +1,212 @@
+//! Shape checks for the paper's headline quantitative claims, with very
+//! generous margins so they stay robust on slow/noisy CI hosts. The full
+//! curves come from the flows-bench harnesses; these tests pin the
+//! *orderings* the paper's conclusions rest on.
+
+use flows::arch::{Context, InitialStack, SwapKind};
+use flows::bigsim::{run as run_bigsim, BigSimConfig};
+use flows::core::{yield_now, SchedConfig, Scheduler, SharedPools, StackFlavor};
+use flows::mem::IsoConfig;
+use std::cell::Cell;
+use std::rc::Rc;
+
+fn pools(common: usize, slot: usize) -> std::sync::Arc<SharedPools> {
+    let mut iso = IsoConfig::for_pes(1);
+    iso.base = 0;
+    iso.slot_len = slot;
+    iso.slots_per_pe = 16;
+    SharedPools::new(iso, common).unwrap()
+}
+
+/// ns per switch for 2 threads of `flavor` holding `live_stack` bytes.
+fn switch_ns(flavor: StackFlavor, live_stack: usize) -> f64 {
+    let sched = Scheduler::new(
+        0,
+        pools(8 << 20, 16 << 20),
+        SchedConfig {
+            stack_len: 4 << 20,
+            ..SchedConfig::default()
+        },
+    );
+    let stop = Rc::new(Cell::new(false));
+    for _ in 0..2 {
+        let stop = stop.clone();
+        sched
+            .spawn(flavor, move || {
+                fn burn(bytes: usize, stop: &Cell<bool>) {
+                    if bytes <= 4096 {
+                        while !stop.get() {
+                            yield_now();
+                        }
+                    } else {
+                        let mut pad = [0u8; 4096];
+                        std::hint::black_box(&mut pad[..]);
+                        burn(bytes - 4096, stop);
+                        std::hint::black_box(&mut pad[..]);
+                    }
+                }
+                burn(live_stack, &stop);
+            })
+            .unwrap();
+    }
+    for _ in 0..32 {
+        sched.step();
+    }
+    let s0 = sched.stats().switches;
+    let t0 = std::time::Instant::now();
+    while t0.elapsed() < std::time::Duration::from_millis(60) {
+        for _ in 0..8 {
+            sched.step();
+        }
+    }
+    let ns = t0.elapsed().as_nanos() as f64;
+    let switches = (sched.stats().switches - s0).max(1);
+    stop.set(true);
+    sched.run();
+    ns / switches as f64
+}
+
+/// §4.2 / Figure 9: stack-copy switch cost grows strongly with live stack;
+/// isomalloc stays (nearly) flat; at large stacks isomalloc beats copy by
+/// a wide margin and aliasing beats copy too.
+#[test]
+fn figure9_orderings_hold() {
+    let copy_small = switch_ns(StackFlavor::StackCopy, 8 << 10);
+    let copy_big = switch_ns(StackFlavor::StackCopy, 2 << 20);
+    let iso_small = switch_ns(StackFlavor::Isomalloc, 8 << 10);
+    let iso_big = switch_ns(StackFlavor::Isomalloc, 2 << 20);
+    let alias_big = switch_ns(StackFlavor::Alias, 2 << 20);
+
+    assert!(
+        copy_big > copy_small * 4.0,
+        "copy cost must grow with live stack: {copy_small:.0} -> {copy_big:.0} ns"
+    );
+    assert!(
+        iso_big < iso_small * 8.0,
+        "isomalloc must stay near-flat: {iso_small:.0} -> {iso_big:.0} ns"
+    );
+    assert!(
+        iso_big * 3.0 < copy_big,
+        "isomalloc beats stack-copy at 2 MB: {iso_big:.0} vs {copy_big:.0} ns"
+    );
+    assert!(
+        alias_big * 2.0 < copy_big,
+        "aliasing beats stack-copy at 2 MB: {alias_big:.0} vs {copy_big:.0} ns"
+    );
+}
+
+/// §4.3: one system call in the switch path erases the user-level
+/// advantage — the sigmask swap must be many times the minimal swap.
+#[test]
+fn figure10_syscalls_dominate_minimal_swap() {
+    struct PP {
+        main: Context,
+        flow: Context,
+        stop: bool,
+        _stack: Vec<u8>,
+    }
+    thread_local! {
+        static EXIT: Cell<*mut PP> = const { Cell::new(std::ptr::null_mut()) };
+    }
+    fn hook() -> ! {
+        let st = EXIT.with(|c| c.get());
+        unsafe {
+            let mut dead = Context::new((*st).main.kind());
+            Context::swap_raw(&raw mut dead, &raw const (*st).main);
+        }
+        unreachable!()
+    }
+    extern "C" fn partner(arg: usize) {
+        let st = arg as *mut PP;
+        unsafe {
+            while !(*st).stop {
+                Context::swap_raw(&raw mut (*st).flow, &raw const (*st).main);
+            }
+        }
+    }
+    let measure = |kind: SwapKind, iters: u64| -> f64 {
+        let mut stack = vec![0u8; 64 * 1024];
+        let top = unsafe { stack.as_mut_ptr().add(stack.len()) };
+        let st = Box::into_raw(Box::new(PP {
+            main: Context::new(kind),
+            flow: Context::new(kind),
+            stop: false,
+            _stack: stack,
+        }));
+        flows::arch::set_exit_hook(hook);
+        EXIT.with(|c| c.set(st));
+        unsafe {
+            (*st).flow = InitialStack::build(kind, top, partner, st as usize);
+            for _ in 0..100 {
+                Context::swap_raw(&raw mut (*st).main, &raw const (*st).flow);
+            }
+            let t0 = std::time::Instant::now();
+            for _ in 0..iters {
+                Context::swap_raw(&raw mut (*st).main, &raw const (*st).flow);
+            }
+            let per = t0.elapsed().as_nanos() as f64 / iters as f64 / 2.0;
+            (*st).stop = true;
+            Context::swap_raw(&raw mut (*st).main, &raw const (*st).flow);
+            drop(Box::from_raw(st));
+            per
+        }
+    };
+    let min = measure(SwapKind::Minimal, 200_000);
+    let sig = measure(SwapKind::SignalMask, 20_000);
+    assert!(
+        min < 1_000.0,
+        "minimal swap should be well under a microsecond: {min:.0} ns"
+    );
+    assert!(
+        sig > min * 3.0,
+        "sigprocmask syscalls must dominate: minimal {min:.0} ns vs sigmask {sig:.0} ns"
+    );
+}
+
+/// §4.4 / Figure 11: BigSim's modeled time-per-step falls as simulating
+/// PEs grow, with the answer unchanged.
+#[test]
+fn figure11_scaling_shape_holds() {
+    let base = BigSimConfig {
+        target_procs: 512,
+        sim_pes: 2,
+        steps: 2,
+        particles_per_proc: 10,
+        stack_bytes: 16 * 1024,
+        threaded: false,
+        target: Default::default(),
+    };
+    let r2 = run_bigsim(&base);
+    let r8 = run_bigsim(&BigSimConfig {
+        sim_pes: 8,
+        ..base.clone()
+    });
+    assert_eq!(r2.checksum, r8.checksum, "PE count must not change physics");
+    assert!(
+        (r8.modeled_step_ns as f64) < r2.modeled_step_ns as f64 * 0.55,
+        "4x the PEs should model >=1.8x faster: {} vs {}",
+        r2.modeled_step_ns,
+        r8.modeled_step_ns
+    );
+}
+
+/// §4.1 / Table 2 flavor: a single PE comfortably runs tens of thousands
+/// of user-level threads — the regime where kernel mechanisms tap out.
+#[test]
+fn tens_of_thousands_of_user_threads() {
+    let sched = Scheduler::new(0, pools(1 << 20, 1 << 20), SchedConfig::default());
+    let done = Rc::new(Cell::new(0u64));
+    const N: usize = 20_000;
+    for _ in 0..N {
+        let done = done.clone();
+        sched
+            .spawn_with(StackFlavor::Standard, 16 * 1024, move || {
+                yield_now();
+                done.set(done.get() + 1);
+            })
+            .unwrap();
+    }
+    sched.run();
+    assert_eq!(done.get(), N as u64);
+    assert_eq!(sched.stats().completed, N as u64);
+}
