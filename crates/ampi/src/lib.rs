@@ -29,15 +29,17 @@
 
 #![warn(missing_docs)]
 
+pub mod ft;
 pub mod nonblocking;
 pub mod proto;
 pub mod world;
 
+pub use ft::{run_world_ft, FtReport};
 pub use nonblocking::{Request, RESERVED_TAG_BASE};
 pub use world::{pe_of_rank, run_world, AmpiOptions};
 
 use crate::proto::{LoadReport, RankWire, PORT_AMPI};
-use crate::world::{contribute_now, obj_of, tag_coll, tag_lb, with_rank_box, Wait};
+use crate::world::{contribute_now, obj_of, tag_ckpt, tag_coll, tag_lb, with_rank_box, Wait};
 use flows_comm::ReduceOp;
 use flows_core::suspend;
 
@@ -51,6 +53,7 @@ pub struct Ampi {
     size: usize,
     coll_seq: u64,
     lb_seq: u64,
+    ckpt_seq: u64,
     /// Per-destination point-to-point sequence numbers (non-overtaking).
     send_seq: std::collections::HashMap<usize, u64>,
     /// Counter for the reserved tags of the pt2pt-based collectives.
@@ -65,6 +68,7 @@ impl Ampi {
             size,
             coll_seq: 0,
             lb_seq: 0,
+            ckpt_seq: 0,
             send_seq: std::collections::HashMap::new(),
             p2p_coll_seq: 0,
         }
@@ -248,6 +252,35 @@ impl Ampi {
         suspend();
         // Resumed — possibly on a different PE; nothing else to do, which
         // is the whole point.
+    }
+
+    /// Coordinated checkpoint (`AMPI_Checkpoint`): a collective at which
+    /// every rank is packed exactly as a migration would pack it, with the
+    /// images held in a process-global generation store. Under
+    /// [`run_world_ft`] a PE crash rolls the world back to the last
+    /// *committed* generation (all ranks present) and restarts on the
+    /// surviving PEs.
+    ///
+    /// Call this only at a matched communication boundary — a point where
+    /// every message sent has been received (an iteration boundary after
+    /// all ghost exchanges, for example). Messages still in flight are not
+    /// part of any rank's image and would be lost by a rollback.
+    pub fn checkpoint(&mut self) {
+        self.ckpt_seq += 1;
+        let seq = self.ckpt_seq;
+        with_rank_box(self.rank as u64, |b| b.wait = Wait::Ckpt { seq });
+        contribute_now(
+            self.world,
+            tag_ckpt(self.world),
+            seq,
+            self.rank as u64,
+            ReduceOp::SumU64,
+            self.size,
+            Vec::new(),
+        );
+        suspend();
+        // Resumed — either right after the snapshot was taken, or (after a
+        // crash) from the restored image, possibly on a different PE.
     }
 
     /// Virtual wall-clock seconds of the current PE (`MPI_Wtime` on the

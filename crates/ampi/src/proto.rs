@@ -14,7 +14,9 @@ pub const PORT_AMPI: Port = 1;
 ///   non-overtaking guarantee even when forwarding paths race during
 ///   migration;
 /// * 1 — collective result: `a` = collective sequence number;
-/// * 2 — load-balance decision: `a` = LB sequence, `b` = destination PE.
+/// * 2 — load-balance decision: `a` = LB sequence, `b` = destination PE;
+/// * 3 — checkpoint command: `a` = checkpoint sequence; the rank packs
+///   itself into the generation store and resumes.
 #[derive(Debug, Default, Clone, PartialEq)]
 pub struct RankWire {
     pub kind: u8,

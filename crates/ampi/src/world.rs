@@ -28,6 +28,9 @@ pub(crate) enum Wait {
     Lb {
         seq: u64,
     },
+    Ckpt {
+        seq: u64,
+    },
 }
 
 pub(crate) struct RankBox {
@@ -65,10 +68,14 @@ impl RankBox {
                 *self.next_seq.get_mut(&src).expect("just set") += 1;
                 self.mailbox.push_back(MailEntry { src, tag: t, data: d });
             }
-        } else {
-            assert!(seq > *expect, "duplicate point-to-point message");
+        } else if seq > *expect {
             self.stashed.insert((src, seq), (tag, data));
         }
+        // seq < expect: a duplicate of a message already admitted (a
+        // retransmission raced its ack, or a forwarding path replayed the
+        // send). The per-sender sequence makes delivery idempotent — drop
+        // it silently. A repeat of a stashed seq overwrites with identical
+        // bytes, which is equally harmless.
     }
 
     /// Does any mailbox entry match the current Recv wait?
@@ -111,17 +118,25 @@ impl std::fmt::Debug for WorldMeta {
     }
 }
 
-/// The routed object id of rank `r` of world `w`.
-pub(crate) fn obj_of(world: u64, rank: u64) -> ObjId {
-    ObjId((world << 32) | rank)
+/// The routed object id of rank `r`. Comm state is per-machine and each
+/// machine hosts exactly one world, so the id deliberately omits the world:
+/// homes (`id % num_pes`) and reduction roots must not depend on the
+/// process-global world counter, or two identical runs in one process
+/// would route differently — breaking replay determinism.
+pub(crate) fn obj_of(_world: u64, rank: u64) -> ObjId {
+    ObjId(rank)
 }
 
-pub(crate) fn tag_coll(world: u64) -> u64 {
-    world << 1
+pub(crate) fn tag_coll(_world: u64) -> u64 {
+    0
 }
 
-pub(crate) fn tag_lb(world: u64) -> u64 {
-    (world << 1) | 1
+pub(crate) fn tag_lb(_world: u64) -> u64 {
+    1
+}
+
+pub(crate) fn tag_ckpt(_world: u64) -> u64 {
+    2
 }
 
 /// Block mapping of ranks onto PEs (AMPI's default).
@@ -142,10 +157,17 @@ pub struct AmpiOptions {
     pub net: NetModel,
     /// Drive PEs on real OS threads (`false` = deterministic round-robin).
     pub threaded: bool,
+    /// Advance virtual clocks by modeled costs only (no measured host
+    /// CPU) — required for exactly-reproducible fault-injection runs.
+    pub modeled_time: bool,
     /// Committed stack bytes per rank thread.
     pub stack_len: usize,
     /// Isomalloc slot bytes per rank thread (stack + heap).
     pub slot_len: usize,
+    /// Transport-fault plan injected into the machine. `run_world` rejects
+    /// plans with scripted PE crashes (no recovery driver) — use
+    /// [`crate::run_world_ft`] for those.
+    pub faults: Option<flows_converse::FaultPlan>,
 }
 
 impl AmpiOptions {
@@ -157,8 +179,10 @@ impl AmpiOptions {
             strategy: Arc::new(NullLb),
             net: NetModel::default(),
             threaded: false,
+            modeled_time: false,
             stack_len: 64 * 1024,
             slot_len: 1 << 20,
+            faults: None,
         }
     }
 
@@ -179,6 +203,19 @@ impl AmpiOptions {
         self.threaded = yes;
         self
     }
+
+    /// Modeled-cost-only virtual time (reproducible fault runs).
+    pub fn modeled_time(mut self, yes: bool) -> Self {
+        self.modeled_time = yes;
+        self
+    }
+
+    /// Inject transport faults (drop/duplicate/delay/reorder) into the
+    /// run. Crash-free plans only; see [`crate::run_world_ft`] for crashes.
+    pub fn with_faults(mut self, plan: flows_converse::FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
 }
 
 /// Run `main` as every rank of a fresh AMPI world. Returns the machine
@@ -187,38 +224,85 @@ pub fn run_world(
     opts: AmpiOptions,
     main: impl Fn(&mut crate::Ampi) + Send + Sync + 'static,
 ) -> MachineReport {
-    assert!(opts.ranks > 0 && opts.pes > 0);
+    let world = NEXT_WORLD.fetch_add(1, Ordering::Relaxed);
+    let pes = opts.pes;
+    let plan = opts.faults.clone();
+    if let Some(p) = &plan {
+        assert!(
+            p.crashes.is_empty(),
+            "run_world has no recovery driver — script PE crashes via run_world_ft"
+        );
+    }
+    let main: Arc<dyn Fn(&mut crate::Ampi) + Send + Sync> = Arc::new(main);
+    let report = run_attempt(world, &opts, pes, None, plan, None, &main);
+    // Applications may call checkpoint() even without a fault plan; drop
+    // whatever the store accumulated for this world.
+    crate::ft::clear_world(world);
+    report
+}
+
+pub(crate) fn next_world_id() -> u64 {
+    NEXT_WORLD.fetch_add(1, Ordering::Relaxed)
+}
+
+/// One machine launch of world `world` on `pes` PEs. `run_world` calls
+/// this once; the fault-tolerant driver ([`crate::run_world_ft`]) calls it
+/// repeatedly — reusing the world id and memory pools across attempts and
+/// passing the last committed checkpoint generation as `restore`.
+pub(crate) fn run_attempt(
+    world: u64,
+    opts: &AmpiOptions,
+    pes: usize,
+    shared: Option<Arc<flows_core::SharedPools>>,
+    plan: Option<flows_converse::FaultPlan>,
+    restore: Option<Arc<HashMap<u64, crate::ft::Snapshot>>>,
+    main: &Arc<dyn Fn(&mut crate::Ampi) + Send + Sync>,
+) -> MachineReport {
+    assert!(opts.ranks > 0 && pes > 0);
     assert!(
-        opts.ranks >= opts.pes,
+        opts.ranks >= pes,
         "AMPI needs at least one rank per PE (got {} ranks on {} PEs)",
         opts.ranks,
-        opts.pes
+        pes
     );
-    let world = NEXT_WORLD.fetch_add(1, Ordering::Relaxed);
     let meta = Arc::new(WorldMeta {
         world,
         size: opts.ranks,
         strategy: opts.strategy.clone(),
     });
-    let main: Arc<dyn Fn(&mut crate::Ampi) + Send + Sync> = Arc::new(main);
 
-    let mut mb = MachineBuilder::new(opts.pes)
+    let mut mb = MachineBuilder::new(pes)
         .net_model(opts.net)
-        .iso_layout(opts.slot_len, (opts.ranks / opts.pes + 2) * 2)
+        .modeled_time(opts.modeled_time)
         .sched_config(SchedConfig {
             stack_len: opts.stack_len,
             ..SchedConfig::default()
         });
+    mb = match shared {
+        // Restart attempts must see the same isomalloc region: checkpoint
+        // images embed absolute slot addresses.
+        Some(s) => mb.shared_pools(s),
+        None => mb.iso_layout(opts.slot_len, (opts.ranks / pes + 2) * 2),
+    };
+    if let Some(p) = plan {
+        mb = mb.fault_plan(p);
+    }
     let _ = CommLayer::register(&mut mb);
     let mv = mb.handler(on_rank_move);
     let stored = *MOVE_HANDLER.get_or_init(|| mv);
     assert_eq!(stored, mv, "AMPI must occupy the same handler slot in every machine");
 
+    let placement = restore
+        .as_ref()
+        .map(|snaps| Arc::new(place_restored(snaps, pes, &meta)));
     let opts2 = opts.clone();
-    let init = move |pe: &Pe| {
-        init_pe(pe, &meta, &opts2, &main);
+    let main = main.clone();
+    let threaded = opts.threaded;
+    let init = move |pe: &Pe| match (&restore, &placement) {
+        (Some(snaps), Some(place)) => restore_pe(pe, &meta, snaps, place),
+        _ => init_pe(pe, &meta, &opts2, pes, &main),
     };
-    if opts.threaded {
+    if threaded {
         mb.run(init)
     } else {
         mb.run_deterministic(init)
@@ -229,6 +313,7 @@ fn init_pe(
     pe: &Pe,
     meta: &Arc<WorldMeta>,
     opts: &AmpiOptions,
+    pes: usize,
     main: &Arc<dyn Fn(&mut crate::Ampi) + Send + Sync>,
 ) {
     pe.ext::<AmpiState, _>(|st| st.meta = Some(meta.clone()));
@@ -237,7 +322,7 @@ fn init_pe(
     flows_comm::set_reduction_sink(pe, move |pe, red| on_reduction(pe, &meta_for_sink, red));
 
     for rank in 0..opts.ranks {
-        if pe_of_rank(rank, opts.ranks, opts.pes) != pe.id() {
+        if pe_of_rank(rank, opts.ranks, pes) != pe.id() {
             continue;
         }
         let main = main.clone();
@@ -255,6 +340,88 @@ fn init_pe(
             st.ranks.insert(rank as u64, RankBox::new(tid));
         });
         flows_comm::register_obj(pe, obj_of(meta.world, rank as u64));
+    }
+}
+
+/// Place the restored ranks of a checkpoint generation over `pes` PEs:
+/// block mapping refined by the world's LB strategy fed with each rank's
+/// measured load at pack time — the post-failure rebalance.
+fn place_restored(
+    snaps: &HashMap<u64, crate::ft::Snapshot>,
+    pes: usize,
+    meta: &WorldMeta,
+) -> HashMap<u64, usize> {
+    let ranks = meta.size;
+    let mut place: HashMap<u64, usize> = snaps
+        .keys()
+        .map(|&r| (r, pe_of_rank(r as usize, ranks, pes)))
+        .collect();
+    // Feed the strategy in rank order: snapshot map iteration order must
+    // not leak into tie-breaking, or restarts stop being deterministic.
+    let mut objs: Vec<ObjLoad> = snaps
+        .iter()
+        .map(|(&r, s)| ObjLoad {
+            id: r,
+            pe: place[&r],
+            load: s.load_ns as f64 * 1e-9,
+            migratable: true,
+        })
+        .collect();
+    objs.sort_by_key(|o| o.id);
+    let stats = LbStats {
+        num_pes: pes,
+        objs,
+        background: Vec::new(),
+    };
+    for m in meta.strategy.decide(&stats) {
+        if m.to < pes {
+            place.insert(m.obj, m.to);
+        }
+    }
+    place
+}
+
+/// Bring a checkpoint generation back to life on this PE: unpack every
+/// rank placed here, rebuild its runtime box, announce its location, and
+/// wake it inside the `checkpoint()` call it suspended in.
+fn restore_pe(
+    pe: &Pe,
+    meta: &Arc<WorldMeta>,
+    snaps: &HashMap<u64, crate::ft::Snapshot>,
+    place: &HashMap<u64, usize>,
+) {
+    pe.ext::<AmpiState, _>(|st| st.meta = Some(meta.clone()));
+    flows_comm::set_delivery(pe, PORT_AMPI, deliver);
+    let meta_for_sink = meta.clone();
+    flows_comm::set_reduction_sink(pe, move |pe, red| on_reduction(pe, &meta_for_sink, red));
+
+    let mut mine: Vec<u64> = place
+        .iter()
+        .filter(|&(_, &dest)| dest == pe.id())
+        .map(|(&r, _)| r)
+        .collect();
+    mine.sort_unstable(); // deterministic restore order
+    for rank in mine {
+        let snap = snaps.get(&rank).expect("snapshot for placed rank");
+        let mv: RankMove =
+            flows_pup::from_bytes(&snap.move_bytes).expect("checkpoint snapshot wire");
+        let packed =
+            flows_core::PackedThread::from_bytes(&mv.thread).expect("checkpointed thread");
+        let tid = pe.sched().unpack_thread(packed).expect("restore rank thread");
+        let mut bx = RankBox::new(tid);
+        bx.mailbox = mv.mailbox.into();
+        bx.next_seq = mv.next_seq.into_iter().collect();
+        bx.stashed = mv
+            .stashed
+            .into_iter()
+            .map(|(src, seq, tag, data)| ((src, seq), (tag, data)))
+            .collect();
+        pe.ext::<AmpiState, _>(|st| {
+            st.ranks.insert(rank, bx);
+        });
+        flows_comm::register_obj(pe, obj_of(meta.world, rank));
+        pe.sched().reset_load_tid(tid);
+        pe.sched().awaken_tid(tid).expect("awaken restored rank");
     }
 }
 
@@ -297,8 +464,58 @@ fn deliver(pe: &Pe, obj: ObjId, payload: Vec<u8>) {
             }
         }
         2 => on_lb_decision(pe, rank, w.a, w.b as usize),
+        3 => on_ckpt_snapshot(pe, rank, w.a),
         k => panic!("bad rank wire kind {k}"),
     }
+}
+
+/// A checkpoint command arrived for a rank suspended in `checkpoint()`:
+/// pack the rank exactly as a migration would, store the image in the
+/// process-global checkpoint store (our "stable storage"), then unpack it
+/// in place and let it keep running — a checkpoint *is* a migration whose
+/// destination is disk (§4.5).
+fn on_ckpt_snapshot(pe: &Pe, rank: u64, seq: u64) {
+    let meta = pe.ext::<AmpiState, _>(|st| st.meta.clone()).expect("meta");
+    let (tid, mailbox, next_seq, stashed) = pe.ext::<AmpiState, _>(|st| {
+        let b = st.ranks.get_mut(&rank).expect("checkpoint for missing rank");
+        assert!(
+            matches!(b.wait, Wait::Ckpt { seq: s } if s == seq),
+            "rank {rank} got a checkpoint command it was not waiting for"
+        );
+        (b.tid, b.mailbox.clone(), b.next_seq.clone(), b.stashed.clone())
+    });
+    assert_eq!(
+        pe.sched().state(tid),
+        Some(ThreadState::Suspended),
+        "rank {rank} must be suspended at its checkpoint() point"
+    );
+    let packed = pe.sched().pack_thread(tid).expect("pack rank for checkpoint");
+    let load_ns = packed.load_ns();
+    let mut mv = RankMove {
+        world: meta.world,
+        rank,
+        thread: packed.to_bytes(),
+        mailbox: mailbox.into_iter().collect(),
+        next_seq: next_seq.into_iter().collect(),
+        stashed: stashed
+            .into_iter()
+            .map(|((src, sq), (tag, data))| (src, sq, tag, data))
+            .collect(),
+    };
+    crate::ft::store_snapshot(
+        meta.world,
+        seq,
+        rank,
+        meta.size,
+        flows_pup::to_bytes(&mut mv),
+        load_ns,
+    );
+    let back = pe.sched().unpack_thread(packed).expect("unpack after checkpoint");
+    debug_assert_eq!(back, tid);
+    pe.ext::<AmpiState, _>(|st| {
+        st.ranks.get_mut(&rank).expect("rank survives snapshot").wait = Wait::None;
+    });
+    pe.sched().awaken_tid(tid).expect("awaken checkpointed rank");
 }
 
 /// Reduction completions: collectives broadcast their result to every
@@ -312,6 +529,25 @@ fn on_reduction(pe: &Pe, meta: &Arc<WorldMeta>, red: flows_comm::Reduction) {
                 b: 0,
                 seq: 0,
                 data: red.data.clone(),
+            };
+            flows_comm::route(
+                pe,
+                obj_of(meta.world, r),
+                PORT_AMPI,
+                flows_pup::to_bytes(&mut w),
+            );
+        }
+    } else if red.tag == tag_ckpt(meta.world) {
+        // Every rank reached its checkpoint() call — a coordinated
+        // consistent cut. Order each rank, wherever it currently lives, to
+        // snapshot itself.
+        for r in 0..meta.size as u64 {
+            let mut w = RankWire {
+                kind: 3,
+                a: red.seq,
+                b: 0,
+                seq: 0,
+                data: Vec::new(),
             };
             flows_comm::route(
                 pe,

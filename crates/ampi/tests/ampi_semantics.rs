@@ -302,6 +302,90 @@ fn bcast_scatter_alltoall() {
     });
 }
 
+mod faulty_transport_props {
+    //! AMPI guarantees are *semantics*, not best-effort: per-(src, tag)
+    //! FIFO ordering and exact reduction results must hold under any mix
+    //! of injected duplication, reordering, delay and loss — and across a
+    //! mid-run migration of every rank. The checksum is position-weighted,
+    //! so any reorder, drop or double-delivery changes the answer.
+
+    use super::*;
+    use flows_converse::FaultPlan;
+    use flows_lb::RotateLb;
+    use proptest::prelude::*;
+
+    const MSGS: usize = 6;
+
+    fn ring_under_faults(ranks: usize, pes: usize, plan: FaultPlan) {
+        let n = ranks;
+        // Each rank's order-sensitive checksum of what it receives from
+        // its ring predecessor, then the analytic all-ranks total.
+        let expected_total: u64 = (0..n as u64)
+            .map(|src| {
+                (0..MSGS as u64)
+                    .map(|i| (src * MSGS as u64 + i) * (i + 1))
+                    .sum::<u64>()
+            })
+            .sum();
+        run_world(
+            AmpiOptions::new(ranks, pes)
+                .with_net(NetModel::default())
+                .with_strategy(Arc::new(RotateLb))
+                .with_faults(plan),
+            move |ampi| {
+                let me = ampi.rank();
+                let next = (me + 1) % n;
+                let src = (me + n - 1) % n;
+                for i in 0..MSGS / 2 {
+                    ampi.send(next, 5, ((me * MSGS + i) as u64).to_le_bytes().to_vec());
+                }
+                // Every rank moves to another PE mid-stream; in-flight and
+                // stashed messages must chase it.
+                ampi.migrate();
+                for i in MSGS / 2..MSGS {
+                    ampi.send(next, 5, ((me * MSGS + i) as u64).to_le_bytes().to_vec());
+                }
+                let mut check = 0u64;
+                for i in 0..MSGS {
+                    let (from, _, data) = ampi.recv(Some(src), Some(5));
+                    assert_eq!(from, src);
+                    let v = u64::from_le_bytes(data[..8].try_into().unwrap());
+                    assert_eq!(
+                        v,
+                        (src * MSGS + i) as u64,
+                        "rank {me}: message {i} out of send order"
+                    );
+                    check = check.wrapping_add(v * (i as u64 + 1));
+                }
+                let total = ampi.allreduce_u64_sum(&[check]);
+                assert_eq!(total[0], expected_total, "rank {me}: reduction corrupted");
+            },
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        #[test]
+        fn ordering_and_reductions_survive_any_fault_mix(
+            seed in any::<u64>(),
+            ranks in 4usize..7,
+            pes in 2usize..4,
+            dup in 0u32..4,
+            reorder in 0u32..4,
+            delay in 0u32..3,
+            drop in 0u32..3,
+        ) {
+            prop_assume!(ranks >= pes * 2);
+            let plan = FaultPlan::new(seed)
+                .dup_prob(dup as f64 * 0.1)
+                .reorder_prob(reorder as f64 * 0.1)
+                .delay(delay as f64 * 0.1, 40_000)
+                .drop_prob(drop as f64 * 0.05);
+            ring_under_faults(ranks, pes, plan);
+        }
+    }
+}
+
 #[test]
 fn waitall_gathers_many() {
     run_world(opts(3, 1), |ampi| {

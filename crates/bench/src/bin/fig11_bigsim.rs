@@ -36,6 +36,7 @@ fn main() {
             stack_bytes: 16 * 1024,
             threaded: false,
             target: Default::default(),
+            faults: None,
         };
         let r = run(&cfg);
         t.row(vec![

@@ -21,7 +21,7 @@
 
 #![warn(missing_docs)]
 
-use flows_converse::{MachineBuilder, NetModel};
+use flows_converse::{FaultPlan, FaultSummary, MachineBuilder, NetModel};
 use flows_core::{yield_now, StackFlavor};
 use flows_sys::time::monotonic_ns;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -65,6 +65,12 @@ pub struct BigSimConfig {
     pub threaded: bool,
     /// The target machine being predicted.
     pub target: TargetModel,
+    /// Transport fault plan (drop/duplicate/delay/reorder). BigSim's
+    /// target threads use `StackFlavor::Standard` stacks, which cannot be
+    /// packed, so PE crashes are *not* recoverable here — the plan must
+    /// not script any (`run` asserts this). Lossy links are survived by
+    /// the reliable transport.
+    pub faults: Option<FaultPlan>,
 }
 
 impl BigSimConfig {
@@ -78,6 +84,7 @@ impl BigSimConfig {
             stack_bytes: 16 * 1024,
             threaded: false,
             target: TargetModel::default(),
+            faults: None,
         }
     }
 }
@@ -106,7 +113,18 @@ pub struct BigSimReport {
     /// the *target* machine (max over target processors of kernel time /
     /// cpu_ratio, plus one ghost-exchange latency), nanoseconds.
     pub predicted_target_step_ns: u64,
+    /// Per-step progress tokens received machine-wide. Target processor 0
+    /// sends a burst to every PE each step; with a lossy plan the reliable
+    /// transport must still deliver each exactly once, so this equals
+    /// `steps * sim_pes * TOKENS_PER_STEP` whatever the fault rate.
+    pub step_tokens: u64,
+    /// Fault/recovery counters (present iff a plan was attached).
+    pub faults: Option<FaultSummary>,
 }
+
+/// Cross-PE progress tokens sent per (step, destination PE) — enough
+/// traffic that even low-probability transport faults get exercised.
+pub const TOKENS_PER_STEP: u64 = 4;
 
 /// A cooperative step barrier for user-level threads: arrivals count up;
 /// the last arrival advances the generation; waiters spin through
@@ -187,7 +205,19 @@ pub fn run(cfg: &BigSimConfig) -> BigSimReport {
     let kernel_count2 = kernel_count.clone();
 
     let mut mb = MachineBuilder::new(cfg.sim_pes).net_model(NetModel::zero());
-    let _ = mb.handler(|_, _| {});
+    if let Some(plan) = &cfg.faults {
+        assert!(
+            plan.crashes.is_empty(),
+            "BigSim target threads use Standard stacks and cannot be \
+             checkpointed — transport faults only, no PE crashes"
+        );
+        mb = mb.fault_plan(plan.clone());
+    }
+    let step_tokens = Arc::new(AtomicU64::new(0));
+    let tokens_rx = step_tokens.clone();
+    let token_handler = mb.handler(move |_, _| {
+        tokens_rx.fetch_add(1, Ordering::Relaxed);
+    });
 
     let t0 = monotonic_ns();
     let init = move |pe: &flows_converse::Pe| {
@@ -229,6 +259,17 @@ pub fn run(cfg: &BigSimConfig) -> BigSimReport {
                             Ordering::Relaxed,
                         );
                         std::hint::black_box(e);
+                        // Cross-PE progress tokens: real message traffic
+                        // for the (possibly lossy) transport to chew on.
+                        if tp == 0 {
+                            flows_converse::with_pe(|pe| {
+                                for dest in 0..pe.num_pes() {
+                                    for _ in 0..TOKENS_PER_STEP {
+                                        pe.send(dest, token_handler, vec![step as u8]);
+                                    }
+                                }
+                            });
+                        }
                         barrier.wait();
                         if tp == 0 {
                             let now = monotonic_ns();
@@ -270,6 +311,8 @@ pub fn run(cfg: &BigSimConfig) -> BigSimReport {
         switches: report.sched_stats.iter().map(|s| s.switches).sum(),
         checksum: checksum.load(Ordering::Relaxed),
         predicted_target_step_ns: predicted as u64,
+        step_tokens: step_tokens.load(Ordering::Relaxed),
+        faults: report.faults,
     }
 }
 
@@ -287,6 +330,7 @@ mod tests {
             stack_bytes: 16 * 1024,
             threaded: false,
             target: TargetModel::default(),
+            faults: None,
         };
         let r = run(&cfg);
         assert_eq!(r.per_step_wall_ns.len(), 3);
@@ -308,6 +352,7 @@ mod tests {
             stack_bytes: 16 * 1024,
             threaded: false,
             target: TargetModel::default(),
+            faults: None,
         };
         let a = run(&base);
         let b = run(&BigSimConfig {
@@ -327,6 +372,7 @@ mod tests {
             stack_bytes: 16 * 1024,
             threaded: false,
             target: TargetModel::default(),
+            faults: None,
         };
         let t1 = run(&base).modeled_step_ns as f64;
         let t4 = run(&BigSimConfig {
@@ -352,9 +398,52 @@ mod tests {
             stack_bytes: 16 * 1024,
             threaded: false,
             target: TargetModel::default(),
+            faults: None,
         };
         let r = run(&cfg);
         assert!(r.switches >= 5_000);
+    }
+
+    #[test]
+    fn lossy_transport_leaves_the_simulation_exact() {
+        let clean = BigSimConfig {
+            target_procs: 32,
+            sim_pes: 2,
+            steps: 3,
+            particles_per_proc: 6,
+            stack_bytes: 16 * 1024,
+            threaded: false,
+            target: TargetModel::default(),
+            faults: None,
+        };
+        let a = run(&clean);
+        let faulty = BigSimConfig {
+            faults: Some(
+                FaultPlan::new(0xB165)
+                    .drop_prob(0.2)
+                    .dup_prob(0.2)
+                    .reorder_prob(0.1),
+            ),
+            ..clean.clone()
+        };
+        let b = run(&faulty);
+        assert_eq!(a.checksum, b.checksum, "faults must not change the answer");
+        let expected_tokens = (clean.steps * clean.sim_pes) as u64 * TOKENS_PER_STEP;
+        assert_eq!(a.step_tokens, expected_tokens);
+        assert_eq!(b.step_tokens, expected_tokens, "exactly-once under loss");
+        let f = b.faults.expect("fault counters present");
+        assert!(f.dropped > 0, "the plan actually dropped packets");
+        assert!(f.retransmits >= f.dropped, "every drop was repaired");
+    }
+
+    #[test]
+    #[should_panic(expected = "transport faults only")]
+    fn scripted_crashes_are_refused() {
+        let cfg = BigSimConfig {
+            faults: Some(FaultPlan::new(1).crash_pe(0, 1)),
+            ..BigSimConfig::small()
+        };
+        let _ = run(&cfg);
     }
 
     #[test]
@@ -383,6 +472,7 @@ mod prediction_tests {
                 cpu_ratio: 1.0,
                 net_latency_ns: 0,
             },
+            faults: None,
         };
         let fast = run(&cfg).predicted_target_step_ns;
         cfg.target.cpu_ratio = 0.25;
@@ -414,6 +504,7 @@ mod prediction_tests {
                 cpu_ratio: 1.0,
                 net_latency_ns: 5_000_000,
             },
+            faults: None,
         };
         let r = run(&cfg);
         assert!(r.predicted_target_step_ns >= 5_000_000);

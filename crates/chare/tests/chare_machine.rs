@@ -19,7 +19,9 @@ struct Counter {
 }
 pup_fields!(Counter { total });
 
-static SINK: OnceLock<Arc<Mutex<Vec<(usize, u64)>>>> = OnceLock::new();
+type SinkLog = Arc<Mutex<Vec<(usize, u64)>>>;
+
+static SINK: OnceLock<SinkLog> = OnceLock::new();
 
 impl Chare for Counter {
     fn receive(&mut self, pe: &Pe, ep: u32, data: Vec<u8>) {
@@ -87,7 +89,7 @@ fn entry_methods_dispatch_across_pes() {
     assert_eq!(pe_id, 1);
     // 3 PEs x (1+2+3) = 18, though the report may have raced some pokes in
     // the deterministic interleaving; it must at least see its own PE's.
-    assert!(total <= 18 && total >= 6, "saw {total}");
+    assert!((6..=18).contains(&total), "saw {total}");
     drop(sink);
     SINK.get().unwrap().lock().unwrap().clear();
 }

@@ -29,9 +29,29 @@ struct RouteMsg {
     obj: ObjId,
     port: u8,
     hops: u32,
+    /// Set once the hop budget is exhausted: the message is pinned to the
+    /// object's home, which must buffer it rather than forward again.
+    pinned: u8,
     payload: Vec<u8>,
 }
-pup_fields!(RouteMsg { obj, port, hops, payload });
+pup_fields!(RouteMsg { obj, port, hops, pinned, payload });
+
+/// Maximum forwarding hops before a message is pinned to its home PE. A
+/// healthy machine resolves any location in a handful of hops; a budget of
+/// `2 * num_pes + 4` tolerates a full stale-cache chain plus migration
+/// races without letting a cyclic cache bounce a message forever.
+pub fn max_route_hops(num_pes: usize) -> u32 {
+    2 * num_pes as u32 + 4
+}
+
+/// One hop-budget overflow event (diagnostics; see [`route_overflows`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteOverflow {
+    /// The object whose routing exceeded the hop budget.
+    pub obj: ObjId,
+    /// Hops accumulated when the budget tripped.
+    pub hops: u32,
+}
 
 #[derive(Debug, Default, Clone, PartialEq)]
 struct UpdateMsg {
@@ -56,6 +76,8 @@ pub(crate) struct CommState {
     /// object (re)appears.
     buffered: HashMap<ObjId, VecDeque<(Port, Vec<u8>)>>,
     delivery: HashMap<Port, DeliveryFn>,
+    /// Hop-budget overflows observed on this PE (surfaced, not fatal).
+    overflows: Vec<RouteOverflow>,
 }
 
 /// Handler ids of the communication layer, shared by every PE.
@@ -124,17 +146,32 @@ fn on_update(pe: &Pe, msg: Message) {
 fn route_inner(pe: &Pe, mut m: RouteMsg, came_from: Option<usize>) {
     let me = pe.id();
     let num = pe.num_pes();
-    assert!(
-        m.hops <= 2 * num as u32 + 4,
-        "routing loop for {:?}: message bounced {} times",
-        m.obj,
-        m.hops
-    );
+    if m.pinned == 0 && m.hops > max_route_hops(num) {
+        // Cyclic or endlessly stale location caches: stop chasing. Record
+        // the overflow, drop our (evidently bad) cache entry, and pin the
+        // message to the object's home, which buffers it until the next
+        // authoritative location update flushes it.
+        pe.ext::<CommState, _>(|st| {
+            st.overflows.push(RouteOverflow {
+                obj: m.obj,
+                hops: m.hops,
+            });
+            st.locations.remove(&m.obj);
+        });
+        m.pinned = 1;
+        let home = m.obj.home(num);
+        if home != me {
+            m.hops += 1;
+            pe.send(home, ids().route, flows_pup::to_bytes(&mut m));
+            return;
+        }
+    }
     enum Action {
         Deliver(DeliveryFn),
         Forward(usize),
         Buffered,
     }
+    let pinned = m.pinned != 0;
     let action = pe.ext::<CommState, _>(|st| {
         if st.local.contains(&m.obj) {
             Action::Deliver(
@@ -145,6 +182,14 @@ fn route_inner(pe: &Pe, mut m: RouteMsg, came_from: Option<usize>) {
                     })
                     .clone(),
             )
+        } else if pinned {
+            // Pinned to home: never forward again; wait for the next
+            // location update to flush us.
+            st.buffered
+                .entry(m.obj)
+                .or_default()
+                .push_back((m.port, std::mem::take(&mut m.payload)));
+            Action::Buffered
         } else if let Some(&loc) = st.locations.get(&m.obj) {
             if loc == me {
                 // Stale self-reference: the object left without a trace —
@@ -271,6 +316,7 @@ pub fn route(pe: &Pe, obj: ObjId, port: Port, payload: Vec<u8>) {
         obj,
         port,
         hops: 0,
+        pinned: 0,
         payload,
     };
     pe.send(pe.id(), ids().route, flows_pup::to_bytes(&mut m));
@@ -284,4 +330,77 @@ pub fn route_from_here(obj: ObjId, port: Port, payload: Vec<u8>) {
 /// Number of messages parked here for `obj` (diagnostics/tests).
 pub fn buffered_count(pe: &Pe, obj: ObjId) -> usize {
     pe.ext::<CommState, _>(|st| st.buffered.get(&obj).map(|q| q.len()).unwrap_or(0))
+}
+
+/// Hop-budget overflow events recorded on this PE. A non-empty list means
+/// some message chased stale location caches past [`max_route_hops`] and
+/// was pinned to its home PE (still delivered once the location resolved,
+/// but worth investigating).
+pub fn route_overflows(pe: &Pe) -> Vec<RouteOverflow> {
+    pe.ext::<CommState, _>(|st| st.overflows.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    /// Fabricate a cyclic location cache (PE0 and PE1 each think the other
+    /// has the object, which actually lives nowhere yet) and check the hop
+    /// budget pins the message at its home instead of bouncing forever —
+    /// then that a late registration still gets it delivered.
+    #[test]
+    fn cyclic_stale_caches_hit_the_hop_bound_not_a_panic() {
+        let obj = ObjId(2); // home = PE0 on a 2-PE machine
+        let delivered = Arc::new(AtomicU64::new(0));
+        let mut mb = MachineBuilder::new(2);
+        let _comm = CommLayer::register(&mut mb);
+        let delivered2 = delivered.clone();
+        let overflow_seen = Arc::new(AtomicU64::new(0));
+        let overflow_seen2 = overflow_seen.clone();
+        // A probe that bounces between the PEs (a self-send loop would
+        // starve the receive queue): once PE0 sees the message parked, the
+        // object finally registers there and the buffer must flush to it.
+        let probe = mb.handler(move |pe, msg| {
+            if pe.id() != 0 {
+                pe.send(0, msg.handler, Vec::new());
+                return;
+            }
+            let ovf = route_overflows(pe);
+            if !ovf.is_empty() && buffered_count(pe, ObjId(2)) > 0 {
+                overflow_seen2.fetch_add(ovf.len() as u64, Ordering::Relaxed);
+                register_obj(pe, ObjId(2));
+            } else {
+                // Not pinned yet: keep probing via the other PE.
+                pe.send(1, msg.handler, Vec::new());
+            }
+        });
+        mb.run_deterministic(move |pe| {
+            let d = delivered2.clone();
+            set_delivery(pe, 9, move |_pe, o, payload| {
+                assert_eq!(o, obj);
+                assert_eq!(payload, b"stubborn".to_vec());
+                d.fetch_add(1, Ordering::Relaxed);
+            });
+            // Poison the caches to form a cycle.
+            pe.ext::<CommState, _>(|st| {
+                st.locations.insert(obj, 1 - pe.id());
+            });
+            if pe.id() == 1 {
+                route(pe, obj, 9, b"stubborn".to_vec());
+            }
+            if pe.id() == 0 {
+                pe.send(0, probe, Vec::new());
+            }
+        });
+        assert_eq!(delivered.load(Ordering::Relaxed), 1, "message not lost");
+        assert!(overflow_seen.load(Ordering::Relaxed) > 0, "overflow surfaced");
+    }
+
+    #[test]
+    fn hop_budget_scales_with_machine_size() {
+        assert_eq!(max_route_hops(1), 6);
+        assert_eq!(max_route_hops(16), 36);
+    }
 }

@@ -25,7 +25,7 @@ pub mod layer;
 pub mod reduce;
 
 pub use layer::{
-    buffered_count, migrate_obj_in, migrate_obj_out, register_obj, route, route_from_here,
-    set_delivery, CommLayer, ObjId, Port,
+    buffered_count, max_route_hops, migrate_obj_in, migrate_obj_out, register_obj, route,
+    route_from_here, route_overflows, set_delivery, CommLayer, ObjId, Port, RouteOverflow,
 };
 pub use reduce::{contribute, set_reduction_sink, ReduceOp, Reduction};

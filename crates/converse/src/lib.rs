@@ -46,10 +46,13 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
+mod link;
 pub mod machine;
 pub mod msg;
 pub mod pe;
 
+pub use fault::{FaultPlan, FaultSummary, PeCrash, PeStall};
 pub use machine::{MachineBuilder, MachineReport};
 pub use msg::{HandlerId, Message, NetModel};
 pub use pe::{charge_ns, my_pe, num_pes, send, vtime_ns, with_pe, Pe};

@@ -1,0 +1,253 @@
+//! Reliable cross-PE links: per-link sequence numbers, cumulative acks,
+//! timeout retransmission with exponential backoff, duplicate suppression
+//! and in-order reassembly.
+//!
+//! The protocol is active only when a [`crate::FaultPlan`] is attached;
+//! otherwise packets carry `seq == 0` and pass straight through (the
+//! channels themselves are lossless). Self-sends never enter the link
+//! layer.
+//!
+//! Accounting invariant: the machine-wide quiescence counters (`Hub::sent`
+//! / `Hub::recv`) count *logical* messages — one increment per `send`,
+//! one per handler invocation. Retransmissions, duplicates and acks are
+//! protocol-internal and tracked in [`crate::FaultStats`] instead, so
+//! quiescence detection is oblivious to the fault layer. While a sender
+//! holds unacked packets it reports "has work", which keeps both drive
+//! modes alive until every loss has been repaired.
+
+use crate::msg::Message;
+use std::collections::BTreeMap;
+
+/// What actually travels on the inter-PE channels.
+#[derive(Debug)]
+pub(crate) struct Packet {
+    pub src: usize,
+    pub body: PacketBody,
+}
+
+#[derive(Debug)]
+pub(crate) enum PacketBody {
+    /// An application message. `seq == 0` means "no protocol" (no fault
+    /// plan attached); sequenced links start at 1.
+    Data { seq: u64, msg: Message },
+    /// Cumulative acknowledgement: every seq `<= cum` has been received.
+    Ack { cum: u64 },
+}
+
+/// A packet awaiting acknowledgement on a sender.
+#[derive(Debug)]
+pub(crate) struct Unacked {
+    pub msg: Message,
+    /// Virtual time at which a retransmission is due.
+    pub deadline: u64,
+    /// Transmission attempts so far (0 = initial send).
+    pub attempt: u32,
+}
+
+/// Sender-side state for one outgoing link.
+#[derive(Debug, Default)]
+pub(crate) struct TxLink {
+    /// Next sequence number to assign (first is 1).
+    next_seq: u64,
+    /// In-flight packets by sequence number.
+    pub unacked: BTreeMap<u64, Unacked>,
+    /// One packet held back to reorder behind the next send.
+    pub pocket: Option<(u64, Message)>,
+}
+
+impl TxLink {
+    pub fn assign_seq(&mut self) -> u64 {
+        self.next_seq += 1;
+        self.next_seq
+    }
+
+    /// Drop everything acknowledged by a cumulative ack.
+    pub fn ack_through(&mut self, cum: u64) {
+        self.unacked = self.unacked.split_off(&(cum + 1));
+        if let Some((seq, _)) = &self.pocket {
+            if *seq <= cum {
+                // Can't happen in a sane peer (it never saw the pocketed
+                // packet), but be safe: treat as acked.
+                self.pocket = None;
+            }
+        }
+    }
+}
+
+/// Receiver-side state for one incoming link.
+#[derive(Debug)]
+pub(crate) struct RxLink {
+    /// Next in-order sequence number we are waiting for.
+    next_expected: u64,
+    /// Out-of-order packets parked until the gap fills.
+    ooo: BTreeMap<u64, Message>,
+}
+
+impl Default for RxLink {
+    fn default() -> Self {
+        RxLink {
+            next_expected: 1,
+            ooo: BTreeMap::new(),
+        }
+    }
+}
+
+/// Outcome of offering a received data packet to an [`RxLink`].
+pub(crate) enum RxOutcome {
+    /// Deliver these messages (the packet plus any unblocked stragglers),
+    /// in order.
+    Deliver(Vec<Message>),
+    /// Duplicate — already delivered or already parked; drop it.
+    Duplicate,
+    /// Out of order — parked until the gap fills.
+    Parked,
+}
+
+impl RxLink {
+    /// Cumulative ack value: highest in-order seq received.
+    pub fn cum_ack(&self) -> u64 {
+        self.next_expected - 1
+    }
+
+    pub fn offer(&mut self, seq: u64, msg: Message) -> RxOutcome {
+        if seq < self.next_expected {
+            return RxOutcome::Duplicate;
+        }
+        if seq > self.next_expected {
+            return if self.ooo.insert(seq, msg).is_some() {
+                RxOutcome::Duplicate
+            } else {
+                RxOutcome::Parked
+            };
+        }
+        let mut ready = vec![msg];
+        self.next_expected += 1;
+        while let Some(m) = self.ooo.remove(&self.next_expected) {
+            ready.push(m);
+            self.next_expected += 1;
+        }
+        RxOutcome::Deliver(ready)
+    }
+}
+
+/// Per-PE link table: one tx and one rx endpoint per peer.
+#[derive(Debug, Default)]
+pub(crate) struct LinkTable {
+    pub tx: Vec<TxLink>,
+    pub rx: Vec<RxLink>,
+}
+
+impl LinkTable {
+    pub fn new(num_pes: usize) -> LinkTable {
+        LinkTable {
+            tx: (0..num_pes).map(|_| TxLink::default()).collect(),
+            rx: (0..num_pes).map(|_| RxLink::default()).collect(),
+        }
+    }
+
+    /// Any packet awaiting ack or pocketed anywhere?
+    pub fn in_flight(&self) -> bool {
+        self.tx
+            .iter()
+            .any(|t| !t.unacked.is_empty() || t.pocket.is_some())
+    }
+
+    /// Earliest retransmission deadline across all links, if any.
+    pub fn min_deadline(&self) -> Option<u64> {
+        self.tx
+            .iter()
+            .flat_map(|t| t.unacked.values().map(|u| u.deadline))
+            .min()
+    }
+}
+
+/// Retransmission timeout for a given attempt: a few network latencies
+/// plus any injected delay, doubling per attempt (capped so virtual-time
+/// jumps stay bounded).
+pub(crate) fn rto_ns(base_latency_ns: u64, delay_ns: u64, attempt: u32) -> u64 {
+    let base = 4 * base_latency_ns.max(1_000) + 2 * delay_ns + 50_000;
+    base.saturating_mul(1u64 << attempt.min(10))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::HandlerId;
+
+    fn msg(tag: u8) -> Message {
+        Message {
+            handler: HandlerId(0),
+            data: vec![tag],
+            src_pe: 0,
+            sent_vtime: 0,
+        }
+    }
+
+    #[test]
+    fn rx_orders_and_dedupes() {
+        let mut rx = RxLink::default();
+        // 2 arrives first: parked.
+        assert!(matches!(rx.offer(2, msg(2)), RxOutcome::Parked));
+        assert_eq!(rx.cum_ack(), 0);
+        // duplicate of 2: dropped.
+        assert!(matches!(rx.offer(2, msg(2)), RxOutcome::Duplicate));
+        // 1 arrives: both released in order.
+        match rx.offer(1, msg(1)) {
+            RxOutcome::Deliver(v) => {
+                assert_eq!(v.iter().map(|m| m.data[0]).collect::<Vec<_>>(), vec![1, 2])
+            }
+            _ => panic!("expected delivery"),
+        }
+        assert_eq!(rx.cum_ack(), 2);
+        // stale retransmit of 1: dropped.
+        assert!(matches!(rx.offer(1, msg(1)), RxOutcome::Duplicate));
+    }
+
+    #[test]
+    fn tx_acks_cumulatively() {
+        let mut tx = TxLink::default();
+        for _ in 0..3 {
+            let s = tx.assign_seq();
+            tx.unacked.insert(
+                s,
+                Unacked {
+                    msg: msg(s as u8),
+                    deadline: 100,
+                    attempt: 0,
+                },
+            );
+        }
+        assert_eq!(tx.unacked.len(), 3);
+        tx.ack_through(2);
+        assert_eq!(tx.unacked.len(), 1);
+        assert!(tx.unacked.contains_key(&3));
+        tx.ack_through(3);
+        assert!(tx.unacked.is_empty());
+    }
+
+    #[test]
+    fn rto_backs_off_and_caps() {
+        let r0 = rto_ns(10_000, 0, 0);
+        let r1 = rto_ns(10_000, 0, 1);
+        assert_eq!(r1, 2 * r0);
+        assert_eq!(rto_ns(10_000, 0, 10), rto_ns(10_000, 0, 63));
+    }
+
+    #[test]
+    fn link_table_tracks_flight() {
+        let mut lt = LinkTable::new(2);
+        assert!(!lt.in_flight());
+        assert_eq!(lt.min_deadline(), None);
+        let s = lt.tx[1].assign_seq();
+        lt.tx[1].unacked.insert(
+            s,
+            Unacked {
+                msg: msg(0),
+                deadline: 77,
+                attempt: 0,
+            },
+        );
+        assert!(lt.in_flight());
+        assert_eq!(lt.min_deadline(), Some(77));
+    }
+}

@@ -1,6 +1,8 @@
 //! Building and driving the machine: handler registration, the two drive
 //! modes, and quiescence detection.
 
+use crate::fault::{FaultCtx, FaultPlan, FaultStats, FaultSummary};
+use crate::link::Packet;
 use crate::msg::{HandlerId, Message, NetModel};
 use crate::pe::{Handler, Pe};
 use crossbeam::channel::unbounded;
@@ -12,12 +14,45 @@ use std::sync::Arc;
 /// Shared counters used for machine-wide quiescence detection (the
 /// Converse QD analog): the machine is quiescent when every PE is idle and
 /// every sent message has been received.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct Hub {
     pub sent: AtomicU64,
     pub recv: AtomicU64,
     idle: AtomicUsize,
     done: AtomicBool,
+    /// First PE to hit a scripted crash (`usize::MAX` = none). A crash
+    /// aborts the run: quiescence can never be reached once a PE stops
+    /// consuming its messages.
+    crashed: AtomicUsize,
+}
+
+impl Default for Hub {
+    fn default() -> Self {
+        Hub {
+            sent: AtomicU64::new(0),
+            recv: AtomicU64::new(0),
+            idle: AtomicUsize::new(0),
+            done: AtomicBool::new(false),
+            crashed: AtomicUsize::new(usize::MAX),
+        }
+    }
+}
+
+impl Hub {
+    /// Record a scripted crash and wake every drive loop so the run stops.
+    pub(crate) fn record_crash(&self, pe: usize) {
+        let _ = self
+            .crashed
+            .compare_exchange(usize::MAX, pe, Ordering::SeqCst, Ordering::SeqCst);
+        self.done.store(true, Ordering::SeqCst);
+    }
+
+    fn crashed_pe(&self) -> Option<usize> {
+        match self.crashed.load(Ordering::SeqCst) {
+            usize::MAX => None,
+            pe => Some(pe),
+        }
+    }
 }
 
 /// Results of one machine run.
@@ -39,6 +74,12 @@ pub struct MachineReport {
     /// Busy virtual time per PE (work only, no arrival waits) — the load
     /// balance picture.
     pub pe_busy: Vec<u64>,
+    /// The PE that hit a scripted crash, if the run was aborted by one.
+    /// A crashed run's other counters cover work up to the abort.
+    pub crashed: Option<usize>,
+    /// Fault-injection / recovery counters (present iff a
+    /// [`FaultPlan`] was attached).
+    pub faults: Option<FaultSummary>,
 }
 
 impl MachineReport {
@@ -57,6 +98,8 @@ pub struct MachineBuilder {
     shared: Option<Arc<SharedPools>>,
     slot_len: usize,
     slots_per_pe: usize,
+    fault: Option<Arc<FaultPlan>>,
+    modeled_time: bool,
 }
 
 impl MachineBuilder {
@@ -71,7 +114,27 @@ impl MachineBuilder {
             shared: None,
             slot_len: 1 << 20,
             slots_per_pe: 1024,
+            fault: None,
+            modeled_time: false,
         }
+    }
+
+    /// Advance virtual clocks by *modeled* costs only (`charge_ns` and the
+    /// network model), never by measured host CPU time. Makes virtual
+    /// time — and with it `crash_pe`-style virtual-time triggers — exactly
+    /// reproducible across runs, at the price of vtimes no longer
+    /// reflecting real compute.
+    pub fn modeled_time(mut self, yes: bool) -> Self {
+        self.modeled_time = yes;
+        self
+    }
+
+    /// Attach a deterministic fault plan. This switches every cross-PE
+    /// link to the reliable (ack/retransmit) transport and arms the plan's
+    /// scripted PE faults.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(Arc::new(plan));
+        self
     }
 
     /// Use a specific per-PE scheduler configuration.
@@ -116,10 +179,15 @@ impl MachineBuilder {
         SharedPools::new(iso, 1 << 20).expect("machine memory pools")
     }
 
-    fn make_seeds(&mut self) -> (Vec<PeSeed>, Arc<Hub>) {
+    fn make_seeds(&mut self) -> (Vec<PeSeed>, Arc<Hub>, Option<Arc<FaultStats>>) {
         let shared = self.build_shared();
         let handlers = Arc::new(std::mem::take(&mut self.handlers));
         let hub = Arc::new(Hub::default());
+        let fault = self.fault.clone().map(|plan| FaultCtx {
+            plan,
+            stats: Arc::new(FaultStats::default()),
+        });
+        let stats = fault.as_ref().map(|f| f.stats.clone());
         let (txs, rxs): (Vec<_>, Vec<_>) = (0..self.num_pes).map(|_| unbounded()).unzip();
         let seeds = rxs
             .into_iter()
@@ -134,15 +202,17 @@ impl MachineBuilder {
                 handlers: handlers.clone(),
                 hub: hub.clone(),
                 net: self.net,
+                fault: fault.clone(),
+                modeled_time: self.modeled_time,
             })
             .collect();
-        (seeds, hub)
+        (seeds, hub, stats)
     }
 
     /// Drive all PEs round-robin on the calling OS thread until
     /// quiescence. Deterministic given deterministic application code.
     pub fn run_deterministic(mut self, init: impl Fn(&Pe)) -> MachineReport {
-        let (seeds, hub) = self.make_seeds();
+        let (seeds, hub, stats) = self.make_seeds();
         let pes: Vec<Pe> = seeds.into_iter().map(PeSeed::build).collect();
         let t0 = flows_sys::time::monotonic_ns();
         for pe in &pes {
@@ -150,7 +220,7 @@ impl MachineBuilder {
             init(pe);
             pe.leave(prev);
         }
-        loop {
+        'drive: loop {
             let mut progress = false;
             for pe in &pes {
                 let prev = pe.enter();
@@ -165,6 +235,11 @@ impl MachineBuilder {
                     progress = true;
                 }
                 pe.leave(prev);
+                if hub.crashed_pe().is_some() {
+                    // A dead PE stops consuming messages: quiescence is
+                    // unreachable, so abort and report the crash.
+                    break 'drive;
+                }
             }
             if !progress
                 && hub.sent.load(Ordering::SeqCst) == hub.recv.load(Ordering::SeqCst)
@@ -174,12 +249,12 @@ impl MachineBuilder {
             }
         }
         let wall_ns = flows_sys::time::monotonic_ns() - t0;
-        report(&pes, &hub, wall_ns)
+        report(&pes, &hub, wall_ns, stats.as_deref())
     }
 
     /// Drive each PE on its own OS thread until quiescence.
     pub fn run(mut self, init: impl Fn(&Pe) + Send + Sync) -> MachineReport {
-        let (seeds, hub) = self.make_seeds();
+        let (seeds, hub, stats) = self.make_seeds();
         let num_pes = self.num_pes;
         let t0 = flows_sys::time::monotonic_ns();
         let results: Vec<(u64, SchedStats, usize, u64)> = std::thread::scope(|s| {
@@ -215,6 +290,8 @@ impl MachineBuilder {
             messages: hub.sent.load(Ordering::SeqCst),
             stranded_threads: results.iter().map(|r| r.2).collect(),
             pe_busy: results.iter().map(|r| r.3).collect(),
+            crashed: hub.crashed_pe(),
+            faults: stats.map(|s| s.summary()),
         }
     }
 }
@@ -226,11 +303,13 @@ struct PeSeed {
     num_pes: usize,
     shared: Arc<SharedPools>,
     sched_cfg: SchedConfig,
-    rx: crossbeam::channel::Receiver<Message>,
-    txs: Vec<crossbeam::channel::Sender<Message>>,
+    rx: crossbeam::channel::Receiver<Packet>,
+    txs: Vec<crossbeam::channel::Sender<Packet>>,
     handlers: Arc<Vec<Handler>>,
     hub: Arc<Hub>,
     net: NetModel,
+    fault: Option<FaultCtx>,
+    modeled_time: bool,
 }
 
 impl PeSeed {
@@ -244,11 +323,13 @@ impl PeSeed {
             self.handlers,
             self.hub,
             self.net,
+            self.fault,
+            self.modeled_time,
         )
     }
 }
 
-fn report(pes: &[Pe], hub: &Hub, wall_ns: u64) -> MachineReport {
+fn report(pes: &[Pe], hub: &Hub, wall_ns: u64, stats: Option<&FaultStats>) -> MachineReport {
     MachineReport {
         pe_vtimes: pes.iter().map(|p| p.vtime_ns()).collect(),
         wall_ns,
@@ -256,15 +337,25 @@ fn report(pes: &[Pe], hub: &Hub, wall_ns: u64) -> MachineReport {
         messages: hub.sent.load(Ordering::SeqCst),
         stranded_threads: pes.iter().map(|p| p.sched().thread_count()).collect(),
         pe_busy: pes.iter().map(|p| p.busy_ns()).collect(),
+        crashed: hub.crashed_pe(),
+        faults: stats.map(|s| s.summary()),
     }
 }
 
 /// The per-PE loop of threaded mode with distributed quiescence detection.
 fn drive_until_quiescent(pe: &Pe, hub: &Hub, num_pes: usize) {
     loop {
+        if hub.done.load(Ordering::SeqCst) {
+            // Another PE crashed (or quiescence was declared while we were
+            // spinning on link recovery toward a dead PE): stop.
+            return;
+        }
         let mut progress = false;
         while pe.pump() {
             progress = true;
+            if hub.done.load(Ordering::SeqCst) {
+                return;
+            }
         }
         if progress {
             continue;
@@ -456,5 +547,137 @@ mod tests {
     fn with_pe_panics_outside_machine() {
         let r = std::panic::catch_unwind(|| with_pe(|p| p.id()));
         assert!(r.is_err());
+    }
+
+    /// The ring test's shape under fault injection: token still makes
+    /// every hop exactly once despite drops, dups, delays and reordering.
+    fn faulty_ring(plan: FaultPlan) -> (u64, MachineReport) {
+        let total = Arc::new(AtomicU64::new(0));
+        let mut mb = MachineBuilder::new(4).fault_plan(plan);
+        let h = {
+            let total = total.clone();
+            mb.handler(move |pe, msg| {
+                let hops = u64::from_le_bytes(msg.data[..8].try_into().unwrap());
+                total.fetch_add(1, Ordering::Relaxed);
+                if hops > 0 {
+                    pe.send(
+                        (pe.id() + 1) % pe.num_pes(),
+                        msg.handler,
+                        (hops - 1).to_le_bytes().to_vec(),
+                    );
+                }
+            })
+        };
+        let rep = mb.run_deterministic(|pe| {
+            if pe.id() == 0 {
+                pe.send(1, h, 40u64.to_le_bytes().to_vec());
+            }
+        });
+        (total.load(Ordering::Relaxed), rep)
+    }
+
+    #[test]
+    fn lossy_link_still_delivers_exactly_once() {
+        let plan = FaultPlan::new(1234)
+            .drop_prob(0.2)
+            .dup_prob(0.2)
+            .delay(0.2, 50_000)
+            .reorder_prob(0.2);
+        let (total, rep) = faulty_ring(plan);
+        assert_eq!(total, 41, "40 hops + initial, each delivered once");
+        assert_eq!(rep.messages, 41, "logical count unaffected by faults");
+        let f = rep.faults.expect("fault stats present");
+        assert!(f.dropped > 0, "plan injected drops: {f:?}");
+        assert!(f.retransmits >= f.dropped, "every drop was repaired");
+        assert!(f.acks > 0);
+        assert!(rep.crashed.is_none());
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic() {
+        let plan = || FaultPlan::new(99).drop_prob(0.15).dup_prob(0.1).reorder_prob(0.1);
+        let (t1, r1) = faulty_ring(plan());
+        let (t2, r2) = faulty_ring(plan());
+        assert_eq!(t1, t2);
+        assert_eq!(r1.faults, r2.faults, "same seed, same fault schedule");
+        assert_eq!(r1.messages, r2.messages);
+    }
+
+    #[test]
+    fn attached_plan_without_faults_is_transparent() {
+        let (total, rep) = faulty_ring(FaultPlan::new(5));
+        assert_eq!(total, 41);
+        let f = rep.faults.unwrap();
+        assert_eq!(f.dropped + f.duplicated + f.reordered + f.delayed, 0);
+        assert!(f.acks > 0, "reliable transport still acks");
+    }
+
+    #[test]
+    fn scripted_crash_aborts_the_run() {
+        let plan = FaultPlan::new(7).crash_pe(2, 0);
+        let total = Arc::new(AtomicU64::new(0));
+        let mut mb = MachineBuilder::new(4).fault_plan(plan);
+        let h = {
+            let total = total.clone();
+            mb.handler(move |_pe, _msg| {
+                total.fetch_add(1, Ordering::Relaxed);
+            })
+        };
+        let rep = mb.run_deterministic(|pe| {
+            if pe.id() == 0 {
+                for d in 0..pe.num_pes() {
+                    pe.send(d, h, vec![]);
+                }
+            }
+        });
+        assert_eq!(rep.crashed, Some(2));
+        // PE2 never ran its handler; the rest may or may not have before
+        // the abort, but never more than their own message.
+        assert!(total.load(Ordering::Relaxed) <= 3);
+    }
+
+    #[test]
+    fn scripted_crash_aborts_threaded_mode() {
+        let plan = FaultPlan::new(7).crash_pe(1, 0);
+        let mut mb = MachineBuilder::new(3).fault_plan(plan);
+        let h = mb.handler(|_pe, _msg| {});
+        let rep = mb.run(|pe| {
+            if pe.id() == 0 {
+                for d in 0..pe.num_pes() {
+                    pe.send(d, h, vec![]);
+                }
+            }
+        });
+        assert_eq!(rep.crashed, Some(1));
+    }
+
+    #[test]
+    fn stall_delays_but_run_completes() {
+        let plan = FaultPlan::new(3).stall_pe(1, 0, 50);
+        let (total, rep) = faulty_ring(plan);
+        assert_eq!(total, 41);
+        let f = rep.faults.unwrap();
+        assert!(f.stalled_steps >= 50, "stall consumed its steps: {f:?}");
+        assert!(rep.crashed.is_none());
+    }
+
+    #[test]
+    fn threaded_mode_survives_lossy_links() {
+        let plan = FaultPlan::new(21).drop_prob(0.2).dup_prob(0.1);
+        let total = Arc::new(AtomicU64::new(0));
+        let mut mb = MachineBuilder::new(3).fault_plan(plan);
+        let h = {
+            let total = total.clone();
+            mb.handler(move |_pe, msg| {
+                total.fetch_add(msg.data.len() as u64, Ordering::Relaxed);
+            })
+        };
+        let rep = mb.run(move |pe| {
+            for d in 0..pe.num_pes() {
+                pe.send(d, h, vec![0; 10 * (pe.id() + 1)]);
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 180, "exactly-once despite loss");
+        assert!(rep.faults.unwrap().dropped > 0);
     }
 }

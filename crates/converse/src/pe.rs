@@ -1,5 +1,7 @@
 //! One processing element: message pump + thread scheduler + virtual clock.
 
+use crate::fault::{FaultCtx, FaultStats};
+use crate::link::{rto_ns, LinkTable, Packet, PacketBody, RxOutcome, Unacked};
 use crate::machine::Hub;
 use crate::msg::{HandlerId, Message, NetModel};
 use crossbeam::channel::{Receiver, Sender};
@@ -17,6 +19,11 @@ thread_local! {
     static CURRENT_PE: Cell<*const Pe> = const { Cell::new(std::ptr::null()) };
 }
 
+/// Consecutive idle pumps before an otherwise-idle PE jumps its virtual
+/// clock to the next retransmission deadline. In threaded mode this gives
+/// in-flight acks a few spins to arrive before we burn a retransmit.
+const IDLE_PUMPS_BEFORE_RETX_JUMP: u32 = 8;
+
 /// A processing element of the simulated machine. All methods take `&self`
 /// (interior mutability), so code running inside handlers *and* inside
 /// user-level threads can reach its services through [`with_pe`] and the
@@ -25,14 +32,21 @@ pub struct Pe {
     id: usize,
     num_pes: usize,
     sched: Scheduler,
-    rx: Receiver<Message>,
-    txs: Vec<Sender<Message>>,
+    rx: Receiver<Packet>,
+    txs: Vec<Sender<Packet>>,
     handlers: Arc<Vec<Handler>>,
     hub: Arc<Hub>,
     net: NetModel,
+    fault: Option<FaultCtx>,
+    modeled_time: bool,
     vtime: Cell<u64>,
     busy: Cell<u64>,
     local_q: RefCell<VecDeque<Message>>,
+    links: RefCell<LinkTable>,
+    stall_left: Cell<u64>,
+    stall_fired: Cell<bool>,
+    crashed: Cell<bool>,
+    idle_pumps: Cell<u32>,
     exts: RefCell<HashMap<TypeId, Box<dyn Any>>>,
 }
 
@@ -52,11 +66,13 @@ impl Pe {
         id: usize,
         num_pes: usize,
         sched: Scheduler,
-        rx: Receiver<Message>,
-        txs: Vec<Sender<Message>>,
+        rx: Receiver<Packet>,
+        txs: Vec<Sender<Packet>>,
         handlers: Arc<Vec<Handler>>,
         hub: Arc<Hub>,
         net: NetModel,
+        fault: Option<FaultCtx>,
+        modeled_time: bool,
     ) -> Pe {
         Pe {
             id,
@@ -67,9 +83,16 @@ impl Pe {
             handlers,
             hub,
             net,
+            fault,
+            modeled_time,
             vtime: Cell::new(0),
             busy: Cell::new(0),
             local_q: RefCell::new(VecDeque::new()),
+            links: RefCell::new(LinkTable::new(num_pes)),
+            stall_left: Cell::new(0),
+            stall_fired: Cell::new(false),
+            crashed: Cell::new(false),
+            idle_pumps: Cell::new(0),
             exts: RefCell::new(HashMap::new()),
         }
     }
@@ -108,8 +131,14 @@ impl Pe {
         self.busy.get()
     }
 
+    /// Whether this PE has hit a scripted crash (a dead PE does nothing).
+    pub fn crashed(&self) -> bool {
+        self.crashed.get()
+    }
+
     /// Send `data` to `handler` on PE `dest`. Never blocks; self-sends go
-    /// through the local queue.
+    /// through the local queue and never enter the (possibly faulty) link
+    /// layer.
     pub fn send(&self, dest: usize, handler: HandlerId, data: Vec<u8>) {
         assert!(dest < self.num_pes, "send to PE {dest} of {}", self.num_pes);
         let msg = Message {
@@ -121,10 +150,78 @@ impl Pe {
         self.hub.sent.fetch_add(1, Ordering::SeqCst);
         if dest == self.id {
             self.local_q.borrow_mut().push_back(msg);
+        } else if self.fault.is_some() {
+            self.link_send(dest, msg);
         } else {
             // Unbounded channel: send can only fail if the PE is gone,
             // which means the machine is shutting down.
-            let _ = self.txs[dest].send(msg);
+            let _ = self.txs[dest].send(Packet {
+                src: self.id,
+                body: PacketBody::Data { seq: 0, msg },
+            });
+        }
+    }
+
+    /// Enqueue a message on the reliable link to `dest`, applying the
+    /// fault plan's delay / reorder decisions and recording the packet for
+    /// retransmission until acked.
+    fn link_send(&self, dest: usize, mut msg: Message) {
+        let ctx = self.fault.as_ref().expect("link_send without plan");
+        let mut links = self.links.borrow_mut();
+        let tx = &mut links.tx[dest];
+        let seq = tx.assign_seq();
+        if ctx.plan.delay_roll(self.id, dest, seq) {
+            msg.sent_vtime += ctx.plan.delay_ns;
+            FaultStats::bump(&ctx.stats.delayed);
+        }
+        tx.unacked.insert(
+            seq,
+            Unacked {
+                msg: msg.clone(),
+                deadline: self.vtime.get() + rto_ns(self.net.latency_ns, ctx.plan.delay_ns, 0),
+                attempt: 0,
+            },
+        );
+        if tx.pocket.is_none() && ctx.plan.reorder_roll(self.id, dest, seq) {
+            // Hold this packet back; it goes out after the next send to
+            // the same destination (or at the next pump).
+            tx.pocket = Some((seq, msg));
+            FaultStats::bump(&ctx.stats.reordered);
+            return;
+        }
+        let pocketed = tx.pocket.take();
+        self.transmit(dest, seq, &msg, 0);
+        if let Some((pseq, pmsg)) = pocketed {
+            // Flushed after its successor: the links observes them swapped.
+            self.transmit(dest, pseq, &pmsg, 0);
+        }
+    }
+
+    /// Physically enqueue one data packet, rolling drop/duplicate faults.
+    fn transmit(&self, dest: usize, seq: u64, msg: &Message, attempt: u32) {
+        let ctx = self.fault.as_ref().expect("transmit without plan");
+        if ctx.plan.drop_roll(self.id, dest, seq, attempt) {
+            FaultStats::bump(&ctx.stats.dropped);
+        } else {
+            FaultStats::bump(&ctx.stats.data_packets);
+            let _ = self.txs[dest].send(Packet {
+                src: self.id,
+                body: PacketBody::Data {
+                    seq,
+                    msg: msg.clone(),
+                },
+            });
+        }
+        if ctx.plan.dup_roll(self.id, dest, seq, attempt) {
+            FaultStats::bump(&ctx.stats.duplicated);
+            FaultStats::bump(&ctx.stats.data_packets);
+            let _ = self.txs[dest].send(Packet {
+                src: self.id,
+                body: PacketBody::Data {
+                    seq,
+                    msg: msg.clone(),
+                },
+            });
         }
     }
 
@@ -139,17 +236,8 @@ impl Pe {
         f(slot.downcast_mut::<T>().expect("ext type"))
     }
 
-    /// Deliver one pending message, if any. Returns whether one was
-    /// processed.
-    fn deliver_one(&self) -> bool {
-        let msg = {
-            let local = self.local_q.borrow_mut().pop_front();
-            match local {
-                Some(m) => Some(m),
-                None => self.rx.try_recv().ok(),
-            }
-        };
-        let Some(msg) = msg else { return false };
+    /// Count a logical receive and run the message's handler.
+    fn deliver_msg(&self, msg: Message) {
         self.hub.recv.fetch_add(1, Ordering::SeqCst);
         // Virtual clock: the message cannot be processed before it arrives.
         let arrival = self
@@ -162,13 +250,164 @@ impl Pe {
             .unwrap_or_else(|| panic!("unregistered handler {:?}", msg.handler))
             .clone();
         handler(self, msg);
+    }
+
+    /// Deliver one pending message or protocol packet, if any. Returns
+    /// whether one was processed.
+    fn deliver_one(&self) -> bool {
+        let local = self.local_q.borrow_mut().pop_front();
+        if let Some(msg) = local {
+            self.deliver_msg(msg);
+            return true;
+        }
+        let Ok(pkt) = self.rx.try_recv() else {
+            return false;
+        };
+        match pkt.body {
+            PacketBody::Data { seq: 0, msg } => self.deliver_msg(msg),
+            PacketBody::Data { seq, msg } => self.link_recv(pkt.src, seq, msg),
+            PacketBody::Ack { cum } => {
+                self.links.borrow_mut().tx[pkt.src].ack_through(cum);
+            }
+        }
         true
+    }
+
+    /// Sequenced data packet from `src`: dedupe, reassemble in order,
+    /// deliver what is ready, and send a cumulative ack.
+    fn link_recv(&self, src: usize, seq: u64, msg: Message) {
+        let ctx = self.fault.as_ref().expect("sequenced packet without plan");
+        let (ready, cum) = {
+            let mut links = self.links.borrow_mut();
+            let rx = &mut links.rx[src];
+            let ready = match rx.offer(seq, msg) {
+                RxOutcome::Deliver(v) => v,
+                RxOutcome::Duplicate => {
+                    FaultStats::bump(&ctx.stats.dup_dropped);
+                    Vec::new()
+                }
+                RxOutcome::Parked => Vec::new(),
+            };
+            (ready, rx.cum_ack())
+        };
+        // Ack every data packet (acks are cheap and idempotent); a dropped
+        // or stale sender state is repaired by the next retransmission.
+        FaultStats::bump(&ctx.stats.acks);
+        let _ = self.txs[src].send(Packet {
+            src: self.id,
+            body: PacketBody::Ack { cum },
+        });
+        for m in ready {
+            self.deliver_msg(m);
+        }
+    }
+
+    /// Flush any pocketed (reorder-held) packets and retransmit everything
+    /// whose deadline has passed. When the PE has been idle for a while and
+    /// only timers remain, jump the virtual clock to the earliest deadline
+    /// so recovery makes progress in both drive modes. Returns whether any
+    /// packet moved.
+    fn link_maintain(&self, other_progress: bool) -> bool {
+        let ctx = match &self.fault {
+            Some(c) => c,
+            None => return false,
+        };
+        let mut moved = false;
+        // Flush pockets: a reorder hold lasts at most one pump.
+        let pockets: Vec<(usize, u64, Message)> = {
+            let mut links = self.links.borrow_mut();
+            links
+                .tx
+                .iter_mut()
+                .enumerate()
+                .filter_map(|(d, t)| t.pocket.take().map(|(s, m)| (d, s, m)))
+                .collect()
+        };
+        for (dest, seq, msg) in pockets {
+            self.transmit(dest, seq, &msg, 0);
+            moved = true;
+        }
+        if !other_progress && !moved {
+            let idle = self.idle_pumps.get() + 1;
+            self.idle_pumps.set(idle);
+            if idle >= IDLE_PUMPS_BEFORE_RETX_JUMP && !self.has_local_work() {
+                let jump = self.links.borrow().min_deadline();
+                if let Some(d) = jump {
+                    if d > self.vtime.get() {
+                        self.vtime.set(d);
+                    }
+                }
+            }
+        } else {
+            self.idle_pumps.set(0);
+        }
+        // Retransmit everything due at the (possibly advanced) clock.
+        let now = self.vtime.get();
+        let due: Vec<(usize, u64, Message, u32)> = {
+            let mut links = self.links.borrow_mut();
+            let mut due = Vec::new();
+            for (dest, tx) in links.tx.iter_mut().enumerate() {
+                for (&seq, u) in tx.unacked.iter_mut() {
+                    if u.deadline <= now {
+                        u.attempt += 1;
+                        u.deadline =
+                            now + rto_ns(self.net.latency_ns, ctx.plan.delay_ns, u.attempt);
+                        due.push((dest, seq, u.msg.clone(), u.attempt));
+                    }
+                }
+            }
+            due
+        };
+        for (dest, seq, msg, attempt) in due {
+            FaultStats::bump(&ctx.stats.retransmits);
+            self.transmit(dest, seq, &msg, attempt);
+            moved = true;
+        }
+        moved
+    }
+
+    /// Check scripted PE faults. Returns `true` if the PE must skip this
+    /// pump iteration (crashed or stalled).
+    fn fault_gate(&self) -> bool {
+        let ctx = match &self.fault {
+            Some(c) => c,
+            None => return false,
+        };
+        if self.crashed.get() {
+            return true;
+        }
+        if let Some(c) = ctx.plan.crash_for(self.id) {
+            if self.vtime.get() >= c.at_vtime_ns {
+                self.crashed.set(true);
+                self.hub.record_crash(self.id);
+                return true;
+            }
+        }
+        if self.stall_left.get() > 0 {
+            self.stall_left.set(self.stall_left.get() - 1);
+            FaultStats::bump(&ctx.stats.stalled_steps);
+            return true;
+        }
+        if !self.stall_fired.get() {
+            if let Some(s) = ctx.plan.stall_for(self.id) {
+                if self.vtime.get() >= s.at_vtime_ns {
+                    self.stall_fired.set(true);
+                    self.stall_left.set(s.for_steps);
+                    FaultStats::bump(&ctx.stats.stalled_steps);
+                    return true;
+                }
+            }
+        }
+        false
     }
 
     /// One scheduler-loop iteration: deliver pending messages, then run
     /// one thread burst. Returns whether any progress was made.
     /// The wall time spent is charged to the virtual clock.
     pub fn pump(&self) -> bool {
+        if self.fault_gate() {
+            return false;
+        }
         // CPU time (see flows_sys::time::thread_cpu_ns): virtual time must
         // charge this PE's own work, not host preemption.
         let t0 = thread_cpu_ns();
@@ -183,15 +422,30 @@ impl Pe {
         if self.sched.step() {
             progress = true;
         }
-        if progress {
+        // Under modeled time (reproducible fault runs) only explicit
+        // charges and network arrivals move the clock.
+        if progress && !self.modeled_time {
             self.charge_ns(thread_cpu_ns().saturating_sub(t0));
+        }
+        if self.link_maintain(progress) {
+            progress = true;
         }
         progress
     }
 
-    /// Is there any local work (messages or runnable threads)?
-    pub fn has_work(&self) -> bool {
+    /// Local work only: queued messages or runnable threads.
+    fn has_local_work(&self) -> bool {
         !self.local_q.borrow().is_empty() || !self.rx.is_empty() || self.sched.runnable() > 0
+    }
+
+    /// Is there any local work (messages, runnable threads, unfinished
+    /// link-layer recovery, or an in-progress stall)? A crashed PE has no
+    /// work — the machine driver aborts instead of waiting on it.
+    pub fn has_work(&self) -> bool {
+        if self.crashed.get() {
+            return false;
+        }
+        self.has_local_work() || self.stall_left.get() > 0 || self.links.borrow().in_flight()
     }
 
     pub(crate) fn enter(&self) -> *const Pe {

@@ -17,6 +17,21 @@ use crate::tcb::{ThreadId, ThreadState};
 use flows_pup::pup_fields;
 use flows_sys::error::{SysError, SysResult};
 
+/// Frame constants for serialized checkpoints: `b"FCKP"`, a format
+/// version, the payload byte length and an FNV-1a checksum.
+const CKPT_MAGIC: [u8; 4] = *b"FCKP";
+const CKPT_VERSION: u32 = 1;
+const FRAME_HEADER_LEN: usize = 4 + 4 + 8 + 8;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}
+
 /// A scheduler's worth of suspended work, as bytes.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Checkpoint {
@@ -42,16 +57,56 @@ impl Checkpoint {
         self.threads.iter().map(|t| t.id()).collect()
     }
 
-    /// Serialize (the "to disk" half of migration-to-disk).
+    /// Serialize with a self-describing frame (the "to disk" half of
+    /// migration-to-disk): magic, format version, payload length and a
+    /// checksum, so a truncated or bit-flipped image is rejected with a
+    /// precise error instead of being misparsed into garbage threads.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut me = self.clone();
-        flows_pup::to_bytes(&mut me)
+        let payload = flows_pup::to_bytes(&mut me);
+        let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+        out.extend_from_slice(&CKPT_MAGIC);
+        out.extend_from_slice(&CKPT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
     }
 
-    /// Deserialize.
+    /// Deserialize, verifying the frame written by [`Checkpoint::to_bytes`].
     pub fn from_bytes(bytes: &[u8]) -> SysResult<Checkpoint> {
-        flows_pup::from_bytes(bytes)
-            .map_err(|e| SysError::logic("checkpoint", format!("corrupt: {e}")))
+        let err = |what: String| SysError::logic("checkpoint", what);
+        if bytes.len() < FRAME_HEADER_LEN {
+            return Err(err(format!(
+                "truncated header: {} bytes, need {FRAME_HEADER_LEN}",
+                bytes.len()
+            )));
+        }
+        if bytes[..4] != CKPT_MAGIC {
+            return Err(err(format!(
+                "bad magic {:02x?} (not a checkpoint image)",
+                &bytes[..4]
+            )));
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        if version != CKPT_VERSION {
+            return Err(err(format!(
+                "unsupported checkpoint version {version} (this build reads {CKPT_VERSION})"
+            )));
+        }
+        let len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
+        let sum = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+        let payload = &bytes[FRAME_HEADER_LEN..];
+        if payload.len() != len {
+            return Err(err(format!(
+                "payload length mismatch: header says {len}, got {}",
+                payload.len()
+            )));
+        }
+        if fnv1a(payload) != sum {
+            return Err(err("checksum mismatch: image is corrupt".into()));
+        }
+        flows_pup::from_bytes(payload).map_err(|e| err(format!("corrupt payload: {e}")))
     }
 
     /// Write to a file.
@@ -245,8 +300,41 @@ mod tests {
         pe0.run();
         let bytes = pe0.checkpoint().unwrap().to_bytes();
         assert!(Checkpoint::from_bytes(&bytes[..bytes.len() / 2]).is_err());
-        assert!(Checkpoint::from_bytes(&[]).is_ok_and(|c| c.is_empty()) == false);
+        assert!(!Checkpoint::from_bytes(&[]).is_ok_and(|c| c.is_empty()));
         let ok = Checkpoint::from_bytes(&bytes).unwrap();
         assert_eq!(ok.len(), 1);
+    }
+
+    /// The frame catches every corruption class with a precise error:
+    /// truncation, wrong magic, wrong version, short payload, bit flips.
+    #[test]
+    fn checkpoint_frame_rejects_each_corruption_mode() {
+        let pools = SharedPools::new_for_tests();
+        let pe0 = Scheduler::new(0, pools.clone(), SchedConfig::default());
+        let r = Rc::new(Cell::new(0u64));
+        let tid = pe0.spawn(StackFlavor::Isomalloc, two_phase(r.clone(), 4)).unwrap();
+        pe0.run();
+        let bytes = pe0.checkpoint().unwrap().to_bytes();
+
+        let msg = |b: &[u8]| Checkpoint::from_bytes(b).unwrap_err().to_string();
+        assert!(msg(&bytes[..10]).contains("truncated header"));
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(msg(&bad).contains("bad magic"));
+        let mut bad = bytes.clone();
+        bad[4] = 0xFF; // version field
+        assert!(msg(&bad).contains("unsupported checkpoint version"));
+        assert!(msg(&bytes[..bytes.len() - 1]).contains("length mismatch"));
+        let mut bad = bytes.clone();
+        *bad.last_mut().unwrap() ^= 0x01; // flip one payload bit
+        assert!(msg(&bad).contains("checksum mismatch"));
+
+        // The pristine image still restores and the thread completes.
+        let ckpt = Checkpoint::from_bytes(&bytes).unwrap();
+        let pe1 = Scheduler::new(1, pools, SchedConfig::default());
+        pe1.restore(ckpt).unwrap();
+        pe1.awaken_tid(tid).unwrap();
+        pe1.run();
+        assert_eq!(r.get(), (0..4u64).map(|i| i * i).sum::<u64>() + 4);
     }
 }

@@ -86,6 +86,13 @@ impl PackedThread {
         self.wire.payload.len()
     }
 
+    /// Measured CPU load (ns) of the thread's current epoch, captured at
+    /// pack time. Lets a restart path feed real loads to a load balancer
+    /// when placing restored threads.
+    pub fn load_ns(&self) -> u64 {
+        self.wire.load_ns
+    }
+
     /// Serialize to raw bytes (for shipping through a message layer).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut me = self.clone();

@@ -379,23 +379,21 @@ impl Scheduler {
             }
 
             match &mut (*tcb).flavor {
-                FlavorData::Copy { image } => {
-                    if !done {
+                FlavorData::Copy { image }
+                    if !done => {
                         let g = copy_guard.as_ref().expect("copy guard");
                         // SAFETY: thread is suspended; we still hold the
                         // region lock.
                         g.switch_out(image, (*tcb).ctx.saved_sp())
                             .expect("copy-stack switch out");
                     }
-                }
-                FlavorData::Alias { frame } => {
-                    if done {
+                FlavorData::Alias { frame }
+                    if done => {
                         let mut g = alias_guard.take().expect("alias guard");
                         let f = *frame;
                         let _ = g.deactivate();
                         let _ = g.free_frame(f);
                     }
-                }
                 _ => {}
             }
             drop(copy_guard);

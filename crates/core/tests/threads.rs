@@ -359,11 +359,11 @@ fn migration_rejects_invalid_candidates() {
     let pe0 = Scheduler::new(0, shared.clone(), SchedConfig::default());
 
     // Unstarted thread: entry closure not serializable.
-    let t1 = pe0.spawn(StackFlavor::Isomalloc, || suspend()).unwrap();
+    let t1 = pe0.spawn(StackFlavor::Isomalloc, suspend).unwrap();
     assert!(pe0.pack_thread(t1).is_err(), "unstarted");
 
     // Standard flavor: not migratable, even after starting.
-    let t2 = pe0.spawn(StackFlavor::Standard, || suspend()).unwrap();
+    let t2 = pe0.spawn(StackFlavor::Standard, suspend).unwrap();
     pe0.run();
     assert!(pe0.pack_thread(t2).is_err(), "standard flavor");
 
@@ -390,7 +390,7 @@ fn migration_respects_swap_kind() {
             ..SchedConfig::default()
         },
     );
-    let tid = pe0.spawn(StackFlavor::Isomalloc, || suspend()).unwrap();
+    let tid = pe0.spawn(StackFlavor::Isomalloc, suspend).unwrap();
     pe0.run();
     let packed = pe0.pack_thread(tid).unwrap();
     assert!(
@@ -403,7 +403,7 @@ fn migration_respects_swap_kind() {
 fn corrupt_migration_images_are_rejected() {
     let shared = SharedPools::new_for_tests();
     let pe0 = Scheduler::new(0, shared.clone(), SchedConfig::default());
-    let tid = pe0.spawn(StackFlavor::StackCopy, || suspend()).unwrap();
+    let tid = pe0.spawn(StackFlavor::StackCopy, suspend).unwrap();
     pe0.run();
     let bytes = pe0.pack_thread(tid).unwrap().to_bytes();
     assert!(flows_core::PackedThread::from_bytes(&bytes[..bytes.len() / 3]).is_err());

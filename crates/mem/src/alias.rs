@@ -36,7 +36,7 @@ impl AliasStackPool {
     /// capacity for `initial_frames` (grows on demand).
     pub fn new(frame_len: usize, initial_frames: usize) -> SysResult<AliasStackPool> {
         let pg = page_size();
-        if frame_len == 0 || frame_len % pg != 0 {
+        if frame_len == 0 || !frame_len.is_multiple_of(pg) {
             return Err(SysError::logic(
                 "alias_pool",
                 format!("frame_len {frame_len:#x} must be a positive page multiple"),

@@ -49,7 +49,7 @@ impl CopyStackPool {
     /// Create a pool whose common region is `len` bytes (page multiple).
     pub fn new(len: usize) -> SysResult<CopyStackPool> {
         let pg = page_size();
-        if len == 0 || len % pg != 0 {
+        if len == 0 || !len.is_multiple_of(pg) {
             return Err(SysError::logic(
                 "copystack_pool",
                 format!("len {len:#x} must be a positive page multiple"),

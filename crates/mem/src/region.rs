@@ -52,13 +52,13 @@ impl IsoConfig {
         if self.num_pes == 0 || self.slots_per_pe == 0 {
             return Err(SysError::logic("iso_config", "zero PEs or slots".into()));
         }
-        if self.slot_len == 0 || self.slot_len % page_size() != 0 {
+        if self.slot_len == 0 || !self.slot_len.is_multiple_of(page_size()) {
             return Err(SysError::logic(
                 "iso_config",
                 format!("slot_len {:#x} must be a positive page multiple", self.slot_len),
             ));
         }
-        if self.base % page_size() != 0 {
+        if !self.base.is_multiple_of(page_size()) {
             return Err(SysError::logic("iso_config", "unaligned base".into()));
         }
         Ok(())
@@ -166,6 +166,12 @@ impl IsoRegion {
     /// The caller is responsible for ensuring exactly one live handle per
     /// index (the migration protocol releases the source handle with
     /// [`Slot::into_global_index`] before the destination adopts it).
+    ///
+    /// Checkpoint restart adopts indices whose previous handle was
+    /// *dropped* (the crashed machine's teardown freed them), so if the
+    /// index sits on its home PE's free list it is reclaimed: removed from
+    /// the list and counted live again. Otherwise the index is presumed
+    /// still owned remotely (normal migration) and accounting is untouched.
     pub fn adopt_slot(self: &Arc<Self>, global_index: usize) -> SysResult<Slot> {
         if global_index >= self.cfg.num_pes * self.cfg.slots_per_pe {
             return Err(SysError::logic(
@@ -173,6 +179,14 @@ impl IsoRegion {
                 format!("slot index {global_index} out of range"),
             ));
         }
+        let pe = global_index / self.cfg.slots_per_pe;
+        let local = global_index % self.cfg.slots_per_pe;
+        let mut st = self.pes[pe].lock();
+        if let Some(pos) = st.free.iter().position(|&i| i == local) {
+            st.free.swap_remove(pos);
+            st.live += 1;
+        }
+        drop(st);
         Ok(Slot {
             region: Arc::clone(self),
             global_index,
@@ -359,6 +373,28 @@ mod tests {
         assert_eq!(s2.base(), base);
         assert_eq!(s2.home_pe(), 1);
         assert!(r.adopt_slot(999).is_err());
+    }
+
+    /// Checkpoint-restart flow: the old handle is *dropped* (not forgotten
+    /// as in migration), then the index is adopted again. The adoption must
+    /// reclaim the index so accounting stays balanced and a later alloc
+    /// cannot hand out a second handle to the same slot.
+    #[test]
+    fn adopt_reclaims_freed_index() {
+        let r = small_region(1);
+        let s = r.alloc_slot(0).unwrap();
+        let idx = s.global_index();
+        drop(s); // crashed machine teardown
+        assert_eq!(r.live_slots(0), 0);
+        let s2 = r.adopt_slot(idx).unwrap(); // restore from checkpoint
+        assert_eq!(r.live_slots(0), 1, "reclaimed index is live again");
+        // Fresh allocations must not alias the restored slot.
+        let others: Vec<_> = (0..3).map(|_| r.alloc_slot(0).unwrap()).collect();
+        assert!(others.iter().all(|o| o.global_index() != idx));
+        assert!(r.alloc_slot(0).is_err(), "region is genuinely full");
+        drop(s2);
+        drop(others);
+        assert_eq!(r.live_slots(0), 0, "drop accounting balanced");
     }
 
     #[test]

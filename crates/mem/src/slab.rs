@@ -60,7 +60,7 @@ impl ThreadSlab {
     /// room for the guard page and a non-empty heap arena.
     pub fn new(slot: Slot, stack_len: usize) -> SysResult<ThreadSlab> {
         let pg = page_size();
-        if stack_len == 0 || stack_len % pg != 0 {
+        if stack_len == 0 || !stack_len.is_multiple_of(pg) {
             return Err(SysError::logic(
                 "thread_slab",
                 format!("stack_len {stack_len:#x} must be a positive page multiple"),

@@ -3,8 +3,8 @@
 
 use crate::solver::ZoneGrid;
 use crate::zones::{rank_of_zone, zone_layout, MzBench, MzClass, Zone};
-use flows_ampi::{run_world, AmpiOptions};
-use flows_converse::NetModel;
+use flows_ampi::{run_world, run_world_ft, AmpiOptions};
+use flows_converse::{FaultPlan, FaultSummary, NetModel};
 use flows_lb::LbStrategy;
 use std::sync::{Arc, Mutex};
 
@@ -31,6 +31,12 @@ pub struct MzConfig {
     pub lb_at: usize,
     /// Threaded drive mode.
     pub threaded: bool,
+    /// Fault plan: when set, the run goes through the fault-tolerant
+    /// driver (reliable transport + checkpoint restart on PE crashes).
+    pub faults: Option<FaultPlan>,
+    /// Coordinated checkpoint every N iterations (0 = never). Only
+    /// meaningful together with `faults`.
+    pub checkpoint_every: usize,
 }
 
 impl MzConfig {
@@ -46,12 +52,21 @@ impl MzConfig {
             lb: None,
             lb_at: 3,
             threaded: false,
+            faults: None,
+            checkpoint_every: 0,
         }
     }
 
     /// Attach a load balancer.
     pub fn with_lb(mut self, lb: Arc<dyn LbStrategy + Send + Sync>) -> Self {
         self.lb = Some(lb);
+        self
+    }
+
+    /// Attach a fault plan and checkpoint every `every` iterations.
+    pub fn with_faults(mut self, plan: FaultPlan, every: usize) -> Self {
+        self.faults = Some(plan);
+        self.checkpoint_every = every;
         self
     }
 
@@ -88,6 +103,16 @@ pub struct MzReport {
     pub pe_vtimes_s: Vec<f64>,
     /// Per-PE busy times (seconds): work only, no waits.
     pub pe_busy_s: Vec<f64>,
+    /// Checkpoint restarts taken (PE crashes survived; 0 without faults).
+    pub restarts: usize,
+    /// PEs the run finished on (crashes shrink the machine).
+    pub pes_used: usize,
+    /// Logical messages of the final (successful) attempt.
+    pub messages: u64,
+    /// Logical messages over every attempt, crashed ones included.
+    pub total_messages: u64,
+    /// Fault/recovery counters (present iff a plan was attached).
+    pub faults: Option<FaultSummary>,
 }
 
 /// Run the benchmark.
@@ -119,9 +144,26 @@ pub fn run(cfg: &MzConfig) -> MzReport {
         opts = opts.with_strategy(lb.clone());
     }
 
-    let report = run_world(opts, move |ampi| {
+    let main = move |ampi: &mut flows_ampi::Ampi| {
         rank_main(ampi, &cfg2, &zones2, &checksum2);
-    });
+    };
+    let (report, restarts, pes_used, faults, total_messages) = match &cfg.faults {
+        Some(plan) => {
+            let ft = run_world_ft(opts, plan.clone(), main);
+            (
+                ft.report,
+                ft.restarts,
+                ft.pes_used,
+                Some(ft.faults),
+                ft.total_messages,
+            )
+        }
+        None => {
+            let r = run_world(opts, main);
+            let (f, m) = (r.faults, r.messages);
+            (r, 0, cfg.pes, f, m)
+        }
+    };
 
     let checksum = *checksum.lock().unwrap();
     MzReport {
@@ -133,6 +175,11 @@ pub fn run(cfg: &MzConfig) -> MzReport {
         migrations: report.sched_stats.iter().map(|s| s.migrations_in).sum(),
         pe_vtimes_s: report.pe_vtimes.iter().map(|&v| v as f64 * 1e-9).collect(),
         pe_busy_s: report.pe_busy.iter().map(|&v| v as f64 * 1e-9).collect(),
+        restarts,
+        pes_used,
+        messages: report.messages,
+        total_messages,
+        faults,
     }
 }
 
@@ -237,6 +284,13 @@ fn rank_main(
         if cfg.lb.is_some() && iter + 1 == cfg.lb_at {
             ampi.migrate();
         }
+        // Phase 5: coordinated checkpoint. The iteration boundary is a
+        // matched communication boundary — every ghost sent this iteration
+        // was consumed by a recv above before any rank can pass the
+        // checkpoint collective.
+        if cfg.checkpoint_every > 0 && (iter + 1) % cfg.checkpoint_every == 0 {
+            ampi.checkpoint();
+        }
     }
 
     // Validation: global checksum over all zones.
@@ -277,6 +331,30 @@ mod tests {
         assert_eq!(plain.checksum, rotated.checksum);
         assert_eq!(plain.checksum, greedy.checksum);
         assert!(rotated.migrations > 0, "RotateLB must actually migrate");
+    }
+
+    #[test]
+    fn faulty_run_recovers_and_matches_fault_free_checksum() {
+        // The ISSUE's acceptance bar: lossy links plus a PE death mid-run
+        // must yield the exact fault-free answer, on a smaller machine.
+        let clean = run(&base(4, 2));
+        let plan = FaultPlan::new(0xBDF)
+            .drop_prob(0.02)
+            .dup_prob(0.02)
+            .crash_pe(1, 150_000);
+        let faulty = run(&base(4, 2).with_faults(plan, 1));
+        assert_eq!(
+            clean.checksum, faulty.checksum,
+            "recovery must not change the numerical answer"
+        );
+        assert_eq!(faulty.restarts, 1, "the scripted crash fired");
+        assert_eq!(faulty.pes_used, 1, "the machine degraded to one PE");
+        let f = faulty.faults.expect("fault counters present");
+        assert!(f.retransmits >= f.dropped, "every drop was repaired");
+        assert!(
+            faulty.total_messages >= faulty.messages,
+            "crashed attempts add to the total"
+        );
     }
 
     #[test]

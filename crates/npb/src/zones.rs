@@ -126,14 +126,14 @@ pub fn zone_layout(bench: MzBench, class: MzClass) -> Vec<Zone> {
         }
     };
     let mut zones = Vec::with_capacity(gx * gy);
-    for j in 0..gy {
-        for i in 0..gx {
+    for (j, &ny) in ys.iter().enumerate() {
+        for (i, &nx) in xs.iter().enumerate() {
             zones.push(Zone {
                 id: j * gx + i,
                 gx: i,
                 gy: j,
-                nx: xs[i],
-                ny: ys[j],
+                nx,
+                ny,
             });
         }
     }

@@ -282,7 +282,7 @@ mod tests {
         roundtrip(&-12345i32);
         roundtrip(&u64::MAX);
         roundtrip(&i128::MIN);
-        roundtrip(&3.14159f64);
+        roundtrip(&3.25f64);
         roundtrip(&f32::NEG_INFINITY);
         roundtrip(&true);
         roundtrip(&'λ');

@@ -261,7 +261,7 @@ impl Drop for Mapping {
 }
 
 fn check_aligned(n: usize, op: &'static str) -> SysResult<()> {
-    if n % page_size() != 0 {
+    if !n.is_multiple_of(page_size()) {
         return Err(SysError::logic(
             "align",
             format!("{op}: {n:#x} is not page-aligned"),

@@ -20,7 +20,7 @@ pub struct MemFd {
 impl MemFd {
     /// Create a memfd named `name` (debug aid only) of `len` bytes.
     pub fn new(name: &str, len: u64) -> SysResult<MemFd> {
-        if len == 0 || len % page_size() as u64 != 0 {
+        if len == 0 || !len.is_multiple_of(page_size() as u64) {
             return Err(SysError::logic(
                 "memfd_create",
                 format!("length {len:#x} must be a positive page multiple"),
@@ -61,7 +61,7 @@ impl MemFd {
 
     /// Grow the object to `new_len` bytes (must be a page multiple ≥ len).
     pub fn grow(&mut self, new_len: u64) -> SysResult<()> {
-        if new_len < self.len || new_len % page_size() as u64 != 0 {
+        if new_len < self.len || !new_len.is_multiple_of(page_size() as u64) {
             return Err(SysError::logic(
                 "ftruncate",
                 format!("bad grow {:#x} -> {new_len:#x}", self.len),

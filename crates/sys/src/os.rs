@@ -38,7 +38,7 @@ fn getrlimit(resource: libc::__rlimit_resource_t) -> SysResult<Limit> {
         if v == libc::RLIM_INFINITY {
             None
         } else {
-            Some(v as u64)
+            Some(v)
         }
     };
     Ok(Limit {

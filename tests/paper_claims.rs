@@ -175,6 +175,7 @@ fn figure11_scaling_shape_holds() {
         stack_bytes: 16 * 1024,
         threaded: false,
         target: Default::default(),
+        faults: None,
     };
     let r2 = run_bigsim(&base);
     let r8 = run_bigsim(&BigSimConfig {

@@ -1,0 +1,99 @@
+//! Minimal local stand-in for `crossbeam`: the `channel` module subset
+//! this workspace uses (unbounded MPMC channel with cloneable sender,
+//! `try_recv`, `is_empty`). Backed by a mutexed deque — the machine's
+//! PEs poll with `try_recv`, so no blocking receive is needed.
+//! Vendored for offline builds.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    struct Inner<T> {
+        q: Mutex<VecDeque<T>>,
+    }
+
+    /// Sending half; cloneable (multi-producer).
+    pub struct Sender<T>(Arc<Inner<T>>);
+
+    /// Receiving half.
+    pub struct Receiver<T>(Arc<Inner<T>>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    /// Error of [`Sender::send`] (cannot occur here: the queue lives as
+    /// long as any endpoint, matching how the machine uses channels).
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error of [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message available right now.
+        Empty,
+        /// All senders dropped and the queue is drained.
+        Disconnected,
+    }
+
+    /// An unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            q: Mutex::new(VecDeque::new()),
+        });
+        (Sender(inner.clone()), Receiver(inner))
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue `value`; never blocks.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0
+                .q
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(value);
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeue one message if available.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0
+                .q
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front()
+                .ok_or(TryRecvError::Empty)
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.0.q.lock().unwrap_or_else(|e| e.into_inner()).is_empty()
+        }
+
+        /// Number of queued messages.
+        pub fn len(&self) -> usize {
+            self.0.q.lock().unwrap_or_else(|e| e.into_inner()).len()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_and_clone() {
+            let (tx, rx) = unbounded();
+            let tx2 = tx.clone();
+            tx.send(1).unwrap();
+            tx2.send(2).unwrap();
+            assert!(!rx.is_empty());
+            assert_eq!(rx.try_recv(), Ok(1));
+            assert_eq!(rx.try_recv(), Ok(2));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+    }
+}

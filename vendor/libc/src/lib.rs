@@ -1,0 +1,115 @@
+//! Minimal local stand-in for the `libc` crate: exactly the types,
+//! constants and functions this workspace calls, declared against the C
+//! library that `std` already links. Values are for x86_64/aarch64
+//! Linux with glibc — the only platform this repo targets (see
+//! DESIGN.md; the paper's experiments are Linux-only too).
+//!
+//! Vendored so the workspace builds with no registry access
+//! (`cargo build --offline`); see README "Building offline".
+
+#![allow(non_camel_case_types)]
+
+pub use std::ffi::c_void;
+pub type c_char = i8;
+pub type c_int = i32;
+pub type c_uint = u32;
+pub type c_long = i64;
+pub type c_ulong = u64;
+pub type size_t = usize;
+pub type ssize_t = isize;
+pub type off_t = i64;
+pub type pid_t = i32;
+pub type time_t = i64;
+pub type clockid_t = i32;
+pub type rlim_t = u64;
+pub type __rlimit_resource_t = c_uint;
+
+/// glibc's `sigset_t`: a 1024-bit mask (opaque here; only ever zeroed or
+/// written by `pthread_sigmask`).
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct sigset_t {
+    __val: [u64; 16],
+}
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct timespec {
+    pub tv_sec: time_t,
+    pub tv_nsec: c_long,
+}
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct rlimit {
+    pub rlim_cur: rlim_t,
+    pub rlim_max: rlim_t,
+}
+
+pub const CLOCK_MONOTONIC: clockid_t = 1;
+pub const CLOCK_THREAD_CPUTIME_ID: clockid_t = 3;
+
+pub const ENOMEM: c_int = 12;
+
+pub const PROT_NONE: c_int = 0;
+pub const PROT_READ: c_int = 1;
+pub const PROT_WRITE: c_int = 2;
+
+pub const MAP_SHARED: c_int = 0x0001;
+pub const MAP_PRIVATE: c_int = 0x0002;
+pub const MAP_FIXED: c_int = 0x0010;
+pub const MAP_ANONYMOUS: c_int = 0x0020;
+pub const MAP_NORESERVE: c_int = 0x4000;
+pub const MAP_FIXED_NOREPLACE: c_int = 0x0010_0000;
+pub const MAP_FAILED: *mut c_void = !0 as *mut c_void;
+
+pub const MADV_DONTNEED: c_int = 4;
+
+pub const MFD_CLOEXEC: c_uint = 0x0001;
+
+pub const FALLOC_FL_KEEP_SIZE: c_int = 0x01;
+pub const FALLOC_FL_PUNCH_HOLE: c_int = 0x02;
+
+pub const RLIMIT_STACK: __rlimit_resource_t = 3;
+pub const RLIMIT_NPROC: __rlimit_resource_t = 6;
+pub const RLIMIT_AS: __rlimit_resource_t = 9;
+pub const RLIM_INFINITY: rlim_t = !0;
+
+pub const SIG_SETMASK: c_int = 2;
+
+pub const _SC_PAGESIZE: c_int = 30;
+
+extern "C" {
+    pub fn clock_gettime(clk_id: clockid_t, tp: *mut timespec) -> c_int;
+    pub fn sysconf(name: c_int) -> c_long;
+    pub fn sched_yield() -> c_int;
+
+    pub fn mmap(
+        addr: *mut c_void,
+        len: size_t,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: off_t,
+    ) -> *mut c_void;
+    pub fn munmap(addr: *mut c_void, len: size_t) -> c_int;
+    pub fn mprotect(addr: *mut c_void, len: size_t, prot: c_int) -> c_int;
+    pub fn madvise(addr: *mut c_void, len: size_t, advice: c_int) -> c_int;
+
+    pub fn memfd_create(name: *const c_char, flags: c_uint) -> c_int;
+    pub fn ftruncate(fd: c_int, length: off_t) -> c_int;
+    pub fn fallocate(fd: c_int, mode: c_int, offset: off_t, len: off_t) -> c_int;
+    pub fn close(fd: c_int) -> c_int;
+    pub fn read(fd: c_int, buf: *mut c_void, count: size_t) -> ssize_t;
+    pub fn pread(fd: c_int, buf: *mut c_void, count: size_t, offset: off_t) -> ssize_t;
+    pub fn pwrite(fd: c_int, buf: *const c_void, count: size_t, offset: off_t) -> ssize_t;
+    pub fn pipe(fds: *mut c_int) -> c_int;
+
+    pub fn getrlimit(resource: __rlimit_resource_t, rlim: *mut rlimit) -> c_int;
+
+    pub fn fork() -> pid_t;
+    pub fn waitpid(pid: pid_t, status: *mut c_int, options: c_int) -> pid_t;
+    pub fn _exit(status: c_int) -> !;
+
+    pub fn pthread_sigmask(how: c_int, set: *const sigset_t, oldset: *mut sigset_t) -> c_int;
+}

@@ -1,0 +1,571 @@
+//! Minimal local stand-in for `proptest`: the subset of the API this
+//! workspace's property tests use, with one deliberate behaviour change —
+//! **no shrinking**. Cases are generated from a seed derived from the
+//! test-function name, so every run of a given test replays the exact
+//! same inputs; a failure therefore reproduces by simply re-running the
+//! test, and the panic message carries the case index.
+//!
+//! Supported surface: `proptest! { #![proptest_config(..)] #[test] fn
+//! name(pat in strategy, ..) { .. } }`, `prop_assert!/_eq!`,
+//! `prop_assume!`, `prop_oneof!`, `any::<T>()`, numeric `Range`
+//! strategies, `&str` patterns of the shape `.{a,b}`, tuples,
+//! `collection::vec`, `Just`, `prop_map`, `prop_filter`, `boxed`.
+//! Vendored for offline builds.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+pub mod test_runner {
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// Assertion failure: the property is violated.
+        Fail(String),
+        /// The case was rejected (filter/assume); try another input.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    /// Runner knobs. Only `cases` is honoured by the shim.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Lower than upstream's 256: these tests run in CI on every
+            // crate and determinism means more cases add little.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic RNG handed to strategies (splitmix64 core).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    fn fnv1a(s: &str) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Drive one property: generate-and-check `cfg.cases` inputs. Panics
+    /// (failing the enclosing `#[test]`) on the first violated case.
+    pub fn run_cases(
+        name: &str,
+        cfg: &ProptestConfig,
+        mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    ) {
+        let mut rng = TestRng::from_seed(fnv1a(name));
+        let max_rejects = (cfg.cases as u64) * 16 + 256;
+        let mut rejects = 0u64;
+        let mut passed = 0u32;
+        while passed < cfg.cases {
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Fail(msg)) => panic!(
+                    "proptest `{name}` failed at case {passed} \
+                     (deterministic — re-run reproduces): {msg}"
+                ),
+                Err(TestCaseError::Reject(why)) => {
+                    rejects += 1;
+                    if rejects > max_rejects {
+                        panic!(
+                            "proptest `{name}`: too many rejected cases \
+                             ({rejects}); last reason: {why}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use super::*;
+
+    /// A recipe for generating values. Unlike upstream there is no value
+    /// tree / shrinking: `generate` returns the final value, or `None`
+    /// when a filter rejected (the runner retries the whole case).
+    pub trait Strategy {
+        type Value: Debug;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+        fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            reason: impl Into<String>,
+            f: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                inner: self,
+                reason: reason.into(),
+                f,
+            }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Type-erased strategy, used by `prop_oneof!`.
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T: Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> Option<T> {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> Option<T> {
+            Some(self.0.clone())
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> Option<O> {
+            self.inner.generate(rng).map(&self.f)
+        }
+    }
+
+    pub struct Filter<S, F> {
+        inner: S,
+        #[allow(dead_code)] // mirrors upstream's diagnostic-only reason
+        reason: String,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // A few local retries before punting the rejection up to the
+            // runner keeps filters with moderate reject rates cheap.
+            for _ in 0..16 {
+                if let Some(v) = self.inner.generate(rng) {
+                    if (self.f)(&v) {
+                        return Some(v);
+                    }
+                }
+            }
+            None
+        }
+    }
+
+    /// Uniform choice between same-valued strategies (`prop_oneof!`).
+    pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+    impl<T: Debug> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> Option<T> {
+            assert!(!self.0.is_empty(), "prop_oneof! of zero strategies");
+            let i = rng.below(self.0.len() as u64) as usize;
+            self.0[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> Option<$ty> {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    // Spans above 2^64 only arise for i128/u128 ranges,
+                    // which this shim does not support.
+                    let off = rng.below(span as u64) as i128;
+                    Some((self.start as i128 + off) as $ty)
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> Option<f64> {
+            assert!(self.start < self.end, "empty range strategy");
+            let v = self.start + rng.unit_f64() * (self.end - self.start);
+            Some(if v < self.end { v } else { self.start })
+        }
+    }
+
+    /// `&str` as a strategy: the tiny regex subset the tests use —
+    /// `.{a,b}` (a..=b arbitrary printable chars); any other pattern is
+    /// produced literally.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> Option<String> {
+            if let Some(rest) = self.strip_prefix('.') {
+                if let Some(body) = rest.strip_prefix('{').and_then(|r| r.strip_suffix('}')) {
+                    if let Some((lo, hi)) = body.split_once(',') {
+                        if let (Ok(lo), Ok(hi)) = (lo.parse::<u64>(), hi.parse::<u64>()) {
+                            let n = lo + rng.below(hi - lo + 1);
+                            let s = (0..n)
+                                .map(|_| char::from(b' ' + rng.below(95) as u8))
+                                .collect();
+                            return Some(s);
+                        }
+                    }
+                }
+            }
+            Some((*self).to_string())
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                    let ($($name,)+) = self;
+                    Some(($($name.generate(rng)?,)+))
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+        (A, B, C, D, E, F, G)
+        (A, B, C, D, E, F, G, H)
+    }
+}
+
+pub mod arbitrary {
+    use super::test_runner::TestRng;
+    use super::*;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Debug + Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($ty:ty),*) => {$(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            }
+        )*};
+    }
+
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Raw bit patterns: exercises subnormals, infinities and NaN
+            // like upstream's full-range f64 strategy.
+            f64::from_bits(rng.next_u64())
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            f32::from_bits(rng.next_u64() as u32)
+        }
+    }
+
+    impl<T: Arbitrary> Arbitrary for Option<T> {
+        fn arbitrary(rng: &mut TestRng) -> Option<T> {
+            if rng.next_u64() & 3 == 0 {
+                None
+            } else {
+                Some(T::arbitrary(rng))
+            }
+        }
+    }
+
+    /// Strategy returned by [`super::any`].
+    pub struct AnyStrategy<T>(pub(super) PhantomData<T>);
+
+    impl<T: Arbitrary> super::strategy::Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> Option<T> {
+            Some(T::arbitrary(rng))
+        }
+    }
+}
+
+/// The canonical strategy for any value of `T`.
+pub fn any<T: arbitrary::Arbitrary>() -> arbitrary::AnyStrategy<T> {
+    arbitrary::AnyStrategy(PhantomData)
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// A `Vec` whose length is drawn from `len` and whose elements come
+    /// from `elem`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use super::any;
+    pub use super::arbitrary::Arbitrary;
+    pub use super::strategy::{BoxedStrategy, Just, Strategy};
+    pub use super::test_runner::{ProptestConfig, TestCaseError};
+    pub use super::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = $cfg:expr;) => {};
+    (config = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            #[allow(unused_variables, unused_mut)]
+            $crate::test_runner::run_cases(stringify!($name), &$cfg, |__rng| {
+                $(
+                    let $pat = match $crate::strategy::Strategy::generate(&$strat, __rng) {
+                        ::std::option::Option::Some(v) => v,
+                        ::std::option::Option::None => {
+                            return ::std::result::Result::Err(
+                                $crate::test_runner::TestCaseError::reject("filtered out"),
+                            )
+                        }
+                    };
+                )*
+                #[allow(unreachable_code)]
+                let __out: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                __out
+            });
+        }
+        $crate::__proptest_items! { config = $cfg; $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` == `{:?}`", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{} (`{:?}` vs `{:?}`)", format!($($fmt)+), l, r),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn runs_are_deterministic() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let s = crate::collection::vec(0u64..100, 1..10);
+        let a = s.generate(&mut TestRng::from_seed(9)).unwrap();
+        let b = s.generate(&mut TestRng::from_seed(9)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges stay in bounds, including negatives.
+        #[test]
+        fn ranges_in_bounds(x in -50i32..50, y in 3usize..9, f in 0.25f64..0.75) {
+            prop_assert!((-50..50).contains(&x));
+            prop_assert!((3..9).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f), "f64 out of range: {f}");
+        }
+
+        #[test]
+        fn filters_and_maps_compose(
+            v in crate::collection::vec(
+                prop_oneof![
+                    (1u32..5).prop_map(|n| n * 10),
+                    (0u32..2).prop_map(|n| n + 100),
+                ]
+                .prop_filter("no 110", |n| *n != 110),
+                0..20,
+            ),
+            s in ".{0,12}",
+            o in any::<Option<u16>>(),
+        ) {
+            for n in &v {
+                prop_assert!([10, 20, 30, 40, 100, 101].contains(n), "bad value {n}");
+            }
+            prop_assert!(s.len() <= 12);
+            prop_assume!(o.is_some() || o.is_none());
+        }
+
+        #[test]
+        fn just_yields_its_value(v in Just(7u8)) {
+            prop_assert_eq!(v, 7, "Just must be constant");
+        }
+    }
+}
