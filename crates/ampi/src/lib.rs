@@ -106,11 +106,13 @@ impl Ampi {
             a: self.rank as u64,
             b: tag,
             seq: this_seq,
-            data,
         };
         let obj = obj_of(self.world, dest as u64);
         flows_converse::with_pe(|pe| {
-            flows_comm::route(pe, obj, PORT_AMPI, flows_pup::to_bytes(&mut w))
+            // Header + raw tail into one pooled buffer — the only copy of
+            // the user bytes on the whole send path.
+            let wire = crate::proto::frame(pe, &mut w, &data);
+            flows_comm::route(pe, obj, PORT_AMPI, wire)
         });
     }
 
@@ -127,7 +129,7 @@ impl Ampi {
                 match pos {
                     Some(i) => {
                         let m = b.mailbox.remove(i).expect("found above");
-                        Some((m.src as usize, m.tag, m.data))
+                        Some((m.src as usize, m.tag, m.data.into_vec()))
                     }
                     None => {
                         b.wait = Wait::Recv {
@@ -177,6 +179,7 @@ impl Ampi {
         suspend();
         with_rank_box(self.rank as u64, |b| b.coll_result.take())
             .expect("collective completed without a result")
+            .into_vec()
     }
 
     /// Barrier across all ranks (`MPI_Barrier`).

@@ -79,7 +79,7 @@ impl Ampi {
                     });
                     pos.map(|i| {
                         let m = b.mailbox.remove(i).expect("found above");
-                        (m.src as usize, m.tag, m.data)
+                        (m.src as usize, m.tag, m.data.into_vec())
                     })
                 });
                 *got = hit;

@@ -3,12 +3,17 @@
 #![allow(missing_docs)] // field meanings documented on each struct
 
 use flows_comm::Port;
+use flows_converse::{Payload, Pe};
 use flows_pup::pup_fields;
 
 /// The comm-layer port AMPI rank traffic travels on.
 pub const PORT_AMPI: Port = 1;
 
-/// Payload routed to a rank. `kind` selects the interpretation:
+/// Header of a payload routed to a rank. The wire format is this header
+/// pup'd as a fixed-size prefix followed by the raw message bytes — the
+/// receive path parses the prefix and takes the tail as a zero-copy
+/// [`Payload`] slice (no unpack copy of the user data). `kind` selects
+/// the interpretation:
 /// * 0 — point-to-point message: `a` = source rank, `b` = tag, `seq` =
 ///   per-(source, destination) sequence number enforcing MPI's
 ///   non-overtaking guarantee even when forwarding paths race during
@@ -17,22 +22,33 @@ pub const PORT_AMPI: Port = 1;
 /// * 2 — load-balance decision: `a` = LB sequence, `b` = destination PE;
 /// * 3 — checkpoint command: `a` = checkpoint sequence; the rank packs
 ///   itself into the generation store and resumes.
-#[derive(Debug, Default, Clone, PartialEq)]
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
 pub struct RankWire {
     pub kind: u8,
     pub a: u64,
     pub b: u64,
     pub seq: u64,
-    pub data: Vec<u8>,
 }
-pup_fields!(RankWire { kind, a, b, seq, data });
+pup_fields!(RankWire { kind, a, b, seq });
 
-/// One parked point-to-point message.
+/// Frame a rank wire: header prefix packed into a pooled buffer, message
+/// bytes appended as the raw tail. The inverse of
+/// `from_bytes_prefix::<RankWire>` + `payload.slice_from(used)`.
+pub(crate) fn frame(pe: &Pe, hdr: &mut RankWire, data: &[u8]) -> Payload {
+    // Header is 25 fixed bytes (u8 + 3×u64).
+    let mut buf = pe.payload_buf_with_capacity(25 + data.len());
+    flows_pup::pack_into(hdr, buf.vec_mut());
+    buf.extend_from_slice(data);
+    buf.freeze()
+}
+
+/// One parked point-to-point message. `data` shares the arrival buffer
+/// (an Arc slice), so parking mail copies nothing.
 #[derive(Debug, Default, Clone, PartialEq)]
 pub struct MailEntry {
     pub src: u64,
     pub tag: u64,
-    pub data: Vec<u8>,
+    pub data: Payload,
 }
 pup_fields!(MailEntry { src, tag, data });
 
@@ -48,7 +64,7 @@ pub struct RankMove {
     /// Next expected per-sender sequence numbers: (src, seq) pairs.
     pub next_seq: Vec<(u64, u64)>,
     /// Out-of-order messages held back: (src, seq, tag, data).
-    pub stashed: Vec<(u64, u64, u64, Vec<u8>)>,
+    pub stashed: Vec<(u64, u64, u64, Payload)>,
 }
 pup_fields!(RankMove {
     world,
@@ -79,10 +95,16 @@ mod tests {
             a: 5,
             b: 7,
             seq: 9,
-            data: vec![1, 2, 3],
         };
         let bytes = flows_pup::to_bytes(&mut w);
         assert_eq!(flows_pup::from_bytes::<RankWire>(&bytes).unwrap(), w);
+        // The header is a fixed-size prefix: a tail of raw message bytes
+        // must survive a prefix parse untouched.
+        let mut framed = bytes.clone();
+        framed.extend_from_slice(&[1, 2, 3]);
+        let (back, used) = flows_pup::from_bytes_prefix::<RankWire>(&framed).unwrap();
+        assert_eq!(back, w);
+        assert_eq!(&framed[used..], &[1, 2, 3]);
 
         let mut mv = RankMove {
             world: 1,
@@ -91,10 +113,10 @@ mod tests {
             mailbox: vec![MailEntry {
                 src: 0,
                 tag: 42,
-                data: vec![7],
+                data: vec![7].into(),
             }],
             next_seq: vec![(0, 3)],
-            stashed: vec![(0, 5, 42, vec![8])],
+            stashed: vec![(0, 5, 42, vec![8].into())],
         };
         let bytes = flows_pup::to_bytes(&mut mv);
         assert_eq!(flows_pup::from_bytes::<RankMove>(&bytes).unwrap(), mv);

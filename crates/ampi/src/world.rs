@@ -1,9 +1,9 @@
 //! The AMPI world: rank placement, message delivery, collectives and the
 //! measurement-based load-balancing epoch.
 
-use crate::proto::{LoadReport, MailEntry, RankMove, RankWire, PORT_AMPI};
+use crate::proto::{frame, LoadReport, MailEntry, RankMove, RankWire, PORT_AMPI};
 use flows_comm::{CommLayer, ObjId, ReduceOp};
-use flows_converse::{MachineBuilder, MachineReport, Message, NetModel, Pe};
+use flows_converse::{MachineBuilder, MachineReport, Message, NetModel, Payload, Pe};
 use flows_core::{SchedConfig, StackFlavor, ThreadId, ThreadState};
 use flows_lb::{LbStats, LbStrategy, NullLb, ObjLoad};
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -37,11 +37,11 @@ pub(crate) struct RankBox {
     pub tid: ThreadId,
     pub mailbox: VecDeque<MailEntry>,
     pub wait: Wait,
-    pub coll_result: Option<Vec<u8>>,
+    pub coll_result: Option<Payload>,
     /// Next expected sequence number per source rank (MPI non-overtaking).
     pub next_seq: HashMap<u64, u64>,
     /// Messages that arrived ahead of their sequence, keyed (src, seq).
-    pub stashed: BTreeMap<(u64, u64), (u64, Vec<u8>)>,
+    pub stashed: BTreeMap<(u64, u64), (u64, Payload)>,
 }
 
 impl RankBox {
@@ -58,7 +58,8 @@ impl RankBox {
 
     /// Admit a point-to-point message in per-sender order: append it (and
     /// any unblocked stashed successors) to the mailbox, or stash it.
-    fn admit(&mut self, src: u64, seq: u64, tag: u64, data: Vec<u8>) {
+    /// `data` still shares the arrival buffer — parking is copy-free.
+    fn admit(&mut self, src: u64, seq: u64, tag: u64, data: Payload) {
         let expect = self.next_seq.entry(src).or_insert(0);
         if seq == *expect {
             *expect += 1;
@@ -425,9 +426,14 @@ fn restore_pe(
     }
 }
 
-/// Routed delivery to a rank living on this PE.
-fn deliver(pe: &Pe, obj: ObjId, payload: Vec<u8>) {
-    let w: RankWire = flows_pup::from_bytes(&payload).expect("rank wire");
+/// Routed delivery to a rank living on this PE. The payload is a pup'd
+/// [`RankWire`] header followed by the raw message bytes; the tail is
+/// sliced off as an Arc-backed sub-payload, so the user data reaches the
+/// mailbox without being copied out of the arrival buffer.
+fn deliver(pe: &Pe, obj: ObjId, payload: Payload) {
+    let (w, used): (RankWire, usize) =
+        flows_pup::from_bytes_prefix(&payload).expect("rank wire");
+    let data = payload.slice_from(used);
     let rank = obj.0 & 0xFFFF_FFFF;
     match w.kind {
         0 => {
@@ -435,7 +441,7 @@ fn deliver(pe: &Pe, obj: ObjId, payload: Vec<u8>) {
             // waiter.
             let wake = pe.ext::<AmpiState, _>(|st| {
                 let b = st.ranks.get_mut(&rank).expect("mail for missing rank");
-                b.admit(w.a, w.seq, w.b, w.data);
+                b.admit(w.a, w.seq, w.b, data);
                 if b.wait_satisfied() {
                     b.wait = Wait::None;
                     Some(b.tid)
@@ -451,7 +457,7 @@ fn deliver(pe: &Pe, obj: ObjId, payload: Vec<u8>) {
             // Collective result.
             let wake = pe.ext::<AmpiState, _>(|st| {
                 let b = st.ranks.get_mut(&rank).expect("result for missing rank");
-                b.coll_result = Some(w.data);
+                b.coll_result = Some(data);
                 if matches!(b.wait, Wait::Coll { seq } if seq == w.a) {
                     b.wait = Wait::None;
                     Some(b.tid)
@@ -522,39 +528,31 @@ fn on_ckpt_snapshot(pe: &Pe, rank: u64, seq: u64) {
 /// rank; the LB reduction runs the strategy and broadcasts decisions.
 fn on_reduction(pe: &Pe, meta: &Arc<WorldMeta>, red: flows_comm::Reduction) {
     if red.tag == tag_coll(meta.world) {
+        // The result wire is identical for every rank: frame it once and
+        // hand each route an Arc clone of the same buffer.
+        let mut w = RankWire {
+            kind: 1,
+            a: red.seq,
+            b: 0,
+            seq: 0,
+        };
+        let wire = frame(pe, &mut w, &red.data);
         for r in 0..meta.size as u64 {
-            let mut w = RankWire {
-                kind: 1,
-                a: red.seq,
-                b: 0,
-                seq: 0,
-                data: red.data.clone(),
-            };
-            flows_comm::route(
-                pe,
-                obj_of(meta.world, r),
-                PORT_AMPI,
-                flows_pup::to_bytes(&mut w),
-            );
+            flows_comm::route(pe, obj_of(meta.world, r), PORT_AMPI, wire.clone());
         }
     } else if red.tag == tag_ckpt(meta.world) {
         // Every rank reached its checkpoint() call — a coordinated
         // consistent cut. Order each rank, wherever it currently lives, to
         // snapshot itself.
+        let mut w = RankWire {
+            kind: 3,
+            a: red.seq,
+            b: 0,
+            seq: 0,
+        };
+        let wire = frame(pe, &mut w, &[]);
         for r in 0..meta.size as u64 {
-            let mut w = RankWire {
-                kind: 3,
-                a: red.seq,
-                b: 0,
-                seq: 0,
-                data: Vec::new(),
-            };
-            flows_comm::route(
-                pe,
-                obj_of(meta.world, r),
-                PORT_AMPI,
-                flows_pup::to_bytes(&mut w),
-            );
+            flows_comm::route(pe, obj_of(meta.world, r), PORT_AMPI, wire.clone());
         }
     } else if red.tag == tag_lb(meta.world) {
         // Decode the gathered load reports.
@@ -599,14 +597,9 @@ fn on_reduction(pe: &Pe, meta: &Arc<WorldMeta>, red: flows_comm::Reduction) {
                 a: red.seq,
                 b: dest as u64,
                 seq: 0,
-                data: Vec::new(),
             };
-            flows_comm::route(
-                pe,
-                obj_of(meta.world, rep.rank),
-                PORT_AMPI,
-                flows_pup::to_bytes(&mut w),
-            );
+            let wire = frame(pe, &mut w, &[]);
+            flows_comm::route(pe, obj_of(meta.world, rep.rank), PORT_AMPI, wire);
         }
     } else {
         panic!("reduction for unknown tag {}", red.tag);
@@ -658,7 +651,7 @@ fn on_lb_decision(pe: &Pe, rank: u64, seq: u64, dest: usize) {
     pe.send(
         dest,
         *MOVE_HANDLER.get().expect("registered"),
-        flows_pup::to_bytes(&mut mv),
+        pe.pack_payload(&mut mv),
     );
 }
 

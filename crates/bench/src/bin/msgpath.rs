@@ -1,0 +1,280 @@
+//! Message-path microbenchmarks: ping-pong latency, ring hop rate,
+//! fan-in throughput and a payload-size sweep, in both drive modes.
+//!
+//! Writes `BENCH_msgpath.json` (messages/sec and ns/msg per scenario,
+//! with the pre-zero-copy baseline and speedup where one was recorded).
+//!
+//! `--fast` shrinks every scenario (smoke mode); `--json PATH` overrides
+//! the output path.
+
+use flows_bench::{arg_flag, arg_val, Table};
+use flows_converse::{FaultPlan, MachineBuilder, NetModel};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Throughput of the same scenarios measured immediately before the
+/// zero-copy message path landed (Vec payloads, per-message SeqCst
+/// quiescence counters, yield-spin idle loop), on this reproduction host.
+/// Keyed (scenario, mode, pes, payload, reliable) → msgs/sec.
+const BASELINE: &[(&str, &str, usize, usize, bool, f64)] = &[
+    ("pingpong", "det", 2, 16384, true, 588_686.7),
+    ("ring", "det", 4, 16384, true, 511_490.5),
+    ("pingpong", "det", 2, 8, false, 1_645_618.8),
+    ("ring", "det", 4, 8, false, 1_714_576.2),
+    ("fanin", "det", 4, 64, false, 5_520_768.6),
+    ("pingpong", "threaded", 2, 16384, true, 1_461.4),
+    ("ring", "threaded", 4, 8, false, 581_901.1),
+    ("pingpong", "det", 2, 8, true, 1_071_591.4),
+    ("pingpong", "det", 2, 1024, true, 1_264_567.0),
+    ("pingpong", "det", 2, 4096, true, 943_617.9),
+    ("pingpong", "det", 2, 65536, true, 154_384.3),
+];
+
+fn baseline_of(s: &Scenario) -> Option<f64> {
+    BASELINE
+        .iter()
+        .find(|b| {
+            b.0 == s.name && b.1 == s.mode && b.2 == s.pes && b.3 == s.payload && b.4 == s.reliable
+        })
+        .map(|b| b.5)
+}
+
+#[derive(Clone, Copy)]
+enum Mode {
+    Det,
+    Threaded,
+}
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Det => "det",
+            Mode::Threaded => "threaded",
+        }
+    }
+}
+
+struct Scenario {
+    name: &'static str,
+    mode: &'static str,
+    pes: usize,
+    payload: usize,
+    reliable: bool,
+    messages: u64,
+    /// Handler invocations summed over PEs — must equal `messages` at
+    /// quiescence (exactly-once dispatch).
+    delivered: u64,
+    wall_ns: u64,
+}
+
+impl Scenario {
+    fn ns_per_msg(&self) -> f64 {
+        self.wall_ns as f64 / self.messages.max(1) as f64
+    }
+    fn msgs_per_sec(&self) -> f64 {
+        self.messages as f64 * 1e9 / self.wall_ns.max(1) as f64
+    }
+}
+
+fn builder(pes: usize, reliable: bool) -> MachineBuilder {
+    let mut mb = MachineBuilder::new(pes)
+        .net_model(NetModel::zero())
+        .modeled_time(true);
+    if reliable {
+        // A zero-fault plan still switches every link to the reliable
+        // (seq/ack/retransmit) transport — the Converse-like wire path.
+        mb = mb.fault_plan(FaultPlan::new(1));
+    }
+    mb
+}
+
+/// Two PEs bounce one message back and forth `rounds` times. The payload
+/// is forwarded as received (`msg.data.clone()`) — the classic echo, and
+/// the exact pattern payload sharing is built for.
+fn pingpong(mode: Mode, payload: usize, reliable: bool, rounds: u64) -> Scenario {
+    let mut mb = builder(2, reliable);
+    let hops = Arc::new(AtomicU64::new(rounds));
+    let hops2 = hops.clone();
+    let h = mb.handler(move |pe, msg| {
+        if hops2.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+            .is_ok_and(|n| n > 1)
+        {
+            pe.send(1 - pe.id(), msg.handler, msg.data.clone());
+        }
+    });
+    let init = move |pe: &flows_converse::Pe| {
+        if pe.id() == 0 {
+            pe.send(1, h, vec![0u8; payload.max(8)]);
+        }
+    };
+    let t0 = flows_sys::time::monotonic_ns();
+    let rep = match mode {
+        Mode::Det => mb.run_deterministic(init),
+        Mode::Threaded => mb.run(init),
+    };
+    let wall_ns = flows_sys::time::monotonic_ns() - t0;
+    Scenario {
+        name: "pingpong",
+        mode: mode.name(),
+        pes: 2,
+        payload: payload.max(8),
+        reliable,
+        messages: rep.messages,
+        delivered: rep.pe_delivered.iter().sum(),
+        wall_ns,
+    }
+}
+
+/// A token circles a `pes`-PE ring for `hops` hops, forwarded as
+/// received.
+fn ring(mode: Mode, pes: usize, payload: usize, reliable: bool, hops: u64) -> Scenario {
+    let mut mb = builder(pes, reliable);
+    let left = Arc::new(AtomicU64::new(hops));
+    let left2 = left.clone();
+    let h = mb.handler(move |pe, msg| {
+        if left2.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+            .is_ok_and(|n| n > 1)
+        {
+            pe.send((pe.id() + 1) % pe.num_pes(), msg.handler, msg.data.clone());
+        }
+    });
+    let init = move |pe: &flows_converse::Pe| {
+        if pe.id() == 0 {
+            pe.send(1, h, vec![0u8; payload.max(8)]);
+        }
+    };
+    let t0 = flows_sys::time::monotonic_ns();
+    let rep = match mode {
+        Mode::Det => mb.run_deterministic(init),
+        Mode::Threaded => mb.run(init),
+    };
+    let wall_ns = flows_sys::time::monotonic_ns() - t0;
+    Scenario {
+        name: "ring",
+        mode: mode.name(),
+        pes,
+        payload: payload.max(8),
+        reliable,
+        messages: rep.messages,
+        delivered: rep.pe_delivered.iter().sum(),
+        wall_ns,
+    }
+}
+
+/// Every PE except 0 fires `count` messages at PE 0 (fan-in pressure on
+/// one receive queue).
+fn fanin(mode: Mode, pes: usize, payload: usize, reliable: bool, count: u64) -> Scenario {
+    let mut mb = builder(pes, reliable);
+    let sink = Arc::new(AtomicU64::new(0));
+    let sink2 = sink.clone();
+    let h = mb.handler(move |_pe, msg| {
+        sink2.fetch_add(msg.data.len() as u64, Ordering::Relaxed);
+    });
+    let init = move |pe: &flows_converse::Pe| {
+        if pe.id() != 0 {
+            for _ in 0..count {
+                pe.send(0, h, vec![0u8; payload.max(8)]);
+            }
+        }
+    };
+    let t0 = flows_sys::time::monotonic_ns();
+    let rep = match mode {
+        Mode::Det => mb.run_deterministic(init),
+        Mode::Threaded => mb.run(init),
+    };
+    let wall_ns = flows_sys::time::monotonic_ns() - t0;
+    assert_eq!(
+        sink.load(Ordering::Relaxed),
+        (pes as u64 - 1) * count * payload.max(8) as u64,
+        "fan-in lost bytes"
+    );
+    Scenario {
+        name: "fanin",
+        mode: mode.name(),
+        pes,
+        payload: payload.max(8),
+        reliable,
+        messages: rep.messages,
+        delivered: rep.pe_delivered.iter().sum(),
+        wall_ns,
+    }
+}
+
+fn main() {
+    let fast = arg_flag("fast");
+    let json_path = arg_val("json").unwrap_or_else(|| "BENCH_msgpath.json".into());
+    let k = if fast { 1 } else { 10 };
+
+    let mut results: Vec<Scenario> = vec![
+        // Headline scenarios: 16 KiB payloads over the reliable transport
+        // in deterministic mode — the paper's "message handling must be
+        // cheap" path with the full Converse-like wire protocol engaged.
+        pingpong(Mode::Det, 16 * 1024, true, 500 * k),
+        ring(Mode::Det, 4, 16 * 1024, true, 500 * k),
+        // Raw channels (no protocol), small payloads: dispatch-rate floor.
+        pingpong(Mode::Det, 8, false, 2000 * k),
+        ring(Mode::Det, 4, 8, false, 2000 * k),
+        fanin(Mode::Det, 4, 64, false, 500 * k),
+        // Threaded mode: true concurrency (and idle-PE cost) on the host.
+        pingpong(Mode::Threaded, 16 * 1024, true, 200 * k),
+        ring(Mode::Threaded, 4, 8, false, 500 * k),
+    ];
+    // Payload-size sweep, deterministic + reliable.
+    for size in [8usize, 1024, 4096, 65536] {
+        results.push(pingpong(Mode::Det, size, true, 200 * k));
+    }
+
+    let mut t = Table::new(&[
+        "scenario", "mode", "pes", "payload", "reliable", "messages", "ns/msg", "msgs/sec",
+        "speedup",
+    ]);
+    for s in &results {
+        assert_eq!(
+            s.delivered, s.messages,
+            "{}/{}: dispatch count diverged from logical sends",
+            s.name, s.mode
+        );
+        t.row(vec![
+            s.name.into(),
+            s.mode.into(),
+            s.pes.to_string(),
+            s.payload.to_string(),
+            s.reliable.to_string(),
+            s.messages.to_string(),
+            format!("{:.0}", s.ns_per_msg()),
+            format!("{:.0}", s.msgs_per_sec()),
+            baseline_of(s)
+                .map(|b| format!("{:.2}x", s.msgs_per_sec() / b))
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    t.print("msgpath: message-path micro-benchmarks");
+
+    let mut json = String::from("{\n  \"bench\": \"msgpath\",\n  \"results\": [\n");
+    for (i, s) in results.iter().enumerate() {
+        let base = baseline_of(s);
+        json.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"mode\": \"{}\", \"pes\": {}, \"payload_bytes\": {}, \
+             \"reliable_link\": {}, \"messages\": {}, \"delivered\": {}, \"wall_ns\": {}, \
+             \"ns_per_msg\": {:.1}, \"msgs_per_sec\": {:.1}, \"baseline_msgs_per_sec\": {}, \
+             \"speedup\": {}}}{}\n",
+            s.name,
+            s.mode,
+            s.pes,
+            s.payload,
+            s.reliable,
+            s.messages,
+            s.delivered,
+            s.wall_ns,
+            s.ns_per_msg(),
+            s.msgs_per_sec(),
+            base.map(|b| format!("{b:.1}")).unwrap_or_else(|| "null".into()),
+            base.map(|b| format!("{:.3}", s.msgs_per_sec() / b))
+                .unwrap_or_else(|| "null".into()),
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&json_path, json).expect("write bench json");
+    println!("\nwrote {json_path}");
+}

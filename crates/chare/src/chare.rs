@@ -7,7 +7,7 @@
 //! factory on the destination PE.
 
 use flows_comm::{ObjId, Port};
-use flows_converse::{MachineBuilder, Message, Pe};
+use flows_converse::{MachineBuilder, Message, Payload, Pe};
 use flows_pup::pup_fields;
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -94,7 +94,7 @@ pub fn init_pe(pe: &Pe) {
     flows_comm::set_delivery(pe, PORT_CHARE, deliver);
 }
 
-fn deliver(pe: &Pe, obj: ObjId, payload: Vec<u8>) {
+fn deliver(pe: &Pe, obj: ObjId, payload: Payload) {
     let m: EpMsg = flows_pup::from_bytes(&payload).expect("chare wire");
     let chare = pe.ext::<ChareState, _>(|st| {
         st.chares
@@ -137,7 +137,7 @@ pub fn create(pe: &Pe, obj: ObjId, type_id: ChareTypeId, chare: Box<dyn Chare>) 
 /// Invoke entry method `ep` of chare `obj` with `data`, wherever it lives.
 pub fn send(pe: &Pe, obj: ObjId, ep: u32, data: Vec<u8>) {
     let mut m = EpMsg { ep, data };
-    flows_comm::route(pe, obj, PORT_CHARE, flows_pup::to_bytes(&mut m));
+    flows_comm::route(pe, obj, PORT_CHARE, pe.pack_payload(&mut m));
 }
 
 /// Convenience: send using the ambient PE (handlers, threads).
@@ -165,7 +165,7 @@ pub fn migrate(pe: &Pe, obj: ObjId, dest: usize) {
     pe.send(
         dest,
         *MOVE_HANDLER.get().expect("ChareLayer::register first"),
-        flows_pup::to_bytes(&mut m),
+        pe.pack_payload(&mut m),
     );
 }
 

@@ -1,7 +1,7 @@
 //! Object location management: registration, routing, forwarding,
 //! buffering, migration notices.
 
-use flows_converse::{HandlerId, MachineBuilder, Message, Pe};
+use flows_converse::{HandlerId, MachineBuilder, Message, Payload, Pe};
 use flows_pup::{pup_fields, Pup};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::rc::Rc;
@@ -24,17 +24,29 @@ impl Pup for ObjId {
     }
 }
 
-#[derive(Debug, Default, Clone, PartialEq)]
-struct RouteMsg {
+/// Routing header. On the wire a routed message is this header PUP-packed
+/// followed by the *raw* application payload — no length prefix, no
+/// re-encoding: the receiver parses the header with `from_bytes_prefix`
+/// and takes the rest as a zero-copy [`Payload`] slice.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+struct RouteHdr {
     obj: ObjId,
     port: u8,
     hops: u32,
     /// Set once the hop budget is exhausted: the message is pinned to the
     /// object's home, which must buffer it rather than forward again.
     pinned: u8,
-    payload: Vec<u8>,
 }
-pup_fields!(RouteMsg { obj, port, hops, pinned, payload });
+pup_fields!(RouteHdr { obj, port, hops, pinned });
+
+/// Build the wire image of a routed message in a pooled buffer.
+fn route_wire(pe: &Pe, hdr: &mut RouteHdr, payload: &[u8]) -> Payload {
+    // Header is 14 fixed bytes (u64 + u8 + u32 + u8).
+    let mut buf = pe.payload_buf_with_capacity(14 + payload.len());
+    flows_pup::pack_into(hdr, buf.vec_mut());
+    buf.extend_from_slice(payload);
+    buf.freeze()
+}
 
 /// Maximum forwarding hops before a message is pinned to its home PE. A
 /// healthy machine resolves any location in a handful of hops; a budget of
@@ -60,7 +72,7 @@ struct UpdateMsg {
 }
 pup_fields!(UpdateMsg { obj, pe });
 
-type DeliveryFn = Rc<dyn Fn(&Pe, ObjId, Vec<u8>)>;
+type DeliveryFn = Rc<dyn Fn(&Pe, ObjId, Payload)>;
 
 /// Subsystem *port*: distinguishes the layers multiplexed over one routed
 /// object space (chare arrays, AMPI, applications...).
@@ -73,8 +85,8 @@ pub(crate) struct CommState {
     /// Best known location per object (authoritative on the home PE).
     locations: HashMap<ObjId, usize>,
     /// Messages parked at the home (or at the destination) until the
-    /// object (re)appears.
-    buffered: HashMap<ObjId, VecDeque<(Port, Vec<u8>)>>,
+    /// object (re)appears. Parked payloads share the arrived bytes.
+    buffered: HashMap<ObjId, VecDeque<(Port, Payload)>>,
     delivery: HashMap<Port, DeliveryFn>,
     /// Hop-budget overflows observed on this PE (surfaced, not fatal).
     overflows: Vec<RouteOverflow>,
@@ -128,8 +140,11 @@ impl CommLayer {
 }
 
 fn on_route(pe: &Pe, msg: Message) {
-    let m: RouteMsg = flows_pup::from_bytes(&msg.data).expect("route wire");
-    route_inner(pe, m, Some(msg.src_pe));
+    let (hdr, used) = flows_pup::from_bytes_prefix::<RouteHdr>(&msg.data).expect("route wire");
+    // The application payload is the tail of the arrived bytes — a
+    // zero-copy view, shared with whatever the link layer still holds.
+    let payload = msg.data.slice_from(used);
+    route_inner(pe, hdr, payload, Some(msg.src_pe));
 }
 
 fn on_update(pe: &Pe, msg: Message) {
@@ -143,26 +158,26 @@ fn on_update(pe: &Pe, msg: Message) {
     }
 }
 
-fn route_inner(pe: &Pe, mut m: RouteMsg, came_from: Option<usize>) {
+fn route_inner(pe: &Pe, mut hdr: RouteHdr, payload: Payload, came_from: Option<usize>) {
     let me = pe.id();
     let num = pe.num_pes();
-    if m.pinned == 0 && m.hops > max_route_hops(num) {
+    if hdr.pinned == 0 && hdr.hops > max_route_hops(num) {
         // Cyclic or endlessly stale location caches: stop chasing. Record
         // the overflow, drop our (evidently bad) cache entry, and pin the
         // message to the object's home, which buffers it until the next
         // authoritative location update flushes it.
         pe.ext::<CommState, _>(|st| {
             st.overflows.push(RouteOverflow {
-                obj: m.obj,
-                hops: m.hops,
+                obj: hdr.obj,
+                hops: hdr.hops,
             });
-            st.locations.remove(&m.obj);
+            st.locations.remove(&hdr.obj);
         });
-        m.pinned = 1;
-        let home = m.obj.home(num);
+        hdr.pinned = 1;
+        let home = hdr.obj.home(num);
         if home != me {
-            m.hops += 1;
-            pe.send(home, ids().route, flows_pup::to_bytes(&mut m));
+            hdr.hops += 1;
+            pe.send(home, ids().route, route_wire(pe, &mut hdr, &payload));
             return;
         }
     }
@@ -171,14 +186,15 @@ fn route_inner(pe: &Pe, mut m: RouteMsg, came_from: Option<usize>) {
         Forward(usize),
         Buffered,
     }
-    let pinned = m.pinned != 0;
+    let pinned = hdr.pinned != 0;
     let action = pe.ext::<CommState, _>(|st| {
-        if st.local.contains(&m.obj) {
+        // Buffering parks a clone of the payload view (an `Arc` bump).
+        if st.local.contains(&hdr.obj) {
             Action::Deliver(
                 st.delivery
-                    .get(&m.port)
+                    .get(&hdr.port)
                     .unwrap_or_else(|| {
-                        panic!("no delivery installed for port {} on PE {me}", m.port)
+                        panic!("no delivery installed for port {} on PE {me}", hdr.port)
                     })
                     .clone(),
             )
@@ -186,38 +202,38 @@ fn route_inner(pe: &Pe, mut m: RouteMsg, came_from: Option<usize>) {
             // Pinned to home: never forward again; wait for the next
             // location update to flush us.
             st.buffered
-                .entry(m.obj)
+                .entry(hdr.obj)
                 .or_default()
-                .push_back((m.port, std::mem::take(&mut m.payload)));
+                .push_back((hdr.port, payload.clone()));
             Action::Buffered
-        } else if let Some(&loc) = st.locations.get(&m.obj) {
+        } else if let Some(&loc) = st.locations.get(&hdr.obj) {
             if loc == me {
                 // Stale self-reference: the object left without a trace —
                 // treat as unknown, buffer if home.
-                if m.obj.home(num) == me {
+                if hdr.obj.home(num) == me {
                     st.buffered
-                        .entry(m.obj)
+                        .entry(hdr.obj)
                         .or_default()
-                        .push_back((m.port, std::mem::take(&mut m.payload)));
+                        .push_back((hdr.port, payload.clone()));
                     Action::Buffered
                 } else {
-                    Action::Forward(m.obj.home(num))
+                    Action::Forward(hdr.obj.home(num))
                 }
             } else {
                 Action::Forward(loc)
             }
-        } else if m.obj.home(num) == me {
+        } else if hdr.obj.home(num) == me {
             st.buffered
-                .entry(m.obj)
+                .entry(hdr.obj)
                 .or_default()
-                .push_back((m.port, std::mem::take(&mut m.payload)));
+                .push_back((hdr.port, payload.clone()));
             Action::Buffered
         } else {
-            Action::Forward(m.obj.home(num))
+            Action::Forward(hdr.obj.home(num))
         }
     });
     match action {
-        Action::Deliver(f) => f(pe, m.obj, m.payload),
+        Action::Deliver(f) => f(pe, hdr.obj, payload),
         Action::Forward(dest) => {
             // Teach the stale sender where the object went, so its future
             // sends go direct instead of detouring through us forever —
@@ -225,14 +241,14 @@ fn route_inner(pe: &Pe, mut m: RouteMsg, came_from: Option<usize>) {
             if let Some(src) = came_from {
                 if src != me && src != dest {
                     let mut u = UpdateMsg {
-                        obj: m.obj,
+                        obj: hdr.obj,
                         pe: dest as u64,
                     };
-                    pe.send(src, ids().update, flows_pup::to_bytes(&mut u));
+                    pe.send(src, ids().update, pe.pack_payload(&mut u));
                 }
             }
-            m.hops += 1;
-            pe.send(dest, ids().route, flows_pup::to_bytes(&mut m));
+            hdr.hops += 1;
+            pe.send(dest, ids().route, route_wire(pe, &mut hdr, &payload));
         }
         Action::Buffered => {}
     }
@@ -240,8 +256,9 @@ fn route_inner(pe: &Pe, mut m: RouteMsg, came_from: Option<usize>) {
 
 /// Install this PE's delivery callback for `port` (invoked for every
 /// payload routed on that port to a locally resident object). Must be set
-/// once per (PE, port) before messages arrive.
-pub fn set_delivery(pe: &Pe, port: Port, f: impl Fn(&Pe, ObjId, Vec<u8>) + 'static) {
+/// once per (PE, port) before messages arrive. The delivered [`Payload`]
+/// is a zero-copy view of the arrived bytes.
+pub fn set_delivery(pe: &Pe, port: Port, f: impl Fn(&Pe, ObjId, Payload) + 'static) {
     pe.ext::<CommState, _>(|st| {
         let prev = st.delivery.insert(port, Rc::new(f));
         assert!(prev.is_none(), "delivery already set for port {port} on this PE");
@@ -291,7 +308,7 @@ fn notify_home(pe: &Pe, obj: ObjId, loc: usize) {
             obj,
             pe: loc as u64,
         };
-        pe.send(home, ids().update, flows_pup::to_bytes(&mut m));
+        pe.send(home, ids().update, pe.pack_payload(&mut m));
     } else {
         // We are the home: flush anything parked for the object.
         let flushed = pe.ext::<CommState, _>(|st| {
@@ -311,19 +328,19 @@ fn notify_home(pe: &Pe, obj: ObjId, loc: usize) {
 /// delivery would re-enter the destination object while the sender is
 /// still borrowed — the classic event-driven re-entrancy hazard. One hop
 /// through the PE's local queue keeps every delivery top-level.
-pub fn route(pe: &Pe, obj: ObjId, port: Port, payload: Vec<u8>) {
-    let mut m = RouteMsg {
+pub fn route(pe: &Pe, obj: ObjId, port: Port, payload: impl Into<Payload>) {
+    let payload = payload.into();
+    let mut hdr = RouteHdr {
         obj,
         port,
         hops: 0,
         pinned: 0,
-        payload,
     };
-    pe.send(pe.id(), ids().route, flows_pup::to_bytes(&mut m));
+    pe.send(pe.id(), ids().route, route_wire(pe, &mut hdr, &payload));
 }
 
 /// Convenience wrapper over [`route`] using the calling context's PE.
-pub fn route_from_here(obj: ObjId, port: Port, payload: Vec<u8>) {
+pub fn route_from_here(obj: ObjId, port: Port, payload: impl Into<Payload>) {
     flows_converse::with_pe(|pe| route(pe, obj, port, payload));
 }
 

@@ -17,7 +17,9 @@ fn machine(pes: usize) -> (MachineBuilder, CommLayer) {
 /// Deliveries recorded as (pe, obj, first-byte).
 type Log = Arc<Mutex<Vec<(usize, u64, u8)>>>;
 
-fn recording_delivery(log: &Log) -> impl Fn(&flows_converse::Pe, ObjId, Vec<u8>) + Clone + 'static {
+fn recording_delivery(
+    log: &Log,
+) -> impl Fn(&flows_converse::Pe, ObjId, flows_converse::Payload) + Clone + 'static {
     let log = log.clone();
     move |pe, obj, data| {
         log.lock()

@@ -53,6 +53,7 @@ pub mod msg;
 pub mod pe;
 
 pub use fault::{FaultPlan, FaultSummary, PeCrash, PeStall};
+pub use flows_core::{Payload, PayloadBuf, PayloadPool};
 pub use machine::{MachineBuilder, MachineReport};
 pub use msg::{HandlerId, Message, NetModel};
-pub use pe::{charge_ns, my_pe, num_pes, send, vtime_ns, with_pe, Pe};
+pub use pe::{charge_ns, my_pe, num_pes, payload_buf, send, vtime_ns, with_pe, Pe};

@@ -177,7 +177,7 @@ mod tests {
     fn msg(tag: u8) -> Message {
         Message {
             handler: HandlerId(0),
-            data: vec![tag],
+            data: vec![tag].into(),
             src_pe: 0,
             sent_vtime: 0,
         }

@@ -6,14 +6,28 @@ use crate::link::Packet;
 use crate::msg::{HandlerId, Message, NetModel};
 use crate::pe::{Handler, Pe};
 use crossbeam::channel::unbounded;
+use crossbeam::sync::{Parker, Unparker};
 use flows_core::{SchedConfig, SchedStats, Scheduler, SharedPools};
 use flows_mem::IsoConfig;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// How long an idle PE sleeps per park before re-checking timers. Packet
+/// arrivals unpark it immediately; the timeout is only a safety net for
+/// virtual-time retransmission deadlines.
+const IDLE_PARK: Duration = Duration::from_micros(200);
 
 /// Shared counters used for machine-wide quiescence detection (the
 /// Converse QD analog): the machine is quiescent when every PE is idle and
 /// every sent message has been received.
+///
+/// The sent/recv totals are updated in *batches*: each PE accumulates its
+/// deltas in plain cells and flushes them (`Pe::flush_counters`) when it
+/// enters the idle barrier — never on the per-message path. Because every
+/// flush happens-before the PE's `idle` increment (all `SeqCst`), any
+/// observer that sees `idle == num_pes` also sees every flush, so the
+/// `sent == recv` fixpoint check remains exact.
 #[derive(Debug)]
 pub(crate) struct Hub {
     pub sent: AtomicU64,
@@ -24,6 +38,9 @@ pub(crate) struct Hub {
     /// aborts the run: quiescence can never be reached once a PE stops
     /// consuming its messages.
     crashed: AtomicUsize,
+    /// One waker per PE in threaded mode (unset under deterministic
+    /// drive): posting a packet unparks its destination.
+    wakers: OnceLock<Vec<Unparker>>,
 }
 
 impl Default for Hub {
@@ -34,6 +51,7 @@ impl Default for Hub {
             idle: AtomicUsize::new(0),
             done: AtomicBool::new(false),
             crashed: AtomicUsize::new(usize::MAX),
+            wakers: OnceLock::new(),
         }
     }
 }
@@ -45,6 +63,23 @@ impl Hub {
             .crashed
             .compare_exchange(usize::MAX, pe, Ordering::SeqCst, Ordering::SeqCst);
         self.done.store(true, Ordering::SeqCst);
+        self.wake_all();
+    }
+
+    /// Wake PE `dest` if it is parked (no-op under deterministic drive).
+    pub(crate) fn wake(&self, dest: usize) {
+        if let Some(ws) = self.wakers.get() {
+            ws[dest].unpark();
+        }
+    }
+
+    /// Wake every parked PE (crash abort / quiescence declaration).
+    fn wake_all(&self) {
+        if let Some(ws) = self.wakers.get() {
+            for w in ws {
+                w.unpark();
+            }
+        }
     }
 
     fn crashed_pe(&self) -> Option<usize> {
@@ -68,6 +103,9 @@ pub struct MachineReport {
     pub sched_stats: Vec<SchedStats>,
     /// Total messages sent machine-wide.
     pub messages: u64,
+    /// Handler invocations per PE (the dispatch-rate numerator; sums to
+    /// `messages` on a clean, crash-free run).
+    pub pe_delivered: Vec<u64>,
     /// Threads still suspended at quiescence per PE (should be 0 for a
     /// clean application; useful to detect lost wake-ups in tests).
     pub stranded_threads: Vec<usize>,
@@ -220,62 +258,97 @@ impl MachineBuilder {
             init(pe);
             pe.leave(prev);
         }
+        // Bounded burst per turn: draining a PE completely would livelock
+        // on cross-PE spin synchronization (threads that yield while
+        // waiting for another PE's progress stay runnable forever). The
+        // budget adapts per PE: a burst that pumps without delivering a
+        // single message is just spin-yielding waiters, so its share of
+        // the round-robin shrinks (and snaps back on the next delivery).
+        const FULL_BURST: u32 = 64;
+        let mut budgets = vec![FULL_BURST; pes.len()];
         'drive: loop {
             let mut progress = false;
-            for pe in &pes {
+            for (pe, budget) in pes.iter().zip(budgets.iter_mut()) {
                 let prev = pe.enter();
-                // Bounded burst per turn: draining a PE completely would
-                // livelock on cross-PE spin synchronization (threads that
-                // yield while waiting for another PE's progress stay
-                // runnable forever).
-                for _ in 0..64 {
+                let delivered_before = pe.delivered();
+                let mut pumped = false;
+                for _ in 0..*budget {
                     if !pe.pump() {
                         break;
                     }
-                    progress = true;
+                    pumped = true;
                 }
                 pe.leave(prev);
+                *budget = if pumped && pe.delivered() == delivered_before {
+                    (*budget / 2).max(1)
+                } else {
+                    FULL_BURST
+                };
+                if pumped {
+                    progress = true;
+                }
                 if hub.crashed_pe().is_some() {
                     // A dead PE stops consuming messages: quiescence is
                     // unreachable, so abort and report the crash.
                     break 'drive;
                 }
             }
-            if !progress
-                && hub.sent.load(Ordering::SeqCst) == hub.recv.load(Ordering::SeqCst)
-                && pes.iter().all(|p| !p.has_work())
-            {
-                break;
+            if !progress {
+                // Batched quiescence accounting: fold every PE's local
+                // deltas into the hub before the fixpoint comparison.
+                for pe in &pes {
+                    pe.flush_counters();
+                }
+                if hub.sent.load(Ordering::SeqCst) == hub.recv.load(Ordering::SeqCst)
+                    && pes.iter().all(|p| !p.has_work())
+                {
+                    break;
+                }
             }
+        }
+        for pe in &pes {
+            pe.flush_counters();
         }
         let wall_ns = flows_sys::time::monotonic_ns() - t0;
         report(&pes, &hub, wall_ns, stats.as_deref())
     }
 
-    /// Drive each PE on its own OS thread until quiescence.
+    /// Drive each PE on its own OS thread until quiescence. Idle PEs park
+    /// on a per-PE [`Parker`] and are woken by incoming packets (instead
+    /// of spinning on `yield_now`).
     pub fn run(mut self, init: impl Fn(&Pe) + Send + Sync) -> MachineReport {
         let (seeds, hub, stats) = self.make_seeds();
         let num_pes = self.num_pes;
+        let parkers: Vec<Parker> = (0..num_pes).map(|_| Parker::new()).collect();
+        hub.wakers
+            .set(parkers.iter().map(Parker::unparker).collect())
+            .expect("fresh hub");
         let t0 = flows_sys::time::monotonic_ns();
-        let results: Vec<(u64, SchedStats, usize, u64)> = std::thread::scope(|s| {
+        let results: Vec<(u64, SchedStats, usize, u64, u64)> = std::thread::scope(|s| {
             let init = &init;
             let handles: Vec<_> = seeds
                 .into_iter()
-                .map(|seed| {
+                .zip(parkers)
+                .map(|(seed, parker)| {
                     let hub = hub.clone();
                     s.spawn(move || {
                         // The Pe (and its !Send scheduler) is born on the
                         // OS thread that will drive it.
                         let pe = seed.build();
+                        pe.set_threaded();
                         let prev = pe.enter();
                         init(&pe);
-                        drive_until_quiescent(&pe, &hub, num_pes);
+                        drive_until_quiescent(&pe, &hub, num_pes, &parker);
+                        // Final flush so the report's totals are complete
+                        // on every exit path (quiescence or crash abort).
+                        pe.flush_counters();
                         pe.leave(prev);
                         (
                             pe.vtime_ns(),
                             pe.sched().stats(),
                             pe.sched().thread_count(),
                             pe.busy_ns(),
+                            pe.delivered(),
                         )
                     })
                 })
@@ -288,6 +361,7 @@ impl MachineBuilder {
             wall_ns,
             sched_stats: results.iter().map(|r| r.1).collect(),
             messages: hub.sent.load(Ordering::SeqCst),
+            pe_delivered: results.iter().map(|r| r.4).collect(),
             stranded_threads: results.iter().map(|r| r.2).collect(),
             pe_busy: results.iter().map(|r| r.3).collect(),
             crashed: hub.crashed_pe(),
@@ -314,6 +388,7 @@ struct PeSeed {
 
 impl PeSeed {
     fn build(self) -> Pe {
+        let pool = self.shared.payload_pool(self.id).clone();
         Pe::new(
             self.id,
             self.num_pes,
@@ -325,6 +400,7 @@ impl PeSeed {
             self.net,
             self.fault,
             self.modeled_time,
+            pool,
         )
     }
 }
@@ -335,6 +411,7 @@ fn report(pes: &[Pe], hub: &Hub, wall_ns: u64, stats: Option<&FaultStats>) -> Ma
         wall_ns,
         sched_stats: pes.iter().map(|p| p.sched().stats()).collect(),
         messages: hub.sent.load(Ordering::SeqCst),
+        pe_delivered: pes.iter().map(|p| p.delivered()).collect(),
         stranded_threads: pes.iter().map(|p| p.sched().thread_count()).collect(),
         pe_busy: pes.iter().map(|p| p.busy_ns()).collect(),
         crashed: hub.crashed_pe(),
@@ -342,8 +419,22 @@ fn report(pes: &[Pe], hub: &Hub, wall_ns: u64, stats: Option<&FaultStats>) -> Ma
     }
 }
 
+/// How many idle re-checks a PE spin-yields through before it actually
+/// parks. Parking immediately costs a condvar wakeup (microseconds) per
+/// message on a busy machine — fatal for tight message-passing loops on a
+/// single-core host — while spinning forever burns a core on an idle one.
+/// A short spin window keeps the hot path at yield cost and reserves the
+/// parker for genuinely quiet PEs.
+const IDLE_SPINS_BEFORE_PARK: u32 = 128;
+
 /// The per-PE loop of threaded mode with distributed quiescence detection.
-fn drive_until_quiescent(pe: &Pe, hub: &Hub, num_pes: usize) {
+///
+/// An idle PE flushes its batched counters *before* announcing itself at
+/// the idle barrier (the ordering the exactness argument on [`Hub`] rests
+/// on), then spin-yields briefly and finally parks until a packet arrives.
+/// The park has a short timeout so virtual-time retransmission deadlines
+/// are still noticed on an otherwise-silent machine.
+fn drive_until_quiescent(pe: &Pe, hub: &Hub, num_pes: usize, parker: &Parker) {
     loop {
         if hub.done.load(Ordering::SeqCst) {
             // Another PE crashed (or quiescence was declared while we were
@@ -360,14 +451,25 @@ fn drive_until_quiescent(pe: &Pe, hub: &Hub, num_pes: usize) {
         if progress {
             continue;
         }
-        // Enter the idle barrier.
+        // Enter the idle barrier: flush first, then announce idle.
+        pe.flush_counters();
         hub.idle.fetch_add(1, Ordering::SeqCst);
+        let mut spins = 0u32;
         loop {
             if hub.done.load(Ordering::SeqCst) {
                 return;
             }
             if pe.has_work() {
                 hub.idle.fetch_sub(1, Ordering::SeqCst);
+                if !pe.has_local_work() {
+                    // Work but nothing deliverable (waiting on an ack or a
+                    // retransmit deadline): yield so the peer that owes us
+                    // the packet gets the core — a pure-userspace re-pump
+                    // would spin out the whole OS quantum on a loaded
+                    // host. A freshly-arrived packet skips the yield and
+                    // is pumped immediately.
+                    std::thread::yield_now();
+                }
                 break;
             }
             if hub.idle.load(Ordering::SeqCst) == num_pes
@@ -375,9 +477,15 @@ fn drive_until_quiescent(pe: &Pe, hub: &Hub, num_pes: usize) {
             {
                 // Everyone idle and no message in flight: quiescent.
                 hub.done.store(true, Ordering::SeqCst);
+                hub.wake_all();
                 return;
             }
-            std::thread::yield_now();
+            if spins < IDLE_SPINS_BEFORE_PARK {
+                spins += 1;
+                std::thread::yield_now();
+            } else {
+                parker.park_timeout(IDLE_PARK);
+            }
         }
     }
 }
@@ -659,6 +767,91 @@ mod tests {
         let f = rep.faults.unwrap();
         assert!(f.stalled_steps >= 50, "stall consumed its steps: {f:?}");
         assert!(rep.crashed.is_none());
+    }
+
+    #[test]
+    fn batched_counters_detect_exact_fixpoint_under_faults() {
+        // Per-message quiescence accounting is buffered in PE-local cells
+        // and flushed to the hub only at idle entry; the fixpoint must
+        // still be the exact logical sent==recv point. Retransmits and
+        // duplicates from the fault layer must not leak into the totals.
+        let plan = FaultPlan::new(4242)
+            .drop_prob(0.25)
+            .dup_prob(0.2)
+            .reorder_prob(0.15);
+        let (total, rep) = faulty_ring(plan);
+        assert_eq!(total, 41);
+        assert_eq!(rep.messages, 41, "batched sent-counter total is exact");
+        assert_eq!(
+            rep.pe_delivered.iter().sum::<u64>(),
+            41,
+            "dispatch counters agree: {:?}",
+            rep.pe_delivered
+        );
+        assert!(rep.faults.unwrap().dropped > 0, "faults actually fired");
+    }
+
+    #[test]
+    fn threaded_batched_counters_are_complete_at_quiescence() {
+        let total = Arc::new(AtomicU64::new(0));
+        let mut mb = MachineBuilder::new(3).fault_plan(FaultPlan::new(77).drop_prob(0.15));
+        let h = {
+            let total = total.clone();
+            mb.handler(move |_pe, _msg| {
+                total.fetch_add(1, Ordering::Relaxed);
+            })
+        };
+        let rep = mb.run(move |pe| {
+            for d in 0..pe.num_pes() {
+                for _ in 0..10 {
+                    pe.send(d, h, vec![1, 2, 3]);
+                }
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 90);
+        assert_eq!(rep.messages, 90, "no message counted twice or missed");
+        assert_eq!(rep.pe_delivered.iter().sum::<u64>(), 90);
+    }
+
+    #[test]
+    fn pooled_buffers_cross_threads_and_return_home() {
+        // A ping-pong where every hop is packed into a pooled buffer: the
+        // receiving PE (a different OS thread under run()) drops each
+        // delivered payload, which must hand the bytes back to the
+        // *origin* PE's pool in time for its next hop — so the steady
+        // state recycles instead of allocating.
+        let shared = flows_core::SharedPools::new_for_tests();
+        let hops = Arc::new(AtomicU64::new(0));
+        let mut mb = MachineBuilder::new(2)
+            .net_model(NetModel::zero())
+            .shared_pools(shared.clone());
+        let h = {
+            let hops = hops.clone();
+            mb.handler(move |pe, msg| {
+                let n = u64::from_le_bytes(msg.data[..8].try_into().unwrap());
+                hops.fetch_add(1, Ordering::Relaxed);
+                if n > 0 {
+                    let mut buf = pe.payload_buf();
+                    buf.extend_from_slice(&(n - 1).to_le_bytes());
+                    pe.send(msg.src_pe, msg.handler, buf.freeze());
+                }
+            })
+        };
+        let rep = mb.run(move |pe| {
+            if pe.id() == 0 {
+                let mut buf = pe.payload_buf();
+                buf.extend_from_slice(&200u64.to_le_bytes());
+                pe.send(1, h, buf.freeze());
+            }
+        });
+        assert_eq!(hops.load(Ordering::Relaxed), 201);
+        assert_eq!(rep.pe_delivered.iter().sum::<u64>(), 201);
+        for pe in 0..2 {
+            let s = shared.payload_pool(pe).stats();
+            assert!(s.returns > 0, "pe{pe}: buffers came back cross-thread: {s:?}");
+            assert!(s.reuses > 10, "pe{pe}: steady state recycled: {s:?}");
+            assert!(s.allocs < 10, "pe{pe}: far fewer allocs than hops: {s:?}");
+        }
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Messages, handlers and the network cost model.
 
+use flows_core::Payload;
+
 /// Index of a registered handler. Handler registration happens in the
 /// [`crate::MachineBuilder`] *before* the machine starts, so every PE
 /// shares the same table — exactly Converse's convention.
@@ -7,12 +9,17 @@
 pub struct HandlerId(pub(crate) usize);
 
 /// A machine message: destination handler plus a byte payload.
+///
+/// The payload is a shared [`Payload`], so `Clone` — used by the reliable
+/// link's retransmit table and the duplicate-fault injector — bumps a
+/// refcount instead of copying the body.
 #[derive(Debug, Clone)]
 pub struct Message {
     /// The handler to invoke on the destination PE.
     pub handler: HandlerId,
-    /// Payload bytes (PUP-packed by the layers above).
-    pub data: Vec<u8>,
+    /// Payload bytes (PUP-packed by the layers above), shared by
+    /// reference among every in-flight copy of the message.
+    pub data: Payload,
     /// Sending PE.
     pub src_pe: usize,
     /// Sender's virtual clock at send time (nanoseconds).

@@ -5,7 +5,7 @@ use crate::link::{rto_ns, LinkTable, Packet, PacketBody, RxOutcome, Unacked};
 use crate::machine::Hub;
 use crate::msg::{HandlerId, Message, NetModel};
 use crossbeam::channel::{Receiver, Sender};
-use flows_core::Scheduler;
+use flows_core::{Payload, PayloadBuf, PayloadPool, Scheduler};
 use flows_sys::time::thread_cpu_ns;
 use std::any::{Any, TypeId};
 use std::cell::{Cell, RefCell};
@@ -23,6 +23,18 @@ thread_local! {
 /// clock to the next retransmission deadline. In threaded mode this gives
 /// in-flight acks a few spins to arrive before we burn a retransmit.
 const IDLE_PUMPS_BEFORE_RETX_JUMP: u32 = 8;
+
+/// In threaded mode an idle pump is a handful of atomic loads, so a pump
+/// count measures nothing about real waiting: a peer's reply travels at
+/// OS-scheduling speed (microseconds to milliseconds on a loaded host).
+/// Require this much *wall-clock* silence on top of the pump count before
+/// jumping the virtual clock to a retransmission deadline, or a fast
+/// sender storms the wire with spurious retransmits.
+const RETX_WALL_QUIET_NS: u64 = 200_000;
+
+/// How many cross-PE packets one pump pulls off the channel per lock
+/// acquisition (see `Receiver::try_recv_batch`).
+const RX_BATCH: usize = 64;
 
 /// A processing element of the simulated machine. All methods take `&self`
 /// (interior mutability), so code running inside handlers *and* inside
@@ -42,11 +54,26 @@ pub struct Pe {
     vtime: Cell<u64>,
     busy: Cell<u64>,
     local_q: RefCell<VecDeque<Message>>,
+    /// Cross-PE packets drained from `rx` in batches, awaiting delivery.
+    pending: RefCell<VecDeque<Packet>>,
     links: RefCell<LinkTable>,
     stall_left: Cell<u64>,
     stall_fired: Cell<bool>,
     crashed: Cell<bool>,
     idle_pumps: Cell<u32>,
+    /// Driven by `MachineBuilder::run` (one OS thread per PE)?
+    threaded: Cell<bool>,
+    /// Wall clock at which the current idle streak crossed the pump
+    /// threshold (threaded retransmit gate).
+    idle_wall_start: Cell<u64>,
+    /// This PE's payload recycling pool (from `SharedPools`).
+    pool: Arc<PayloadPool>,
+    /// Quiescence deltas accumulated locally and flushed to the hub only
+    /// at idle entry — no machine-global atomics on the per-message path.
+    local_sent: Cell<u64>,
+    local_recv: Cell<u64>,
+    /// Cumulative handler invocations (the bench's dispatch-rate counter).
+    delivered: Cell<u64>,
     exts: RefCell<HashMap<TypeId, Box<dyn Any>>>,
 }
 
@@ -73,6 +100,7 @@ impl Pe {
         net: NetModel,
         fault: Option<FaultCtx>,
         modeled_time: bool,
+        pool: Arc<PayloadPool>,
     ) -> Pe {
         Pe {
             id,
@@ -88,13 +116,26 @@ impl Pe {
             vtime: Cell::new(0),
             busy: Cell::new(0),
             local_q: RefCell::new(VecDeque::new()),
+            pending: RefCell::new(VecDeque::new()),
             links: RefCell::new(LinkTable::new(num_pes)),
             stall_left: Cell::new(0),
             stall_fired: Cell::new(false),
             crashed: Cell::new(false),
             idle_pumps: Cell::new(0),
+            threaded: Cell::new(false),
+            idle_wall_start: Cell::new(0),
+            pool,
+            local_sent: Cell::new(0),
+            local_recv: Cell::new(0),
+            delivered: Cell::new(0),
             exts: RefCell::new(HashMap::new()),
         }
+    }
+
+    /// Mark this PE as driven by threaded mode (enables the wall-clock
+    /// retransmit gate; see `RETX_WALL_QUIET_NS`).
+    pub(crate) fn set_threaded(&self) {
+        self.threaded.set(true);
     }
 
     /// This PE's index.
@@ -136,29 +177,83 @@ impl Pe {
         self.crashed.get()
     }
 
+    /// Handler invocations on this PE so far (the dispatch-rate counter).
+    pub fn delivered(&self) -> u64 {
+        self.delivered.get()
+    }
+
+    /// An empty payload writer drawn from this PE's recycling pool.
+    /// Build the message body in it, then [`PayloadBuf::freeze`] (or just
+    /// pass it to [`Pe::send`]) — steady state, no allocation.
+    pub fn payload_buf(&self) -> PayloadBuf {
+        self.pool.buf()
+    }
+
+    /// Like [`Pe::payload_buf`] with a minimum capacity.
+    pub fn payload_buf_with_capacity(&self, cap: usize) -> PayloadBuf {
+        self.pool.buf_with_capacity(cap)
+    }
+
+    /// PUP-pack `v` into a pooled payload (the layers above use this to
+    /// build wire messages without a fresh allocation per send).
+    pub fn pack_payload<T: flows_pup::Pup + ?Sized>(&self, v: &mut T) -> Payload {
+        let mut buf = self.pool.buf();
+        flows_pup::pack_into(v, buf.vec_mut());
+        buf.freeze()
+    }
+
+    /// This PE's payload pool (stats are used by benches and tests).
+    pub fn payload_pool(&self) -> &Arc<PayloadPool> {
+        &self.pool
+    }
+
+    /// Push one packet onto `dest`'s channel and wake it if it is parked.
+    fn post(&self, dest: usize, pkt: Packet) {
+        // Unbounded channel: send can only fail if the PE is gone,
+        // which means the machine is shutting down.
+        let _ = self.txs[dest].send(pkt);
+        self.hub.wake(dest);
+    }
+
+    /// Flush locally batched quiescence deltas to the hub counters.
+    /// Called at idle entry (and before any quiescence check), so the
+    /// global sent==recv comparison stays exact without per-message RMWs.
+    pub(crate) fn flush_counters(&self) {
+        let s = self.local_sent.replace(0);
+        if s != 0 {
+            self.hub.sent.fetch_add(s, Ordering::SeqCst);
+        }
+        let r = self.local_recv.replace(0);
+        if r != 0 {
+            self.hub.recv.fetch_add(r, Ordering::SeqCst);
+        }
+    }
+
     /// Send `data` to `handler` on PE `dest`. Never blocks; self-sends go
     /// through the local queue and never enter the (possibly faulty) link
-    /// layer.
-    pub fn send(&self, dest: usize, handler: HandlerId, data: Vec<u8>) {
+    /// layer. Accepts anything payload-like: a [`Payload`] or pooled
+    /// [`PayloadBuf`] (zero-copy), a `Vec<u8>`, or a byte slice/array.
+    pub fn send(&self, dest: usize, handler: HandlerId, data: impl Into<Payload>) {
         assert!(dest < self.num_pes, "send to PE {dest} of {}", self.num_pes);
         let msg = Message {
             handler,
-            data,
+            data: data.into(),
             src_pe: self.id,
             sent_vtime: self.vtime.get(),
         };
-        self.hub.sent.fetch_add(1, Ordering::SeqCst);
+        self.local_sent.set(self.local_sent.get() + 1);
         if dest == self.id {
             self.local_q.borrow_mut().push_back(msg);
         } else if self.fault.is_some() {
             self.link_send(dest, msg);
         } else {
-            // Unbounded channel: send can only fail if the PE is gone,
-            // which means the machine is shutting down.
-            let _ = self.txs[dest].send(Packet {
-                src: self.id,
-                body: PacketBody::Data { seq: 0, msg },
-            });
+            self.post(
+                dest,
+                Packet {
+                    src: self.id,
+                    body: PacketBody::Data { seq: 0, msg },
+                },
+            );
         }
     }
 
@@ -198,30 +293,38 @@ impl Pe {
     }
 
     /// Physically enqueue one data packet, rolling drop/duplicate faults.
+    /// The clones here share the payload (`Message::clone` bumps an `Arc`),
+    /// so retransmissions and injected duplicates never copy the body.
     fn transmit(&self, dest: usize, seq: u64, msg: &Message, attempt: u32) {
         let ctx = self.fault.as_ref().expect("transmit without plan");
         if ctx.plan.drop_roll(self.id, dest, seq, attempt) {
             FaultStats::bump(&ctx.stats.dropped);
         } else {
             FaultStats::bump(&ctx.stats.data_packets);
-            let _ = self.txs[dest].send(Packet {
-                src: self.id,
-                body: PacketBody::Data {
-                    seq,
-                    msg: msg.clone(),
+            self.post(
+                dest,
+                Packet {
+                    src: self.id,
+                    body: PacketBody::Data {
+                        seq,
+                        msg: msg.clone(),
+                    },
                 },
-            });
+            );
         }
         if ctx.plan.dup_roll(self.id, dest, seq, attempt) {
             FaultStats::bump(&ctx.stats.duplicated);
             FaultStats::bump(&ctx.stats.data_packets);
-            let _ = self.txs[dest].send(Packet {
-                src: self.id,
-                body: PacketBody::Data {
-                    seq,
-                    msg: msg.clone(),
+            self.post(
+                dest,
+                Packet {
+                    src: self.id,
+                    body: PacketBody::Data {
+                        seq,
+                        msg: msg.clone(),
+                    },
                 },
-            });
+            );
         }
     }
 
@@ -238,29 +341,41 @@ impl Pe {
 
     /// Count a logical receive and run the message's handler.
     fn deliver_msg(&self, msg: Message) {
-        self.hub.recv.fetch_add(1, Ordering::SeqCst);
+        self.local_recv.set(self.local_recv.get() + 1);
+        self.delivered.set(self.delivered.get() + 1);
         // Virtual clock: the message cannot be processed before it arrives.
         let arrival = self
             .net
             .arrival(msg.sent_vtime, msg.data.len(), msg.src_pe == self.id);
         self.vtime.set(self.vtime.get().max(arrival));
+        // Dispatch through a borrow: the handler table is frozen at build
+        // time, so no per-delivery Arc refcount traffic.
         let handler = self
             .handlers
             .get(msg.handler.0)
-            .unwrap_or_else(|| panic!("unregistered handler {:?}", msg.handler))
-            .clone();
+            .unwrap_or_else(|| panic!("unregistered handler {:?}", msg.handler));
         handler(self, msg);
     }
 
     /// Deliver one pending message or protocol packet, if any. Returns
-    /// whether one was processed.
+    /// whether one was processed. Cross-PE packets are drained from the
+    /// channel a batch at a time (one lock round trip per batch).
     fn deliver_one(&self) -> bool {
         let local = self.local_q.borrow_mut().pop_front();
         if let Some(msg) = local {
             self.deliver_msg(msg);
             return true;
         }
-        let Ok(pkt) = self.rx.try_recv() else {
+        let pkt = {
+            let mut pending = self.pending.borrow_mut();
+            // `is_empty` is a lock-free length probe: an idle pump costs
+            // one atomic load, not a mutex round trip.
+            if pending.is_empty() && !self.rx.is_empty() {
+                self.rx.try_recv_batch(&mut pending, RX_BATCH);
+            }
+            pending.pop_front()
+        };
+        let Some(pkt) = pkt else {
             return false;
         };
         match pkt.body {
@@ -293,10 +408,13 @@ impl Pe {
         // Ack every data packet (acks are cheap and idempotent); a dropped
         // or stale sender state is repaired by the next retransmission.
         FaultStats::bump(&ctx.stats.acks);
-        let _ = self.txs[src].send(Packet {
-            src: self.id,
-            body: PacketBody::Ack { cum },
-        });
+        self.post(
+            src,
+            Packet {
+                src: self.id,
+                body: PacketBody::Ack { cum },
+            },
+        );
         for m in ready {
             self.deliver_msg(m);
         }
@@ -330,11 +448,20 @@ impl Pe {
         if !other_progress && !moved {
             let idle = self.idle_pumps.get() + 1;
             self.idle_pumps.set(idle);
+            if idle == IDLE_PUMPS_BEFORE_RETX_JUMP && self.threaded.get() {
+                self.idle_wall_start.set(flows_sys::time::monotonic_ns());
+            }
             if idle >= IDLE_PUMPS_BEFORE_RETX_JUMP && !self.has_local_work() {
-                let jump = self.links.borrow().min_deadline();
-                if let Some(d) = jump {
-                    if d > self.vtime.get() {
-                        self.vtime.set(d);
+                let quiet = !self.threaded.get()
+                    || flows_sys::time::monotonic_ns()
+                        .saturating_sub(self.idle_wall_start.get())
+                        >= RETX_WALL_QUIET_NS;
+                if quiet {
+                    let jump = self.links.borrow().min_deadline();
+                    if let Some(d) = jump {
+                        if d > self.vtime.get() {
+                            self.vtime.set(d);
+                        }
                     }
                 }
             }
@@ -409,8 +536,10 @@ impl Pe {
             return false;
         }
         // CPU time (see flows_sys::time::thread_cpu_ns): virtual time must
-        // charge this PE's own work, not host preemption.
-        let t0 = thread_cpu_ns();
+        // charge this PE's own work, not host preemption. Under modeled
+        // time the clock never reads the host, so skip the syscall — it
+        // would otherwise dominate an idle pump.
+        let t0 = if self.modeled_time { 0 } else { thread_cpu_ns() };
         let mut progress = false;
         // Drain a bounded batch of messages so threads stay responsive.
         for _ in 0..64 {
@@ -434,8 +563,11 @@ impl Pe {
     }
 
     /// Local work only: queued messages or runnable threads.
-    fn has_local_work(&self) -> bool {
-        !self.local_q.borrow().is_empty() || !self.rx.is_empty() || self.sched.runnable() > 0
+    pub(crate) fn has_local_work(&self) -> bool {
+        !self.local_q.borrow().is_empty()
+            || !self.pending.borrow().is_empty()
+            || !self.rx.is_empty()
+            || self.sched.runnable() > 0
     }
 
     /// Is there any local work (messages, runnable threads, unfinished
@@ -491,8 +623,13 @@ pub fn num_pes() -> usize {
 }
 
 /// Send a message from whatever context is running on this PE.
-pub fn send(dest: usize, handler: HandlerId, data: Vec<u8>) {
+pub fn send(dest: usize, handler: HandlerId, data: impl Into<Payload>) {
     with_pe(|p| p.send(dest, handler, data))
+}
+
+/// A pooled payload writer from the calling PE's pool.
+pub fn payload_buf() -> PayloadBuf {
+    with_pe(|p| p.payload_buf())
 }
 
 /// Current virtual time of the calling PE.

@@ -44,6 +44,7 @@
 
 pub mod checkpoint;
 pub mod migrate;
+pub mod payload;
 pub mod privatize;
 pub mod scheduler;
 pub mod shared;
@@ -51,6 +52,7 @@ pub mod tcb;
 
 pub use checkpoint::{evacuate, Checkpoint};
 pub use migrate::PackedThread;
+pub use payload::{Payload, PayloadBuf, PayloadPool, PoolStats};
 pub use privatize::{GlobalVar, GlobalsLayout, GlobalsLayoutBuilder, PrivatizeMode};
 pub use scheduler::{
     awaken, current, current_load_ns, iso_free, iso_malloc, set_priority, suspend, yield_now,

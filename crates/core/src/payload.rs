@@ -1,0 +1,615 @@
+//! Reference-counted message payloads and per-PE recycling buffer pools.
+//!
+//! The paper's argument (§2.4) is that message handling must cost less
+//! than a microsecond; a runtime that memcpys every payload at every hop
+//! (send → retransmit buffer → duplicate → rewrap) cannot get there. A
+//! [`Payload`] is an `Arc`-backed byte buffer: cloning it — for a
+//! retransmit table, a duplicate-injection fault, a multicast — bumps a
+//! refcount instead of copying bytes, and [`Payload::slice`] carves
+//! zero-copy views (a routed message's header vs. its body).
+//!
+//! Buffers are built through a [`PayloadBuf`] writer drawn from a
+//! [`PayloadPool`] and *promoted without copy* by [`PayloadBuf::freeze`].
+//! When the last `Payload` clone drops, the underlying `Vec` returns to
+//! the pool it came from, so a steady-state message loop (ping-pong, ring,
+//! stencil exchange) allocates nothing after warm-up — the pool's
+//! [`PoolStats::allocs`] counter makes that claim testable.
+
+use flows_pup::{Pup, Puper};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Retained buffers per pool before excess buffers are simply freed.
+const DEFAULT_MAX_FREE: usize = 256;
+
+/// Default capacity of a freshly allocated pool buffer.
+const DEFAULT_MIN_CAP: usize = 1024;
+
+/// A recycling pool of byte buffers. One lives on each PE (seeded from
+/// `SharedPools`); the pool itself is `Send + Sync`, so a buffer
+/// allocated on one PE and dropped on another finds its way home.
+pub struct PayloadPool {
+    free: Mutex<Vec<Vec<u8>>>,
+    max_free: usize,
+    min_cap: usize,
+    allocs: AtomicU64,
+    reuses: AtomicU64,
+    returns: AtomicU64,
+}
+
+impl std::fmt::Debug for PayloadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("PayloadPool")
+            .field("free", &s.free_now)
+            .field("allocs", &s.allocs)
+            .field("reuses", &s.reuses)
+            .finish()
+    }
+}
+
+/// A snapshot of a pool's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Fresh heap allocations (pool misses).
+    pub allocs: u64,
+    /// Buffers handed out from the free list (pool hits).
+    pub reuses: u64,
+    /// Buffers returned to the free list on drop.
+    pub returns: u64,
+    /// Buffers currently parked in the free list.
+    pub free_now: usize,
+}
+
+impl PayloadPool {
+    /// A pool whose fresh buffers start at `min_cap` bytes of capacity
+    /// and which retains at most `max_free` returned buffers.
+    pub fn new(min_cap: usize, max_free: usize) -> Arc<PayloadPool> {
+        Arc::new(PayloadPool {
+            free: Mutex::new(Vec::new()),
+            max_free,
+            min_cap: min_cap.max(1),
+            allocs: AtomicU64::new(0),
+            reuses: AtomicU64::new(0),
+            returns: AtomicU64::new(0),
+        })
+    }
+
+    /// A pool with default sizing.
+    pub fn with_defaults() -> Arc<PayloadPool> {
+        PayloadPool::new(DEFAULT_MIN_CAP, DEFAULT_MAX_FREE)
+    }
+
+    /// Draw an empty writer from the pool (recycled when possible).
+    pub fn buf(self: &Arc<Self>) -> PayloadBuf {
+        self.buf_with_capacity(self.min_cap)
+    }
+
+    /// Draw an empty writer with at least `cap` bytes of capacity.
+    pub fn buf_with_capacity(self: &Arc<Self>, cap: usize) -> PayloadBuf {
+        let recycled = self.free.lock().pop();
+        let mut data = match recycled {
+            Some(v) => {
+                self.reuses.fetch_add(1, Ordering::Relaxed);
+                v
+            }
+            None => {
+                self.allocs.fetch_add(1, Ordering::Relaxed);
+                Vec::with_capacity(cap.max(self.min_cap))
+            }
+        };
+        if data.capacity() < cap {
+            data.reserve(cap - data.len());
+        }
+        PayloadBuf {
+            data,
+            pool: Some(self.clone()),
+        }
+    }
+
+    /// Return a buffer to the free list (called from `Payload`/
+    /// `PayloadBuf` drops; cleared before reuse).
+    fn put(&self, mut v: Vec<u8>) {
+        if v.capacity() == 0 {
+            return;
+        }
+        v.clear();
+        let mut free = self.free.lock();
+        if free.len() < self.max_free {
+            free.push(v);
+            self.returns.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            allocs: self.allocs.load(Ordering::Relaxed),
+            reuses: self.reuses.load(Ordering::Relaxed),
+            returns: self.returns.load(Ordering::Relaxed),
+            free_now: self.free.lock().len(),
+        }
+    }
+}
+
+/// The shared backing store of one or more [`Payload`] views. Returns its
+/// bytes to the originating pool when the last view drops.
+struct Backing {
+    data: Vec<u8>,
+    pool: Option<Arc<PayloadPool>>,
+}
+
+impl Drop for Backing {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            pool.put(std::mem::take(&mut self.data));
+        }
+    }
+}
+
+/// A mutable byte-buffer writer, drawn from a [`PayloadPool`] (or free-
+/// standing), promoted into an immutable shared [`Payload`] by
+/// [`PayloadBuf::freeze`] *without copying*. Dropping an unfrozen writer
+/// returns its buffer to the pool.
+pub struct PayloadBuf {
+    data: Vec<u8>,
+    pool: Option<Arc<PayloadPool>>,
+}
+
+impl PayloadBuf {
+    /// A pool-less writer (plain heap buffer).
+    pub fn new() -> PayloadBuf {
+        PayloadBuf {
+            data: Vec::new(),
+            pool: None,
+        }
+    }
+
+    /// The underlying `Vec`, for writers that want `std` APIs (and for
+    /// `flows_pup::pack_into`, which packs any `Pup` into a `&mut Vec`).
+    pub fn vec_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.data
+    }
+
+    /// Append bytes.
+    pub fn extend_from_slice(&mut self, bytes: &[u8]) {
+        self.data.extend_from_slice(bytes);
+    }
+
+    /// Append one byte.
+    pub fn push(&mut self, b: u8) {
+        self.data.push(b);
+    }
+
+    /// Grow (zero-filling) or shrink to `len` bytes.
+    pub fn resize(&mut self, len: usize, fill: u8) {
+        self.data.resize(len, fill);
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// No bytes written yet?
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Promote into an immutable shared [`Payload`]. The buffer moves;
+    /// no bytes are copied (the pool handle travels along so the bytes
+    /// are recycled when the payload fully drops).
+    pub fn freeze(mut self) -> Payload {
+        let len = self.data.len();
+        Payload {
+            backing: Arc::new(Backing {
+                data: std::mem::take(&mut self.data),
+                pool: self.pool.take(),
+            }),
+            off: 0,
+            len,
+        }
+    }
+}
+
+impl Default for PayloadBuf {
+    fn default() -> Self {
+        PayloadBuf::new()
+    }
+}
+
+impl Drop for PayloadBuf {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            pool.put(std::mem::take(&mut self.data));
+        }
+    }
+}
+
+impl std::ops::Deref for PayloadBuf {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::ops::DerefMut for PayloadBuf {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+fn empty_backing() -> Arc<Backing> {
+    static EMPTY: OnceLock<Arc<Backing>> = OnceLock::new();
+    EMPTY
+        .get_or_init(|| {
+            Arc::new(Backing {
+                data: Vec::new(),
+                pool: None,
+            })
+        })
+        .clone()
+}
+
+/// An immutable, cheaply clonable byte buffer — the machine's message
+/// payload type. `Clone` bumps a refcount; [`Payload::slice`] makes
+/// zero-copy subviews; `Deref<Target = [u8]>` gives slice access.
+pub struct Payload {
+    backing: Arc<Backing>,
+    off: usize,
+    len: usize,
+}
+
+impl Payload {
+    /// The empty payload (no allocation).
+    pub fn empty() -> Payload {
+        Payload {
+            backing: empty_backing(),
+            off: 0,
+            len: 0,
+        }
+    }
+
+    /// Wrap an owned `Vec` without copying.
+    pub fn from_vec(v: Vec<u8>) -> Payload {
+        let len = v.len();
+        Payload {
+            backing: Arc::new(Backing {
+                data: v,
+                pool: None,
+            }),
+            off: 0,
+            len,
+        }
+    }
+
+    /// Byte length of this view.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is this view empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bytes of this view.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.backing.data[self.off..self.off + self.len]
+    }
+
+    /// A zero-copy subview of `range` (relative to this view). Panics on
+    /// an out-of-bounds range, like slice indexing.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Payload {
+        assert!(
+            range.start <= range.end && range.end <= self.len,
+            "slice {range:?} out of payload of {} bytes",
+            self.len
+        );
+        Payload {
+            backing: self.backing.clone(),
+            off: self.off + range.start,
+            len: range.end - range.start,
+        }
+    }
+
+    /// A zero-copy subview from `start` to the end.
+    pub fn slice_from(&self, start: usize) -> Payload {
+        self.slice(start..self.len)
+    }
+
+    /// Copy the bytes out into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// Extract the bytes, avoiding the copy when this is the only view of
+    /// a whole, pool-less buffer (pooled buffers are copied so the
+    /// backing store still returns to its pool).
+    pub fn into_vec(self) -> Vec<u8> {
+        if self.off == 0 && self.len == self.backing.data.len() && self.backing.pool.is_none() {
+            match Arc::try_unwrap(self.backing) {
+                Ok(mut backing) => return std::mem::take(&mut backing.data),
+                Err(backing) => return backing.data.to_vec(),
+            }
+        }
+        self.to_vec()
+    }
+
+    /// Do two payloads share the same backing buffer? (Aliasing probe for
+    /// tests: `clone` and `slice` share; `to_vec` round trips do not.)
+    pub fn same_backing(&self, other: &Payload) -> bool {
+        Arc::ptr_eq(&self.backing, &other.backing)
+    }
+
+    /// How many views share this backing buffer.
+    pub fn ref_count(&self) -> usize {
+        Arc::strong_count(&self.backing)
+    }
+}
+
+impl Clone for Payload {
+    fn clone(&self) -> Payload {
+        Payload {
+            backing: self.backing.clone(),
+            off: self.off,
+            len: self.len,
+        }
+    }
+}
+
+impl Default for Payload {
+    fn default() -> Payload {
+        Payload::empty()
+    }
+}
+
+impl std::ops::Deref for Payload {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Payload {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Payload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Payload({} bytes", self.len)?;
+        if self.ref_count() > 1 {
+            write!(f, ", {} refs", self.ref_count())?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Payload {
+        Payload::from_vec(v)
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(v: &[u8]) -> Payload {
+        Payload::from_vec(v.to_vec())
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for Payload {
+    fn from(v: [u8; N]) -> Payload {
+        Payload::from_vec(v.to_vec())
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Payload {
+    fn from(v: &[u8; N]) -> Payload {
+        Payload::from_vec(v.to_vec())
+    }
+}
+
+impl From<PayloadBuf> for Payload {
+    fn from(b: PayloadBuf) -> Payload {
+        b.freeze()
+    }
+}
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Payload) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Payload {}
+
+impl PartialEq<[u8]> for Payload {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Payload {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == &other[..]
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Payload {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+/// PUP support so payloads embed in migration/checkpoint wire structs
+/// (length-prefixed raw bytes, like `Vec<u8>` but bulk, not per-element).
+impl Pup for Payload {
+    fn pup(&mut self, p: &mut Puper) {
+        let mut n = self.len as u64;
+        n.pup(p);
+        if p.is_unpacking() {
+            // Guard against hostile length prefixes: grow in chunks so a
+            // corrupt header hits Truncated before a giant allocation.
+            let n = n as usize;
+            let mut v: Vec<u8> = Vec::with_capacity(n.min(64 * 1024));
+            while v.len() < n {
+                if p.has_error() {
+                    *self = Payload::empty();
+                    return;
+                }
+                let start = v.len();
+                let chunk = (n - start).min(64 * 1024);
+                v.resize(start + chunk, 0);
+                p.raw(&mut v[start..]);
+            }
+            if p.has_error() {
+                *self = Payload::empty();
+                return;
+            }
+            *self = Payload::from_vec(v);
+        } else {
+            // Sizing or packing: raw() only reads, but wants `&mut`; the
+            // backing may be aliased by other views, so go through a copy
+            // (payload pup rides migration/checkpoint paths, not the
+            // per-message hot path).
+            let mut tmp = self.to_vec();
+            p.raw(&mut tmp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_and_slice_share_backing() {
+        let p: Payload = vec![1u8, 2, 3, 4, 5].into();
+        let q = p.clone();
+        assert!(p.same_backing(&q));
+        assert_eq!(p, q);
+        let tail = p.slice_from(2);
+        assert!(tail.same_backing(&p));
+        assert_eq!(tail, [3u8, 4, 5]);
+        assert_eq!(tail.slice(1..2), [4u8]);
+    }
+
+    #[test]
+    fn freeze_promotes_without_copy() {
+        let pool = PayloadPool::new(64, 8);
+        let mut buf = pool.buf();
+        buf.extend_from_slice(b"hello");
+        let base = buf.as_ptr() as usize;
+        let p = buf.freeze();
+        assert_eq!(p.as_slice().as_ptr() as usize, base, "no copy on freeze");
+        assert_eq!(p, b"hello".to_vec());
+    }
+
+    #[test]
+    fn pool_recycles_dropped_buffers() {
+        let pool = PayloadPool::new(64, 8);
+        let p = {
+            let mut b = pool.buf();
+            b.extend_from_slice(&[9; 100]);
+            b.freeze()
+        };
+        let q = p.clone();
+        drop(p);
+        assert_eq!(pool.stats().returns, 0, "still referenced");
+        drop(q);
+        let s = pool.stats();
+        assert_eq!(s.returns, 1);
+        assert_eq!(s.free_now, 1);
+        // Next draw reuses the same storage: no new allocation.
+        let b2 = pool.buf();
+        let s = pool.stats();
+        assert_eq!(s.reuses, 1);
+        assert_eq!(s.allocs, 1, "only the first draw allocated");
+        assert!(b2.is_empty(), "recycled buffers come back cleared");
+        assert!(b2.data.capacity() >= 100);
+    }
+
+    #[test]
+    fn steady_state_loop_allocates_nothing() {
+        let pool = PayloadPool::new(64, 8);
+        // Warm-up: one buffer enters the pool.
+        drop(pool.buf_with_capacity(256).freeze());
+        let allocs_after_warmup = pool.stats().allocs;
+        for i in 0..1000u32 {
+            let mut b = pool.buf_with_capacity(256);
+            b.extend_from_slice(&i.to_le_bytes());
+            let p = b.freeze();
+            let q = p.clone(); // a "retransmit table" reference
+            assert_eq!(q.slice(0..4), i.to_le_bytes());
+            drop(p);
+            drop(q);
+        }
+        assert_eq!(
+            pool.stats().allocs,
+            allocs_after_warmup,
+            "steady-state send loop must not allocate"
+        );
+        assert_eq!(pool.stats().reuses, 1000);
+    }
+
+    #[test]
+    fn into_vec_avoids_copy_when_unique_and_unpooled() {
+        let v = vec![7u8; 32];
+        let base = v.as_ptr() as usize;
+        let p = Payload::from_vec(v);
+        let out = p.into_vec();
+        assert_eq!(out.as_ptr() as usize, base);
+        // Pooled: copies, and the buffer still returns to the pool.
+        let pool = PayloadPool::new(64, 8);
+        let mut b = pool.buf();
+        b.extend_from_slice(&[1, 2, 3]);
+        let out = b.freeze().into_vec();
+        assert_eq!(out, vec![1, 2, 3]);
+        assert_eq!(pool.stats().returns, 1, "pooled bytes went home");
+    }
+
+    #[test]
+    fn cross_thread_drop_returns_to_origin_pool() {
+        let pool = PayloadPool::new(64, 8);
+        let mut b = pool.buf();
+        b.extend_from_slice(&[5; 50]);
+        let p = b.freeze();
+        std::thread::spawn(move || {
+            assert_eq!(p.len(), 50);
+            drop(p);
+        })
+        .join()
+        .unwrap();
+        assert_eq!(pool.stats().returns, 1);
+        assert_eq!(pool.stats().free_now, 1);
+    }
+
+    #[test]
+    fn pup_round_trip_in_a_struct() {
+        #[derive(Default)]
+        struct Wire {
+            tag: u32,
+            body: Payload,
+        }
+        flows_pup::pup_fields!(Wire { tag, body });
+        let mut w = Wire {
+            tag: 9,
+            body: vec![1u8, 2, 3].into(),
+        };
+        let bytes = flows_pup::to_bytes(&mut w);
+        let r: Wire = flows_pup::from_bytes(&bytes).unwrap();
+        assert_eq!(r.tag, 9);
+        assert_eq!(r.body, [1u8, 2, 3]);
+    }
+
+    #[test]
+    fn retained_buffers_are_capped() {
+        let pool = PayloadPool::new(16, 2);
+        let bufs: Vec<Payload> = (0..5).map(|_| pool.buf().freeze()).collect();
+        drop(bufs);
+        assert!(pool.stats().free_now <= 2);
+    }
+}

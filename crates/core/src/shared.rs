@@ -6,6 +6,7 @@
 //! address space — enforced here with process-wide locks that a scheduler
 //! holds exactly while such a thread is on the CPU.
 
+use crate::payload::PayloadPool;
 use flows_mem::{AliasStackPool, CopyStackPool, IsoConfig, IsoRegion};
 use flows_sys::SysResult;
 use parking_lot::Mutex;
@@ -24,6 +25,7 @@ pub struct SharedPools {
     region: Arc<IsoRegion>,
     alias: Mutex<AliasStackPool>,
     copy: Mutex<CopyStackPool>,
+    payload: Vec<Arc<PayloadPool>>,
 }
 
 impl std::fmt::Debug for SharedPools {
@@ -38,10 +40,12 @@ impl SharedPools {
     /// Build pools for a machine of `num_pes` PEs with the given isomalloc
     /// layout and common-region length.
     pub fn new(iso: IsoConfig, common_len: usize) -> SysResult<Arc<SharedPools>> {
+        let num_pes = iso.num_pes.max(1);
         Ok(Arc::new(SharedPools {
             region: IsoRegion::new(iso)?,
             alias: Mutex::new(AliasStackPool::new(common_len, 4)?),
             copy: Mutex::new(CopyStackPool::new(common_len)?),
+            payload: (0..num_pes).map(|_| PayloadPool::with_defaults()).collect(),
         }))
     }
 
@@ -68,6 +72,12 @@ impl SharedPools {
     pub fn copy(&self) -> &Mutex<CopyStackPool> {
         &self.copy
     }
+
+    /// The message-payload recycling pool of PE `pe` (clamped, so a
+    /// machine built for fewer PEs than callers assume still works).
+    pub fn payload_pool(&self, pe: usize) -> &Arc<PayloadPool> {
+        &self.payload[pe.min(self.payload.len() - 1)]
+    }
 }
 
 #[cfg(test)]
@@ -80,5 +90,8 @@ mod tests {
         assert_eq!(p.region().cfg().num_pes, 2);
         assert!(p.alias().lock().frame_len() > 0);
         assert!(!p.copy().lock().is_empty());
+        assert_eq!(p.payload_pool(0).stats().allocs, 0);
+        // Out-of-range PEs clamp rather than panic.
+        let _ = p.payload_pool(99);
     }
 }

@@ -1,14 +1,21 @@
 #!/bin/bash
-# Regenerates every table/figure harness and the criterion benches,
-# capturing everything to bench_output.txt.
+# Lint + perf-regression gates, then regenerates every table/figure
+# harness and the criterion benches, capturing everything to stdout
+# (redirect to bench_output.txt to refresh the committed capture).
 set -u
 cd "$(dirname "$0")"
+
+# Gates first: clippy -D warnings, then the msgpath throughput floor
+# check (fails fast if the message path regressed).
+bash scripts/lint.sh || exit 1
+bash scripts/bench_smoke.sh || exit 1
+
 {
 echo "=== flows bench harnesses ($(date -u +%FT%TZ), host: $(uname -m), $(nproc) cpu) ==="
-for b in table1_portability table2_limits fig10_minswap fig9_stacksize fig4_ctxswitch_flows fig11_bigsim fig12_btmz fault_recovery; do
+for b in table1_portability table2_limits fig10_minswap fig9_stacksize fig4_ctxswitch_flows fig11_bigsim fig12_btmz fault_recovery msgpath; do
   echo; echo "### $b"
   timeout 900 cargo run --release -q -p flows-bench --bin "$b" 2>&1
 done
 echo; echo "### criterion micro-benches"
-timeout 1200 cargo bench -p flows-bench 2>&1 | grep -vE "^(Benchmarking|Found|  [0-9]|  high|  low|Warning)" 
-} 
+timeout 1200 cargo bench -p flows-bench 2>&1 | grep -vE "^(Benchmarking|Found|  [0-9]|  high|  low|Warning)"
+}

@@ -1,0 +1,46 @@
+#!/bin/bash
+# Perf smoke gate: run the msgpath microbench in its fast configuration
+# and fail if headline throughput regresses below a recorded floor.
+#
+# Floors are deterministic-mode numbers only (threaded-mode wall time is
+# scheduler noise on small hosts) and sit ~2x under what this host
+# measures post-zero-copy, but above the pre-zero-copy baselines — so a
+# regression back to per-message copies/counters trips the gate while
+# ordinary host jitter does not.
+set -eu
+cd "$(dirname "$0")/.."
+
+JSON=$(mktemp /tmp/bench_smoke.XXXXXX.json)
+trap 'rm -f "$JSON"' EXIT
+
+cargo run --offline --release -q -p flows-bench --bin msgpath -- --fast --json "$JSON"
+
+# rate <scenario> <mode> <payload_bytes> <reliable> -> msgs_per_sec
+rate() {
+  grep "\"scenario\": \"$1\", \"mode\": \"$2\"," "$JSON" \
+    | grep "\"payload_bytes\": $3, \"reliable_link\": $4," \
+    | sed -n 's/.*"msgs_per_sec": \([0-9.]*\).*/\1/p' | head -1
+}
+
+fail=0
+check() { # <label> <observed> <floor>
+  if [ -z "$2" ]; then
+    echo "FAIL  $1: no result in $JSON"
+    fail=1
+  elif awk -v o="$2" -v f="$3" 'BEGIN { exit !(o >= f) }'; then
+    echo "ok    $1: $2 msgs/sec (floor $3)"
+  else
+    echo "FAIL  $1: $2 msgs/sec below floor $3"
+    fail=1
+  fi
+}
+
+check "pingpong det 16K reliable" "$(rate pingpong det 16384 true)" 900000
+check "ring det 16K reliable"     "$(rate ring det 16384 true)"     900000
+check "pingpong det 8B raw"       "$(rate pingpong det 8 false)"    2500000
+
+if [ "$fail" -ne 0 ]; then
+  echo "bench_smoke: FAIL (throughput regressed below recorded floor)"
+  exit 1
+fi
+echo "bench_smoke: PASS"

@@ -1,15 +1,24 @@
 //! Minimal local stand-in for `crossbeam`: the `channel` module subset
 //! this workspace uses (unbounded MPMC channel with cloneable sender,
-//! `try_recv`, `is_empty`). Backed by a mutexed deque — the machine's
-//! PEs poll with `try_recv`, so no blocking receive is needed.
-//! Vendored for offline builds.
+//! `try_recv`, batched drain, `is_empty`) plus the `sync` module's
+//! `Parker`/`Unparker` pair. Backed by a mutexed deque and a
+//! mutex+condvar token — the machine's PEs poll with `try_recv` and park
+//! when idle. Vendored for offline builds.
 
 pub mod channel {
     use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::{Arc, Mutex};
 
     struct Inner<T> {
         q: Mutex<VecDeque<T>>,
+        /// Queue length mirrored outside the lock so emptiness probes
+        /// (`is_empty`/`len`) are a single atomic load. Updated only while
+        /// the lock is held; a probe that races a send may read the old
+        /// length, which callers must treat as advisory (the machine's
+        /// wakeup protocol unparks receivers *after* the send completes,
+        /// so a stale "empty" is always followed by a wakeup).
+        len: AtomicUsize,
     }
 
     /// Sending half; cloneable (multi-producer).
@@ -42,6 +51,7 @@ pub mod channel {
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let inner = Arc::new(Inner {
             q: Mutex::new(VecDeque::new()),
+            len: AtomicUsize::new(0),
         });
         (Sender(inner.clone()), Receiver(inner))
     }
@@ -49,11 +59,9 @@ pub mod channel {
     impl<T> Sender<T> {
         /// Enqueue `value`; never blocks.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.0
-                .q
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .push_back(value);
+            let mut q = self.0.q.lock().unwrap_or_else(|e| e.into_inner());
+            q.push_back(value);
+            self.0.len.store(q.len(), Ordering::SeqCst);
             Ok(())
         }
     }
@@ -61,22 +69,38 @@ pub mod channel {
     impl<T> Receiver<T> {
         /// Dequeue one message if available.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            self.0
-                .q
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .pop_front()
-                .ok_or(TryRecvError::Empty)
+            let mut q = self.0.q.lock().unwrap_or_else(|e| e.into_inner());
+            let v = q.pop_front().ok_or(TryRecvError::Empty);
+            self.0.len.store(q.len(), Ordering::SeqCst);
+            v
         }
 
-        /// Whether the queue is currently empty.
+        /// Dequeue up to `max` messages into `out` with a single lock
+        /// acquisition, returning how many were moved. The machine's PE
+        /// pump drains its packet channel in batches so the per-message
+        /// cost is one `VecDeque` pop, not one mutex round trip.
+        pub fn try_recv_batch(&self, out: &mut VecDeque<T>, max: usize) -> usize {
+            let mut q = self.0.q.lock().unwrap_or_else(|e| e.into_inner());
+            let n = max.min(q.len());
+            if n == q.len() {
+                // Common case: take the whole queue without popping.
+                out.append(&mut q);
+            } else {
+                out.extend(q.drain(..n));
+            }
+            self.0.len.store(q.len(), Ordering::SeqCst);
+            n
+        }
+
+        /// Whether the queue is currently empty (lock-free probe; see the
+        /// note on `Inner::len`).
         pub fn is_empty(&self) -> bool {
-            self.0.q.lock().unwrap_or_else(|e| e.into_inner()).is_empty()
+            self.0.len.load(Ordering::SeqCst) == 0
         }
 
-        /// Number of queued messages.
+        /// Number of queued messages (lock-free probe).
         pub fn len(&self) -> usize {
-            self.0.q.lock().unwrap_or_else(|e| e.into_inner()).len()
+            self.0.len.load(Ordering::SeqCst)
         }
     }
 
@@ -94,6 +118,178 @@ pub mod channel {
             assert_eq!(rx.try_recv(), Ok(1));
             assert_eq!(rx.try_recv(), Ok(2));
             assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn batch_drain() {
+            let (tx, rx) = unbounded();
+            for i in 0..5 {
+                tx.send(i).unwrap();
+            }
+            let mut out = VecDeque::new();
+            assert_eq!(rx.try_recv_batch(&mut out, 3), 3);
+            assert_eq!(out, [0, 1, 2]);
+            assert_eq!(rx.try_recv_batch(&mut out, 100), 2);
+            assert_eq!(out, [0, 1, 2, 3, 4]);
+            assert_eq!(rx.try_recv_batch(&mut out, 100), 0);
+        }
+    }
+}
+
+pub mod sync {
+    //! `Parker`/`Unparker`: a one-token thread parking primitive with the
+    //! same semantics as crossbeam's. `unpark` before `park` makes the
+    //! next `park` return immediately (the token is not cumulative), and
+    //! `unpark` is cheap when nobody is parked (one atomic swap).
+
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::Duration;
+
+    const EMPTY: u32 = 0;
+    const PARKED: u32 = 1;
+    const NOTIFIED: u32 = 2;
+
+    struct Inner {
+        state: AtomicU32,
+        lock: Mutex<()>,
+        cvar: Condvar,
+    }
+
+    /// The parking half; owned by the thread that sleeps.
+    pub struct Parker {
+        inner: Arc<Inner>,
+    }
+
+    /// The waking half; cloneable and shareable across threads.
+    #[derive(Clone)]
+    pub struct Unparker {
+        inner: Arc<Inner>,
+    }
+
+    impl std::fmt::Debug for Parker {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Parker { .. }")
+        }
+    }
+
+    impl std::fmt::Debug for Unparker {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Unparker { .. }")
+        }
+    }
+
+    impl Default for Parker {
+        fn default() -> Self {
+            Parker::new()
+        }
+    }
+
+    impl Parker {
+        /// A fresh parker with no token.
+        pub fn new() -> Parker {
+            Parker {
+                inner: Arc::new(Inner {
+                    state: AtomicU32::new(EMPTY),
+                    lock: Mutex::new(()),
+                    cvar: Condvar::new(),
+                }),
+            }
+        }
+
+        /// An [`Unparker`] that wakes this parker.
+        pub fn unparker(&self) -> Unparker {
+            Unparker {
+                inner: self.inner.clone(),
+            }
+        }
+
+        /// Block until unparked or `timeout` elapses (whichever first).
+        /// Consumes a pending token immediately without sleeping. May
+        /// also return spuriously — callers re-check their condition.
+        pub fn park_timeout(&self, timeout: Duration) {
+            let inner = &*self.inner;
+            // Fast path: a token is already available.
+            if inner
+                .state
+                .compare_exchange(NOTIFIED, EMPTY, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return;
+            }
+            let guard = inner.lock.lock().unwrap_or_else(|e| e.into_inner());
+            // Publish "parked" under the lock; an unparker that swaps in
+            // NOTIFIED now must take the lock to notify, so it cannot
+            // miss us between this store and the wait below.
+            if inner
+                .state
+                .compare_exchange(EMPTY, PARKED, Ordering::SeqCst, Ordering::SeqCst)
+                .is_err()
+            {
+                // Token arrived between the fast path and the lock.
+                inner.state.store(EMPTY, Ordering::SeqCst);
+                return;
+            }
+            let _guard = inner
+                .cvar
+                .wait_timeout(guard, timeout)
+                .unwrap_or_else(|e| e.into_inner());
+            // Consume the token (or withdraw the PARKED state on timeout).
+            inner.state.store(EMPTY, Ordering::SeqCst);
+        }
+
+        /// Block until unparked.
+        pub fn park(&self) {
+            self.park_timeout(Duration::from_secs(3600));
+        }
+    }
+
+    impl Unparker {
+        /// Deposit the token and wake the parker if it is sleeping.
+        pub fn unpark(&self) {
+            let inner = &*self.inner;
+            if inner.state.swap(NOTIFIED, Ordering::SeqCst) == PARKED {
+                // The parker set PARKED under the lock; taking it here
+                // orders this notify after its wait registration.
+                let _guard = inner.lock.lock().unwrap_or_else(|e| e.into_inner());
+                inner.cvar.notify_one();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn token_before_park_returns_immediately() {
+            let p = Parker::new();
+            p.unparker().unpark();
+            let t0 = std::time::Instant::now();
+            p.park_timeout(Duration::from_secs(5));
+            assert!(t0.elapsed() < Duration::from_secs(1));
+        }
+
+        #[test]
+        fn unpark_wakes_sleeping_thread() {
+            let p = Parker::new();
+            let u = p.unparker();
+            let h = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                u.unpark();
+            });
+            let t0 = std::time::Instant::now();
+            p.park_timeout(Duration::from_secs(10));
+            assert!(t0.elapsed() < Duration::from_secs(5));
+            h.join().unwrap();
+        }
+
+        #[test]
+        fn timeout_elapses_without_token() {
+            let p = Parker::new();
+            let t0 = std::time::Instant::now();
+            p.park_timeout(Duration::from_millis(10));
+            assert!(t0.elapsed() >= Duration::from_millis(5));
         }
     }
 }
