@@ -36,7 +36,7 @@ pub mod world;
 
 pub use ft::{run_world_ft, FtReport};
 pub use nonblocking::{Request, RESERVED_TAG_BASE};
-pub use world::{pe_of_rank, run_world, AmpiOptions};
+pub use world::{lb_batch_messages, pe_of_rank, run_world, AmpiOptions};
 
 use crate::proto::{LoadReport, RankWire, PORT_AMPI};
 use crate::world::{contribute_now, obj_of, tag_ckpt, tag_coll, tag_lb, with_rank_box, Wait};

@@ -75,6 +75,48 @@ pup_fields!(RankMove {
     stashed
 });
 
+/// The LB plan for one source PE: every rank living there paired with its
+/// destination PE. The reduction root sends ONE plan per source PE
+/// (instead of one decision wire per rank); the source wakes its stayers
+/// and packs its movers locally.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct PlanMsg {
+    pub world: u64,
+    /// LB epoch sequence number.
+    pub seq: u64,
+    /// (rank, destination PE), sorted by rank for deterministic handling.
+    pub entries: Vec<(u64, u64)>,
+}
+pup_fields!(PlanMsg { world, seq, entries });
+
+/// Header of a batched migration message: all the ranks one LB epoch moves
+/// between one (source, destination) PE pair ride a single wire message.
+/// `count` records follow, each a pup'd [`MoveRec`] immediately followed
+/// by that rank's raw `PackedThread` wire bytes.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct BatchHead {
+    pub world: u64,
+    pub count: u64,
+}
+pup_fields!(BatchHead { world, count });
+
+/// Per-rank record inside a batch: the runtime state living outside the
+/// thread's own memory (cf. [`RankMove`], which additionally carries the
+/// thread image inline for the checkpoint store).
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct MoveRec {
+    pub rank: u64,
+    pub mailbox: Vec<MailEntry>,
+    pub next_seq: Vec<(u64, u64)>,
+    pub stashed: Vec<(u64, u64, u64, Payload)>,
+}
+pup_fields!(MoveRec {
+    rank,
+    mailbox,
+    next_seq,
+    stashed
+});
+
 /// One rank's measured load, contributed to the LB reduction.
 #[derive(Debug, Default, Clone, PartialEq)]
 pub struct LoadReport {

@@ -1,7 +1,9 @@
 //! The AMPI world: rank placement, message delivery, collectives and the
 //! measurement-based load-balancing epoch.
 
-use crate::proto::{frame, LoadReport, MailEntry, RankMove, RankWire, PORT_AMPI};
+use crate::proto::{
+    frame, BatchHead, LoadReport, MailEntry, MoveRec, PlanMsg, RankMove, RankWire, PORT_AMPI,
+};
 use flows_comm::{CommLayer, ObjId, ReduceOp};
 use flows_converse::{MachineBuilder, MachineReport, Message, NetModel, Payload, Pe};
 use flows_core::{SchedConfig, StackFlavor, ThreadId, ThreadState};
@@ -12,6 +14,19 @@ use std::sync::{Arc, OnceLock};
 
 static NEXT_WORLD: AtomicU64 = AtomicU64::new(1);
 static MOVE_HANDLER: OnceLock<flows_converse::HandlerId> = OnceLock::new();
+static PLAN_HANDLER: OnceLock<flows_converse::HandlerId> = OnceLock::new();
+static BATCH_HANDLER: OnceLock<flows_converse::HandlerId> = OnceLock::new();
+
+/// Batched-migration wire messages sent by LB epochs (process-global,
+/// cumulative).
+static LB_BATCH_MSGS: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative count of batched-migration wire messages this process has
+/// sent — diagnostics for tests and benches.
+#[doc(hidden)]
+pub fn lb_batch_messages() -> u64 {
+    LB_BATCH_MSGS.load(Ordering::Relaxed)
+}
 
 #[allow(missing_docs)]
 /// What a rank's thread is currently blocked on.
@@ -292,6 +307,12 @@ pub(crate) fn run_attempt(
     let mv = mb.handler(on_rank_move);
     let stored = *MOVE_HANDLER.get_or_init(|| mv);
     assert_eq!(stored, mv, "AMPI must occupy the same handler slot in every machine");
+    let pl = mb.handler(on_lb_plan);
+    let stored = *PLAN_HANDLER.get_or_init(|| pl);
+    assert_eq!(stored, pl, "AMPI must occupy the same handler slot in every machine");
+    let bt = mb.handler(on_move_batch);
+    let stored = *BATCH_HANDLER.get_or_init(|| bt);
+    assert_eq!(stored, bt, "AMPI must occupy the same handler slot in every machine");
 
     let placement = restore
         .as_ref()
@@ -590,16 +611,29 @@ fn on_reduction(pe: &Pe, meta: &Arc<WorldMeta>, red: flows_comm::Reduction) {
             eprintln!("[lb] decisions: {migs:?}");
         }
         let dest_of: HashMap<u64, usize> = migs.iter().map(|m| (m.obj, m.to)).collect();
+        // One plan message per source PE instead of one decision wire per
+        // rank. Every reporting rank is suspended in migrate(), so the PE
+        // it reported from is where it still lives.
+        let mut plans: BTreeMap<usize, Vec<(u64, u64)>> = BTreeMap::new();
         for rep in &reports {
             let dest = dest_of.get(&rep.rank).copied().unwrap_or(rep.pe as usize);
-            let mut w = RankWire {
-                kind: 2,
-                a: red.seq,
-                b: dest as u64,
-                seq: 0,
+            plans
+                .entry(rep.pe as usize)
+                .or_default()
+                .push((rep.rank, dest as u64));
+        }
+        for (src, mut entries) in plans {
+            entries.sort_unstable(); // deterministic handling order
+            let mut p = PlanMsg {
+                world: meta.world,
+                seq: red.seq,
+                entries,
             };
-            let wire = frame(pe, &mut w, &[]);
-            flows_comm::route(pe, obj_of(meta.world, rep.rank), PORT_AMPI, wire);
+            pe.send(
+                src,
+                *PLAN_HANDLER.get().expect("registered"),
+                pe.pack_payload(&mut p),
+            );
         }
     } else {
         panic!("reduction for unknown tag {}", red.tag);
@@ -653,6 +687,105 @@ fn on_lb_decision(pe: &Pe, rank: u64, seq: u64, dest: usize) {
         *MOVE_HANDLER.get().expect("registered"),
         pe.pack_payload(&mut mv),
     );
+}
+
+/// This PE's slice of an LB plan arrived: wake the stayers; pack the
+/// movers and ship them, with every mover bound for the same destination
+/// sharing ONE wire message — a pup'd [`BatchHead`] followed by `count`
+/// ([`MoveRec`], raw `PackedThread` bytes) records.
+fn on_lb_plan(pe: &Pe, msg: Message) {
+    let plan: PlanMsg = flows_pup::from_bytes(&msg.data).expect("lb plan wire");
+    let meta = pe.ext::<AmpiState, _>(|st| st.meta.clone()).expect("meta");
+    debug_assert_eq!(plan.world, meta.world);
+    let mut batches: BTreeMap<usize, Vec<(MoveRec, flows_core::PackedThread)>> = BTreeMap::new();
+    for &(rank, dest) in &plan.entries {
+        let dest = dest as usize;
+        if dest == pe.id() {
+            // Staying: wake the rank, roll its load epoch.
+            let tid = pe.ext::<AmpiState, _>(|st| {
+                let b = st.ranks.get_mut(&rank).expect("plan for missing rank");
+                assert!(
+                    matches!(b.wait, Wait::Lb { seq: s } if s == plan.seq),
+                    "rank {rank} got an LB plan it was not waiting for"
+                );
+                b.wait = Wait::None;
+                b.tid
+            });
+            pe.sched().reset_load_tid(tid);
+            pe.sched().awaken_tid(tid).expect("awaken stayer");
+            continue;
+        }
+        // Moving: pack the thread and its runtime state, queue it on the
+        // destination's batch.
+        let bx = pe.ext::<AmpiState, _>(|st| {
+            st.moves_out += 1;
+            st.ranks.remove(&rank).expect("plan for missing rank")
+        });
+        assert_eq!(
+            pe.sched().state(bx.tid),
+            Some(ThreadState::Suspended),
+            "rank {rank} must be suspended at its migrate() point"
+        );
+        let packed = pe.sched().pack_thread(bx.tid).expect("pack rank thread");
+        flows_comm::migrate_obj_out(pe, obj_of(meta.world, rank), dest);
+        let rec = MoveRec {
+            rank,
+            mailbox: bx.mailbox.into_iter().collect(),
+            next_seq: bx.next_seq.into_iter().collect(),
+            stashed: bx
+                .stashed
+                .into_iter()
+                .map(|((src, seq), (tag, data))| (src, seq, tag, data))
+                .collect(),
+        };
+        batches.entry(dest).or_default().push((rec, packed));
+    }
+    for (dest, movers) in batches {
+        let mut head = BatchHead {
+            world: meta.world,
+            count: movers.len() as u64,
+        };
+        let cap = movers.iter().map(|(_, p)| p.payload_len() + 256).sum::<usize>();
+        let mut buf = pe.payload_buf_with_capacity(32 + cap);
+        flows_pup::pack_into(&mut head, buf.vec_mut());
+        for (mut rec, packed) in movers {
+            flows_pup::pack_into(&mut rec, buf.vec_mut());
+            packed.pack_into(buf.vec_mut());
+        }
+        LB_BATCH_MSGS.fetch_add(1, Ordering::Relaxed);
+        pe.send(dest, *BATCH_HANDLER.get().expect("registered"), buf.freeze());
+    }
+}
+
+/// A batch of migrated ranks arrives: parse the records sequentially —
+/// each thread image lands as a zero-copy slice of the arrival buffer.
+fn on_move_batch(pe: &Pe, msg: Message) {
+    let (head, mut off): (BatchHead, usize) =
+        flows_pup::from_bytes_prefix(&msg.data).expect("batch head");
+    for _ in 0..head.count {
+        let (rec, used): (MoveRec, usize) =
+            flows_pup::from_bytes_prefix(&msg.data[off..]).expect("move rec");
+        off += used;
+        let (packed, consumed) =
+            flows_core::PackedThread::from_payload(&msg.data, off).expect("batched thread");
+        off += consumed;
+        let tid = pe.sched().unpack_thread(packed).expect("unpack batched rank");
+        let mut bx = RankBox::new(tid);
+        bx.mailbox = rec.mailbox.into();
+        bx.next_seq = rec.next_seq.into_iter().collect();
+        bx.stashed = rec
+            .stashed
+            .into_iter()
+            .map(|(src, seq, tag, data)| ((src, seq), (tag, data)))
+            .collect();
+        pe.ext::<AmpiState, _>(|st| {
+            st.ranks.insert(rec.rank, bx);
+        });
+        flows_comm::migrate_obj_in(pe, obj_of(head.world, rec.rank));
+        pe.sched().reset_load_tid(tid);
+        pe.sched().awaken_tid(tid).expect("awaken migrated rank");
+    }
+    debug_assert_eq!(off, msg.data.len(), "trailing bytes in migration batch");
 }
 
 /// A migrated rank arrives.

@@ -1,0 +1,224 @@
+//! Scheduler & migration fast-path microbenchmarks: context-switch
+//! latency, thread create/exit churn, and threads-migrated/sec for every
+//! stack flavor.
+//!
+//! Writes `BENCH_sched.json` (ops/sec and ns/op per scenario, with the
+//! pre-fast-path baseline and speedup where one was recorded).
+//!
+//! `--fast` shrinks every window (smoke mode); `--json PATH` overrides
+//! the output path.
+
+use flows_bench::{arg_flag, arg_val, bench_pools, uthread_switch_bench, Table};
+use flows_core::{suspend, SchedConfig, Scheduler, SharedPools, StackFlavor};
+use std::cell::Cell;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Rates measured immediately before the scheduler/migration fast path
+/// landed (BinaryHeap run queue, GlobalsLayout Arc clones per swap,
+/// mmap/munmap per thread create/exit, triple-copy PackedThread wire),
+/// on this reproduction host. Keyed (scenario, flavor) → ops/sec.
+const BASELINE: &[(&str, &str, f64)] = &[
+    ("ctx_switch", "standard", 1_848_814.0),
+    ("ctx_switch", "stack-copy", 1_804_705.0),
+    ("ctx_switch", "isomalloc", 1_911_623.0),
+    ("ctx_switch", "memory-alias", 191_684.0),
+    ("churn", "standard", 528_358.0),
+    ("churn", "stack-copy", 1_377_880.0),
+    ("churn", "isomalloc", 114_040.0),
+    ("churn", "memory-alias", 96_217.0),
+    ("migrate", "stack-copy", 62_076.0),
+    ("migrate", "isomalloc", 34_786.0),
+    ("migrate", "memory-alias", 50.3),
+];
+
+fn baseline_of(s: &Scenario) -> Option<f64> {
+    BASELINE
+        .iter()
+        .find(|b| b.0 == s.name && b.1 == s.flavor && b.2 > 0.0)
+        .map(|b| b.2)
+}
+
+struct Scenario {
+    name: &'static str,
+    flavor: &'static str,
+    ops: u64,
+    wall_ns: u64,
+}
+
+impl Scenario {
+    fn ns_per_op(&self) -> f64 {
+        self.wall_ns as f64 / self.ops.max(1) as f64
+    }
+    fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 * 1e9 / self.wall_ns.max(1) as f64
+    }
+}
+
+const STACK_LEN: usize = 32 * 1024;
+
+fn pools(pes: usize) -> Arc<SharedPools> {
+    bench_pools(pes, 1 << 20, 1 << 20, 512)
+}
+
+/// Context-switch latency: `flows` threads yield in a circle for a wall
+/// window; ops = scheduler-counted switches.
+fn ctx_switch(flavor: StackFlavor, flows: usize, window_ms: u64) -> Scenario {
+    let (ns, switches) = uthread_switch_bench(flavor, flows, STACK_LEN, window_ms, pools(1));
+    Scenario {
+        name: "ctx_switch",
+        flavor: flavor.name(),
+        ops: switches,
+        wall_ns: (ns * switches as f64) as u64,
+    }
+}
+
+/// Thread create/exit churn: spawn a batch of trivial threads, run them
+/// to completion, repeat for a wall window; ops = threads created+reaped.
+fn churn(flavor: StackFlavor, batch: usize, window_ms: u64) -> Scenario {
+    let shared = pools(1);
+    let sched = Scheduler::new(0, shared, SchedConfig::default());
+    let spawn_batch = |sched: &Scheduler| {
+        for _ in 0..batch {
+            sched
+                .spawn_with(flavor, STACK_LEN, || {})
+                .expect("spawn churn thread");
+        }
+        sched.run();
+    };
+    spawn_batch(&sched); // warmup: prime any caches
+    let t0 = Instant::now();
+    let window = Duration::from_millis(window_ms);
+    let mut ops = 0u64;
+    while t0.elapsed() < window {
+        spawn_batch(&sched);
+        ops += batch as u64;
+    }
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    assert_eq!(sched.thread_count(), 0, "churn left live threads");
+    Scenario {
+        name: "churn",
+        flavor: flavor.name(),
+        ops,
+        wall_ns,
+    }
+}
+
+/// Migration throughput: `threads` suspended workers bounce between two
+/// PEs via the full pack → wire bytes → unpack path for a wall window;
+/// ops = threads migrated. Afterwards every worker must still finish
+/// correctly on whichever PE it ended up on.
+fn migrate(flavor: StackFlavor, threads: usize, window_ms: u64) -> Scenario {
+    let shared = pools(2);
+    let pe: Vec<Scheduler> = (0..2)
+        .map(|i| Scheduler::new(i, shared.clone(), SchedConfig::default()))
+        .collect();
+    let stop = Rc::new(Cell::new(false));
+    let done = Rc::new(Cell::new(0u32));
+    let mut tids = Vec::new();
+    for _ in 0..threads {
+        let stop = stop.clone();
+        let done = done.clone();
+        let tid = pe[0]
+            .spawn_with(flavor, STACK_LEN, move || {
+                while !stop.get() {
+                    suspend(); // ---- migrations happen here ----
+                }
+                done.set(done.get() + 1);
+            })
+            .expect("spawn migration worker");
+        tids.push(tid);
+    }
+    pe[0].run(); // everyone suspended, stacks live
+    let mut src = 0usize;
+    let hop = |src: usize, count: &mut u64| {
+        let dst = 1 - src;
+        for &tid in &tids {
+            let packed = pe[src].pack_thread(tid).expect("pack");
+            let bytes = packed.to_bytes();
+            let arrived = flows_core::PackedThread::from_bytes(&bytes).expect("wire");
+            pe[dst].unpack_thread(arrived).expect("unpack");
+            *count += 1;
+        }
+    };
+    let mut warm = 0u64;
+    hop(src, &mut warm); // warmup round trip
+    hop(1 - src, &mut warm);
+    let t0 = Instant::now();
+    let window = Duration::from_millis(window_ms);
+    let mut ops = 0u64;
+    while t0.elapsed() < window {
+        hop(src, &mut ops);
+        src = 1 - src;
+    }
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    // The moved threads must still be intact: wake them where they sit.
+    stop.set(true);
+    for &tid in &tids {
+        pe[src].awaken_tid(tid).expect("awaken after migration");
+    }
+    pe[src].run();
+    assert_eq!(done.get(), threads as u32, "migrated threads lost work");
+    Scenario {
+        name: "migrate",
+        flavor: flavor.name(),
+        ops,
+        wall_ns,
+    }
+}
+
+fn main() {
+    let fast = arg_flag("fast");
+    let json_path = arg_val("json").unwrap_or_else(|| "BENCH_sched.json".into());
+    let w = if fast { 40 } else { 250 };
+
+    let mut results: Vec<Scenario> = Vec::new();
+    for flavor in StackFlavor::ALL {
+        results.push(ctx_switch(flavor, 16, w));
+    }
+    for flavor in StackFlavor::ALL {
+        results.push(churn(flavor, 64, w));
+    }
+    for flavor in [StackFlavor::StackCopy, StackFlavor::Isomalloc, StackFlavor::Alias] {
+        results.push(migrate(flavor, 32, w));
+    }
+
+    let mut t = Table::new(&["scenario", "flavor", "ops", "ns/op", "ops/sec", "speedup"]);
+    for s in &results {
+        t.row(vec![
+            s.name.into(),
+            s.flavor.into(),
+            s.ops.to_string(),
+            format!("{:.0}", s.ns_per_op()),
+            format!("{:.0}", s.ops_per_sec()),
+            baseline_of(s)
+                .map(|b| format!("{:.2}x", s.ops_per_sec() / b))
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    t.print("sched_migrate: scheduler & migration fast-path micro-benchmarks");
+
+    let mut json = String::from("{\n  \"bench\": \"sched_migrate\",\n  \"results\": [\n");
+    for (i, s) in results.iter().enumerate() {
+        let base = baseline_of(s);
+        json.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"flavor\": \"{}\", \"ops\": {}, \"wall_ns\": {}, \
+             \"ns_per_op\": {:.1}, \"ops_per_sec\": {:.1}, \"baseline_ops_per_sec\": {}, \
+             \"speedup\": {}}}{}\n",
+            s.name,
+            s.flavor,
+            s.ops,
+            s.wall_ns,
+            s.ns_per_op(),
+            s.ops_per_sec(),
+            base.map(|b| format!("{b:.1}")).unwrap_or_else(|| "null".into()),
+            base.map(|b| format!("{:.3}", s.ops_per_sec() / b))
+                .unwrap_or_else(|| "null".into()),
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&json_path, json).expect("write bench json");
+    println!("\nwrote {json_path}");
+}

@@ -7,26 +7,35 @@
 //! all three migratable flavors guarantee the stack executes at the same
 //! virtual address on the destination, so every pointer in the image stays
 //! valid (the paper's central trick).
+//!
+//! ### Wire format
+//! A packed thread is a PUP'd [`Head`] followed by a *raw* flavor payload
+//! whose length is the head's last field. The payload is held as an
+//! Arc-backed [`Payload`], so the pack side writes the thread's bytes once
+//! (straight from the arena into a pooled message buffer), the transport
+//! shares the buffer by refcount, and the unpack side copies once into the
+//! destination arena. Batched migrations concatenate these records and
+//! parse them back with [`PackedThread::from_payload`] — zero-copy slices
+//! of the one incoming message.
 
+use crate::payload::Payload;
 use crate::scheduler::Scheduler;
 use crate::tcb::{FlavorData, StackFlavor, Tcb, ThreadId, ThreadState};
 use flows_arch::{Context, SwapKind};
+use flows_mem::slab::STACK_RED_ZONE;
 use flows_pup::{pup_fields, Pup};
 use flows_sys::error::{SysError, SysResult};
 
-/// A thread serialized for migration (opaque PUP image).
+/// A thread serialized for migration: a self-describing head plus the raw
+/// flavor payload (stack/heap bytes) behind a refcounted buffer.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct PackedThread {
-    wire: Wire,
-}
-impl Pup for PackedThread {
-    fn pup(&mut self, p: &mut flows_pup::Puper) {
-        self.wire.pup(p);
-    }
+    head: Head,
+    payload: Payload,
 }
 
 #[derive(Debug, Clone, Default, PartialEq)]
-struct Wire {
+struct Head {
     id: ThreadId,
     swap_kind: u8,
     flavor: u8,
@@ -35,9 +44,11 @@ struct Wire {
     load_ns: u64,
     priority: i32,
     globals: Option<Vec<u8>>,
-    payload: Vec<u8>,
+    /// Byte length of the raw payload that follows the head on the wire.
+    /// Kept as the last head field so the wire layout is head ++ payload.
+    payload_len: u64,
 }
-pup_fields!(Wire {
+pup_fields!(Head {
     id,
     swap_kind,
     flavor,
@@ -46,8 +57,41 @@ pup_fields!(Wire {
     load_ns,
     priority,
     globals,
-    payload
+    payload_len
 });
+
+/// PUP traversal matching the wire format exactly (head, then raw tail) so
+/// checkpoints embedding `Vec<PackedThread>` serialize identically to the
+/// migration path.
+impl Pup for PackedThread {
+    fn pup(&mut self, p: &mut flows_pup::Puper) {
+        self.head.pup(p);
+        if p.is_unpacking() {
+            let n = self.head.payload_len as usize;
+            // Guard against hostile length prefixes: grow in chunks so a
+            // corrupt head hits Truncated before a giant allocation.
+            let mut v: Vec<u8> = Vec::with_capacity(n.min(64 * 1024));
+            while v.len() < n {
+                if p.has_error() {
+                    self.payload = Payload::empty();
+                    return;
+                }
+                let start = v.len();
+                let chunk = (n - start).min(64 * 1024);
+                v.resize(start + chunk, 0);
+                p.raw(&mut v[start..]);
+            }
+            if p.has_error() {
+                self.payload = Payload::empty();
+                return;
+            }
+            self.payload = Payload::from_vec(v);
+        } else {
+            let mut tmp = self.payload.to_vec();
+            p.raw(&mut tmp);
+        }
+    }
+}
 
 fn kind_tag(k: SwapKind) -> u8 {
     match k {
@@ -78,31 +122,82 @@ fn flavor_tag(f: StackFlavor) -> u8 {
 impl PackedThread {
     /// The migrating thread's id.
     pub fn id(&self) -> ThreadId {
-        self.wire.id
+        self.head.id
     }
 
     /// Bytes in the image payload (stack + heap data).
     pub fn payload_len(&self) -> usize {
-        self.wire.payload.len()
+        self.payload.len()
+    }
+
+    /// The raw payload, sharable by refcount (for transports that frame
+    /// the head and tail themselves).
+    pub fn payload(&self) -> &Payload {
+        &self.payload
     }
 
     /// Measured CPU load (ns) of the thread's current epoch, captured at
     /// pack time. Lets a restart path feed real loads to a load balancer
     /// when placing restored threads.
     pub fn load_ns(&self) -> u64 {
-        self.wire.load_ns
+        self.head.load_ns
+    }
+
+    /// Append the wire image (head ++ raw payload) to `out`; returns the
+    /// bytes appended. This is how batched migration packs several threads
+    /// into one message.
+    pub fn pack_into(&self, out: &mut Vec<u8>) -> usize {
+        let start = out.len();
+        let mut head = self.head.clone();
+        flows_pup::pack_into(&mut head, out);
+        out.extend_from_slice(self.payload.as_slice());
+        out.len() - start
     }
 
     /// Serialize to raw bytes (for shipping through a message layer).
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut me = self.clone();
-        flows_pup::to_bytes(&mut me)
+        let mut out = Vec::with_capacity(64 + self.payload.len());
+        self.pack_into(&mut out);
+        out
     }
 
-    /// Deserialize from raw bytes.
+    /// Deserialize from raw bytes (copies the payload; use
+    /// [`PackedThread::from_payload`] to share an incoming buffer instead).
     pub fn from_bytes(bytes: &[u8]) -> SysResult<PackedThread> {
-        flows_pup::from_bytes(bytes)
-            .map_err(|e| SysError::logic("packed_thread", format!("corrupt: {e}")))
+        let (head, used): (Head, usize) = flows_pup::from_bytes_prefix(bytes)
+            .map_err(|e| SysError::logic("packed_thread", format!("corrupt: {e}")))?;
+        if bytes.len() - used != head.payload_len as usize {
+            return Err(SysError::logic(
+                "packed_thread",
+                format!(
+                    "payload length mismatch: head says {}, got {}",
+                    head.payload_len,
+                    bytes.len() - used
+                ),
+            ));
+        }
+        Ok(PackedThread {
+            payload: Payload::from(&bytes[used..]),
+            head,
+        })
+    }
+
+    /// Parse one packed thread starting at `offset` of a shared buffer.
+    /// The payload becomes a zero-copy slice of `wire`. Returns the thread
+    /// and the bytes consumed, so callers walk a concatenation of records.
+    pub fn from_payload(wire: &Payload, offset: usize) -> SysResult<(PackedThread, usize)> {
+        let s = &wire.as_slice()[offset..];
+        let (head, used): (Head, usize) = flows_pup::from_bytes_prefix(s)
+            .map_err(|e| SysError::logic("packed_thread", format!("corrupt: {e}")))?;
+        let plen = head.payload_len as usize;
+        if s.len() - used < plen {
+            return Err(SysError::logic(
+                "packed_thread",
+                format!("truncated payload: head says {plen}, {} left", s.len() - used),
+            ));
+        }
+        let payload = wire.slice(offset + used..offset + used + plen);
+        Ok((PackedThread { head, payload }, used + plen))
     }
 }
 
@@ -154,25 +249,48 @@ impl Scheduler {
                 image: flows_mem::CopyStack::new(),
             },
         );
-        let payload = match data {
-            FlavorData::Iso { slab } => slab.pack(sp)?,
-            FlavorData::Copy { mut image } => flows_pup::to_bytes(&mut image),
+        // One copy: straight from the thread's memory into a pooled
+        // message buffer (shared by refcount all the way to the wire).
+        let mut buf = inner
+            .shared
+            .payload_pool(inner.pe)
+            .buf_with_capacity(4 * 1024);
+        let out = buf.vec_mut();
+        match data {
+            FlavorData::Iso { slab } => {
+                slab.pack_into(sp, out)?;
+            }
+            FlavorData::Copy { image } => {
+                out.extend_from_slice(image.saved());
+            }
             FlavorData::Alias { frame } => {
                 let mut pool = inner.shared.alias().lock();
-                if pool.active() == Some(frame) {
-                    // The scheduler leaves the last-run frame mapped; undo
-                    // that before taking the frame away.
-                    pool.deactivate()?;
+                let top = pool.window_top();
+                let base = top - pool.frame_len();
+                if sp < base || sp > top {
+                    return Err(SysError::logic(
+                        "pack",
+                        format!("{tid}: sp {sp:#x} outside the alias window"),
+                    ));
                 }
-                let bytes = pool.read_frame(frame)?;
-                pool.free_frame(frame)?;
-                bytes
+                // Only the live suffix travels; the rest of the frame is
+                // zero by construction (frames recycle hole-punched).
+                let floor = sp.saturating_sub(STACK_RED_ZONE).max(base);
+                pool.read_frame_tail_into(frame, top - floor, out)?;
+                if pool.active() == Some(frame) {
+                    // The scheduler leaves the last-run frame mapped; the
+                    // retirement path frees it without remapping.
+                    pool.retire_active()?;
+                } else {
+                    pool.free_frame(frame)?;
+                }
             }
             FlavorData::Standard { .. } => unreachable!("checked migratable"),
-        };
+        }
+        let payload = buf.freeze();
         inner.stats.migrations_out += 1;
         Ok(PackedThread {
-            wire: Wire {
+            head: Head {
                 id: tid,
                 swap_kind: kind_tag(tcb.ctx.kind()),
                 flavor: flavor_tag(flavor),
@@ -181,8 +299,9 @@ impl Scheduler {
                 load_ns: tcb.load_ns,
                 priority: tcb.priority,
                 globals: tcb.globals.take(),
-                payload,
+                payload_len: payload.len() as u64,
             },
+            payload,
         })
     }
 
@@ -191,7 +310,13 @@ impl Scheduler {
     pub fn unpack_thread(&self, packed: PackedThread) -> SysResult<ThreadId> {
         // SAFETY: single-OS-thread access between context switches.
         let inner = unsafe { &mut *self.inner_ptr() };
-        let w = packed.wire;
+        let PackedThread { head: w, payload } = packed;
+        if payload.len() != w.payload_len as usize {
+            return Err(SysError::logic(
+                "unpack",
+                "payload length disagrees with head".into(),
+            ));
+        }
         if inner.threads.contains_key(&w.id) {
             return Err(SysError::logic(
                 "unpack",
@@ -211,13 +336,12 @@ impl Scheduler {
         }
         let (flavor, sp) = match w.flavor {
             0 => {
-                let image: flows_mem::CopyStack = flows_pup::from_bytes(&w.payload)
-                    .map_err(|e| SysError::logic("unpack", format!("copy image: {e}")))?;
+                let image = flows_mem::CopyStack::from_saved(payload.to_vec());
                 (FlavorData::Copy { image }, w.sp as usize)
             }
             1 => {
                 let (slab, sp) =
-                    flows_mem::ThreadSlab::unpack(inner.shared.region(), &w.payload)?;
+                    flows_mem::ThreadSlab::unpack(inner.shared.region(), payload.as_slice())?;
                 if sp != w.sp as usize {
                     return Err(SysError::logic("unpack", "sp mismatch in image".into()));
                 }
@@ -225,9 +349,31 @@ impl Scheduler {
             }
             2 => {
                 let mut pool = inner.shared.alias().lock();
+                let top = pool.window_top();
+                let base = top - pool.frame_len();
+                let sp = w.sp as usize;
+                if sp < base || sp > top {
+                    return Err(SysError::logic(
+                        "unpack",
+                        format!("sp {sp:#x} outside the alias window"),
+                    ));
+                }
+                let floor = sp.saturating_sub(STACK_RED_ZONE).max(base);
+                if payload.len() != top - floor {
+                    return Err(SysError::logic(
+                        "unpack",
+                        format!(
+                            "alias image is {} bytes, sp implies {}",
+                            payload.len(),
+                            top - floor
+                        ),
+                    ));
+                }
                 let frame = pool.alloc_frame()?;
-                pool.write_frame(frame, &w.payload)?;
-                (FlavorData::Alias { frame }, w.sp as usize)
+                // Freshly allocated frames read zero below the tail, so
+                // writing the live suffix reconstructs the whole frame.
+                pool.write_frame_tail(frame, payload.as_slice())?;
+                (FlavorData::Alias { frame }, sp)
             }
             _ => return Err(SysError::logic("unpack", "bad flavor tag".into())),
         };

@@ -18,7 +18,7 @@
 use flows_pup::{Pup, Puper};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 
 /// Retained buffers per pool before excess buffers are simply freed.
 const DEFAULT_MAX_FREE: usize = 256;
@@ -197,18 +197,27 @@ impl PayloadBuf {
         self.data.is_empty()
     }
 
-    /// Promote into an immutable shared [`Payload`]. The buffer moves;
-    /// no bytes are copied (the pool handle travels along so the bytes
-    /// are recycled when the payload fully drops).
+    /// Promote into an immutable shared [`Payload`]. Over [`INLINE_CAP`]
+    /// bytes the buffer moves — no copy — and the pool handle travels
+    /// along so the bytes are recycled when the payload fully drops. At
+    /// or below the threshold the bytes are copied inline and the buffer
+    /// goes straight back to its pool, skipping the Arc allocation and
+    /// the later (possibly cross-PE) pool return.
     pub fn freeze(mut self) -> Payload {
         let len = self.data.len();
+        if len <= INLINE_CAP {
+            // Dropping `self` returns the buffer to its pool.
+            return Payload::inline_from(&self.data);
+        }
         Payload {
-            backing: Arc::new(Backing {
-                data: std::mem::take(&mut self.data),
-                pool: self.pool.take(),
-            }),
-            off: 0,
-            len,
+            repr: Repr::Shared {
+                backing: Arc::new(Backing {
+                    data: std::mem::take(&mut self.data),
+                    pool: self.pool.take(),
+                }),
+                off: 0,
+                len,
+            },
         }
     }
 }
@@ -240,83 +249,117 @@ impl std::ops::DerefMut for PayloadBuf {
     }
 }
 
-fn empty_backing() -> Arc<Backing> {
-    static EMPTY: OnceLock<Arc<Backing>> = OnceLock::new();
-    EMPTY
-        .get_or_init(|| {
-            Arc::new(Backing {
-                data: Vec::new(),
-                pool: None,
-            })
-        })
-        .clone()
+/// Payloads at or below this many bytes are stored inline in the
+/// [`Payload`] value itself — no `Arc`, no pool round-trip. Small control
+/// messages (acks, decisions, fan-in contributions) are the common case,
+/// and for them the refcount allocation plus the pool's mutex (contended
+/// when many senders target one PE) costs more than copying the bytes.
+pub const INLINE_CAP: usize = 64;
+
+enum Repr {
+    /// Small payload, stored by value. Clone copies the array; drop is
+    /// free.
+    Inline { len: u8, bytes: [u8; INLINE_CAP] },
+    /// Large payload, a view of a shared backing buffer.
+    Shared {
+        backing: Arc<Backing>,
+        off: usize,
+        len: usize,
+    },
 }
 
 /// An immutable, cheaply clonable byte buffer — the machine's message
-/// payload type. `Clone` bumps a refcount; [`Payload::slice`] makes
-/// zero-copy subviews; `Deref<Target = [u8]>` gives slice access.
+/// payload type. Payloads over [`INLINE_CAP`] bytes are `Arc`-backed:
+/// `Clone` bumps a refcount and [`Payload::slice`] makes zero-copy
+/// subviews. At or below the threshold the bytes live inline in the value
+/// (copied on clone/slice, but allocation- and lock-free).
+/// `Deref<Target = [u8]>` gives slice access either way.
 pub struct Payload {
-    backing: Arc<Backing>,
-    off: usize,
-    len: usize,
+    repr: Repr,
 }
 
 impl Payload {
     /// The empty payload (no allocation).
     pub fn empty() -> Payload {
+        Payload::inline_from(&[])
+    }
+
+    fn inline_from(src: &[u8]) -> Payload {
+        debug_assert!(src.len() <= INLINE_CAP);
+        let mut bytes = [0u8; INLINE_CAP];
+        bytes[..src.len()].copy_from_slice(src);
         Payload {
-            backing: empty_backing(),
-            off: 0,
-            len: 0,
+            repr: Repr::Inline {
+                len: src.len() as u8,
+                bytes,
+            },
         }
     }
 
-    /// Wrap an owned `Vec` without copying.
+    /// Wrap an owned `Vec`. Over [`INLINE_CAP`] bytes: no copy; at or
+    /// below: the bytes are copied inline and the `Vec` dropped.
     pub fn from_vec(v: Vec<u8>) -> Payload {
+        if v.len() <= INLINE_CAP {
+            return Payload::inline_from(&v);
+        }
         let len = v.len();
         Payload {
-            backing: Arc::new(Backing {
-                data: v,
-                pool: None,
-            }),
-            off: 0,
-            len,
+            repr: Repr::Shared {
+                backing: Arc::new(Backing {
+                    data: v,
+                    pool: None,
+                }),
+                off: 0,
+                len,
+            },
         }
     }
 
     /// Byte length of this view.
     pub fn len(&self) -> usize {
-        self.len
+        match &self.repr {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Shared { len, .. } => *len,
+        }
     }
 
     /// Is this view empty?
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.len() == 0
     }
 
     /// The bytes of this view.
     pub fn as_slice(&self) -> &[u8] {
-        &self.backing.data[self.off..self.off + self.len]
-    }
-
-    /// A zero-copy subview of `range` (relative to this view). Panics on
-    /// an out-of-bounds range, like slice indexing.
-    pub fn slice(&self, range: std::ops::Range<usize>) -> Payload {
-        assert!(
-            range.start <= range.end && range.end <= self.len,
-            "slice {range:?} out of payload of {} bytes",
-            self.len
-        );
-        Payload {
-            backing: self.backing.clone(),
-            off: self.off + range.start,
-            len: range.end - range.start,
+        match &self.repr {
+            Repr::Inline { len, bytes } => &bytes[..*len as usize],
+            Repr::Shared { backing, off, len } => &backing.data[*off..*off + *len],
         }
     }
 
-    /// A zero-copy subview from `start` to the end.
+    /// A subview of `range` (relative to this view): zero-copy on a
+    /// shared payload, a byte copy on an inline one. Panics on an
+    /// out-of-bounds range, like slice indexing.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Payload {
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice {range:?} out of payload of {} bytes",
+            self.len()
+        );
+        match &self.repr {
+            Repr::Inline { .. } => Payload::inline_from(&self.as_slice()[range]),
+            Repr::Shared { backing, off, .. } => Payload {
+                repr: Repr::Shared {
+                    backing: backing.clone(),
+                    off: off + range.start,
+                    len: range.end - range.start,
+                },
+            },
+        }
+    }
+
+    /// A subview from `start` to the end (see [`Payload::slice`]).
     pub fn slice_from(&self, start: usize) -> Payload {
-        self.slice(start..self.len)
+        self.slice(start..self.len())
     }
 
     /// Copy the bytes out into a fresh `Vec`.
@@ -326,35 +369,56 @@ impl Payload {
 
     /// Extract the bytes, avoiding the copy when this is the only view of
     /// a whole, pool-less buffer (pooled buffers are copied so the
-    /// backing store still returns to its pool).
+    /// backing store still returns to its pool; inline payloads always
+    /// copy — there is no heap buffer to steal).
     pub fn into_vec(self) -> Vec<u8> {
-        if self.off == 0 && self.len == self.backing.data.len() && self.backing.pool.is_none() {
-            match Arc::try_unwrap(self.backing) {
-                Ok(mut backing) => return std::mem::take(&mut backing.data),
-                Err(backing) => return backing.data.to_vec(),
+        if let Repr::Shared { backing, off, len } = self.repr {
+            if off == 0 && len == backing.data.len() && backing.pool.is_none() {
+                return match Arc::try_unwrap(backing) {
+                    Ok(mut backing) => std::mem::take(&mut backing.data),
+                    Err(backing) => backing.data.to_vec(),
+                };
             }
+            return backing.data[off..off + len].to_vec();
         }
         self.to_vec()
     }
 
     /// Do two payloads share the same backing buffer? (Aliasing probe for
-    /// tests: `clone` and `slice` share; `to_vec` round trips do not.)
+    /// tests: `clone` and `slice` of payloads over [`INLINE_CAP`] bytes
+    /// share; inline payloads never do.)
     pub fn same_backing(&self, other: &Payload) -> bool {
-        Arc::ptr_eq(&self.backing, &other.backing)
+        match (&self.repr, &other.repr) {
+            (Repr::Shared { backing: a, .. }, Repr::Shared { backing: b, .. }) => {
+                Arc::ptr_eq(a, b)
+            }
+            _ => false,
+        }
     }
 
-    /// How many views share this backing buffer.
+    /// How many views share this backing buffer (1 for inline payloads).
     pub fn ref_count(&self) -> usize {
-        Arc::strong_count(&self.backing)
+        match &self.repr {
+            Repr::Inline { .. } => 1,
+            Repr::Shared { backing, .. } => Arc::strong_count(backing),
+        }
     }
 }
 
 impl Clone for Payload {
     fn clone(&self) -> Payload {
         Payload {
-            backing: self.backing.clone(),
-            off: self.off,
-            len: self.len,
+            repr: match &self.repr {
+                Repr::Inline { len, bytes } => Repr::Inline {
+                    len: *len,
+                    bytes: *bytes,
+                },
+                Repr::Shared { backing, off, len } => Repr::Shared {
+                    backing: backing.clone(),
+                    off: *off,
+                    len: *len,
+                },
+            },
         }
     }
 }
@@ -380,8 +444,10 @@ impl AsRef<[u8]> for Payload {
 
 impl std::fmt::Debug for Payload {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Payload({} bytes", self.len)?;
-        if self.ref_count() > 1 {
+        write!(f, "Payload({} bytes", self.len())?;
+        if matches!(self.repr, Repr::Inline { .. }) {
+            write!(f, ", inline")?;
+        } else if self.ref_count() > 1 {
             write!(f, ", {} refs", self.ref_count())?;
         }
         write!(f, ")")
@@ -448,12 +514,23 @@ impl<const N: usize> PartialEq<[u8; N]> for Payload {
 /// (length-prefixed raw bytes, like `Vec<u8>` but bulk, not per-element).
 impl Pup for Payload {
     fn pup(&mut self, p: &mut Puper) {
-        let mut n = self.len as u64;
+        let mut n = self.len() as u64;
         n.pup(p);
         if p.is_unpacking() {
+            let n = n as usize;
+            if n <= INLINE_CAP {
+                // Small payloads unpack straight into the inline array.
+                let mut bytes = [0u8; INLINE_CAP];
+                p.raw(&mut bytes[..n]);
+                *self = if p.has_error() {
+                    Payload::empty()
+                } else {
+                    Payload::inline_from(&bytes[..n])
+                };
+                return;
+            }
             // Guard against hostile length prefixes: grow in chunks so a
             // corrupt header hits Truncated before a giant allocation.
-            let n = n as usize;
             let mut v: Vec<u8> = Vec::with_capacity(n.min(64 * 1024));
             while v.len() < n {
                 if p.has_error() {
@@ -487,25 +564,58 @@ mod tests {
 
     #[test]
     fn clone_and_slice_share_backing() {
-        let p: Payload = vec![1u8, 2, 3, 4, 5].into();
+        // Over INLINE_CAP bytes: views alias one Arc-backed buffer.
+        let v: Vec<u8> = (0..100).collect();
+        let p: Payload = v.clone().into();
         let q = p.clone();
         assert!(p.same_backing(&q));
         assert_eq!(p, q);
         let tail = p.slice_from(2);
         assert!(tail.same_backing(&p));
-        assert_eq!(tail, [3u8, 4, 5]);
-        assert_eq!(tail.slice(1..2), [4u8]);
+        assert_eq!(tail, v[2..]);
+        assert_eq!(tail.slice(1..2), [3u8]);
+    }
+
+    #[test]
+    fn small_payloads_are_inline() {
+        // At or below INLINE_CAP: no Arc, no sharing, still equal bytes.
+        let p: Payload = vec![1u8, 2, 3, 4, 5].into();
+        let q = p.clone();
+        assert!(!p.same_backing(&q), "inline payloads never share");
+        assert_eq!(p.ref_count(), 1);
+        assert_eq!(p, q);
+        assert_eq!(p.slice(1..4), [2u8, 3, 4]);
+        assert_eq!(p.slice_from(3), [4u8, 5]);
+        assert_eq!(p.to_vec(), vec![1, 2, 3, 4, 5]);
+        assert_eq!(Payload::empty().len(), 0);
+
+        // Freezing a small pooled buffer inlines the bytes and returns
+        // the buffer to the pool immediately — the whole small-message
+        // round trip does one pool draw and zero Arc allocations.
+        let pool = PayloadPool::new(16, 8);
+        let mut b = pool.buf();
+        b.extend_from_slice(b"ack");
+        let p = b.freeze();
+        assert_eq!(p, b"ack".to_vec());
+        assert_eq!(pool.stats().returns, 1, "buffer went home at freeze");
+        assert_eq!(pool.stats().free_now, 1);
+
+        // The boundary: INLINE_CAP bytes inline, INLINE_CAP + 1 share.
+        let at: Payload = vec![7u8; INLINE_CAP].into();
+        assert!(!at.same_backing(&at.clone()));
+        let over: Payload = vec![7u8; INLINE_CAP + 1].into();
+        assert!(over.same_backing(&over.clone()));
     }
 
     #[test]
     fn freeze_promotes_without_copy() {
         let pool = PayloadPool::new(64, 8);
         let mut buf = pool.buf();
-        buf.extend_from_slice(b"hello");
+        buf.extend_from_slice(&[9u8; 100]);
         let base = buf.as_ptr() as usize;
         let p = buf.freeze();
         assert_eq!(p.as_slice().as_ptr() as usize, base, "no copy on freeze");
-        assert_eq!(p, b"hello".to_vec());
+        assert_eq!(p, vec![9u8; 100]);
     }
 
     #[test]
@@ -557,7 +667,7 @@ mod tests {
 
     #[test]
     fn into_vec_avoids_copy_when_unique_and_unpooled() {
-        let v = vec![7u8; 32];
+        let v = vec![7u8; 100];
         let base = v.as_ptr() as usize;
         let p = Payload::from_vec(v);
         let out = p.into_vec();

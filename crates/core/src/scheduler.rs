@@ -18,7 +18,7 @@ use crate::shared::{SharedPools, DEFAULT_STACK_LEN};
 use crate::tcb::{FlavorData, StackFlavor, Tcb, ThreadId, ThreadState};
 use flows_arch::{set_exit_hook, Context, InitialStack, SwapKind};
 use flows_sys::error::{SysError, SysResult};
-use flows_sys::time::thread_cpu_ns;
+use flows_sys::time::load_clock_ns;
 use std::cell::{Cell, UnsafeCell};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -69,37 +69,117 @@ pub struct SchedStats {
     pub migrations_in: u64,
 }
 
+/// Priorities inside `[LANE_MIN, LANE_MIN + LANES)` get their own FIFO
+/// lane; anything outside falls back to the overflow heap.
+const LANE_MIN: i32 = -32;
+const LANES: usize = 64;
+
 /// Priority run queue: lower priority value = more urgent (Charm++'s
 /// convention); FIFO among equal priorities (§2.3 — "the application's
 /// priority structure can be directly used by the thread scheduler").
-#[derive(Default)]
+///
+/// Implemented as 64 intrusive FIFO lanes (one per priority in
+/// `[-32, 31]`) plus a one-word occupancy bitmask: push, pop and the
+/// "anything ready?" probe are O(1) — `trailing_zeros` of the mask finds
+/// the most urgent non-empty lane. Out-of-range priorities (rare) ride a
+/// conventional binary heap on the side.
 pub(crate) struct RunQueue {
-    heap: std::collections::BinaryHeap<std::cmp::Reverse<(i32, u64, ThreadId)>>,
+    lanes: Vec<std::collections::VecDeque<ThreadId>>,
+    /// Bit `i` set ⇔ `lanes[i]` is non-empty.
+    ready: u64,
+    overflow: std::collections::BinaryHeap<std::cmp::Reverse<(i32, u64, ThreadId)>>,
     seq: u64,
+    len: usize,
+}
+
+impl Default for RunQueue {
+    fn default() -> RunQueue {
+        RunQueue {
+            lanes: (0..LANES).map(|_| std::collections::VecDeque::new()).collect(),
+            ready: 0,
+            overflow: std::collections::BinaryHeap::new(),
+            seq: 0,
+            len: 0,
+        }
+    }
 }
 
 impl RunQueue {
+    #[inline]
+    fn lane_of(priority: i32) -> Option<usize> {
+        let lane = priority.wrapping_sub(LANE_MIN);
+        (0..LANES as i32).contains(&lane).then_some(lane as usize)
+    }
+
     pub fn push(&mut self, tid: ThreadId, priority: i32) {
-        self.seq += 1;
-        self.heap.push(std::cmp::Reverse((priority, self.seq, tid)));
+        self.len += 1;
+        match Self::lane_of(priority) {
+            Some(lane) => {
+                self.lanes[lane].push_back(tid);
+                self.ready |= 1 << lane;
+            }
+            None => {
+                self.seq += 1;
+                self.overflow.push(std::cmp::Reverse((priority, self.seq, tid)));
+            }
+        }
     }
 
     pub fn pop(&mut self) -> Option<ThreadId> {
-        self.heap.pop().map(|std::cmp::Reverse((_, _, tid))| tid)
+        if self.ready != 0 {
+            let lane = self.ready.trailing_zeros() as usize;
+            // An overflow priority can only beat the lanes from below
+            // their range (more urgent than -32).
+            if let Some(std::cmp::Reverse((p, _, _))) = self.overflow.peek() {
+                if *p < lane as i32 + LANE_MIN {
+                    self.len -= 1;
+                    return self.overflow.pop().map(|std::cmp::Reverse((_, _, t))| t);
+                }
+            }
+            let tid = self.lanes[lane].pop_front().expect("ready bit set");
+            if self.lanes[lane].is_empty() {
+                self.ready &= !(1 << lane);
+            }
+            self.len -= 1;
+            return Some(tid);
+        }
+        let tid = self.overflow.pop().map(|std::cmp::Reverse((_, _, t))| t);
+        if tid.is_some() {
+            self.len -= 1;
+        }
+        tid
     }
 
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
+    /// Physically remove every queued entry of `tid` (cold path: only
+    /// migration/pack uses it). O(queued threads), which is fine — a stale
+    /// entry left behind could later switch into a thread that has since
+    /// suspended or left the PE.
     pub fn remove(&mut self, tid: ThreadId) {
-        let entries: Vec<_> = std::mem::take(&mut self.heap)
+        for (i, lane) in self.lanes.iter_mut().enumerate() {
+            let before = lane.len();
+            lane.retain(|t| *t != tid);
+            self.len -= before - lane.len();
+            if lane.is_empty() {
+                self.ready &= !(1 << i);
+            }
+        }
+        let before = self.overflow.len();
+        let entries: Vec<_> = std::mem::take(&mut self.overflow)
             .into_iter()
             .filter(|std::cmp::Reverse((_, _, t))| *t != tid)
             .collect();
-        self.heap = entries.into();
+        self.overflow = entries.into();
+        self.len -= before - self.overflow.len();
     }
 }
+
+/// Retired Standard stacks kept for reuse (bounded so a spawn burst does
+/// not pin memory forever).
+const STD_STACK_CACHE: usize = 128;
 
 pub(crate) struct Inner {
     pub pe: usize,
@@ -108,12 +188,20 @@ pub(crate) struct Inner {
     pub runq: RunQueue,
     pub threads: HashMap<ThreadId, Box<Tcb>>,
     pub current: Option<ThreadId>,
+    /// The running thread's control block, cached so thread-side calls
+    /// (`yield_now`, `suspend`, `with_current_tcb`) skip the map lookup.
+    /// Valid exactly while `current` is `Some` (`Box<Tcb>` addresses are
+    /// stable across map rehashes).
+    current_tcb: *mut Tcb,
     pub sched_ctx: Context,
     pub stats: SchedStats,
     /// Scratch buffer for `PrivatizeMode::CopyInOut`.
     globals_buf: Vec<u8>,
     /// Saved TLS installation to restore after a thread runs.
     globals_prev: (*mut u8, u64),
+    /// Stacks of finished Standard threads, reused (uncleared — a fresh
+    /// bootstrap frame is built on top) instead of reallocated.
+    std_stacks: Vec<Vec<u8>>,
 }
 
 /// One PE's user-level thread scheduler. `!Send`/`!Sync`: each PE's OS
@@ -152,9 +240,11 @@ impl Scheduler {
                 runq: RunQueue::default(),
                 threads: HashMap::new(),
                 current: None,
+                current_tcb: std::ptr::null_mut(),
                 stats: SchedStats::default(),
                 globals_buf,
                 globals_prev: (std::ptr::null_mut(), 0),
+                std_stacks: Vec::new(),
             }),
         }
     }
@@ -209,9 +299,16 @@ impl Scheduler {
         // SAFETY: single-threaded access; no context switch in here.
         let inner = unsafe { &mut *self.inner() };
         let data = match flavor {
-            StackFlavor::Standard => FlavorData::Standard {
-                stack: vec![0u8; stack_len.max(flows_arch::stack::MIN_STACK * 4)],
-            },
+            StackFlavor::Standard => {
+                let want = stack_len.max(flows_arch::stack::MIN_STACK * 4);
+                let stack = match inner.std_stacks.iter().position(|s| s.len() == want) {
+                    // Reuse a retired stack as-is: its contents are dead
+                    // and the bootstrap frame is rebuilt on first resume.
+                    Some(i) => inner.std_stacks.swap_remove(i),
+                    None => vec![0u8; want],
+                };
+                FlavorData::Standard { stack }
+            }
             StackFlavor::Isomalloc => {
                 let slot = inner.shared.region().alloc_slot(inner.pe)?;
                 let slab = flows_mem::ThreadSlab::new(
@@ -341,8 +438,10 @@ impl Scheduler {
                 (*tcb).started = true;
             }
 
-            // Swap-global privatization: install the thread's block.
-            if let Some(layout) = (*inner).cfg.globals.clone() {
+            // Swap-global privatization: install the thread's block. The
+            // layout is borrowed, not Arc-cloned — the borrow ends before
+            // the context switch below.
+            if let Some(layout) = (*inner).cfg.globals.as_deref() {
                 if let Some(block) = (*tcb).globals.as_mut() {
                     let prev = match (*inner).cfg.privatize {
                         PrivatizeMode::GotSwap => layout.install_block(block),
@@ -356,20 +455,20 @@ impl Scheduler {
             }
 
             (*inner).current = Some(tid);
+            (*inner).current_tcb = tcb;
             (*tcb).state = ThreadState::Running;
             (*inner).stats.switches += 1;
-            // CPU time, not wall time: a wall clock would charge random
-            // OS preemptions of this PE to whichever thread was running.
-            let t0 = thread_cpu_ns();
+            let t0 = load_clock_ns();
 
             Context::swap_raw(&raw mut (*inner).sched_ctx, &raw const (*tcb).ctx);
 
             // ---- the thread ran and came back ----
-            (*tcb).load_ns += thread_cpu_ns().saturating_sub(t0);
+            (*tcb).load_ns += load_clock_ns().saturating_sub(t0);
             (*inner).current = None;
+            (*inner).current_tcb = std::ptr::null_mut();
             let done = (*tcb).state == ThreadState::Done;
 
-            if let Some(layout) = (*inner).cfg.globals.clone() {
+            if let Some(layout) = (*inner).cfg.globals.as_deref() {
                 if let Some(block) = (*tcb).globals.as_mut() {
                     if (*inner).cfg.privatize == PrivatizeMode::CopyInOut {
                         block.copy_from_slice(&(*inner).globals_buf);
@@ -387,12 +486,12 @@ impl Scheduler {
                         g.switch_out(image, (*tcb).ctx.saved_sp())
                             .expect("copy-stack switch out");
                     }
-                FlavorData::Alias { frame }
+                FlavorData::Alias { frame: _ }
                     if done => {
                         let mut g = alias_guard.take().expect("alias guard");
-                        let f = *frame;
-                        let _ = g.deactivate();
-                        let _ = g.free_frame(f);
+                        // One hole punch, no remap: the window keeps a
+                        // stale mapping until the next activate.
+                        let _ = g.retire_active();
                     }
                 _ => {}
             }
@@ -400,7 +499,13 @@ impl Scheduler {
             drop(alias_guard);
 
             if done {
-                (*inner).threads.remove(&tid);
+                if let Some(mut dead) = (*inner).threads.remove(&tid) {
+                    if let FlavorData::Standard { stack } = &mut dead.flavor {
+                        if (*inner).std_stacks.len() < STD_STACK_CACHE {
+                            (*inner).std_stacks.push(std::mem::take(stack));
+                        }
+                    }
+                }
                 (*inner).stats.completed += 1;
             }
         }
@@ -508,12 +613,15 @@ fn with_current_tcb<R>(f: impl FnOnce(&mut Tcb) -> R) -> Option<R> {
         return None;
     }
     // SAFETY: called from inside a running thread; the scheduler side
-    // holds no references (see module docs).
+    // holds no references (see module docs). `current_tcb` is non-null
+    // exactly while a thread runs.
     unsafe {
         let inner = (*sched).inner_ptr();
-        let tid = (*inner).current?;
-        let tcb = (*inner).threads.get_mut(&tid)?;
-        Some(f(tcb))
+        let tcb = (*inner).current_tcb;
+        if tcb.is_null() {
+            return None;
+        }
+        Some(f(&mut *tcb))
     }
 }
 
@@ -526,8 +634,8 @@ fn thread_exit_hook() -> ! {
     // (it is suspended in resume()).
     unsafe {
         let inner = (*sched).inner_ptr();
-        let tid = (*inner).current.expect("exit hook with no current thread");
-        let tcb: *mut Tcb = &mut **(*inner).threads.get_mut(&tid).expect("current tcb");
+        assert!((*inner).current.is_some(), "exit hook with no current thread");
+        let tcb: *mut Tcb = (*inner).current_tcb;
         (*tcb).state = ThreadState::Done;
         let mut scratch = Context::new((*tcb).ctx.kind());
         Context::swap_raw(&raw mut scratch, &raw const (*inner).sched_ctx);
@@ -555,7 +663,7 @@ pub fn yield_now() {
     unsafe {
         let inner = (*sched).inner_ptr();
         let Some(tid) = (*inner).current else { return };
-        let tcb: *mut Tcb = &mut **(*inner).threads.get_mut(&tid).expect("current tcb");
+        let tcb: *mut Tcb = (*inner).current_tcb;
         (*tcb).state = ThreadState::Ready;
         let prio = (*tcb).priority;
         (*inner).runq.push(tid, prio);
@@ -569,10 +677,11 @@ pub fn suspend() {
     // SAFETY: module-level aliasing discipline.
     unsafe {
         let inner = (*sched).inner_ptr();
-        let tid = (*inner)
-            .current
-            .expect("suspend() called outside a thread");
-        let tcb: *mut Tcb = &mut **(*inner).threads.get_mut(&tid).expect("current tcb");
+        assert!(
+            (*inner).current.is_some(),
+            "suspend() called outside a thread"
+        );
+        let tcb: *mut Tcb = (*inner).current_tcb;
         (*tcb).state = ThreadState::Suspended;
         Context::swap_raw(&raw mut (*tcb).ctx, &raw const (*inner).sched_ctx);
     }
@@ -655,4 +764,68 @@ pub fn iso_free(ptr: *mut u8) -> bool {
         _ => false,
     })
     .unwrap_or(false)
+}
+
+#[cfg(test)]
+mod runq_tests {
+    use super::*;
+
+    fn tid(n: u64) -> ThreadId {
+        ThreadId(n)
+    }
+
+    #[test]
+    fn fifo_within_a_priority_lane() {
+        let mut q = RunQueue::default();
+        for n in 0..16 {
+            q.push(tid(n), 0);
+        }
+        for n in 0..16 {
+            assert_eq!(q.pop(), Some(tid(n)), "lane must preserve arrival order");
+        }
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn lanes_order_by_priority_and_interleave_fifo() {
+        let mut q = RunQueue::default();
+        q.push(tid(1), 5);
+        q.push(tid(2), -3);
+        q.push(tid(3), 5);
+        q.push(tid(4), -3);
+        q.push(tid(5), 0);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, vec![tid(2), tid(4), tid(5), tid(1), tid(3)]);
+    }
+
+    #[test]
+    fn overflow_priorities_interleave_with_lanes() {
+        let mut q = RunQueue::default();
+        q.push(tid(1), 100); // overflow, least urgent
+        q.push(tid(2), 0); // lane
+        q.push(tid(3), -100); // overflow, most urgent
+        q.push(tid(4), -32); // most urgent lane
+        q.push(tid(5), 31); // least urgent lane
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, vec![tid(3), tid(4), tid(2), tid(5), tid(1)]);
+        // FIFO among equal overflow priorities too.
+        q.push(tid(6), 200);
+        q.push(tid(7), 200);
+        assert_eq!(q.pop(), Some(tid(6)));
+        assert_eq!(q.pop(), Some(tid(7)));
+    }
+
+    #[test]
+    fn remove_clears_every_queued_entry() {
+        let mut q = RunQueue::default();
+        q.push(tid(1), 0);
+        q.push(tid(2), 0);
+        q.push(tid(1), 7);
+        q.push(tid(1), 99); // overflow copy
+        q.remove(tid(1));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some(tid(2)));
+        assert_eq!(q.pop(), None);
+    }
 }

@@ -510,3 +510,38 @@ fn migration_preserves_priority() {
     // ...still loses to the migrated urgent thread.
     assert_eq!(*order.borrow(), vec!["urgent", "normal"]);
 }
+
+#[test]
+fn thread_churn_is_syscall_free_after_warmup() {
+    // Slot/stack/frame recycling: after one warm-up tenancy per flavor,
+    // create/run/exit must allocate no new address space. The syscall
+    // counters are thread-local, so concurrent tests don't pollute the
+    // deltas.
+    use flows_mem::probe::syscall_snapshot;
+    for flavor in StackFlavor::ALL {
+        let s = sched();
+        // Warm up: populate the free lists / warm slots / stack caches.
+        for _ in 0..2 {
+            s.spawn(flavor, || {
+                yield_now();
+            })
+            .unwrap();
+        }
+        s.run();
+
+        let before = syscall_snapshot();
+        for _ in 0..16 {
+            s.spawn(flavor, || {
+                yield_now();
+            })
+            .unwrap();
+            s.run();
+        }
+        let d = syscall_snapshot().since(&before);
+        assert_eq!(d.mmap, 0, "flavor {}: no new mappings after warm-up", flavor.name());
+        assert_eq!(d.munmap, 0, "flavor {}: nothing unmapped", flavor.name());
+        assert_eq!(d.mprotect, 0, "flavor {}: no protection flips", flavor.name());
+        assert_eq!(d.ftruncate, 0, "flavor {}: memfd never regrows", flavor.name());
+        assert_eq!(s.stats().completed, 18, "flavor {}", flavor.name());
+    }
+}

@@ -110,9 +110,13 @@ impl AliasStackPool {
     }
 
     /// The memory-aliasing context switch: map frame `f` into the window.
-    /// One `mmap` system call; no data is copied.
+    /// One `mmap` system call; no data is copied. Re-activating the frame
+    /// that is already in the window is free (no syscall).
     pub fn activate(&mut self, f: FrameId) -> SysResult<()> {
         self.check(f)?;
+        if self.active == Some(f) {
+            return Ok(());
+        }
         self.window.alias_file(
             0,
             self.frame_len,
@@ -121,6 +125,25 @@ impl AliasStackPool {
         )?;
         self.active = Some(f);
         Ok(())
+    }
+
+    /// Free the *active* frame without unmapping the window: the frame's
+    /// physical pages are hole-punched (one `fallocate`) and the frame id
+    /// recycles zeroed, but the window keeps its now-stale file mapping.
+    /// That is safe because nothing executes on the window until the next
+    /// [`AliasStackPool::activate`] remaps it with `MAP_FIXED` — this is
+    /// the thread-exit fast path, saving the `mmap` that
+    /// [`AliasStackPool::deactivate`] + [`AliasStackPool::free_frame`]
+    /// would spend.
+    pub fn retire_active(&mut self) -> SysResult<FrameId> {
+        let f = self
+            .active
+            .take()
+            .ok_or_else(|| SysError::logic("alias_retire", "no active frame".into()))?;
+        self.memfd
+            .discard((f * self.frame_len) as u64, self.frame_len as u64)?;
+        self.free.push(f);
+        Ok(f)
     }
 
     /// Unmap the window (back to `PROT_NONE` reservation). Stack contents
@@ -136,19 +159,49 @@ impl AliasStackPool {
     pub fn read_frame(&self, f: FrameId) -> SysResult<Vec<u8>> {
         self.check(f)?;
         let mut buf = vec![0u8; self.frame_len];
-        // SAFETY: pread into a buffer we own, from an fd we own.
-        let n = unsafe {
-            libc::pread(
-                self.memfd.fd(),
-                buf.as_mut_ptr().cast(),
-                self.frame_len,
-                (f * self.frame_len) as libc::off_t,
-            )
-        };
-        if n != self.frame_len as isize {
-            return Err(SysError::last("pread"));
-        }
+        self.memfd.read_at((f * self.frame_len) as u64, &mut buf)?;
         Ok(buf)
+    }
+
+    /// Append the last `tail_len` bytes of frame `f` to `out` without
+    /// mapping the frame. Stacks grow down from the frame top, so the tail
+    /// is the *live* part — migration ships it and nothing else.
+    pub fn read_frame_tail_into(
+        &self,
+        f: FrameId,
+        tail_len: usize,
+        out: &mut Vec<u8>,
+    ) -> SysResult<()> {
+        self.check(f)?;
+        if tail_len > self.frame_len {
+            return Err(SysError::logic(
+                "alias_read",
+                format!("tail {tail_len:#x} exceeds frame {:#x}", self.frame_len),
+            ));
+        }
+        let start = out.len();
+        out.resize(start + tail_len, 0);
+        self.memfd.read_at(
+            (f * self.frame_len + (self.frame_len - tail_len)) as u64,
+            &mut out[start..],
+        )
+    }
+
+    /// Overwrite the last `tail.len()` bytes of frame `f`. The rest of the
+    /// frame is untouched — callers unpacking a migrated thread rely on
+    /// freshly allocated frames reading zero below the tail.
+    pub fn write_frame_tail(&mut self, f: FrameId, tail: &[u8]) -> SysResult<()> {
+        self.check(f)?;
+        if tail.len() > self.frame_len {
+            return Err(SysError::logic(
+                "alias_write",
+                format!("tail {:#x} exceeds frame {:#x}", tail.len(), self.frame_len),
+            ));
+        }
+        self.memfd.write_at(
+            (f * self.frame_len + (self.frame_len - tail.len())) as u64,
+            tail,
+        )
     }
 
     /// Overwrite a frame's bytes (used to unpack a migrated-in thread).
@@ -160,19 +213,7 @@ impl AliasStackPool {
                 format!("image is {} bytes, frame is {}", bytes.len(), self.frame_len),
             ));
         }
-        // SAFETY: pwrite from a buffer we borrow, to an fd we own.
-        let n = unsafe {
-            libc::pwrite(
-                self.memfd.fd(),
-                bytes.as_ptr().cast(),
-                self.frame_len,
-                (f * self.frame_len) as libc::off_t,
-            )
-        };
-        if n != self.frame_len as isize {
-            return Err(SysError::last("pwrite"));
-        }
-        Ok(())
+        self.memfd.write_at((f * self.frame_len) as u64, bytes)
     }
 
     fn check(&self, f: FrameId) -> SysResult<()> {
@@ -253,6 +294,64 @@ mod tests {
         p.deactivate().unwrap();
         p.free_frame(a).unwrap();
         assert!(p.free_frame(a).is_err(), "double free rejected");
+    }
+
+    #[test]
+    fn retire_active_recycles_without_remap() {
+        let mut p = pool();
+        let a = p.alloc_frame().unwrap();
+        p.activate(a).unwrap();
+        let top = p.window_top();
+        // SAFETY: active window.
+        unsafe { *((top - 8) as *mut u64) = 7 };
+        let before = flows_sys::counters::snapshot();
+        let f = p.retire_active().unwrap();
+        assert_eq!(f, a);
+        assert_eq!(p.active(), None);
+        let d = flows_sys::counters::snapshot().since(&before);
+        assert_eq!(d.mmap, 0, "retire must not remap the window");
+        assert_eq!(d.fallocate, 1, "retire is one hole punch");
+        // The frame recycles zeroed, and re-activating remaps the window.
+        let b = p.alloc_frame().unwrap();
+        assert_eq!(b, a, "frame id recycled");
+        p.activate(b).unwrap();
+        // SAFETY: active window.
+        unsafe { assert_eq!(*((top - 8) as *const u64), 0, "hole punch zeroed it") };
+        assert!(p.retire_active().is_ok());
+        assert!(p.retire_active().is_err(), "no active frame left");
+    }
+
+    #[test]
+    fn reactivating_the_active_frame_is_free() {
+        let mut p = pool();
+        let a = p.alloc_frame().unwrap();
+        p.activate(a).unwrap();
+        let before = flows_sys::counters::snapshot();
+        p.activate(a).unwrap();
+        assert_eq!(
+            flows_sys::counters::snapshot().since(&before).total(),
+            0,
+            "re-activating the resident frame must cost nothing"
+        );
+    }
+
+    #[test]
+    fn frame_tail_round_trip() {
+        let mut p = pool();
+        let a = p.alloc_frame().unwrap();
+        let tail: Vec<u8> = (0..1000).map(|i| (i % 251) as u8).collect();
+        p.write_frame_tail(a, &tail).unwrap();
+        let mut got = Vec::new();
+        p.read_frame_tail_into(a, 1000, &mut got).unwrap();
+        assert_eq!(got, tail);
+        // The tail occupies the end of the frame; the rest reads zero.
+        let full = p.read_frame(a).unwrap();
+        assert_eq!(&full[p.frame_len() - 1000..], &tail[..]);
+        assert!(full[..p.frame_len() - 1000].iter().all(|&b| b == 0));
+        // Oversize tails rejected.
+        let big = vec![0u8; p.frame_len() + 1];
+        assert!(p.write_frame_tail(a, &big).is_err());
+        assert!(p.read_frame_tail_into(a, p.frame_len() + 1, &mut got).is_err());
     }
 
     #[test]

@@ -43,6 +43,18 @@ impl CopyStack {
     pub fn saved_len(&self) -> usize {
         self.saved.len()
     }
+
+    /// The saved bytes themselves (the migration payload: position-bound
+    /// raw stack data, shipped without further framing).
+    pub fn saved(&self) -> &[u8] {
+        &self.saved
+    }
+
+    /// Rebuild an image from bytes previously exposed by
+    /// [`CopyStack::saved`] on the source machine.
+    pub fn from_saved(saved: Vec<u8>) -> CopyStack {
+        CopyStack { saved }
+    }
 }
 
 impl CopyStackPool {

@@ -7,6 +7,8 @@ use crate::region::{IsoConfig, IsoRegion, DEFAULT_BASE};
 use flows_sys::os;
 use flows_sys::page::page_size;
 
+pub use flows_sys::counters::{snapshot as syscall_snapshot, SyscallCounts};
+
 /// What each migration technique needs and whether this host provides it.
 #[derive(Debug, Clone)]
 pub struct Portability {

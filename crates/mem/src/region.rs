@@ -8,7 +8,7 @@
 
 use flows_sys::error::{SysError, SysResult};
 use flows_sys::map::{Mapping, Protection};
-use flows_sys::page::{page_align_up, page_size};
+use flows_sys::page::{page_align_down, page_align_up, page_size};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -71,11 +71,29 @@ struct PeSlots {
     live: usize,
 }
 
+/// Which parts of a slot are *warm*: still committed read-write from a
+/// previous tenant. Slots keep their page protections when freed — only
+/// the physical pages go back to the kernel (`madvise`) — so the next
+/// tenant's commits of already-warm ranges are pure bookkeeping, no
+/// syscalls. Heap commits grow up from the slot base and stack commits
+/// grow down from the slot top, so two extents capture the whole history:
+/// `[0, low)` and `[high, slot_len)` are read-write.
+#[derive(Debug, Clone, Copy)]
+struct Warm {
+    low: usize,
+    high: usize,
+    /// A commit landed strictly between the extents, which the two-extent
+    /// summary cannot represent; the slot reverts to a full decommit when
+    /// dropped.
+    tainted: bool,
+}
+
 /// The reserved region plus per-PE slot allocators.
 pub struct IsoRegion {
     cfg: IsoConfig,
     map: Mapping,
     pes: Vec<Mutex<PeSlots>>,
+    warm: Vec<Mutex<Warm>>,
 }
 
 impl std::fmt::Debug for IsoRegion {
@@ -110,7 +128,16 @@ impl IsoRegion {
                 })
             })
             .collect();
-        Ok(Arc::new(IsoRegion { cfg, map, pes }))
+        let warm = (0..cfg.num_pes * cfg.slots_per_pe)
+            .map(|_| {
+                Mutex::new(Warm {
+                    low: 0,
+                    high: cfg.slot_len,
+                    tainted: false,
+                })
+            })
+            .collect();
+        Ok(Arc::new(IsoRegion { cfg, map, pes, warm }))
     }
 
     /// Actual base address of the reservation.
@@ -245,20 +272,112 @@ impl Slot {
         &self.region
     }
 
-    /// Commit `[offset, offset+len)` of the slot read-write.
+    /// Commit `[offset, offset+len)` of the slot read-write. Ranges still
+    /// warm from a previous tenant (see [`Warm`]) commit without a syscall.
     pub fn commit(&self, offset: usize, len: usize) -> SysResult<()> {
         self.check(offset, len)?;
-        self.region
-            .map
-            .commit(self.region.slot_offset(self.global_index) + offset, len, Protection::ReadWrite)
+        if len == 0 {
+            return Ok(());
+        }
+        let (o, e) = (page_align_down(offset), page_align_up(offset + len));
+        let mut w = self.region.warm[self.global_index].lock();
+        if e <= w.low || o >= w.high {
+            return Ok(());
+        }
+        self.region.map.commit(
+            self.region.slot_offset(self.global_index) + offset,
+            len,
+            Protection::ReadWrite,
+        )?;
+        if o <= w.low {
+            w.low = w.low.max(e);
+        } else if e >= w.high {
+            w.high = w.high.min(o);
+        } else {
+            w.tainted = true;
+        }
+        Ok(())
     }
 
-    /// Decommit `[offset, offset+len)` (pages returned to the kernel).
+    /// Decommit `[offset, offset+len)` (pages returned to the kernel and
+    /// reprotected `PROT_NONE`).
     pub fn decommit(&self, offset: usize, len: usize) -> SysResult<()> {
         self.check(offset, len)?;
         self.region
             .map
-            .decommit(self.region.slot_offset(self.global_index) + offset, len)
+            .decommit(self.region.slot_offset(self.global_index) + offset, len)?;
+        let (o, e) = (page_align_down(offset), page_align_up(offset + len));
+        let mut w = self.region.warm[self.global_index].lock();
+        if o == 0 && e >= self.region.cfg.slot_len {
+            *w = Warm {
+                low: 0,
+                high: self.region.cfg.slot_len,
+                tainted: false,
+            };
+        } else {
+            w.low = w.low.min(o);
+            w.high = w.high.max(e);
+        }
+        Ok(())
+    }
+
+    /// Return the physical pages of `[offset, offset+len)` to the kernel
+    /// *without* touching protections: warm ranges stay warm and read zero
+    /// on next touch. One `madvise`, no `mprotect`.
+    pub fn discard(&self, offset: usize, len: usize) -> SysResult<()> {
+        self.check(offset, len)?;
+        self.region
+            .map
+            .discard(self.region.slot_offset(self.global_index) + offset, len)
+    }
+
+    /// Return every physical page of this slot to the kernel without
+    /// changing protections (the warm extents stay RW for the next
+    /// tenant). Only the warm extents are madvised — nothing else can
+    /// hold resident pages — so the cost tracks the committed footprint,
+    /// not the slot size.
+    pub fn discard_committed(&self) -> SysResult<()> {
+        let slot_len = self.len();
+        let w = self.region.warm[self.global_index].lock();
+        if w.tainted {
+            return self.discard(0, slot_len);
+        }
+        if w.low > 0 {
+            self.discard(0, w.low)?;
+        }
+        if w.high < slot_len {
+            self.discard(w.high, slot_len - w.high)?;
+        }
+        Ok(())
+    }
+
+    /// Enforce that `[offset, offset+len)` is `PROT_NONE` — the guard-page
+    /// discipline between heap arena and stack. Costs zero syscalls when
+    /// the range was never warmed (the common case: a recycled slot reused
+    /// with the same layout); otherwise decommits exactly the warm part.
+    pub fn ensure_uncommitted(&self, offset: usize, len: usize) -> SysResult<()> {
+        self.check(offset, len)?;
+        if len == 0 {
+            return Ok(());
+        }
+        let base = self.region.slot_offset(self.global_index);
+        let (o, e) = (page_align_down(offset), page_align_up(offset + len));
+        let mut w = self.region.warm[self.global_index].lock();
+        if w.tainted {
+            self.region.map.decommit(base + o, e - o)?;
+            w.low = w.low.min(o);
+            w.high = w.high.max(e);
+            return Ok(());
+        }
+        if o < w.low {
+            self.region.map.decommit(base + o, w.low - o)?;
+            w.low = o;
+        }
+        if e > w.high {
+            self.region.map.decommit(base + w.high, e - w.high)?;
+            w.high = e;
+        }
+        Ok(())
     }
 
     fn check(&self, offset: usize, len: usize) -> SysResult<()> {
@@ -283,9 +402,32 @@ impl Slot {
 
 impl Drop for Slot {
     fn drop(&mut self) {
-        // Best effort: return physical pages and recycle the index.
+        // Best effort: return physical pages and recycle the index. Warm
+        // recycling — pages are discarded (they read zero on next touch)
+        // but protections are kept so the next tenant commits for free.
         let off = self.region.slot_offset(self.global_index);
-        let _ = self.region.map.decommit(off, self.region.cfg.slot_len);
+        let slot_len = self.region.cfg.slot_len;
+        {
+            let mut w = self.region.warm[self.global_index].lock();
+            if w.tainted {
+                let _ = self.region.map.decommit(off, slot_len);
+                *w = Warm {
+                    low: 0,
+                    high: slot_len,
+                    tainted: false,
+                };
+            } else {
+                // Only the warm extents can hold resident pages; madvise
+                // just those instead of walking the whole (possibly huge)
+                // slot.
+                if w.low > 0 {
+                    let _ = self.region.map.discard(off, w.low);
+                }
+                if w.high < slot_len {
+                    let _ = self.region.map.discard(off + w.high, slot_len - w.high);
+                }
+            }
+        }
         let pe = self.home_pe();
         let local = self.global_index % self.region.cfg.slots_per_pe;
         let mut st = self.region.pes[pe].lock();

@@ -32,26 +32,29 @@ pub struct ThreadSlab {
     stack_len: usize,
 }
 
+/// The self-describing prefix of a packed slab. The heap and stack bytes
+/// follow as *raw* tails (no per-tail length prefixes — both lengths are
+/// derivable from the head), so packing appends straight into the outgoing
+/// message buffer and unpacking copies straight into the destination arena:
+/// one copy each way.
 #[derive(Default, Debug)]
-struct PackedSlab {
+struct SlabHead {
     global_index: u64,
     slot_len: u64,
     stack_len: u64,
     sp: u64,
     heap: IsoHeap,
-    heap_bytes: Vec<u8>,
+    heap_used: u64,
     stack_floor: u64,
-    stack_bytes: Vec<u8>,
 }
-pup_fields!(PackedSlab {
+pup_fields!(SlabHead {
     global_index,
     slot_len,
     stack_len,
     sp,
     heap,
-    heap_bytes,
-    stack_floor,
-    stack_bytes
+    heap_used,
+    stack_floor
 });
 
 impl ThreadSlab {
@@ -77,6 +80,11 @@ impl ThreadSlab {
         }
         slot.commit(slot.len() - stack_len, stack_len)?;
         let arena_len = page_align_down(slot.len() - stack_len - pg);
+        // The gap between arena and stack is the guard: it must fault on
+        // touch. On a recycled slot whose previous tenant used a different
+        // layout, parts of the gap may still be committed — reprotect just
+        // those. Same-layout reuse costs zero syscalls here.
+        slot.ensure_uncommitted(arena_len, slot.len() - stack_len - arena_len)?;
         let heap = IsoHeap::new(slot.base(), arena_len);
         Ok(ThreadSlab {
             slot,
@@ -124,12 +132,14 @@ impl ThreadSlab {
         self.heap.free(ptr as usize)
     }
 
-    /// Pack for migration. `sp` is the thread's suspended stack pointer;
-    /// bytes from `sp - STACK_RED_ZONE` to the stack top travel with the
-    /// thread. Consumes the slab: the slot index ownership moves into the
-    /// returned image (the source decommits its pages but does *not*
-    /// recycle the index — it is still live, just remote).
-    pub fn pack(self, sp: usize) -> SysResult<Vec<u8>> {
+    /// Pack for migration, appending the image to `out` (head + raw heap
+    /// extent + raw live stack — one copy, straight into the outgoing
+    /// buffer). `sp` is the thread's suspended stack pointer; bytes from
+    /// `sp - STACK_RED_ZONE` to the stack top travel with the thread.
+    /// Consumes the slab: the slot index ownership moves into the image
+    /// (the source discards its pages but does *not* recycle the index —
+    /// it is still live, just remote). Returns the bytes appended.
+    pub fn pack_into(self, sp: usize, out: &mut Vec<u8>) -> SysResult<usize> {
         let top = self.stack_top();
         let bottom = self.stack_bottom();
         if sp < bottom || sp > top {
@@ -140,95 +150,117 @@ impl ThreadSlab {
         }
         let floor = sp.saturating_sub(STACK_RED_ZONE).max(bottom);
         let heap_used = self.heap.used_extent();
-        // SAFETY: [arena, arena+heap_used) and [floor, top) are committed
-        // ranges of our own slot.
-        let (heap_bytes, stack_bytes) = unsafe {
-            (
-                std::slice::from_raw_parts(self.heap.arena_base() as *const u8, heap_used)
-                    .to_vec(),
-                std::slice::from_raw_parts(floor as *const u8, top - floor).to_vec(),
-            )
-        };
-        let mut packed = PackedSlab {
+        let start = out.len();
+        let mut head = SlabHead {
             global_index: self.slot.global_index() as u64,
             slot_len: self.slot.len() as u64,
             stack_len: self.stack_len as u64,
             sp: sp as u64,
             heap: self.heap,
-            heap_bytes,
+            heap_used: heap_used as u64,
             stack_floor: floor as u64,
-            stack_bytes,
         };
-        let image = flows_pup::to_bytes(&mut packed);
-        // Release physical pages on the "source processor"; keep the index.
+        flows_pup::pack_into(&mut head, out);
+        // SAFETY: [arena, arena+heap_used) and [floor, top) are committed
+        // ranges of our own slot.
+        unsafe {
+            out.extend_from_slice(std::slice::from_raw_parts(
+                head.heap.arena_base() as *const u8,
+                heap_used,
+            ));
+            out.extend_from_slice(std::slice::from_raw_parts(floor as *const u8, top - floor));
+        }
+        // Release physical pages on the "source processor"; keep the index
+        // AND the page protections, so the destination (same reservation in
+        // this single-process machine) recommits without syscalls.
         let slot = self.slot;
-        let _ = slot.decommit(0, slot.len());
+        let _ = slot.discard_committed();
         let _ = slot.into_global_index();
-        Ok(image)
+        Ok(out.len() - start)
+    }
+
+    /// Pack for migration into a fresh buffer. See [`ThreadSlab::pack_into`].
+    pub fn pack(self, sp: usize) -> SysResult<Vec<u8>> {
+        let mut out = Vec::new();
+        self.pack_into(sp, &mut out)?;
+        Ok(out)
     }
 
     /// Unpack an image produced by [`ThreadSlab::pack`] on the destination
     /// PE, reinstating every byte at its original virtual address. Returns
     /// the slab and the suspended stack pointer to resume from.
     pub fn unpack(region: &Arc<IsoRegion>, image: &[u8]) -> SysResult<(ThreadSlab, usize)> {
-        let packed: PackedSlab = flows_pup::from_bytes(image)
+        let (head, head_len): (SlabHead, usize) = flows_pup::from_bytes_prefix(image)
             .map_err(|e| SysError::logic("slab_unpack", format!("corrupt image: {e}")))?;
-        let slot = region.adopt_slot(packed.global_index as usize)?;
-        if slot.len() as u64 != packed.slot_len {
+        let heap_used = head.heap_used as usize;
+        if heap_used != head.heap.used_extent() {
+            return Err(SysError::logic("slab_unpack", "heap extent mismatch".into()));
+        }
+        let slot = region.adopt_slot(head.global_index as usize)?;
+        if slot.len() as u64 != head.slot_len {
             return Err(SysError::logic(
                 "slab_unpack",
                 format!(
                     "slot length mismatch: image {:#x}, region {:#x}",
-                    packed.slot_len,
+                    head.slot_len,
                     slot.len()
                 ),
             ));
         }
-        let stack_len = packed.stack_len as usize;
-        if packed.heap.arena_base() != slot.base() {
+        let stack_len = head.stack_len as usize;
+        if head.heap.arena_base() != slot.base() {
             return Err(SysError::logic(
                 "slab_unpack",
                 "arena base mismatch: image from a different region layout".into(),
             ));
         }
-        // Recommit and refill the heap's used extent.
-        let heap_used = packed.heap.used_extent();
-        if heap_used != packed.heap_bytes.len() {
-            return Err(SysError::logic("slab_unpack", "heap extent mismatch".into()));
+        let floor = head.stack_floor as usize;
+        let top = slot.top();
+        if stack_len > slot.len()
+            || floor < top.saturating_sub(stack_len)
+            || floor > top
+            || head.sp as usize > top
+            || (head.sp as usize) < top - stack_len
+        {
+            return Err(SysError::logic("slab_unpack", "stack extent mismatch".into()));
         }
+        let stack_used = top - floor;
+        if image.len() != head_len + heap_used + stack_used {
+            return Err(SysError::logic(
+                "slab_unpack",
+                format!(
+                    "image length mismatch: {} bytes, expected {}",
+                    image.len(),
+                    head_len + heap_used + stack_used
+                ),
+            ));
+        }
+        // Recommit (free when the slot is still warm) and refill the heap's
+        // used extent and the live stack — one copy each, straight from the
+        // wire image into the arena.
         if heap_used > 0 {
             slot.commit(0, heap_used)?;
             // SAFETY: just committed; copying the packed bytes back to the
             // identical addresses they came from.
             unsafe {
                 std::ptr::copy_nonoverlapping(
-                    packed.heap_bytes.as_ptr(),
+                    image[head_len..].as_ptr(),
                     slot.base() as *mut u8,
                     heap_used,
                 );
             }
         }
-        // Recommit the whole stack, refill the live portion.
         slot.commit(slot.len() - stack_len, stack_len)?;
-        let floor = packed.stack_floor as usize;
-        let top = slot.top();
-        if floor + packed.stack_bytes.len() != top
-            || floor < top - stack_len
-            || packed.sp as usize > top
-            || (packed.sp as usize) < top - stack_len
-        {
-            return Err(SysError::logic("slab_unpack", "stack extent mismatch".into()));
-        }
         // SAFETY: stack range just committed; identical addresses.
         unsafe {
             std::ptr::copy_nonoverlapping(
-                packed.stack_bytes.as_ptr(),
+                image[head_len + heap_used..].as_ptr(),
                 floor as *mut u8,
-                packed.stack_bytes.len(),
+                stack_used,
             );
         }
         // Rebuild heap committed state: exactly the used extent is backed.
-        let mut heap = packed.heap;
+        let mut heap = head.heap;
         heap.set_committed(heap_used);
         Ok((
             ThreadSlab {
@@ -236,7 +268,7 @@ impl ThreadSlab {
                 heap,
                 stack_len,
             },
-            packed.sp as usize,
+            head.sp as usize,
         ))
     }
 }
@@ -359,6 +391,38 @@ mod tests {
         // The pristine image still works.
         let (s2, _) = ThreadSlab::unpack(&r, &image).unwrap();
         drop(s2);
+    }
+
+    /// The recycling fast path: after one warm-up tenancy, create/exit on
+    /// a recycled slot must be entirely syscall-free except the single
+    /// `madvise` that returns the pages on exit — and the recycled memory
+    /// must still read zero.
+    #[test]
+    fn recycled_slots_rebuild_without_syscalls() {
+        use crate::probe::syscall_snapshot;
+        let r = region();
+        for _ in 0..2 {
+            let mut slab = ThreadSlab::new(r.alloc_slot(0).unwrap(), 16 * 1024).unwrap();
+            let p = slab.malloc(4096).unwrap();
+            // SAFETY: fresh allocation.
+            unsafe { std::ptr::write_bytes(p, 0xAB, 4096) };
+        }
+        let before = syscall_snapshot();
+        for _ in 0..8 {
+            let mut slab = ThreadSlab::new(r.alloc_slot(0).unwrap(), 16 * 1024).unwrap();
+            let p = slab.malloc(4096).unwrap();
+            // SAFETY: fresh allocation (discarded pages read zero).
+            unsafe {
+                assert_eq!(*(p as *const u64), 0, "recycled slot must read zero");
+                std::ptr::write_bytes(p, 0xCD, 4096);
+            }
+        }
+        let d = syscall_snapshot().since(&before);
+        assert_eq!(d.mmap, 0, "steady state must not map");
+        assert_eq!(d.mprotect, 0, "steady state must not reprotect");
+        // Each exit discards the two warm extents (heap arena, stack) —
+        // and nothing else.
+        assert_eq!(d.madvise, 16, "two extent discards per exit");
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Per-thread syscall counters for the memory substrate.
+//!
+//! Every VM or memfd syscall issued through this crate bumps a counter on
+//! the calling OS thread. Tests and probes snapshot the counters around an
+//! operation to prove steady-state paths stay syscall-free (e.g. thread
+//! create/exit on recycled slots must do zero `mmap`s). Thread-local
+//! storage keeps concurrent test binaries from polluting each other's
+//! deltas: a PE's scheduler runs on one OS thread, so its syscalls land on
+//! its own counters.
+
+use std::cell::Cell;
+
+macro_rules! counters {
+    ($($name:ident / $bump:ident : $doc:literal),* $(,)?) => {
+        thread_local! {
+            $( static $name: Cell<u64> = const { Cell::new(0) }; )*
+        }
+
+        /// A snapshot of the calling thread's syscall counters.
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+        pub struct SyscallCounts {
+            $( #[doc = $doc] pub $bump: u64, )*
+        }
+
+        /// Snapshot the calling thread's counters.
+        pub fn snapshot() -> SyscallCounts {
+            SyscallCounts {
+                $( $bump: $name.with(|c| c.get()), )*
+            }
+        }
+
+        $(
+            pub(crate) fn $bump() {
+                $name.with(|c| c.set(c.get() + 1));
+            }
+        )*
+    };
+}
+
+counters! {
+    MMAP / mmap: "`mmap` calls that create or reserve address space.",
+    REMAP / remap: "`MAP_FIXED` replacements inside an existing reservation (aliasing a frame into a window, restoring `PROT_NONE`). The address space does not grow — this is the memory-aliasing context switch itself.",
+    MUNMAP / munmap: "`munmap` calls (releasing reservations).",
+    MPROTECT / mprotect: "`mprotect` calls (commit/decommit protection flips).",
+    MADVISE / madvise: "`madvise` calls (page discards).",
+    FALLOCATE / fallocate: "`fallocate` calls (memfd hole punches).",
+    FTRUNCATE / ftruncate: "`ftruncate` calls (memfd sizing).",
+    PREAD / pread: "`pread` calls (frame reads).",
+    PWRITE / pwrite: "`pwrite` calls (frame writes).",
+}
+
+impl SyscallCounts {
+    /// Counter-wise difference `self - earlier` (saturating).
+    pub fn since(&self, earlier: &SyscallCounts) -> SyscallCounts {
+        SyscallCounts {
+            mmap: self.mmap.saturating_sub(earlier.mmap),
+            remap: self.remap.saturating_sub(earlier.remap),
+            munmap: self.munmap.saturating_sub(earlier.munmap),
+            mprotect: self.mprotect.saturating_sub(earlier.mprotect),
+            madvise: self.madvise.saturating_sub(earlier.madvise),
+            fallocate: self.fallocate.saturating_sub(earlier.fallocate),
+            ftruncate: self.ftruncate.saturating_sub(earlier.ftruncate),
+            pread: self.pread.saturating_sub(earlier.pread),
+            pwrite: self.pwrite.saturating_sub(earlier.pwrite),
+        }
+    }
+
+    /// Total syscalls across all counters.
+    pub fn total(&self) -> u64 {
+        self.mmap
+            + self.remap
+            + self.munmap
+            + self.mprotect
+            + self.madvise
+            + self.fallocate
+            + self.ftruncate
+            + self.pread
+            + self.pwrite
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_diff() {
+        let a = snapshot();
+        mmap();
+        mmap();
+        madvise();
+        let b = snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.mmap, 2);
+        assert_eq!(d.madvise, 1);
+        assert_eq!(d.munmap, 0);
+        assert_eq!(d.total(), 3);
+    }
+}

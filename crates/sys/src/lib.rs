@@ -20,6 +20,7 @@
 
 #![warn(missing_docs)]
 
+pub mod counters;
 pub mod error;
 pub mod map;
 pub mod memfd;

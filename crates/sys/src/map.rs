@@ -95,6 +95,7 @@ impl Mapping {
                 0,
             )
         };
+        crate::counters::mmap();
         if p == libc::MAP_FAILED {
             return Err(SysError::last_with(
                 "mmap",
@@ -106,6 +107,7 @@ impl Mapping {
             // mapping as failure.
             // SAFETY: unmapping the mapping we just created.
             unsafe { libc::munmap(p, len) };
+            crate::counters::munmap();
             return Err(SysError::logic(
                 "mmap",
                 format!("kernel moved fixed reservation from {addr:p} to {p:p}"),
@@ -159,6 +161,7 @@ impl Mapping {
                 prot.as_raw(),
             )
         };
+        crate::counters::mprotect();
         if rc != 0 {
             return Err(SysError::last_with(
                 "mprotect",
@@ -176,11 +179,32 @@ impl Mapping {
         // mapping discards the pages (subsequent commits read zero).
         unsafe {
             let p = self.addr.add(offset).cast::<libc::c_void>();
+            crate::counters::madvise();
             if libc::madvise(p, len, libc::MADV_DONTNEED) != 0 {
                 return Err(SysError::last("madvise"));
             }
+            crate::counters::mprotect();
             if libc::mprotect(p, len, libc::PROT_NONE) != 0 {
                 return Err(SysError::last("mprotect"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Return the physical pages of `[offset, offset+len)` to the kernel
+    /// *without* changing protection: a committed range stays committed but
+    /// reads as zero afterwards. This is the cheap half of
+    /// [`Mapping::decommit`] and the basis of warm slot recycling — a freed
+    /// slot gives its pages back with one `madvise` and the next owner
+    /// commits nothing at all.
+    pub fn discard(&self, offset: usize, len: usize) -> SysResult<()> {
+        self.check_range(offset, len, "discard")?;
+        // SAFETY: range checked; MADV_DONTNEED on an anonymous private
+        // mapping discards the pages (subsequent reads return zero).
+        unsafe {
+            crate::counters::madvise();
+            if libc::madvise(self.addr.add(offset).cast(), len, libc::MADV_DONTNEED) != 0 {
+                return Err(SysError::last("madvise"));
             }
         }
         Ok(())
@@ -212,6 +236,7 @@ impl Mapping {
                 file_offset as libc::off_t,
             )
         };
+        crate::counters::remap();
         if p == libc::MAP_FAILED {
             return Err(SysError::last_with(
                 "mmap",
@@ -236,6 +261,7 @@ impl Mapping {
                 0,
             )
         };
+        crate::counters::remap();
         if p == libc::MAP_FAILED {
             return Err(SysError::last("mmap"));
         }
@@ -256,6 +282,7 @@ impl Drop for Mapping {
         if !self.addr.is_null() && self.len > 0 {
             // SAFETY: unmapping a region this handle owns.
             unsafe { libc::munmap(self.addr.cast(), self.len) };
+            crate::counters::munmap();
         }
     }
 }

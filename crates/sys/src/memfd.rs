@@ -34,6 +34,7 @@ impl MemFd {
         if fd < 0 {
             return Err(SysError::last("memfd_create"));
         }
+        crate::counters::ftruncate();
         // SAFETY: fd is a fresh memfd we own.
         if unsafe { libc::ftruncate(fd, len as libc::off_t) } != 0 {
             let e = SysError::last("ftruncate");
@@ -67,6 +68,7 @@ impl MemFd {
                 format!("bad grow {:#x} -> {new_len:#x}", self.len),
             ));
         }
+        crate::counters::ftruncate();
         // SAFETY: fd owned by self.
         if unsafe { libc::ftruncate(self.fd, new_len as libc::off_t) } != 0 {
             return Err(SysError::last("ftruncate"));
@@ -78,6 +80,7 @@ impl MemFd {
     /// Punch a hole: return the physical pages backing
     /// `[offset, offset+len)` to the kernel; the range reads as zero after.
     pub fn discard(&self, offset: u64, len: u64) -> SysResult<()> {
+        crate::counters::fallocate();
         // SAFETY: fallocate PUNCH_HOLE on an fd we own.
         let rc = unsafe {
             libc::fallocate(
@@ -89,6 +92,42 @@ impl MemFd {
         };
         if rc != 0 {
             return Err(SysError::last("fallocate"));
+        }
+        Ok(())
+    }
+
+    /// Read `buf.len()` bytes at `offset` without mapping the object.
+    pub fn read_at(&self, offset: u64, buf: &mut [u8]) -> SysResult<()> {
+        crate::counters::pread();
+        // SAFETY: pread into a buffer we borrow, from an fd we own.
+        let n = unsafe {
+            libc::pread(
+                self.fd,
+                buf.as_mut_ptr().cast(),
+                buf.len(),
+                offset as libc::off_t,
+            )
+        };
+        if n != buf.len() as isize {
+            return Err(SysError::last("pread"));
+        }
+        Ok(())
+    }
+
+    /// Write `buf` at `offset` without mapping the object.
+    pub fn write_at(&self, offset: u64, buf: &[u8]) -> SysResult<()> {
+        crate::counters::pwrite();
+        // SAFETY: pwrite from a buffer we borrow, to an fd we own.
+        let n = unsafe {
+            libc::pwrite(
+                self.fd,
+                buf.as_ptr().cast(),
+                buf.len(),
+                offset as libc::off_t,
+            )
+        };
+        if n != buf.len() as isize {
+            return Err(SysError::last("pwrite"));
         }
         Ok(())
     }

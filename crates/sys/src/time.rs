@@ -31,6 +31,18 @@ pub fn thread_cpu_ns() -> u64 {
     ts.tv_sec as u64 * 1_000_000_000 + ts.tv_nsec as u64
 }
 
+/// The scheduler's per-burst load clock: monotonic nanoseconds via the
+/// vDSO — no kernel entry, ~20 ns. A non-preemptive PE owns its OS thread,
+/// so wall time between swap-in and swap-out *is* the burst's CPU time in
+/// the common case (Charm++'s load database is likewise built on wall
+/// timers). `CLOCK_THREAD_CPUTIME_ID` would stay exact under preemption by
+/// unrelated processes, but it is a real syscall (~200 ns) and a context
+/// switch pays for two of them — several times the switch itself.
+#[inline]
+pub fn load_clock_ns() -> u64 {
+    monotonic_ns()
+}
+
 /// Read the time-stamp counter (x86-64). Falls back to `monotonic_ns` on
 /// other architectures so callers stay portable.
 #[inline]

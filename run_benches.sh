@@ -12,7 +12,7 @@ bash scripts/bench_smoke.sh || exit 1
 
 {
 echo "=== flows bench harnesses ($(date -u +%FT%TZ), host: $(uname -m), $(nproc) cpu) ==="
-for b in table1_portability table2_limits fig10_minswap fig9_stacksize fig4_ctxswitch_flows fig11_bigsim fig12_btmz fault_recovery msgpath; do
+for b in table1_portability table2_limits fig10_minswap fig9_stacksize fig4_ctxswitch_flows fig11_bigsim fig12_btmz fault_recovery msgpath sched_migrate; do
   echo; echo "### $b"
   timeout 900 cargo run --release -q -p flows-bench --bin "$b" 2>&1
 done

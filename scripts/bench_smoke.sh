@@ -1,17 +1,19 @@
 #!/bin/bash
-# Perf smoke gate: run the msgpath microbench in its fast configuration
-# and fail if headline throughput regresses below a recorded floor.
+# Perf smoke gate: run the msgpath and sched_migrate microbenches in
+# their fast configurations and fail if headline throughput regresses
+# below a recorded floor.
 #
 # Floors are deterministic-mode numbers only (threaded-mode wall time is
 # scheduler noise on small hosts) and sit ~2x under what this host
-# measures post-zero-copy, but above the pre-zero-copy baselines — so a
-# regression back to per-message copies/counters trips the gate while
-# ordinary host jitter does not.
+# measures post-fast-path, but above the pre-fast-path baselines — so a
+# regression back to per-message copies, per-switch CPU-clock syscalls,
+# or per-thread mmaps trips the gate while ordinary host jitter does not.
 set -eu
 cd "$(dirname "$0")/.."
 
 JSON=$(mktemp /tmp/bench_smoke.XXXXXX.json)
-trap 'rm -f "$JSON"' EXIT
+SJSON=$(mktemp /tmp/bench_smoke_sched.XXXXXX.json)
+trap 'rm -f "$JSON" "$SJSON"' EXIT
 
 cargo run --offline --release -q -p flows-bench --bin msgpath -- --fast --json "$JSON"
 
@@ -38,6 +40,21 @@ check() { # <label> <observed> <floor>
 check "pingpong det 16K reliable" "$(rate pingpong det 16384 true)" 900000
 check "ring det 16K reliable"     "$(rate ring det 16384 true)"     900000
 check "pingpong det 8B raw"       "$(rate pingpong det 8 false)"    2500000
+check "fanin det 64B raw"         "$(rate fanin det 64 false)"      3000000
+
+cargo run --offline --release -q -p flows-bench --bin sched_migrate -- --fast --json "$SJSON"
+
+# srate <scenario> <flavor> -> ops_per_sec
+srate() {
+  grep "\"scenario\": \"$1\", \"flavor\": \"$2\"," "$SJSON" \
+    | sed -n 's/.*"ops_per_sec": \([0-9.]*\).*/\1/p' | head -1
+}
+
+check "ctx_switch standard"   "$(srate ctx_switch standard)"   3000000
+check "ctx_switch isomalloc"  "$(srate ctx_switch isomalloc)"  3000000
+check "migrate stack-copy"    "$(srate migrate stack-copy)"    500000
+check "migrate isomalloc"     "$(srate migrate isomalloc)"     70000
+check "migrate memory-alias"  "$(srate migrate memory-alias)"  100000
 
 if [ "$fail" -ne 0 ]; then
   echo "bench_smoke: FAIL (throughput regressed below recorded floor)"
