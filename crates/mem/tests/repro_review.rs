@@ -1,0 +1,32 @@
+use flows_mem::{IsoConfig, IsoRegion, ThreadSlab};
+
+// Recycle a slot whose previous tenant had a small stack and a heap that
+// grew past the next tenant's (larger) stack bottom. If ensure_uncommitted
+// over-decommits, the second tenant's stack is PROT_NONE and the write
+// below faults.
+#[test]
+fn recycled_slot_with_larger_stack_keeps_stack_committed() {
+    let r = IsoRegion::new(IsoConfig {
+        base: 0,
+        num_pes: 1,
+        slots_per_pe: 1,
+        slot_len: 256 * 1024,
+    })
+    .unwrap();
+
+    // Tenant 1: 16 KiB stack, heap grown to ~140 KiB (past 256-128=128 KiB).
+    let mut s1 = ThreadSlab::new(r.alloc_slot(0).unwrap(), 16 * 1024).unwrap();
+    let p = s1.malloc(140 * 1024).unwrap();
+    unsafe { std::ptr::write_bytes(p, 0xAB, 140 * 1024) };
+    drop(s1);
+
+    // Tenant 2: 128 KiB stack on the recycled slot.
+    let s2 = ThreadSlab::new(r.alloc_slot(0).unwrap(), 128 * 1024).unwrap();
+    let top = s2.stack_top();
+    let bottom = s2.stack_bottom();
+    unsafe {
+        std::ptr::write_volatile((top - 8) as *mut u64, 7);
+        std::ptr::write_volatile(bottom as *mut u64, 9);
+        assert_eq!(std::ptr::read_volatile((top - 8) as *const u64), 7);
+    }
+}
