@@ -184,6 +184,10 @@ pub struct AmpiOptions {
     /// plans with scripted PE crashes (no recovery driver) — use
     /// [`crate::run_world_ft`] for those.
     pub faults: Option<flows_converse::FaultPlan>,
+    /// Record a Projections-style event trace (see
+    /// `MachineBuilder::tracing`); the reduction and raw rings ride in the
+    /// returned `MachineReport`.
+    pub tracing: bool,
 }
 
 impl AmpiOptions {
@@ -199,6 +203,7 @@ impl AmpiOptions {
             stack_len: 64 * 1024,
             slot_len: 1 << 20,
             faults: None,
+            tracing: false,
         }
     }
 
@@ -230,6 +235,12 @@ impl AmpiOptions {
     /// run. Crash-free plans only; see [`crate::run_world_ft`] for crashes.
     pub fn with_faults(mut self, plan: flows_converse::FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Record a Projections-style event trace of the run.
+    pub fn tracing(mut self, yes: bool) -> Self {
+        self.tracing = yes;
         self
     }
 }
@@ -290,6 +301,7 @@ pub(crate) fn run_attempt(
     let mut mb = MachineBuilder::new(pes)
         .net_model(opts.net)
         .modeled_time(opts.modeled_time)
+        .tracing(opts.tracing)
         .sched_config(SchedConfig {
             stack_len: opts.stack_len,
             ..SchedConfig::default()
@@ -517,6 +529,12 @@ fn on_ckpt_snapshot(pe: &Pe, rank: u64, seq: u64) {
         "rank {rank} must be suspended at its checkpoint() point"
     );
     let packed = pe.sched().pack_thread(tid).expect("pack rank for checkpoint");
+    flows_trace::emit(
+        flows_trace::EventKind::Checkpoint,
+        rank,
+        seq,
+        packed.payload_len() as u64,
+    );
     let load_ns = packed.load_ns();
     let mut mv = RankMove {
         world: meta.world,
@@ -610,6 +628,12 @@ fn on_reduction(pe: &Pe, meta: &Arc<WorldMeta>, red: flows_comm::Reduction) {
         if std::env::var_os("FLOWS_LB_DEBUG").is_some() {
             eprintln!("[lb] decisions: {migs:?}");
         }
+        flows_trace::emit(
+            flows_trace::EventKind::LbEpoch,
+            red.seq,
+            migs.len() as u64,
+            reports.len() as u64,
+        );
         let dest_of: HashMap<u64, usize> = migs.iter().map(|m| (m.obj, m.to)).collect();
         // One plan message per source PE instead of one decision wire per
         // rank. Every reporting rank is suspended in migrate(), so the PE

@@ -37,6 +37,7 @@ fn main() {
             threaded: false,
             target: Default::default(),
             faults: None,
+            tracing: false,
         };
         let r = run(&cfg);
         t.row(vec![

@@ -71,6 +71,10 @@ pub struct BigSimConfig {
     /// not script any (`run` asserts this). Lossy links are survived by
     /// the reliable transport.
     pub faults: Option<FaultPlan>,
+    /// Record a Projections-style event trace (including per-step
+    /// virtual-time marks) into per-PE rings; the summary rides in
+    /// [`BigSimReport::trace`].
+    pub tracing: bool,
 }
 
 impl BigSimConfig {
@@ -85,6 +89,7 @@ impl BigSimConfig {
             threaded: false,
             target: TargetModel::default(),
             faults: None,
+            tracing: false,
         }
     }
 }
@@ -120,6 +125,8 @@ pub struct BigSimReport {
     pub step_tokens: u64,
     /// Fault/recovery counters (present iff a plan was attached).
     pub faults: Option<FaultSummary>,
+    /// Trace summary (present iff `cfg.tracing`).
+    pub trace: Option<flows_converse::TraceSummary>,
 }
 
 /// Cross-PE progress tokens sent per (step, destination PE) — enough
@@ -204,7 +211,9 @@ pub fn run(cfg: &BigSimConfig) -> BigSimReport {
     let kernel_total2 = kernel_total_ns.clone();
     let kernel_count2 = kernel_count.clone();
 
-    let mut mb = MachineBuilder::new(cfg.sim_pes).net_model(NetModel::zero());
+    let mut mb = MachineBuilder::new(cfg.sim_pes)
+        .net_model(NetModel::zero())
+        .tracing(cfg.tracing);
     if let Some(plan) = &cfg.faults {
         assert!(
             plan.crashes.is_empty(),
@@ -269,6 +278,12 @@ pub fn run(cfg: &BigSimConfig) -> BigSimReport {
                                     }
                                 }
                             });
+                            flows_trace::emit(
+                                flows_trace::EventKind::VtStep,
+                                flows_converse::vtime_ns(),
+                                step as u64,
+                                0,
+                            );
                         }
                         barrier.wait();
                         if tp == 0 {
@@ -313,6 +328,7 @@ pub fn run(cfg: &BigSimConfig) -> BigSimReport {
         predicted_target_step_ns: predicted as u64,
         step_tokens: step_tokens.load(Ordering::Relaxed),
         faults: report.faults,
+        trace: report.trace,
     }
 }
 
@@ -331,6 +347,7 @@ mod tests {
             threaded: false,
             target: TargetModel::default(),
             faults: None,
+            tracing: false,
         };
         let r = run(&cfg);
         assert_eq!(r.per_step_wall_ns.len(), 3);
@@ -353,6 +370,7 @@ mod tests {
             threaded: false,
             target: TargetModel::default(),
             faults: None,
+            tracing: false,
         };
         let a = run(&base);
         let b = run(&BigSimConfig {
@@ -373,6 +391,7 @@ mod tests {
             threaded: false,
             target: TargetModel::default(),
             faults: None,
+            tracing: false,
         };
         let t1 = run(&base).modeled_step_ns as f64;
         let t4 = run(&BigSimConfig {
@@ -399,6 +418,7 @@ mod tests {
             threaded: false,
             target: TargetModel::default(),
             faults: None,
+            tracing: false,
         };
         let r = run(&cfg);
         assert!(r.switches >= 5_000);
@@ -415,6 +435,7 @@ mod tests {
             threaded: false,
             target: TargetModel::default(),
             faults: None,
+            tracing: false,
         };
         let a = run(&clean);
         let faulty = BigSimConfig {
@@ -473,6 +494,7 @@ mod prediction_tests {
                 net_latency_ns: 0,
             },
             faults: None,
+            tracing: false,
         };
         let fast = run(&cfg).predicted_target_step_ns;
         cfg.target.cpu_ratio = 0.25;
@@ -505,6 +527,7 @@ mod prediction_tests {
                 net_latency_ns: 5_000_000,
             },
             faults: None,
+            tracing: false,
         };
         let r = run(&cfg);
         assert!(r.predicted_target_step_ns >= 5_000_000);

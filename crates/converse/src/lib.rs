@@ -54,6 +54,7 @@ pub mod pe;
 
 pub use fault::{FaultPlan, FaultSummary, PeCrash, PeStall};
 pub use flows_core::{Payload, PayloadBuf, PayloadPool};
+pub use flows_trace::{TraceRing, TraceSummary};
 pub use machine::{MachineBuilder, MachineReport};
 pub use msg::{HandlerId, Message, NetModel};
 pub use pe::{charge_ns, my_pe, num_pes, payload_buf, send, vtime_ns, with_pe, Pe};

@@ -9,6 +9,8 @@ use crossbeam::channel::unbounded;
 use crossbeam::sync::{Parker, Unparker};
 use flows_core::{SchedConfig, SchedStats, Scheduler, SharedPools};
 use flows_mem::IsoConfig;
+use flows_sys::counters::SyscallCounts;
+use flows_trace::{TraceRing, TraceSummary};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
@@ -118,6 +120,18 @@ pub struct MachineReport {
     /// Fault-injection / recovery counters (present iff a
     /// [`FaultPlan`] was attached).
     pub faults: Option<FaultSummary>,
+    /// Syscall counters per PE OS thread. In threaded mode each entry is
+    /// that PE's exact delta over the run; under deterministic drive all
+    /// PEs share one OS thread, so the machine-wide delta sits at index 0
+    /// and the rest are zero.
+    pub syscalls: Vec<SyscallCounts>,
+    /// Projections-style trace reduction (present iff the machine was
+    /// built with `.tracing(true)`).
+    pub trace: Option<TraceSummary>,
+    /// The raw per-PE event rings behind `trace`, for exporters
+    /// (`flows_trace::chrome`) and custom analyses. Empty when tracing
+    /// was off.
+    pub trace_rings: Vec<Arc<TraceRing>>,
 }
 
 impl MachineReport {
@@ -138,6 +152,8 @@ pub struct MachineBuilder {
     slots_per_pe: usize,
     fault: Option<Arc<FaultPlan>>,
     modeled_time: bool,
+    tracing: bool,
+    trace_cap: usize,
 }
 
 impl MachineBuilder {
@@ -154,7 +170,26 @@ impl MachineBuilder {
             slots_per_pe: 1024,
             fault: None,
             modeled_time: false,
+            tracing: false,
+            trace_cap: 1 << 16,
         }
+    }
+
+    /// Record a Projections-style event trace: one ring per PE, reduced
+    /// to `MachineReport::trace` at quiescence (the raw rings ride along
+    /// in `trace_rings`). Turns the process-wide trace gate on for the
+    /// run (and leaves it on — untraced machines carry no rings, so they
+    /// record nothing either way).
+    pub fn tracing(mut self, yes: bool) -> Self {
+        self.tracing = yes;
+        self
+    }
+
+    /// Events retained per PE ring (default 65536; oldest are overwritten
+    /// first and counted exactly in the summary's `dropped`).
+    pub fn trace_capacity(mut self, events: usize) -> Self {
+        self.trace_cap = events;
+        self
     }
 
     /// Advance virtual clocks by *modeled* costs only (`charge_ns` and the
@@ -217,7 +252,15 @@ impl MachineBuilder {
         SharedPools::new(iso, 1 << 20).expect("machine memory pools")
     }
 
-    fn make_seeds(&mut self) -> (Vec<PeSeed>, Arc<Hub>, Option<Arc<FaultStats>>) {
+    #[allow(clippy::type_complexity)]
+    fn make_seeds(
+        &mut self,
+    ) -> (
+        Vec<PeSeed>,
+        Arc<Hub>,
+        Option<Arc<FaultStats>>,
+        Vec<Arc<TraceRing>>,
+    ) {
         let shared = self.build_shared();
         let handlers = Arc::new(std::mem::take(&mut self.handlers));
         let hub = Arc::new(Hub::default());
@@ -226,6 +269,14 @@ impl MachineBuilder {
             stats: Arc::new(FaultStats::default()),
         });
         let stats = fault.as_ref().map(|f| f.stats.clone());
+        let rings: Vec<Arc<TraceRing>> = if self.tracing {
+            flows_trace::set_enabled(true);
+            (0..self.num_pes)
+                .map(|i| Arc::new(TraceRing::new(i, self.trace_cap)))
+                .collect()
+        } else {
+            Vec::new()
+        };
         let (txs, rxs): (Vec<_>, Vec<_>) = (0..self.num_pes).map(|_| unbounded()).unzip();
         let seeds = rxs
             .into_iter()
@@ -242,16 +293,18 @@ impl MachineBuilder {
                 net: self.net,
                 fault: fault.clone(),
                 modeled_time: self.modeled_time,
+                ring: rings.get(i).cloned(),
             })
             .collect();
-        (seeds, hub, stats)
+        (seeds, hub, stats, rings)
     }
 
     /// Drive all PEs round-robin on the calling OS thread until
     /// quiescence. Deterministic given deterministic application code.
     pub fn run_deterministic(mut self, init: impl Fn(&Pe)) -> MachineReport {
-        let (seeds, hub, stats) = self.make_seeds();
+        let (seeds, hub, stats, rings) = self.make_seeds();
         let pes: Vec<Pe> = seeds.into_iter().map(PeSeed::build).collect();
+        let sc0 = flows_sys::counters::snapshot();
         let t0 = flows_sys::time::monotonic_ns();
         for pe in &pes {
             let prev = pe.enter();
@@ -310,52 +363,63 @@ impl MachineBuilder {
             pe.flush_counters();
         }
         let wall_ns = flows_sys::time::monotonic_ns() - t0;
-        report(&pes, &hub, wall_ns, stats.as_deref())
+        // One OS thread drove every PE, so the syscall delta is
+        // machine-wide; it sits at index 0 (see `MachineReport::syscalls`).
+        let mut syscalls = vec![SyscallCounts::default(); pes.len()];
+        syscalls[0] = flows_sys::counters::snapshot().since(&sc0);
+        report(&pes, &hub, wall_ns, stats.as_deref(), syscalls, rings)
     }
 
     /// Drive each PE on its own OS thread until quiescence. Idle PEs park
     /// on a per-PE [`Parker`] and are woken by incoming packets (instead
     /// of spinning on `yield_now`).
     pub fn run(mut self, init: impl Fn(&Pe) + Send + Sync) -> MachineReport {
-        let (seeds, hub, stats) = self.make_seeds();
+        let (seeds, hub, stats, rings) = self.make_seeds();
         let num_pes = self.num_pes;
         let parkers: Vec<Parker> = (0..num_pes).map(|_| Parker::new()).collect();
         hub.wakers
             .set(parkers.iter().map(Parker::unparker).collect())
             .expect("fresh hub");
         let t0 = flows_sys::time::monotonic_ns();
-        let results: Vec<(u64, SchedStats, usize, u64, u64)> = std::thread::scope(|s| {
-            let init = &init;
-            let handles: Vec<_> = seeds
-                .into_iter()
-                .zip(parkers)
-                .map(|(seed, parker)| {
-                    let hub = hub.clone();
-                    s.spawn(move || {
-                        // The Pe (and its !Send scheduler) is born on the
-                        // OS thread that will drive it.
-                        let pe = seed.build();
-                        pe.set_threaded();
-                        let prev = pe.enter();
-                        init(&pe);
-                        drive_until_quiescent(&pe, &hub, num_pes, &parker);
-                        // Final flush so the report's totals are complete
-                        // on every exit path (quiescence or crash abort).
-                        pe.flush_counters();
-                        pe.leave(prev);
-                        (
-                            pe.vtime_ns(),
-                            pe.sched().stats(),
-                            pe.sched().thread_count(),
-                            pe.busy_ns(),
-                            pe.delivered(),
-                        )
+        let results: Vec<(u64, SchedStats, usize, u64, u64, SyscallCounts)> =
+            std::thread::scope(|s| {
+                let init = &init;
+                let handles: Vec<_> = seeds
+                    .into_iter()
+                    .zip(parkers)
+                    .map(|(seed, parker)| {
+                        let hub = hub.clone();
+                        s.spawn(move || {
+                            // The Pe (and its !Send scheduler) is born on the
+                            // OS thread that will drive it. Syscall counters
+                            // are thread-local, so the delta below is exactly
+                            // this PE's.
+                            let sc0 = flows_sys::counters::snapshot();
+                            let pe = seed.build();
+                            pe.set_threaded();
+                            let prev = pe.enter();
+                            init(&pe);
+                            drive_until_quiescent(&pe, &hub, num_pes, &parker);
+                            // Final flush so the report's totals are complete
+                            // on every exit path (quiescence or crash abort).
+                            pe.flush_counters();
+                            pe.leave(prev);
+                            (
+                                pe.vtime_ns(),
+                                pe.sched().stats(),
+                                pe.sched().thread_count(),
+                                pe.busy_ns(),
+                                pe.delivered(),
+                                flows_sys::counters::snapshot().since(&sc0),
+                            )
+                        })
                     })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("PE thread")).collect()
-        });
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("PE thread")).collect()
+            });
         let wall_ns = flows_sys::time::monotonic_ns() - t0;
+        let syscalls: Vec<SyscallCounts> = results.iter().map(|r| r.5).collect();
+        let trace = finish_trace(&rings, &syscalls);
         MachineReport {
             pe_vtimes: results.iter().map(|r| r.0).collect(),
             wall_ns,
@@ -366,6 +430,9 @@ impl MachineBuilder {
             pe_busy: results.iter().map(|r| r.3).collect(),
             crashed: hub.crashed_pe(),
             faults: stats.map(|s| s.summary()),
+            syscalls,
+            trace,
+            trace_rings: rings,
         }
     }
 }
@@ -384,6 +451,7 @@ struct PeSeed {
     net: NetModel,
     fault: Option<FaultCtx>,
     modeled_time: bool,
+    ring: Option<Arc<TraceRing>>,
 }
 
 impl PeSeed {
@@ -401,11 +469,35 @@ impl PeSeed {
             self.fault,
             self.modeled_time,
             pool,
+            self.ring,
         )
     }
 }
 
-fn report(pes: &[Pe], hub: &Hub, wall_ns: u64, stats: Option<&FaultStats>) -> MachineReport {
+/// Reduce the rings (if tracing was on) and fill the syscall-derived
+/// fields the events alone cannot know.
+fn finish_trace(rings: &[Arc<TraceRing>], syscalls: &[SyscallCounts]) -> Option<TraceSummary> {
+    if rings.is_empty() {
+        return None;
+    }
+    let mut sum = flows_trace::summarize(rings);
+    for p in sum.pes.iter_mut() {
+        if let Some(c) = syscalls.get(p.pe as usize) {
+            p.remap = c.remap;
+            p.syscalls_total = c.total();
+        }
+    }
+    Some(sum)
+}
+
+fn report(
+    pes: &[Pe],
+    hub: &Hub,
+    wall_ns: u64,
+    stats: Option<&FaultStats>,
+    syscalls: Vec<SyscallCounts>,
+    rings: Vec<Arc<TraceRing>>,
+) -> MachineReport {
     MachineReport {
         pe_vtimes: pes.iter().map(|p| p.vtime_ns()).collect(),
         wall_ns,
@@ -416,6 +508,9 @@ fn report(pes: &[Pe], hub: &Hub, wall_ns: u64, stats: Option<&FaultStats>) -> Ma
         pe_busy: pes.iter().map(|p| p.busy_ns()).collect(),
         crashed: hub.crashed_pe(),
         faults: stats.map(|s| s.summary()),
+        trace: finish_trace(&rings, &syscalls),
+        syscalls,
+        trace_rings: rings,
     }
 }
 

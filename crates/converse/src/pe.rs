@@ -7,6 +7,7 @@ use crate::msg::{HandlerId, Message, NetModel};
 use crossbeam::channel::{Receiver, Sender};
 use flows_core::{Payload, PayloadBuf, PayloadPool, Scheduler};
 use flows_sys::time::thread_cpu_ns;
+use flows_trace::{emit, EventKind, TraceRing};
 use std::any::{Any, TypeId};
 use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, VecDeque};
@@ -74,6 +75,13 @@ pub struct Pe {
     local_recv: Cell<u64>,
     /// Cumulative handler invocations (the bench's dispatch-rate counter).
     delivered: Cell<u64>,
+    /// This PE's trace event ring when the machine was built with
+    /// `.tracing(true)`. Installed as the OS thread's current ring for
+    /// exactly the `enter()`..`leave()` span.
+    ring: Option<Arc<TraceRing>>,
+    /// The ring that was current before `enter()` (restored by `leave()`,
+    /// which keeps nested machines from cross-recording).
+    prev_ring: Cell<*const TraceRing>,
     exts: RefCell<HashMap<TypeId, Box<dyn Any>>>,
 }
 
@@ -101,6 +109,7 @@ impl Pe {
         fault: Option<FaultCtx>,
         modeled_time: bool,
         pool: Arc<PayloadPool>,
+        ring: Option<Arc<TraceRing>>,
     ) -> Pe {
         Pe {
             id,
@@ -128,6 +137,8 @@ impl Pe {
             local_sent: Cell::new(0),
             local_recv: Cell::new(0),
             delivered: Cell::new(0),
+            ring,
+            prev_ring: Cell::new(std::ptr::null()),
             exts: RefCell::new(HashMap::new()),
         }
     }
@@ -242,6 +253,12 @@ impl Pe {
             sent_vtime: self.vtime.get(),
         };
         self.local_sent.set(self.local_sent.get() + 1);
+        emit(
+            EventKind::MsgSend,
+            dest as u64,
+            msg.data.len() as u64,
+            handler.0 as u64,
+        );
         if dest == self.id {
             self.local_q.borrow_mut().push_back(msg);
         } else if self.fault.is_some() {
@@ -299,6 +316,7 @@ impl Pe {
         let ctx = self.fault.as_ref().expect("transmit without plan");
         if ctx.plan.drop_roll(self.id, dest, seq, attempt) {
             FaultStats::bump(&ctx.stats.dropped);
+            emit(EventKind::FaultDrop, dest as u64, seq, attempt as u64);
         } else {
             FaultStats::bump(&ctx.stats.data_packets);
             self.post(
@@ -343,6 +361,12 @@ impl Pe {
     fn deliver_msg(&self, msg: Message) {
         self.local_recv.set(self.local_recv.get() + 1);
         self.delivered.set(self.delivered.get() + 1);
+        emit(
+            EventKind::MsgRecv,
+            msg.src_pe as u64,
+            msg.data.len() as u64,
+            msg.handler.0 as u64,
+        );
         // Virtual clock: the message cannot be processed before it arrives.
         let arrival = self
             .net
@@ -487,6 +511,7 @@ impl Pe {
         };
         for (dest, seq, msg, attempt) in due {
             FaultStats::bump(&ctx.stats.retransmits);
+            emit(EventKind::FaultRetransmit, dest as u64, seq, attempt as u64);
             self.transmit(dest, seq, &msg, attempt);
             moved = true;
         }
@@ -507,6 +532,7 @@ impl Pe {
             if self.vtime.get() >= c.at_vtime_ns {
                 self.crashed.set(true);
                 self.hub.record_crash(self.id);
+                emit(EventKind::FaultCrash, self.id as u64, 0, 0);
                 return true;
             }
         }
@@ -521,6 +547,7 @@ impl Pe {
                     self.stall_fired.set(true);
                     self.stall_left.set(s.for_steps);
                     FaultStats::bump(&ctx.stats.stalled_steps);
+                    emit(EventKind::FaultStall, self.id as u64, s.for_steps, 0);
                     return true;
                 }
             }
@@ -581,10 +608,15 @@ impl Pe {
     }
 
     pub(crate) fn enter(&self) -> *const Pe {
+        // SAFETY: `self.ring` (an Arc) outlives the enter..leave span.
+        self.prev_ring
+            .set(unsafe { flows_trace::swap_current(flows_trace::ring_ptr(self.ring.as_ref())) });
         CURRENT_PE.with(|c| c.replace(self as *const Pe))
     }
 
     pub(crate) fn leave(&self, prev: *const Pe) {
+        // SAFETY: restoring the pointer that was current before enter().
+        unsafe { flows_trace::swap_current(self.prev_ring.get()) };
         CURRENT_PE.with(|c| c.set(prev));
     }
 }

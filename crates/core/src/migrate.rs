@@ -110,7 +110,9 @@ fn tag_kind(t: u8) -> SysResult<SwapKind> {
     })
 }
 
-fn flavor_tag(f: StackFlavor) -> u8 {
+/// Stack-flavor wire tag — also the encoding trace events carry
+/// (`flows_trace::FLAVOR_NAMES` maps it back to names).
+pub(crate) fn flavor_tag(f: StackFlavor) -> u8 {
     match f {
         StackFlavor::StackCopy => 0,
         StackFlavor::Isomalloc => 1,
@@ -289,6 +291,15 @@ impl Scheduler {
         }
         let payload = buf.freeze();
         inner.stats.migrations_out += 1;
+        // The accumulated load travels with the thread so the destination
+        // PE's tracker (and its LB epoch) continues where this one left off.
+        let load_ns = inner.tracker.take(tid.0);
+        flows_trace::emit(
+            flows_trace::EventKind::MigPack,
+            tid.0,
+            payload.len() as u64,
+            flavor_tag(flavor) as u64,
+        );
         Ok(PackedThread {
             head: Head {
                 id: tid,
@@ -296,7 +307,7 @@ impl Scheduler {
                 flavor: flavor_tag(flavor),
                 state: matches!(tcb.state, ThreadState::Ready) as u8,
                 sp: sp as u64,
-                load_ns: tcb.load_ns,
+                load_ns,
                 priority: tcb.priority,
                 globals: tcb.globals.take(),
                 payload_len: payload.len() as u64,
@@ -394,7 +405,6 @@ impl Scheduler {
             entry_raw: None,
             started: true,
             globals: w.globals,
-            load_ns: w.load_ns,
             panicked: false,
             priority: w.priority,
         });
@@ -403,6 +413,13 @@ impl Scheduler {
             inner.runq.push(w.id, w.priority);
         }
         inner.stats.migrations_in += 1;
+        inner.tracker.set(w.id.0, w.load_ns);
+        flows_trace::emit(
+            flows_trace::EventKind::MigUnpack,
+            w.id.0,
+            w.payload_len,
+            w.flavor as u64,
+        );
         Ok(w.id)
     }
 }

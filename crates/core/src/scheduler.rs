@@ -18,7 +18,7 @@ use crate::shared::{SharedPools, DEFAULT_STACK_LEN};
 use crate::tcb::{FlavorData, StackFlavor, Tcb, ThreadId, ThreadState};
 use flows_arch::{set_exit_hook, Context, InitialStack, SwapKind};
 use flows_sys::error::{SysError, SysResult};
-use flows_sys::time::load_clock_ns;
+use flows_trace::{emit, EventKind, LoadTracker};
 use std::cell::{Cell, UnsafeCell};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -202,6 +202,9 @@ pub(crate) struct Inner {
     /// Stacks of finished Standard threads, reused (uncleared — a fresh
     /// bootstrap frame is built on top) instead of reallocated.
     std_stacks: Vec<Vec<u8>>,
+    /// Trace-derived per-thread CPU accounting — the load balancer's
+    /// measurement input (always on, independent of the trace gate).
+    pub tracker: LoadTracker,
 }
 
 /// One PE's user-level thread scheduler. `!Send`/`!Sync`: each PE's OS
@@ -245,6 +248,7 @@ impl Scheduler {
                 globals_buf,
                 globals_prev: (std::ptr::null_mut(), 0),
                 std_stacks: Vec::new(),
+                tracker: LoadTracker::new(),
             }),
         }
     }
@@ -326,6 +330,7 @@ impl Scheduler {
             },
         };
         let id = ThreadId(NEXT_TID.fetch_add(1, Ordering::Relaxed));
+        let ftag = crate::migrate::flavor_tag(data.flavor()) as u64;
         let entry: Box<dyn FnOnce()> = Box::new(f);
         let entry_raw = Box::into_raw(Box::new(entry)) as usize;
         let tcb = Box::new(Tcb {
@@ -336,13 +341,13 @@ impl Scheduler {
             entry_raw: Some(entry_raw),
             started: false,
             globals: inner.cfg.globals.as_ref().map(|l| l.new_block()),
-            load_ns: 0,
             panicked: false,
             priority,
         });
         inner.threads.insert(id, tcb);
         inner.runq.push(id, priority);
         inner.stats.spawned += 1;
+        emit(EventKind::ThreadCreate, id.0, ftag, stack_len as u64);
         Ok(id)
     }
 
@@ -458,12 +463,15 @@ impl Scheduler {
             (*inner).current_tcb = tcb;
             (*tcb).state = ThreadState::Running;
             (*inner).stats.switches += 1;
-            let t0 = load_clock_ns();
+            let ftag = crate::migrate::flavor_tag((*tcb).flavor.flavor()) as u64;
+            emit(EventKind::SwitchIn, tid.0, ftag, 0);
+            (*inner).tracker.begin();
 
             Context::swap_raw(&raw mut (*inner).sched_ctx, &raw const (*tcb).ctx);
 
             // ---- the thread ran and came back ----
-            (*tcb).load_ns += load_clock_ns().saturating_sub(t0);
+            let burst = (*inner).tracker.end(tid.0);
+            emit(EventKind::SwitchOut, tid.0, burst, ftag);
             (*inner).current = None;
             (*inner).current_tcb = std::ptr::null_mut();
             let done = (*tcb).state == ThreadState::Done;
@@ -507,6 +515,8 @@ impl Scheduler {
                     }
                 }
                 (*inner).stats.completed += 1;
+                let lifetime = (*inner).tracker.take(tid.0);
+                emit(EventKind::ThreadExit, tid.0, lifetime, 0);
             }
         }
     }
@@ -563,29 +573,30 @@ impl Scheduler {
     }
 
     /// Measured per-thread on-CPU time (the load balancer's input):
-    /// `(thread, nanoseconds)` pairs.
+    /// `(thread, nanoseconds)` pairs for every live thread, read from
+    /// the trace-derived [`LoadTracker`].
     pub fn loads(&self) -> Vec<(ThreadId, u64)> {
         // SAFETY: plain read between switches.
         let inner = unsafe { &*self.inner() };
-        inner.threads.values().map(|t| (t.id, t.load_ns)).collect()
+        inner
+            .threads
+            .keys()
+            .map(|&id| (id, inner.tracker.get(id.0)))
+            .collect()
     }
 
     /// Zero the per-thread load counters (start of a new LB epoch).
     pub fn reset_loads(&self) {
         // SAFETY: plain mutation between switches.
         let inner = unsafe { &mut *self.inner() };
-        for t in inner.threads.values_mut() {
-            t.load_ns = 0;
-        }
+        inner.tracker.reset_all();
     }
 
     /// Zero one thread's load counter (when its LB epoch rolls over).
     pub fn reset_load_tid(&self, tid: ThreadId) {
         // SAFETY: plain mutation between switches.
         let inner = unsafe { &mut *self.inner() };
-        if let Some(t) = inner.threads.get_mut(&tid) {
-            t.load_ns = 0;
-        }
+        inner.tracker.reset(tid.0);
     }
 
     pub(crate) fn inner_ptr(&self) -> *mut Inner {
@@ -735,7 +746,15 @@ impl Scheduler {
 /// The calling thread's accumulated on-CPU time in nanoseconds (excludes
 /// the burst currently executing). `None` outside a thread.
 pub fn current_load_ns() -> Option<u64> {
-    with_current_tcb(|tcb| tcb.load_ns)
+    let sched = CURRENT_SCHED.with(|c| c.get());
+    if sched.is_null() {
+        return None;
+    }
+    // SAFETY: same-OS-thread read; no reference held across a switch.
+    unsafe {
+        let inner = (*sched).inner_ptr();
+        (*inner).current.map(|tid| (*inner).tracker.get(tid.0))
+    }
 }
 
 /// Change the calling thread's scheduling priority (takes effect at its

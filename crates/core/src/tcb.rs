@@ -107,9 +107,6 @@ pub(crate) struct Tcb {
     /// Private globals block (swap-global privatization), if the scheduler
     /// has a `GlobalsLayout`.
     pub globals: Option<Vec<u8>>,
-    /// Accumulated on-CPU wall time (nanoseconds) — the load-balancer's
-    /// measurement input.
-    pub load_ns: u64,
     pub panicked: bool,
     /// Scheduling priority: lower runs first (Charm++ convention).
     pub priority: i32,
@@ -122,7 +119,6 @@ impl std::fmt::Debug for Tcb {
             .field("state", &self.state)
             .field("flavor", &self.flavor.flavor())
             .field("started", &self.started)
-            .field("load_ns", &self.load_ns)
             .finish()
     }
 }

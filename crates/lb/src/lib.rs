@@ -84,12 +84,16 @@ impl LbStats {
     }
 
     /// The PE loads *after* applying `migs` (for strategy evaluation).
+    /// Builds an id→load index once, so evaluating a decision costs
+    /// O(objs + migs) rather than O(objs × migs).
     pub fn loads_after(&self, migs: &[Migration]) -> Vec<f64> {
         let mut loads = self.pe_loads();
+        let by_id: std::collections::HashMap<u64, f64> =
+            self.objs.iter().map(|o| (o.id, o.load)).collect();
         for m in migs {
-            if let Some(o) = self.objs.iter().find(|o| o.id == m.obj) {
-                loads[m.from] -= o.load;
-                loads[m.to] += o.load;
+            if let Some(&load) = by_id.get(&m.obj) {
+                loads[m.from] -= load;
+                loads[m.to] += load;
             }
         }
         loads
@@ -390,6 +394,38 @@ mod tests {
         // Single PE: nowhere to rotate.
         let s1 = stats(1, &[(0, 0, 1.0)]);
         assert!(RotateLb.decide(&s1).is_empty());
+    }
+
+    #[test]
+    fn loads_after_matches_linear_scan() {
+        // The indexed implementation must agree with the obvious
+        // quadratic one, including unknown object ids (ignored).
+        let objs: Vec<_> = (0..50u64).map(|i| (i, (i % 4) as usize, 0.5 + i as f64)).collect();
+        let s = stats(4, &objs);
+        let migs: Vec<Migration> = (0..50u64)
+            .step_by(3)
+            .map(|i| Migration {
+                obj: i,
+                from: (i % 4) as usize,
+                to: ((i + 1) % 4) as usize,
+            })
+            .chain(std::iter::once(Migration {
+                obj: 999, // unknown id: must be ignored, not panic
+                from: 0,
+                to: 1,
+            }))
+            .collect();
+        let fast = s.loads_after(&migs);
+        let mut slow = s.pe_loads();
+        for m in &migs {
+            if let Some(o) = s.objs.iter().find(|o| o.id == m.obj) {
+                slow[m.from] -= o.load;
+                slow[m.to] += o.load;
+            }
+        }
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((a - b).abs() < 1e-9, "{fast:?} vs {slow:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! The compact event taxonomy and its fixed-size record.
+
+/// What happened. Mirrors the Projections taxonomy the paper's figures
+/// are built from, plus this reproduction's fault-injection and
+/// virtual-time events. The per-kind meaning of the `a`/`b`/`c` payload
+/// words is documented on each variant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum EventKind {
+    /// User annotation. `a`/`b`/`c` free-form.
+    #[default]
+    Mark = 0,
+    /// Thread created. `a`=tid, `b`=stack flavor tag, `c`=stack bytes.
+    ThreadCreate,
+    /// Thread ran to completion. `a`=tid, `b`=lifetime on-CPU ns.
+    ThreadExit,
+    /// Scheduler is switching a thread in. `a`=tid, `b`=flavor tag.
+    SwitchIn,
+    /// Thread yielded or blocked. `a`=tid, `b`=burst ns just spent
+    /// on-CPU, `c`=flavor tag. One `SwitchOut` closes one `SwitchIn`.
+    SwitchOut,
+    /// Message handed to the network. `a`=dest PE, `b`=payload bytes,
+    /// `c`=handler id.
+    MsgSend,
+    /// Message delivered to its handler. `a`=source PE, `b`=payload
+    /// bytes, `c`=handler id.
+    MsgRecv,
+    /// Thread packed for migration. `a`=tid, `b`=packed bytes,
+    /// `c`=flavor tag.
+    MigPack,
+    /// Thread unpacked after migration. `a`=tid, `b`=packed bytes,
+    /// `c`=flavor tag.
+    MigUnpack,
+    /// Checkpoint snapshot taken. `a`=rank, `b`=sequence, `c`=bytes.
+    Checkpoint,
+    /// Load-balance epoch completed. `a`=epoch sequence, `b`=migrations
+    /// planned, `c`=object reports collected.
+    LbEpoch,
+    /// Fault layer dropped a packet. `a`=dest PE, `b`=sequence,
+    /// `c`=attempt.
+    FaultDrop,
+    /// Reliable link retransmitted. `a`=dest PE, `b`=sequence,
+    /// `c`=attempt.
+    FaultRetransmit,
+    /// Injected PE crash observed. `a`=PE.
+    FaultCrash,
+    /// Injected PE stall window entered. `a`=PE, `b`=stall ns.
+    FaultStall,
+    /// BigSim advanced virtual time. `a`=virtual ns now, `b`=events
+    /// executed so far.
+    VtStep,
+}
+
+impl EventKind {
+    /// Stable short name (used by exporters and grep-based checks).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Mark => "mark",
+            EventKind::ThreadCreate => "thread_create",
+            EventKind::ThreadExit => "thread_exit",
+            EventKind::SwitchIn => "switch_in",
+            EventKind::SwitchOut => "switch_out",
+            EventKind::MsgSend => "msg_send",
+            EventKind::MsgRecv => "msg_recv",
+            EventKind::MigPack => "mig_pack",
+            EventKind::MigUnpack => "mig_unpack",
+            EventKind::Checkpoint => "checkpoint",
+            EventKind::LbEpoch => "lb_epoch",
+            EventKind::FaultDrop => "fault_drop",
+            EventKind::FaultRetransmit => "fault_retransmit",
+            EventKind::FaultCrash => "fault_crash",
+            EventKind::FaultStall => "fault_stall",
+            EventKind::VtStep => "vt_step",
+        }
+    }
+}
+
+/// One fixed-size trace record: a vDSO timestamp, a kind, and three
+/// kind-specific payload words. 40 bytes, copied into the ring by value.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Event {
+    /// Nanosecond timestamp from `flows_sys::time::load_clock_ns`.
+    pub ts: u64,
+    /// Event kind; payload meaning is per-kind (see [`EventKind`]).
+    pub kind: EventKind,
+    /// First payload word.
+    pub a: u64,
+    /// Second payload word.
+    pub b: u64,
+    /// Third payload word.
+    pub c: u64,
+}

@@ -1,0 +1,163 @@
+//! The per-PE single-writer event ring.
+
+use crate::event::Event;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fixed-capacity, overwrite-oldest event log owned by one PE.
+///
+/// Writes are wait-free and unsynchronized: exactly one OS thread (the
+/// one currently driving the owning PE) pushes events, bumping `head`
+/// with a `Release` store after the slot write. Readers only run after
+/// the writer has quiesced (machine report time, after PE joins), so a
+/// single `Acquire` load of `head` makes every published slot visible.
+/// Overwriting drops the *oldest* events; [`TraceRing::dropped_events`]
+/// is exact.
+pub struct TraceRing {
+    pe: usize,
+    cap: usize,
+    buf: UnsafeCell<Box<[Event]>>,
+    /// Total events ever pushed; `head % cap` is the next slot.
+    head: AtomicU64,
+}
+
+// SAFETY: the single-writer discipline above — one pushing thread at a
+// time, reads only after the writer quiesces — is what every installer
+// (Pe::enter/leave, install_ring) upholds. The UnsafeCell is never
+// touched concurrently from two threads.
+unsafe impl Sync for TraceRing {}
+unsafe impl Send for TraceRing {}
+
+impl TraceRing {
+    /// A ring for PE `pe` holding the most recent `cap` events
+    /// (`cap` is rounded up to at least 2).
+    pub fn new(pe: usize, cap: usize) -> Self {
+        let cap = cap.max(2);
+        TraceRing {
+            pe,
+            cap,
+            buf: UnsafeCell::new(vec![Event::default(); cap].into_boxed_slice()),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// The PE this ring belongs to.
+    pub fn pe(&self) -> usize {
+        self.pe
+    }
+
+    /// Slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Append one event, overwriting the oldest when full.
+    ///
+    /// # Safety
+    /// Must only be called from the single OS thread currently driving
+    /// this ring's PE (see the type-level discipline).
+    pub(crate) unsafe fn push(&self, ev: Event) {
+        let h = self.head.load(Ordering::Relaxed);
+        let buf = &mut *self.buf.get();
+        buf[(h % self.cap as u64) as usize] = ev;
+        self.head.store(h + 1, Ordering::Release);
+    }
+
+    /// Total events ever recorded (including ones since overwritten).
+    pub fn total_events(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Exactly how many of the oldest events were overwritten.
+    pub fn dropped_events(&self) -> u64 {
+        self.total_events().saturating_sub(self.cap as u64)
+    }
+
+    /// The retained events, oldest first. Call only after the writer
+    /// has quiesced.
+    pub fn events(&self) -> Vec<Event> {
+        let h = self.head.load(Ordering::Acquire);
+        // SAFETY: reader runs after the writer quiesced (crate
+        // discipline); the Acquire load orders the slot reads below
+        // after every published write.
+        let buf = unsafe { &*self.buf.get() };
+        let start = h.saturating_sub(self.cap as u64);
+        (start..h)
+            .map(|i| buf[(i % self.cap as u64) as usize])
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for TraceRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceRing")
+            .field("pe", &self.pe)
+            .field("cap", &self.cap)
+            .field("total_events", &self.total_events())
+            .field("dropped_events", &self.dropped_events())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(i: u64) -> Event {
+        Event {
+            ts: 1000 + i,
+            kind: EventKind::Mark,
+            a: i,
+            b: 0,
+            c: 0,
+        }
+    }
+
+    #[test]
+    fn fills_in_order_without_drops() {
+        let r = TraceRing::new(3, 8);
+        for i in 0..5 {
+            unsafe { r.push(ev(i)) };
+        }
+        assert_eq!(r.pe(), 3);
+        assert_eq!(r.total_events(), 5);
+        assert_eq!(r.dropped_events(), 0);
+        let evs = r.events();
+        assert_eq!(evs.len(), 5);
+        assert_eq!(evs.iter().map(|e| e.a).collect::<Vec<_>>(), [0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn wraparound_drops_oldest_and_counts_exactly() {
+        let r = TraceRing::new(0, 4);
+        for i in 0..11 {
+            unsafe { r.push(ev(i)) };
+        }
+        // 11 pushed into 4 slots: exactly 7 oldest dropped.
+        assert_eq!(r.total_events(), 11);
+        assert_eq!(r.dropped_events(), 7);
+        let evs = r.events();
+        assert_eq!(evs.len(), 4);
+        // The survivors are the newest four, oldest first.
+        assert_eq!(evs.iter().map(|e| e.a).collect::<Vec<_>>(), [7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn retained_timestamps_are_monotonic() {
+        let r = TraceRing::new(0, 16);
+        for i in 0..100 {
+            unsafe { r.push(ev(i)) };
+        }
+        let evs = r.events();
+        assert!(evs.windows(2).all(|w| w[0].ts <= w[1].ts));
+    }
+
+    #[test]
+    fn tiny_capacity_is_clamped() {
+        let r = TraceRing::new(0, 0);
+        assert!(r.capacity() >= 2);
+        unsafe { r.push(ev(0)) };
+        assert_eq!(r.events().len(), 1);
+    }
+}

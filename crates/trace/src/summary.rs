@@ -1,0 +1,369 @@
+//! Reducing raw event rings to the paper's analyses.
+//!
+//! Projections answers "what fraction of PE 3 was busy", "how big are
+//! the grains", "when did objects move" from the raw log. This module
+//! does the same reduction once, producing a [`TraceSummary`] that is
+//! pup-serializable (rides in `MachineReport`) and JSON-printable
+//! (no serde; the format is small enough to hand-roll).
+
+use crate::event::{Event, EventKind};
+use crate::ring::TraceRing;
+use flows_pup::pup_fields;
+
+/// Number of log2 buckets in the grainsize histogram. Bucket `i` counts
+/// on-CPU bursts with `floor(log2(ns)) == i` (bucket 0 also takes 0-ns
+/// bursts); the last bucket takes everything ≥ 2^31 ns (~2 s).
+pub const GRAIN_BUCKETS: usize = 32;
+
+/// Per-PE reduction of one trace ring.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct PeTraceSummary {
+    /// PE index.
+    pub pe: u64,
+    /// Events retained in the ring at summary time.
+    pub events: u64,
+    /// Oldest events overwritten by ring wraparound (exact).
+    pub dropped: u64,
+    /// Timestamp of the earliest retained event (ns).
+    pub first_ts: u64,
+    /// Timestamp of the latest retained event (ns).
+    pub last_ts: u64,
+    /// Context switches observed (`SwitchOut` count).
+    pub switches: u64,
+    /// Total on-CPU ns across all bursts (sum of `SwitchOut` bursts).
+    pub busy_ns: u64,
+    /// `busy_ns` over the retained span (`last_ts - first_ts`), clamped
+    /// to [0, 1]. The paper's per-PE utilization.
+    pub utilization: f64,
+    /// Threads created on this PE.
+    pub threads_created: u64,
+    /// Threads that ran to completion on this PE.
+    pub threads_exited: u64,
+    /// Messages handed to the network.
+    pub msgs_sent: u64,
+    /// Payload bytes handed to the network.
+    pub bytes_sent: u64,
+    /// Messages delivered to handlers.
+    pub msgs_recv: u64,
+    /// Payload bytes delivered.
+    pub bytes_recv: u64,
+    /// Threads packed and shipped away.
+    pub migrations_out: u64,
+    /// Threads received and unpacked.
+    pub migrations_in: u64,
+    /// Checkpoint snapshots taken.
+    pub checkpoints: u64,
+    /// Load-balance epochs observed.
+    pub lb_epochs: u64,
+    /// Fault-injection events (drops, retransmits, crashes, stalls).
+    pub faults: u64,
+    /// Memory-alias `MAP_FIXED` remaps issued by this PE's OS thread
+    /// (filled from the syscall counters, not from events).
+    pub remap: u64,
+    /// All syscalls issued by this PE's OS thread over the run
+    /// (likewise from the counters).
+    pub syscalls_total: u64,
+    /// log2 histogram of on-CPU burst lengths; see [`GRAIN_BUCKETS`].
+    pub grainsize_hist: Vec<u64>,
+}
+
+pup_fields!(PeTraceSummary {
+    pe,
+    events,
+    dropped,
+    first_ts,
+    last_ts,
+    switches,
+    busy_ns,
+    utilization,
+    threads_created,
+    threads_exited,
+    msgs_sent,
+    bytes_sent,
+    msgs_recv,
+    bytes_recv,
+    migrations_out,
+    migrations_in,
+    checkpoints,
+    lb_epochs,
+    faults,
+    remap,
+    syscalls_total,
+    grainsize_hist
+});
+
+/// One migration timeline entry: a thread leaving or arriving at a PE.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MigRecord {
+    /// When (ns).
+    pub ts: u64,
+    /// Where.
+    pub pe: u64,
+    /// Which thread.
+    pub tid: u64,
+    /// Packed image size in bytes.
+    pub bytes: u64,
+    /// `true` = packed (leaving `pe`), `false` = unpacked (arriving).
+    pub packed: bool,
+}
+
+pup_fields!(MigRecord { ts, pe, tid, bytes, packed });
+
+/// The machine-wide trace reduction: one [`PeTraceSummary`] per PE plus
+/// the merged migration timeline.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// Per-PE reductions, indexed by PE.
+    pub pes: Vec<PeTraceSummary>,
+    /// Every pack/unpack event across the machine, sorted by timestamp.
+    pub migrations: Vec<MigRecord>,
+}
+
+pup_fields!(TraceSummary { pes, migrations });
+
+/// log2 bucket index for a burst length.
+fn grain_bucket(ns: u64) -> usize {
+    if ns == 0 {
+        0
+    } else {
+        (63 - ns.leading_zeros() as usize).min(GRAIN_BUCKETS - 1)
+    }
+}
+
+/// Reduce one ring's retained events to a [`PeTraceSummary`] (the
+/// syscall-derived fields stay 0 here; the machine fills them from its
+/// counters) and append this PE's migration records to `migs`.
+pub fn summarize_pe(ring: &TraceRing, migs: &mut Vec<MigRecord>) -> PeTraceSummary {
+    let events = ring.events();
+    let mut s = PeTraceSummary {
+        pe: ring.pe() as u64,
+        events: events.len() as u64,
+        dropped: ring.dropped_events(),
+        first_ts: events.first().map_or(0, |e| e.ts),
+        last_ts: events.last().map_or(0, |e| e.ts),
+        grainsize_hist: vec![0; GRAIN_BUCKETS],
+        ..Default::default()
+    };
+    for ev in &events {
+        match ev.kind {
+            EventKind::SwitchOut => {
+                s.switches += 1;
+                s.busy_ns += ev.b;
+                s.grainsize_hist[grain_bucket(ev.b)] += 1;
+            }
+            EventKind::ThreadCreate => s.threads_created += 1,
+            EventKind::ThreadExit => s.threads_exited += 1,
+            EventKind::MsgSend => {
+                s.msgs_sent += 1;
+                s.bytes_sent += ev.b;
+            }
+            EventKind::MsgRecv => {
+                s.msgs_recv += 1;
+                s.bytes_recv += ev.b;
+            }
+            EventKind::MigPack => {
+                s.migrations_out += 1;
+                migs.push(mig_record(ring.pe() as u64, ev, true));
+            }
+            EventKind::MigUnpack => {
+                s.migrations_in += 1;
+                migs.push(mig_record(ring.pe() as u64, ev, false));
+            }
+            EventKind::Checkpoint => s.checkpoints += 1,
+            EventKind::LbEpoch => s.lb_epochs += 1,
+            EventKind::FaultDrop
+            | EventKind::FaultRetransmit
+            | EventKind::FaultCrash
+            | EventKind::FaultStall => s.faults += 1,
+            EventKind::SwitchIn | EventKind::VtStep | EventKind::Mark => {}
+        }
+    }
+    let span = s.last_ts.saturating_sub(s.first_ts);
+    if span > 0 {
+        s.utilization = (s.busy_ns as f64 / span as f64).clamp(0.0, 1.0);
+    }
+    s
+}
+
+fn mig_record(pe: u64, ev: &Event, packed: bool) -> MigRecord {
+    MigRecord {
+        ts: ev.ts,
+        pe,
+        tid: ev.a,
+        bytes: ev.b,
+        packed,
+    }
+}
+
+/// Reduce a set of per-PE rings to the machine-wide summary.
+pub fn summarize(rings: &[std::sync::Arc<TraceRing>]) -> TraceSummary {
+    let mut migrations = Vec::new();
+    let pes = rings
+        .iter()
+        .map(|r| summarize_pe(r, &mut migrations))
+        .collect();
+    migrations.sort_by_key(|m| m.ts);
+    TraceSummary { pes, migrations }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl PeTraceSummary {
+    fn to_json(&self) -> String {
+        let hist: Vec<String> = self.grainsize_hist.iter().map(|n| n.to_string()).collect();
+        format!(
+            concat!(
+                "{{\"pe\":{},\"events\":{},\"dropped\":{},\"first_ts\":{},\"last_ts\":{},",
+                "\"switches\":{},\"busy_ns\":{},\"utilization\":{:.6},",
+                "\"threads_created\":{},\"threads_exited\":{},",
+                "\"msgs_sent\":{},\"bytes_sent\":{},\"msgs_recv\":{},\"bytes_recv\":{},",
+                "\"migrations_out\":{},\"migrations_in\":{},\"checkpoints\":{},",
+                "\"lb_epochs\":{},\"faults\":{},\"remap\":{},\"syscalls_total\":{},",
+                "\"grainsize_hist\":[{}]}}"
+            ),
+            self.pe,
+            self.events,
+            self.dropped,
+            self.first_ts,
+            self.last_ts,
+            self.switches,
+            self.busy_ns,
+            self.utilization,
+            self.threads_created,
+            self.threads_exited,
+            self.msgs_sent,
+            self.bytes_sent,
+            self.msgs_recv,
+            self.bytes_recv,
+            self.migrations_out,
+            self.migrations_in,
+            self.checkpoints,
+            self.lb_epochs,
+            self.faults,
+            self.remap,
+            self.syscalls_total,
+            hist.join(",")
+        )
+    }
+}
+
+impl TraceSummary {
+    /// Serialize as a JSON object (hand-rolled; see module docs).
+    pub fn to_json(&self) -> String {
+        let pes: Vec<String> = self.pes.iter().map(|p| p.to_json()).collect();
+        let migs: Vec<String> = self
+            .migrations
+            .iter()
+            .map(|m| {
+                format!(
+                    "{{\"ts\":{},\"pe\":{},\"tid\":{},\"bytes\":{},\"dir\":\"{}\"}}",
+                    m.ts,
+                    m.pe,
+                    m.tid,
+                    m.bytes,
+                    json_escape(if m.packed { "out" } else { "in" })
+                )
+            })
+            .collect();
+        format!(
+            "{{\"pes\":[{}],\"migrations\":[{}]}}",
+            pes.join(","),
+            migs.join(",")
+        )
+    }
+
+    /// Machine-wide utilization: busy time over span, summed across PEs.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.pes.is_empty() {
+            return 0.0;
+        }
+        self.pes.iter().map(|p| p.utilization).sum::<f64>() / self.pes.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use std::sync::Arc;
+
+    fn push(ring: &TraceRing, ts: u64, kind: EventKind, a: u64, b: u64, c: u64) {
+        unsafe { ring.push(Event { ts, kind, a, b, c }) }
+    }
+
+    #[test]
+    fn summarize_counts_and_utilization() {
+        let ring = Arc::new(TraceRing::new(1, 64));
+        push(&ring, 100, EventKind::ThreadCreate, 1, 3, 4096);
+        push(&ring, 110, EventKind::SwitchIn, 1, 3, 0);
+        push(&ring, 160, EventKind::SwitchOut, 1, 50, 3);
+        push(&ring, 170, EventKind::MsgSend, 2, 128, 5);
+        push(&ring, 180, EventKind::MsgRecv, 0, 64, 5);
+        push(&ring, 190, EventKind::MigPack, 1, 9000, 3);
+        push(&ring, 195, EventKind::FaultDrop, 2, 7, 1);
+        push(&ring, 200, EventKind::ThreadExit, 1, 50, 0);
+        let sum = summarize(&[ring]);
+        let p = &sum.pes[0];
+        assert_eq!(p.pe, 1);
+        assert_eq!(p.events, 8);
+        assert_eq!(p.switches, 1);
+        assert_eq!(p.busy_ns, 50);
+        assert_eq!(p.threads_created, 1);
+        assert_eq!(p.threads_exited, 1);
+        assert_eq!((p.msgs_sent, p.bytes_sent), (1, 128));
+        assert_eq!((p.msgs_recv, p.bytes_recv), (1, 64));
+        assert_eq!(p.migrations_out, 1);
+        assert_eq!(p.faults, 1);
+        // span = 200-100 = 100, busy = 50
+        assert!((p.utilization - 0.5).abs() < 1e-9);
+        // burst of 50 ns lands in bucket floor(log2(50)) = 5
+        assert_eq!(p.grainsize_hist[5], 1);
+        assert_eq!(sum.migrations.len(), 1);
+        assert!(sum.migrations[0].packed);
+        assert_eq!(sum.migrations[0].bytes, 9000);
+    }
+
+    #[test]
+    fn grain_buckets_edge_cases() {
+        assert_eq!(grain_bucket(0), 0);
+        assert_eq!(grain_bucket(1), 0);
+        assert_eq!(grain_bucket(2), 1);
+        assert_eq!(grain_bucket(1023), 9);
+        assert_eq!(grain_bucket(1024), 10);
+        assert_eq!(grain_bucket(u64::MAX), GRAIN_BUCKETS - 1);
+    }
+
+    #[test]
+    fn pup_roundtrip() {
+        let ring = Arc::new(TraceRing::new(0, 16));
+        push(&ring, 10, EventKind::SwitchOut, 1, 7, 0);
+        push(&ring, 20, EventKind::MigUnpack, 4, 512, 1);
+        let mut sum = summarize(&[ring]);
+        let bytes = flows_pup::to_bytes(&mut sum);
+        let back: TraceSummary = flows_pup::from_bytes(&bytes).unwrap();
+        assert_eq!(back, sum);
+    }
+
+    #[test]
+    fn json_is_wellformed() {
+        let ring = Arc::new(TraceRing::new(0, 16));
+        push(&ring, 10, EventKind::SwitchOut, 1, 7, 0);
+        push(&ring, 20, EventKind::MigPack, 4, 512, 1);
+        let sum = summarize(&[ring]);
+        let js = sum.to_json();
+        crate::chrome::validate_json(&js).expect("summary JSON parses");
+        assert!(js.contains("\"migrations\""));
+    }
+}

@@ -19,6 +19,7 @@ fn main() {
         threaded: false,
         target: Default::default(),
         faults: None,
+        tracing: false,
     };
     println!(
         "simulating a {}-processor target machine with {} user-level threads on {} PEs...",

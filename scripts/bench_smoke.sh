@@ -8,6 +8,12 @@
 # measures post-fast-path, but above the pre-fast-path baselines — so a
 # regression back to per-message copies, per-switch CPU-clock syscalls,
 # or per-thread mmaps trips the gate while ordinary host jitter does not.
+#
+# These benches build with the tracing subsystem compiled in (flows-trace
+# is a default dependency of core/converse) but the runtime gate off, so
+# the same floors double as the tracing-disabled-overhead-is-noise check:
+# if the per-switch/per-message trace hooks ever cost more than their
+# intended gated TLS-null-check, ctx_switch and pingpong trip first.
 set -eu
 cd "$(dirname "$0")/.."
 

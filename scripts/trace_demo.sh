@@ -1,0 +1,47 @@
+#!/bin/bash
+# Tracing smoke test: run a small traced AMPI job (4 PEs, 8 ranks,
+# RotateLB migrations, one checkpoint, lossy transport), export the
+# Chrome-trace JSON, and sanity-check that every event family the
+# tracing subsystem promises actually landed in the file.
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT=$(mktemp /tmp/trace_demo.XXXXXX.json)
+trap 'rm -f "$OUT"' EXIT
+
+timeout 600 cargo run --offline --release -q -p flows-bench --bin trace_export -- \
+  --ranks 8 --pes 4 --iters 4 --out "$OUT"
+
+fail=0
+for kind in thread_create thread_exit msg_send msg_recv mig_pack mig_unpack \
+            checkpoint lb_epoch fault_drop fault_retransmit process_name; do
+  if grep -q "\"$kind\"" "$OUT"; then
+    echo "ok    event family: $kind"
+  else
+    echo "FAIL  missing event family: $kind"
+    fail=1
+  fi
+done
+# Context-switch slices are "X" complete events with a flavor arg.
+if grep -q '"ph":"X"' "$OUT" && grep -q '"flavor":"isomalloc"' "$OUT"; then
+  echo "ok    context-switch slices with stack flavor"
+else
+  echo "FAIL  no context-switch slices in the export"
+  fail=1
+fi
+# Strict JSON check when a python3 is around (the exporter also
+# self-validates with its own parser before writing).
+if command -v python3 >/dev/null 2>&1; then
+  if python3 -m json.tool "$OUT" >/dev/null; then
+    echo "ok    python3 json.tool parses the export"
+  else
+    echo "FAIL  export is not valid JSON"
+    fail=1
+  fi
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "trace_demo: FAIL"
+  exit 1
+fi
+echo "trace_demo: PASS ($(wc -c <"$OUT") bytes of Chrome trace)"

@@ -27,3 +27,4 @@ pub use flows_mem as mem;
 pub use flows_npb as npb;
 pub use flows_pup as pup;
 pub use flows_sys as sys;
+pub use flows_trace as trace;

@@ -176,6 +176,7 @@ fn figure11_scaling_shape_holds() {
         threaded: false,
         target: Default::default(),
         faults: None,
+        tracing: false,
     };
     let r2 = run_bigsim(&base);
     let r8 = run_bigsim(&BigSimConfig {
