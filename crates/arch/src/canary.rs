@@ -1,0 +1,57 @@
+//! Stack canaries for the runtime sanitizer (`--features sanitize`).
+//!
+//! A canary is a magic word written at the *floor* of a flow's stack —
+//! the lowest address a well-behaved flow may ever touch. The thread
+//! package arms it when a flow is created or switched in and verifies it
+//! when the flow suspends: a smashed canary means the flow ran past the
+//! bottom of its stack (or something scribbled over the slot), which on
+//! the isomalloc layout is the last writable word before the guard page
+//! and on the copy-stack layout is the edge of the common region.
+//!
+//! These helpers are deliberately dumb — raw word writes/reads — so they
+//! can be called from the context-switch path with no allocation and no
+//! TLS. The policy (when to arm, when to verify, what to do on a trip)
+//! lives in `flows-core`.
+
+/// The canary word. An address-like pattern that is recognizable in a
+/// debugger hexdump and is never a valid saved frame value.
+pub const STACK_CANARY: u64 = 0xCAFE_F10C_5AFE_57AC;
+
+/// Write the canary at `floor` (the lowest usable stack address).
+///
+/// # Safety
+/// `floor..floor+8` must be writable memory owned by the flow's stack and
+/// must not overlap any live frame (the caller picks a floor below the
+/// deepest stack pointer the flow can reach).
+pub unsafe fn arm(floor: usize) {
+    // SAFETY: per this function's contract; unaligned write so callers
+    // need not round `floor`.
+    unsafe { (floor as *mut u64).write_unaligned(STACK_CANARY) }
+}
+
+/// Is the canary at `floor` intact?
+///
+/// # Safety
+/// `floor..floor+8` must be readable memory previously armed by [`arm`].
+pub unsafe fn intact(floor: usize) -> bool {
+    // SAFETY: per this function's contract.
+    unsafe { (floor as *const u64).read_unaligned() == STACK_CANARY }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arm_then_verify_then_smash() {
+        let mut word = [0u8; 16];
+        let floor = word.as_mut_ptr() as usize + 3; // deliberately unaligned
+        // SAFETY: floor points into the local buffer with 8 bytes of room.
+        unsafe {
+            arm(floor);
+            assert!(intact(floor));
+            (floor as *mut u8).write(0x00); // a single-byte overwrite trips it
+            assert!(!intact(floor));
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! Saved flows of control and the swap operation over them.
 
 use crate::swap::{flows_swap_full, flows_swap_min};
+use flows_sys::signal::SigSet;
 use std::fmt;
 
 /// Which swap routine a [`Context`] uses (see crate docs and paper §4.3).
@@ -35,7 +36,7 @@ impl SwapKind {
 pub struct Context {
     pub(crate) sp: usize,
     kind: SwapKind,
-    mask: libc::sigset_t,
+    mask: SigSet,
 }
 
 impl Context {
@@ -43,15 +44,13 @@ impl Context {
     /// a flow swaps *out* through it, or when built by
     /// [`crate::InitialStack`].
     pub fn new(kind: SwapKind) -> Context {
-        // SAFETY: sigset_t is a plain bitmask; an empty mask is a valid
-        // value and is immediately overwritten by sigprocmask when used.
-        let mut mask: libc::sigset_t = unsafe { std::mem::zeroed() };
-        if kind == SwapKind::SignalMask {
-            // Capture the creating thread's mask as the initial mask, as
-            // swapcontext-style packages do.
-            // SAFETY: querying the current mask into a valid sigset_t.
-            unsafe { libc::pthread_sigmask(libc::SIG_SETMASK, std::ptr::null(), &mut mask) };
-        }
+        // Capture the creating thread's mask as the initial mask, as
+        // swapcontext-style packages do; the other kinds never read it.
+        let mask = if kind == SwapKind::SignalMask {
+            SigSet::current()
+        } else {
+            SigSet::empty()
+        };
         Context { sp: 0, kind, mask }
     }
 
@@ -126,19 +125,10 @@ impl Context {
                 // Emulate swapcontext: save our mask into `old`, install
                 // `new`'s mask, then do the register swap. Two syscalls per
                 // switch — exactly the overhead §4.3 warns about.
-                // SAFETY: valid sigset_t pointers; mask writes race nothing
+                // SAFETY: valid SigSet pointers; mask writes race nothing
                 // (caller guarantees exclusive access to *old).
                 unsafe {
-                    libc::pthread_sigmask(
-                        libc::SIG_SETMASK,
-                        std::ptr::null(),
-                        &raw mut (*old).mask,
-                    );
-                    libc::pthread_sigmask(
-                        libc::SIG_SETMASK,
-                        &raw const (*new).mask,
-                        std::ptr::null_mut(),
-                    );
+                    flows_sys::signal::swap_mask(&raw mut (*old).mask, &raw const (*new).mask);
                     flows_swap_min(&raw mut (*old).sp, &raw const (*new).sp);
                 }
             }

@@ -25,6 +25,8 @@
 
 #![warn(missing_docs)]
 
+#[cfg(feature = "sanitize")]
+pub mod canary;
 pub mod context;
 pub mod stack;
 mod swap;

@@ -117,6 +117,8 @@ mod tests {
 
     fn new_pingpong(kind: SwapKind, entry: Entry) -> *mut PingPong {
         let mut stack = vec![0u8; 128 * 1024];
+        // SAFETY: one-past-the-end of the owned vec, never dereferenced
+        // directly — only used as the initial stack top.
         let top = unsafe { stack.as_mut_ptr().add(stack.len()) };
         let st = Box::into_raw(Box::new(PingPong {
             main: Context::new(kind),

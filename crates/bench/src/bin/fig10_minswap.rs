@@ -30,6 +30,7 @@ extern "C" fn partner(arg: usize) {
 
 fn bench(kind: SwapKind, iters: u64) -> f64 {
     let mut stack = vec![0u8; 64 * 1024];
+    // SAFETY: one-past-the-end of the owned vec, used only as stack top.
     let top = unsafe { stack.as_mut_ptr().add(stack.len()) };
     let st = Box::into_raw(Box::new(PingPong {
         main: Context::new(kind),

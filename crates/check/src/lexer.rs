@@ -1,0 +1,294 @@
+//! A minimal Rust lexer: just enough to separate *code* from *comments*
+//! and to blank out string/char literal contents, so the rule engine can
+//! do word-level matching on code without being fooled by `"unsafe"` in
+//! a string or `libc::` in a doc comment.
+//!
+//! Handled: line comments (`//`, `///`, `//!`), nested block comments,
+//! string literals with escapes, raw strings with any number of `#`s
+//! (plus `b`/`c` prefixes), char/byte literals, and the char-literal vs
+//! lifetime ambiguity (`'a'` vs `'a`).
+
+/// One file, split into per-line code text and per-line comment text.
+///
+/// Both vectors have exactly one entry per source line. `code[i]` is line
+/// `i` with comments removed and string/char literal *contents* replaced
+/// by spaces (the quotes survive as placeholders, so column positions are
+/// preserved). `comments[i]` is the concatenated comment text that
+/// appears on line `i`, doc comments included.
+#[derive(Debug, Default)]
+pub struct Stripped {
+    /// Per-line code with comments and literal contents blanked.
+    pub code: Vec<String>,
+    /// Per-line comment text (line, block and doc comments).
+    pub comments: Vec<String>,
+}
+
+#[derive(PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    CharLit,
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// If `chars[i..]` opens a raw string (`r"`, `r#"`, `br"`, `cr##"`, ...),
+/// return `(hashes, opener_len)`.
+fn raw_string_open(chars: &[char], i: usize) -> Option<(u32, usize)> {
+    let mut j = i;
+    if j < chars.len() && (chars[j] == 'b' || chars[j] == 'c') {
+        j += 1;
+    }
+    if j >= chars.len() || chars[j] != 'r' {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while j < chars.len() && chars[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j < chars.len() && chars[j] == '"' {
+        Some((hashes, j + 1 - i))
+    } else {
+        None
+    }
+}
+
+/// Is the `'` at `chars[i]` a char literal (as opposed to a lifetime or
+/// loop label)? `'x'` closes right after one scalar; escapes (`'\n'`)
+/// always mean a literal; `'static` has no closing quote at `i + 2`.
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(_) => chars.get(i + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+/// Strip `src` into per-line code and comment text. Never fails: on
+/// malformed input (unterminated literal) the rest of the file is treated
+/// as literal content, which is the conservative choice for linting.
+pub fn strip(src: &str) -> Stripped {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Stripped::default();
+    let mut code_line = String::new();
+    let mut comment_line = String::new();
+    let mut state = State::Code;
+    let mut i = 0;
+
+    macro_rules! newline {
+        () => {{
+            out.code.push(std::mem::take(&mut code_line));
+            out.comments.push(std::mem::take(&mut comment_line));
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            newline!();
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    i += 2;
+                    // Skip doc-comment markers so the text starts clean.
+                    while i < chars.len() && (chars[i] == '/' || chars[i] == '!') {
+                        i += 1;
+                    }
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                    continue;
+                }
+                // Raw strings: only when not glued to an identifier
+                // (`for"x"` is not valid Rust; `r` in `var` must not
+                // trigger).
+                let prev_ident = i > 0 && is_ident(chars[i - 1]);
+                if !prev_ident {
+                    if let Some((hashes, skip)) = raw_string_open(&chars, i) {
+                        for _ in 0..skip {
+                            code_line.push(' ');
+                        }
+                        i += skip;
+                        state = State::RawStr(hashes);
+                        continue;
+                    }
+                }
+                if c == '"' {
+                    code_line.push('"');
+                    state = State::Str;
+                    i += 1;
+                    continue;
+                }
+                if c == '\'' && !prev_ident && is_char_literal(&chars, i) {
+                    code_line.push('\'');
+                    state = State::CharLit;
+                    i += 1;
+                    continue;
+                }
+                code_line.push(c);
+                i += 1;
+            }
+            State::LineComment => {
+                comment_line.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else {
+                    comment_line.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    code_line.push(' ');
+                    if i + 1 < chars.len() && chars[i + 1] != '\n' {
+                        code_line.push(' ');
+                        i += 1;
+                    }
+                } else if c == '"' {
+                    code_line.push('"');
+                    state = State::Code;
+                } else {
+                    code_line.push(' ');
+                }
+                i += 1;
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes as usize {
+                        if chars.get(i + 1 + k) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        for _ in 0..=hashes as usize {
+                            code_line.push(' ');
+                        }
+                        i += 1 + hashes as usize;
+                        state = State::Code;
+                        continue;
+                    }
+                }
+                code_line.push(' ');
+                i += 1;
+            }
+            State::CharLit => {
+                if c == '\\' {
+                    code_line.push(' ');
+                    if i + 1 < chars.len() && chars[i + 1] != '\n' {
+                        code_line.push(' ');
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    code_line.push('\'');
+                    state = State::Code;
+                } else {
+                    code_line.push(' ');
+                }
+                i += 1;
+            }
+        }
+    }
+    newline!();
+    out
+}
+
+/// Column positions where `word` occurs in `line` as a whole token
+/// (neither neighbor is an identifier character).
+pub fn find_token(line: &str, word: &str) -> Vec<usize> {
+    let bytes = line.as_bytes();
+    let mut found = Vec::new();
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0 || {
+            let b = bytes[at - 1] as char;
+            !is_ident(b)
+        };
+        let after = at + word.len();
+        let after_ok = after >= bytes.len() || {
+            let b = bytes[after] as char;
+            !is_ident(b)
+        };
+        if before_ok && after_ok {
+            found.push(at);
+        }
+        start = at + word.len().max(1);
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_separated() {
+        let s = strip("let x = \"unsafe\"; // SAFETY: not really\nunsafe { f() }\n");
+        assert_eq!(s.code.len(), 3);
+        assert!(!s.code[0].contains("unsafe"), "string content blanked");
+        assert!(s.comments[0].contains("SAFETY"));
+        assert!(s.code[1].contains("unsafe"));
+        assert!(s.comments[1].is_empty());
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let s = strip("let a = r#\"libc::getpid // no\"#; let b = 'x'; let c: &'static str = \"\";\n");
+        assert!(!s.code[0].contains("libc"));
+        assert!(s.comments[0].is_empty(), "comment inside raw string ignored");
+        assert!(s.code[0].contains("&'static str"), "lifetime kept as code");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = strip("/* outer /* inner */ still comment */ code()\n");
+        assert!(s.code[0].contains("code()"));
+        assert!(s.comments[0].contains("inner"));
+        assert!(!s.code[0].contains("outer"));
+    }
+
+    #[test]
+    fn token_boundaries() {
+        assert_eq!(find_token("unsafe_fn unsafe x", "unsafe"), vec![10]);
+        assert_eq!(find_token("libc::getpid()", "libc"), vec![0]);
+        assert!(find_token("mylibc::x", "libc").is_empty());
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let s = strip("let x = \"a\\\"unsafe\\\"b\"; unsafe {}\n");
+        let code = &s.code[0];
+        assert_eq!(find_token(code, "unsafe").len(), 1, "only the real one: {code}");
+    }
+}

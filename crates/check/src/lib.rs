@@ -1,0 +1,536 @@
+//! # flows-check — `flowslint`, migration-safety lints for this workspace
+//!
+//! The paper's migratable-thread techniques rest on invariants `rustc`
+//! cannot check: global state must not leak into migratable code (§3.3),
+//! raw addresses must not be serialized across a stack-copy migration
+//! (§3.4.1), and every syscall must flow through `flows-sys` so the
+//! `SyscallCounts` accounting that `flows-trace` reports stays honest.
+//! This crate enforces those invariants *at the source level* with a
+//! hand-rolled lexer (see [`lexer`]) — dependency-free, no rustc plugin,
+//! fast enough to run on every CI invocation.
+//!
+//! ## Rules
+//!
+//! | id | checks |
+//! |----|--------|
+//! | `unsafe-safety-comment` | every `unsafe` occurrence carries a `// SAFETY:` comment (same line, the contiguous comment/attribute block above, or a `# Safety` doc section) |
+//! | `no-global-state` | `static mut` / `thread_local!` forbidden in the migratable crates (`core`, `ampi`, `npb`, `chare`) outside `core/src/privatize.rs` |
+//! | `pup-raw-pointer` | raw-pointer fields flagged in any type that implements `Pup` (raw addresses do not survive stack-copy migration) |
+//! | `no-direct-libc` | `libc::` forbidden outside `flows-sys` (bypasses `SyscallCounts`) |
+//!
+//! ## Waivers
+//!
+//! A deliberate exception is declared in a comment:
+//!
+//! ```text
+//! // flowslint::allow(no-direct-libc): fork-based benchmark child, by design
+//! ```
+//!
+//! A waiver on a pure-comment line covers the next line that contains
+//! code; on a code line it covers that line. The `allow-file` variant,
+//! written the same way, waives the rule for the whole file. Waivers
+//! must name a real rule — unknown ids are themselves findings — so a
+//! typo cannot silently disable checking.
+
+pub mod lexer;
+
+use lexer::{find_token, strip, Stripped};
+use std::collections::HashSet;
+use std::fmt;
+use std::path::Path;
+
+/// The four lint rules (see crate docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// `unsafe` without a `// SAFETY:` / `# Safety` justification.
+    UnsafeSafetyComment,
+    /// `static mut` / `thread_local!` in migratable crates.
+    NoGlobalState,
+    /// Raw-pointer field in a `Pup`-implementing type.
+    PupRawPointer,
+    /// Direct `libc::` use outside `flows-sys`.
+    NoDirectLibc,
+}
+
+impl Rule {
+    /// Every rule, in reporting order.
+    pub const ALL: [Rule; 4] = [
+        Rule::UnsafeSafetyComment,
+        Rule::NoGlobalState,
+        Rule::PupRawPointer,
+        Rule::NoDirectLibc,
+    ];
+
+    /// The stable id used in reports and waiver comments.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::UnsafeSafetyComment => "unsafe-safety-comment",
+            Rule::NoGlobalState => "no-global-state",
+            Rule::PupRawPointer => "pup-raw-pointer",
+            Rule::NoDirectLibc => "no-direct-libc",
+        }
+    }
+
+    fn from_id(id: &str) -> Option<Rule> {
+        Rule::ALL.iter().copied().find(|r| r.id() == id)
+    }
+}
+
+/// One lint violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which rule fired (`None` for meta-findings like bad waivers).
+    pub rule: Option<Rule>,
+    /// Human explanation.
+    pub msg: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rule = self.rule.map(|r| r.id()).unwrap_or("flowslint");
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, rule, self.msg)
+    }
+}
+
+/// Crates whose code runs on migratable thread stacks: per-thread state
+/// must be privatized (paper §3.3), never process-global.
+const MIGRATABLE_CRATES: [&str; 4] = ["core", "ampi", "npb", "chare"];
+
+/// The one sanctioned home of thread-local machinery in migratable
+/// crates: the swap-global privatization layer itself.
+const PRIVATIZE_FILE: &str = "core/src/privatize.rs";
+
+struct SourceFile {
+    path: String,
+    /// `crates/<key>/...` → `<key>`; everything else → "".
+    crate_key: String,
+    stripped: Stripped,
+    /// Per-line waived rules (line-scoped `flowslint::allow`).
+    line_waivers: Vec<HashSet<Rule>>,
+    /// File-scoped waivers (`flowslint::allow-file`).
+    file_waivers: HashSet<Rule>,
+}
+
+fn crate_key(path: &str) -> String {
+    let mut parts = path.split('/');
+    if parts.next() == Some("crates") {
+        parts.next().unwrap_or("").to_string()
+    } else {
+        String::new()
+    }
+}
+
+/// Parse line- and file-scoped waiver markers out of one comment line.
+/// Returns (line rules, file rules, bad ids).
+fn parse_waivers(comment: &str) -> (Vec<Rule>, Vec<Rule>, Vec<String>) {
+    let (mut line, mut file, mut bad) = (Vec::new(), Vec::new(), Vec::new());
+    let mut rest = comment;
+    while let Some(at) = rest.find("flowslint::allow") {
+        rest = &rest[at + "flowslint::allow".len()..];
+        let file_scope = rest.starts_with("-file");
+        if file_scope {
+            rest = &rest["-file".len()..];
+        }
+        let Some(open) = rest.find('(') else { continue };
+        let Some(close) = rest[open..].find(')') else { continue };
+        let ids = &rest[open + 1..open + close];
+        for id in ids.split(',') {
+            let id = id.trim();
+            match Rule::from_id(id) {
+                Some(r) if file_scope => file.push(r),
+                Some(r) => line.push(r),
+                None => bad.push(id.to_string()),
+            }
+        }
+        rest = &rest[open + close..];
+    }
+    (line, file, bad)
+}
+
+fn analyze(path: &str, src: &str, findings: &mut Vec<Finding>) -> SourceFile {
+    let stripped = strip(src);
+    let n = stripped.code.len();
+    let mut line_waivers: Vec<HashSet<Rule>> = vec![HashSet::new(); n];
+    let mut file_waivers = HashSet::new();
+    for i in 0..n {
+        let comment = &stripped.comments[i];
+        if comment.is_empty() {
+            continue;
+        }
+        let (line, file, bad) = parse_waivers(comment);
+        for id in bad {
+            findings.push(Finding {
+                file: path.to_string(),
+                line: i + 1,
+                rule: None,
+                msg: format!("waiver names unknown rule `{id}`"),
+            });
+        }
+        file_waivers.extend(file);
+        if line.is_empty() {
+            continue;
+        }
+        // A waiver covers its own line; a pure-comment waiver line also
+        // covers everything down to (and including) the next code line.
+        line_waivers[i].extend(line.iter().copied());
+        if stripped.code[i].trim().is_empty() {
+            for (j, lw) in line_waivers.iter_mut().enumerate().take(n).skip(i + 1) {
+                lw.extend(line.iter().copied());
+                if !stripped.code[j].trim().is_empty() {
+                    break;
+                }
+            }
+        }
+    }
+    SourceFile {
+        path: path.to_string(),
+        crate_key: crate_key(path),
+        stripped,
+        line_waivers,
+        file_waivers,
+    }
+}
+
+impl SourceFile {
+    fn waived(&self, rule: Rule, line_idx: usize) -> bool {
+        self.file_waivers.contains(&rule)
+            || self.line_waivers.get(line_idx).is_some_and(|w| w.contains(&rule))
+    }
+
+    fn report(&self, rule: Rule, line_idx: usize, msg: String, out: &mut Vec<Finding>) {
+        if !self.waived(rule, line_idx) {
+            out.push(Finding {
+                file: self.path.clone(),
+                line: line_idx + 1,
+                rule: Some(rule),
+                msg,
+            });
+        }
+    }
+}
+
+fn mentions_safety(comment: &str) -> bool {
+    comment.contains("SAFETY") || comment.contains("# Safety")
+}
+
+/// A line that may sit between a SAFETY comment and its `unsafe`:
+/// blank, or an attribute.
+fn is_transparent(code: &str) -> bool {
+    let t = code.trim();
+    t.is_empty() || t.starts_with("#[") || t.starts_with("#![") || t == ")]"
+}
+
+fn rule_unsafe(f: &SourceFile, out: &mut Vec<Finding>) {
+    for i in 0..f.stripped.code.len() {
+        if find_token(&f.stripped.code[i], "unsafe").is_empty() {
+            continue;
+        }
+        let mut covered = mentions_safety(&f.stripped.comments[i]);
+        let mut j = i;
+        while !covered && j > 0 {
+            j -= 1;
+            let has_comment = !f.stripped.comments[j].is_empty();
+            if mentions_safety(&f.stripped.comments[j]) {
+                covered = true;
+                break;
+            }
+            // Keep climbing through the contiguous comment/attribute
+            // block; stop at the first real code line.
+            if !has_comment && !is_transparent(&f.stripped.code[j]) {
+                break;
+            }
+        }
+        if !covered {
+            f.report(
+                Rule::UnsafeSafetyComment,
+                i,
+                "`unsafe` without a `// SAFETY:` comment (or `# Safety` doc section)".into(),
+                out,
+            );
+        }
+    }
+}
+
+fn rule_global_state(f: &SourceFile, out: &mut Vec<Finding>) {
+    if !MIGRATABLE_CRATES.contains(&f.crate_key.as_str()) || f.path.ends_with(PRIVATIZE_FILE) {
+        return;
+    }
+    for (i, code) in f.stripped.code.iter().enumerate() {
+        for at in find_token(code, "static") {
+            let rest = code[at + "static".len()..].trim_start();
+            if rest.starts_with("mut ") || rest.starts_with("mut\t") {
+                f.report(
+                    Rule::NoGlobalState,
+                    i,
+                    "`static mut` in a migratable crate: state shared across threads \
+                     does not migrate (privatize it via `core/src/privatize.rs`)"
+                        .into(),
+                    out,
+                );
+            }
+        }
+        for at in find_token(code, "thread_local") {
+            if code[at + "thread_local".len()..].trim_start().starts_with('!') {
+                f.report(
+                    Rule::NoGlobalState,
+                    i,
+                    "`thread_local!` in a migratable crate: TLS belongs to the OS \
+                     thread, not the migratable flow (\"Fibers are not (P)Threads\")"
+                        .into(),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+/// Collect names of types that implement `Pup` in this file, from
+/// `impl ... Pup for X` and `pup_fields!(X { ... })`.
+fn pup_types(f: &SourceFile, into: &mut HashSet<String>) {
+    for code in &f.stripped.code {
+        if !find_token(code, "impl").is_empty() {
+            if let Some(at) = code.find("Pup for ") {
+                // Exclude e.g. `MyPup for`: require a non-ident char (or
+                // `::` path) before `Pup`.
+                let ok = at == 0 || {
+                    let prev = code.as_bytes()[at - 1] as char;
+                    !(prev.is_alphanumeric() || prev == '_') || code[..at].ends_with("::")
+                };
+                if ok {
+                    let name: String = code[at + "Pup for ".len()..]
+                        .trim_start()
+                        .chars()
+                        .take_while(|c| c.is_alphanumeric() || *c == '_')
+                        .collect();
+                    if !name.is_empty() {
+                        into.insert(name);
+                    }
+                }
+            }
+        }
+        for at in find_token(code, "pup_fields") {
+            let rest = code[at + "pup_fields".len()..].trim_start();
+            if let Some(rest) = rest.strip_prefix('!') {
+                let rest = rest.trim_start();
+                if let Some(rest) = rest.strip_prefix('(') {
+                    let name: String = rest
+                        .trim_start()
+                        .chars()
+                        .take_while(|c| c.is_alphanumeric() || *c == '_')
+                        .collect();
+                    if !name.is_empty() {
+                        into.insert(name);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A raw-pointer field candidate: `(line index, type name, field text)`.
+fn raw_pointer_fields(f: &SourceFile) -> Vec<(usize, String, String)> {
+    let mut found = Vec::new();
+    let code = &f.stripped.code;
+    let mut i = 0;
+    while i < code.len() {
+        let line = &code[i];
+        let Some(at) = find_token(line, "struct").first().copied() else {
+            i += 1;
+            continue;
+        };
+        let name: String = line[at + "struct".len()..]
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if name.is_empty() {
+            i += 1;
+            continue;
+        }
+        // Walk the struct body (brace- or paren-delimited); a `;` before
+        // any opener means a unit struct.
+        let mut depth = 0i32;
+        let mut j = i;
+        let mut entered = false;
+        'body: while j < code.len() {
+            let start_col = if j == i { at } else { 0 };
+            for (k, ch) in code[j][start_col..].char_indices() {
+                let col = start_col + k;
+                match ch {
+                    '{' | '(' => {
+                        depth += 1;
+                        entered = true;
+                    }
+                    '}' | ')' => {
+                        depth -= 1;
+                        if entered && depth == 0 {
+                            break 'body;
+                        }
+                    }
+                    ';' if !entered => break 'body,
+                    '*' => {
+                        let rest = &code[j][col..];
+                        if entered
+                            && (rest.starts_with("*mut ")
+                                || rest.starts_with("*const ")
+                                || rest.starts_with("*mut\t")
+                                || rest.starts_with("*const\t"))
+                        {
+                            found.push((j, name.clone(), code[j].trim().to_string()));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        i += 1;
+    }
+    found
+}
+
+fn rule_no_libc(f: &SourceFile, out: &mut Vec<Finding>) {
+    if f.crate_key == "sys" {
+        return;
+    }
+    for (i, code) in f.stripped.code.iter().enumerate() {
+        for at in find_token(code, "libc") {
+            if code[at + "libc".len()..].trim_start().starts_with("::") {
+                f.report(
+                    Rule::NoDirectLibc,
+                    i,
+                    "direct `libc::` call outside `flows-sys` bypasses the \
+                     `SyscallCounts` accounting that `flows-trace` reports"
+                        .into(),
+                    out,
+                );
+                break; // one finding per line is enough
+            }
+        }
+    }
+}
+
+/// Lint a set of in-memory sources. `files` is `(workspace-relative
+/// path, contents)`. This is the engine behind [`lint_workspace`] and
+/// the entry point fixture tests drive directly.
+pub fn lint_sources(files: &[(String, String)]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let parsed: Vec<SourceFile> = files
+        .iter()
+        .map(|(p, s)| analyze(p, s, &mut findings))
+        .collect();
+    // Pup-implementing type names are collected workspace-wide: the impl
+    // and the struct may live in different files.
+    let mut pup_names = HashSet::new();
+    for f in &parsed {
+        pup_types(f, &mut pup_names);
+    }
+    for f in &parsed {
+        rule_unsafe(f, &mut findings);
+        rule_global_state(f, &mut findings);
+        rule_no_libc(f, &mut findings);
+        for (line_idx, type_name, field) in raw_pointer_fields(f) {
+            if pup_names.contains(&type_name) {
+                f.report(
+                    Rule::PupRawPointer,
+                    line_idx,
+                    format!(
+                        "raw-pointer field in `Pup` type `{type_name}` ({field}): raw \
+                         addresses do not survive stack-copy migration — store a \
+                         slot-relative offset or index instead"
+                    ),
+                    &mut findings,
+                );
+            }
+        }
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    findings
+}
+
+/// Should this workspace-relative path be linted?
+fn lintable(rel: &str) -> bool {
+    if !rel.ends_with(".rs") {
+        return false;
+    }
+    // Vendored shims model *external* crates (the libc shim IS libc);
+    // build outputs and fixtures are not our source.
+    for part in rel.split('/') {
+        if matches!(part, "vendor" | "target" | ".git" | "fixtures") {
+            return false;
+        }
+    }
+    true
+}
+
+fn collect(dir: &Path, root: &Path, files: &mut Vec<(String, String)>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if path.is_dir() {
+            if !matches!(
+                path.file_name().and_then(|n| n.to_str()),
+                Some("vendor") | Some("target") | Some(".git") | Some("fixtures")
+            ) {
+                collect(&path, root, files)?;
+            }
+        } else if lintable(&rel) {
+            files.push((rel, std::fs::read_to_string(&path)?));
+        }
+    }
+    Ok(())
+}
+
+/// Walk the workspace rooted at `root` and lint every non-vendored
+/// `.rs` file. Returns `(findings, files scanned)`.
+pub fn lint_workspace(root: &Path) -> std::io::Result<(Vec<Finding>, usize)> {
+    let mut files = Vec::new();
+    collect(root, root, &mut files)?;
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+    let n = files.len();
+    Ok((lint_sources(&files), n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_one(path: &str, src: &str) -> Vec<Finding> {
+        lint_sources(&[(path.to_string(), src.to_string())])
+    }
+
+    #[test]
+    fn crate_keys() {
+        assert_eq!(crate_key("crates/core/src/scheduler.rs"), "core");
+        assert_eq!(crate_key("src/main.rs"), "");
+    }
+
+    #[test]
+    fn waiver_parsing() {
+        let (l, f, bad) = parse_waivers(" flowslint::allow(no-direct-libc): reason");
+        assert_eq!(l, vec![Rule::NoDirectLibc]);
+        assert!(f.is_empty() && bad.is_empty());
+        let (l, f, bad) = parse_waivers(" flowslint::allow-file(no-global-state)");
+        assert!(l.is_empty());
+        assert_eq!(f, vec![Rule::NoGlobalState]);
+        assert!(bad.is_empty());
+        let (_, _, bad) = parse_waivers(" flowslint::allow(no-such-rule)");
+        assert_eq!(bad, vec!["no-such-rule".to_string()]);
+    }
+
+    #[test]
+    fn unknown_waiver_id_is_a_finding() {
+        let f = lint_one("crates/x/src/a.rs", "// flowslint::allow(nope)\nfn main() {}\n");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].rule.is_none());
+    }
+}

@@ -1,0 +1,198 @@
+//! Fixture tests: each rule must fire on a seeded violation and stay
+//! quiet on the compliant twin. Fixtures are inline string literals —
+//! the lexer blanks string contents, so linting this workspace does not
+//! see the seeded violations inside these tests.
+
+use flows_check::{lint_sources, Finding, Rule};
+
+fn lint_at(path: &str, src: &str) -> Vec<Finding> {
+    lint_sources(&[(path.to_string(), src.to_string())])
+}
+
+fn rules_of(findings: &[Finding]) -> Vec<Rule> {
+    findings.iter().filter_map(|f| f.rule).collect()
+}
+
+// ---- rule 1: unsafe-safety-comment ----
+
+#[test]
+fn unsafe_without_safety_comment_fires() {
+    let src = "pub fn f(p: *mut u8) {\n    unsafe { *p = 0 };\n}\n";
+    let f = lint_at("crates/mem/src/x.rs", src);
+    assert_eq!(rules_of(&f), vec![Rule::UnsafeSafetyComment]);
+    assert_eq!(f[0].line, 2);
+}
+
+#[test]
+fn unsafe_with_safety_comment_is_clean() {
+    let src = "pub fn f(p: *mut u8) {\n    // SAFETY: caller contract.\n    unsafe { *p = 0 };\n}\n";
+    assert!(lint_at("crates/mem/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn unsafe_fn_with_safety_doc_section_is_clean() {
+    let src = "/// Does things.\n///\n/// # Safety\n/// `p` must be valid.\npub unsafe fn f(p: *mut u8) {}\n";
+    assert!(lint_at("crates/mem/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn safety_comment_reaches_through_attributes() {
+    let src = "// SAFETY: zeroed mask is valid.\n#[allow(dead_code)]\nunsafe fn g() {}\n";
+    assert!(lint_at("crates/arch/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn unsafe_in_string_or_comment_is_ignored() {
+    let src = "// this mentions unsafe code\nlet s = \"unsafe { }\";\n";
+    assert!(lint_at("crates/mem/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn same_line_safety_comment_counts() {
+    let src = "let v = unsafe { read() }; // SAFETY: just written above.\n";
+    assert!(lint_at("crates/mem/src/x.rs", src).is_empty());
+}
+
+// ---- rule 2: no-global-state ----
+
+#[test]
+fn static_mut_in_migratable_crate_fires() {
+    let src = "static mut COUNTER: u64 = 0;\n";
+    for krate in ["core", "ampi", "npb", "chare"] {
+        let f = lint_at(&format!("crates/{krate}/src/x.rs"), src);
+        assert_eq!(rules_of(&f), vec![Rule::NoGlobalState], "crate {krate}");
+    }
+}
+
+#[test]
+fn thread_local_in_migratable_crate_fires() {
+    let src = "thread_local! {\n    static X: u64 = 0;\n}\n";
+    let f = lint_at("crates/ampi/src/x.rs", src);
+    assert_eq!(rules_of(&f), vec![Rule::NoGlobalState]);
+}
+
+#[test]
+fn global_state_allowed_outside_migratable_crates() {
+    let src = "static mut SCRATCH: u64 = 0;\nthread_local! { static Y: u8 = 0; }\n";
+    assert!(lint_at("crates/sys/src/x.rs", src).is_empty());
+    assert!(lint_at("crates/trace/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn privatize_rs_is_exempt() {
+    let src = "thread_local! { static ACTIVE: usize = 0; }\n";
+    assert!(lint_at("crates/core/src/privatize.rs", src).is_empty());
+}
+
+#[test]
+fn plain_static_is_fine() {
+    let src = "static NEXT: u64 = 1;\nlet static_mutation = 0;\n";
+    assert!(lint_at("crates/core/src/x.rs", src).is_empty());
+}
+
+// ---- rule 3: pup-raw-pointer ----
+
+#[test]
+fn raw_pointer_field_in_pup_type_fires() {
+    let src = "struct Packet {\n    data: *mut u8,\n    len: usize,\n}\nimpl Pup for Packet {\n    fn pup(&mut self, p: &mut Puper) {}\n}\n";
+    let f = lint_at("crates/core/src/x.rs", src);
+    assert_eq!(rules_of(&f), vec![Rule::PupRawPointer]);
+    assert_eq!(f[0].line, 2);
+}
+
+#[test]
+fn pup_fields_macro_marks_type() {
+    let src = "struct Head {\n    base: *const u8,\n}\npup_fields!(Head { base });\n";
+    let f = lint_at("crates/mem/src/x.rs", src);
+    assert_eq!(rules_of(&f), vec![Rule::PupRawPointer]);
+}
+
+#[test]
+fn impl_and_struct_in_different_files_still_fire() {
+    let a = ("crates/core/src/a.rs".to_string(), "pub struct W {\n    p: *mut u8,\n}\n".to_string());
+    let b = ("crates/core/src/b.rs".to_string(), "impl flows_pup::Pup for W {\n    fn pup(&mut self, p: &mut Puper) {}\n}\n".to_string());
+    let f = lint_sources(&[a, b]);
+    assert_eq!(rules_of(&f), vec![Rule::PupRawPointer]);
+}
+
+#[test]
+fn raw_pointer_in_non_pup_type_is_fine() {
+    let src = "struct Cache {\n    hot: *mut u8,\n}\n";
+    assert!(lint_at("crates/core/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn pup_type_without_raw_pointers_is_fine() {
+    let src = "struct Head {\n    off: u64,\n}\npup_fields!(Head { off });\n";
+    assert!(lint_at("crates/mem/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn tuple_struct_raw_pointer_fires() {
+    let src = "struct P(*mut u8);\nimpl Pup for P { fn pup(&mut self, _: &mut Puper) {} }\n";
+    let f = lint_at("crates/core/src/x.rs", src);
+    assert_eq!(rules_of(&f), vec![Rule::PupRawPointer]);
+}
+
+// ---- rule 4: no-direct-libc ----
+
+#[test]
+fn libc_outside_sys_fires() {
+    let src = "fn now() -> i64 {\n    unsafe { libc::time(std::ptr::null_mut()) }\n}\n";
+    let f = lint_at("crates/mech/src/x.rs", src);
+    // Both the missing SAFETY comment and the libc call are real findings;
+    // the libc one must be among them.
+    assert!(rules_of(&f).contains(&Rule::NoDirectLibc));
+}
+
+#[test]
+fn libc_inside_sys_is_fine() {
+    let src = "// SAFETY: no preconditions.\nlet t = unsafe { libc::time(std::ptr::null_mut()) };\n";
+    assert!(lint_at("crates/sys/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn libc_in_comment_or_string_is_ignored() {
+    let src = "// calls libc::time under the hood\nlet s = \"libc::getpid\";\n";
+    assert!(lint_at("crates/mech/src/x.rs", src).is_empty());
+}
+
+// ---- waivers ----
+
+#[test]
+fn line_waiver_suppresses_next_code_line() {
+    let src = "// flowslint::allow(no-direct-libc): benchmark child, by design.\nlet t = unsafe { libc::fork() }; // SAFETY: test\n";
+    assert!(lint_at("crates/mech/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn file_waiver_suppresses_everywhere() {
+    let src = "// flowslint::allow-file(no-global-state): scheduler identity is per-OS-thread.\nfn a() {}\nthread_local! { static S: u8 = 0; }\n";
+    assert!(lint_at("crates/core/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn waiver_for_one_rule_does_not_hide_another() {
+    let src = "// flowslint::allow(no-direct-libc)\nstatic mut X: u64 = 0;\n";
+    let f = lint_at("crates/core/src/x.rs", src);
+    assert_eq!(rules_of(&f), vec![Rule::NoGlobalState]);
+}
+
+// ---- the real workspace must be clean (acceptance criterion) ----
+
+#[test]
+fn real_workspace_is_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/check has a workspace root two levels up")
+        .to_path_buf();
+    let (findings, scanned) = flows_check::lint_workspace(&root).expect("scan");
+    assert!(scanned > 50, "workspace scan found only {scanned} files");
+    let rendered: Vec<String> = findings.iter().map(|f| f.to_string()).collect();
+    assert!(
+        findings.is_empty(),
+        "flowslint must pass clean on the workspace:\n{}",
+        rendered.join("\n")
+    );
+}

@@ -609,8 +609,8 @@ impl Pe {
 
     pub(crate) fn enter(&self) -> *const Pe {
         // SAFETY: `self.ring` (an Arc) outlives the enter..leave span.
-        self.prev_ring
-            .set(unsafe { flows_trace::swap_current(flows_trace::ring_ptr(self.ring.as_ref())) });
+        let prev = unsafe { flows_trace::swap_current(flows_trace::ring_ptr(self.ring.as_ref())) };
+        self.prev_ring.set(prev);
         CURRENT_PE.with(|c| c.replace(self as *const Pe))
     }
 

@@ -151,6 +151,9 @@ impl PackedThread {
     pub fn pack_into(&self, out: &mut Vec<u8>) -> usize {
         let start = out.len();
         let mut head = self.head.clone();
+        #[cfg(feature = "sanitize")]
+        checked_pack_into(&mut head, out);
+        #[cfg(not(feature = "sanitize"))]
         flows_pup::pack_into(&mut head, out);
         out.extend_from_slice(self.payload.as_slice());
         out.len() - start
@@ -200,6 +203,45 @@ impl PackedThread {
         }
         let payload = wire.slice(offset + used..offset + used + plen);
         Ok((PackedThread { head, payload }, used + plen))
+    }
+}
+
+/// Pack `v` while validating its PUP contract: the sizing traversal and
+/// the packing traversal must agree on the byte count, or every record
+/// packed after this one lands at a wrong wire offset. A disagreement
+/// trips [`flows_trace::san::SanCheck::PupSize`]. Used on every packed
+/// head under `sanitize`; exposed so tests can feed it a lying impl.
+#[cfg(feature = "sanitize")]
+pub fn checked_pack_into<T: Pup>(v: &mut T, out: &mut Vec<u8>) -> usize {
+    let declared = flows_pup::packed_size(v);
+    let wrote = flows_pup::pack_into(v, out);
+    if wrote != declared {
+        flows_trace::san::trip(
+            flows_trace::san::SanCheck::PupSize,
+            "Pup impl's declared size disagrees with the bytes it packed",
+            declared as u64,
+            wrote as u64,
+        );
+    }
+    wrote
+}
+
+/// Verify a vacated isomalloc slot really is inaccessible, against the
+/// kernel's view of the address space. After a migration away, the
+/// source PE must not be able to read the slot — a readable vacated slot
+/// means a stale-pointer read there would silently return dead bytes
+/// instead of faulting. Trips [`flows_trace::san::SanCheck::VacatedSlot`].
+/// (A failure to read `/proc/self/maps` is not a detection and is
+/// ignored.)
+#[cfg(feature = "sanitize")]
+pub fn assert_slot_vacated(base: usize, len: usize) {
+    if let Ok(false) = flows_mem::maps::range_is_unreadable(base, len) {
+        flows_trace::san::trip(
+            flows_trace::san::SanCheck::VacatedSlot,
+            "migrated-away slot is still readable on the source PE",
+            base as u64,
+            len as u64,
+        );
     }
 }
 
@@ -260,7 +302,11 @@ impl Scheduler {
         let out = buf.vec_mut();
         match data {
             FlavorData::Iso { slab } => {
+                #[cfg(feature = "sanitize")]
+                let (slot_base, slot_len) = (slab.slot().base(), slab.slot().len());
                 slab.pack_into(sp, out)?;
+                #[cfg(feature = "sanitize")]
+                assert_slot_vacated(slot_base, slot_len);
             }
             FlavorData::Copy { image } => {
                 out.extend_from_slice(image.saved());

@@ -26,6 +26,10 @@ use std::sync::Arc;
 
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
 
+// flowslint::allow(no-global-state): scheduler identity is per-OS-thread
+// by design — a migratable flow asks "which scheduler is driving me right
+// now?", and the answer changes when the flow migrates. This is the one
+// TLS cell that must NOT migrate with the thread.
 thread_local! {
     static CURRENT_SCHED: Cell<*const Scheduler> = const { Cell::new(std::ptr::null()) };
 }
@@ -427,6 +431,26 @@ impl Scheduler {
                 }
             };
 
+            // Sanitize: plant a canary word at the stack floor of flavors
+            // that own dedicated stack memory. Verified after the thread
+            // suspends — a clobbered canary means the stack overflowed or
+            // a wild write landed at its floor while the thread ran.
+            #[cfg(feature = "sanitize")]
+            let canary_floor: Option<usize> = match &(*tcb).flavor {
+                FlavorData::Standard { stack } => Some(stack.as_ptr() as usize),
+                FlavorData::Iso { slab } => Some(slab.stack_bottom()),
+                // Copy and Alias threads execute on shared common regions
+                // whose floor is not private to one thread.
+                _ => None,
+            };
+            #[cfg(feature = "sanitize")]
+            if let Some(floor) = canary_floor {
+                // SAFETY: floor is the base of this thread's committed
+                // stack; live frames are far above it (or overflowing,
+                // which is exactly what the canary detects).
+                flows_arch::canary::arm(floor);
+            }
+
             if !(*tcb).started {
                 let entry_raw = (*tcb)
                     .entry_raw
@@ -475,6 +499,20 @@ impl Scheduler {
             (*inner).current = None;
             (*inner).current_tcb = std::ptr::null_mut();
             let done = (*tcb).state == ThreadState::Done;
+
+            #[cfg(feature = "sanitize")]
+            if let Some(floor) = canary_floor {
+                // SAFETY: the thread is suspended; its stack memory is
+                // still owned by the flavor data.
+                if !flows_arch::canary::intact(floor) {
+                    flows_trace::san::trip(
+                        flows_trace::san::SanCheck::StackCanary,
+                        "stack canary clobbered while the thread ran",
+                        tid.0,
+                        floor as u64,
+                    );
+                }
+            }
 
             if let Some(layout) = (*inner).cfg.globals.as_deref() {
                 if let Some(block) = (*tcb).globals.as_mut() {
@@ -532,10 +570,7 @@ impl Scheduler {
                 inner.runq.push(tid, prio);
                 Ok(())
             }
-            Some(tcb) => Err(SysError::logic(
-                "awaken",
-                format!("{tid} is {:?}, not Suspended", tcb.state),
-            )),
+            Some(tcb) => Err(awaken_state_error(tid, tcb.state)),
             None => Err(SysError::logic("awaken", format!("{tid} is not here"))),
         }
     }
@@ -733,14 +768,54 @@ impl Scheduler {
                     (*inner).runq.push(tid, prio);
                     Ok(())
                 }
-                Some(tcb) => Err(SysError::logic(
-                    "awaken",
-                    format!("{tid} is {:?}, not Suspended", tcb.state),
-                )),
+                Some(tcb) => Err(awaken_state_error(tid, tcb.state)),
                 None => Err(SysError::logic("awaken", format!("{tid} is not here"))),
             }
         }
     }
+
+    /// Test scaffolding for the sanitizer suite: force a live thread's
+    /// state to `Done` so the use-after-exit detector can be exercised
+    /// without waiting for the rare real path (a flavor-activation failure
+    /// leaves a `Done` control block behind).
+    #[doc(hidden)]
+    #[cfg(feature = "sanitize")]
+    pub fn sanitize_force_done(&self, tid: ThreadId) {
+        // SAFETY: single-threaded access between switches.
+        let inner = unsafe { &mut *self.inner() };
+        if let Some(tcb) = inner.threads.get_mut(&tid) {
+            tcb.state = ThreadState::Done;
+        }
+    }
+}
+
+/// Shared failure path for both awaken entry points. Awakening a `Ready`
+/// thread is an application-level error (reported, recoverable); awakening
+/// a `Running` or `Done` thread means scheduler state itself is wrong, so
+/// it is debug-asserted — and, under `sanitize`, trips the corresponding
+/// detector before any corrupted bookkeeping can propagate.
+fn awaken_state_error(tid: ThreadId, state: ThreadState) -> SysError {
+    #[cfg(feature = "sanitize")]
+    match state {
+        ThreadState::Running => flows_trace::san::trip(
+            flows_trace::san::SanCheck::DoubleAwaken,
+            "awaken of the currently running thread",
+            tid.0,
+            0,
+        ),
+        ThreadState::Done => flows_trace::san::trip(
+            flows_trace::san::SanCheck::UseAfterExit,
+            "awaken of a thread that already exited",
+            tid.0,
+            0,
+        ),
+        _ => {}
+    }
+    debug_assert!(
+        !matches!(state, ThreadState::Running | ThreadState::Done),
+        "awaken of {tid} in state {state:?} — scheduler lifecycle bug"
+    );
+    SysError::logic("awaken", format!("{tid} is {state:?}, not Suspended"))
 }
 
 /// The calling thread's accumulated on-CPU time in nanoseconds (excludes
@@ -771,6 +846,19 @@ pub fn set_priority(priority: i32) -> Option<()> {
 pub fn iso_malloc(size: usize) -> Option<*mut u8> {
     with_current_tcb(|tcb| match &mut tcb.flavor {
         FlavorData::Iso { slab } => slab.malloc(size).ok(),
+        _ => None,
+    })
+    .flatten()
+}
+
+/// The calling thread's stack floor (lowest committed stack address), for
+/// flavors that own dedicated stack memory — where the sanitizer's canary
+/// word lives. `None` outside a thread or on shared-region flavors.
+#[cfg(feature = "sanitize")]
+pub fn current_stack_floor() -> Option<usize> {
+    with_current_tcb(|tcb| match &tcb.flavor {
+        FlavorData::Standard { stack } => Some(stack.as_ptr() as usize),
+        FlavorData::Iso { slab } => Some(slab.stack_bottom()),
         _ => None,
     })
     .flatten()

@@ -1,0 +1,169 @@
+//! Scheduler-level sanitizer tests: each drives a real lifecycle or
+//! memory violation through the scheduler and asserts the matching
+//! detector fires — as a panic (`set_trip_panics`) and, where the trip
+//! happens on a thread-side stack that catches unwinds, as the
+//! `SanTrip` trace event it leaves behind.
+
+#![cfg(feature = "sanitize")]
+
+use flows_core::migrate::{assert_slot_vacated, checked_pack_into};
+use flows_core::scheduler::current_stack_floor;
+use flows_core::{
+    awaken, current, migrate, suspend, yield_now, SchedConfig, Scheduler, SharedPools,
+    StackFlavor,
+};
+use flows_pup::{Pup, Puper};
+use flows_trace::san::{set_trip_panics, SanCheck};
+use flows_trace::{install_ring, set_enabled, EventKind, TraceRing};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+fn sched() -> Scheduler {
+    Scheduler::new(0, SharedPools::new_for_tests(), SchedConfig::default())
+}
+
+fn trip_message(r: std::thread::Result<()>) -> String {
+    let err = r.expect_err("the detector must fire");
+    err.downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| "<non-string panic>".into())
+}
+
+#[test]
+fn smashed_stack_canary_trips_at_switch_out() {
+    set_trip_panics(true);
+    for flavor in [StackFlavor::Standard, StackFlavor::Isomalloc] {
+        let s = sched();
+        s.spawn(flavor, || {
+            let floor = current_stack_floor().expect("dedicated-stack flavor");
+            // SAFETY: the floor word is committed stack memory; this
+            // models a stack overflow reaching the bottom of the stack.
+            unsafe { (floor as *mut u64).write_unaligned(0) };
+            yield_now();
+        })
+        .unwrap();
+        let msg = trip_message(catch_unwind(AssertUnwindSafe(|| s.run())));
+        assert!(msg.contains("stack-canary"), "{}: got {msg}", flavor.name());
+    }
+}
+
+#[test]
+fn clean_threads_never_trip_the_canary() {
+    set_trip_panics(true);
+    let s = sched();
+    for _ in 0..4 {
+        s.spawn(StackFlavor::Isomalloc, || {
+            let v = vec![7u8; 4096];
+            yield_now();
+            assert_eq!(v[0], 7);
+        })
+        .unwrap();
+    }
+    s.run();
+    assert_eq!(s.stats().completed, 4);
+}
+
+#[test]
+fn awaken_of_the_running_thread_trips_double_awaken() {
+    set_trip_panics(true);
+    let ring = Arc::new(TraceRing::new(0, 256));
+    set_enabled(true);
+    let trips: Vec<_> = {
+        let _g = install_ring(&ring);
+        let s = sched();
+        s.spawn(StackFlavor::Standard, || {
+            // The trip panics on the thread's own stack, so thread_main's
+            // panic guard swallows it — the trace event is the witness.
+            let me = current().unwrap();
+            let _ = awaken(me);
+        })
+        .unwrap();
+        s.run();
+        ring.events()
+            .into_iter()
+            .filter(|e| e.kind == EventKind::SanTrip)
+            .collect()
+    };
+    set_enabled(false);
+    assert_eq!(trips.len(), 1, "exactly one trip recorded");
+    assert_eq!(trips[0].a, SanCheck::DoubleAwaken as u64);
+}
+
+#[test]
+fn awaken_of_an_exited_thread_trips_use_after_exit() {
+    set_trip_panics(true);
+    let s = sched();
+    let tid = s.spawn(StackFlavor::Standard, suspend).unwrap();
+    s.run(); // runs until the thread suspends
+    assert_eq!(s.state(tid), Some(flows_core::ThreadState::Suspended));
+    s.sanitize_force_done(tid);
+    let msg = trip_message(catch_unwind(AssertUnwindSafe(|| {
+        let _ = s.awaken_tid(tid);
+    })));
+    assert!(msg.contains("use-after-exit"), "got: {msg}");
+}
+
+/// A `Pup` impl whose packing traversal writes more than its sizing
+/// traversal declared — the exact bug the validator exists to catch.
+#[derive(Default)]
+struct LyingPup;
+impl Pup for LyingPup {
+    fn pup(&mut self, p: &mut Puper) {
+        let mut a = 1u32;
+        a.pup(p);
+        if p.is_packing() {
+            let mut extra = 2u32;
+            extra.pup(p);
+        }
+    }
+}
+
+#[test]
+fn lying_pup_size_trips_the_validator() {
+    set_trip_panics(true);
+    let mut honest = 5u64;
+    let mut out = Vec::new();
+    assert_eq!(checked_pack_into(&mut honest, &mut out), 8);
+    let msg = trip_message(catch_unwind(AssertUnwindSafe(|| {
+        let mut v = LyingPup;
+        let mut out = Vec::new();
+        checked_pack_into(&mut v, &mut out);
+    })));
+    assert!(msg.contains("pup-size"), "got: {msg}");
+}
+
+#[test]
+fn readable_vacated_slot_trips() {
+    set_trip_panics(true);
+    // A slot that is plainly still mapped read-write: this stack page.
+    let probe = 0u64;
+    let page = (&probe as *const u64 as usize) & !4095;
+    let msg = trip_message(catch_unwind(AssertUnwindSafe(|| {
+        assert_slot_vacated(page, 4096);
+    })));
+    assert!(msg.contains("vacated-slot"), "got: {msg}");
+}
+
+#[test]
+fn migration_under_sanitize_round_trips() {
+    set_trip_panics(true);
+    let shared = SharedPools::new_for_tests();
+    let s0 = Scheduler::new(0, shared.clone(), SchedConfig::default());
+    let s1 = Scheduler::new(1, shared, SchedConfig::default());
+    let tid = s0
+        .spawn(StackFlavor::Isomalloc, || {
+            let p = flows_core::iso_malloc(4096).unwrap();
+            // SAFETY: freshly allocated from this thread's heap.
+            unsafe { std::ptr::write_bytes(p, 0x3C, 4096) };
+            suspend();
+            // SAFETY: isomalloc addresses survive migration unchanged.
+            unsafe { assert_eq!(*p, 0x3C) };
+            assert!(flows_core::iso_free(p));
+        })
+        .unwrap();
+    s0.run(); // thread suspends after touching its heap
+    migrate::migrate(&s0, &s1, tid).unwrap(); // pack verifies the vacated slot
+    s1.awaken_tid(tid).unwrap();
+    s1.run();
+    assert_eq!(s1.stats().completed, 1);
+}

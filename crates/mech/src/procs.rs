@@ -7,6 +7,10 @@
 //! because some kernels ignore repeated `sched_yield()`; we inherit that
 //! honestly.)
 
+// flowslint::allow-file(no-direct-libc): fork/pipe/mmap/waitpid here ARE
+// the experiment — the §4.1 process-mechanism benchmark measures raw
+// kernel flows of control, deliberately outside the flows-sys accounting
+// that wraps the migratable runtime's own syscalls.
 use flows_sys::error::{SysError, SysResult};
 use flows_sys::page::page_align_up;
 

@@ -26,6 +26,21 @@ const MAGIC_ALLOC: u64 = 0xA110_CA11_A110_CA11;
 const MAGIC_FREE: u64 = 0xF4EE_B10C_F4EE_B10C;
 const LARGE_FLAG: u64 = 1 << 63;
 
+/// Sanitizer red zone: poison bytes at the tail of every block's payload
+/// capacity. A write past the caller's allocation lands here and is
+/// caught at `free` time.
+#[cfg(feature = "sanitize")]
+pub const RED_ZONE: usize = 16;
+#[cfg(feature = "sanitize")]
+const POISON_RED: u8 = 0xFB;
+#[cfg(feature = "sanitize")]
+const POISON_FREE: u8 = 0xDD;
+/// Freed blocks sit in a FIFO quarantine this long before becoming
+/// reusable; their poison is verified on release, catching writes through
+/// stale pointers.
+#[cfg(feature = "sanitize")]
+pub const QUARANTINE_MAX: usize = 32;
+
 /// A large freed block: (arena offset, block length including header).
 #[derive(Default, Debug, Clone, PartialEq)]
 struct LargeBlock {
@@ -44,6 +59,10 @@ pub struct IsoHeap {
     free_lists: Vec<Vec<u64>>,
     large_free: Vec<LargeBlock>,
     live: usize,
+    /// Freed-block offsets awaiting release (FIFO). Part of the heap state
+    /// so quarantined blocks migrate correctly mid-quarantine.
+    #[cfg(feature = "sanitize")]
+    quarantine: Vec<u64>,
 }
 
 impl Pup for IsoHeap {
@@ -55,6 +74,8 @@ impl Pup for IsoHeap {
         self.free_lists.pup(p);
         self.large_free.pup(p);
         self.live.pup(p);
+        #[cfg(feature = "sanitize")]
+        self.quarantine.pup(p);
     }
 }
 
@@ -74,6 +95,8 @@ impl IsoHeap {
             free_lists: vec![Vec::new(); CLASSES.len()],
             large_free: Vec::new(),
             live: 0,
+            #[cfg(feature = "sanitize")]
+            quarantine: Vec::new(),
         }
     }
 
@@ -112,13 +135,24 @@ impl IsoHeap {
         commit: &mut dyn FnMut(usize, usize) -> SysResult<()>,
     ) -> SysResult<usize> {
         let size = size.max(1);
+        // The red zone rides inside the block: sizing every request up by
+        // RED_ZONE reserves the poisoned tail in whatever class or large
+        // block the request lands in.
+        #[cfg(feature = "sanitize")]
+        let size = size + RED_ZONE;
         // Try a recycled block first.
         if let Some(ci) = class_of(size) {
             if let Some(off) = self.free_lists[ci].pop() {
                 self.live += 1;
                 // SAFETY: block was committed when first carved.
                 unsafe { self.write_header(off as usize, ci as u64, MAGIC_ALLOC) };
-                return Ok(self.arena_base + off as usize + HEADER);
+                let addr = self.arena_base + off as usize + HEADER;
+                #[cfg(feature = "sanitize")]
+                // SAFETY: the block's capacity is committed.
+                unsafe {
+                    self.arm_red_zone(addr)
+                };
+                return Ok(addr);
             }
         } else if let Some(pos) = self
             .large_free
@@ -129,7 +163,13 @@ impl IsoHeap {
             self.live += 1;
             // SAFETY: committed when first carved.
             unsafe { self.write_header(b.off as usize, LARGE_FLAG | b.len, MAGIC_ALLOC) };
-            return Ok(self.arena_base + b.off as usize + HEADER);
+            let addr = self.arena_base + b.off as usize + HEADER;
+            #[cfg(feature = "sanitize")]
+            // SAFETY: the block's capacity is committed.
+            unsafe {
+                self.arm_red_zone(addr)
+            };
+            return Ok(addr);
         }
         // Carve fresh space at the brk.
         let (tag, block_len) = match class_of(size) {
@@ -161,7 +201,13 @@ impl IsoHeap {
         self.live += 1;
         // SAFETY: just committed through `commit`.
         unsafe { self.write_header(off, tag, MAGIC_ALLOC) };
-        Ok(self.arena_base + off + HEADER)
+        let addr = self.arena_base + off + HEADER;
+        #[cfg(feature = "sanitize")]
+        // SAFETY: just committed through `commit`.
+        unsafe {
+            self.arm_red_zone(addr)
+        };
+        Ok(addr)
     }
 
     /// Free a block previously returned by [`IsoHeap::alloc_with`].
@@ -185,22 +231,42 @@ impl IsoHeap {
                 format!("{addr:#x} does not point at an allocated block"),
             ));
         }
-        if tag & LARGE_FLAG != 0 {
-            self.large_free.push(LargeBlock {
-                off: off as u64,
-                len: tag & !LARGE_FLAG,
-            });
-        } else {
-            let ci = tag as usize;
-            if ci >= CLASSES.len() {
-                return Err(SysError::logic("iso_free", "corrupt size class".into()));
-            }
-            self.free_lists[ci].push(off as u64);
+        if tag & LARGE_FLAG == 0 && tag as usize >= CLASSES.len() {
+            return Err(SysError::logic("iso_free", "corrupt size class".into()));
         }
+        #[cfg(feature = "sanitize")]
+        // SAFETY: header just validated, so the capacity is committed.
+        unsafe {
+            self.check_red_zone(tag, addr)
+        };
         self.live -= 1;
         // SAFETY: same block as above.
         unsafe { self.write_header(off, tag, MAGIC_FREE) };
+        #[cfg(not(feature = "sanitize"))]
+        self.push_free(off as u64, tag);
+        #[cfg(feature = "sanitize")]
+        {
+            // SAFETY: capacity committed (validated above).
+            unsafe { self.poison_payload(off, tag) };
+            self.quarantine.push(off as u64);
+            if self.quarantine.len() > QUARANTINE_MAX {
+                let oldest = self.quarantine.remove(0);
+                self.release_quarantined(oldest);
+            }
+        }
         Ok(())
+    }
+
+    /// Return a validated freed block to its free list.
+    fn push_free(&mut self, off: u64, tag: u64) {
+        if tag & LARGE_FLAG != 0 {
+            self.large_free.push(LargeBlock {
+                off,
+                len: tag & !LARGE_FLAG,
+            });
+        } else {
+            self.free_lists[tag as usize].push(off);
+        }
     }
 
     /// Payload capacity of the block at `addr` (for realloc-style callers).
@@ -214,11 +280,15 @@ impl IsoHeap {
         if magic != MAGIC_ALLOC {
             return Err(SysError::logic("iso_capacity", "not an allocated block".into()));
         }
-        Ok(if tag & LARGE_FLAG != 0 {
+        let cap = if tag & LARGE_FLAG != 0 {
             (tag & !LARGE_FLAG) as usize - HEADER
         } else {
             CLASSES[tag as usize]
-        })
+        };
+        // The red zone is not usable payload.
+        #[cfg(feature = "sanitize")]
+        let cap = cap - RED_ZONE;
+        Ok(cap)
     }
 
     /// Reset the committed-bytes bookkeeping after migration: the
@@ -246,6 +316,118 @@ impl IsoHeap {
         let p = (self.arena_base + off) as *const u64;
         // SAFETY: per contract.
         unsafe { (*p, *p.add(1)) }
+    }
+}
+
+#[cfg(feature = "sanitize")]
+impl IsoHeap {
+    /// Payload capacity (red zone included) from a validated header tag.
+    fn capacity_of(tag: u64) -> usize {
+        if tag & LARGE_FLAG != 0 {
+            (tag & !LARGE_FLAG) as usize - HEADER
+        } else {
+            CLASSES[tag as usize]
+        }
+    }
+
+    /// Fill the red zone at the tail of the block at `addr` with poison.
+    ///
+    /// # Safety
+    /// `addr` must be the payload address of a block whose header was just
+    /// written `MAGIC_ALLOC`; its capacity must be committed.
+    unsafe fn arm_red_zone(&self, addr: usize) {
+        // SAFETY: the header precedes a payload we own.
+        let (tag, _) = unsafe { self.read_header(addr - self.arena_base - HEADER) };
+        let cap = Self::capacity_of(tag);
+        // SAFETY: the last RED_ZONE bytes of the committed capacity.
+        unsafe {
+            std::ptr::write_bytes((addr + cap - RED_ZONE) as *mut u8, POISON_RED, RED_ZONE)
+        };
+    }
+
+    /// Verify the red zone of the block being freed; trips the sanitizer
+    /// (no return) on a torn zone.
+    ///
+    /// # Safety
+    /// `tag` must come from a header validated as `MAGIC_ALLOC`.
+    unsafe fn check_red_zone(&self, tag: u64, addr: usize) {
+        let cap = Self::capacity_of(tag);
+        let zone = addr + cap - RED_ZONE;
+        for i in 0..RED_ZONE {
+            // SAFETY: inside the block's committed capacity.
+            let b = unsafe { *((zone + i) as *const u8) };
+            if b != POISON_RED {
+                flows_trace::san::trip(
+                    flows_trace::san::SanCheck::HeapRedZone,
+                    &format!(
+                        "block {addr:#x} wrote past its allocation: red-zone byte {i} is {b:#04x}"
+                    ),
+                    addr as u64,
+                    i as u64,
+                );
+            }
+        }
+    }
+
+    /// Poison the whole payload of a freed block.
+    ///
+    /// # Safety
+    /// `off`/`tag` must come from a validated header; capacity committed.
+    unsafe fn poison_payload(&self, off: usize, tag: u64) {
+        let cap = Self::capacity_of(tag);
+        // SAFETY: the block's committed capacity.
+        unsafe {
+            std::ptr::write_bytes(
+                (self.arena_base + off + HEADER) as *mut u8,
+                POISON_FREE,
+                cap,
+            )
+        };
+    }
+
+    /// Release one quarantined block to its free list, verifying that its
+    /// poison survived quarantine — a torn byte means something wrote
+    /// through a stale pointer. Trips the sanitizer on violation.
+    fn release_quarantined(&mut self, off: u64) {
+        let addr = self.arena_base + off as usize + HEADER;
+        // SAFETY: quarantined blocks sit below brk, which stays committed.
+        let (tag, magic) = unsafe { self.read_header(off as usize) };
+        if magic != MAGIC_FREE {
+            flows_trace::san::trip(
+                flows_trace::san::SanCheck::HeapUseAfterFree,
+                &format!("freed block {addr:#x}: header overwritten in quarantine"),
+                addr as u64,
+                magic,
+            );
+        }
+        let cap = Self::capacity_of(tag);
+        for i in 0..cap {
+            // SAFETY: committed capacity.
+            let b = unsafe { *((addr + i) as *const u8) };
+            if b != POISON_FREE {
+                flows_trace::san::trip(
+                    flows_trace::san::SanCheck::HeapUseAfterFree,
+                    &format!("freed block {addr:#x}: byte {i} written while quarantined ({b:#04x})"),
+                    addr as u64,
+                    i as u64,
+                );
+            }
+        }
+        self.push_free(off, tag);
+    }
+
+    /// Drain the quarantine, verifying every block. Tests use this to get
+    /// deterministic reuse; the runtime never needs it.
+    pub fn flush_quarantine(&mut self) {
+        while !self.quarantine.is_empty() {
+            let off = self.quarantine.remove(0);
+            self.release_quarantined(off);
+        }
+    }
+
+    /// Blocks currently held in quarantine.
+    pub fn quarantined_blocks(&self) -> usize {
+        self.quarantine.len()
     }
 }
 
@@ -292,7 +474,9 @@ mod tests {
         let a = h.alloc_with(100, &mut c).unwrap();
         let brk_after_first = h.used_extent();
         h.free(a).unwrap();
-        let b = h.alloc_with(120, &mut c).unwrap(); // same 128-class
+        #[cfg(feature = "sanitize")]
+        h.flush_quarantine();
+        let b = h.alloc_with(100, &mut c).unwrap(); // same 128-class
         assert_eq!(a, b, "freed block must be recycled");
         assert_eq!(h.used_extent(), brk_after_first, "no new carving");
     }
@@ -303,6 +487,8 @@ mod tests {
         let mut c = committer(&m);
         let a = h.alloc_with(100_000, &mut c).unwrap();
         h.free(a).unwrap();
+        #[cfg(feature = "sanitize")]
+        h.flush_quarantine();
         let b = h.alloc_with(90_000, &mut c).unwrap();
         assert_eq!(a, b, "large free block should satisfy smaller large alloc");
     }
@@ -335,7 +521,7 @@ mod tests {
         let mut c = committer(&m);
         let mut got = 0;
         loop {
-            match h.alloc_with(4096, &mut c) {
+            match h.alloc_with(4000, &mut c) {
                 Ok(_) => got += 1,
                 Err(e) => {
                     assert!(e.to_string().contains("arena exhausted"));
@@ -388,7 +574,10 @@ mod tests {
         let (m, mut h) = arena();
         let mut c = committer(&m);
         let a = h.alloc_with(100, &mut c).unwrap();
+        #[cfg(not(feature = "sanitize"))]
         assert_eq!(h.block_capacity(a).unwrap(), 128);
+        #[cfg(feature = "sanitize")]
+        assert_eq!(h.block_capacity(a).unwrap(), 128 - RED_ZONE);
         let b = h.alloc_with(100_000, &mut c).unwrap();
         assert!(h.block_capacity(b).unwrap() >= 100_000);
         h.free(a).unwrap();

@@ -25,6 +25,7 @@
 pub mod alias;
 pub mod copystack;
 pub mod heap;
+pub mod maps;
 pub mod probe;
 pub mod region;
 pub mod slab;

@@ -1,0 +1,117 @@
+//! Read the kernel's view of our address space (`/proc/self/maps`).
+//!
+//! The isomalloc layout rests on protection invariants — the guard page
+//! between heap arena and stack must be `PROT_NONE`, a vacated slot must
+//! not be readable — that the slot bookkeeping *believes* but cannot
+//! prove. This module asks the kernel instead, so tests and the sanitizer
+//! can verify the invariants against ground truth rather than against the
+//! same state that would be wrong if the bookkeeping were.
+
+/// One line of `/proc/self/maps`: a mapped range and its permissions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MapEntry {
+    /// Start address (inclusive).
+    pub start: usize,
+    /// End address (exclusive).
+    pub end: usize,
+    /// Readable (`r` in the perms column).
+    pub readable: bool,
+    /// Writable (`w` in the perms column).
+    pub writable: bool,
+}
+
+/// Parse `/proc/self/maps`. Returns entries in address order (the kernel
+/// emits them sorted). Lines that fail to parse are skipped.
+pub fn read_self_maps() -> std::io::Result<Vec<MapEntry>> {
+    let text = std::fs::read_to_string("/proc/self/maps")?;
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let mut cols = line.split_whitespace();
+        let (Some(range), Some(perms)) = (cols.next(), cols.next()) else {
+            continue;
+        };
+        let Some((lo, hi)) = range.split_once('-') else {
+            continue;
+        };
+        let (Ok(start), Ok(end)) = (
+            usize::from_str_radix(lo, 16),
+            usize::from_str_radix(hi, 16),
+        ) else {
+            continue;
+        };
+        out.push(MapEntry {
+            start,
+            end,
+            readable: perms.starts_with('r'),
+            writable: perms.as_bytes().get(1) == Some(&b'w'),
+        });
+    }
+    Ok(out)
+}
+
+/// Is every byte of `[addr, addr+len)` inaccessible (`PROT_NONE` or not
+/// mapped at all)? This is the ground-truth check behind the guard-page
+/// and vacated-slot invariants.
+pub fn range_is_unreadable(addr: usize, len: usize) -> std::io::Result<bool> {
+    let end = addr.saturating_add(len);
+    for e in read_self_maps()? {
+        if e.readable && e.start < end && e.end > addr {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Is every byte of `[addr, addr+len)` mapped readable+writable?
+pub fn range_is_read_write(addr: usize, len: usize) -> std::io::Result<bool> {
+    let end = addr.saturating_add(len);
+    let mut at = addr;
+    // Entries are sorted; walk forward stitching contiguous rw coverage.
+    for e in read_self_maps()? {
+        if e.end <= at || !(e.readable && e.writable) {
+            continue;
+        }
+        if e.start > at {
+            if e.start >= end {
+                break;
+            }
+            return Ok(false); // hole (or non-rw entry skipped) before `at`
+        }
+        at = e.end;
+        if at >= end {
+            return Ok(true);
+        }
+    }
+    Ok(at >= end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flows_sys::map::{Mapping, Protection};
+    use flows_sys::page::page_size;
+
+    #[test]
+    fn maps_parse_and_classify_protections() {
+        let pg = page_size();
+        let m = Mapping::reserve(4 * pg).unwrap(); // PROT_NONE reservation
+        m.commit(pg, pg, Protection::ReadWrite).unwrap();
+        let base = m.addr();
+        assert!(range_is_unreadable(base, pg).unwrap(), "uncommitted page");
+        assert!(range_is_read_write(base + pg, pg).unwrap(), "committed page");
+        assert!(
+            !range_is_unreadable(base + pg, pg).unwrap(),
+            "committed page is readable"
+        );
+        assert!(
+            !range_is_read_write(base, 2 * pg).unwrap(),
+            "mixed range is not fully rw"
+        );
+    }
+
+    #[test]
+    fn unmapped_space_reads_as_unreadable() {
+        // The zero page is never mapped in a Linux process.
+        assert!(range_is_unreadable(0, 4096).unwrap());
+    }
+}

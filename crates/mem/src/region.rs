@@ -289,7 +289,14 @@ impl Slot {
             len,
             Protection::ReadWrite,
         )?;
-        if o <= w.low {
+        if o <= w.low && e >= w.high {
+            // The commit spans the whole remaining gap: the slot is now
+            // fully read-write. Keep `low <= high` (an empty gap at the
+            // top) — crossed extents would make ensure_uncommitted
+            // decommit ranges that are in use.
+            w.low = self.region.cfg.slot_len;
+            w.high = self.region.cfg.slot_len;
+        } else if o <= w.low {
             w.low = w.low.max(e);
         } else if e >= w.high {
             w.high = w.high.min(o);

@@ -78,13 +78,17 @@ impl ThreadSlab {
                 ),
             ));
         }
-        slot.commit(slot.len() - stack_len, stack_len)?;
         let arena_len = page_align_down(slot.len() - stack_len - pg);
         // The gap between arena and stack is the guard: it must fault on
         // touch. On a recycled slot whose previous tenant used a different
         // layout, parts of the gap may still be committed — reprotect just
-        // those. Same-layout reuse costs zero syscalls here.
+        // those. Same-layout reuse costs zero syscalls here. Order
+        // matters: clearing the guard must happen *before* the stack
+        // commit — ensure_uncommitted widens the warm gap downward, and
+        // doing that after the stack commit would decommit a freshly
+        // committed stack that overlaps the previous tenant's heap extent.
         slot.ensure_uncommitted(arena_len, slot.len() - stack_len - arena_len)?;
+        slot.commit(slot.len() - stack_len, stack_len)?;
         let heap = IsoHeap::new(slot.base(), arena_len);
         Ok(ThreadSlab {
             slot,
@@ -132,6 +136,46 @@ impl ThreadSlab {
         self.heap.free(ptr as usize)
     }
 
+    /// The mutable heap allocator (sanitize tests drain its quarantine).
+    #[cfg(feature = "sanitize")]
+    pub fn heap_mut(&mut self) -> &mut IsoHeap {
+        &mut self.heap
+    }
+
+    /// Verify the slab's protection invariants against the kernel's view
+    /// of the address space (`/proc/self/maps`): the guard gap between
+    /// heap arena and stack must be inaccessible, and the committed stack
+    /// must be read-write. This is ground truth — it catches bookkeeping
+    /// bugs the slot's own warm-extent state cannot see.
+    pub fn assert_guard(&self) -> SysResult<()> {
+        let guard_start = self.slot.base() + self.heap.arena_len();
+        let guard_len = self.stack_bottom() - guard_start;
+        let unreadable = crate::maps::range_is_unreadable(guard_start, guard_len)
+            .map_err(|e| SysError::logic("assert_guard", format!("maps read failed: {e}")))?;
+        if !unreadable {
+            return Err(SysError::logic(
+                "assert_guard",
+                format!(
+                    "guard [{guard_start:#x},{:#x}) is readable — over-committed slab",
+                    guard_start + guard_len
+                ),
+            ));
+        }
+        let rw = crate::maps::range_is_read_write(self.stack_bottom(), self.stack_len)
+            .map_err(|e| SysError::logic("assert_guard", format!("maps read failed: {e}")))?;
+        if !rw {
+            return Err(SysError::logic(
+                "assert_guard",
+                format!(
+                    "stack [{:#x},{:#x}) is not fully read-write — over-decommitted slab",
+                    self.stack_bottom(),
+                    self.stack_top()
+                ),
+            ));
+        }
+        Ok(())
+    }
+
     /// Pack for migration, appending the image to `out` (head + raw heap
     /// extent + raw live stack — one copy, straight into the outgoing
     /// buffer). `sp` is the thread's suspended stack pointer; bytes from
@@ -174,7 +218,14 @@ impl ThreadSlab {
         // AND the page protections, so the destination (same reservation in
         // this single-process machine) recommits without syscalls.
         let slot = self.slot;
+        #[cfg(not(feature = "sanitize"))]
         let _ = slot.discard_committed();
+        // Under the sanitizer, trade the warm-recycling fast path for
+        // detection: reprotect the whole vacated slot PROT_NONE so any
+        // touch of memory that "left with the thread" faults instead of
+        // silently reading stale bytes.
+        #[cfg(feature = "sanitize")]
+        let _ = slot.decommit(0, slot.len());
         let _ = slot.into_global_index();
         Ok(out.len() - start)
     }
@@ -442,6 +493,8 @@ mod tests {
         // Allocator bookkeeping also survived: freeing still works and the
         // block is recycled.
         slab2.free(p).unwrap();
+        #[cfg(feature = "sanitize")]
+        slab2.heap_mut().flush_quarantine();
         let q = slab2.malloc(8192).unwrap();
         assert_eq!(q, p);
     }

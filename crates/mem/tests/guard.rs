@@ -1,0 +1,59 @@
+//! Ground-truth protection checks for thread slabs: every layout, fresh
+//! or recycled, must show the kernel (via `/proc/self/maps`) exactly the
+//! protections the slot bookkeeping believes — a `PROT_NONE` guard gap and
+//! a fully read-write stack. This is the regression net for the class of
+//! bug where recycling a slot under a different layout leaves the guard
+//! readable or the stack decommitted.
+
+use flows_mem::region::{IsoConfig, IsoRegion};
+use flows_mem::ThreadSlab;
+use std::sync::Arc;
+
+fn region() -> Arc<IsoRegion> {
+    IsoRegion::new(IsoConfig {
+        base: 0,
+        num_pes: 2,
+        slots_per_pe: 4,
+        slot_len: 256 * 1024,
+    })
+    .unwrap()
+}
+
+#[test]
+fn fresh_slabs_hold_guard_invariants_across_layouts() {
+    let r = region();
+    for stack_len in [4096, 16 * 1024, 64 * 1024] {
+        let slab = ThreadSlab::new(r.alloc_slot(0).unwrap(), stack_len).unwrap();
+        slab.assert_guard()
+            .unwrap_or_else(|e| panic!("fresh slab, stack {stack_len:#x}: {e}"));
+    }
+}
+
+#[test]
+fn recycled_slots_hold_guard_invariants_under_new_layouts() {
+    let r = region();
+    // First tenant: small stack, heavy heap use — commits pages deep into
+    // the arena, including addresses a later large-stack layout will want
+    // for its stack and guard.
+    let mut slab = ThreadSlab::new(r.alloc_slot(0).unwrap(), 16 * 1024).unwrap();
+    let p = slab.malloc(140 * 1024).unwrap();
+    // SAFETY: freshly allocated from the committed arena.
+    unsafe { std::ptr::write_bytes(p, 0x5A, 140 * 1024) };
+    slab.assert_guard().unwrap();
+    drop(slab);
+
+    // Second tenant recycles the same slot with a much larger stack; the
+    // guard and stack land where the first tenant's heap pages were.
+    let slab2 = ThreadSlab::new(r.alloc_slot(0).unwrap(), 128 * 1024).unwrap();
+    slab2.assert_guard().unwrap();
+    // And writing the full stack extent must not fault.
+    let bottom = slab2.stack_bottom() as *mut u8;
+    // SAFETY: assert_guard just proved [bottom, top) is read-write.
+    unsafe { std::ptr::write_bytes(bottom, 0x11, slab2.stack_len()) };
+    drop(slab2);
+
+    // Third tenant goes back to a small stack: the gap left where the
+    // big stack was must be guard again.
+    let slab3 = ThreadSlab::new(r.alloc_slot(0).unwrap(), 4096).unwrap();
+    slab3.assert_guard().unwrap();
+}

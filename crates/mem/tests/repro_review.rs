@@ -17,6 +17,8 @@ fn recycled_slot_with_larger_stack_keeps_stack_committed() {
     // Tenant 1: 16 KiB stack, heap grown to ~140 KiB (past 256-128=128 KiB).
     let mut s1 = ThreadSlab::new(r.alloc_slot(0).unwrap(), 16 * 1024).unwrap();
     let p = s1.malloc(140 * 1024).unwrap();
+    // SAFETY: `p` was just returned by malloc(140 KiB); the extent is
+    // committed and exclusively ours.
     unsafe { std::ptr::write_bytes(p, 0xAB, 140 * 1024) };
     drop(s1);
 
@@ -24,6 +26,7 @@ fn recycled_slot_with_larger_stack_keeps_stack_committed() {
     let s2 = ThreadSlab::new(r.alloc_slot(0).unwrap(), 128 * 1024).unwrap();
     let top = s2.stack_top();
     let bottom = s2.stack_bottom();
+    // SAFETY: both probes land inside s2's freshly committed stack extent.
     unsafe {
         std::ptr::write_volatile((top - 8) as *mut u64, 7);
         std::ptr::write_volatile(bottom as *mut u64, 9);

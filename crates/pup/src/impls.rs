@@ -206,8 +206,12 @@ where
             // NOTE: iteration order is unspecified, so two packs of the
             // same map may differ byte-wise; round-trips are still exact.
             for (k, v) in self.iter_mut() {
-                // Keys are logically immutable in a map; clone through a
+                // Keys are logically immutable in a map; read through a
                 // temporary to keep the single-traversal contract.
+                // SAFETY: `kk` is a bitwise copy of `*k` that is packed
+                // (read-only traversal) and then forgotten, never dropped,
+                // so ownership stays with the map and nothing is aliased
+                // mutably.
                 let mut kk = unsafe { std::ptr::read(k) };
                 kk.pup(p);
                 std::mem::forget(kk);
@@ -238,6 +242,8 @@ where
             }
         } else {
             for (k, v) in self.iter_mut() {
+                // SAFETY: as for HashMap above — the bitwise copy is only
+                // packed and then forgotten, never dropped.
                 let mut kk = unsafe { std::ptr::read(k) };
                 kk.pup(p);
                 std::mem::forget(kk);

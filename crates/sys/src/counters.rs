@@ -47,6 +47,7 @@ counters! {
     FTRUNCATE / ftruncate: "`ftruncate` calls (memfd sizing).",
     PREAD / pread: "`pread` calls (frame reads).",
     PWRITE / pwrite: "`pwrite` calls (frame writes).",
+    SIGMASK / sigmask: "`sigprocmask`/`pthread_sigmask` calls (swapcontext-style mask save/restore, §4.3).",
 }
 
 impl SyscallCounts {
@@ -62,6 +63,7 @@ impl SyscallCounts {
             ftruncate: self.ftruncate.saturating_sub(earlier.ftruncate),
             pread: self.pread.saturating_sub(earlier.pread),
             pwrite: self.pwrite.saturating_sub(earlier.pwrite),
+            sigmask: self.sigmask.saturating_sub(earlier.sigmask),
         }
     }
 
@@ -76,6 +78,7 @@ impl SyscallCounts {
             + self.ftruncate
             + self.pread
             + self.pwrite
+            + self.sigmask
     }
 }
 

@@ -26,6 +26,7 @@ pub mod map;
 pub mod memfd;
 pub mod os;
 pub mod page;
+pub mod signal;
 pub mod time;
 
 pub use error::{SysError, SysResult};

@@ -1,0 +1,81 @@
+//! Signal-mask save/restore — the syscalls behind `swapcontext` emulation.
+//!
+//! The paper's §4.3 point is that `swapcontext`-style thread packages pay
+//! two `sigprocmask` system calls per context switch. `SwapKind::SignalMask`
+//! in `flows-arch` reproduces that overhead deliberately; this module is
+//! where those calls live so they flow through the same [`crate::counters`]
+//! accounting as every other syscall in the workspace.
+
+use crate::counters;
+
+/// A saved per-thread signal mask. Plain-old-data: safe to copy, store in
+/// a suspended context, and carry across a thread migration (signal
+/// numbers are machine-global, not address-space-relative).
+#[derive(Clone, Copy)]
+pub struct SigSet(libc::sigset_t);
+
+impl SigSet {
+    /// An empty mask (no signals blocked). A valid starting value that is
+    /// overwritten by the first [`swap_mask`].
+    pub fn empty() -> SigSet {
+        // SAFETY: sigset_t is a plain bitmask; all-zeroes is the empty set.
+        SigSet(unsafe { std::mem::zeroed() })
+    }
+
+    /// The calling thread's current mask, as `getcontext` would capture it.
+    pub fn current() -> SigSet {
+        let mut s = SigSet::empty();
+        counters::sigmask();
+        // SAFETY: querying the current mask into a valid sigset_t; a null
+        // `set` pointer means "read only, change nothing".
+        unsafe { libc::pthread_sigmask(libc::SIG_SETMASK, std::ptr::null(), &mut s.0) };
+        s
+    }
+}
+
+impl Default for SigSet {
+    fn default() -> SigSet {
+        SigSet::empty()
+    }
+}
+
+impl std::fmt::Debug for SigSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SigSet(..)")
+    }
+}
+
+/// Save the calling thread's mask into `*old` and install `*new` — the two
+/// `sigprocmask` syscalls a `swapcontext` pays on every switch.
+///
+/// Raw pointers because the caller (the context-switch path) must not hold
+/// Rust references across the register swap that follows.
+///
+/// # Safety
+/// `old` must be valid for writes and `new` valid for reads; neither may be
+/// accessed concurrently from another thread during the call.
+pub unsafe fn swap_mask(old: *mut SigSet, new: *const SigSet) {
+    counters::sigmask();
+    counters::sigmask();
+    // SAFETY: valid sigset_t pointers per this function's contract.
+    unsafe {
+        libc::pthread_sigmask(libc::SIG_SETMASK, std::ptr::null(), &raw mut (*old).0);
+        libc::pthread_sigmask(libc::SIG_SETMASK, &raw const (*new).0, std::ptr::null_mut());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn current_and_swap_count_syscalls() {
+        let before = crate::counters::snapshot();
+        let mut a = SigSet::current();
+        let b = SigSet::current();
+        // SAFETY: both sets live on this stack, this thread only.
+        unsafe { swap_mask(&raw mut a, &raw const b) };
+        let d = crate::counters::snapshot().since(&before);
+        assert_eq!(d.sigmask, 4, "2 queries + 1 swap (2 calls)");
+    }
+}

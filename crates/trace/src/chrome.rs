@@ -85,6 +85,7 @@ fn category(kind: EventKind) -> &'static str {
         | EventKind::FaultCrash
         | EventKind::FaultStall => "fault",
         EventKind::VtStep => "bigsim",
+        EventKind::SanTrip => "sanitizer",
         _ => "misc",
     }
 }

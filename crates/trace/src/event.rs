@@ -49,6 +49,13 @@ pub enum EventKind {
     /// BigSim advanced virtual time. `a`=virtual ns now, `b`=events
     /// executed so far.
     VtStep,
+    /// A runtime sanitizer detector fired (the `sanitize` cargo feature of
+    /// the memory/threading crates). `a`=check code
+    /// ([`crate::san::SanCheck`]), `b`/`c`=check-specific detail words
+    /// (typically the offending address and the expected value). Recorded
+    /// immediately before the process aborts, so a flushed ring's last
+    /// event explains the death.
+    SanTrip,
 }
 
 impl EventKind {
@@ -71,6 +78,7 @@ impl EventKind {
             EventKind::FaultCrash => "fault_crash",
             EventKind::FaultStall => "fault_stall",
             EventKind::VtStep => "vt_step",
+            EventKind::SanTrip => "san_trip",
         }
     }
 }

@@ -35,6 +35,7 @@ pub mod chrome;
 mod event;
 mod load;
 mod ring;
+pub mod san;
 mod summary;
 
 pub use event::{Event, EventKind};

@@ -26,6 +26,7 @@ pub struct TraceRing {
 // (Pe::enter/leave, install_ring) upholds. The UnsafeCell is never
 // touched concurrently from two threads.
 unsafe impl Sync for TraceRing {}
+// SAFETY: same single-writer discipline as the Sync impl above.
 unsafe impl Send for TraceRing {}
 
 impl TraceRing {
@@ -118,6 +119,7 @@ mod tests {
     fn fills_in_order_without_drops() {
         let r = TraceRing::new(3, 8);
         for i in 0..5 {
+            // SAFETY: this test thread is the only pusher.
             unsafe { r.push(ev(i)) };
         }
         assert_eq!(r.pe(), 3);
@@ -132,6 +134,7 @@ mod tests {
     fn wraparound_drops_oldest_and_counts_exactly() {
         let r = TraceRing::new(0, 4);
         for i in 0..11 {
+            // SAFETY: this test thread is the only pusher.
             unsafe { r.push(ev(i)) };
         }
         // 11 pushed into 4 slots: exactly 7 oldest dropped.
@@ -147,6 +150,7 @@ mod tests {
     fn retained_timestamps_are_monotonic() {
         let r = TraceRing::new(0, 16);
         for i in 0..100 {
+            // SAFETY: this test thread is the only pusher.
             unsafe { r.push(ev(i)) };
         }
         let evs = r.events();
@@ -157,6 +161,7 @@ mod tests {
     fn tiny_capacity_is_clamped() {
         let r = TraceRing::new(0, 0);
         assert!(r.capacity() >= 2);
+        // SAFETY: this test thread is the only pusher.
         unsafe { r.push(ev(0)) };
         assert_eq!(r.events().len(), 1);
     }

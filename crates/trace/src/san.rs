@@ -1,0 +1,133 @@
+//! Sanitizer trip reporting for the `sanitize` cargo feature.
+//!
+//! The memory substrate (`flows-mem`), the context-switch layer
+//! (`flows-arch`) and the scheduler (`flows-core`) gain runtime detectors
+//! when built with their `sanitize` feature: stack canaries, heap
+//! red-zones and freed-block quarantine, vacated-slot poisoning, scheduler
+//! lifecycle assertions, and a pup size validator. When a detector fires
+//! it must (a) leave a trace event behind so a flushed ring explains the
+//! death, and (b) stop the program before the corruption propagates.
+//! This module is that common funnel. It lives here — not in the crates
+//! that detect — because `flows-trace` is the one crate every detector
+//! already depends on.
+//!
+//! By default a trip aborts the process (corrupted memory must not unwind
+//! through arbitrary frames). Tests flip [`set_trip_panics`] so a trip
+//! becomes a normal panic they can observe with `catch_unwind`.
+
+use crate::{emit, EventKind};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Which sanitizer detector fired. Carried as the `a` word of a
+/// [`EventKind::SanTrip`] event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u64)]
+pub enum SanCheck {
+    /// The canary word at a thread's stack floor was clobbered while the
+    /// thread ran (stack overflow or a wild write).
+    StackCanary = 1,
+    /// The red zone behind an isomalloc block was written past the
+    /// block's capacity (heap buffer overflow).
+    HeapRedZone = 2,
+    /// A quarantined freed isomalloc block lost its poison pattern before
+    /// reuse (use-after-free write).
+    HeapUseAfterFree = 3,
+    /// A scheduler invariant on thread lifecycle broke: awaken of a
+    /// thread that is already runnable or running.
+    DoubleAwaken = 4,
+    /// A scheduler operation touched a thread that already exited.
+    UseAfterExit = 5,
+    /// A `Pup` impl's declared size disagrees with the bytes it actually
+    /// packed (lying `size()` corrupts every downstream wire offset).
+    PupSize = 6,
+    /// A migrated-away slot was found readable when it should have been
+    /// re-poisoned `PROT_NONE`.
+    VacatedSlot = 7,
+}
+
+impl SanCheck {
+    /// Stable short name for messages and log greps.
+    pub fn name(self) -> &'static str {
+        match self {
+            SanCheck::StackCanary => "stack-canary",
+            SanCheck::HeapRedZone => "heap-red-zone",
+            SanCheck::HeapUseAfterFree => "heap-use-after-free",
+            SanCheck::DoubleAwaken => "double-awaken",
+            SanCheck::UseAfterExit => "use-after-exit",
+            SanCheck::PupSize => "pup-size",
+            SanCheck::VacatedSlot => "vacated-slot",
+        }
+    }
+}
+
+/// When set, trips panic instead of aborting (test mode).
+static TRIP_PANICS: AtomicBool = AtomicBool::new(false);
+
+/// Make sanitizer trips panic (unwinding, observable with `catch_unwind`)
+/// instead of aborting the process. Test harnesses only; the abort
+/// default exists because a tripped invariant means memory is already
+/// corrupt.
+pub fn set_trip_panics(yes: bool) {
+    TRIP_PANICS.store(yes, Ordering::SeqCst);
+}
+
+/// Report a sanitizer detection and stop: emit a [`EventKind::SanTrip`]
+/// trace event (recorded if the gate is on and a ring is installed),
+/// print the diagnosis to stderr, then abort — or panic under
+/// [`set_trip_panics`].
+pub fn trip(check: SanCheck, detail: &str, b: u64, c: u64) -> ! {
+    emit(EventKind::SanTrip, check as u64, b, c);
+    eprintln!(
+        "flows-sanitize: {} detector tripped: {detail} (b={b:#x} c={c:#x})",
+        check.name()
+    );
+    if TRIP_PANICS.load(Ordering::SeqCst) {
+        panic!("flows-sanitize trip [{}]: {detail}", check.name());
+    }
+    std::process::abort();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{install_ring, set_enabled, TraceRing};
+    use std::sync::Arc;
+
+    #[test]
+    fn trip_emits_event_then_panics_in_test_mode() {
+        let ring = Arc::new(TraceRing::new(0, 64));
+        set_enabled(true);
+        set_trip_panics(true);
+        let caught = {
+            let _g = install_ring(&ring);
+            std::panic::catch_unwind(|| {
+                trip(SanCheck::StackCanary, "unit test", 0xAB, 0xCD);
+            })
+        };
+        set_enabled(false);
+        set_trip_panics(false);
+        let err = caught.expect_err("trip must panic in test mode");
+        let msg = err.downcast_ref::<String>().expect("string panic payload");
+        assert!(msg.contains("stack-canary"), "panic names the check: {msg}");
+        let evs = ring.events();
+        assert_eq!(evs.len(), 1, "trip leaves exactly one event behind");
+        assert_eq!(evs[0].kind, EventKind::SanTrip);
+        assert_eq!(evs[0].a, SanCheck::StackCanary as u64);
+        assert_eq!((evs[0].b, evs[0].c), (0xAB, 0xCD));
+    }
+
+    #[test]
+    fn check_names_are_distinct() {
+        let all = [
+            SanCheck::StackCanary,
+            SanCheck::HeapRedZone,
+            SanCheck::HeapUseAfterFree,
+            SanCheck::DoubleAwaken,
+            SanCheck::UseAfterExit,
+            SanCheck::PupSize,
+            SanCheck::VacatedSlot,
+        ];
+        let names: std::collections::HashSet<_> = all.iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), all.len());
+    }
+}

@@ -57,6 +57,9 @@ pub struct PeTraceSummary {
     pub lb_epochs: u64,
     /// Fault-injection events (drops, retransmits, crashes, stalls).
     pub faults: u64,
+    /// Sanitizer detectors that fired (`sanitize` feature trips; normally
+    /// at most one — the process aborts right after recording it).
+    pub sanitizer_trips: u64,
     /// Memory-alias `MAP_FIXED` remaps issued by this PE's OS thread
     /// (filled from the syscall counters, not from events).
     pub remap: u64,
@@ -87,6 +90,7 @@ pup_fields!(PeTraceSummary {
     checkpoints,
     lb_epochs,
     faults,
+    sanitizer_trips,
     remap,
     syscalls_total,
     grainsize_hist
@@ -175,6 +179,7 @@ pub fn summarize_pe(ring: &TraceRing, migs: &mut Vec<MigRecord>) -> PeTraceSumma
             | EventKind::FaultRetransmit
             | EventKind::FaultCrash
             | EventKind::FaultStall => s.faults += 1,
+            EventKind::SanTrip => s.sanitizer_trips += 1,
             EventKind::SwitchIn | EventKind::VtStep | EventKind::Mark => {}
         }
     }
@@ -230,7 +235,8 @@ impl PeTraceSummary {
                 "\"threads_created\":{},\"threads_exited\":{},",
                 "\"msgs_sent\":{},\"bytes_sent\":{},\"msgs_recv\":{},\"bytes_recv\":{},",
                 "\"migrations_out\":{},\"migrations_in\":{},\"checkpoints\":{},",
-                "\"lb_epochs\":{},\"faults\":{},\"remap\":{},\"syscalls_total\":{},",
+                "\"lb_epochs\":{},\"faults\":{},\"sanitizer_trips\":{},",
+                "\"remap\":{},\"syscalls_total\":{},",
                 "\"grainsize_hist\":[{}]}}"
             ),
             self.pe,
@@ -252,6 +258,7 @@ impl PeTraceSummary {
             self.checkpoints,
             self.lb_epochs,
             self.faults,
+            self.sanitizer_trips,
             self.remap,
             self.syscalls_total,
             hist.join(",")
@@ -300,6 +307,7 @@ mod tests {
     use std::sync::Arc;
 
     fn push(ring: &TraceRing, ts: u64, kind: EventKind, a: u64, b: u64, c: u64) {
+        // SAFETY: this test thread is the only pusher.
         unsafe { ring.push(Event { ts, kind, a, b, c }) }
     }
 

@@ -5,9 +5,11 @@
 set -u
 cd "$(dirname "$0")"
 
-# Gates first: clippy -D warnings, then the msgpath throughput floor
-# check (fails fast if the message path regressed), then the tracing
-# smoke test (traced AMPI job exports a complete Chrome timeline).
+# Gates first: clippy -D warnings plus the safety gate (flowslint +
+# sanitize-feature test pass, via lint.sh -> check.sh), then the msgpath
+# throughput floor check (fails fast if the message path regressed),
+# then the tracing smoke test (traced AMPI job exports a complete
+# Chrome timeline).
 bash scripts/lint.sh || exit 1
 bash scripts/bench_smoke.sh || exit 1
 bash scripts/trace_demo.sh || exit 1

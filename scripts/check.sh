@@ -1,0 +1,19 @@
+#!/bin/bash
+# Safety gate: the migration-safety lint plus the runtime-sanitizer test
+# pass.
+#
+#  1. flowslint — the dependency-free static analysis in crates/check:
+#     SAFETY-comment coverage on `unsafe`, no hidden global state in
+#     migratable crates, raw-pointer fields in Pup types flagged, libc
+#     confined to flows-sys. The workspace must stay finding-free.
+#  2. `--features sanitize` test pass — rebuilds the substrate with the
+#     runtime detectors armed (stack canaries, heap red zones + freed
+#     quarantine, vacated-slot poisoning, scheduler lifecycle trips,
+#     pup-size validation) and proves both that the regular suites still
+#     pass with detectors on and that every detector still fires.
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo run --offline -q -p flows-check --bin flowslint -- --root .
+cargo test --offline -q -p flows-mem -p flows-core -p flows-ampi --features sanitize
+echo "OK: flowslint clean + sanitize test pass green"

@@ -6,3 +6,4 @@ cd "$(dirname "$0")/.."
 cargo clippy --offline --workspace --all-targets -- -D warnings
 cargo fmt --check 2>/dev/null || echo "note: rustfmt unavailable or formatting differs (non-fatal)"
 echo "OK: clippy clean at -D warnings"
+bash scripts/check.sh

@@ -110,6 +110,8 @@ fn figure10_syscalls_dominate_minimal_swap() {
     }
     fn hook() -> ! {
         let st = EXIT.with(|c| c.get());
+        // SAFETY: the PP is leaked (Box::into_raw) and outlives the flow;
+        // only the main context runs while the flow is suspended.
         unsafe {
             let mut dead = Context::new((*st).main.kind());
             Context::swap_raw(&raw mut dead, &raw const (*st).main);
@@ -118,6 +120,8 @@ fn figure10_syscalls_dominate_minimal_swap() {
     }
     extern "C" fn partner(arg: usize) {
         let st = arg as *mut PP;
+        // SAFETY: cooperative ping-pong; main runs only while we're
+        // suspended, so `*st` is never accessed concurrently.
         unsafe {
             while !(*st).stop {
                 Context::swap_raw(&raw mut (*st).flow, &raw const (*st).main);
@@ -126,6 +130,7 @@ fn figure10_syscalls_dominate_minimal_swap() {
     }
     let measure = |kind: SwapKind, iters: u64| -> f64 {
         let mut stack = vec![0u8; 64 * 1024];
+        // SAFETY: one-past-the-end of the owned vec, used only as stack top.
         let top = unsafe { stack.as_mut_ptr().add(stack.len()) };
         let st = Box::into_raw(Box::new(PP {
             main: Context::new(kind),
@@ -135,6 +140,8 @@ fn figure10_syscalls_dominate_minimal_swap() {
         }));
         flows::arch::set_exit_hook(hook);
         EXIT.with(|c| c.set(st));
+        // SAFETY: st is leaked for the whole measurement; the ping-pong is
+        // strictly alternating so main and flow never run concurrently.
         unsafe {
             (*st).flow = InitialStack::build(kind, top, partner, st as usize);
             for _ in 0..100 {
