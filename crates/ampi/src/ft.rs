@@ -115,6 +115,9 @@ pub struct FtReport {
     /// threw away, and with `faults.physical_packets()` for the protocol
     /// overhead.
     pub total_messages: u64,
+    /// Online recovery rounds completed in place (crashes healed without
+    /// tearing the machine down). Always 0 for offline restart plans.
+    pub recoveries: usize,
 }
 
 /// Run `main` as every rank of a fresh AMPI world under `plan`, surviving
@@ -142,8 +145,49 @@ pub fn run_world_ft(
     iso.base = 0;
     iso.slot_len = opts.slot_len;
     iso.slots_per_pe = (opts.ranks / opts.pes + 2) * 2;
-    let shared = SharedPools::new(iso, 1 << 20).expect("ft memory pools");
 
+    if plan.online {
+        // Online recovery: ONE machine, crashes healed in place. The
+        // survivors roll back to buddy-replicated images and re-spawn the
+        // dead PE's ranks through the normal migration unpack path — no
+        // restart loop, no world teardown.
+        assert!(
+            opts.modeled_time,
+            "online recovery requires modeled time (deterministic replay)"
+        );
+        // Any single PE may end up hosting every rank after repeated
+        // crashes; size the isomalloc region for that worst case.
+        iso.slots_per_pe = (opts.ranks + 2) * 2;
+        let shared = SharedPools::new(iso, 1 << 20).expect("ft memory pools");
+        let report = run_attempt(world, &opts, opts.pes, Some(shared), Some(plan), None, &main);
+        assert!(
+            report.crashed.is_none(),
+            "online recovery must heal crashes, not abort the attempt"
+        );
+        clear_world(world);
+        let mut resume_epochs: Vec<u64> = report
+            .recovery
+            .iter()
+            .filter(|e| e.phase == flows_converse::RecoveryPhase::Resume)
+            .map(|e| e.info)
+            .collect();
+        resume_epochs.sort_unstable();
+        resume_epochs.dedup();
+        let faults = report.faults.unwrap_or_default();
+        let total_messages = report.messages;
+        let crashed_pes = report.dead_pes.clone();
+        return FtReport {
+            report,
+            restarts: 0,
+            pes_used: opts.pes,
+            crashed_pes,
+            faults,
+            total_messages,
+            recoveries: resume_epochs.len(),
+        };
+    }
+
+    let shared = SharedPools::new(iso, 1 << 20).expect("ft memory pools");
     let mut plan = plan;
     let mut pes_now = opts.pes;
     let mut restarts = 0usize;
@@ -175,6 +219,7 @@ pub fn run_world_ft(
                     crashed_pes,
                     faults,
                     total_messages,
+                    recoveries: 0,
                 };
             }
             Some(dead) => {

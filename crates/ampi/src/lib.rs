@@ -32,6 +32,7 @@
 pub mod ft;
 pub mod nonblocking;
 pub mod proto;
+pub(crate) mod recover;
 pub mod world;
 
 pub use ft::{run_world_ft, FtReport};
@@ -54,11 +55,19 @@ pub struct Ampi {
     coll_seq: u64,
     lb_seq: u64,
     ckpt_seq: u64,
-    /// Per-destination point-to-point sequence numbers (non-overtaking).
-    send_seq: std::collections::HashMap<usize, u64>,
     /// Counter for the reserved tags of the pt2pt-based collectives.
     pub(crate) p2p_coll_seq: u64,
 }
+
+// KEEP THIS STRUCT HEAP-FREE. `Ampi` lives on the rank's migratable stack,
+// so plain scalar fields are captured by checkpoint/migration images — but
+// anything that spills to the process heap (Vec, HashMap, Box) is NOT: a
+// rollback would restore a checkpoint-cut stack whose pointers alias live,
+// post-cut (or freed) allocations. Per-destination send sequences used to
+// live here as a HashMap and wedged every post-rollback replay one
+// sequence ahead of its receivers; they now live in the rank's `RankBox`
+// (explicitly pup'd with the image). Mutable cross-checkpoint state
+// belongs either inline here or in the RankBox.
 
 impl Ampi {
     pub(crate) fn new(world: u64, rank: usize, size: usize) -> Ampi {
@@ -69,7 +78,6 @@ impl Ampi {
             coll_seq: 0,
             lb_seq: 0,
             ckpt_seq: 0,
-            send_seq: std::collections::HashMap::new(),
             p2p_coll_seq: 0,
         }
     }
@@ -98,9 +106,15 @@ impl Ampi {
             tag <= crate::nonblocking::RESERVED_TAG_BASE + (1 << 32),
             "tag out of range"
         );
-        let seq = self.send_seq.entry(dest).or_insert(0);
-        let this_seq = *seq;
-        *seq += 1;
+        // The per-destination sequence lives in the rank's box (pup'd with
+        // the checkpoint image), so a rollback rewinds it with the rest of
+        // the rank — see the note on the `Ampi` struct.
+        let this_seq = with_rank_box(self.rank as u64, |b| {
+            let seq = b.send_seq.entry(dest as u64).or_insert(0);
+            let v = *seq;
+            *seq += 1;
+            v
+        });
         let mut w = RankWire {
             kind: 0,
             a: self.rank as u64,

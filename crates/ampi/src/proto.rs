@@ -59,19 +59,30 @@ pup_fields!(MailEntry { src, tag, data });
 pub struct RankMove {
     pub world: u64,
     pub rank: u64,
+    /// Sender's recovery epoch. A move that was in flight when a rollback
+    /// struck carries *post-checkpoint* thread state and must be dropped,
+    /// never unpacked (the shelf copy is the authoritative image).
+    pub epoch: u64,
     pub thread: Vec<u8>,
     pub mailbox: Vec<MailEntry>,
     /// Next expected per-sender sequence numbers: (src, seq) pairs.
     pub next_seq: Vec<(u64, u64)>,
+    /// Next outgoing per-destination sequence numbers: (dest, seq) pairs.
+    /// Sender-side protocol state lives here — NOT in rank-private heap
+    /// memory — precisely so a rollback restores it to the checkpoint cut
+    /// along with the rest of the image.
+    pub send_seq: Vec<(u64, u64)>,
     /// Out-of-order messages held back: (src, seq, tag, data).
     pub stashed: Vec<(u64, u64, u64, Payload)>,
 }
 pup_fields!(RankMove {
     world,
     rank,
+    epoch,
     thread,
     mailbox,
     next_seq,
+    send_seq,
     stashed
 });
 
@@ -84,10 +95,18 @@ pub struct PlanMsg {
     pub world: u64,
     /// LB epoch sequence number.
     pub seq: u64,
+    /// Sender's recovery epoch; a plan computed before a rollback embeds
+    /// stale placement and is dropped by the receiver.
+    pub epoch: u64,
     /// (rank, destination PE), sorted by rank for deterministic handling.
     pub entries: Vec<(u64, u64)>,
 }
-pup_fields!(PlanMsg { world, seq, entries });
+pup_fields!(PlanMsg {
+    world,
+    seq,
+    epoch,
+    entries
+});
 
 /// Header of a batched migration message: all the ranks one LB epoch moves
 /// between one (source, destination) PE pair ride a single wire message.
@@ -96,9 +115,11 @@ pup_fields!(PlanMsg { world, seq, entries });
 #[derive(Debug, Default, Clone, PartialEq)]
 pub struct BatchHead {
     pub world: u64,
+    /// Sender's recovery epoch (same rationale as [`RankMove::epoch`]).
+    pub epoch: u64,
     pub count: u64,
 }
-pup_fields!(BatchHead { world, count });
+pup_fields!(BatchHead { world, epoch, count });
 
 /// Per-rank record inside a batch: the runtime state living outside the
 /// thread's own memory (cf. [`RankMove`], which additionally carries the
@@ -108,13 +129,94 @@ pub struct MoveRec {
     pub rank: u64,
     pub mailbox: Vec<MailEntry>,
     pub next_seq: Vec<(u64, u64)>,
+    pub send_seq: Vec<(u64, u64)>,
     pub stashed: Vec<(u64, u64, u64, Payload)>,
 }
 pup_fields!(MoveRec {
     rank,
     mailbox,
     next_seq,
+    send_seq,
     stashed
+});
+
+/// Header of a buddy-replication batch: all of one owner PE's rank images
+/// for one checkpoint generation, shipped to a buddy in a single wire
+/// message. `count` records follow, each a pup'd [`RepRec`] immediately
+/// followed by that rank's framed checkpoint image
+/// (`flows_core::frame_payload` bytes — magic + version + length + FNV-1a
+/// checksum around the `RankMove` wire form, validated on receipt and
+/// again before any recovery unpack).
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct RepHead {
+    pub world: u64,
+    /// PE whose checkpoint this is (the shelf key on the buddy).
+    pub owner: u64,
+    /// Checkpoint generation being replicated.
+    pub gen: u64,
+    /// Sender's recovery epoch at replication time.
+    pub epoch: u64,
+    /// 0 = steady-state replication (after a local checkpoint deposit);
+    /// 1 = recovery re-replication (respawned ranks acquiring new buddies).
+    pub purpose: u8,
+    pub count: u64,
+}
+pup_fields!(RepHead {
+    world,
+    owner,
+    gen,
+    epoch,
+    purpose,
+    count
+});
+
+/// Per-rank record inside a replication batch.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct RepRec {
+    pub rank: u64,
+    /// Accumulated load at pack time, restored into the scheduler on
+    /// recovery unpack so LB keeps working across a rollback.
+    pub load_ns: u64,
+    /// Byte length of the framed image that follows this record.
+    pub len: u64,
+}
+pup_fields!(RepRec { rank, load_ns, len });
+
+/// Recovery control-plane message. One struct, one converse handler;
+/// `kind` selects the interpretation (fields unused by a kind are zero):
+/// * 0 — COMMIT: coordinator → all; generation `a` is globally committed.
+/// * 1 — ACK: buddy → owner; replica batch for generation `a` stored
+///   (`b` echoes the batch's `purpose`).
+/// * 2 — START: leader → all live; begin recovery round `epoch` for the
+///   dead-PE set `a` (bitmask).
+/// * 3 — INVENTORY: survivor `a` → leader; `b` = its committed
+///   generation, `pairs` = (gen, rank | OWN_BIT) for every
+///   checksum-valid shelf holding.
+/// * 4 — PLAN: leader → all live; roll back to generation `a - 1`
+///   (`a == 0` means scratch restart), dead mask `b`, `pairs` = the full
+///   (rank, assigned PE) respawn map.
+/// * 5 — PLAN_DONE: survivor `a` → leader; its assigned ranks are
+///   respawned and re-replicated.
+/// * 6 — RESUME: leader → all live; recovery round `epoch` is complete,
+///   generation `a` is the new baseline, dead mask `b` is healed.
+/// * 7 — VOTE: owner → coordinator; all of `a`'s deposits and buddy acks
+///   for generation `a` are in (commit barrier input).
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct CtlMsg {
+    pub kind: u8,
+    /// Recovery epoch this message belongs to (0 for pre-failure commit
+    /// traffic); stale epochs are dropped on receipt.
+    pub epoch: u64,
+    pub a: u64,
+    pub b: u64,
+    pub pairs: Vec<(u64, u64)>,
+}
+pup_fields!(CtlMsg {
+    kind,
+    epoch,
+    a,
+    b,
+    pairs
 });
 
 /// One rank's measured load, contributed to the LB reduction.
@@ -151,6 +253,7 @@ mod tests {
         let mut mv = RankMove {
             world: 1,
             rank: 3,
+            epoch: 2,
             thread: vec![9; 100],
             mailbox: vec![MailEntry {
                 src: 0,
@@ -158,6 +261,7 @@ mod tests {
                 data: vec![7].into(),
             }],
             next_seq: vec![(0, 3)],
+            send_seq: vec![(4, 6)],
             stashed: vec![(0, 5, 42, vec![8].into())],
         };
         let bytes = flows_pup::to_bytes(&mut mv);

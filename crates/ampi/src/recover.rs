@@ -1,0 +1,846 @@
+//! Online recovery: in-memory buddy checkpoints and in-place healing.
+//!
+//! Instead of tearing the world down after a crash (the offline
+//! checkpoint-restart loop in `ft.rs`), online mode keeps the surviving
+//! PEs' schedulers alive and heals around the failure:
+//!
+//! * **Buddy replication.** Every checkpoint generation a PE deposits its
+//!   local rank images on an in-memory *shelf* and ships them — framed
+//!   with the checkpoint magic + FNV-1a checksum (`flows_core::
+//!   frame_payload`) — to its next `k` live ring successors. A generation
+//!   is *committed* (optimistically) once every owner has all its buddy
+//!   acks and the commit coordinator has seen deposits covering every
+//!   rank.
+//! * **Failure detection.** The converse layer's phi-accrual detector
+//!   confirms a silent PE dead, fences it, and invokes the
+//!   death-confirmed upcall on the confirming PE — the *recovery leader*.
+//! * **Recovery protocol.** The leader allocates a fresh machine-wide
+//!   *recovery epoch* and drives START → INVENTORY → PLAN → PLAN_DONE →
+//!   RESUME. On START every survivor rolls back: it discards all rank
+//!   threads, purges pending reductions and dead locations, adopts the
+//!   epoch (all epoch-stamped traffic from before the rollback is dropped
+//!   on sight from here on) and reports its checksum-valid shelf holdings.
+//!   The leader picks the newest generation with full rank coverage —
+//!   falling back to older generations when copies are missing or
+//!   corrupt, and to a from-scratch restart when none survives — and
+//!   broadcasts a holder-constrained respawn assignment. Survivors unpack
+//!   their assigned ranks through the normal migration path (suspended:
+//!   admission stays paused), re-replicate the adopted images to new
+//!   buddies, and report done. On RESUME every rank is awakened and the
+//!   machine quiesces normally — no scheduler was ever torn down.
+//!
+//! A crash *during* recovery confirms on some survivor, which starts a
+//! round with a larger epoch covering every unhealed death; the stale
+//! round's messages are dropped everywhere and its partial state is
+//! re-rolled-back by the new START.
+
+use crate::proto::{CtlMsg, RankMove, RepHead, RepRec};
+use crate::world::{obj_of, pe_of_rank, AmpiState, RankBox, WorldMeta};
+use flows_converse::{HandlerId, MachineBuilder, Message, Pe, RecoveryPhase};
+use flows_core::{frame_payload, unframe_payload, PackedThread, ThreadId, ThreadState};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, OnceLock};
+
+static CTL_HANDLER: OnceLock<HandlerId> = OnceLock::new();
+static REP_HANDLER: OnceLock<HandlerId> = OnceLock::new();
+
+/// Marks a shelf holding as *owned* (the rank lived on the holder at
+/// deposit time) in inventory pairs.
+pub(crate) const OWN_BIT: u64 = 1 << 63;
+
+/// Fixed key whose live mapping picks the commit coordinator.
+const CTL_KEY: u64 = 0;
+
+/// One shelved checkpoint image: the framed (checksummed) `RankMove`
+/// bytes plus the rank's measured load at pack time.
+struct Replica {
+    frame: Vec<u8>,
+    load_ns: u64,
+    /// The rank lived on this PE when the image was taken (or was adopted
+    /// here by a recovery plan) — owners respawn their ranks in place.
+    own: bool,
+}
+
+/// Leader-side state of one recovery round.
+struct LeaderState {
+    epoch: u64,
+    dead_mask: u64,
+    live_mask: u64,
+    inventories: BTreeMap<usize, Vec<(u64, u64)>>,
+    plan_done: u64,
+    genp1: u64,
+}
+
+#[derive(Default)]
+pub(crate) struct RecoverState {
+    /// generation → rank → replica (own deposits and buddy copies).
+    shelf: BTreeMap<u64, HashMap<u64, Replica>>,
+    /// Steady-state replication: generation → (acks outstanding, own rank
+    /// count to report in the commit vote).
+    await_acks: HashMap<u64, (usize, u64)>,
+    /// Recovery re-replication acks outstanding (purpose-1).
+    rec_acks: usize,
+    /// Commit coordinator: generation → (voter mask, rank-count sum).
+    votes: HashMap<u64, (u64, u64)>,
+    /// Latest globally-committed generation + 1 (0 = none yet).
+    committed_p1: u64,
+    /// Largest recovery epoch seen; traffic stamped older is stale.
+    epoch: u64,
+    /// Idempotency guards: last epoch each phase ran at.
+    rolled_back: u64,
+    planned: u64,
+    resumed: u64,
+    /// Dead PEs whose recovery has completed (they stay fenced forever).
+    healed: u64,
+    /// Ranks to spawn from scratch at RESUME (no generation survived).
+    scratch: Vec<u64>,
+    /// Leader this PE's PLAN_DONE goes to.
+    plan_leader: usize,
+    leader: Option<LeaderState>,
+    /// Replica frames rejected by checksum validation.
+    invalid_replicas: u64,
+}
+
+/// Register the recovery control + replication handlers. Must occupy the
+/// same handler slots in every machine of the process (same pattern as
+/// the AMPI world handlers).
+pub(crate) fn register(mb: &mut MachineBuilder) {
+    let ctl = mb.handler(on_ctl);
+    let stored = *CTL_HANDLER.get_or_init(|| ctl);
+    assert_eq!(stored, ctl, "AMPI must occupy the same handler slot in every machine");
+    let rep = mb.handler(on_replica);
+    let stored = *REP_HANDLER.get_or_init(|| rep);
+    assert_eq!(stored, rep, "AMPI must occupy the same handler slot in every machine");
+}
+
+fn ctl_handler() -> HandlerId {
+    *CTL_HANDLER.get().expect("recovery handlers registered")
+}
+
+fn rep_handler() -> HandlerId {
+    *REP_HANDLER.get().expect("recovery handlers registered")
+}
+
+/// This PE's `k` buddies: the next `k` ring successors not in `dead_mask`.
+pub(crate) fn buddies_of(me: usize, n: usize, k: usize, dead_mask: u64) -> Vec<usize> {
+    let mut out = Vec::new();
+    for i in 1..n {
+        let c = (me + i) % n;
+        if dead_mask & (1 << c) == 0 {
+            out.push(c);
+            if out.len() == k {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Pick the rollback generation and respawn assignment from the
+/// survivors' inventories (pairs of `(gen, rank | OWN_BIT)`): the newest
+/// generation where every rank has at least one valid holder, each rank
+/// assigned to its owner when the owner survives, otherwise to the
+/// least-loaded holder. Pure — property-tested below. `None` means no
+/// complete generation survives (restart from scratch).
+pub(crate) fn best_gen(
+    size: usize,
+    inventories: &BTreeMap<usize, Vec<(u64, u64)>>,
+) -> Option<(u64, Vec<(u64, u64)>)> {
+    let mut gens: BTreeMap<u64, HashMap<u64, Vec<(bool, usize)>>> = BTreeMap::new();
+    for (&pe, holdings) in inventories {
+        for &(gen, coded) in holdings {
+            let rank = coded & !OWN_BIT;
+            let own = coded & OWN_BIT != 0;
+            gens.entry(gen).or_default().entry(rank).or_default().push((own, pe));
+        }
+    }
+    for (&gen, ranks) in gens.iter().rev() {
+        if !(0..size as u64).all(|r| ranks.contains_key(&r)) {
+            continue;
+        }
+        let mut assigned: HashMap<usize, usize> = HashMap::new();
+        let mut assign = Vec::with_capacity(size);
+        let mut orphans: Vec<u64> = Vec::new();
+        for r in 0..size as u64 {
+            let mut holders = ranks[&r].clone();
+            holders.sort_unstable();
+            // Owner-held ranks respawn in place (no image moves, survivor
+            // placement is undisturbed).
+            if let Some(&(_, pe)) = holders.iter().find(|&&(own, _)| own) {
+                assign.push((r, pe as u64));
+                *assigned.entry(pe).or_default() += 1;
+            } else {
+                orphans.push(r);
+            }
+        }
+        // Orphans (the dead PE's ranks) go to the least-loaded holder;
+        // ties break on PE id so every survivor computes the same plan.
+        for r in orphans {
+            let mut holders: Vec<usize> = ranks[&r].iter().map(|&(_, pe)| pe).collect();
+            holders.sort_unstable();
+            holders.dedup();
+            let pe = *holders
+                .iter()
+                .min_by_key(|&&pe| (assigned.get(&pe).copied().unwrap_or(0), pe))
+                .expect("coverage checked");
+            assign.push((r, pe as u64));
+            *assigned.entry(pe).or_default() += 1;
+        }
+        assign.sort_unstable();
+        return Some((gen, assign));
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// Healthy path: shelf deposits, buddy replication, commit votes.
+// ---------------------------------------------------------------------
+
+/// Deposit one local rank's framed image for generation `gen` (called
+/// from the checkpoint snapshot path in online mode).
+pub(crate) fn deposit_checkpoint(pe: &Pe, rank: u64, gen: u64, move_bytes: Vec<u8>, load_ns: u64) {
+    let frame = frame_payload(&move_bytes);
+    pe.ext::<RecoverState, _>(|rs| {
+        rs.shelf.entry(gen).or_default().insert(rank, Replica { frame, load_ns, own: true });
+    });
+}
+
+/// All local ranks have deposited generation `gen`: ship the images to
+/// this PE's buddies; once every buddy acks, vote for the commit.
+pub(crate) fn finalize_generation(pe: &Pe, meta: &Arc<WorldMeta>, gen: u64) {
+    let k = pe.fault_plan().map(|p| p.replication).unwrap_or(1);
+    let buddies = buddies_of(pe.id(), pe.num_pes(), k, pe.confirmed_dead_mask());
+    let (epoch, own): (u64, Vec<(u64, u64, Vec<u8>)>) = pe.ext::<RecoverState, _>(|rs| {
+        let mut own: Vec<(u64, u64, Vec<u8>)> = rs
+            .shelf
+            .get(&gen)
+            .map(|g| {
+                g.iter()
+                    .filter(|(_, rep)| rep.own)
+                    .map(|(&r, rep)| (r, rep.load_ns, rep.frame.clone()))
+                    .collect()
+            })
+            .unwrap_or_default();
+        own.sort_unstable_by_key(|e| e.0);
+        if !buddies.is_empty() && !own.is_empty() {
+            rs.await_acks.insert(gen, (buddies.len(), own.len() as u64));
+        }
+        (rs.epoch, own)
+    });
+    if buddies.is_empty() || own.is_empty() {
+        cast_vote(pe, gen, epoch, own.len() as u64);
+        return;
+    }
+    let wire = build_rep_batch(pe, meta.world, gen, epoch, 0, &own);
+    for b in &buddies {
+        pe.send(*b, rep_handler(), wire.clone());
+    }
+}
+
+fn build_rep_batch(
+    pe: &Pe,
+    world: u64,
+    gen: u64,
+    epoch: u64,
+    purpose: u8,
+    images: &[(u64, u64, Vec<u8>)],
+) -> flows_converse::Payload {
+    let mut head = RepHead {
+        world,
+        owner: pe.id() as u64,
+        gen,
+        epoch,
+        purpose,
+        count: images.len() as u64,
+    };
+    let cap: usize = images.iter().map(|(_, _, f)| f.len() + 64).sum();
+    let mut buf = pe.payload_buf_with_capacity(64 + cap);
+    flows_pup::pack_into(&mut head, buf.vec_mut());
+    for (r, load_ns, frame) in images {
+        let mut rec = RepRec { rank: *r, load_ns: *load_ns, len: frame.len() as u64 };
+        flows_pup::pack_into(&mut rec, buf.vec_mut());
+        buf.extend_from_slice(frame);
+    }
+    buf.freeze()
+}
+
+/// A buddy-replication batch arrives: validate every frame's checksum
+/// before shelving it (corruption is detected *here*, not at recovery
+/// time), then ack the owner.
+pub(crate) fn on_replica(pe: &Pe, msg: Message) {
+    let (h, mut off): (RepHead, usize) =
+        flows_pup::from_bytes_prefix(&msg.data).expect("replica head");
+    let stale = pe.ext::<RecoverState, _>(|rs| h.epoch < rs.epoch);
+    if stale {
+        return;
+    }
+    for _ in 0..h.count {
+        let (rec, used): (RepRec, usize) =
+            flows_pup::from_bytes_prefix(&msg.data[off..]).expect("replica record");
+        off += used;
+        let frame = &msg.data[off..off + rec.len as usize];
+        off += rec.len as usize;
+        let valid = unframe_payload(frame).is_ok();
+        pe.ext::<RecoverState, _>(|rs| {
+            if valid {
+                rs.shelf.entry(h.gen).or_default().insert(
+                    rec.rank,
+                    Replica { frame: frame.to_vec(), load_ns: rec.load_ns, own: false },
+                );
+            } else {
+                rs.invalid_replicas += 1;
+            }
+        });
+    }
+    debug_assert_eq!(off, msg.data.len(), "trailing bytes in replica batch");
+    let mut ack = CtlMsg {
+        kind: 1,
+        epoch: h.epoch,
+        a: h.gen,
+        b: h.purpose as u64,
+        pairs: Vec::new(),
+    };
+    pe.send(h.owner as usize, ctl_handler(), pe.pack_payload(&mut ack));
+}
+
+fn cast_vote(pe: &Pe, gen: u64, epoch: u64, count: u64) {
+    let coord = flows_comm::live_root_of(pe, CTL_KEY);
+    if coord == pe.id() {
+        on_vote(pe, pe.id(), gen, count);
+    } else {
+        let mut m = CtlMsg { kind: 7, epoch, a: gen, b: count, pairs: Vec::new() };
+        pe.send(coord, ctl_handler(), pe.pack_payload(&mut m));
+    }
+}
+
+/// Commit coordinator: a generation commits once the voters' rank counts
+/// cover the whole world (rank ownership is disjoint across PEs at the
+/// cut, so the sum reaching `size` means every image is replicated).
+fn on_vote(pe: &Pe, from: usize, gen: u64, count: u64) {
+    let size = pe
+        .ext::<AmpiState, _>(|st| st.meta.as_ref().map(|m| m.size))
+        .expect("world meta") as u64;
+    let commit = pe.ext::<RecoverState, _>(|rs| {
+        let v = rs.votes.entry(gen).or_insert((0, 0));
+        if v.0 & (1 << from) != 0 {
+            return None;
+        }
+        v.0 |= 1 << from;
+        v.1 += count;
+        if v.1 >= size {
+            rs.votes.remove(&gen);
+            Some(rs.epoch)
+        } else {
+            None
+        }
+    });
+    let Some(epoch) = commit else { return };
+    let dead = pe.confirmed_dead_mask();
+    let mut m = CtlMsg { kind: 0, epoch, a: gen, b: 0, pairs: Vec::new() };
+    let wire = pe.pack_payload(&mut m);
+    for d in 0..pe.num_pes() {
+        if d != pe.id() && dead & (1 << d) == 0 {
+            pe.send(d, ctl_handler(), wire.clone());
+        }
+    }
+    on_commit(pe, gen);
+}
+
+/// A commit marker: advance the committed watermark and prune the shelf,
+/// keeping the committed generation plus one older as the corruption
+/// fallback. The marker is an optimization hint only — recovery picks its
+/// rollback target from inventory-verified availability, never from this.
+fn on_commit(pe: &Pe, gen: u64) {
+    pe.ext::<RecoverState, _>(|rs| {
+        if gen + 1 > rs.committed_p1 {
+            rs.committed_p1 = gen + 1;
+            rs.shelf.retain(|&g, _| g + 1 >= gen);
+            rs.await_acks.retain(|&g, _| g > gen);
+            rs.votes.retain(|&g, _| g > gen);
+        }
+    });
+}
+
+// ---------------------------------------------------------------------
+// Recovery rounds.
+// ---------------------------------------------------------------------
+
+/// Death-confirmed upcall (runs on the PE whose phi detector won the
+/// confirmation): become the recovery leader and start a round covering
+/// every confirmed-but-unhealed death.
+pub(crate) fn on_death_confirmed(pe: &Pe, _dead: usize) {
+    start_round(pe);
+}
+
+fn start_round(pe: &Pe) {
+    let healed = pe.ext::<RecoverState, _>(|rs| rs.healed);
+    let all = (1u64 << pe.num_pes()) - 1;
+    let confirmed = pe.confirmed_dead_mask() & all;
+    let dead_mask = confirmed & !healed;
+    if dead_mask == 0 {
+        return;
+    }
+    let live_mask = all & !confirmed;
+    let epoch = pe.alloc_recovery_epoch();
+    pe.ext::<RecoverState, _>(|rs| {
+        rs.leader = Some(LeaderState {
+            epoch,
+            dead_mask,
+            live_mask,
+            inventories: BTreeMap::new(),
+            plan_done: 0,
+            genp1: 0,
+        });
+    });
+    let mut m = CtlMsg { kind: 2, epoch, a: dead_mask, b: 0, pairs: Vec::new() };
+    let wire = pe.pack_payload(&mut m);
+    for d in 0..pe.num_pes() {
+        if d != pe.id() && live_mask & (1 << d) != 0 {
+            pe.send(d, ctl_handler(), wire.clone());
+        }
+    }
+    handle_start(pe, pe.id(), epoch, dead_mask);
+}
+
+/// Roll this PE back: adopt the round's epoch (everything stamped older
+/// is dropped from here on), write off the dead, discard every rank
+/// thread and its routed registration, purge half-gathered reductions,
+/// and report the checksum-valid shelf inventory to the leader.
+fn handle_start(pe: &Pe, leader: usize, epoch: u64, dead_mask: u64) {
+    let stale = pe.ext::<RecoverState, _>(|rs| {
+        if epoch <= rs.rolled_back || epoch < rs.epoch {
+            return true;
+        }
+        rs.epoch = epoch;
+        rs.rolled_back = epoch;
+        // A smaller-epoch round is superseded — including one this PE led.
+        if rs.leader.as_ref().is_some_and(|l| l.epoch < epoch) {
+            rs.leader = None;
+        }
+        rs.scratch.clear();
+        rs.await_acks.clear();
+        rs.votes.clear();
+        rs.rec_acks = 0;
+        false
+    });
+    if stale {
+        return;
+    }
+    flows_comm::set_comm_epoch(pe, epoch);
+    for d in 0..pe.num_pes() {
+        if dead_mask & (1 << d) != 0 {
+            pe.reap_dead(d);
+            flows_comm::purge_dead_locations(pe, d);
+        }
+    }
+    // Half-gathered reductions embed pre-rollback data (e.g. LB reports
+    // naming dead placements); every participant re-contributes after the
+    // rollback, so drop the streams wholesale.
+    flows_comm::purge_pending(pe);
+    // Every running rank stack is post-cut state now; the shelf images
+    // are authoritative. Handlers run on the PE pump, so no rank thread
+    // is current here.
+    let (meta, boxes) = pe.ext::<AmpiState, _>(|st| {
+        let meta = st.meta.clone().expect("world meta");
+        let mut boxes: Vec<(u64, ThreadId)> =
+            st.ranks.iter().map(|(&r, b)| (r, b.tid)).collect();
+        boxes.sort_unstable_by_key(|e| e.0);
+        st.ranks.clear();
+        (meta, boxes)
+    });
+    for (_, tid) in &boxes {
+        pe.sched().discard_thread(*tid).expect("discard rank at rollback");
+    }
+    for r in 0..meta.size as u64 {
+        flows_comm::evict_obj(pe, obj_of(meta.world, r));
+    }
+    let lowest_dead = lowest_bit(dead_mask);
+    let (cp1, pairs) = build_inventory(pe);
+    flows_trace::emit(flows_trace::EventKind::FtRollback, lowest_dead as u64, cp1, epoch);
+    pe.note_recovery(RecoveryPhase::Rollback, lowest_dead, cp1);
+    if leader == pe.id() {
+        record_inventory(pe, pe.id(), pairs);
+    } else {
+        let mut m = CtlMsg { kind: 3, epoch, a: pe.id() as u64, b: cp1, pairs };
+        pe.send(leader, ctl_handler(), pe.pack_payload(&mut m));
+    }
+}
+
+fn lowest_bit(mask: u64) -> usize {
+    mask.trailing_zeros() as usize % 64
+}
+
+/// Walk the shelf, dropping any holding whose frame fails its checksum
+/// (the corruption-fallback point: a bad buddy copy simply vanishes from
+/// the inventory, and `best_gen` falls back to another holder or an older
+/// generation). Returns `(committed+1, (gen, rank|OWN_BIT) pairs)`.
+fn build_inventory(pe: &Pe) -> (u64, Vec<(u64, u64)>) {
+    pe.ext::<RecoverState, _>(|rs| {
+        let mut pairs = Vec::new();
+        let mut dropped = 0u64;
+        for (&gen, ranks) in rs.shelf.iter_mut() {
+            ranks.retain(|&r, rep| {
+                if unframe_payload(&rep.frame).is_ok() {
+                    pairs.push((gen, r | if rep.own { OWN_BIT } else { 0 }));
+                    true
+                } else {
+                    dropped += 1;
+                    false
+                }
+            });
+        }
+        rs.invalid_replicas += dropped;
+        // Shelf buckets are HashMaps; sort so the inventory wire bytes
+        // (and everything downstream of them) are run-to-run stable.
+        pairs.sort_unstable();
+        (rs.committed_p1, pairs)
+    })
+}
+
+/// Leader: collect inventories; once every live PE reported, compute the
+/// rollback generation + respawn assignment and broadcast the plan.
+fn record_inventory(pe: &Pe, from: usize, pairs: Vec<(u64, u64)>) {
+    let ready = pe.ext::<RecoverState, _>(|rs| {
+        let l = rs.leader.as_mut()?;
+        l.inventories.insert(from, pairs);
+        if l.inventories.len() == l.live_mask.count_ones() as usize {
+            Some((l.epoch, l.dead_mask, l.live_mask, std::mem::take(&mut l.inventories)))
+        } else {
+            None
+        }
+    });
+    let Some((epoch, dead_mask, live_mask, inventories)) = ready else { return };
+    let size = pe
+        .ext::<AmpiState, _>(|st| st.meta.as_ref().map(|m| m.size))
+        .expect("world meta");
+    let (genp1, assign) = match best_gen(size, &inventories) {
+        Some((g, assign)) => (g + 1, assign),
+        None => {
+            // No complete generation survives anywhere: restart every
+            // rank from scratch, block-mapped over the live PEs.
+            let live: Vec<usize> =
+                (0..pe.num_pes()).filter(|&p| live_mask & (1 << p) != 0).collect();
+            let assign = (0..size as u64)
+                .map(|r| (r, live[pe_of_rank(r as usize, size, live.len())] as u64))
+                .collect();
+            (0, assign)
+        }
+    };
+    pe.ext::<RecoverState, _>(|rs| {
+        if let Some(l) = rs.leader.as_mut() {
+            l.genp1 = genp1;
+        }
+    });
+    let mut m = CtlMsg { kind: 4, epoch, a: genp1, b: dead_mask, pairs: assign.clone() };
+    let wire = pe.pack_payload(&mut m);
+    for d in 0..pe.num_pes() {
+        if d != pe.id() && live_mask & (1 << d) != 0 {
+            pe.send(d, ctl_handler(), wire.clone());
+        }
+    }
+    apply_plan(pe, pe.id(), epoch, genp1, dead_mask, &assign);
+}
+
+/// Apply the leader's plan: unpack my assigned ranks from the shelf
+/// through the normal migration path — but *suspended* (admission stays
+/// paused until RESUME) — and re-replicate the adopted images to new
+/// buddies. `genp1 == 0` means scratch restart (spawning is deferred to
+/// RESUME, since fresh threads are runnable immediately).
+fn apply_plan(pe: &Pe, leader: usize, epoch: u64, genp1: u64, dead_mask: u64, assign: &[(u64, u64)]) {
+    let proceed = pe.ext::<RecoverState, _>(|rs| {
+        if epoch < rs.epoch || rs.planned >= epoch {
+            return false;
+        }
+        rs.planned = epoch;
+        rs.plan_leader = leader;
+        if genp1 > 0 {
+            rs.committed_p1 = genp1;
+            // Generations newer than the rollback target are post-cut
+            // state: no survivor may ever fall back to them.
+            rs.shelf.retain(|&g, _| g < genp1);
+        }
+        true
+    });
+    if !proceed {
+        return;
+    }
+    let me = pe.id() as u64;
+    let mine: Vec<u64> = assign.iter().filter(|&&(_, p)| p == me).map(|&(r, _)| r).collect();
+    if genp1 == 0 {
+        pe.ext::<RecoverState, _>(|rs| rs.scratch = mine);
+        plan_done(pe, epoch, leader);
+        return;
+    }
+    let g = genp1 - 1;
+    let meta = pe.ext::<AmpiState, _>(|st| st.meta.clone()).expect("world meta");
+    let lowest_dead = lowest_bit(dead_mask);
+    let mut adopted: Vec<(u64, u64, Vec<u8>)> = Vec::new();
+    for &rank in &mine {
+        let (frame, load_ns) = pe.ext::<RecoverState, _>(|rs| {
+            let rep = rs
+                .shelf
+                .get(&g)
+                .and_then(|gens| gens.get(&rank))
+                .expect("assigned rank must be on the assignee's shelf");
+            (rep.frame.clone(), rep.load_ns)
+        });
+        let bytes = unframe_payload(&frame).expect("inventory-validated frame");
+        let mv: RankMove = flows_pup::from_bytes(bytes).expect("replica wire");
+        let packed = PackedThread::from_bytes(&mv.thread).expect("replica thread");
+        let tid = pe.sched().unpack_thread(packed).expect("respawn rank");
+        let mut bx = RankBox::new(tid);
+        bx.mailbox = mv.mailbox.into();
+        bx.next_seq = mv.next_seq.into_iter().collect();
+        bx.send_seq = mv.send_seq.into_iter().collect();
+        bx.stashed = mv
+            .stashed
+            .into_iter()
+            .map(|(src, seq, tag, data)| ((src, seq), (tag, data)))
+            .collect();
+        pe.ext::<AmpiState, _>(|st| {
+            st.ranks.insert(rank, bx);
+        });
+        flows_comm::migrate_obj_in(pe, obj_of(meta.world, rank));
+        pe.sched().reset_load_tid(tid);
+        flows_trace::emit(flows_trace::EventKind::FtRespawn, rank, lowest_dead as u64, g);
+        adopted.push((rank, load_ns, frame));
+    }
+    // Ownership moves with the assignment: future inventories must report
+    // the adopter as the in-place respawn site.
+    pe.ext::<RecoverState, _>(|rs| {
+        if let Some(gens) = rs.shelf.get_mut(&g) {
+            for (r, rep) in gens.iter_mut() {
+                rep.own = mine.contains(r);
+            }
+        }
+    });
+    if !mine.is_empty() {
+        pe.note_recovery(RecoveryPhase::Respawn, lowest_dead, g);
+    }
+    let k = pe.fault_plan().map(|p| p.replication).unwrap_or(1);
+    let buddies = buddies_of(pe.id(), pe.num_pes(), k, pe.confirmed_dead_mask() | dead_mask);
+    if adopted.is_empty() || buddies.is_empty() {
+        plan_done(pe, epoch, leader);
+        return;
+    }
+    pe.ext::<RecoverState, _>(|rs| rs.rec_acks = buddies.len());
+    let wire = build_rep_batch(pe, meta.world, g, epoch, 1, &adopted);
+    for b in &buddies {
+        pe.send(*b, rep_handler(), wire.clone());
+    }
+}
+
+fn plan_done(pe: &Pe, epoch: u64, leader: usize) {
+    if leader == pe.id() {
+        record_plan_done(pe, pe.id());
+    } else {
+        let mut m = CtlMsg { kind: 5, epoch, a: pe.id() as u64, b: 0, pairs: Vec::new() };
+        pe.send(leader, ctl_handler(), pe.pack_payload(&mut m));
+    }
+}
+
+/// Leader: once every live PE is respawned and re-replicated, broadcast
+/// RESUME, resolve the deaths, and — if another failure was confirmed
+/// while this round ran — immediately drive the next round.
+fn record_plan_done(pe: &Pe, from: usize) {
+    let ready = pe.ext::<RecoverState, _>(|rs| {
+        let l = rs.leader.as_mut()?;
+        l.plan_done |= 1 << from;
+        if l.plan_done & l.live_mask == l.live_mask {
+            Some((l.epoch, l.genp1, l.dead_mask, l.live_mask))
+        } else {
+            None
+        }
+    });
+    let Some((epoch, genp1, dead_mask, live_mask)) = ready else { return };
+    let mut m = CtlMsg { kind: 6, epoch, a: genp1, b: dead_mask, pairs: Vec::new() };
+    let wire = pe.pack_payload(&mut m);
+    for d in 0..pe.num_pes() {
+        if d != pe.id() && live_mask & (1 << d) != 0 {
+            pe.send(d, ctl_handler(), wire.clone());
+        }
+    }
+    apply_resume(pe, epoch, genp1, dead_mask);
+    for dd in 0..pe.num_pes() {
+        if dead_mask & (1 << dd) != 0 {
+            pe.mark_recovery_resolved(dd, epoch);
+        }
+    }
+    let healed = pe.ext::<RecoverState, _>(|rs| rs.healed);
+    let all = (1u64 << pe.num_pes()) - 1;
+    if pe.confirmed_dead_mask() & all & !healed != 0 {
+        start_round(pe);
+    }
+}
+
+/// Un-pause admission: spawn any scratch ranks, then wake every
+/// respawned rank inside the `checkpoint()` it was packed in.
+fn apply_resume(pe: &Pe, epoch: u64, _genp1: u64, dead_mask: u64) {
+    let work = pe.ext::<RecoverState, _>(|rs| {
+        if epoch < rs.epoch || rs.resumed >= epoch {
+            return None;
+        }
+        rs.resumed = epoch;
+        rs.healed |= dead_mask;
+        if rs.leader.as_ref().is_some_and(|l| l.epoch == epoch) {
+            rs.leader = None;
+        }
+        Some(std::mem::take(&mut rs.scratch))
+    });
+    let Some(mut scratch) = work else { return };
+    let meta = pe.ext::<AmpiState, _>(|st| st.meta.clone()).expect("world meta");
+    scratch.sort_unstable();
+    for rank in scratch {
+        crate::world::spawn_rank(pe, &meta, rank);
+    }
+    // Awaken in rank order: HashMap iteration order would leak into the
+    // scheduler queue and jitter post-recovery event timing run-to-run.
+    let mut tids: Vec<(u64, ThreadId)> =
+        pe.ext::<AmpiState, _>(|st| st.ranks.iter().map(|(&r, b)| (r, b.tid)).collect());
+    tids.sort_unstable_by_key(|e| e.0);
+    for (_, tid) in tids {
+        if pe.sched().state(tid) == Some(ThreadState::Suspended) {
+            pe.sched().awaken_tid(tid).expect("awaken respawned rank");
+        }
+    }
+}
+
+/// Recovery control-plane dispatcher (see [`CtlMsg`] for the kinds).
+pub(crate) fn on_ctl(pe: &Pe, msg: Message) {
+    let m: CtlMsg = flows_pup::from_bytes(&msg.data).expect("ctl wire");
+    if m.kind != 2 {
+        // START carries the *new* epoch; everything else from an older
+        // epoch is pre-rollback traffic.
+        let stale = pe.ext::<RecoverState, _>(|rs| m.epoch < rs.epoch);
+        if stale {
+            return;
+        }
+    }
+    match m.kind {
+        0 => on_commit(pe, m.a),
+        1 => on_ack(pe, m.a, m.b),
+        2 => handle_start(pe, msg.src_pe, m.epoch, m.a),
+        3 => record_inventory(pe, m.a as usize, m.pairs),
+        4 => apply_plan(pe, msg.src_pe, m.epoch, m.a, m.b, &m.pairs),
+        5 => record_plan_done(pe, m.a as usize),
+        6 => apply_resume(pe, m.epoch, m.a, m.b),
+        7 => on_vote(pe, msg.src_pe, m.a, m.b),
+        k => panic!("bad recovery control kind {k}"),
+    }
+}
+
+fn on_ack(pe: &Pe, gen: u64, purpose: u64) {
+    if purpose == 0 {
+        let vote = pe.ext::<RecoverState, _>(|rs| match rs.await_acks.get_mut(&gen) {
+            Some(e) => {
+                e.0 -= 1;
+                if e.0 == 0 {
+                    let n = e.1;
+                    rs.await_acks.remove(&gen);
+                    Some((rs.epoch, n))
+                } else {
+                    None
+                }
+            }
+            None => None,
+        });
+        if let Some((epoch, n)) = vote {
+            cast_vote(pe, gen, epoch, n);
+        }
+    } else {
+        let done = pe.ext::<RecoverState, _>(|rs| {
+            if rs.rec_acks > 0 {
+                rs.rec_acks -= 1;
+                if rs.rec_acks == 0 {
+                    Some((rs.epoch, rs.plan_leader))
+                } else {
+                    None
+                }
+            } else {
+                None
+            }
+        });
+        if let Some((epoch, leader)) = done {
+            plan_done(pe, epoch, leader);
+        }
+    }
+}
+
+/// Buddy-replica frames rejected by checksum validation on this PE.
+#[allow(dead_code)]
+pub(crate) fn invalid_replicas(pe: &Pe) -> u64 {
+    pe.ext::<RecoverState, _>(|rs| rs.invalid_replicas)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inv(entries: &[(usize, &[(u64, u64)])]) -> BTreeMap<usize, Vec<(u64, u64)>> {
+        entries.iter().map(|&(pe, hs)| (pe, hs.to_vec())).collect()
+    }
+
+    #[test]
+    fn buddies_skip_the_dead_and_wrap() {
+        assert_eq!(buddies_of(2, 4, 1, 0), vec![3]);
+        assert_eq!(buddies_of(3, 4, 2, 0), vec![0, 1]);
+        // PE 3 dead: 2's first buddy wraps to 0.
+        assert_eq!(buddies_of(2, 4, 1, 1 << 3), vec![0]);
+        // Everyone else dead: no buddies.
+        assert_eq!(buddies_of(1, 4, 2, 0b1101), vec![]);
+    }
+
+    #[test]
+    fn best_gen_prefers_newest_complete_generation() {
+        let o = OWN_BIT;
+        // Gen 3 is missing rank 1 everywhere; gen 2 is complete.
+        let inventories = inv(&[
+            (0, &[(3, o), (2, o), (2, 1)]),
+            (1, &[(2, 1 | o), (2, 0)]),
+        ]);
+        let (g, assign) = best_gen(2, &inventories).expect("gen 2 complete");
+        assert_eq!(g, 2);
+        // Owners keep their ranks in place.
+        assert_eq!(assign, vec![(0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn best_gen_spreads_orphans_over_holders() {
+        let o = OWN_BIT;
+        // PE 2 died; its ranks 2 and 3 have buddy copies on 0 and 1.
+        let inventories = inv(&[
+            (0, &[(1, o), (1, 2), (1, 3)]),
+            (1, &[(1, 1 | o), (1, 2), (1, 3)]),
+        ]);
+        let (g, assign) = best_gen(4, &inventories).expect("complete");
+        assert_eq!(g, 1);
+        // One orphan each: the greedy assignment balances.
+        let to0 = assign.iter().filter(|&&(_, p)| p == 0).count();
+        let to1 = assign.iter().filter(|&&(_, p)| p == 1).count();
+        assert_eq!((to0, to1), (2, 2), "{assign:?}");
+    }
+
+    #[test]
+    fn best_gen_none_when_a_rank_is_lost() {
+        let inventories = inv(&[(0, &[(5, OWN_BIT)])]);
+        assert!(best_gen(2, &inventories).is_none());
+    }
+
+    #[test]
+    fn assignment_is_deterministic_across_leaders() {
+        let o = OWN_BIT;
+        let a = inv(&[
+            (0, &[(4, o), (4, 2), (4, 5)]),
+            (1, &[(4, 1 | o), (4, 3 | o), (4, 2), (4, 5)]),
+            (3, &[(4, 4 | o), (4, 5), (4, 2)]),
+        ]);
+        let r1 = best_gen(6, &a).unwrap();
+        let r2 = best_gen(6, &a).unwrap();
+        assert_eq!(r1, r2);
+        // Every rank assigned exactly once, only to holders.
+        let (_, assign) = r1;
+        let mut ranks: Vec<u64> = assign.iter().map(|&(r, _)| r).collect();
+        ranks.sort_unstable();
+        assert_eq!(ranks, vec![0, 1, 2, 3, 4, 5]);
+    }
+}

@@ -55,18 +55,27 @@ pub(crate) struct RankBox {
     pub coll_result: Option<Payload>,
     /// Next expected sequence number per source rank (MPI non-overtaking).
     pub next_seq: HashMap<u64, u64>,
+    /// Next outgoing sequence number per destination rank. Lives here —
+    /// not inside the rank's [`crate::Ampi`] handle — because the handle's
+    /// heap spill (HashMap buckets) would sit on the *process* heap, which
+    /// a checkpoint image does not capture: a rollback would then resume a
+    /// checkpoint-cut stack against live post-cut counters and every
+    /// replayed send would run one sequence ahead of its receiver. In the
+    /// box, the counters ride the explicit RankMove pup like `next_seq`.
+    pub send_seq: HashMap<u64, u64>,
     /// Messages that arrived ahead of their sequence, keyed (src, seq).
     pub stashed: BTreeMap<(u64, u64), (u64, Payload)>,
 }
 
 impl RankBox {
-    fn new(tid: ThreadId) -> RankBox {
+    pub(crate) fn new(tid: ThreadId) -> RankBox {
         RankBox {
             tid,
             mailbox: VecDeque::new(),
             wait: Wait::None,
             coll_result: None,
             next_seq: HashMap::new(),
+            send_seq: HashMap::new(),
             stashed: BTreeMap::new(),
         }
     }
@@ -122,6 +131,10 @@ pub struct WorldMeta {
     pub world: u64,
     pub size: usize,
     pub strategy: Arc<dyn LbStrategy + Send + Sync>,
+    /// The rank main function — kept here so the online-recovery driver
+    /// can respawn ranks from scratch when no checkpoint generation
+    /// survives a failure.
+    pub main: Arc<dyn Fn(&mut crate::Ampi) + Send + Sync>,
 }
 
 impl std::fmt::Debug for WorldMeta {
@@ -296,6 +309,7 @@ pub(crate) fn run_attempt(
         world,
         size: opts.ranks,
         strategy: opts.strategy.clone(),
+        main: main.clone(),
     });
 
     let mut mb = MachineBuilder::new(pes)
@@ -312,8 +326,8 @@ pub(crate) fn run_attempt(
         Some(s) => mb.shared_pools(s),
         None => mb.iso_layout(opts.slot_len, (opts.ranks / pes + 2) * 2),
     };
-    if let Some(p) = plan {
-        mb = mb.fault_plan(p);
+    if let Some(p) = &plan {
+        mb = mb.fault_plan(p.clone());
     }
     let _ = CommLayer::register(&mut mb);
     let mv = mb.handler(on_rank_move);
@@ -325,16 +339,19 @@ pub(crate) fn run_attempt(
     let bt = mb.handler(on_move_batch);
     let stored = *BATCH_HANDLER.get_or_init(|| bt);
     assert_eq!(stored, bt, "AMPI must occupy the same handler slot in every machine");
+    crate::recover::register(&mut mb);
+    if plan.as_ref().is_some_and(|p| p.online) {
+        mb = mb.on_death_confirmed(crate::recover::on_death_confirmed);
+    }
 
     let placement = restore
         .as_ref()
         .map(|snaps| Arc::new(place_restored(snaps, pes, &meta)));
     let opts2 = opts.clone();
-    let main = main.clone();
     let threaded = opts.threaded;
     let init = move |pe: &Pe| match (&restore, &placement) {
         (Some(snaps), Some(place)) => restore_pe(pe, &meta, snaps, place),
-        _ => init_pe(pe, &meta, &opts2, pes, &main),
+        _ => init_pe(pe, &meta, &opts2, pes),
     };
     if threaded {
         mb.run(init)
@@ -343,13 +360,7 @@ pub(crate) fn run_attempt(
     }
 }
 
-fn init_pe(
-    pe: &Pe,
-    meta: &Arc<WorldMeta>,
-    opts: &AmpiOptions,
-    pes: usize,
-    main: &Arc<dyn Fn(&mut crate::Ampi) + Send + Sync>,
-) {
+fn init_pe(pe: &Pe, meta: &Arc<WorldMeta>, opts: &AmpiOptions, pes: usize) {
     pe.ext::<AmpiState, _>(|st| st.meta = Some(meta.clone()));
     flows_comm::set_delivery(pe, PORT_AMPI, deliver);
     let meta_for_sink = meta.clone();
@@ -359,22 +370,28 @@ fn init_pe(
         if pe_of_rank(rank, opts.ranks, pes) != pe.id() {
             continue;
         }
-        let main = main.clone();
-        let world = meta.world;
-        let size = meta.size;
-        let tid = pe
-            .sched()
-            .spawn(StackFlavor::Isomalloc, move || {
-                let mut ampi = crate::Ampi::new(world, rank, size);
-                main(&mut ampi);
-                ampi.finish();
-            })
-            .expect("spawn rank thread");
-        pe.ext::<AmpiState, _>(|st| {
-            st.ranks.insert(rank as u64, RankBox::new(tid));
-        });
-        flows_comm::register_obj(pe, obj_of(meta.world, rank as u64));
+        spawn_rank(pe, meta, rank as u64);
     }
+}
+
+/// Spawn rank `rank`'s main thread fresh on this PE and register its
+/// routed object (initial placement and scratch recovery respawn).
+pub(crate) fn spawn_rank(pe: &Pe, meta: &Arc<WorldMeta>, rank: u64) {
+    let main = meta.main.clone();
+    let world = meta.world;
+    let size = meta.size;
+    let tid = pe
+        .sched()
+        .spawn(StackFlavor::Isomalloc, move || {
+            let mut ampi = crate::Ampi::new(world, rank as usize, size);
+            main(&mut ampi);
+            ampi.finish();
+        })
+        .expect("spawn rank thread");
+    pe.ext::<AmpiState, _>(|st| {
+        st.ranks.insert(rank, RankBox::new(tid));
+    });
+    flows_comm::register_obj(pe, obj_of(meta.world, rank));
 }
 
 /// Place the restored ranks of a checkpoint generation over `pes` PEs:
@@ -445,6 +462,7 @@ fn restore_pe(
         let mut bx = RankBox::new(tid);
         bx.mailbox = mv.mailbox.into();
         bx.next_seq = mv.next_seq.into_iter().collect();
+        bx.send_seq = mv.send_seq.into_iter().collect();
         bx.stashed = mv
             .stashed
             .into_iter()
@@ -468,6 +486,15 @@ fn deliver(pe: &Pe, obj: ObjId, payload: Payload) {
         flows_pup::from_bytes_prefix(&payload).expect("rank wire");
     let data = payload.slice_from(used);
     let rank = obj.0 & 0xFFFF_FFFF;
+    // Runtime commands (collective results, LB decisions, checkpoint
+    // orders) stamp the sender's recovery epoch in `seq`; one computed
+    // before a rollback targets a cut that no longer exists and must be
+    // dropped. Point-to-point mail (kind 0) instead relies on per-sender
+    // rank sequence numbers: deterministic replay from the restored cut
+    // regenerates byte-identical copies, which `admit` de-duplicates.
+    if matches!(w.kind, 1..=3) && w.seq != flows_comm::comm_epoch(pe) {
+        return;
+    }
     match w.kind {
         0 => {
             // Point-to-point: admit in per-sender order, wake a matching
@@ -515,13 +542,19 @@ fn deliver(pe: &Pe, obj: ObjId, payload: Payload) {
 /// destination is disk (§4.5).
 fn on_ckpt_snapshot(pe: &Pe, rank: u64, seq: u64) {
     let meta = pe.ext::<AmpiState, _>(|st| st.meta.clone()).expect("meta");
-    let (tid, mailbox, next_seq, stashed) = pe.ext::<AmpiState, _>(|st| {
+    let (tid, mailbox, next_seq, send_seq, stashed) = pe.ext::<AmpiState, _>(|st| {
         let b = st.ranks.get_mut(&rank).expect("checkpoint for missing rank");
         assert!(
             matches!(b.wait, Wait::Ckpt { seq: s } if s == seq),
             "rank {rank} got a checkpoint command it was not waiting for"
         );
-        (b.tid, b.mailbox.clone(), b.next_seq.clone(), b.stashed.clone())
+        (
+            b.tid,
+            b.mailbox.clone(),
+            b.next_seq.clone(),
+            b.send_seq.clone(),
+            b.stashed.clone(),
+        )
     });
     assert_eq!(
         pe.sched().state(tid),
@@ -539,28 +572,50 @@ fn on_ckpt_snapshot(pe: &Pe, rank: u64, seq: u64) {
     let mut mv = RankMove {
         world: meta.world,
         rank,
+        epoch: flows_comm::comm_epoch(pe),
         thread: packed.to_bytes(),
         mailbox: mailbox.into_iter().collect(),
         next_seq: next_seq.into_iter().collect(),
+        send_seq: send_seq.into_iter().collect(),
         stashed: stashed
             .into_iter()
             .map(|((src, sq), (tag, data))| (src, sq, tag, data))
             .collect(),
     };
-    crate::ft::store_snapshot(
-        meta.world,
-        seq,
-        rank,
-        meta.size,
-        flows_pup::to_bytes(&mut mv),
-        load_ns,
-    );
+    let online = pe.fault_plan().is_some_and(|p| p.online);
+    if online {
+        // Online mode: the image goes to the in-memory shelf (own copy)
+        // and later over the wire to buddy PEs — no process-global store.
+        crate::recover::deposit_checkpoint(pe, rank, seq, flows_pup::to_bytes(&mut mv), load_ns);
+    } else {
+        crate::ft::store_snapshot(
+            meta.world,
+            seq,
+            rank,
+            meta.size,
+            flows_pup::to_bytes(&mut mv),
+            load_ns,
+        );
+    }
     let back = pe.sched().unpack_thread(packed).expect("unpack after checkpoint");
     debug_assert_eq!(back, tid);
     pe.ext::<AmpiState, _>(|st| {
         st.ranks.get_mut(&rank).expect("rank survives snapshot").wait = Wait::None;
     });
     pe.sched().awaken_tid(tid).expect("awaken checkpointed rank");
+    if online {
+        // Last local rank through its snapshot? Then this PE's slice of
+        // generation `seq` is complete: replicate it to the buddies and
+        // vote for the global commit.
+        let pending = pe.ext::<AmpiState, _>(|st| {
+            st.ranks
+                .values()
+                .any(|b| matches!(b.wait, Wait::Ckpt { seq: s } if s == seq))
+        });
+        if !pending {
+            crate::recover::finalize_generation(pe, &meta, seq);
+        }
+    }
 }
 
 /// Reduction completions: collectives broadcast their result to every
@@ -573,7 +628,7 @@ fn on_reduction(pe: &Pe, meta: &Arc<WorldMeta>, red: flows_comm::Reduction) {
             kind: 1,
             a: red.seq,
             b: 0,
-            seq: 0,
+            seq: flows_comm::comm_epoch(pe),
         };
         let wire = frame(pe, &mut w, &red.data);
         for r in 0..meta.size as u64 {
@@ -587,7 +642,7 @@ fn on_reduction(pe: &Pe, meta: &Arc<WorldMeta>, red: flows_comm::Reduction) {
             kind: 3,
             a: red.seq,
             b: 0,
-            seq: 0,
+            seq: flows_comm::comm_epoch(pe),
         };
         let wire = frame(pe, &mut w, &[]);
         for r in 0..meta.size as u64 {
@@ -651,6 +706,7 @@ fn on_reduction(pe: &Pe, meta: &Arc<WorldMeta>, red: flows_comm::Reduction) {
             let mut p = PlanMsg {
                 world: meta.world,
                 seq: red.seq,
+                epoch: flows_comm::comm_epoch(pe),
                 entries,
             };
             pe.send(
@@ -697,9 +753,11 @@ fn on_lb_decision(pe: &Pe, rank: u64, seq: u64, dest: usize) {
     let mut mv = RankMove {
         world: meta.world,
         rank,
+        epoch: flows_comm::comm_epoch(pe),
         thread: packed.to_bytes(),
         mailbox: bx.mailbox.into_iter().collect(),
         next_seq: bx.next_seq.into_iter().collect(),
+        send_seq: bx.send_seq.into_iter().collect(),
         stashed: bx
             .stashed
             .into_iter()
@@ -719,6 +777,9 @@ fn on_lb_decision(pe: &Pe, rank: u64, seq: u64, dest: usize) {
 /// ([`MoveRec`], raw `PackedThread` bytes) records.
 fn on_lb_plan(pe: &Pe, msg: Message) {
     let plan: PlanMsg = flows_pup::from_bytes(&msg.data).expect("lb plan wire");
+    if plan.epoch != flows_comm::comm_epoch(pe) {
+        return; // plan computed against a pre-rollback placement
+    }
     let meta = pe.ext::<AmpiState, _>(|st| st.meta.clone()).expect("meta");
     debug_assert_eq!(plan.world, meta.world);
     let mut batches: BTreeMap<usize, Vec<(MoveRec, flows_core::PackedThread)>> = BTreeMap::new();
@@ -756,6 +817,7 @@ fn on_lb_plan(pe: &Pe, msg: Message) {
             rank,
             mailbox: bx.mailbox.into_iter().collect(),
             next_seq: bx.next_seq.into_iter().collect(),
+            send_seq: bx.send_seq.into_iter().collect(),
             stashed: bx
                 .stashed
                 .into_iter()
@@ -767,6 +829,7 @@ fn on_lb_plan(pe: &Pe, msg: Message) {
     for (dest, movers) in batches {
         let mut head = BatchHead {
             world: meta.world,
+            epoch: flows_comm::comm_epoch(pe),
             count: movers.len() as u64,
         };
         let cap = movers.iter().map(|(_, p)| p.payload_len() + 256).sum::<usize>();
@@ -786,6 +849,9 @@ fn on_lb_plan(pe: &Pe, msg: Message) {
 fn on_move_batch(pe: &Pe, msg: Message) {
     let (head, mut off): (BatchHead, usize) =
         flows_pup::from_bytes_prefix(&msg.data).expect("batch head");
+    if head.epoch != flows_comm::comm_epoch(pe) {
+        return; // in-flight movers carry post-rollback-cut state; shelf wins
+    }
     for _ in 0..head.count {
         let (rec, used): (MoveRec, usize) =
             flows_pup::from_bytes_prefix(&msg.data[off..]).expect("move rec");
@@ -797,6 +863,7 @@ fn on_move_batch(pe: &Pe, msg: Message) {
         let mut bx = RankBox::new(tid);
         bx.mailbox = rec.mailbox.into();
         bx.next_seq = rec.next_seq.into_iter().collect();
+        bx.send_seq = rec.send_seq.into_iter().collect();
         bx.stashed = rec
             .stashed
             .into_iter()
@@ -815,11 +882,15 @@ fn on_move_batch(pe: &Pe, msg: Message) {
 /// A migrated rank arrives.
 fn on_rank_move(pe: &Pe, msg: Message) {
     let mv: RankMove = flows_pup::from_bytes(&msg.data).expect("rank move wire");
+    if mv.epoch != flows_comm::comm_epoch(pe) {
+        return; // in-flight mover from before the rollback; shelf wins
+    }
     let packed = flows_core::PackedThread::from_bytes(&mv.thread).expect("packed thread");
     let tid = pe.sched().unpack_thread(packed).expect("unpack rank thread");
     let mut bx = RankBox::new(tid);
     bx.mailbox = mv.mailbox.into();
     bx.next_seq = mv.next_seq.into_iter().collect();
+    bx.send_seq = mv.send_seq.into_iter().collect();
     bx.stashed = mv
         .stashed
         .into_iter()

@@ -18,6 +18,43 @@ impl ObjId {
     }
 }
 
+/// The PE that maintains `obj`'s authoritative location, skipping PEs the
+/// runtime has confirmed dead: an object homed on a casualty is re-homed
+/// deterministically onto a survivor. Every PE computes the same map from
+/// the machine-shared confirmed mask, so no agreement round is needed.
+/// With no failures this is exactly [`ObjId::home`].
+pub fn live_home(pe: &Pe, obj: ObjId) -> usize {
+    live_map(pe, obj.0)
+}
+
+/// Deterministic `key -> live PE` map (see [`live_home`]); also used by
+/// reductions to re-root streams whose root died.
+pub(crate) fn live_map(pe: &Pe, key: u64) -> usize {
+    let n = pe.num_pes();
+    let naive = (key % n as u64) as usize;
+    let mask = pe.confirmed_dead_mask();
+    if mask & (1 << naive) == 0 {
+        return naive;
+    }
+    let live: Vec<usize> = (0..n).filter(|&p| mask & (1 << p) == 0).collect();
+    assert!(!live.is_empty(), "every PE is confirmed dead");
+    live[(key % live.len() as u64) as usize]
+}
+
+/// Drop every location-cache entry claiming an object lives on `dead`.
+/// Called by the recovery driver after a death is confirmed: the entries
+/// are not merely stale, they point at a PE that will never forward again,
+/// so routing must fall back to the (re-homed) authoritative home until
+/// the respawned objects re-register. Returns how many entries were
+/// purged.
+pub fn purge_dead_locations(pe: &Pe, dead: usize) -> usize {
+    pe.ext::<CommState, _>(|st| {
+        let before = st.locations.len();
+        st.locations.retain(|_, loc| *loc != dead);
+        before - st.locations.len()
+    })
+}
+
 impl Pup for ObjId {
     fn pup(&mut self, p: &mut flows_pup::Puper) {
         self.0.pup(p);
@@ -69,8 +106,13 @@ pub struct RouteOverflow {
 struct UpdateMsg {
     obj: ObjId,
     pe: u64,
+    /// Sender's rollback epoch. A location update that was in flight when
+    /// a recovery rolled the world back describes a placement that no
+    /// longer exists; accepting it after the respawned object re-registers
+    /// would wedge the home on a stale location forever.
+    epoch: u64,
 }
-pup_fields!(UpdateMsg { obj, pe });
+pup_fields!(UpdateMsg { obj, pe, epoch });
 
 type DeliveryFn = Rc<dyn Fn(&Pe, ObjId, Payload)>;
 
@@ -90,6 +132,10 @@ pub(crate) struct CommState {
     delivery: HashMap<Port, DeliveryFn>,
     /// Hop-budget overflows observed on this PE (surfaced, not fatal).
     overflows: Vec<RouteOverflow>,
+    /// This PE's rollback epoch (0 until a recovery bumps it). Stamped on
+    /// location updates and reduction contributions; older stamps are
+    /// dropped on receipt — the layer's half of the replay guard.
+    epoch: u64,
 }
 
 /// Handler ids of the communication layer, shared by every PE.
@@ -150,6 +196,11 @@ fn on_route(pe: &Pe, msg: Message) {
 fn on_update(pe: &Pe, msg: Message) {
     let m: UpdateMsg = flows_pup::from_bytes(&msg.data).expect("update wire");
     let flushed = pe.ext::<CommState, _>(|st| {
+        if m.epoch < st.epoch {
+            // Stale: sent before the last rollback. The placement it
+            // describes was erased by the recovery.
+            return VecDeque::new();
+        }
         st.locations.insert(m.obj, m.pe as usize);
         st.buffered.remove(&m.obj).unwrap_or_default()
     });
@@ -161,6 +212,9 @@ fn on_update(pe: &Pe, msg: Message) {
 fn route_inner(pe: &Pe, mut hdr: RouteHdr, payload: Payload, came_from: Option<usize>) {
     let me = pe.id();
     let num = pe.num_pes();
+    // Home resolution skips confirmed-dead PEs (identity map while the
+    // machine is healthy).
+    let home = live_home(pe, hdr.obj);
     if hdr.pinned == 0 && hdr.hops > max_route_hops(num) {
         // Cyclic or endlessly stale location caches: stop chasing. Record
         // the overflow, drop our (evidently bad) cache entry, and pin the
@@ -174,7 +228,6 @@ fn route_inner(pe: &Pe, mut hdr: RouteHdr, payload: Payload, came_from: Option<u
             st.locations.remove(&hdr.obj);
         });
         hdr.pinned = 1;
-        let home = hdr.obj.home(num);
         if home != me {
             hdr.hops += 1;
             pe.send(home, ids().route, route_wire(pe, &mut hdr, &payload));
@@ -210,26 +263,26 @@ fn route_inner(pe: &Pe, mut hdr: RouteHdr, payload: Payload, came_from: Option<u
             if loc == me {
                 // Stale self-reference: the object left without a trace —
                 // treat as unknown, buffer if home.
-                if hdr.obj.home(num) == me {
+                if home == me {
                     st.buffered
                         .entry(hdr.obj)
                         .or_default()
                         .push_back((hdr.port, payload.clone()));
                     Action::Buffered
                 } else {
-                    Action::Forward(hdr.obj.home(num))
+                    Action::Forward(home)
                 }
             } else {
                 Action::Forward(loc)
             }
-        } else if hdr.obj.home(num) == me {
+        } else if home == me {
             st.buffered
                 .entry(hdr.obj)
                 .or_default()
                 .push_back((hdr.port, payload.clone()));
             Action::Buffered
         } else {
-            Action::Forward(hdr.obj.home(num))
+            Action::Forward(home)
         }
     });
     match action {
@@ -243,6 +296,7 @@ fn route_inner(pe: &Pe, mut hdr: RouteHdr, payload: Payload, came_from: Option<u
                     let mut u = UpdateMsg {
                         obj: hdr.obj,
                         pe: dest as u64,
+                        epoch: comm_epoch(pe),
                     };
                     pe.send(src, ids().update, pe.pack_payload(&mut u));
                 }
@@ -302,11 +356,12 @@ pub fn migrate_obj_in(pe: &Pe, obj: ObjId) {
 }
 
 fn notify_home(pe: &Pe, obj: ObjId, loc: usize) {
-    let home = obj.home(pe.num_pes());
+    let home = live_home(pe, obj);
     if home != pe.id() {
         let mut m = UpdateMsg {
             obj,
             pe: loc as u64,
+            epoch: comm_epoch(pe),
         };
         pe.send(home, ids().update, pe.pack_payload(&mut m));
     } else {
@@ -342,6 +397,33 @@ pub fn route(pe: &Pe, obj: ObjId, port: Port, payload: impl Into<Payload>) {
 /// Convenience wrapper over [`route`] using the calling context's PE.
 pub fn route_from_here(obj: ObjId, port: Port, payload: impl Into<Payload>) {
     flows_converse::with_pe(|pe| route(pe, obj, port, payload));
+}
+
+/// Raise this PE's rollback epoch (monotonic; lower values are ignored).
+/// The recovery driver calls this on every survivor at rollback, *before*
+/// any respawned object re-registers: from then on, location updates and
+/// reduction contributions stamped with an older epoch — i.e. sent before
+/// the rollback and still in flight — are dropped on receipt instead of
+/// resurrecting pre-rollback state.
+pub fn set_comm_epoch(pe: &Pe, epoch: u64) {
+    pe.ext::<CommState, _>(|st| st.epoch = st.epoch.max(epoch));
+}
+
+/// This PE's current rollback epoch (0 on a machine that never recovered).
+pub fn comm_epoch(pe: &Pe) -> u64 {
+    pe.ext::<CommState, _>(|st| st.epoch)
+}
+
+/// Forget `obj` entirely on this PE: no longer local, no cached location.
+/// Used by recovery rollback — the object's threads are being discarded
+/// and will re-register (possibly elsewhere) at respawn. Anything already
+/// buffered for the object is kept: it flushes when the object returns.
+/// Traffic arriving meanwhile falls back to the home PE and parks there.
+pub fn evict_obj(pe: &Pe, obj: ObjId) {
+    pe.ext::<CommState, _>(|st| {
+        st.local.remove(&obj);
+        st.locations.remove(&obj);
+    });
 }
 
 /// Number of messages parked here for `obj` (diagnostics/tests).

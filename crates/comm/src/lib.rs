@@ -25,7 +25,11 @@ pub mod layer;
 pub mod reduce;
 
 pub use layer::{
-    buffered_count, max_route_hops, migrate_obj_in, migrate_obj_out, register_obj, route,
-    route_from_here, route_overflows, set_delivery, CommLayer, ObjId, Port, RouteOverflow,
+    buffered_count, comm_epoch, evict_obj, live_home, max_route_hops, migrate_obj_in,
+    migrate_obj_out, purge_dead_locations, register_obj, route, route_from_here, route_overflows,
+    set_comm_epoch, set_delivery, CommLayer, ObjId, Port, RouteOverflow,
 };
-pub use reduce::{contribute, set_reduction_sink, ReduceOp, Reduction};
+pub use reduce::{
+    contribute, duplicate_contributions, live_root_of, purge_pending, set_reduction_sink,
+    stale_contributions, ReduceOp, Reduction,
+};

@@ -68,6 +68,11 @@ struct ContribMsg {
     rank: u64,
     op: u8,
     expected: u64,
+    /// Contributor's rollback epoch at send time. A contribution that was
+    /// in flight when a recovery rolled the world back will be re-issued
+    /// by the replayed execution (with fresh placement data); the stale
+    /// copy is dropped at the root rather than folded.
+    epoch: u64,
     data: Vec<u8>,
 }
 pup_fields!(ContribMsg {
@@ -76,6 +81,7 @@ pup_fields!(ContribMsg {
     rank,
     op,
     expected,
+    epoch,
     data
 });
 
@@ -85,6 +91,11 @@ type SinkFn = Rc<dyn Fn(&Pe, Reduction)>;
 struct ReduceState {
     pending: HashMap<(u64, u64), Pending>,
     sink: OnceCell<SinkFn>,
+    /// Re-contributions ignored (same `(tag, seq, rank)` seen twice) —
+    /// only possible when a send is replayed across a recovery rollback.
+    duplicates: u64,
+    /// Contributions dropped because they carried a pre-rollback epoch.
+    stale: u64,
 }
 
 struct Pending {
@@ -97,6 +108,39 @@ struct Pending {
 /// The PE acting as root for reduction stream `tag`.
 pub fn root_of(tag: u64, num_pes: usize) -> usize {
     (tag % num_pes as u64) as usize
+}
+
+/// The *live* root for reduction stream `tag`: as [`root_of`], but a
+/// stream rooted on a confirmed-dead PE is deterministically re-rooted
+/// onto a survivor (identity with no failures).
+pub fn live_root_of(pe: &Pe, tag: u64) -> usize {
+    crate::layer::live_map(pe, tag)
+}
+
+/// Re-contributions ignored on this PE so far (duplicate `(tag, seq,
+/// rank)` triples — the recovery-replay guard; see `on_contrib`).
+pub fn duplicate_contributions(pe: &Pe) -> u64 {
+    pe.ext::<ReduceState, _>(|st| st.duplicates)
+}
+
+/// Contributions dropped on this PE because their epoch stamp predated
+/// the last rollback.
+pub fn stale_contributions(pe: &Pe) -> u64 {
+    pe.ext::<ReduceState, _>(|st| st.stale)
+}
+
+/// Discard every pending (incomplete) reduction on this PE. The recovery
+/// driver calls this at rollback: partially gathered streams may contain
+/// pre-rollback contributions whose data (e.g. load reports naming a dead
+/// PE) must not survive into the replayed execution — every participant
+/// re-contributes after the rollback, rebuilding the streams from scratch.
+/// Returns how many pending streams were dropped.
+pub fn purge_pending(pe: &Pe) -> usize {
+    pe.ext::<ReduceState, _>(|st| {
+        let n = st.pending.len();
+        st.pending.clear();
+        n
+    })
 }
 
 /// Install this PE's completion sink (invoked at the root when a
@@ -120,16 +164,38 @@ pub fn contribute(pe: &Pe, tag: u64, seq: u64, rank: u64, op: ReduceOp, expected
         rank,
         op: op.tag(),
         expected,
+        epoch: crate::layer::comm_epoch(pe),
         data,
     };
-    let root = root_of(tag, pe.num_pes());
+    let root = live_root_of(pe, tag);
     pe.send(root, crate::layer::ids().contrib, flows_pup::to_bytes(&mut m));
 }
 
 pub(crate) fn on_contrib(pe: &Pe, msg: Message) {
     let m: ContribMsg = flows_pup::from_bytes(&msg.data).expect("contrib wire");
     let op = ReduceOp::from_tag(m.op);
+    // Read the epoch *before* borrowing ReduceState: ext() is one shared
+    // RefCell per PE, so nested ext calls would panic.
+    let cur_epoch = crate::layer::comm_epoch(pe);
     let finished = pe.ext::<ReduceState, _>(|st| {
+        if m.epoch < cur_epoch {
+            // In flight across a rollback: the replayed execution will
+            // re-contribute with current placement data.
+            st.stale += 1;
+            return None;
+        }
+        if st
+            .pending
+            .get(&(m.tag, m.seq))
+            .is_some_and(|p| p.gather.iter().any(|(r, _)| *r == m.rank))
+        {
+            // The same rank contributing twice to one (tag, seq) can only
+            // be a send replayed across a recovery rollback boundary (the
+            // link layer already suppresses in-protocol retransmit dups).
+            // Folding it twice would silently corrupt the reduction.
+            st.duplicates += 1;
+            return None;
+        }
         let p = st
             .pending
             .entry((m.tag, m.seq))
@@ -249,5 +315,44 @@ mod tests {
     fn mismatched_lengths_panic() {
         let mut acc = Some(vec![0u8; 8]);
         combine(ReduceOp::SumF64, &mut acc, &[0u8; 16]);
+    }
+
+    /// A rank whose contribution is replayed (as happens when a send
+    /// crosses a recovery rollback boundary) must not be folded twice:
+    /// the duplicate is dropped, the reduction completes exactly once
+    /// with the single-count result.
+    #[test]
+    fn duplicate_rank_contribution_is_dropped_not_double_counted() {
+        use flows_converse::MachineBuilder;
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let result = Arc::new(AtomicU64::new(0));
+        let completions = Arc::new(AtomicU64::new(0));
+        let dups = Arc::new(AtomicU64::new(0));
+        let mut mb = MachineBuilder::new(2);
+        let _comm = crate::layer::CommLayer::register(&mut mb);
+        let (r2, c2, d2) = (result.clone(), completions.clone(), dups.clone());
+        mb.run_deterministic(move |pe| {
+            if pe.id() == root_of(3, 2) {
+                let (r, c, d) = (r2.clone(), c2.clone(), d2.clone());
+                set_reduction_sink(pe, move |pe, red| {
+                    r.store(
+                        u64::from_le_bytes(red.data[..8].try_into().unwrap()),
+                        Ordering::Relaxed,
+                    );
+                    c.fetch_add(1, Ordering::Relaxed);
+                    d.store(duplicate_contributions(pe), Ordering::Relaxed);
+                });
+            }
+            if pe.id() == 0 {
+                contribute(pe, 3, 1, 0, ReduceOp::SumU64, 2, 5u64.to_le_bytes().to_vec());
+                // Replay of rank 0's contribution — must be ignored.
+                contribute(pe, 3, 1, 0, ReduceOp::SumU64, 2, 5u64.to_le_bytes().to_vec());
+                contribute(pe, 3, 1, 1, ReduceOp::SumU64, 2, 7u64.to_le_bytes().to_vec());
+            }
+        });
+        assert_eq!(completions.load(Ordering::Relaxed), 1, "completed exactly once");
+        assert_eq!(result.load(Ordering::Relaxed), 12, "5 + 7, the dup not folded");
+        assert_eq!(dups.load(Ordering::Relaxed), 1, "the replay was counted as a dup");
     }
 }

@@ -63,6 +63,23 @@ pub struct FaultPlan {
     pub crashes: Vec<PeCrash>,
     /// Scripted PE stalls.
     pub stalls: Vec<PeStall>,
+    /// Online recovery mode: a scripted crash no longer aborts the run.
+    /// Survivors detect the failure with the phi-accrual detector, write
+    /// off undeliverable traffic, and invoke the registered
+    /// death-confirmed upcall (the AMPI layer's rollback/respawn
+    /// protocol). Only supported under deterministic drive.
+    pub online: bool,
+    /// Virtual-time heartbeat period for the failure detector (active only
+    /// when `online`).
+    pub heartbeat_ns: u64,
+    /// Phi threshold at which a silent peer becomes *suspected*.
+    pub phi_suspect: f64,
+    /// Phi threshold at which the recovery leader *confirms* a suspected
+    /// peer dead and fences it.
+    pub phi_confirm: f64,
+    /// Buddy-replication degree k: each PE ships its checkpoint images to
+    /// its next k live ring successors (consumed by the AMPI layer).
+    pub replication: usize,
 }
 
 impl FaultPlan {
@@ -79,7 +96,40 @@ impl FaultPlan {
             reorder_prob: 0.0,
             crashes: Vec::new(),
             stalls: Vec::new(),
+            online: false,
+            heartbeat_ns: 0,
+            phi_suspect: 4.0,
+            phi_confirm: 8.0,
+            replication: 1,
         }
+    }
+
+    /// Enable online recovery with buddy-replication degree `k`: crashes
+    /// are detected and healed in place instead of aborting the run. Also
+    /// arms the heartbeat clock with a default period if none was set.
+    pub fn online_recovery(mut self, k: usize) -> Self {
+        assert!(k >= 1, "replication degree must be at least 1");
+        self.online = true;
+        self.replication = k;
+        if self.heartbeat_ns == 0 {
+            self.heartbeat_ns = 100_000;
+        }
+        self
+    }
+
+    /// Set the failure-detector heartbeat period (virtual ns).
+    pub fn heartbeat_every(mut self, ns: u64) -> Self {
+        assert!(ns > 0, "heartbeat period must be positive");
+        self.heartbeat_ns = ns;
+        self
+    }
+
+    /// Set the phi-accrual suspicion and confirmation thresholds.
+    pub fn phi_thresholds(mut self, suspect: f64, confirm: f64) -> Self {
+        assert!(suspect > 0.0 && confirm >= suspect);
+        self.phi_suspect = suspect;
+        self.phi_confirm = confirm;
+        self
     }
 
     /// Set the per-transmission drop probability.
@@ -165,6 +215,19 @@ impl FaultPlan {
     pub(crate) fn reorder_roll(&self, src: usize, dest: usize, seq: u64) -> bool {
         self.reorder_prob > 0.0 && self.roll(4, src, dest, seq, 0) < self.reorder_prob
     }
+
+    /// Deterministic retransmission jitter in [0,1): de-synchronizes the
+    /// backoff clocks of senders that timed out together (e.g. everyone
+    /// waiting on one stalled PE), so recovery is not a retransmit storm.
+    pub(crate) fn jitter_roll(&self, src: usize, dest: usize, seq: u64, attempt: u32) -> f64 {
+        self.roll(5, src, dest, seq, attempt)
+    }
+
+    /// Heartbeats ride the same lossy wire as data: drop decisions reuse
+    /// the plan's drop probability under an independent stream.
+    pub(crate) fn hb_drop_roll(&self, src: usize, dest: usize, hb_seq: u64) -> bool {
+        self.drop_prob > 0.0 && self.roll(6, src, dest, hb_seq, 0) < self.drop_prob
+    }
 }
 
 /// Machine-wide fault/recovery counters (shared by all PEs, readable
@@ -180,11 +243,23 @@ pub struct FaultStats {
     pub(crate) acks: AtomicU64,
     pub(crate) data_packets: AtomicU64,
     pub(crate) stalled_steps: AtomicU64,
+    pub(crate) retransmits_capped: AtomicU64,
+    pub(crate) heartbeats: AtomicU64,
+    /// Logical messages written off as undeliverable because their sender
+    /// or receiver is confirmed dead (online mode). The quiescence fixpoint
+    /// becomes `sent == recv + written_off`.
+    pub(crate) written_off: AtomicU64,
 }
 
 impl FaultStats {
     pub(crate) fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn bump_by(counter: &AtomicU64, n: u64) {
+        if n > 0 {
+            counter.fetch_add(n, Ordering::SeqCst);
+        }
     }
 
     /// A plain-value snapshot of the counters.
@@ -199,6 +274,9 @@ impl FaultStats {
             acks: self.acks.load(Ordering::Relaxed),
             data_packets: self.data_packets.load(Ordering::Relaxed),
             stalled_steps: self.stalled_steps.load(Ordering::Relaxed),
+            retransmits_capped: self.retransmits_capped.load(Ordering::Relaxed),
+            heartbeats: self.heartbeats.load(Ordering::Relaxed),
+            written_off: self.written_off.load(Ordering::Relaxed),
         }
     }
 }
@@ -225,6 +303,13 @@ pub struct FaultSummary {
     pub data_packets: u64,
     /// Pump iterations skipped by stalled PEs.
     pub stalled_steps: u64,
+    /// Retransmissions scheduled after the exponential backoff hit its
+    /// cap (the RTO stops doubling; see `link::RTO_ATTEMPT_CAP`).
+    pub retransmits_capped: u64,
+    /// Failure-detector heartbeats physically sent.
+    pub heartbeats: u64,
+    /// Logical messages written off against a confirmed-dead PE.
+    pub written_off: u64,
 }
 
 impl FaultSummary {
@@ -245,7 +330,63 @@ impl FaultSummary {
         self.acks += other.acks;
         self.data_packets += other.data_packets;
         self.stalled_steps += other.stalled_steps;
+        self.retransmits_capped += other.retransmits_capped;
+        self.heartbeats += other.heartbeats;
+        self.written_off += other.written_off;
     }
+}
+
+/// One phase of the online-recovery state machine, as recorded on the
+/// machine-wide recovery timeline ([`crate::MachineReport::recovery`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryPhase {
+    /// A scripted (or fenced) PE stopped executing.
+    Crash,
+    /// The phi-accrual detector crossed the suspicion threshold.
+    Suspect,
+    /// A suspected PE's heartbeats resumed; suspicion withdrawn.
+    Clear,
+    /// The leader confirmed the death and fenced the PE.
+    Confirm,
+    /// A surviving PE rolled back to the committed generation.
+    Rollback,
+    /// An orphan rank of the dead PE was respawned on a survivor.
+    Respawn,
+    /// Recovery completed; normal work resumed.
+    Resume,
+}
+
+impl RecoveryPhase {
+    /// Stable short name (used by benches and the chaos harness).
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryPhase::Crash => "crash",
+            RecoveryPhase::Suspect => "suspect",
+            RecoveryPhase::Clear => "clear",
+            RecoveryPhase::Confirm => "confirm",
+            RecoveryPhase::Rollback => "rollback",
+            RecoveryPhase::Respawn => "respawn",
+            RecoveryPhase::Resume => "resume",
+        }
+    }
+}
+
+/// One entry of the machine-wide recovery timeline. Timestamps are the
+/// *observing* PE's virtual clock, so `Resume.vt - Suspect.vt` on the
+/// leader is the protocol's modeled MTTR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryEvent {
+    /// Which phase.
+    pub phase: RecoveryPhase,
+    /// The PE that observed/drove the phase.
+    pub pe: usize,
+    /// The failed PE the phase concerns.
+    pub dead: usize,
+    /// Observer virtual time (ns).
+    pub vt: u64,
+    /// Phase-specific detail (phi*1000 for suspect/confirm, generation
+    /// for rollback/respawn, epoch for resume).
+    pub info: u64,
 }
 
 /// Shared handle to a plan plus the machine-wide counters.

@@ -52,7 +52,7 @@ pub mod machine;
 pub mod msg;
 pub mod pe;
 
-pub use fault::{FaultPlan, FaultSummary, PeCrash, PeStall};
+pub use fault::{FaultPlan, FaultSummary, PeCrash, PeStall, RecoveryEvent, RecoveryPhase};
 pub use flows_core::{Payload, PayloadBuf, PayloadPool};
 pub use flows_trace::{TraceRing, TraceSummary};
 pub use machine::{MachineBuilder, MachineReport};

@@ -32,6 +32,14 @@ pub(crate) enum PacketBody {
     Data { seq: u64, msg: Message },
     /// Cumulative acknowledgement: every seq `<= cum` has been received.
     Ack { cum: u64 },
+    /// Failure-detector heartbeat (online mode only). Unsequenced and
+    /// unacked: a lost heartbeat *is* the signal. Never counted in the
+    /// logical sent/recv totals. The round counter is carried for wire
+    /// debugging only; receivers timestamp arrival and ignore it.
+    Heartbeat {
+        #[allow(dead_code)]
+        hb_seq: u64,
+    },
 }
 
 /// A packet awaiting acknowledgement on a sender.
@@ -53,11 +61,21 @@ pub(crate) struct TxLink {
     pub unacked: BTreeMap<u64, Unacked>,
     /// One packet held back to reorder behind the next send.
     pub pocket: Option<(u64, Message)>,
+    /// Peer is confirmed dead and this link reaped: further sends are
+    /// written off at the source instead of entering the protocol.
+    pub dead: bool,
 }
 
 impl TxLink {
     pub fn assign_seq(&mut self) -> u64 {
         self.next_seq += 1;
+        self.next_seq
+    }
+
+    /// Highest sequence number assigned so far (0 = none). Published in a
+    /// crashing PE's morgue record so survivors can write off exactly the
+    /// messages that died in flight.
+    pub fn last_assigned(&self) -> u64 {
         self.next_seq
     }
 
@@ -81,6 +99,9 @@ pub(crate) struct RxLink {
     next_expected: u64,
     /// Out-of-order packets parked until the gap fills.
     ooo: BTreeMap<u64, Message>,
+    /// Peer is confirmed dead and this link reaped: stragglers still in
+    /// the channel were already written off and must not be delivered.
+    pub dead: bool,
 }
 
 impl Default for RxLink {
@@ -88,6 +109,7 @@ impl Default for RxLink {
         RxLink {
             next_expected: 1,
             ooo: BTreeMap::new(),
+            dead: false,
         }
     }
 }
@@ -101,6 +123,9 @@ pub(crate) enum RxOutcome {
     Duplicate,
     /// Out of order — parked until the gap fills.
     Parked,
+    /// The sender is confirmed dead and the link reaped: the straggler was
+    /// written off and is dropped without delivery or ack.
+    Dead,
 }
 
 impl RxLink {
@@ -109,7 +134,18 @@ impl RxLink {
         self.next_expected - 1
     }
 
+    /// Write the link off after its peer's death: parked stragglers are
+    /// dropped (they are inside the written-off window) and every later
+    /// packet is refused.
+    pub fn reap(&mut self) {
+        self.dead = true;
+        self.ooo.clear();
+    }
+
     pub fn offer(&mut self, seq: u64, msg: Message) -> RxOutcome {
+        if self.dead {
+            return RxOutcome::Dead;
+        }
         if seq < self.next_expected {
             return RxOutcome::Duplicate;
         }
@@ -161,12 +197,27 @@ impl LinkTable {
     }
 }
 
+/// Attempts after which the exponential backoff stops doubling. A capped
+/// RTO keeps probing a stalled-then-recovered peer at a bounded cadence
+/// (instead of backing off into minutes of virtual silence) and bounds
+/// idle virtual-time jumps; retransmissions scheduled at the cap are
+/// counted in [`crate::FaultSummary::retransmits_capped`].
+pub(crate) const RTO_ATTEMPT_CAP: u32 = 6;
+
+/// Fraction of the backed-off RTO added as deterministic jitter.
+const RTO_JITTER_FRAC: f64 = 0.25;
+
 /// Retransmission timeout for a given attempt: a few network latencies
-/// plus any injected delay, doubling per attempt (capped so virtual-time
-/// jumps stay bounded).
-pub(crate) fn rto_ns(base_latency_ns: u64, delay_ns: u64, attempt: u32) -> u64 {
+/// plus any injected delay, doubling per attempt up to
+/// [`RTO_ATTEMPT_CAP`], plus up to 25% seeded jitter. `jitter` is a
+/// deterministic uniform draw in [0,1) from the fault plan
+/// (`FaultPlan::jitter_roll`), so senders whose timers expired together —
+/// e.g. everyone blocked on one stalled PE — come back de-synchronized
+/// instead of as a retransmit storm.
+pub(crate) fn rto_ns(base_latency_ns: u64, delay_ns: u64, attempt: u32, jitter: f64) -> u64 {
     let base = 4 * base_latency_ns.max(1_000) + 2 * delay_ns + 50_000;
-    base.saturating_mul(1u64 << attempt.min(10))
+    let backed = base.saturating_mul(1u64 << attempt.min(RTO_ATTEMPT_CAP));
+    backed.saturating_add((backed as f64 * RTO_JITTER_FRAC * jitter) as u64)
 }
 
 #[cfg(test)]
@@ -227,10 +278,28 @@ mod tests {
 
     #[test]
     fn rto_backs_off_and_caps() {
-        let r0 = rto_ns(10_000, 0, 0);
-        let r1 = rto_ns(10_000, 0, 1);
+        let r0 = rto_ns(10_000, 0, 0, 0.0);
+        let r1 = rto_ns(10_000, 0, 1, 0.0);
         assert_eq!(r1, 2 * r0);
-        assert_eq!(rto_ns(10_000, 0, 10), rto_ns(10_000, 0, 63));
+        assert_eq!(
+            rto_ns(10_000, 0, RTO_ATTEMPT_CAP, 0.0),
+            rto_ns(10_000, 0, 63, 0.0),
+            "backoff stops doubling at the cap"
+        );
+        assert!(rto_ns(10_000, 0, RTO_ATTEMPT_CAP, 0.0) < rto_ns(10_000, 0, 10, 0.0) * 2);
+    }
+
+    #[test]
+    fn rto_jitter_is_bounded_and_monotone() {
+        let base = rto_ns(10_000, 0, 3, 0.0);
+        for j in [0.0, 0.25, 0.5, 0.999] {
+            let r = rto_ns(10_000, 0, 3, j);
+            assert!(r >= base, "jitter never shortens the timeout");
+            assert!(
+                r <= base + base / 4 + 1,
+                "jitter bounded by 25%: {r} vs {base}"
+            );
+        }
     }
 
     #[test]

@@ -1,18 +1,19 @@
 //! Building and driving the machine: handler registration, the two drive
 //! modes, and quiescence detection.
 
-use crate::fault::{FaultCtx, FaultPlan, FaultStats, FaultSummary};
+use crate::fault::{FaultCtx, FaultPlan, FaultStats, FaultSummary, RecoveryEvent};
 use crate::link::Packet;
 use crate::msg::{HandlerId, Message, NetModel};
-use crate::pe::{Handler, Pe};
+use crate::pe::{DeathUpcall, Handler, Pe};
 use crossbeam::channel::unbounded;
 use crossbeam::sync::{Parker, Unparker};
 use flows_core::{SchedConfig, SchedStats, Scheduler, SharedPools};
 use flows_mem::IsoConfig;
 use flows_sys::counters::SyscallCounts;
 use flows_trace::{TraceRing, TraceSummary};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
 /// How long an idle PE sleeps per park before re-checking timers. Packet
@@ -43,6 +44,46 @@ pub(crate) struct Hub {
     /// One waker per PE in threaded mode (unset under deterministic
     /// drive): posting a packet unparks its destination.
     wakers: OnceLock<Vec<Unparker>>,
+    /// PEs that physically stopped executing, as a bitmask (online mode;
+    /// machine size is capped at 64 there). Shared state is used only to
+    /// keep idle virtual clocks advancing — the protocol's *decisions*
+    /// (suspect, confirm) flow through heartbeats alone.
+    dead: AtomicU64,
+    /// PEs the recovery leader has fenced (ordered to stop). A live
+    /// (stalled) fenced PE converts itself to crashed at its next pump, so
+    /// the failure model stays fail-stop.
+    fenced: AtomicU64,
+    /// PEs confirmed dead by the phi-accrual detector.
+    confirmed: AtomicU64,
+    /// Confirmed-dead PEs whose online recovery has completed.
+    resolved: AtomicU64,
+    /// Monotonic recovery-epoch allocator. Two leaders racing to start a
+    /// recovery round (a crash confirmed during another PE's recovery)
+    /// must obtain *distinct, ordered* epochs, or survivors could not tell
+    /// which round supersedes which.
+    epoch: AtomicU64,
+    /// Final link-layer accounting published by each dying PE, keyed by
+    /// PE id. Survivors read it to write off in-flight traffic exactly.
+    morgue: Mutex<HashMap<usize, Morgue>>,
+    /// Machine-wide recovery timeline (reported in `MachineReport`).
+    timeline: Mutex<Vec<RecoveryEvent>>,
+    /// Dead-PE pairs whose mutual in-flight traffic has been written off.
+    pair_reaped: Mutex<Vec<(usize, usize)>>,
+}
+
+/// The link-layer ledger a dying PE publishes so survivors can write off
+/// exactly the logical messages that died with it: everything a survivor
+/// sent that the deceased never delivered, and everything the deceased
+/// assigned that the survivor will never deliver.
+#[derive(Debug, Clone)]
+pub(crate) struct Morgue {
+    /// Per-source highest in-order sequence delivered at death.
+    pub rx_cum: Vec<u64>,
+    /// Per-destination highest sequence assigned at death.
+    pub tx_last: Vec<u64>,
+    /// Dead peers this PE had already reaped while alive (their mutual
+    /// traffic is accounted; the leader must not write it off again).
+    pub reaped_mask: u64,
 }
 
 impl Default for Hub {
@@ -54,6 +95,14 @@ impl Default for Hub {
             done: AtomicBool::new(false),
             crashed: AtomicUsize::new(usize::MAX),
             wakers: OnceLock::new(),
+            dead: AtomicU64::new(0),
+            fenced: AtomicU64::new(0),
+            confirmed: AtomicU64::new(0),
+            resolved: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
+            morgue: Mutex::new(HashMap::new()),
+            timeline: Mutex::new(Vec::new()),
+            pair_reaped: Mutex::new(Vec::new()),
         }
     }
 }
@@ -66,6 +115,102 @@ impl Hub {
             .compare_exchange(usize::MAX, pe, Ordering::SeqCst, Ordering::SeqCst);
         self.done.store(true, Ordering::SeqCst);
         self.wake_all();
+    }
+
+    /// Record a crash in online mode: the run continues; survivors will
+    /// detect, confirm and heal. The morgue entry must be complete before
+    /// the dead bit is visible (it is — both sit behind SeqCst stores and
+    /// the deterministic driver serializes PEs anyway).
+    pub(crate) fn record_crash_online(&self, pe: usize, morgue: Morgue) {
+        self.morgue.lock().unwrap().insert(pe, morgue);
+        self.dead.fetch_or(1 << pe, Ordering::SeqCst);
+    }
+
+    /// Fence `pe`: order it to stop executing. Idempotent.
+    pub(crate) fn fence(&self, pe: usize) {
+        self.fenced.fetch_or(1 << pe, Ordering::SeqCst);
+    }
+
+    pub(crate) fn is_fenced(&self, pe: usize) -> bool {
+        self.fenced.load(Ordering::SeqCst) & (1 << pe) != 0
+    }
+
+    /// Mark `pe` confirmed dead. Returns true exactly once (the caller
+    /// that wins drives the death upcall).
+    pub(crate) fn confirm(&self, pe: usize) -> bool {
+        let prev = self.confirmed.fetch_or(1 << pe, Ordering::SeqCst);
+        prev & (1 << pe) == 0
+    }
+
+    pub(crate) fn is_confirmed(&self, pe: usize) -> bool {
+        self.confirmed.load(Ordering::SeqCst) & (1 << pe) != 0
+    }
+
+    pub(crate) fn confirmed_mask(&self) -> u64 {
+        self.confirmed.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn resolve(&self, pe: usize) {
+        self.resolved.fetch_or(1 << pe, Ordering::SeqCst);
+    }
+
+    /// Allocate the next recovery epoch (starts at 1; 0 means "never
+    /// recovered" and is the epoch every message carries pre-failure).
+    pub(crate) fn next_epoch(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Any failure (physical, fenced or confirmed) whose recovery has not
+    /// completed? While true the machine cannot be quiescent.
+    pub(crate) fn unresolved(&self) -> bool {
+        let failed = self.dead.load(Ordering::SeqCst)
+            | self.fenced.load(Ordering::SeqCst)
+            | self.confirmed.load(Ordering::SeqCst);
+        failed & !self.resolved.load(Ordering::SeqCst) != 0
+    }
+
+    pub(crate) fn morgue_ready(&self, pe: usize) -> bool {
+        self.morgue.lock().unwrap().contains_key(&pe)
+    }
+
+    pub(crate) fn morgue_get(&self, pe: usize) -> Option<Morgue> {
+        self.morgue.lock().unwrap().get(&pe).cloned()
+    }
+
+    /// Write off traffic between two dead PEs exactly once per pair.
+    /// Returns the number of logical messages written off (0 if the pair
+    /// was already accounted or either PE had reaped the other in life).
+    pub(crate) fn reap_pair(&self, a: usize, b: usize) -> u64 {
+        let key = (a.min(b), a.max(b));
+        let mut done = self.pair_reaped.lock().unwrap();
+        if done.contains(&key) {
+            return 0;
+        }
+        done.push(key);
+        let morgues = self.morgue.lock().unwrap();
+        let (Some(ma), Some(mb)) = (morgues.get(&a), morgues.get(&b)) else {
+            return 0;
+        };
+        // If either reaped the other while still alive, both directions
+        // were accounted then (write-off at reap, then write-off at send).
+        if ma.reaped_mask & (1 << b) != 0 || mb.reaped_mask & (1 << a) != 0 {
+            return 0;
+        }
+        (ma.tx_last[b] - mb.rx_cum[a]) + (mb.tx_last[a] - ma.rx_cum[b])
+    }
+
+    pub(crate) fn push_timeline(&self, ev: RecoveryEvent) {
+        self.timeline.lock().unwrap().push(ev);
+    }
+
+    pub(crate) fn timeline_snapshot(&self) -> Vec<RecoveryEvent> {
+        self.timeline.lock().unwrap().clone()
+    }
+
+    /// PEs that failed during the run (physically dead or confirmed).
+    pub(crate) fn dead_list(&self) -> Vec<usize> {
+        let mask = self.dead.load(Ordering::SeqCst) | self.confirmed.load(Ordering::SeqCst);
+        (0..64).filter(|pe| mask & (1 << pe) != 0).collect()
     }
 
     /// Wake PE `dest` if it is parked (no-op under deterministic drive).
@@ -132,6 +277,14 @@ pub struct MachineReport {
     /// (`flows_trace::chrome`) and custom analyses. Empty when tracing
     /// was off.
     pub trace_rings: Vec<Arc<TraceRing>>,
+    /// Online-recovery timeline: every suspect/confirm/rollback/respawn/
+    /// resume phase observed during the run, in order. Empty unless the
+    /// fault plan enabled online recovery.
+    pub recovery: Vec<RecoveryEvent>,
+    /// PEs that failed during the run. Under online recovery the run
+    /// still completes (`crashed` stays `None`); these are the healed
+    /// casualties.
+    pub dead_pes: Vec<usize>,
 }
 
 impl MachineReport {
@@ -154,6 +307,7 @@ pub struct MachineBuilder {
     modeled_time: bool,
     tracing: bool,
     trace_cap: usize,
+    death_upcall: Option<DeathUpcall>,
 }
 
 impl MachineBuilder {
@@ -172,6 +326,7 @@ impl MachineBuilder {
             modeled_time: false,
             tracing: false,
             trace_cap: 1 << 16,
+            death_upcall: None,
         }
     }
 
@@ -206,7 +361,27 @@ impl MachineBuilder {
     /// link to the reliable (ack/retransmit) transport and arms the plan's
     /// scripted PE faults.
     pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        if plan.online {
+            assert!(
+                self.num_pes <= 64,
+                "online recovery tracks PE liveness in a 64-bit mask"
+            );
+            assert!(plan.heartbeat_ns > 0, "online recovery needs heartbeats");
+        }
         self.fault = Some(Arc::new(plan));
+        self
+    }
+
+    /// Register the death-confirmed upcall for online recovery: invoked
+    /// (once per failed PE, on the PE whose detector won the confirmation
+    /// race) after the deceased's final link accounting is available. The
+    /// layer above drives rollback/respawn from here; a machine without an
+    /// upcall only detects and writes off.
+    pub fn on_death_confirmed(
+        mut self,
+        f: impl Fn(&Pe, usize) + Send + Sync + 'static,
+    ) -> Self {
+        self.death_upcall = Some(Arc::new(f));
         self
     }
 
@@ -294,6 +469,7 @@ impl MachineBuilder {
                 fault: fault.clone(),
                 modeled_time: self.modeled_time,
                 ring: rings.get(i).cloned(),
+                death_upcall: self.death_upcall.clone(),
             })
             .collect();
         (seeds, hub, stats, rings)
@@ -302,6 +478,7 @@ impl MachineBuilder {
     /// Drive all PEs round-robin on the calling OS thread until
     /// quiescence. Deterministic given deterministic application code.
     pub fn run_deterministic(mut self, init: impl Fn(&Pe)) -> MachineReport {
+        let online = self.fault.as_ref().is_some_and(|p| p.online);
         let (seeds, hub, stats, rings) = self.make_seeds();
         let pes: Vec<Pe> = seeds.into_iter().map(PeSeed::build).collect();
         let sc0 = flows_sys::counters::snapshot();
@@ -340,11 +517,19 @@ impl MachineBuilder {
                 if pumped {
                     progress = true;
                 }
-                if hub.crashed_pe().is_some() {
+                if !online && hub.crashed_pe().is_some() {
                     // A dead PE stops consuming messages: quiescence is
-                    // unreachable, so abort and report the crash.
+                    // unreachable, so abort and report the crash. Under
+                    // online recovery the run continues — survivors
+                    // detect, write the dead PE's traffic off, and heal.
                     break 'drive;
                 }
+            }
+            if online && pes.iter().all(|p| p.crashed()) {
+                // Total loss: every PE is dead (scripted crashes plus any
+                // fenced stalls). Nobody is left to recover, so report the
+                // wreckage instead of waiting for a heal that cannot come.
+                break 'drive;
             }
             if !progress {
                 // Batched quiescence accounting: fold every PE's local
@@ -352,8 +537,16 @@ impl MachineBuilder {
                 for pe in &pes {
                     pe.flush_counters();
                 }
-                if hub.sent.load(Ordering::SeqCst) == hub.recv.load(Ordering::SeqCst)
+                // Messages written off against confirmed-dead PEs were
+                // sent but can never be received; the fixpoint accounts
+                // for them. No quiescence while a failure is unhealed.
+                let written_off = stats
+                    .as_ref()
+                    .map_or(0, |s| s.summary().written_off);
+                if hub.sent.load(Ordering::SeqCst)
+                    == hub.recv.load(Ordering::SeqCst) + written_off
                     && pes.iter().all(|p| !p.has_work())
+                    && !hub.unresolved()
                 {
                     break;
                 }
@@ -374,6 +567,10 @@ impl MachineBuilder {
     /// on a per-PE [`Parker`] and are woken by incoming packets (instead
     /// of spinning on `yield_now`).
     pub fn run(mut self, init: impl Fn(&Pe) + Send + Sync) -> MachineReport {
+        assert!(
+            !self.fault.as_ref().is_some_and(|p| p.online),
+            "online recovery requires the deterministic drive mode"
+        );
         let (seeds, hub, stats, rings) = self.make_seeds();
         let num_pes = self.num_pes;
         let parkers: Vec<Parker> = (0..num_pes).map(|_| Parker::new()).collect();
@@ -433,6 +630,8 @@ impl MachineBuilder {
             syscalls,
             trace,
             trace_rings: rings,
+            recovery: hub.timeline_snapshot(),
+            dead_pes: hub.dead_list(),
         }
     }
 }
@@ -452,6 +651,7 @@ struct PeSeed {
     fault: Option<FaultCtx>,
     modeled_time: bool,
     ring: Option<Arc<TraceRing>>,
+    death_upcall: Option<DeathUpcall>,
 }
 
 impl PeSeed {
@@ -470,6 +670,7 @@ impl PeSeed {
             self.modeled_time,
             pool,
             self.ring,
+            self.death_upcall,
         )
     }
 }
@@ -511,6 +712,8 @@ fn report(
         trace: finish_trace(&rings, &syscalls),
         syscalls,
         trace_rings: rings,
+        recovery: hub.timeline_snapshot(),
+        dead_pes: hub.dead_list(),
     }
 }
 
@@ -756,7 +959,9 @@ mod tests {
     /// every hop exactly once despite drops, dups, delays and reordering.
     fn faulty_ring(plan: FaultPlan) -> (u64, MachineReport) {
         let total = Arc::new(AtomicU64::new(0));
-        let mut mb = MachineBuilder::new(4).fault_plan(plan);
+        // Modeled time: virtual clocks advance only by modeled costs, so
+        // retransmit/fault counts cannot wobble with host CPU contention.
+        let mut mb = MachineBuilder::new(4).fault_plan(plan).modeled_time(true);
         let h = {
             let total = total.clone();
             mb.handler(move |pe, msg| {
@@ -862,6 +1067,167 @@ mod tests {
         let f = rep.faults.unwrap();
         assert!(f.stalled_steps >= 50, "stall consumed its steps: {f:?}");
         assert!(rep.crashed.is_none());
+    }
+
+    /// One online-mode run: ring traffic, PE 2 crashes mid-flight, the
+    /// phi-accrual detector suspects and confirms it, the leader's death
+    /// upcall drives a reap/ack mini-protocol across the survivors, and
+    /// the machine quiesces WITHOUT tearing the world down. Returns the
+    /// logical-delivery total and the report.
+    fn online_crash_run(seed: u64) -> (u64, MachineReport) {
+        use crate::fault::RecoveryPhase;
+        let plan = FaultPlan::new(seed).crash_pe(2, 150_000).online_recovery(1);
+        let total = Arc::new(AtomicU64::new(0));
+        let mut mb = MachineBuilder::new(4).fault_plan(plan).modeled_time(true);
+        let work = {
+            let total = total.clone();
+            mb.handler(move |pe, msg| {
+                total.fetch_add(1, Ordering::Relaxed);
+                let hops = u64::from_le_bytes(msg.data[..8].try_into().unwrap());
+                if hops > 0 {
+                    pe.charge_ns(20_000);
+                    pe.send(
+                        (pe.id() + 1) % pe.num_pes(),
+                        msg.handler,
+                        (hops - 1).to_le_bytes().to_vec(),
+                    );
+                }
+            })
+        };
+        // Survivor acks back to the leader; the last ack resolves the
+        // recovery so the machine may quiesce again.
+        let acks = Arc::new(AtomicU64::new(0));
+        let ack_h = {
+            let acks = acks.clone();
+            mb.handler(move |pe, msg| {
+                let dead = msg.data[0] as usize;
+                let got = acks.fetch_add(1, Ordering::Relaxed) + 1;
+                let live =
+                    pe.num_pes() as u64 - u64::from(pe.confirmed_dead_mask().count_ones());
+                if got == live - 1 {
+                    pe.mark_recovery_resolved(dead, 1);
+                }
+            })
+        };
+        // Non-leader survivors: write the dead PE's links off, poke the
+        // corpse once (exercises the written-off-at-source path), ack.
+        let reap_h = mb.handler(move |pe, msg| {
+            let dead = msg.data[0] as usize;
+            pe.reap_dead(dead);
+            pe.send(dead, msg.handler, vec![msg.data[0]]);
+            pe.send(msg.src_pe, ack_h, vec![msg.data[0]]);
+        });
+        let mb = mb.on_death_confirmed(move |pe, dead| {
+            pe.reap_dead(dead);
+            pe.note_recovery(RecoveryPhase::Rollback, dead, 0);
+            for d in 0..pe.num_pes() {
+                if d != pe.id() && !pe.is_confirmed_dead(d) {
+                    pe.send(d, reap_h, vec![dead as u8]);
+                }
+            }
+        });
+        let rep = mb.run_deterministic(|pe| {
+            if pe.id() == 0 {
+                pe.send(1, work, 200u64.to_le_bytes().to_vec());
+            }
+        });
+        (total.load(Ordering::Relaxed), rep)
+    }
+
+    #[test]
+    fn online_crash_is_detected_confirmed_and_healed() {
+        use crate::fault::RecoveryPhase;
+        let (total, rep) = online_crash_run(21);
+        // The run completed (this test returning at all is the headline:
+        // quiescence was re-established around the corpse) and was never
+        // aborted the legacy way.
+        assert!(rep.crashed.is_none(), "online mode must not abort");
+        assert_eq!(rep.dead_pes, vec![2]);
+        assert!(
+            total < 201,
+            "the token died with PE 2, the ring cannot finish"
+        );
+        let f = rep.faults.unwrap();
+        assert!(f.heartbeats > 0, "failure detection ran: {f:?}");
+        assert!(
+            f.written_off >= 2,
+            "corpse pokes + in-flight losses written off: {f:?}"
+        );
+        // The recovery timeline tells the whole story, in causal order.
+        let find = |ph: RecoveryPhase| rep.recovery.iter().find(|e| e.phase == ph);
+        let crash = find(RecoveryPhase::Crash).expect("crash recorded");
+        let suspect = find(RecoveryPhase::Suspect).expect("suspicion raised");
+        let confirm = find(RecoveryPhase::Confirm).expect("death confirmed");
+        let resume = find(RecoveryPhase::Resume).expect("recovery resolved");
+        assert_eq!(crash.dead, 2);
+        assert_eq!(suspect.dead, 2);
+        assert_eq!(confirm.dead, 2);
+        assert_eq!(resume.dead, 2);
+        assert!(suspect.pe != 2, "a survivor raised the suspicion");
+        assert!(
+            suspect.vt <= confirm.vt && confirm.vt <= resume.vt,
+            "suspect -> confirm -> resume in virtual-time order: {:?}",
+            rep.recovery
+        );
+        // No live PE was ever confirmed dead (no false STONITH).
+        assert!(rep
+            .recovery
+            .iter()
+            .filter(|e| e.phase == RecoveryPhase::Confirm)
+            .all(|e| e.dead == 2));
+    }
+
+    #[test]
+    fn online_detection_is_deterministic() {
+        let (t1, r1) = online_crash_run(77);
+        let (t2, r2) = online_crash_run(77);
+        assert_eq!(t1, t2);
+        assert_eq!(r1.recovery, r2.recovery, "same seed, same timeline");
+        assert_eq!(r1.faults, r2.faults);
+        assert_eq!(r1.dead_pes, r2.dead_pes);
+    }
+
+    #[test]
+    fn online_stall_is_suspected_then_cleared_not_killed() {
+        use crate::fault::RecoveryPhase;
+        // PE 1 goes silent for 600 pump iterations but is NOT dead. With a
+        // sky-high confirm threshold the detector may suspect it, must
+        // clear the suspicion when heartbeats resume, and must never
+        // fence/kill it; the ring still completes exactly.
+        let plan = FaultPlan::new(9)
+            .stall_pe(1, 0, 600)
+            .online_recovery(1)
+            .phi_thresholds(2.0, 1e12);
+        let (total, rep) = faulty_ring(plan);
+        assert_eq!(total, 41, "every hop still delivered exactly once");
+        assert!(rep.crashed.is_none());
+        assert!(rep.dead_pes.is_empty(), "a stall is not a death");
+        let f = rep.faults.unwrap();
+        assert!(f.stalled_steps >= 600);
+        assert!(
+            f.retransmits_capped > 0,
+            "the long stall pushed RTO backoff to its cap: {f:?}"
+        );
+        let suspects: Vec<_> = rep
+            .recovery
+            .iter()
+            .filter(|e| e.phase == RecoveryPhase::Suspect && e.dead == 1)
+            .collect();
+        let clears: Vec<_> = rep
+            .recovery
+            .iter()
+            .filter(|e| e.phase == RecoveryPhase::Clear && e.dead == 1)
+            .collect();
+        assert!(!suspects.is_empty(), "the stall drew suspicion");
+        assert!(
+            clears.len() >= suspects.len().min(1),
+            "suspicion was withdrawn when heartbeats resumed: {:?}",
+            rep.recovery
+        );
+        assert!(rep
+            .recovery
+            .iter()
+            .all(|e| e.phase != RecoveryPhase::Confirm));
     }
 
     #[test]

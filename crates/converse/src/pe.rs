@@ -1,8 +1,8 @@
 //! One processing element: message pump + thread scheduler + virtual clock.
 
-use crate::fault::{FaultCtx, FaultStats};
-use crate::link::{rto_ns, LinkTable, Packet, PacketBody, RxOutcome, Unacked};
-use crate::machine::Hub;
+use crate::fault::{FaultCtx, FaultStats, RecoveryEvent, RecoveryPhase};
+use crate::link::{rto_ns, LinkTable, Packet, PacketBody, RxOutcome, Unacked, RTO_ATTEMPT_CAP};
+use crate::machine::{Hub, Morgue};
 use crate::msg::{HandlerId, Message, NetModel};
 use crossbeam::channel::{Receiver, Sender};
 use flows_core::{Payload, PayloadBuf, PayloadPool, Scheduler};
@@ -15,6 +15,33 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 pub(crate) type Handler = Arc<dyn Fn(&Pe, Message) + Send + Sync>;
+
+/// The death-confirmed upcall (see `MachineBuilder::on_death_confirmed`).
+pub(crate) type DeathUpcall = Arc<dyn Fn(&Pe, usize) + Send + Sync>;
+
+/// Phi-accrual scale factor: phi = elapsed / (mean * ln 10), i.e. phi is
+/// the negative decimal log of the probability the peer is alive under an
+/// exponential inter-arrival model. phi 4 ≈ 9.2 mean intervals of
+/// silence, phi 8 ≈ 18.4 — far beyond any plausible loss burst.
+const PHI_SCALE: f64 = std::f64::consts::LOG10_E;
+
+/// Per-peer failure-detector state (online mode only).
+#[derive(Debug, Clone, Copy)]
+struct PeerHealth {
+    /// Local virtual time of the last heartbeat from this peer (0 = the
+    /// detector has not started observing it yet).
+    last_vt: u64,
+    /// EWMA of observed heartbeat inter-arrival times (ns), floored at
+    /// half the heartbeat period so a post-stall burst of queued
+    /// heartbeats cannot collapse the threshold.
+    mean_ns: f64,
+    /// Currently above the suspicion threshold?
+    suspected: bool,
+    /// Virtual time the current suspicion started (hysteresis anchor: a
+    /// confirm needs at least one heartbeat period of *additional*
+    /// silence, so one stale evaluation can never convict on its own).
+    suspect_vt: u64,
+}
 
 thread_local! {
     static CURRENT_PE: Cell<*const Pe> = const { Cell::new(std::ptr::null()) };
@@ -83,6 +110,22 @@ pub struct Pe {
     /// which keeps nested machines from cross-recording).
     prev_ring: Cell<*const TraceRing>,
     exts: RefCell<HashMap<TypeId, Box<dyn Any>>>,
+    /// Phi-accrual detector state per peer (empty unless the plan enables
+    /// online recovery).
+    det: RefCell<Vec<PeerHealth>>,
+    /// Virtual time of the last detector evaluation (0 = never). A large
+    /// gap means the *observer* went silent, not its peers.
+    det_eval_vt: Cell<u64>,
+    /// Virtual time of the next heartbeat emission (0 = not armed yet).
+    next_hb: Cell<u64>,
+    /// Heartbeats emitted so far (drives the deterministic drop stream).
+    hb_seq: Cell<u64>,
+    /// Mask of dead peers whose links this PE has written off.
+    reaped: Cell<u64>,
+    /// Mask of peers this PE confirmed dead and still owes an upcall for
+    /// (fires once the deceased's morgue record is published).
+    upcall_pending: Cell<u64>,
+    death_upcall: Option<DeathUpcall>,
 }
 
 impl std::fmt::Debug for Pe {
@@ -110,7 +153,23 @@ impl Pe {
         modeled_time: bool,
         pool: Arc<PayloadPool>,
         ring: Option<Arc<TraceRing>>,
+        death_upcall: Option<DeathUpcall>,
     ) -> Pe {
+        let online = fault.as_ref().is_some_and(|c| c.plan.online);
+        let hb_period = fault.as_ref().map_or(0, |c| c.plan.heartbeat_ns);
+        let det = if online {
+            vec![
+                PeerHealth {
+                    last_vt: 0,
+                    mean_ns: hb_period.max(1) as f64,
+                    suspected: false,
+                    suspect_vt: 0,
+                };
+                num_pes
+            ]
+        } else {
+            Vec::new()
+        };
         Pe {
             id,
             num_pes,
@@ -140,7 +199,36 @@ impl Pe {
             ring,
             prev_ring: Cell::new(std::ptr::null()),
             exts: RefCell::new(HashMap::new()),
+            det: RefCell::new(det),
+            det_eval_vt: Cell::new(0),
+            next_hb: Cell::new(0),
+            hb_seq: Cell::new(0),
+            reaped: Cell::new(0),
+            upcall_pending: Cell::new(0),
+            death_upcall,
         }
+    }
+
+    /// Is this machine running the online-recovery protocol?
+    fn online(&self) -> bool {
+        self.fault.as_ref().is_some_and(|c| c.plan.online)
+    }
+
+    /// The attached fault plan, if any (layers above read the online
+    /// flag, replication degree and heartbeat period from here).
+    pub fn fault_plan(&self) -> Option<&crate::fault::FaultPlan> {
+        self.fault.as_ref().map(|c| &*c.plan)
+    }
+
+    /// Bitmask of peers confirmed dead by the failure detector. The comm
+    /// and AMPI layers use it to remap roots/homes off dead PEs.
+    pub fn confirmed_dead_mask(&self) -> u64 {
+        self.hub.confirmed_mask()
+    }
+
+    /// Has `pe` been confirmed dead?
+    pub fn is_confirmed_dead(&self, pe: usize) -> bool {
+        self.hub.is_confirmed(pe)
     }
 
     /// Mark this PE as driven by threaded mode (enables the wall-clock
@@ -261,7 +349,14 @@ impl Pe {
         );
         if dest == self.id {
             self.local_q.borrow_mut().push_back(msg);
-        } else if self.fault.is_some() {
+        } else if let Some(ctx) = &self.fault {
+            if self.links.borrow().tx[dest].dead {
+                // Peer confirmed dead and the link reaped: count the
+                // logical send and write it off at the source so the
+                // quiescence fixpoint stays exact.
+                FaultStats::bump_by(&ctx.stats.written_off, 1);
+                return;
+            }
             self.link_send(dest, msg);
         } else {
             self.post(
@@ -290,7 +385,13 @@ impl Pe {
             seq,
             Unacked {
                 msg: msg.clone(),
-                deadline: self.vtime.get() + rto_ns(self.net.latency_ns, ctx.plan.delay_ns, 0),
+                deadline: self.vtime.get()
+                    + rto_ns(
+                        self.net.latency_ns,
+                        ctx.plan.delay_ns,
+                        0,
+                        ctx.plan.jitter_roll(self.id, dest, seq, 0),
+                    ),
                 attempt: 0,
             },
         );
@@ -390,26 +491,36 @@ impl Pe {
             self.deliver_msg(msg);
             return true;
         }
-        let pkt = {
-            let mut pending = self.pending.borrow_mut();
-            // `is_empty` is a lock-free length probe: an idle pump costs
-            // one atomic load, not a mutex round trip.
-            if pending.is_empty() && !self.rx.is_empty() {
-                self.rx.try_recv_batch(&mut pending, RX_BATCH);
+        loop {
+            let pkt = {
+                let mut pending = self.pending.borrow_mut();
+                // `is_empty` is a lock-free length probe: an idle pump
+                // costs one atomic load, not a mutex round trip.
+                if pending.is_empty() && !self.rx.is_empty() {
+                    self.rx.try_recv_batch(&mut pending, RX_BATCH);
+                }
+                pending.pop_front()
+            };
+            let Some(pkt) = pkt else {
+                return false;
+            };
+            match pkt.body {
+                PacketBody::Data { seq: 0, msg } => self.deliver_msg(msg),
+                PacketBody::Data { seq, msg } => self.link_recv(pkt.src, seq, msg),
+                PacketBody::Ack { cum } => {
+                    self.links.borrow_mut().tx[pkt.src].ack_through(cum);
+                }
+                PacketBody::Heartbeat { .. } => {
+                    // Heartbeats are protocol-invisible: they update the
+                    // detector but count as neither progress nor delivery,
+                    // or an idle machine trading heartbeats could never
+                    // quiesce. Keep draining for a real packet.
+                    self.note_heartbeat(pkt.src);
+                    continue;
+                }
             }
-            pending.pop_front()
-        };
-        let Some(pkt) = pkt else {
-            return false;
-        };
-        match pkt.body {
-            PacketBody::Data { seq: 0, msg } => self.deliver_msg(msg),
-            PacketBody::Data { seq, msg } => self.link_recv(pkt.src, seq, msg),
-            PacketBody::Ack { cum } => {
-                self.links.borrow_mut().tx[pkt.src].ack_through(cum);
-            }
+            return true;
         }
-        true
     }
 
     /// Sequenced data packet from `src`: dedupe, reassemble in order,
@@ -426,6 +537,11 @@ impl Pe {
                     Vec::new()
                 }
                 RxOutcome::Parked => Vec::new(),
+                RxOutcome::Dead => {
+                    // Straggler from a reaped peer: already written off;
+                    // drop without delivery or ack.
+                    return;
+                }
             };
             (ready, rx.cum_ack())
         };
@@ -481,7 +597,19 @@ impl Pe {
                         .saturating_sub(self.idle_wall_start.get())
                         >= RETX_WALL_QUIET_NS;
                 if quiet {
-                    let jump = self.links.borrow().min_deadline();
+                    let mut jump = self.links.borrow().min_deadline();
+                    // While a failure is being detected or healed, the
+                    // heartbeat schedule is also a legitimate clock source
+                    // — without it a fully-blocked machine (no unacked
+                    // data) would never accrue the silence that drives
+                    // suspicion. Gated on an unresolved failure so a
+                    // healthy idle machine still quiesces.
+                    if self.hb_clock_armed() {
+                        let nh = self.next_hb.get();
+                        if nh > 0 {
+                            jump = Some(jump.map_or(nh, |d| d.min(nh)));
+                        }
+                    }
                     if let Some(d) = jump {
                         if d > self.vtime.get() {
                             self.vtime.set(d);
@@ -492,6 +620,13 @@ impl Pe {
         } else {
             self.idle_pumps.set(0);
         }
+        // Heartbeats and the phi-accrual failure detector ride the fault
+        // clock; none of it counts as progress.
+        if ctx.plan.online && !self.crashed.get() {
+            self.heartbeat_maintain(ctx);
+            self.detector_maintain(ctx);
+            self.upcall_maintain(ctx);
+        }
         // Retransmit everything due at the (possibly advanced) clock.
         let now = self.vtime.get();
         let due: Vec<(usize, u64, Message, u32)> = {
@@ -501,8 +636,16 @@ impl Pe {
                 for (&seq, u) in tx.unacked.iter_mut() {
                     if u.deadline <= now {
                         u.attempt += 1;
-                        u.deadline =
-                            now + rto_ns(self.net.latency_ns, ctx.plan.delay_ns, u.attempt);
+                        if u.attempt > RTO_ATTEMPT_CAP {
+                            FaultStats::bump(&ctx.stats.retransmits_capped);
+                        }
+                        u.deadline = now
+                            + rto_ns(
+                                self.net.latency_ns,
+                                ctx.plan.delay_ns,
+                                u.attempt,
+                                ctx.plan.jitter_roll(self.id, dest, seq, u.attempt),
+                            );
                         due.push((dest, seq, u.msg.clone(), u.attempt));
                     }
                 }
@@ -518,8 +661,309 @@ impl Pe {
         moved
     }
 
+    /// Is the heartbeat schedule currently a clock source for idle jumps?
+    /// Only while a failure is unresolved or a peer is under suspicion —
+    /// a healthy idle machine must not keep its own clocks (and wires)
+    /// alive trading heartbeats, or it would never quiesce.
+    fn hb_clock_armed(&self) -> bool {
+        if !self.online() || self.crashed.get() {
+            return false;
+        }
+        self.hub.unresolved() || self.det.borrow().iter().any(|p| p.suspected)
+    }
+
+    /// Emit one heartbeat round if the period elapsed. Heartbeats are
+    /// unsequenced, unacked, and invisible to the logical message counts;
+    /// they share the plan's drop probability (an independent stream), so
+    /// the detector sees the same lossy wire the data does.
+    fn heartbeat_maintain(&self, ctx: &FaultCtx) {
+        let period = ctx.plan.heartbeat_ns;
+        if period == 0 {
+            return;
+        }
+        let now = self.vtime.get();
+        if self.next_hb.get() == 0 {
+            self.next_hb.set(now + period);
+            return;
+        }
+        if now < self.next_hb.get() {
+            return;
+        }
+        self.next_hb.set(now + period);
+        let hb = self.hb_seq.get() + 1;
+        self.hb_seq.set(hb);
+        for d in 0..self.num_pes {
+            if d == self.id || self.hub.is_confirmed(d) {
+                continue;
+            }
+            if ctx.plan.hb_drop_roll(self.id, d, hb) {
+                continue;
+            }
+            FaultStats::bump(&ctx.stats.heartbeats);
+            self.post(
+                d,
+                Packet {
+                    src: self.id,
+                    body: PacketBody::Heartbeat { hb_seq: hb },
+                },
+            );
+        }
+    }
+
+    /// Record a heartbeat arrival from `src`: update the inter-arrival
+    /// EWMA and withdraw any active suspicion.
+    fn note_heartbeat(&self, src: usize) {
+        if self.det.borrow().is_empty() || self.crashed.get() {
+            return;
+        }
+        let now = self.vtime.get().max(1);
+        let period = self.fault.as_ref().map_or(1, |c| c.plan.heartbeat_ns) as f64;
+        let mut cleared = None;
+        {
+            let mut det = self.det.borrow_mut();
+            let ph = &mut det[src];
+            if ph.last_vt != 0 {
+                let dt = now.saturating_sub(ph.last_vt) as f64;
+                ph.mean_ns = (0.8 * ph.mean_ns + 0.2 * dt).max(period * 0.5);
+            }
+            let silence = now.saturating_sub(ph.last_vt);
+            ph.last_vt = now;
+            if ph.suspected {
+                ph.suspected = false;
+                cleared = Some(silence);
+            }
+        }
+        if let Some(silence) = cleared {
+            emit(EventKind::FtClear, src as u64, silence, 0);
+            self.hub.push_timeline(RecoveryEvent {
+                phase: RecoveryPhase::Clear,
+                pe: self.id,
+                dead: src,
+                vt: now,
+                info: silence,
+            });
+        }
+    }
+
+    /// Phi-accrual evaluation: suspect silent peers, and — if this PE is
+    /// the recovery leader for a suspect whose phi crossed the confirm
+    /// threshold — confirm the death and fence the peer. The leader for a
+    /// failure is the lowest PE this observer does not itself consider
+    /// failed, so leadership survives the leader's own death.
+    fn detector_maintain(&self, ctx: &FaultCtx) {
+        let now = self.vtime.get();
+        let period = ctx.plan.heartbeat_ns.max(1);
+        let last_eval = self.det_eval_vt.get();
+        self.det_eval_vt.set(now);
+        if last_eval != 0 && now.saturating_sub(last_eval) > 4 * period {
+            // The observer itself went dark (a recovery-protocol stint, a
+            // stall, a long thread burst): its silence measurements
+            // conflate each peer's absence with its own deafness, and one
+            // stale evaluation must never convict a live peer. Re-arm the
+            // observation windows and judge only fresh silence.
+            let mut det = self.det.borrow_mut();
+            for p in det.iter_mut() {
+                if p.last_vt != 0 {
+                    p.last_vt = now;
+                }
+            }
+            return;
+        }
+        let confirmed = self.hub.confirmed_mask();
+        let mut to_confirm: Vec<(usize, f64)> = Vec::new();
+        {
+            let mut det = self.det.borrow_mut();
+            for p in 0..self.num_pes {
+                if p == self.id || confirmed & (1 << p) != 0 {
+                    continue;
+                }
+                let ph = &mut det[p];
+                if ph.last_vt == 0 {
+                    // First observation: treat "now" as a pseudo-heartbeat
+                    // so silence is measured from when we started looking.
+                    ph.last_vt = now.max(1);
+                    continue;
+                }
+                let elapsed = now.saturating_sub(ph.last_vt);
+                let phi = PHI_SCALE * elapsed as f64 / ph.mean_ns;
+                if !ph.suspected && phi >= ctx.plan.phi_suspect {
+                    ph.suspected = true;
+                    ph.suspect_vt = now;
+                    emit(
+                        EventKind::FtSuspect,
+                        p as u64,
+                        (phi * 1000.0) as u64,
+                        elapsed,
+                    );
+                    self.hub.push_timeline(RecoveryEvent {
+                        phase: RecoveryPhase::Suspect,
+                        pe: self.id,
+                        dead: p,
+                        vt: now,
+                        info: (phi * 1000.0) as u64,
+                    });
+                }
+                if ph.suspected
+                    && phi >= ctx.plan.phi_confirm
+                    && now.saturating_sub(ph.suspect_vt) >= period
+                {
+                    to_confirm.push((p, phi));
+                }
+            }
+            for &(p, phi) in &to_confirm {
+                // Leader check under the same detector snapshot.
+                let leader = (0..self.num_pes).find(|&i| {
+                    i != p && confirmed & (1 << i) == 0 && !det[i].suspected
+                });
+                if leader != Some(self.id) {
+                    continue;
+                }
+                if self.hub.confirm(p) {
+                    self.hub.fence(p);
+                    emit(EventKind::FtConfirm, p as u64, (phi * 1000.0) as u64, 0);
+                    self.hub.push_timeline(RecoveryEvent {
+                        phase: RecoveryPhase::Confirm,
+                        pe: self.id,
+                        dead: p,
+                        vt: now,
+                        info: (phi * 1000.0) as u64,
+                    });
+                    self.upcall_pending
+                        .set(self.upcall_pending.get() | 1 << p);
+                }
+            }
+        }
+    }
+
+    /// Fire the death upcall for confirmed peers once their morgue record
+    /// is published (a fenced-but-live peer publishes it at its next
+    /// pump). Also settles traffic between the newly dead and any earlier
+    /// casualties, which no survivor's own links account for.
+    fn upcall_maintain(&self, ctx: &FaultCtx) {
+        let mut pending = self.upcall_pending.get();
+        if pending == 0 {
+            return;
+        }
+        for p in 0..self.num_pes {
+            if pending & (1 << p) == 0 || !self.hub.morgue_ready(p) {
+                continue;
+            }
+            pending &= !(1 << p);
+            self.upcall_pending.set(pending);
+            for q in 0..self.num_pes {
+                if q != p && self.hub.is_confirmed(q) && self.hub.morgue_ready(q) {
+                    let lost = self.hub.reap_pair(p, q);
+                    FaultStats::bump_by(&ctx.stats.written_off, lost);
+                }
+            }
+            if let Some(cb) = &self.death_upcall {
+                let cb = cb.clone();
+                cb(self, p);
+            }
+        }
+    }
+
+    /// Write off this PE's links to a confirmed-dead peer using the
+    /// deceased's published morgue record: everything we assigned that it
+    /// never delivered, plus everything it assigned that we will never
+    /// deliver (stragglers still in our channel are dropped on sight).
+    /// Idempotent; called by every survivor when it learns of the death.
+    pub fn reap_dead(&self, dead: usize) {
+        let Some(ctx) = &self.fault else { return };
+        if dead == self.id || self.reaped.get() & (1 << dead) != 0 {
+            return;
+        }
+        let morgue = self
+            .hub
+            .morgue_get(dead)
+            .expect("reap_dead before the deceased published its morgue");
+        let mut links = self.links.borrow_mut();
+        let tx = &mut links.tx[dead];
+        let undelivered_out = tx.last_assigned() - morgue.rx_cum[self.id];
+        tx.unacked.clear();
+        tx.pocket = None;
+        tx.dead = true;
+        let rx = &mut links.rx[dead];
+        let undelivered_in = morgue.tx_last[self.id] - rx.cum_ack();
+        rx.reap();
+        drop(links);
+        FaultStats::bump_by(&ctx.stats.written_off, undelivered_out + undelivered_in);
+        self.reaped.set(self.reaped.get() | 1 << dead);
+    }
+
+    /// Append a phase to the machine-wide recovery timeline (the AMPI
+    /// layer records rollback/respawn/resume through this).
+    pub fn note_recovery(&self, phase: RecoveryPhase, dead: usize, info: u64) {
+        self.hub.push_timeline(RecoveryEvent {
+            phase,
+            pe: self.id,
+            dead,
+            vt: self.vtime.get(),
+            info,
+        });
+    }
+
+    /// Allocate a machine-wide unique, monotonically increasing recovery
+    /// epoch. The recovery leader calls this once per round it starts;
+    /// survivors adopt the largest epoch they have seen and drop traffic
+    /// stamped with an older one (the rollback-boundary replay guard).
+    pub fn alloc_recovery_epoch(&self) -> u64 {
+        self.hub.next_epoch()
+    }
+
+    /// Declare the online recovery for `dead` complete: the machine may
+    /// quiesce again. Called by the recovery driver (leader) after the
+    /// resume barrier; also records the Resume phase.
+    pub fn mark_recovery_resolved(&self, dead: usize, epoch: u64) {
+        emit(EventKind::FtResume, dead as u64, epoch, 0);
+        self.note_recovery(RecoveryPhase::Resume, dead, epoch);
+        self.hub.resolve(dead);
+    }
+
     /// Check scripted PE faults. Returns `true` if the PE must skip this
     /// pump iteration (crashed or stalled).
+    /// Fail-stop this PE. Under the legacy (offline) fault model this
+    /// simply records the crash so the driver can abort and restart the
+    /// world. Under online recovery the PE additionally publishes a
+    /// *morgue record* — per-peer cumulative-receive and last-assigned
+    /// sequence counters — from which every survivor computes, exactly,
+    /// how many logical messages died with it; those are written off so
+    /// quiescence can be re-established without the dead PE's counters.
+    fn die(&self, ctx: &FaultCtx) {
+        self.crashed.set(true);
+        emit(EventKind::FaultCrash, self.id as u64, 0, 0);
+        if !ctx.plan.online {
+            self.hub.record_crash(self.id);
+            return;
+        }
+        // Self-sends queued locally die with us: counted as sent, never
+        // received.
+        let lost_local = self.local_q.borrow().len() as u64;
+        self.local_q.borrow_mut().clear();
+        FaultStats::bump_by(&ctx.stats.written_off, lost_local);
+        // A dead node's memory vanishes: reclaim every user-level thread
+        // so their shared-pool resources (isomalloc slots, alias frames)
+        // are free for the recovery protocol to re-instate the threads'
+        // committed images on surviving PEs.
+        let reclaimed = self.sched.discard_all() as u64;
+        self.flush_counters();
+        let links = self.links.borrow();
+        let morgue = Morgue {
+            rx_cum: links.rx.iter().map(|r| r.cum_ack()).collect(),
+            tx_last: links.tx.iter().map(|t| t.last_assigned()).collect(),
+            reaped_mask: self.reaped.get(),
+        };
+        drop(links);
+        self.hub.push_timeline(RecoveryEvent {
+            phase: RecoveryPhase::Crash,
+            pe: self.id,
+            dead: self.id,
+            vt: self.vtime.get(),
+            info: reclaimed,
+        });
+        self.hub.record_crash_online(self.id, morgue);
+    }
+
     fn fault_gate(&self) -> bool {
         let ctx = match &self.fault {
             Some(c) => c,
@@ -528,11 +972,17 @@ impl Pe {
         if self.crashed.get() {
             return true;
         }
+        if ctx.plan.online && self.hub.is_fenced(self.id) {
+            // STONITH: the recovery leader confirmed us dead (e.g. a stall
+            // that outlived the confirm threshold). Convert to a real
+            // crash so the failure model stays fail-stop — we must not
+            // wake back up half-recovered-around.
+            self.die(ctx);
+            return true;
+        }
         if let Some(c) = ctx.plan.crash_for(self.id) {
             if self.vtime.get() >= c.at_vtime_ns {
-                self.crashed.set(true);
-                self.hub.record_crash(self.id);
-                emit(EventKind::FaultCrash, self.id as u64, 0, 0);
+                self.die(ctx);
                 return true;
             }
         }

@@ -21,7 +21,10 @@ use flows_sys::error::{SysError, SysResult};
 /// version, the payload byte length and an FNV-1a checksum.
 const CKPT_MAGIC: [u8; 4] = *b"FCKP";
 const CKPT_VERSION: u32 = 1;
-const FRAME_HEADER_LEN: usize = 4 + 4 + 8 + 8;
+
+/// Byte length of the self-describing frame header written by
+/// [`frame_payload`].
+pub const FRAME_HEADER_LEN: usize = 4 + 4 + 8 + 8;
 
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xCBF2_9CE4_8422_2325;
@@ -30,6 +33,60 @@ fn fnv1a(bytes: &[u8]) -> u64 {
         h = h.wrapping_mul(0x100_0000_01B3);
     }
     h
+}
+
+/// Wrap an opaque payload in the checkpoint frame: magic, format version,
+/// payload length and an FNV-1a checksum. Shared by [`Checkpoint`]
+/// serialization and the fault-tolerance layers above, which ship
+/// checkpoint images over the wire to buddy PEs — a replica is validated
+/// with exactly the same frame logic as an on-disk image.
+pub fn frame_payload(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.extend_from_slice(&CKPT_MAGIC);
+    out.extend_from_slice(&CKPT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&fnv1a(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Validate a frame written by [`frame_payload`] and return the payload.
+/// Rejects truncation, foreign bytes, version skew, length mismatch and
+/// bit flips with a precise error — a corrupt replica must be *detected*,
+/// never misparsed.
+pub fn unframe_payload(bytes: &[u8]) -> SysResult<&[u8]> {
+    let err = |what: String| SysError::logic("checkpoint", what);
+    if bytes.len() < FRAME_HEADER_LEN {
+        return Err(err(format!(
+            "truncated header: {} bytes, need {FRAME_HEADER_LEN}",
+            bytes.len()
+        )));
+    }
+    if bytes[..4] != CKPT_MAGIC {
+        return Err(err(format!(
+            "bad magic {:02x?} (not a checkpoint image)",
+            &bytes[..4]
+        )));
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if version != CKPT_VERSION {
+        return Err(err(format!(
+            "unsupported checkpoint version {version} (this build reads {CKPT_VERSION})"
+        )));
+    }
+    let len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
+    let sum = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+    let payload = &bytes[FRAME_HEADER_LEN..];
+    if payload.len() != len {
+        return Err(err(format!(
+            "payload length mismatch: header says {len}, got {}",
+            payload.len()
+        )));
+    }
+    if fnv1a(payload) != sum {
+        return Err(err("checksum mismatch: image is corrupt".into()));
+    }
+    Ok(payload)
 }
 
 /// A scheduler's worth of suspended work, as bytes.
@@ -63,50 +120,14 @@ impl Checkpoint {
     /// precise error instead of being misparsed into garbage threads.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut me = self.clone();
-        let payload = flows_pup::to_bytes(&mut me);
-        let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
-        out.extend_from_slice(&CKPT_MAGIC);
-        out.extend_from_slice(&CKPT_VERSION.to_le_bytes());
-        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-        out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
-        out.extend_from_slice(&payload);
-        out
+        frame_payload(&flows_pup::to_bytes(&mut me))
     }
 
     /// Deserialize, verifying the frame written by [`Checkpoint::to_bytes`].
     pub fn from_bytes(bytes: &[u8]) -> SysResult<Checkpoint> {
-        let err = |what: String| SysError::logic("checkpoint", what);
-        if bytes.len() < FRAME_HEADER_LEN {
-            return Err(err(format!(
-                "truncated header: {} bytes, need {FRAME_HEADER_LEN}",
-                bytes.len()
-            )));
-        }
-        if bytes[..4] != CKPT_MAGIC {
-            return Err(err(format!(
-                "bad magic {:02x?} (not a checkpoint image)",
-                &bytes[..4]
-            )));
-        }
-        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
-        if version != CKPT_VERSION {
-            return Err(err(format!(
-                "unsupported checkpoint version {version} (this build reads {CKPT_VERSION})"
-            )));
-        }
-        let len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
-        let sum = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
-        let payload = &bytes[FRAME_HEADER_LEN..];
-        if payload.len() != len {
-            return Err(err(format!(
-                "payload length mismatch: header says {len}, got {}",
-                payload.len()
-            )));
-        }
-        if fnv1a(payload) != sum {
-            return Err(err("checksum mismatch: image is corrupt".into()));
-        }
-        flows_pup::from_bytes(payload).map_err(|e| err(format!("corrupt payload: {e}")))
+        let payload = unframe_payload(bytes)?;
+        flows_pup::from_bytes(payload)
+            .map_err(|e| SysError::logic("checkpoint", format!("corrupt payload: {e}")))
     }
 
     /// Write to a file.
@@ -303,6 +324,92 @@ mod tests {
         assert!(!Checkpoint::from_bytes(&[]).is_ok_and(|c| c.is_empty()));
         let ok = Checkpoint::from_bytes(&bytes).unwrap();
         assert_eq!(ok.len(), 1);
+    }
+
+    /// Rollback primitive: threads of every flavor — started or not — can
+    /// be discarded in place, and their stack resources come back to the
+    /// pools (re-spawning after a mass discard succeeds).
+    #[test]
+    fn discard_thread_reclaims_every_flavor() {
+        let pools = SharedPools::new_for_tests();
+        let pe0 = Scheduler::new(0, pools, SchedConfig::default());
+        let r = Rc::new(Cell::new(0u64));
+        let flavors = [
+            StackFlavor::Standard,
+            StackFlavor::Isomalloc,
+            StackFlavor::StackCopy,
+            StackFlavor::Alias,
+        ];
+        let mut tids = Vec::new();
+        for f in flavors {
+            tids.push(pe0.spawn(f, two_phase(r.clone(), 9)).unwrap());
+        }
+        pe0.run(); // all reach the suspend point (started, stacks live)
+        for f in flavors {
+            // Unstarted spawns are discardable too (their entry closure
+            // must be reclaimed without ever running).
+            tids.push(pe0.spawn(f, two_phase(r.clone(), 1)).unwrap());
+        }
+        assert_eq!(pe0.thread_count(), 8);
+        let before = r.get();
+        for tid in tids {
+            pe0.discard_thread(tid).unwrap();
+        }
+        assert_eq!(pe0.thread_count(), 0, "every thread discarded");
+        pe0.run();
+        assert_eq!(r.get(), before, "discarded work never completed");
+        // Resources were returned: a full complement spawns again
+        // (the alias window would run out of frames if leaked).
+        for _ in 0..4 {
+            for f in flavors {
+                pe0.spawn(f, two_phase(r.clone(), 2)).unwrap();
+            }
+        }
+        let err = pe0.discard_thread(crate::tcb::ThreadId(u64::MAX)).unwrap_err();
+        assert!(err.to_string().contains("not here"));
+    }
+
+    mod frame_props {
+        use super::super::{frame_payload, unframe_payload, FRAME_HEADER_LEN};
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Replicated checkpoint frames round-trip exactly: what the
+            /// buddy stores is bit-identical to what the owner framed.
+            #[test]
+            fn frame_roundtrips_exactly(payload in proptest::collection::vec(any::<u8>(), 0..2048)) {
+                let framed = frame_payload(&payload);
+                prop_assert_eq!(framed.len(), FRAME_HEADER_LEN + payload.len());
+                prop_assert_eq!(unframe_payload(&framed).unwrap(), &payload[..]);
+            }
+
+            /// Any single-byte corruption of a framed image — header or
+            /// payload — is detected, never misparsed into a "valid"
+            /// different payload, and never panics.
+            #[test]
+            fn frame_detects_any_single_byte_corruption(
+                payload in proptest::collection::vec(any::<u8>(), 0..512),
+                at in any::<usize>(),
+                xor in 1u32..256,
+            ) {
+                let mut framed = frame_payload(&payload);
+                let i = at % framed.len();
+                framed[i] ^= xor as u8;
+                prop_assert!(unframe_payload(&framed).is_err(), "flip at byte {} undetected", i);
+            }
+
+            /// Any truncation of a framed image is detected (the fallback
+            /// to an older replica generation relies on this).
+            #[test]
+            fn frame_detects_any_truncation(
+                payload in proptest::collection::vec(any::<u8>(), 1..512),
+                keep in any::<usize>(),
+            ) {
+                let framed = frame_payload(&payload);
+                let n = keep % framed.len(); // 0..len-1: strictly shorter
+                prop_assert!(unframe_payload(&framed[..n]).is_err(), "truncation to {} undetected", n);
+            }
+        }
     }
 
     /// The frame catches every corruption class with a precise error:

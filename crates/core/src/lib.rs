@@ -50,7 +50,7 @@ pub mod scheduler;
 pub mod shared;
 pub mod tcb;
 
-pub use checkpoint::{evacuate, Checkpoint};
+pub use checkpoint::{evacuate, frame_payload, unframe_payload, Checkpoint, FRAME_HEADER_LEN};
 pub use migrate::PackedThread;
 pub use payload::{Payload, PayloadBuf, PayloadPool, PoolStats};
 pub use privatize::{GlobalVar, GlobalsLayout, GlobalsLayoutBuilder, PrivatizeMode};

@@ -362,6 +362,67 @@ impl Scheduler {
         })
     }
 
+    /// Destroy a thread without running it to completion, reclaiming its
+    /// stack resources. This is the rollback primitive of online recovery:
+    /// threads whose state advanced past the last committed checkpoint are
+    /// discarded and their committed images re-instated via
+    /// [`Scheduler::unpack_thread`]. Works on every flavor (unlike packing)
+    /// and on threads that never started; only the currently running
+    /// thread cannot be discarded.
+    pub fn discard_thread(&self, tid: ThreadId) -> SysResult<()> {
+        // SAFETY: single-OS-thread access between context switches.
+        let inner = unsafe { &mut *self.inner_ptr() };
+        if inner.current == Some(tid) {
+            return Err(SysError::logic("discard", format!("{tid} is running")));
+        }
+        let mut tcb = inner
+            .threads
+            .remove(&tid)
+            .ok_or_else(|| SysError::logic("discard", format!("{tid} is not here")))?;
+        inner.runq.remove(tid);
+        let _ = inner.tracker.take(tid.0);
+        let data = std::mem::replace(
+            &mut tcb.flavor,
+            FlavorData::Copy {
+                image: flows_mem::CopyStack::new(),
+            },
+        );
+        // Alias frames live in the shared window pool and must be returned
+        // through it; every other flavor reclaims on drop (Iso slabs free
+        // their slot, Standard stacks are plain memory).
+        if let FlavorData::Alias { frame } = data {
+            let mut pool = inner.shared.alias().lock();
+            if pool.active() == Some(frame) {
+                pool.retire_active()?;
+            } else {
+                pool.free_frame(frame)?;
+            }
+        }
+        flows_trace::emit(flows_trace::EventKind::ThreadExit, tid.0, 1, 0);
+        Ok(())
+    }
+
+    /// Discard every thread on this scheduler (except a currently running
+    /// one, which cannot be), returning how many were reclaimed. The
+    /// crash simulation uses it to model a failed node's memory vanishing:
+    /// isomalloc slots and alias frames go back to the shared pools, so
+    /// the threads' committed checkpoint images can later be re-instated
+    /// at the same addresses on surviving PEs.
+    pub fn discard_all(&self) -> usize {
+        let tids: Vec<ThreadId> = {
+            // SAFETY: single-OS-thread access between context switches.
+            let inner = unsafe { &*self.inner_ptr() };
+            inner.threads.keys().copied().collect()
+        };
+        let mut reclaimed = 0;
+        for tid in tids {
+            if self.discard_thread(tid).is_ok() {
+                reclaimed += 1;
+            }
+        }
+        reclaimed
+    }
+
     /// Reinstate a migrated thread on this PE. Ready threads join the run
     /// queue; suspended threads wait for [`Scheduler::awaken_tid`].
     pub fn unpack_thread(&self, packed: PackedThread) -> SysResult<ThreadId> {

@@ -143,6 +143,12 @@ pub fn run(cfg: &MzConfig) -> MzReport {
     if let Some(lb) = &cfg.lb {
         opts = opts.with_strategy(lb.clone());
     }
+    if cfg.faults.as_ref().is_some_and(|p| p.online) {
+        // Online recovery replays survivors deterministically from the
+        // rolled-back cut; that only reproduces the fault-free execution
+        // under the modeled clock.
+        opts = opts.modeled_time(true);
+    }
 
     let main = move |ampi: &mut flows_ampi::Ampi| {
         rank_main(ampi, &cfg2, &zones2, &checksum2);

@@ -84,6 +84,12 @@ fn category(kind: EventKind) -> &'static str {
         | EventKind::FaultRetransmit
         | EventKind::FaultCrash
         | EventKind::FaultStall => "fault",
+        EventKind::FtSuspect
+        | EventKind::FtClear
+        | EventKind::FtConfirm
+        | EventKind::FtRollback
+        | EventKind::FtRespawn
+        | EventKind::FtResume => "recovery",
         EventKind::VtStep => "bigsim",
         EventKind::SanTrip => "sanitizer",
         _ => "misc",

@@ -56,6 +56,24 @@ pub enum EventKind {
     /// immediately before the process aborts, so a flushed ring's last
     /// event explains the death.
     SanTrip,
+    /// Failure detector crossed the suspicion threshold for a peer.
+    /// `a`=suspected PE, `b`=phi scaled by 1000, `c`=silence ns.
+    FtSuspect,
+    /// A suspected peer's heartbeats resumed; suspicion withdrawn.
+    /// `a`=cleared PE, `b`=silence ns at clearing.
+    FtClear,
+    /// The recovery leader confirmed a peer dead (fencing committed).
+    /// `a`=dead PE, `b`=phi scaled by 1000.
+    FtConfirm,
+    /// A PE rolled its local ranks back to a committed checkpoint
+    /// generation. `a`=generation, `b`=ranks rolled back, `c`=epoch.
+    FtRollback,
+    /// A PE adopted and respawned an orphan rank of a dead peer.
+    /// `a`=rank, `b`=dead PE, `c`=generation.
+    FtRespawn,
+    /// Online recovery completed; normal work resumed. `a`=dead PE,
+    /// `b`=epoch.
+    FtResume,
 }
 
 impl EventKind {
@@ -79,6 +97,12 @@ impl EventKind {
             EventKind::FaultStall => "fault_stall",
             EventKind::VtStep => "vt_step",
             EventKind::SanTrip => "san_trip",
+            EventKind::FtSuspect => "ft_suspect",
+            EventKind::FtClear => "ft_clear",
+            EventKind::FtConfirm => "ft_confirm",
+            EventKind::FtRollback => "ft_rollback",
+            EventKind::FtRespawn => "ft_respawn",
+            EventKind::FtResume => "ft_resume",
         }
     }
 }

@@ -60,6 +60,9 @@ pub struct PeTraceSummary {
     /// Sanitizer detectors that fired (`sanitize` feature trips; normally
     /// at most one — the process aborts right after recording it).
     pub sanitizer_trips: u64,
+    /// Online-recovery protocol events (suspect, clear, confirm,
+    /// rollback, respawn, resume).
+    pub recovery_events: u64,
     /// Memory-alias `MAP_FIXED` remaps issued by this PE's OS thread
     /// (filled from the syscall counters, not from events).
     pub remap: u64,
@@ -91,6 +94,7 @@ pup_fields!(PeTraceSummary {
     lb_epochs,
     faults,
     sanitizer_trips,
+    recovery_events,
     remap,
     syscalls_total,
     grainsize_hist
@@ -180,6 +184,12 @@ pub fn summarize_pe(ring: &TraceRing, migs: &mut Vec<MigRecord>) -> PeTraceSumma
             | EventKind::FaultCrash
             | EventKind::FaultStall => s.faults += 1,
             EventKind::SanTrip => s.sanitizer_trips += 1,
+            EventKind::FtSuspect
+            | EventKind::FtClear
+            | EventKind::FtConfirm
+            | EventKind::FtRollback
+            | EventKind::FtRespawn
+            | EventKind::FtResume => s.recovery_events += 1,
             EventKind::SwitchIn | EventKind::VtStep | EventKind::Mark => {}
         }
     }
@@ -236,6 +246,7 @@ impl PeTraceSummary {
                 "\"msgs_sent\":{},\"bytes_sent\":{},\"msgs_recv\":{},\"bytes_recv\":{},",
                 "\"migrations_out\":{},\"migrations_in\":{},\"checkpoints\":{},",
                 "\"lb_epochs\":{},\"faults\":{},\"sanitizer_trips\":{},",
+                "\"recovery_events\":{},",
                 "\"remap\":{},\"syscalls_total\":{},",
                 "\"grainsize_hist\":[{}]}}"
             ),
@@ -259,6 +270,7 @@ impl PeTraceSummary {
             self.lb_epochs,
             self.faults,
             self.sanitizer_trips,
+            self.recovery_events,
             self.remap,
             self.syscalls_total,
             hist.join(",")

@@ -9,14 +9,17 @@ cd "$(dirname "$0")"
 # sanitize-feature test pass, via lint.sh -> check.sh), then the msgpath
 # throughput floor check (fails fast if the message path regressed),
 # then the tracing smoke test (traced AMPI job exports a complete
-# Chrome timeline).
+# Chrome timeline), then the chaos soak (12 seeded crash/stall/loss
+# schedules must heal online with bit-identical checksums; refreshes
+# BENCH_ft.json).
 bash scripts/lint.sh || exit 1
 bash scripts/bench_smoke.sh || exit 1
 bash scripts/trace_demo.sh || exit 1
+bash scripts/chaos.sh || exit 1
 
 {
 echo "=== flows bench harnesses ($(date -u +%FT%TZ), host: $(uname -m), $(nproc) cpu) ==="
-for b in table1_portability table2_limits fig10_minswap fig9_stacksize fig4_ctxswitch_flows fig11_bigsim fig12_btmz fault_recovery msgpath sched_migrate; do
+for b in table1_portability table2_limits fig10_minswap fig9_stacksize fig4_ctxswitch_flows fig11_bigsim fig12_btmz fault_recovery ft_online msgpath sched_migrate; do
   echo; echo "### $b"
   timeout 900 cargo run --release -q -p flows-bench --bin "$b" 2>&1
 done
