@@ -157,6 +157,22 @@ fn libc_in_comment_or_string_is_ignored() {
     assert!(lint_at("crates/mech/src/x.rs", src).is_empty());
 }
 
+#[test]
+fn libc_in_slot_memory_layer_fires() {
+    // The windowed-alias / deferred-reclaim code is exactly where a
+    // stray direct syscall would silently break the SyscallCounts
+    // invariants the fast-path tests rely on — pin the rule to those
+    // files so a refactor can't carve them out of coverage.
+    let src = "fn punch() {\n    // SAFETY: fd is owned.\n    unsafe { libc::fallocate(3, 0, 0, 0) };\n}\n";
+    for path in ["crates/mem/src/alias.rs", "crates/mem/src/reclaim.rs"] {
+        let f = lint_at(path, src);
+        assert!(
+            rules_of(&f).contains(&Rule::NoDirectLibc),
+            "{path} must be covered by no-direct-libc"
+        );
+    }
+}
+
 // ---- waivers ----
 
 #[test]

@@ -1036,6 +1036,12 @@ impl Pe {
         if self.link_maintain(progress) {
             progress = true;
         }
+        if !progress {
+            // Idle: drain deferred slot-memory reclaim (warm alias windows,
+            // cached isomalloc slabs) while nothing is runnable. No-op —
+            // and syscall-free — when the reclaim lists are empty.
+            self.sched.flush_reclaim();
+        }
         progress
     }
 

@@ -311,26 +311,29 @@ impl Scheduler {
             FlavorData::Copy { image } => {
                 out.extend_from_slice(image.saved());
             }
-            FlavorData::Alias { frame } => {
-                let mut pool = inner.shared.alias().lock();
-                let top = pool.window_top();
-                let base = top - pool.frame_len();
-                if sp < base || sp > top {
+            FlavorData::Alias { binding } => {
+                if sp <= binding.floor || sp > binding.top {
                     return Err(SysError::logic(
                         "pack",
-                        format!("{tid}: sp {sp:#x} outside the alias window"),
+                        format!("{tid}: sp {sp:#x} outside the thread's alias window"),
                     ));
                 }
                 // Only the live suffix travels; the rest of the frame is
-                // zero by construction (frames recycle hole-punched).
-                let floor = sp.saturating_sub(STACK_RED_ZONE).max(base);
-                pool.read_frame_tail_into(frame, top - floor, out)?;
-                if pool.active() == Some(frame) {
-                    // The scheduler leaves the last-run frame mapped; the
-                    // retirement path frees it without remapping.
-                    pool.retire_active()?;
-                } else {
-                    pool.free_frame(frame)?;
+                // zero by construction (frames recycle hole-punched). The
+                // window identity rides inside sp — the destination
+                // derives it back with wid_for_sp.
+                let floor = sp.saturating_sub(STACK_RED_ZONE).max(binding.floor);
+                let mut pool = inner.shared.alias().lock();
+                pool.read_bound_tail_into(&binding, binding.top - floor, out)?;
+                // Zero syscalls without sanitize: frame and mapping stay
+                // parked in-transit for the adopting PE. Under sanitize
+                // the frame is punched and the window unmapped so stale
+                // source-side touches fault.
+                pool.begin_transit(&binding)?;
+                #[cfg(feature = "sanitize")]
+                {
+                    drop(pool);
+                    assert_slot_vacated(binding.floor, binding.top - binding.floor);
                 }
             }
             FlavorData::Standard { .. } => unreachable!("checked migratable"),
@@ -387,16 +390,13 @@ impl Scheduler {
                 image: flows_mem::CopyStack::new(),
             },
         );
-        // Alias frames live in the shared window pool and must be returned
-        // through it; every other flavor reclaims on drop (Iso slabs free
-        // their slot, Standard stacks are plain memory).
-        if let FlavorData::Alias { frame } = data {
-            let mut pool = inner.shared.alias().lock();
-            if pool.active() == Some(frame) {
-                pool.retire_active()?;
-            } else {
-                pool.free_frame(frame)?;
-            }
+        // Alias windows live in the shared pool and must be returned
+        // through it (release punches the frame and unmaps the window
+        // immediately — rollback must not leave stale pairs warm); every
+        // other flavor reclaims on drop (Iso slabs free their slot,
+        // Standard stacks are plain memory).
+        if let FlavorData::Alias { binding } = data {
+            inner.shared.alias().lock().release(&binding)?;
         }
         flows_trace::emit(flows_trace::EventKind::ThreadExit, tid.0, 1, 0);
         Ok(())
@@ -458,25 +458,29 @@ impl Scheduler {
                 (FlavorData::Copy { image }, w.sp as usize)
             }
             1 => {
-                let (slab, sp) =
-                    flows_mem::ThreadSlab::unpack(inner.shared.region(), payload.as_slice())?;
+                // The slab cache may hold a parked slab that still owns
+                // this image's slot; unpack_with evicts it before adopting
+                // (the double-ownership hazard).
+                let mut cache = inner.shared.slab_cache().lock();
+                let (slab, sp) = flows_mem::ThreadSlab::unpack_with(
+                    inner.shared.region(),
+                    payload.as_slice(),
+                    Some(&mut cache),
+                )?;
+                drop(cache);
                 if sp != w.sp as usize {
                     return Err(SysError::logic("unpack", "sp mismatch in image".into()));
                 }
                 (FlavorData::Iso { slab }, sp)
             }
             2 => {
-                let mut pool = inner.shared.alias().lock();
-                let top = pool.window_top();
-                let base = top - pool.frame_len();
                 let sp = w.sp as usize;
-                if sp < base || sp > top {
-                    return Err(SysError::logic(
-                        "unpack",
-                        format!("sp {sp:#x} outside the alias window"),
-                    ));
-                }
-                let floor = sp.saturating_sub(STACK_RED_ZONE).max(base);
+                let mut pool = inner.shared.alias().lock();
+                // The saved sp names the thread's window machine-wide.
+                let wid = pool.wid_for_sp(sp)?;
+                let floor_w = pool.window_floor(wid);
+                let top = pool.window_top(wid);
+                let floor = sp.saturating_sub(STACK_RED_ZONE).max(floor_w);
                 if payload.len() != top - floor {
                     return Err(SysError::logic(
                         "unpack",
@@ -487,11 +491,11 @@ impl Scheduler {
                         ),
                     ));
                 }
-                let frame = pool.alloc_frame()?;
-                // Freshly allocated frames read zero below the tail, so
-                // writing the live suffix reconstructs the whole frame.
-                pool.write_frame_tail(frame, payload.as_slice())?;
-                (FlavorData::Alias { frame }, sp)
+                // Re-binds the window whatever its state: in-transit pairs
+                // reuse their mapping (one pwrite total), reclaimed or
+                // rolled-back windows get a zeroed frame first.
+                let binding = pool.adopt(wid, payload.as_slice())?;
+                (FlavorData::Alias { binding }, sp)
             }
             _ => return Err(SysError::logic("unpack", "bad flavor tag".into())),
         };

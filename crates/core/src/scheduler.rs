@@ -318,16 +318,25 @@ impl Scheduler {
                 FlavorData::Standard { stack }
             }
             StackFlavor::Isomalloc => {
-                let slot = inner.shared.region().alloc_slot(inner.pe)?;
-                let slab = flows_mem::ThreadSlab::new(
-                    slot,
-                    flows_sys::page::page_align_up(stack_len.max(4096)),
-                )?;
+                let want = flows_sys::page::page_align_up(stack_len.max(4096));
+                // Prefer a parked slab from the reclaim cache: its slot is
+                // still committed and warm, so the rebuild costs no
+                // syscalls at all.
+                let cached = inner.shared.slab_cache().lock().take(inner.pe, want);
+                let slab = match cached {
+                    Some(slab) => slab,
+                    None => {
+                        let slot = inner.shared.region().alloc_slot(inner.pe)?;
+                        flows_mem::ThreadSlab::new(slot, want)?
+                    }
+                };
                 FlavorData::Iso { slab }
             }
             StackFlavor::Alias => {
-                let frame = inner.shared.alias().lock().alloc_frame()?;
-                FlavorData::Alias { frame }
+                // Warm pairs (window + frame, mapping intact) are preferred
+                // inside bind: respawning after an exit is syscall-free.
+                let binding = inner.shared.alias().lock().bind(inner.pe)?;
+                FlavorData::Alias { binding }
             }
             StackFlavor::StackCopy => FlavorData::Copy {
                 image: flows_mem::CopyStack::new(),
@@ -382,6 +391,18 @@ impl Scheduler {
         while self.step() {}
     }
 
+    /// Drain this PE's deferred-reclaim lists: parked alias warm pairs
+    /// and cached isomalloc slabs are released in coalesced batches.
+    /// Called when the PE goes idle (the converse pump with no progress);
+    /// deliberately *not* part of [`Scheduler::run`], so back-to-back
+    /// bursts of work keep their warm pools.
+    pub fn flush_reclaim(&self) {
+        // SAFETY: plain access between switches.
+        let inner = unsafe { &mut *self.inner() };
+        let _ = inner.shared.alias().lock().flush(inner.pe);
+        let _ = inner.shared.slab_cache().lock().flush(inner.pe);
+    }
+
     /// # Safety
     /// Must be called on the scheduler's own OS thread, outside any
     /// running thread.
@@ -397,24 +418,29 @@ impl Scheduler {
                 return;
             }
 
-            // Flavor preparation. The common-region locks are held for the
-            // whole time the thread is on the CPU (only one stack-copy or
-            // alias thread may run per address space).
-            let mut alias_guard = None;
+            // Flavor preparation. Only the stack-copy common region still
+            // needs its process-wide lock held while the thread runs;
+            // alias threads own private windows, so a resumed alias
+            // thread whose window is already mapped touches neither the
+            // pool lock nor the kernel — the remap has left the context-
+            // switch hot loop entirely.
             let mut copy_guard = None;
             let stack_top: usize = match &mut (*tcb).flavor {
                 FlavorData::Standard { stack } => stack.as_ptr() as usize + stack.len(),
                 FlavorData::Iso { slab } => slab.stack_top(),
-                FlavorData::Alias { frame } => {
-                    let mut g = (*inner).shared.alias().lock();
-                    if g.activate(*frame).is_err() {
-                        (*tcb).state = ThreadState::Done;
-                        (*tcb).panicked = true;
-                        return;
+                FlavorData::Alias { binding } => {
+                    if !binding.mapped {
+                        // First landing on this window (fresh bind or
+                        // migrated in unmapped): one MAP_FIXED, then never
+                        // again for this tenancy.
+                        let mut g = (*inner).shared.alias().lock();
+                        if g.map_window(binding).is_err() {
+                            (*tcb).state = ThreadState::Done;
+                            (*tcb).panicked = true;
+                            return;
+                        }
                     }
-                    let top = g.window_top();
-                    alias_guard = Some(g);
-                    top
+                    binding.top
                 }
                 FlavorData::Copy { image } => {
                     let g = (*inner).shared.copy().lock();
@@ -439,8 +465,11 @@ impl Scheduler {
             let canary_floor: Option<usize> = match &(*tcb).flavor {
                 FlavorData::Standard { stack } => Some(stack.as_ptr() as usize),
                 FlavorData::Iso { slab } => Some(slab.stack_bottom()),
-                // Copy and Alias threads execute on shared common regions
-                // whose floor is not private to one thread.
+                // Alias windows are private per-thread now, so their floor
+                // can carry a canary too.
+                FlavorData::Alias { binding } => Some(binding.floor),
+                // Copy threads execute on the shared common region whose
+                // floor is not private to one thread.
                 _ => None,
             };
             #[cfg(feature = "sanitize")]
@@ -523,33 +552,46 @@ impl Scheduler {
                 }
             }
 
-            match &mut (*tcb).flavor {
-                FlavorData::Copy { image }
-                    if !done => {
-                        let g = copy_guard.as_ref().expect("copy guard");
-                        // SAFETY: thread is suspended; we still hold the
-                        // region lock.
-                        g.switch_out(image, (*tcb).ctx.saved_sp())
-                            .expect("copy-stack switch out");
-                    }
-                FlavorData::Alias { frame: _ }
-                    if done => {
-                        let mut g = alias_guard.take().expect("alias guard");
-                        // One hole punch, no remap: the window keeps a
-                        // stale mapping until the next activate.
-                        let _ = g.retire_active();
-                    }
-                _ => {}
+            if let FlavorData::Copy { image } = &mut (*tcb).flavor {
+                if !done {
+                    let g = copy_guard.as_ref().expect("copy guard");
+                    // SAFETY: thread is suspended; we still hold the
+                    // region lock.
+                    g.switch_out(image, (*tcb).ctx.saved_sp())
+                        .expect("copy-stack switch out");
+                }
             }
             drop(copy_guard);
-            drop(alias_guard);
 
             if done {
                 if let Some(mut dead) = (*inner).threads.remove(&tid) {
-                    if let FlavorData::Standard { stack } = &mut dead.flavor {
-                        if (*inner).std_stacks.len() < STD_STACK_CACHE {
-                            (*inner).std_stacks.push(std::mem::take(stack));
+                    // Every flavor's exit path is a deferred-reclaim list
+                    // push — no unmap, no decommit, no punch inline.
+                    let flavor = std::mem::replace(
+                        &mut dead.flavor,
+                        FlavorData::Copy {
+                            image: flows_mem::CopyStack::new(),
+                        },
+                    );
+                    match flavor {
+                        FlavorData::Standard { stack } => {
+                            if (*inner).std_stacks.len() < STD_STACK_CACHE {
+                                (*inner).std_stacks.push(stack);
+                            }
                         }
+                        FlavorData::Iso { slab } => {
+                            let _ = (*inner)
+                                .shared
+                                .slab_cache()
+                                .lock()
+                                .put((*inner).pe, slab);
+                        }
+                        FlavorData::Alias { binding } => {
+                            // Parks the (window, frame) pair warm with its
+                            // mapping intact; zero syscalls here.
+                            let _ = (*inner).shared.alias().lock().retire(binding);
+                        }
+                        FlavorData::Copy { .. } => {}
                     }
                 }
                 (*inner).stats.completed += 1;
@@ -859,6 +901,7 @@ pub fn current_stack_floor() -> Option<usize> {
     with_current_tcb(|tcb| match &tcb.flavor {
         FlavorData::Standard { stack } => Some(stack.as_ptr() as usize),
         FlavorData::Iso { slab } => Some(slab.stack_bottom()),
+        FlavorData::Alias { binding } => Some(binding.floor),
         _ => None,
     })
     .flatten()

@@ -1,13 +1,21 @@
 //! Process-wide memory pools shared by every PE's scheduler.
 //!
-//! Isomalloc slots are carved per-PE from one region; the stack-copy and
-//! memory-alias schemes share one *common address* each, so (as the paper
-//! notes for both, §3.4.1/§3.4.3) only one such thread may be running per
-//! address space — enforced here with process-wide locks that a scheduler
-//! holds exactly while such a thread is on the CPU.
+//! Isomalloc slots are carved per-PE from one region. The stack-copy
+//! scheme shares one *common address*, so (as the paper notes, §3.4.1)
+//! only one such thread may be running per address space — enforced with
+//! a process-wide lock the scheduler holds exactly while such a thread is
+//! on the CPU. Memory-alias threads used to share that restriction
+//! (§3.4.3's single common window); they now get private windows from a
+//! per-PE range, so any number run concurrently and the alias pool's lock
+//! is taken only on bind/retire/migrate — never on a context switch.
+//!
+//! Exited isomalloc slabs and alias windows park in machine-wide reclaim
+//! caches ([`flows_mem::SlabCache`], the alias pool's warm lists) rather
+//! than being torn down inline; `Scheduler::flush_reclaim` drains them at
+//! idle.
 
 use crate::payload::PayloadPool;
-use flows_mem::{AliasStackPool, CopyStackPool, IsoConfig, IsoRegion};
+use flows_mem::{AliasStackPool, CopyStackPool, IsoConfig, IsoRegion, SlabCache};
 use flows_sys::SysResult;
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -25,6 +33,7 @@ pub struct SharedPools {
     region: Arc<IsoRegion>,
     alias: Mutex<AliasStackPool>,
     copy: Mutex<CopyStackPool>,
+    slab_cache: Mutex<SlabCache>,
     payload: Vec<Arc<PayloadPool>>,
 }
 
@@ -41,10 +50,20 @@ impl SharedPools {
     /// layout and common-region length.
     pub fn new(iso: IsoConfig, common_len: usize) -> SysResult<Arc<SharedPools>> {
         let num_pes = iso.num_pes.max(1);
+        // Alias windows mirror the isomalloc layout: each PE gets as many
+        // private windows as it has slots, so the two migratable flavors
+        // hit capacity limits together.
+        let windows_per_pe = iso.slots_per_pe.max(1);
         Ok(Arc::new(SharedPools {
             region: IsoRegion::new(iso)?,
-            alias: Mutex::new(AliasStackPool::new(common_len, 4)?),
+            alias: Mutex::new(AliasStackPool::new_windowed(
+                common_len,
+                num_pes,
+                windows_per_pe,
+                4,
+            )?),
             copy: Mutex::new(CopyStackPool::new(common_len)?),
+            slab_cache: Mutex::new(SlabCache::new(num_pes)),
             payload: (0..num_pes).map(|_| PayloadPool::with_defaults()).collect(),
         }))
     }
@@ -63,9 +82,23 @@ impl SharedPools {
         &self.region
     }
 
-    /// The memory-alias pool (process-wide lock).
+    /// The memory-alias pool. The lock guards bind/retire/migrate
+    /// bookkeeping only; running alias threads never take it.
     pub fn alias(&self) -> &Mutex<AliasStackPool> {
         &self.alias
+    }
+
+    /// The machine-wide cache of exited isomalloc slabs awaiting reuse or
+    /// batched reclaim.
+    pub fn slab_cache(&self) -> &Mutex<SlabCache> {
+        &self.slab_cache
+    }
+
+    /// Override both reclaim high-water marks (alias warm lists and the
+    /// slab cache); `0` forces eager reclaim, as under `sanitize`.
+    pub fn set_reclaim_high_water(&self, n: usize) {
+        self.alias.lock().set_high_water(n);
+        self.slab_cache.lock().set_high_water(n);
     }
 
     /// The stack-copy pool (process-wide lock).

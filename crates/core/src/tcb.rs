@@ -1,7 +1,7 @@
 //! Thread control blocks and stack flavors.
 
 use flows_arch::Context;
-use flows_mem::{CopyStack, FrameId, ThreadSlab};
+use flows_mem::{AliasBinding, CopyStack, ThreadSlab};
 
 /// Machine-wide unique identifier of a user-level thread. Survives
 /// migration (allocated from one process-wide counter).
@@ -44,8 +44,8 @@ pub enum StackFlavor {
     /// Globally unique slot with stack + heap; migration = byte copy
     /// (§3.4.2).
     Isomalloc,
-    /// Per-thread physical frames remapped over a common address each
-    /// switch (§3.4.3).
+    /// Per-thread physical frames aliased into per-PE private windows,
+    /// mapped once per tenancy rather than per switch (§3.4.3).
     Alias,
 }
 
@@ -79,7 +79,7 @@ impl StackFlavor {
 pub(crate) enum FlavorData {
     Standard { stack: Vec<u8> },
     Iso { slab: ThreadSlab },
-    Alias { frame: FrameId },
+    Alias { binding: AliasBinding },
     Copy { image: CopyStack },
 }
 

@@ -512,6 +512,49 @@ fn migration_preserves_priority() {
 }
 
 #[test]
+fn local_switches_never_remap() {
+    // The tentpole invariant of the windowed alias design: once a thread's
+    // frame is mapped into its private window, local context switches
+    // touch no VM syscalls at all — for *any* flavor. A probe thread
+    // snapshots the (thread-local) counters mid-run, after every peer has
+    // started, so spawn/exit costs are excluded by construction.
+    use flows_mem::probe::syscall_snapshot;
+    for flavor in StackFlavor::ALL {
+        let s = sched();
+        for _ in 0..3 {
+            s.spawn(flavor, || {
+                for _ in 0..40 {
+                    yield_now();
+                }
+            })
+            .unwrap();
+        }
+        let delta = Rc::new(RefCell::new(None));
+        let d2 = delta.clone();
+        s.spawn(flavor, move || {
+            // A few warm-up yields guarantee all peers are past first
+            // resume (entry setup) before the measurement window opens.
+            for _ in 0..8 {
+                yield_now();
+            }
+            let before = syscall_snapshot();
+            for _ in 0..24 {
+                yield_now();
+            }
+            *d2.borrow_mut() = Some(syscall_snapshot().since(&before));
+        })
+        .unwrap();
+        s.run();
+        let d = delta.borrow().expect("probe thread ran");
+        assert_eq!(d.remap, 0, "flavor {}: local switches must not remap", flavor.name());
+        assert_eq!(d.mmap + d.munmap, 0, "flavor {}: no map churn", flavor.name());
+        assert_eq!(d.mprotect + d.madvise, 0, "flavor {}: no protection/discard", flavor.name());
+        assert_eq!(d.fallocate + d.ftruncate, 0, "flavor {}: memfd untouched", flavor.name());
+        assert_eq!(d.pread + d.pwrite, 0, "flavor {}: no frame I/O", flavor.name());
+    }
+}
+
+#[test]
 fn thread_churn_is_syscall_free_after_warmup() {
     // Slot/stack/frame recycling: after one warm-up tenancy per flavor,
     // create/run/exit must allocate no new address space. The syscall

@@ -22,6 +22,14 @@ pub const CLASSES: &[usize] = &[
 ];
 
 const HEADER: usize = 16;
+
+/// When the brk outgrows the committed extent, commit this far ahead
+/// (clamped to the arena) instead of page-by-page. Protection widens in
+/// one `mprotect` per chunk; physical pages still arrive lazily, on
+/// first touch — so a thread that allocates 64 KiB in 4 KiB steps costs
+/// one syscall, not sixteen, and a thread that never touches the slack
+/// never pays for it.
+pub const COMMIT_CHUNK: usize = 64 * 1024;
 const MAGIC_ALLOC: u64 = 0xA110_CA11_A110_CA11;
 const MAGIC_FREE: u64 = 0xF4EE_B10C_F4EE_B10C;
 const LARGE_FLAG: u64 = 1 << 63;
@@ -193,7 +201,9 @@ impl IsoHeap {
             ));
         }
         if end > self.committed {
-            let new_committed = page_align_up(end).min(self.arena_len);
+            let new_committed = page_align_up(end)
+                .max(self.committed + COMMIT_CHUNK)
+                .min(self.arena_len);
             commit(self.committed, new_committed - self.committed)?;
             self.committed = new_committed;
         }

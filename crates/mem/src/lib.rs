@@ -10,9 +10,11 @@
 //!   globally unique, migration is a raw byte copy: no pointer inside the
 //!   stack or heap ever needs rewriting (§3.4.2, Figure 2).
 //! * **Memory-aliasing stacks** ([`alias`]) — every thread's stack lives in
-//!   distinct physical pages (frames of one `memfd`), and the running
-//!   thread's frame is `mmap`ed over a single common virtual address; a
-//!   context switch is one remap instead of a copy (§3.4.3, Figure 3).
+//!   distinct physical pages (frames of one `memfd`), aliased with
+//!   `mmap(MAP_FIXED)` into per-thread virtual windows carved from per-PE
+//!   ranges; the mapping is established once per tenancy, so a context
+//!   switch is free and migration ships only the live stack tail
+//!   (§3.4.3, Figure 3, minus the per-switch remap).
 //! * **Stack-copying threads** ([`copystack`]) — all threads execute from
 //!   one common stack region and their data is memcpy'd in and out around
 //!   every switch (§3.4.1).
@@ -27,11 +29,14 @@ pub mod copystack;
 pub mod heap;
 pub mod maps;
 pub mod probe;
+pub mod reclaim;
 pub mod region;
 pub mod slab;
 
-pub use alias::{AliasStackPool, FrameId};
+pub use alias::{AliasBinding, AliasStackPool, FrameId, WindowId};
 pub use copystack::{CopyStack, CopyStackPool};
 pub use heap::IsoHeap;
+pub use probe::HugePageProbe;
+pub use reclaim::SlabCache;
 pub use region::{IsoConfig, IsoRegion, Slot};
 pub use slab::ThreadSlab;

@@ -4,10 +4,108 @@
 use crate::alias::AliasStackPool;
 use crate::copystack::CopyStackPool;
 use crate::region::{IsoConfig, IsoRegion, DEFAULT_BASE};
+use flows_sys::memfd::HUGE_2MIB;
 use flows_sys::os;
 use flows_sys::page::page_size;
+use std::sync::OnceLock;
 
 pub use flows_sys::counters::{snapshot as syscall_snapshot, SyscallCounts};
+
+/// What this host offers in the way of 2 MiB huge pages, probed once at
+/// startup. Slot memory uses two independent mechanisms:
+///
+/// | mechanism | needs            | used for                     | on absence |
+/// |-----------|------------------|------------------------------|------------|
+/// | THP       | `thp_anon`       | isomalloc slot reservations  | plain 4 KiB pages |
+/// | hugetlb   | `hugetlb_free_2m`| alias frame store (`memfd`)  | regular memfd |
+///
+/// THP advice (`MADV_HUGEPAGE`) is best-effort and can never fault;
+/// hugetlb is all-or-nothing — mapping an unbacked hugetlb file SIGBUSes
+/// on touch, so the frame store only requests it when the kernel reports
+/// free reserved pages *right now*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HugePageProbe {
+    /// `/sys/kernel/mm/transparent_hugepage/enabled` allows anonymous THP
+    /// (`always` or `madvise`).
+    pub thp_anon: bool,
+    /// `.../shmem_enabled` allows THP on shared memory (`always`,
+    /// `within_size` or `advise`).
+    pub thp_shmem: bool,
+    /// Free reserved 2 MiB pages from `/proc/meminfo` `HugePages_Free`.
+    pub hugetlb_free_2m: u64,
+}
+
+impl HugePageProbe {
+    /// Probe the running kernel.
+    pub fn detect() -> HugePageProbe {
+        Self::from_sources(
+            std::fs::read_to_string("/sys/kernel/mm/transparent_hugepage/enabled").ok(),
+            std::fs::read_to_string("/sys/kernel/mm/transparent_hugepage/shmem_enabled").ok(),
+            std::fs::read_to_string("/proc/meminfo").ok(),
+        )
+    }
+
+    /// Build a probe from raw sysfs/procfs contents (`None` = file
+    /// missing). Everything degrades to "absent" — a host with no THP and
+    /// no hugetlb reservation yields the all-off probe and every consumer
+    /// falls back to base pages.
+    pub fn from_sources(
+        thp_enabled: Option<String>,
+        shmem_enabled: Option<String>,
+        meminfo: Option<String>,
+    ) -> HugePageProbe {
+        let selected = |s: &Option<String>, ok: &[&str]| -> bool {
+            s.as_deref()
+                .and_then(|t| {
+                    t.split_whitespace()
+                        .find(|w| w.starts_with('[') && w.ends_with(']'))
+                        .map(|w| ok.contains(&w.trim_matches(['[', ']'])))
+                })
+                .unwrap_or(false)
+        };
+        let free = meminfo
+            .as_deref()
+            .and_then(|m| {
+                m.lines().find_map(|l| {
+                    let rest = l.strip_prefix("HugePages_Free:")?;
+                    rest.trim().parse::<u64>().ok()
+                })
+            })
+            .unwrap_or(0);
+        // Only count the reservation when the default huge page size is
+        // the 2 MiB we would ask for.
+        let is_2m = meminfo
+            .as_deref()
+            .and_then(|m| {
+                m.lines().find_map(|l| {
+                    let rest = l.strip_prefix("Hugepagesize:")?;
+                    rest.trim().strip_suffix("kB").map(|n| n.trim().parse::<u64>().ok())?
+                })
+            })
+            .map(|kb| kb * 1024 == HUGE_2MIB)
+            .unwrap_or(false);
+        HugePageProbe {
+            thp_anon: selected(&thp_enabled, &["always", "madvise"]),
+            thp_shmem: selected(&shmem_enabled, &["always", "within_size", "advise"]),
+            hugetlb_free_2m: if is_2m { free } else { 0 },
+        }
+    }
+
+    /// Whether alias frames of `frame_len` bytes can sit on hugetlb pages:
+    /// the frame must tile 2 MiB pages exactly and the kernel must hold a
+    /// free reservation (an unbacked hugetlb mapping SIGBUSes on touch).
+    pub fn frames_can_use_hugetlb(&self, frame_len: usize) -> bool {
+        frame_len.is_multiple_of(HUGE_2MIB as usize) && self.hugetlb_free_2m > 0
+    }
+}
+
+/// The startup hugepage probe, run once and cached for the process
+/// lifetime (the alias pool and isomalloc region consult it on
+/// construction).
+pub fn hugepage_probe() -> &'static HugePageProbe {
+    static PROBE: OnceLock<HugePageProbe> = OnceLock::new();
+    PROBE.get_or_init(HugePageProbe::detect)
+}
 
 /// What each migration technique needs and whether this host provides it.
 #[derive(Debug, Clone)]
@@ -47,9 +145,9 @@ impl Portability {
         .is_ok();
         let alias = AliasStackPool::new(16 * pg, 1)
             .and_then(|mut p| {
-                let f = p.alloc_frame()?;
-                p.activate(f)?;
-                p.deactivate()
+                let mut b = p.bind(0)?;
+                p.map_window(&mut b)?;
+                p.release(&b)
             })
             .is_ok();
         let copy = CopyStackPool::new(16 * pg).is_ok();
@@ -95,6 +193,56 @@ impl Portability {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn hugepage_probe_parses_kernel_sources() {
+        let p = HugePageProbe::from_sources(
+            Some("always [madvise] never\n".into()),
+            Some("always within_size [advise] never deny force\n".into()),
+            Some("HugePages_Total:      16\nHugePages_Free:       12\nHugepagesize:       2048 kB\n".into()),
+        );
+        assert!(p.thp_anon);
+        assert!(p.thp_shmem);
+        assert_eq!(p.hugetlb_free_2m, 12);
+        assert!(p.frames_can_use_hugetlb(2 * 1024 * 1024));
+        assert!(p.frames_can_use_hugetlb(4 * 1024 * 1024));
+        assert!(!p.frames_can_use_hugetlb(64 * 1024), "frame must tile 2 MiB");
+    }
+
+    #[test]
+    fn hugepage_probe_ignores_non_2m_default_size() {
+        let p = HugePageProbe::from_sources(
+            Some("[never]\n".into()),
+            None,
+            Some("HugePages_Free:       64\nHugepagesize:    1048576 kB\n".into()),
+        );
+        assert!(!p.thp_anon);
+        assert_eq!(p.hugetlb_free_2m, 0, "1 GiB default pages are not ours");
+    }
+
+    #[test]
+    fn forced_probe_failure_falls_back_to_base_pages() {
+        // A host with no THP sysfs and no meminfo: every hugepage path
+        // must degrade, and an alias pool built under this probe must
+        // still work on a regular memfd.
+        let p = HugePageProbe::from_sources(None, None, None);
+        assert!(!p.thp_anon && !p.thp_shmem);
+        assert_eq!(p.hugetlb_free_2m, 0);
+        assert!(!p.frames_can_use_hugetlb(2 * 1024 * 1024));
+        // 2 MiB frames *without* hugetlb backing: the pool must come up
+        // on base pages and round-trip data (graceful-fallback path; the
+        // cached process probe may or may not report hugetlb, but the
+        // pool works either way).
+        let mut pool = AliasStackPool::new(2 * 1024 * 1024, 1).unwrap();
+        let mut b = pool.bind(0).unwrap();
+        pool.map_window(&mut b).unwrap();
+        // SAFETY: window just mapped read-write.
+        unsafe { *((b.top - 8) as *mut u64) = 0x4242 };
+        let mut tail = Vec::new();
+        pool.read_bound_tail_into(&b, 8, &mut tail).unwrap();
+        assert_eq!(u64::from_le_bytes(tail.try_into().unwrap()), 0x4242);
+        pool.release(&b).unwrap();
+    }
 
     #[test]
     fn linux_x86_64_supports_everything() {

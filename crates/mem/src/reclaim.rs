@@ -1,0 +1,347 @@
+//! Deferred reclaim for isomalloc slabs: exited threads' slabs park in a
+//! machine-wide cache instead of being torn down inline.
+//!
+//! Without the cache, every thread exit costs two `madvise` calls (the
+//! slot's warm extents go back to the kernel) and every spawn re-commits
+//! a stack — which is exactly what the churn benchmark hammers. With it,
+//! exit is a list push and spawn is a list pop: the slab's pages,
+//! protections and warm bookkeeping are reused as-is, so a steady
+//! spawn/exit cycle is completely syscall-free.
+//!
+//! Parked slabs drain in batches when a PE's list crosses the high-water
+//! mark or the PE goes idle ([`SlabCache::flush`]): clean slabs' pages are
+//! discarded with adjacent slots merged into single `madvise` runs, then
+//! recycled through the free list without further syscalls; tainted slabs
+//! (mid-slot commits the warm summary can't express) take the ordinary
+//! `Slot` drop path. Under `sanitize` the high-water mark defaults to
+//! zero, so reclaim is eager through the same code and every invariant
+//! check sees vacated slots actually vacated.
+//!
+//! Ownership hazard (the PR 5 SIGSEGV class): a cached slab still *owns*
+//! its slot index. A migration image arriving for that index must evict
+//! the cached slab — dropping it, which discards its pages and frees the
+//! index — **before** adopting the slot, or two owners would scribble on
+//! one slot. [`crate::slab::ThreadSlab::unpack_with`] does this eviction;
+//! the cache is global (not per-PE state) for exactly this reason.
+
+use crate::region::IsoRegion;
+use crate::slab::ThreadSlab;
+use flows_sys::error::SysResult;
+use flows_trace::{emit, EventKind};
+use std::sync::Arc;
+
+/// Parked slabs a PE may hold before a batch flush runs. Zero under
+/// `sanitize`: every put flushes eagerly through the same batch path.
+#[cfg(not(feature = "sanitize"))]
+const DEFAULT_HIGH_WATER: usize = 128;
+#[cfg(feature = "sanitize")]
+const DEFAULT_HIGH_WATER: usize = 0;
+
+/// A machine-wide cache of exited threads' slabs, one parking list per PE.
+#[derive(Debug)]
+pub struct SlabCache {
+    per_pe: Vec<Vec<ThreadSlab>>,
+    high_water: usize,
+    batches: u64,
+}
+
+impl SlabCache {
+    /// An empty cache serving `num_pes` PEs.
+    pub fn new(num_pes: usize) -> SlabCache {
+        SlabCache {
+            per_pe: (0..num_pes).map(|_| Vec::new()).collect(),
+            high_water: DEFAULT_HIGH_WATER,
+            batches: 0,
+        }
+    }
+
+    /// Override the per-PE high-water mark (tests; `0` = eager).
+    pub fn set_high_water(&mut self, n: usize) {
+        self.high_water = n;
+    }
+
+    /// Slabs currently parked for `pe`.
+    pub fn cached(&self, pe: usize) -> usize {
+        self.per_pe[pe].len()
+    }
+
+    /// Batched reclaim flushes performed so far.
+    pub fn reclaim_batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Park an exited thread's slab on `pe`'s list. Zero syscalls unless
+    /// the list crosses the high-water mark, which triggers a batched
+    /// flush down to half the mark.
+    pub fn put(&mut self, pe: usize, slab: ThreadSlab) -> SysResult<()> {
+        self.per_pe[pe].push(slab);
+        if self.per_pe[pe].len() > self.high_water {
+            self.flush_to(pe, self.high_water / 2)?;
+        }
+        Ok(())
+    }
+
+    /// Take a parked slab for a spawn on `pe` wanting `stack_len` bytes of
+    /// stack, newest first. The slab is rebuilt in place — fresh heap
+    /// allocator, guard re-verified, stack re-committed — all of which is
+    /// pure bookkeeping on a warm slot (the `recycled_slots` fast path).
+    /// Stale page contents are fine: the spawn path builds a new bootstrap
+    /// frame on the stack, mirroring the Standard flavor's recycled
+    /// stacks, and heap contents below the fresh brk are unreachable.
+    pub fn take(&mut self, pe: usize, stack_len: usize) -> Option<ThreadSlab> {
+        let list = self.per_pe.get_mut(pe)?;
+        let pos = list.iter().rposition(|s| s.stack_len() == stack_len)?;
+        let slab = list.remove(pos);
+        ThreadSlab::new(slab.into_slot(), stack_len).ok()
+    }
+
+    /// Drop the cached slab owning `global_index`, if any, returning
+    /// whether one was found. A migration image adopting a slot MUST call
+    /// this first: the cached slab is a live owner, and dropping it
+    /// discards its pages (zero-below-tail restored) and frees the index
+    /// for `adopt_slot` to reclaim.
+    pub fn evict(&mut self, global_index: usize) -> bool {
+        for list in &mut self.per_pe {
+            if let Some(pos) = list
+                .iter()
+                .position(|s| s.slot().global_index() == global_index)
+            {
+                drop(list.remove(pos));
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Release every slab parked for `pe` (idle/park hook). Returns the
+    /// number released.
+    pub fn flush(&mut self, pe: usize) -> SysResult<usize> {
+        self.flush_to(pe, 0)
+    }
+
+    /// Release every parked slab on every PE. Returns the number released.
+    pub fn flush_all(&mut self) -> SysResult<usize> {
+        let mut n = 0;
+        for pe in 0..self.per_pe.len() {
+            n += self.flush_to(pe, 0)?;
+        }
+        Ok(n)
+    }
+
+    /// Release `pe`'s parked slabs, oldest first, until `keep` remain.
+    /// Clean slabs are dismantled as a batch: adjacent slot indices merge
+    /// into single whole-slot `madvise` runs, then the indices recycle
+    /// through the free list with no further syscalls. Tainted slabs fall
+    /// back to the ordinary drop path.
+    fn flush_to(&mut self, pe: usize, keep: usize) -> SysResult<usize> {
+        let n = self.per_pe[pe].len().saturating_sub(keep);
+        if n == 0 {
+            return Ok(0);
+        }
+        let drained: Vec<ThreadSlab> = self.per_pe[pe].drain(..n).collect();
+        let region: Arc<IsoRegion> = Arc::clone(drained[0].slot().region());
+        let mut clean: Vec<ThreadSlab> = Vec::with_capacity(drained.len());
+        for slab in drained {
+            if slab.slot().warm_tainted() {
+                drop(slab); // full-decommit path; rare
+            } else {
+                clean.push(slab);
+            }
+        }
+        let mut indices: Vec<usize> =
+            clean.iter().map(|s| s.slot().global_index()).collect();
+        region.discard_slot_runs(&mut indices)?;
+        for slab in clean {
+            slab.into_slot().recycle_without_discard();
+        }
+        self.batches += 1;
+        flows_sys::counters::note_reclaim_batch();
+        emit(EventKind::RemapBatch, pe as u64, n as u64, 1);
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::syscall_snapshot;
+    use crate::region::IsoConfig;
+    use proptest::prelude::*;
+
+    const SLOT_LEN: usize = 256 * 1024;
+    const STACK_LEN: usize = 16 * 1024;
+
+    fn region(slots: usize) -> Arc<IsoRegion> {
+        IsoRegion::new(IsoConfig {
+            base: 0,
+            num_pes: 1,
+            slots_per_pe: slots,
+            slot_len: SLOT_LEN,
+        })
+        .unwrap()
+    }
+
+    fn fresh_slab(r: &Arc<IsoRegion>, cache: &mut SlabCache) -> ThreadSlab {
+        cache
+            .take(0, STACK_LEN)
+            .map(Ok)
+            .unwrap_or_else(|| ThreadSlab::new(r.alloc_slot(0).unwrap(), STACK_LEN))
+            .unwrap()
+    }
+
+    #[test]
+    fn put_take_cycle_is_syscall_free() {
+        let r = region(4);
+        let mut cache = SlabCache::new(1);
+        cache.set_high_water(usize::MAX);
+        // Warm-up tenancy commits the stack and a heap page.
+        let mut slab = fresh_slab(&r, &mut cache);
+        let p = slab.malloc(4096).unwrap();
+        // SAFETY: fresh allocation.
+        unsafe { std::ptr::write_bytes(p, 0xAB, 4096) };
+        cache.put(0, slab).unwrap();
+        let before = syscall_snapshot();
+        for _ in 0..8 {
+            let mut slab = cache.take(0, STACK_LEN).expect("cache hit");
+            let p = slab.malloc(4096).unwrap();
+            // SAFETY: fresh allocation (stale contents allowed, but the
+            // committed page must be writable).
+            unsafe { std::ptr::write_bytes(p, 0xCD, 4096) };
+            cache.put(0, slab).unwrap();
+        }
+        let d = syscall_snapshot().since(&before);
+        assert_eq!(d.total(), 0, "steady churn through the cache costs nothing");
+        assert_eq!(cache.reclaim_batches(), 0);
+    }
+
+    #[test]
+    fn flush_coalesces_adjacent_slots() {
+        let r = region(4);
+        let mut cache = SlabCache::new(1);
+        cache.set_high_water(usize::MAX);
+        for _ in 0..4 {
+            let slab = ThreadSlab::new(r.alloc_slot(0).unwrap(), STACK_LEN).unwrap();
+            cache.put(0, slab).unwrap();
+        }
+        let before = syscall_snapshot();
+        assert_eq!(cache.flush(0).unwrap(), 4);
+        let d = syscall_snapshot().since(&before);
+        assert_eq!(d.madvise, 1, "4 adjacent slots must merge into one discard");
+        assert_eq!(d.mprotect, 0, "clean flush never touches protections");
+        assert_eq!(cache.reclaim_batches(), 1);
+        assert_eq!(r.live_slots(0), 0, "indices recycled");
+        // Recycled slots still read zero on fresh use.
+        let mut slab = ThreadSlab::new(r.alloc_slot(0).unwrap(), STACK_LEN).unwrap();
+        let p = slab.malloc(64).unwrap();
+        // SAFETY: fresh allocation of a discarded page.
+        unsafe { assert_eq!(*(p as *const u64), 0) };
+    }
+
+    #[test]
+    fn high_water_keeps_the_cache_bounded() {
+        let r = region(8);
+        let mut cache = SlabCache::new(1);
+        cache.set_high_water(3);
+        let slabs: Vec<_> = (0..6)
+            .map(|_| ThreadSlab::new(r.alloc_slot(0).unwrap(), STACK_LEN).unwrap())
+            .collect();
+        for slab in slabs {
+            cache.put(0, slab).unwrap();
+        }
+        assert!(cache.cached(0) <= 3);
+        assert!(cache.reclaim_batches() >= 1);
+    }
+
+    #[test]
+    fn evict_releases_the_index_for_adoption() {
+        let r = region(4);
+        let mut cache = SlabCache::new(1);
+        cache.set_high_water(usize::MAX);
+        let slab = ThreadSlab::new(r.alloc_slot(0).unwrap(), STACK_LEN).unwrap();
+        let idx = slab.slot().global_index();
+        cache.put(0, slab).unwrap();
+        assert_eq!(r.live_slots(0), 1, "cached slab still owns its slot");
+        assert!(cache.evict(idx));
+        assert!(!cache.evict(idx), "second evict finds nothing");
+        assert_eq!(r.live_slots(0), 0);
+        let s = r.adopt_slot(idx).unwrap();
+        assert_eq!(r.live_slots(0), 1, "adoption reclaimed the freed index");
+        drop(s);
+    }
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Spawn,
+        Exit(usize),
+        Flush,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            Just(Op::Spawn),
+            Just(Op::Spawn), // bias toward spawning so lists fill up
+            any::<usize>().prop_map(Op::Exit),
+            Just(Op::Flush),
+        ]
+    }
+
+    proptest! {
+        /// The PR 5 SIGSEGV class, as a property: however spawn/exit/flush
+        /// interleave with deferred reclaim enabled, no flush may ever
+        /// touch a *live* slab's pages (its data must survive every
+        /// subsequent op) and every live slab's guard invariants must hold
+        /// against the kernel's own view of the address space. Runs under
+        /// `sanitize` in CI.
+        #[test]
+        fn deferred_reclaim_never_harms_live_slabs(
+            ops in proptest::collection::vec(op_strategy(), 1..40),
+            hw in 0usize..4,
+        ) {
+            let r = region(8);
+            let mut cache = SlabCache::new(1);
+            cache.set_high_water(hw);
+            let mut live: Vec<(ThreadSlab, *mut u8, u64)> = Vec::new();
+            let mut token = 0x1000u64;
+            for o in ops {
+                match o {
+                    Op::Spawn => {
+                        if r.live_slots(0) + cache.cached(0) >= 8 {
+                            continue;
+                        }
+                        let mut slab = fresh_slab(&r, &mut cache);
+                        let p = slab.malloc(512).unwrap();
+                        token += 1;
+                        // SAFETY: fresh heap allocation; stack top word is
+                        // committed stack.
+                        unsafe {
+                            *(p as *mut u64) = token;
+                            *((slab.stack_top() - 8) as *mut u64) = token;
+                        }
+                        live.push((slab, p, token));
+                    }
+                    Op::Exit(k) => {
+                        if live.is_empty() {
+                            continue;
+                        }
+                        let (slab, _, _) = live.remove(k % live.len());
+                        cache.put(0, slab).unwrap();
+                    }
+                    Op::Flush => {
+                        cache.flush_all().unwrap();
+                    }
+                }
+                // Every live slab's data must have survived, and its
+                // guard must hold per /proc/self/maps.
+                for (slab, p, tok) in &live {
+                    // SAFETY: both writes above targeted committed ranges
+                    // this slab still owns.
+                    unsafe {
+                        prop_assert_eq!(*(*p as *const u64), *tok);
+                        prop_assert_eq!(*((slab.stack_top() - 8) as *const u64), *tok);
+                    }
+                    prop_assert!(slab.assert_guard().is_ok());
+                }
+            }
+        }
+    }
+}

@@ -119,6 +119,14 @@ impl IsoRegion {
         } else {
             Mapping::reserve(total)?
         };
+        // Ask for transparent huge pages across the whole reservation when
+        // the kernel allows anonymous THP (startup probe). Best-effort and
+        // advisory: slots that commit ≥ 2 MiB contiguously may get their
+        // pages assembled into huge mappings, everything else is untouched,
+        // and a kernel without THP just ignores the hint.
+        if crate::probe::hugepage_probe().thp_anon {
+            let _ = map.advise_hugepage(0, total);
+        }
         let pes = (0..cfg.num_pes)
             .map(|_| {
                 Mutex::new(PeSlots {
@@ -223,6 +231,28 @@ impl IsoRegion {
     /// Number of live slots currently allocated from `pe`'s range.
     pub fn live_slots(&self, pe: usize) -> usize {
         self.pes[pe].lock().live
+    }
+
+    /// Discard the physical pages of every listed slot, whole-slot, with
+    /// adjacent indices merged into a single `madvise` each (the slab
+    /// cache's batched flush). Protections are untouched, so the slots'
+    /// warm extents stay warm and read zero on next touch — the same
+    /// postcondition as `Slot::drop`'s clean path, at a fraction of the
+    /// syscalls when a batch of neighbors retires together.
+    pub(crate) fn discard_slot_runs(&self, indices: &mut [usize]) -> SysResult<()> {
+        indices.sort_unstable();
+        let slot_len = self.cfg.slot_len;
+        let mut i = 0;
+        while i < indices.len() {
+            let start = indices[i];
+            let mut len = 1;
+            while i + len < indices.len() && indices[i + len] == start + len {
+                len += 1;
+            }
+            self.map.discard(start * slot_len, len * slot_len)?;
+            i += len;
+        }
+        Ok(())
     }
 }
 
@@ -404,6 +434,26 @@ impl Slot {
         let idx = self.global_index;
         std::mem::forget(self);
         idx
+    }
+
+    /// Whether a commit ever landed between the warm extents (such a slot
+    /// must take the full-decommit drop path; the batched flush skips it).
+    pub(crate) fn warm_tainted(&self) -> bool {
+        self.region.warm[self.global_index].lock().tainted
+    }
+
+    /// Free-list bookkeeping of `Slot::drop` *without* the page discard —
+    /// the slab cache's flush path, which has already discarded this
+    /// slot's pages in a coalesced run via
+    /// [`IsoRegion::discard_slot_runs`].
+    pub(crate) fn recycle_without_discard(self) {
+        let pe = self.home_pe();
+        let local = self.global_index % self.region.cfg.slots_per_pe;
+        let mut st = self.region.pes[pe].lock();
+        st.free.push(local);
+        st.live -= 1;
+        drop(st);
+        std::mem::forget(self);
     }
 }
 

@@ -122,13 +122,24 @@ impl ThreadSlab {
         &self.heap
     }
 
-    /// Allocate `size` bytes from the thread's migratable heap.
+    /// Allocate `size` bytes from the thread's migratable heap. Arena
+    /// pages commit lazily — the callback fires only when the brk outgrows
+    /// the committed extent (in `COMMIT_CHUNK` strides), and each firing
+    /// is recorded as a `LazyCommit` trace event.
     pub fn malloc(&mut self, size: usize) -> SysResult<*mut u8> {
         let slot = &self.slot;
-        let addr = self
-            .heap
-            .alloc_with(size, &mut |off, len| slot.commit(off, len))?;
+        let gi = slot.global_index() as u64;
+        let addr = self.heap.alloc_with(size, &mut |off, len| {
+            flows_trace::emit(flows_trace::EventKind::LazyCommit, gi, off as u64, len as u64);
+            slot.commit(off, len)
+        })?;
         Ok(addr as *mut u8)
+    }
+
+    /// Surrender the slab, keeping only its slot (pages, protections and
+    /// warm bookkeeping untouched) — the slab cache's reuse path.
+    pub(crate) fn into_slot(self) -> Slot {
+        self.slot
     }
 
     /// Free a pointer previously returned by [`ThreadSlab::malloc`].
@@ -241,11 +252,30 @@ impl ThreadSlab {
     /// PE, reinstating every byte at its original virtual address. Returns
     /// the slab and the suspended stack pointer to resume from.
     pub fn unpack(region: &Arc<IsoRegion>, image: &[u8]) -> SysResult<(ThreadSlab, usize)> {
+        Self::unpack_with(region, image, None)
+    }
+
+    /// [`ThreadSlab::unpack`] in the presence of a slab cache. The cache
+    /// may hold a parked slab that still owns this image's slot index
+    /// (the thread exited here earlier, or a rollback re-instates a
+    /// checkpoint over a recycled slot); that slab MUST be evicted —
+    /// dropped, discarding its pages — before the index is adopted, or
+    /// two owners would share one slot (the PR 5 double-ownership
+    /// SIGSEGV). Eviction also restores the zero-below-tail guarantee the
+    /// copy-in below relies on.
+    pub fn unpack_with(
+        region: &Arc<IsoRegion>,
+        image: &[u8],
+        cache: Option<&mut crate::reclaim::SlabCache>,
+    ) -> SysResult<(ThreadSlab, usize)> {
         let (head, head_len): (SlabHead, usize) = flows_pup::from_bytes_prefix(image)
             .map_err(|e| SysError::logic("slab_unpack", format!("corrupt image: {e}")))?;
         let heap_used = head.heap_used as usize;
         if heap_used != head.heap.used_extent() {
             return Err(SysError::logic("slab_unpack", "heap extent mismatch".into()));
+        }
+        if let Some(cache) = cache {
+            cache.evict(head.global_index as usize);
         }
         let slot = region.adopt_slot(head.global_index as usize)?;
         if slot.len() as u64 != head.slot_len {

@@ -48,6 +48,15 @@ counters! {
     PREAD / pread: "`pread` calls (frame reads).",
     PWRITE / pwrite: "`pwrite` calls (frame writes).",
     SIGMASK / sigmask: "`sigprocmask`/`pthread_sigmask` calls (swapcontext-style mask save/restore, §4.3).",
+    RECLAIM_BATCH / reclaim_batch: "Deferred-reclaim flushes: each is one batched pass releasing a PE's vacated alias windows or isomalloc slots (not itself a syscall — the remaps/discards it issues are counted by the other fields).",
+}
+
+/// Record one deferred-reclaim batch flush on the calling thread.
+/// Exposed (unlike the syscall bumps, which stay crate-private behind
+/// the wrappers in `map`/`memfd`) because batching happens a layer up,
+/// in `flows-mem`'s reclaim lists.
+pub fn note_reclaim_batch() {
+    reclaim_batch();
 }
 
 impl SyscallCounts {
@@ -64,10 +73,13 @@ impl SyscallCounts {
             pread: self.pread.saturating_sub(earlier.pread),
             pwrite: self.pwrite.saturating_sub(earlier.pwrite),
             sigmask: self.sigmask.saturating_sub(earlier.sigmask),
+            reclaim_batch: self.reclaim_batch.saturating_sub(earlier.reclaim_batch),
         }
     }
 
-    /// Total syscalls across all counters.
+    /// Total syscalls across all counters. `reclaim_batch` is excluded:
+    /// it counts flush passes, not kernel entries — the syscalls a flush
+    /// issues already land in `remap`/`madvise`/`fallocate`.
     pub fn total(&self) -> u64 {
         self.mmap
             + self.remap

@@ -268,6 +268,22 @@ impl Mapping {
         Ok(())
     }
 
+    /// Ask the kernel to back `[offset, offset+len)` with transparent
+    /// huge pages when it can (`MADV_HUGEPAGE`). Best-effort: a kernel
+    /// built without THP returns EINVAL, which callers treat as "no
+    /// hugepages here" rather than an error — hence the `bool` (advice
+    /// accepted) instead of a result.
+    pub fn advise_hugepage(&self, offset: usize, len: usize) -> SysResult<bool> {
+        self.check_range(offset, len, "advise_hugepage")?;
+        crate::counters::madvise();
+        // SAFETY: range checked against this mapping; MADV_HUGEPAGE only
+        // sets a VMA flag.
+        let rc = unsafe {
+            libc::madvise(self.addr.add(offset).cast(), len, libc::MADV_HUGEPAGE)
+        };
+        Ok(rc == 0)
+    }
+
     /// Raw pointer to byte `offset` of the mapping. The caller must ensure
     /// the range it dereferences is committed.
     pub fn ptr(&self, offset: usize) -> *mut u8 {

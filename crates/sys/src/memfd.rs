@@ -10,27 +10,57 @@ use crate::error::{SysError, SysResult};
 use crate::page::page_size;
 use std::os::fd::RawFd;
 
+/// 2 MiB — the hugetlb page size [`MemFd::new_hugetlb`] requests.
+pub const HUGE_2MIB: u64 = 2 * 1024 * 1024;
+
 /// An owned anonymous file living entirely in memory.
 #[derive(Debug)]
 pub struct MemFd {
     fd: RawFd,
     len: u64,
+    hugetlb: bool,
 }
 
 impl MemFd {
     /// Create a memfd named `name` (debug aid only) of `len` bytes.
     pub fn new(name: &str, len: u64) -> SysResult<MemFd> {
-        if len == 0 || !len.is_multiple_of(page_size() as u64) {
+        Self::new_with_flags(name, len, 0, page_size() as u64)
+    }
+
+    /// Create a memfd backed by reserved 2 MiB hugetlb pages
+    /// (`MFD_HUGETLB | MFD_HUGE_2MB`), falling back to a regular memfd
+    /// when the kernel refuses (no hugetlb support, or `len` not a huge
+    /// page multiple). Check [`MemFd::is_hugetlb`] for which one you got.
+    ///
+    /// Callers must gate this on a probe that confirms free reserved
+    /// huge pages: hugetlb mappings over an unbacked file SIGBUS on
+    /// touch instead of failing cleanly at map time.
+    pub fn new_hugetlb(name: &str, len: u64) -> SysResult<MemFd> {
+        if len.is_multiple_of(HUGE_2MIB) {
+            if let Ok(f) = Self::new_with_flags(
+                name,
+                len,
+                libc::MFD_HUGETLB | libc::MFD_HUGE_2MB,
+                HUGE_2MIB,
+            ) {
+                return Ok(f);
+            }
+        }
+        Self::new(name, len)
+    }
+
+    fn new_with_flags(name: &str, len: u64, extra: libc::c_uint, granule: u64) -> SysResult<MemFd> {
+        if len == 0 || !len.is_multiple_of(granule) {
             return Err(SysError::logic(
                 "memfd_create",
-                format!("length {len:#x} must be a positive page multiple"),
+                format!("length {len:#x} must be a positive multiple of {granule:#x}"),
             ));
         }
         let cname = std::ffi::CString::new(name)
             .map_err(|_| SysError::logic("memfd_create", "name contains NUL".into()))?;
         // SAFETY: memfd_create with a valid C string; no memory is shared
         // until the fd is mapped.
-        let fd = unsafe { libc::memfd_create(cname.as_ptr(), libc::MFD_CLOEXEC) };
+        let fd = unsafe { libc::memfd_create(cname.as_ptr(), libc::MFD_CLOEXEC | extra) };
         if fd < 0 {
             return Err(SysError::last("memfd_create"));
         }
@@ -42,7 +72,16 @@ impl MemFd {
             unsafe { libc::close(fd) };
             return Err(e);
         }
-        Ok(MemFd { fd, len })
+        Ok(MemFd {
+            fd,
+            len,
+            hugetlb: extra & libc::MFD_HUGETLB != 0,
+        })
+    }
+
+    /// Whether this object is backed by reserved hugetlb pages.
+    pub fn is_hugetlb(&self) -> bool {
+        self.hugetlb
     }
 
     /// The raw file descriptor (owned by this object; do not close).

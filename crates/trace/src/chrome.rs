@@ -92,6 +92,7 @@ fn category(kind: EventKind) -> &'static str {
         | EventKind::FtResume => "recovery",
         EventKind::VtStep => "bigsim",
         EventKind::SanTrip => "sanitizer",
+        EventKind::RemapBatch | EventKind::LazyCommit => "mem",
         _ => "misc",
     }
 }

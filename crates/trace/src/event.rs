@@ -74,6 +74,15 @@ pub enum EventKind {
     /// Online recovery completed; normal work resumed. `a`=dead PE,
     /// `b`=epoch.
     FtResume,
+    /// A per-PE slot-memory reclaim list was flushed: one batch of
+    /// deferred remaps/discards instead of one syscall per vacated
+    /// window or slot. `a`=PE, `b`=windows/slots released, `c`=pool
+    /// kind (0 = alias windows, 1 = isomalloc slots).
+    RemapBatch,
+    /// An isomalloc heap widened its committed extent on demand (commit
+    /// happens on first allocation touching the range, not eagerly at
+    /// slab build). `a`=slot global index, `b`=arena offset, `c`=bytes.
+    LazyCommit,
 }
 
 impl EventKind {
@@ -103,6 +112,8 @@ impl EventKind {
             EventKind::FtRollback => "ft_rollback",
             EventKind::FtRespawn => "ft_respawn",
             EventKind::FtResume => "ft_resume",
+            EventKind::RemapBatch => "remap_batch",
+            EventKind::LazyCommit => "lazy_commit",
         }
     }
 }

@@ -63,6 +63,10 @@ pub struct PeTraceSummary {
     /// Online-recovery protocol events (suspect, clear, confirm,
     /// rollback, respawn, resume).
     pub recovery_events: u64,
+    /// Deferred-reclaim flushes observed (`RemapBatch` events): each is
+    /// one batched syscall pass releasing a PE's vacated alias windows
+    /// or isomalloc slots.
+    pub remap_batches: u64,
     /// Memory-alias `MAP_FIXED` remaps issued by this PE's OS thread
     /// (filled from the syscall counters, not from events).
     pub remap: u64,
@@ -95,6 +99,7 @@ pup_fields!(PeTraceSummary {
     faults,
     sanitizer_trips,
     recovery_events,
+    remap_batches,
     remap,
     syscalls_total,
     grainsize_hist
@@ -190,7 +195,8 @@ pub fn summarize_pe(ring: &TraceRing, migs: &mut Vec<MigRecord>) -> PeTraceSumma
             | EventKind::FtRollback
             | EventKind::FtRespawn
             | EventKind::FtResume => s.recovery_events += 1,
-            EventKind::SwitchIn | EventKind::VtStep | EventKind::Mark => {}
+            EventKind::RemapBatch => s.remap_batches += 1,
+            EventKind::SwitchIn | EventKind::VtStep | EventKind::Mark | EventKind::LazyCommit => {}
         }
     }
     let span = s.last_ts.saturating_sub(s.first_ts);
@@ -246,7 +252,7 @@ impl PeTraceSummary {
                 "\"msgs_sent\":{},\"bytes_sent\":{},\"msgs_recv\":{},\"bytes_recv\":{},",
                 "\"migrations_out\":{},\"migrations_in\":{},\"checkpoints\":{},",
                 "\"lb_epochs\":{},\"faults\":{},\"sanitizer_trips\":{},",
-                "\"recovery_events\":{},",
+                "\"recovery_events\":{},\"remap_batches\":{},",
                 "\"remap\":{},\"syscalls_total\":{},",
                 "\"grainsize_hist\":[{}]}}"
             ),
@@ -271,6 +277,7 @@ impl PeTraceSummary {
             self.faults,
             self.sanitizer_trips,
             self.recovery_events,
+            self.remap_batches,
             self.remap,
             self.syscalls_total,
             hist.join(",")

@@ -56,11 +56,17 @@ srate() {
     | sed -n 's/.*"ops_per_sec": \([0-9.]*\).*/\1/p' | head -1
 }
 
-check "ctx_switch standard"   "$(srate ctx_switch standard)"   3000000
-check "ctx_switch isomalloc"  "$(srate ctx_switch isomalloc)"  3000000
-check "migrate stack-copy"    "$(srate migrate stack-copy)"    500000
-check "migrate isomalloc"     "$(srate migrate isomalloc)"     70000
-check "migrate memory-alias"  "$(srate migrate memory-alias)"  100000
+check "ctx_switch standard"     "$(srate ctx_switch standard)"     3000000
+check "ctx_switch isomalloc"    "$(srate ctx_switch isomalloc)"    3000000
+# Windowed-alias fast paths: a regression back to remap-per-switch
+# measures ~200K here, to teardown-per-exit ~110K/~240K — the floors sit
+# ~3x under what this host measures post-fast-path, ~10x above those.
+check "ctx_switch memory-alias" "$(srate ctx_switch memory-alias)" 2000000
+check "churn memory-alias"      "$(srate churn memory-alias)"      500000
+check "churn isomalloc"         "$(srate churn isomalloc)"         500000
+check "migrate stack-copy"      "$(srate migrate stack-copy)"      500000
+check "migrate isomalloc"       "$(srate migrate isomalloc)"       70000
+check "migrate memory-alias"    "$(srate migrate memory-alias)"    100000
 
 if [ "$fail" -ne 0 ]; then
   echo "bench_smoke: FAIL (throughput regressed below recorded floor)"

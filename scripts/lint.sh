@@ -6,4 +6,12 @@ cd "$(dirname "$0")/.."
 cargo clippy --offline --workspace --all-targets -- -D warnings
 cargo fmt --check 2>/dev/null || echo "note: rustfmt unavailable or formatting differs (non-fatal)"
 echo "OK: clippy clean at -D warnings"
+# The slot-memory layer (alias windows, reclaim lists) must reach the
+# kernel only through flows-sys so SyscallCounts stay truthful. flowslint
+# catches `libc::` tokens; this catches the dependency edge itself.
+if grep -Eq '^\s*libc\s*[=.]' crates/mem/Cargo.toml; then
+  echo "FAIL: flows-mem must not depend on libc directly — go through flows-sys"
+  exit 1
+fi
+echo "OK: flows-mem has no direct libc dependency"
 bash scripts/check.sh

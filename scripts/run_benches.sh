@@ -1,0 +1,45 @@
+#!/bin/bash
+# Full benchmark sweep: regenerate the checked-in BENCH_*.json artifacts
+# at full windows, then run the bench_smoke floor gate so a regression
+# is caught in the same invocation that records the numbers.
+#
+#   scripts/run_benches.sh [--flavors a,b,c] [--reps N]
+#
+# `--flavors` restricts the sched_migrate sweep to the named stack
+# flavors (default: all four — standard, stack-copy, isomalloc,
+# memory-alias); `--reps` sets its best-of-N pass count (default 3;
+# raise it on noisy shared hosts). Both pass straight through to the
+# sched_migrate binary. When the sweep is restricted, the partial
+# results go to a scratch file instead of overwriting BENCH_sched.json.
+set -eu
+cd "$(dirname "$0")/.."
+
+FLAVORS=""
+REPS=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --flavors) FLAVORS="$2"; shift 2 ;;
+    --reps)    REPS="$2";    shift 2 ;;
+    *) echo "usage: $0 [--flavors a,b,c] [--reps N]" >&2; exit 2 ;;
+  esac
+done
+
+SCHED_ARGS=""
+SCHED_JSON=BENCH_sched.json
+if [ -n "$FLAVORS" ]; then
+  SCHED_ARGS="--flavors $FLAVORS"
+  SCHED_JSON=/tmp/BENCH_sched_partial.json
+  echo "run_benches: partial flavor sweep ($FLAVORS) -> $SCHED_JSON"
+fi
+if [ -n "$REPS" ]; then
+  SCHED_ARGS="$SCHED_ARGS --reps $REPS"
+fi
+
+cargo build --offline --release -q -p flows-bench
+
+# shellcheck disable=SC2086 — SCHED_ARGS is a deliberate word list.
+./target/release/sched_migrate $SCHED_ARGS --json "$SCHED_JSON"
+./target/release/msgpath --json BENCH_msgpath.json
+
+scripts/bench_smoke.sh
+scripts/chaos.sh

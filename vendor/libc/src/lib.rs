@@ -64,8 +64,12 @@ pub const MAP_FIXED_NOREPLACE: c_int = 0x0010_0000;
 pub const MAP_FAILED: *mut c_void = !0 as *mut c_void;
 
 pub const MADV_DONTNEED: c_int = 4;
+pub const MADV_HUGEPAGE: c_int = 14;
 
 pub const MFD_CLOEXEC: c_uint = 0x0001;
+pub const MFD_HUGETLB: c_uint = 0x0004;
+/// `21 << MFD_HUGE_SHIFT` (26): request 2 MiB (2^21-byte) huge pages.
+pub const MFD_HUGE_2MB: c_uint = 21 << 26;
 
 pub const FALLOC_FL_KEEP_SIZE: c_int = 0x01;
 pub const FALLOC_FL_PUNCH_HOLE: c_int = 0x02;
