@@ -33,10 +33,16 @@ impl SwapKind {
 /// A suspended flow of control: a saved stack pointer (everything else
 /// lives on the flow's own stack), the swap flavor it was built for, and —
 /// for [`SwapKind::SignalMask`] — the saved signal mask.
+///
+/// The mask is boxed: `sigset_t` is 128 bytes on Linux, and a thread
+/// package keeping a `Context` per thread would pay that for every thread
+/// even though only the (deliberately slow) sigmask kind ever reads it.
+/// Inline, the mask would dominate the per-thread control block at
+/// million-thread scale.
 pub struct Context {
     pub(crate) sp: usize,
     kind: SwapKind,
-    mask: SigSet,
+    mask: Option<Box<SigSet>>,
 }
 
 impl Context {
@@ -45,11 +51,11 @@ impl Context {
     /// [`crate::InitialStack`].
     pub fn new(kind: SwapKind) -> Context {
         // Capture the creating thread's mask as the initial mask, as
-        // swapcontext-style packages do; the other kinds never read it.
+        // swapcontext-style packages do; the other kinds never need one.
         let mask = if kind == SwapKind::SignalMask {
-            SigSet::current()
+            Some(Box::new(SigSet::current()))
         } else {
-            SigSet::empty()
+            None
         };
         Context { sp: 0, kind, mask }
     }
@@ -125,10 +131,20 @@ impl Context {
                 // Emulate swapcontext: save our mask into `old`, install
                 // `new`'s mask, then do the register swap. Two syscalls per
                 // switch — exactly the overhead §4.3 warns about.
-                // SAFETY: valid SigSet pointers; mask writes race nothing
+                // SAFETY: valid SigSet boxes (every sigmask-kind context
+                // allocates one at construction); the references are dropped
+                // before the register swap, and mask writes race nothing
                 // (caller guarantees exclusive access to *old).
                 unsafe {
-                    flows_sys::signal::swap_mask(&raw mut (*old).mask, &raw const (*new).mask);
+                    let old_mask: *mut SigSet = (*old)
+                        .mask
+                        .as_deref_mut()
+                        .expect("sigmask context carries a mask");
+                    let new_mask: *const SigSet = (*new)
+                        .mask
+                        .as_deref()
+                        .expect("sigmask context carries a mask");
+                    flows_sys::signal::swap_mask(old_mask, new_mask);
                     flows_swap_min(&raw mut (*old).sp, &raw const (*new).sp);
                 }
             }

@@ -9,9 +9,19 @@
 //! the output path; `--flavors a,b` restricts the sweep to the named
 //! flavors; `--reps N` sets the best-of-N pass count (noise control on
 //! shared hosts; fast mode defaults to 1, full mode to 3).
+//!
+//! `--steal` additionally runs the work-stealing shootout: a zipf-skewed
+//! spawn across four in-process scheduler PEs, raced four ways (steal,
+//! no-steal, RotateLB, trace-fed GreedyLB) under the modeled-parallel
+//! makespan clock (see [`shootout`]), and records `steal_speedup` — the
+//! no-steal/steal makespan ratio — in the JSON.
 
 use flows_bench::{arg_flag, arg_val, bench_pools, uthread_switch_bench, Table};
-use flows_core::{suspend, SchedConfig, Scheduler, SharedPools, StackFlavor};
+use flows_core::{
+    migrate::migrate as migrate_thread, suspend, yield_now, SchedConfig, Scheduler, SharedPools,
+    StackFlavor,
+};
+use flows_lb::{GreedyLb, LbStats, LbStrategy, ObjLoad, RotateLb};
 use std::cell::Cell;
 use std::rc::Rc;
 use std::sync::Arc;
@@ -175,6 +185,214 @@ fn migrate(flavor: StackFlavor, threads: usize, window_ms: u64) -> Scenario {
     }
 }
 
+/// How the shootout fights a skewed spawn: do nothing, steal, or run a
+/// periodic measurement-based balancer.
+enum Arm {
+    NoSteal,
+    Steal,
+    Lb(&'static dyn LbStrategy),
+}
+
+const SHOOT_PES: usize = 4;
+/// Scheduler steps each PE may take per modeled round (the BSP quantum).
+const SHOOT_BURST: usize = 64;
+/// Rounds between LB epochs in the `Arm::Lb` arms.
+const LB_EPOCH: usize = 8;
+
+/// Per-yield compute for a shootout worker — enough arithmetic that the
+/// makespan measures work distribution, not pure switch overhead.
+#[inline(never)]
+fn spin_work(iters: u32) -> u64 {
+    let mut x = 0x2545_F491_4F6C_DD1Du64;
+    for _ in 0..iters {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+    }
+    std::hint::black_box(x)
+}
+
+/// Deterministic heavy-head placement: ~80/10/6/4 percent of workers
+/// land on PEs 0..4 (splitmix64 of the worker index, so every arm sees
+/// the identical skew). The 80% head puts the no-balancing makespan at
+/// ~3.2x the perfectly-spread one, leaving room for each policy's real
+/// overhead to show.
+fn skew_place(idx: usize) -> usize {
+    let mut x = (idx as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(0xDA94_2042_E4DD_58B5);
+    x ^= x >> 29;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 32;
+    match x % 100 {
+        0..=79 => 0,
+        80..=89 => 1,
+        90..=95 => 2,
+        _ => 3,
+    }
+}
+
+/// Measured cost of one worker slice (spin work + context switch) on an
+/// uncontended single-PE scheduler. The minimum over several trials
+/// rejects OS preemption on a loaded host; every shootout arm is charged
+/// with the same figure, so any residual bias cancels in the ratios.
+fn calibrate_slice_ns(spin: u32) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..5 {
+        let shared = pools(1);
+        let s = Scheduler::new(0, shared, SchedConfig::default());
+        for _ in 0..16 {
+            s.spawn_with(StackFlavor::Isomalloc, STACK_LEN, move || {
+                for _ in 0..32 {
+                    spin_work(spin);
+                    yield_now();
+                }
+            })
+            .expect("spawn calibration worker");
+        }
+        let t0 = Instant::now();
+        s.run();
+        best = best.min((t0.elapsed().as_nanos() as u64 / (16 * 32)).max(1));
+    }
+    best
+}
+
+/// Work-stealing shootout under the modeled-parallel makespan clock.
+///
+/// The host may have a single CPU, so the four scheduler PEs run
+/// interleaved on one OS thread and parallelism is *modeled* BigSim
+/// style: execution proceeds in BSP rounds of at most [`SHOOT_BURST`]
+/// scheduler steps per PE, and the modeled wall clock advances by the
+/// *maximum* per-PE cost of each round — the critical path a real 4-core
+/// node would see. A PE's round cost is its burst steps charged at the
+/// calibrated uniform slice cost (steps are identical spins by
+/// construction, so counting them is immune to OS preemption noise)
+/// plus the wall-timed steal-protocol or LB-migration work it actually
+/// performed. All four arms share the clock, the skewed placement, and
+/// the worker bodies, so the reported ratios isolate the policy.
+fn shootout(
+    name: &'static str,
+    arm: Arm,
+    workers: usize,
+    yields: usize,
+    spin: u32,
+    slice_ns: u64,
+) -> Scenario {
+    let shared = pools(SHOOT_PES);
+    let pes: Vec<Scheduler> = (0..SHOOT_PES)
+        .map(|i| Scheduler::new(i, shared.clone(), SchedConfig::default()))
+        .collect();
+    let done = Rc::new(Cell::new(0u64));
+    let mut tids = Vec::with_capacity(workers);
+    // Current location of each worker; only the LB arms maintain it
+    // (steals move threads behind the snapshot's back, but no arm both
+    // steals and balances).
+    let mut loc = Vec::with_capacity(workers);
+    for i in 0..workers {
+        let p = skew_place(i);
+        let done = done.clone();
+        let tid = pes[p]
+            .spawn_with(StackFlavor::Isomalloc, STACK_LEN, move || {
+                for _ in 0..yields {
+                    spin_work(spin);
+                    yield_now();
+                }
+                done.set(done.get() + 1);
+            })
+            .expect("spawn shootout worker");
+        tids.push(tid);
+        loc.push(p);
+    }
+    let mesh = shared.steal();
+    let mut wall_ns = 0u64;
+    let mut round = 0usize;
+    while pes.iter().any(|s| s.thread_count() > 0) || mesh.in_flight() > 0 {
+        let mut busy = [0u64; SHOOT_PES];
+        match arm {
+            Arm::NoSteal => {}
+            Arm::Steal => {
+                // One protocol cycle per round: publish loads, idle PEs
+                // request, victims donate, thieves absorb — each leg
+                // charged to the PE that does the work.
+                for (i, s) in pes.iter().enumerate() {
+                    s.publish_steal_load();
+                    if s.thread_count() == 0 {
+                        let t0 = Instant::now();
+                        s.request_steal();
+                        busy[i] += t0.elapsed().as_nanos() as u64;
+                    }
+                }
+                for (i, s) in pes.iter().enumerate() {
+                    if mesh.has_requests(i) {
+                        let t0 = Instant::now();
+                        s.donate_steals();
+                        busy[i] += t0.elapsed().as_nanos() as u64;
+                    }
+                }
+                for (i, s) in pes.iter().enumerate() {
+                    if s.steal_inbox_len() > 0 {
+                        let t0 = Instant::now();
+                        s.absorb_steals();
+                        busy[i] += t0.elapsed().as_nanos() as u64;
+                    }
+                }
+            }
+            Arm::Lb(strat) => {
+                if round > 0 && round.is_multiple_of(LB_EPOCH) {
+                    // Trace-fed snapshot: the trace says every worker
+                    // costs the same per round, so each live worker is
+                    // one unit of load at its tracked location.
+                    let objs: Vec<ObjLoad> = (0..workers)
+                        .filter(|&i| pes[loc[i]].state(tids[i]).is_some())
+                        .map(|i| ObjLoad {
+                            id: i as u64,
+                            pe: loc[i],
+                            load: 1.0,
+                            migratable: true,
+                        })
+                        .collect();
+                    let stats = LbStats {
+                        num_pes: SHOOT_PES,
+                        objs,
+                        background: Vec::new(),
+                    };
+                    for m in strat.decide(&stats) {
+                        let i = m.obj as usize;
+                        // Charged to the source PE: pack dominates, and
+                        // on a real machine the destination overlaps the
+                        // unpack with its own burst.
+                        let t0 = Instant::now();
+                        let moved = migrate_thread(&pes[m.from], &pes[m.to], tids[i]).is_ok();
+                        busy[m.from] += t0.elapsed().as_nanos() as u64;
+                        if moved {
+                            loc[i] = m.to;
+                        }
+                    }
+                }
+            }
+        }
+        for (i, s) in pes.iter().enumerate() {
+            let mut steps = 0u64;
+            for _ in 0..SHOOT_BURST {
+                if !s.step() {
+                    break;
+                }
+                steps += 1;
+            }
+            busy[i] += steps * slice_ns;
+        }
+        wall_ns += busy.iter().max().copied().unwrap_or(0);
+        round += 1;
+    }
+    assert_eq!(done.get(), workers as u64, "{name}: shootout lost workers");
+    Scenario {
+        name,
+        flavor: "isomalloc",
+        ops: workers as u64 * yields as u64,
+        wall_ns: wall_ns.max(1),
+    }
+}
+
 /// Parse `--flavors a,b,c` (names as in [`StackFlavor::name`]) into a
 /// sweep list; absent or empty means all four.
 fn flavor_sweep() -> Vec<StackFlavor> {
@@ -235,6 +453,22 @@ fn main() {
     for &flavor in sweep.iter().filter(|f| f.migratable()) {
         results.push(best_of(reps, || migrate(flavor, 32, w)));
     }
+    if arg_flag("steal") {
+        let (workers, yields, spin) = if fast { (96, 48, 1024) } else { (256, 160, 2048) };
+        let slice_ns = calibrate_slice_ns(spin);
+        type ArmMk = fn() -> Arm;
+        let arms: [(&'static str, ArmMk); 4] = [
+            ("nosteal_skew", || Arm::NoSteal),
+            ("steal_skew", || Arm::Steal),
+            ("lb_rotate_skew", || Arm::Lb(&RotateLb)),
+            ("lb_greedy_skew", || Arm::Lb(&GreedyLb)),
+        ];
+        for (name, mk) in arms {
+            results.push(best_of(reps, || {
+                shootout(name, mk(), workers, yields, spin, slice_ns)
+            }));
+        }
+    }
 
     let mut t = Table::new(&["scenario", "flavor", "ops", "ns/op", "ops/sec", "speedup"]);
     for s in &results {
@@ -270,7 +504,22 @@ fn main() {
             if i + 1 == results.len() { "" } else { "," }
         ));
     }
-    json.push_str("  ]\n}\n");
+    // Makespan ratio of the skewed shootout: how much faster the node
+    // clears the same work with stealing on (present only under --steal).
+    let find = |n: &str| results.iter().find(|s| s.name == n);
+    let steal_speedup = match (find("steal_skew"), find("nosteal_skew")) {
+        (Some(st), Some(no)) => Some(no.wall_ns as f64 / st.wall_ns.max(1) as f64),
+        _ => None,
+    };
+    json.push_str(&format!(
+        "  ],\n  \"steal_speedup\": {}\n}}\n",
+        steal_speedup
+            .map(|x| format!("{x:.3}"))
+            .unwrap_or_else(|| "null".into())
+    ));
+    if let Some(x) = steal_speedup {
+        println!("\nsteal_speedup (nosteal_skew / steal_skew makespan): {x:.2}x");
+    }
     std::fs::write(&json_path, json).expect("write bench json");
     println!("\nwrote {json_path}");
 }

@@ -173,6 +173,38 @@ fn libc_in_slot_memory_layer_fires() {
     }
 }
 
+#[test]
+fn steal_and_adoption_files_stay_covered() {
+    // Stolen threads cross PEs as packed bytes and adopt slots on the
+    // thief — exactly the code where a raw-pointer pup field, stray
+    // global, or uncommented unsafe would corrupt another PE's memory.
+    // Pin the steal/adoption files so a refactor can't carve them out
+    // of lint coverage.
+    let unsafe_src = "pub fn f(p: *mut u8) {\n    unsafe { *p = 0 };\n}\n";
+    let global_src = "static mut PENDING: u64 = 0;\n";
+    let pup_src = "struct Hdr {\n    base: *mut u8,\n}\npup_fields!(Hdr { base });\n";
+    for path in [
+        "crates/core/src/steal.rs",
+        "crates/core/src/migrate.rs",
+        "crates/mem/src/reclaim.rs",
+    ] {
+        let f = lint_at(path, unsafe_src);
+        assert!(
+            rules_of(&f).contains(&Rule::UnsafeSafetyComment),
+            "{path} must be covered by unsafe-safety-comment"
+        );
+        let f = lint_at(path, pup_src);
+        assert!(
+            rules_of(&f).contains(&Rule::PupRawPointer),
+            "{path} must be covered by pup-raw-pointer"
+        );
+    }
+    // The steal mesh lives in a migratable crate: per-PE request words
+    // must ride in shared state, never in file-scope globals.
+    let f = lint_at("crates/core/src/steal.rs", global_src);
+    assert!(rules_of(&f).contains(&Rule::NoGlobalState));
+}
+
 // ---- waivers ----
 
 #[test]

@@ -307,6 +307,7 @@ pub struct MachineBuilder {
     modeled_time: bool,
     tracing: bool,
     trace_cap: usize,
+    steal: bool,
     death_upcall: Option<DeathUpcall>,
 }
 
@@ -326,8 +327,19 @@ impl MachineBuilder {
             modeled_time: false,
             tracing: false,
             trace_cap: 1 << 16,
+            steal: false,
             death_upcall: None,
         }
+    }
+
+    /// Enable intra-node work stealing: idle PEs pull chunks off the
+    /// run-queue tails of busy ones through the shared steal mesh, after
+    /// their spin phase and before parking. Off by default — placement
+    /// then stays exactly where spawns and explicit migrations put it,
+    /// which deterministic tests and the LB-only baselines rely on.
+    pub fn work_stealing(mut self, yes: bool) -> Self {
+        self.steal = yes;
+        self
     }
 
     /// Record a Projections-style event trace: one ring per PE, reduced
@@ -468,6 +480,7 @@ impl MachineBuilder {
                 net: self.net,
                 fault: fault.clone(),
                 modeled_time: self.modeled_time,
+                steal: self.steal,
                 ring: rings.get(i).cloned(),
                 death_upcall: self.death_upcall.clone(),
             })
@@ -650,6 +663,7 @@ struct PeSeed {
     net: NetModel,
     fault: Option<FaultCtx>,
     modeled_time: bool,
+    steal: bool,
     ring: Option<Arc<TraceRing>>,
     death_upcall: Option<DeathUpcall>,
 }
@@ -668,6 +682,7 @@ impl PeSeed {
             self.net,
             self.fault,
             self.modeled_time,
+            self.steal,
             pool,
             self.ring,
             self.death_upcall,
@@ -772,16 +787,38 @@ fn drive_until_quiescent(pe: &Pe, hub: &Hub, num_pes: usize, parker: &Parker) {
             }
             if hub.idle.load(Ordering::SeqCst) == num_pes
                 && hub.sent.load(Ordering::SeqCst) == hub.recv.load(Ordering::SeqCst)
+                && pe.steal_in_flight() == 0
             {
-                // Everyone idle and no message in flight: quiescent.
+                // Everyone idle, no message in flight, and no stolen
+                // thread sitting in a steal inbox: quiescent. (A donation
+                // is work the sent==recv comparison knows nothing about;
+                // the donor increments the inbox length before it ever
+                // announces idle, so seeing idle==num_pes here means
+                // seeing the donation too.)
                 hub.done.store(true, Ordering::SeqCst);
                 hub.wake_all();
                 return;
             }
             if spins < IDLE_SPINS_BEFORE_PARK {
                 spins += 1;
+                // Keep a steal request planted while spinning: on a
+                // loaded host (or a single-core one) the spin phase can
+                // outlast an entire victim burst, so waiting until the
+                // park to ask for work would miss it completely. Cheap —
+                // a relaxed scan plus one idempotent fetch_or.
+                pe.steal_request();
                 std::thread::yield_now();
             } else {
+                // Last look before actually sleeping: refresh our steal
+                // request at whoever is richest *now*. Without this, a
+                // request consumed by an empty donation round — or aimed
+                // at a victim that has since gone idle while another PE
+                // got busy — would leave this PE parked with nobody
+                // obligated to wake it: the classic lost-wakeup window.
+                // (A donation that lands between the has_work check above
+                // and the park is already safe: the donor's wake sets the
+                // parker token first, so the park returns immediately.)
+                pe.steal_request();
                 parker.park_timeout(IDLE_PARK);
             }
         }
@@ -873,6 +910,97 @@ mod tests {
             }
         });
         assert_eq!(done.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn stealing_spreads_a_skewed_spawn_across_pes() {
+        // Every thread lands on PE 0; with work stealing on, the other
+        // PEs must pull chunks over the mesh and run them. Deterministic
+        // drive, so the donate/absorb handshake is exercised without any
+        // parker in the loop.
+        let done = Arc::new(AtomicU64::new(0));
+        let done2 = done.clone();
+        let mut mb = MachineBuilder::new(4)
+            .net_model(NetModel::zero())
+            .work_stealing(true)
+            .tracing(true);
+        let _ = mb.handler(|_, _| {});
+        let rep = mb.run_deterministic(move |pe| {
+            if pe.id() == 0 {
+                for _ in 0..48 {
+                    let done = done2.clone();
+                    pe.sched()
+                        .spawn(StackFlavor::Isomalloc, move || {
+                            for _ in 0..8 {
+                                yield_now();
+                            }
+                            done.fetch_add(1, Ordering::Relaxed);
+                        })
+                        .unwrap();
+                }
+            }
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 48, "every thread finished");
+        assert_eq!(rep.stranded_threads, vec![0; 4], "none lost in transit");
+        let stolen_in: u64 = rep.sched_stats[1..]
+            .iter()
+            .map(|s| s.migrations_in)
+            .sum();
+        assert!(stolen_in > 0, "idle PEs must have absorbed stolen threads");
+        let t = rep.trace.as_ref().expect("tracing was on");
+        let attempts: u64 = t.pes.iter().map(|p| p.steal_attempts).sum();
+        let hits: u64 = t.pes.iter().map(|p| p.steal_hits).sum();
+        assert!(attempts > 0, "thieves must have posted requests");
+        assert_eq!(hits, stolen_in, "every absorbed thread traces a StealHit");
+    }
+
+    #[test]
+    fn parked_thief_steals_work_that_appears_later() {
+        // Lost-wakeup regression (threaded mode): PE 1 has nothing to do
+        // and parks immediately — before PE 0 has any stealable work (the
+        // spawner must run a while first). A parked thief whose request
+        // went nowhere must refresh it before each park, or it would
+        // sleep through the victim's entire burst in 200µs bites.
+        let done = Arc::new(AtomicU64::new(0));
+        let done2 = done.clone();
+        let mut mb = MachineBuilder::new(2)
+            .net_model(NetModel::zero())
+            .work_stealing(true);
+        let _ = mb.handler(|_, _| {});
+        let rep = mb.run(move |pe| {
+            if pe.id() == 0 {
+                let done = done2.clone();
+                pe.sched()
+                    .spawn(StackFlavor::Isomalloc, move || {
+                        // Let PE 1 reach its parker first.
+                        for _ in 0..64 {
+                            yield_now();
+                        }
+                        for _ in 0..32 {
+                            let done = done.clone();
+                            with_pe(|p| {
+                                p.sched().spawn(StackFlavor::Isomalloc, move || {
+                                    // Long enough that the burst spans
+                                    // several park timeouts on PE 1.
+                                    for _ in 0..256 {
+                                        yield_now();
+                                    }
+                                    done.fetch_add(1, Ordering::Relaxed);
+                                })
+                            })
+                            .unwrap();
+                        }
+                    })
+                    .unwrap();
+            }
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 32);
+        assert_eq!(rep.stranded_threads, vec![0; 2]);
+        assert!(
+            rep.sched_stats[1].migrations_in > 0,
+            "the parked PE must wake and steal the late burst: {:?}",
+            rep.sched_stats
+        );
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub mod payload;
 pub mod privatize;
 pub mod scheduler;
 pub mod shared;
+pub mod steal;
 pub mod tcb;
 
 pub use checkpoint::{evacuate, frame_payload, unframe_payload, Checkpoint, FRAME_HEADER_LEN};
@@ -59,4 +60,5 @@ pub use scheduler::{
     SchedConfig, SchedStats, Scheduler,
 };
 pub use shared::SharedPools;
+pub use steal::{StealMesh, MAX_STEAL_CHUNK, STEAL_KEEP_MIN};
 pub use tcb::{StackFlavor, ThreadId, ThreadState};

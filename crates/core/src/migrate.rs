@@ -252,6 +252,17 @@ impl Scheduler {
     /// not currently running, and of a migratable flavor. On success the
     /// thread no longer exists on this PE.
     pub fn pack_thread(&self, tid: ThreadId) -> SysResult<PackedThread> {
+        self.pack_thread_inner(tid, false)
+    }
+
+    /// [`Scheduler::pack_thread`] for a thread already popped off the run
+    /// queue (the steal path uses `RunQueue::steal_tail` first), skipping
+    /// the O(queue) removal scan per thread.
+    pub(crate) fn pack_thread_unqueued(&self, tid: ThreadId) -> SysResult<PackedThread> {
+        self.pack_thread_inner(tid, true)
+    }
+
+    fn pack_thread_inner(&self, tid: ThreadId, unqueued: bool) -> SysResult<PackedThread> {
         // SAFETY: single-OS-thread access between context switches.
         let inner = unsafe { &mut *self.inner_ptr() };
         if inner.current == Some(tid) {
@@ -282,7 +293,9 @@ impl Scheduler {
             }
         }
         let mut tcb = inner.threads.remove(&tid).expect("checked above");
-        inner.runq.remove(tid);
+        if !unqueued {
+            inner.runq.remove(tid);
+        }
         let sp = tcb.ctx.saved_sp();
         let flavor = tcb.flavor.flavor();
         // Replace the flavor data with an empty placeholder so we can move
@@ -337,6 +350,9 @@ impl Scheduler {
                 }
             }
             FlavorData::Standard { .. } => unreachable!("checked migratable"),
+            // Pack validates `started`, and a started isomalloc thread
+            // always owns a materialized slab.
+            FlavorData::IsoLazy { .. } => unreachable!("unstarted threads are not packable"),
         }
         let payload = buf.freeze();
         inner.stats.migrations_out += 1;
@@ -471,7 +487,7 @@ impl Scheduler {
                 if sp != w.sp as usize {
                     return Err(SysError::logic("unpack", "sp mismatch in image".into()));
                 }
-                (FlavorData::Iso { slab }, sp)
+                (FlavorData::Iso { slab: Box::new(slab) }, sp)
             }
             2 => {
                 let sp = w.sp as usize;

@@ -45,6 +45,13 @@ pub struct SchedConfig {
     pub privatize: PrivatizeMode,
     /// The registered globals, if the program privatizes any.
     pub globals: Option<Arc<crate::privatize::GlobalsLayout>>,
+    /// Defer isomalloc slot allocation to first resume. Spawning then
+    /// costs only the Tcb — no slot, no commit, no VMA — so a node can
+    /// hold far more live threads than `vm.max_map_count` allows
+    /// committed stacks. Off by default: eager spawn reports slot
+    /// exhaustion as a spawn error rather than failing the thread when
+    /// it first runs.
+    pub lazy_iso: bool,
 }
 
 impl Default for SchedConfig {
@@ -54,6 +61,7 @@ impl Default for SchedConfig {
             stack_len: DEFAULT_STACK_LEN,
             privatize: PrivatizeMode::GotSwap,
             globals: None,
+            lazy_iso: false,
         }
     }
 }
@@ -156,6 +164,54 @@ impl RunQueue {
 
     pub fn len(&self) -> usize {
         self.len
+    }
+
+    /// Chunked tail steal: take up to `max` entries — never more than
+    /// half the lane — from the **back** of the longest lane, taking
+    /// only entries `stealable` approves. The victim's remaining threads are
+    /// untouched at the front of the lane, so FIFO-within-priority is
+    /// preserved for everything it keeps; the stolen chunk comes back in
+    /// its original arrival order (oldest first), ready to re-queue on
+    /// the thief in the same relative order. The overflow heap (rare
+    /// out-of-range priorities) is deliberately not stealable.
+    pub fn steal_tail(
+        &mut self,
+        max: usize,
+        mut stealable: impl FnMut(ThreadId) -> bool,
+    ) -> Vec<ThreadId> {
+        let Some(lane_idx) = (0..LANES)
+            .filter(|&i| self.ready & (1 << i) != 0)
+            .max_by_key(|&i| self.lanes[i].len())
+        else {
+            return Vec::new();
+        };
+        let lane = &mut self.lanes[lane_idx];
+        let quota = max.min(lane.len() / 2);
+        if quota == 0 {
+            return Vec::new();
+        }
+        // Walk from the back, collecting indices of stealable entries;
+        // indices come out descending, so removal never shifts a
+        // yet-to-be-removed index.
+        let mut picked: Vec<usize> = Vec::with_capacity(quota);
+        for i in (0..lane.len()).rev() {
+            if picked.len() == quota {
+                break;
+            }
+            if stealable(lane[i]) {
+                picked.push(i);
+            }
+        }
+        let mut stolen: Vec<ThreadId> = picked
+            .iter()
+            .map(|&i| lane.remove(i).expect("picked index in range"))
+            .collect();
+        stolen.reverse(); // back-to-front removal → restore arrival order
+        self.len -= stolen.len();
+        if lane.is_empty() {
+            self.ready &= !(1 << lane_idx);
+        }
+        stolen
     }
 
     /// Physically remove every queued entry of `tid` (cold path: only
@@ -319,18 +375,28 @@ impl Scheduler {
             }
             StackFlavor::Isomalloc => {
                 let want = flows_sys::page::page_align_up(stack_len.max(4096));
-                // Prefer a parked slab from the reclaim cache: its slot is
-                // still committed and warm, so the rebuild costs no
-                // syscalls at all.
-                let cached = inner.shared.slab_cache().lock().take(inner.pe, want);
-                let slab = match cached {
-                    Some(slab) => slab,
-                    None => {
-                        let slot = inner.shared.region().alloc_slot(inner.pe)?;
-                        flows_mem::ThreadSlab::new(slot, want)?
-                    }
-                };
-                FlavorData::Iso { slab }
+                if inner.cfg.lazy_iso {
+                    // Million-thread mode: the slab (slot + commit) is
+                    // materialized at first resume, so an unstarted
+                    // thread costs no region resources at all.
+                    FlavorData::IsoLazy { want }
+                } else {
+                    // Prefer a parked slab from the reclaim cache — its
+                    // slot is still committed and warm, so the rebuild
+                    // costs no syscalls at all — including a neighbour
+                    // PE's slab when the local list is dry (stolen
+                    // threads that exited here leave warm slabs under
+                    // other PEs' labels).
+                    let cached = inner.shared.slab_cache().lock().take_any(inner.pe, want);
+                    let slab = match cached {
+                        Some(slab) => slab,
+                        None => {
+                            let slot = inner.shared.region().alloc_slot(inner.pe)?;
+                            flows_mem::ThreadSlab::new(slot, want)?
+                        }
+                    };
+                    FlavorData::Iso { slab: Box::new(slab) }
+                }
             }
             StackFlavor::Alias => {
                 // Warm pairs (window + frame, mapping intact) are preferred
@@ -345,7 +411,8 @@ impl Scheduler {
         let id = ThreadId(NEXT_TID.fetch_add(1, Ordering::Relaxed));
         let ftag = crate::migrate::flavor_tag(data.flavor()) as u64;
         let entry: Box<dyn FnOnce()> = Box::new(f);
-        let entry_raw = Box::into_raw(Box::new(entry)) as usize;
+        let entry_raw = std::num::NonZeroUsize::new(Box::into_raw(Box::new(entry)) as usize)
+            .expect("Box::into_raw is never null");
         let tcb = Box::new(Tcb {
             id,
             ctx: Context::new(inner.cfg.swap_kind),
@@ -403,6 +470,160 @@ impl Scheduler {
         let _ = inner.shared.slab_cache().lock().flush(inner.pe);
     }
 
+    /// Publish this PE's runnable count to the steal mesh so idle PEs
+    /// can pick victims. Called at pump boundaries, not per switch — a
+    /// slightly stale count only costs a thief a worse victim choice.
+    #[inline]
+    pub fn publish_steal_load(&self) {
+        // SAFETY: plain read between switches.
+        let inner = unsafe { &*self.inner() };
+        inner.shared.steal().publish_load(inner.pe, inner.runq.len());
+    }
+
+    /// Victim half of the steal protocol: if thieves have requested work
+    /// and this PE has enough to share, pop a chunk from the tail of the
+    /// richest run-queue lane, pack the threads, and deposit them in the
+    /// requesters' inboxes (round-robin). Returns a bitmask of thief PEs
+    /// that received at least one thread — the converse layer wakes
+    /// those parkers. Must be called between switches.
+    pub fn donate_steals(&self) -> u64 {
+        // SAFETY: single-threaded access between switches; pack_thread
+        // below re-establishes its own access.
+        let inner = unsafe { &mut *self.inner() };
+        assert!(
+            inner.current.is_none(),
+            "donate_steals called from inside a running thread"
+        );
+        let mesh = inner.shared.steal();
+        if !mesh.has_requests(inner.pe) || inner.runq.len() <= crate::steal::STEAL_KEEP_MIN {
+            return 0;
+        }
+        let mask = mesh.take_requests(inner.pe);
+        let me = inner.pe;
+        let thieves: Vec<usize> = (0..mesh.num_pes())
+            .filter(|&t| t != me && mask & (1 << (t as u64 & 63)) != 0)
+            .collect();
+        if thieves.is_empty() {
+            return 0;
+        }
+        // Split borrows: the stealability check reads the thread map while
+        // the queue mutates — disjoint fields of Inner.
+        let Inner { runq, threads, .. } = inner;
+        let tids = runq.steal_tail(crate::steal::MAX_STEAL_CHUNK, |tid| {
+            threads.get(&tid).is_some_and(|t| {
+                t.started && t.state == ThreadState::Ready && t.flavor.flavor().migratable()
+            })
+        });
+        if tids.is_empty() {
+            return 0; // nothing stealable yet; thieves will re-request
+        }
+        let mut boxes: Vec<Vec<crate::migrate::PackedThread>> =
+            thieves.iter().map(|_| Vec::new()).collect();
+        for (i, tid) in tids.into_iter().enumerate() {
+            // The tid was just unqueued by steal_tail; pack skips the
+            // O(queue) removal scan.
+            match self.pack_thread_unqueued(tid) {
+                Ok(p) => boxes[i % thieves.len()].push(p),
+                Err(_) => {
+                    // Pack refused (cannot happen for entries the filter
+                    // approved, but never lose a thread): re-queue it.
+                    // SAFETY: plain access between switches.
+                    let inner = unsafe { &mut *self.inner() };
+                    if let Some(t) = inner.threads.get(&tid) {
+                        let prio = t.priority;
+                        inner.runq.push(tid, prio);
+                    }
+                }
+            }
+        }
+        // SAFETY: re-borrow after pack_thread_unqueued calls.
+        let inner = unsafe { &*self.inner() };
+        let mesh = inner.shared.steal();
+        let mut woken = 0u64;
+        for (t, chunk) in thieves.into_iter().zip(boxes) {
+            if !chunk.is_empty() {
+                woken |= 1 << (t as u64 & 63);
+                mesh.donate(t, chunk);
+            }
+        }
+        woken
+    }
+
+    /// Thief half of the steal protocol: drain this PE's donation inbox,
+    /// unpacking every thread locally (warm slot/window adoption — see
+    /// flows-mem). Returns the number of threads absorbed; emits one
+    /// `StealHit` covering the batch.
+    pub fn absorb_steals(&self) -> usize {
+        let (pe, shared) = {
+            // SAFETY: plain reads between switches.
+            let inner = unsafe { &*self.inner() };
+            (inner.pe, inner.shared.clone())
+        };
+        let packed = shared.steal().absorb(pe);
+        if packed.is_empty() {
+            return 0;
+        }
+        let mut n = 0usize;
+        let mut bytes = 0u64;
+        for p in packed {
+            bytes += p.payload_len() as u64;
+            match self.unpack_thread(p) {
+                Ok(_) => n += 1,
+                Err(e) => debug_assert!(false, "absorbed thread failed to unpack: {e}"),
+            }
+        }
+        if n > 0 {
+            emit(EventKind::StealHit, pe as u64, n as u64, bytes);
+        }
+        n
+    }
+
+    /// Post (or refresh) a steal request at the currently richest victim.
+    /// Cheap when the machine is genuinely idle — two relaxed scans, no
+    /// locks — and idempotent, so idle paths may call it every iteration.
+    /// Safe to call while this PE is counted idle: it moves no threads.
+    pub fn request_steal(&self) {
+        // SAFETY: plain reads between switches.
+        let inner = unsafe { &*self.inner() };
+        let mesh = inner.shared.steal();
+        mesh.publish_load(inner.pe, inner.runq.len());
+        if let Some((victim, vload)) = mesh.richest_victim(inner.pe) {
+            if mesh.request(victim, inner.pe) {
+                emit(
+                    EventKind::StealAttempt,
+                    victim as u64,
+                    inner.pe as u64,
+                    vload as u64,
+                );
+            }
+        }
+    }
+
+    /// One idle-path steal tick: absorb any donations; when the inbox is
+    /// dry, post (or refresh) a request at the richest victim. Returns the
+    /// number of threads absorbed (0 when the tick only planted a
+    /// request). Callers must NOT be announced at an idle barrier —
+    /// absorbing moves in-flight threads into this scheduler, and a
+    /// quiescence detector that saw this PE as idle *and* the mesh as
+    /// empty would declare victory mid-move ([`Scheduler::request_steal`]
+    /// is the barrier-safe half).
+    pub fn try_steal(&self) -> usize {
+        let n = self.absorb_steals();
+        if n > 0 {
+            return n;
+        }
+        self.request_steal();
+        0
+    }
+
+    /// Packed threads waiting in this PE's donation inbox (local work the
+    /// idle/quiescence paths must not overlook).
+    pub fn steal_inbox_len(&self) -> usize {
+        // SAFETY: plain reads between switches.
+        let inner = unsafe { &*self.inner() };
+        inner.shared.steal().inbox_len(inner.pe)
+    }
+
     /// # Safety
     /// Must be called on the scheduler's own OS thread, outside any
     /// running thread.
@@ -418,6 +639,31 @@ impl Scheduler {
                 return;
             }
 
+            // Lazy isomalloc: this thread's first landing on a CPU is
+            // where it finally acquires a slot (warm cached slab when one
+            // fits, fresh allocation otherwise). Failure is reported the
+            // way other resume-time resource failures are: the thread
+            // dies marked panicked rather than poisoning the scheduler.
+            if let FlavorData::IsoLazy { want } = (*tcb).flavor {
+                let cached = (*inner).shared.slab_cache().lock().take_any((*inner).pe, want);
+                let built = match cached {
+                    Some(slab) => Ok(slab),
+                    None => (*inner)
+                        .shared
+                        .region()
+                        .alloc_slot((*inner).pe)
+                        .and_then(|slot| flows_mem::ThreadSlab::new(slot, want)),
+                };
+                match built {
+                    Ok(slab) => (*tcb).flavor = FlavorData::Iso { slab: Box::new(slab) },
+                    Err(_) => {
+                        (*tcb).state = ThreadState::Done;
+                        (*tcb).panicked = true;
+                        return;
+                    }
+                }
+            }
+
             // Flavor preparation. Only the stack-copy common region still
             // needs its process-wide lock held while the thread runs;
             // alias threads own private windows, so a resumed alias
@@ -428,6 +674,7 @@ impl Scheduler {
             let stack_top: usize = match &mut (*tcb).flavor {
                 FlavorData::Standard { stack } => stack.as_ptr() as usize + stack.len(),
                 FlavorData::Iso { slab } => slab.stack_top(),
+                FlavorData::IsoLazy { .. } => unreachable!("materialized above"),
                 FlavorData::Alias { binding } => {
                     if !binding.mapped {
                         // First landing on this window (fresh bind or
@@ -491,7 +738,7 @@ impl Scheduler {
                     (*inner).cfg.swap_kind,
                     stack_top as *mut u8,
                     thread_main,
-                    entry_raw,
+                    entry_raw.get(),
                 );
                 (*tcb).started = true;
             }
@@ -584,7 +831,7 @@ impl Scheduler {
                                 .shared
                                 .slab_cache()
                                 .lock()
-                                .put((*inner).pe, slab);
+                                .put((*inner).pe, *slab);
                         }
                         FlavorData::Alias { binding } => {
                             // Parks the (window, frame) pair warm with its
@@ -592,6 +839,9 @@ impl Scheduler {
                             let _ = (*inner).shared.alias().lock().retire(binding);
                         }
                         FlavorData::Copy { .. } => {}
+                        // A thread cannot exit without having run, and
+                        // running materializes the slab.
+                        FlavorData::IsoLazy { .. } => unreachable!("exited without starting"),
                     }
                 }
                 (*inner).stats.completed += 1;
@@ -977,5 +1227,132 @@ mod runq_tests {
         assert_eq!(q.len(), 1);
         assert_eq!(q.pop(), Some(tid(2)));
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn steal_tail_takes_back_half_preserving_victim_fifo() {
+        let mut q = RunQueue::default();
+        for n in 0..10 {
+            q.push(tid(n), 0);
+        }
+        let stolen = q.steal_tail(64, |_| true);
+        // Never more than half the lane, from the back, in arrival order.
+        assert_eq!(stolen, (5..10).map(tid).collect::<Vec<_>>());
+        assert_eq!(q.len(), 5);
+        for n in 0..5 {
+            assert_eq!(q.pop(), Some(tid(n)), "victim keeps its FIFO head");
+        }
+    }
+
+    #[test]
+    fn steal_tail_skips_unstealable_entries() {
+        let mut q = RunQueue::default();
+        for n in 0..8 {
+            q.push(tid(n), 0);
+        }
+        // Only even tids may travel; odd ones stay, order intact.
+        let stolen = q.steal_tail(3, |t| t.0 % 2 == 0);
+        assert_eq!(stolen, vec![tid(2), tid(4), tid(6)]);
+        let left: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(left, vec![tid(0), tid(1), tid(3), tid(5), tid(7)]);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// The victim-side ordering invariant: whatever the queue holds
+        /// and whatever the steal quota and stealability filter, a tail
+        /// steal must leave every lane's remaining entries in their
+        /// original relative order, take only filter-approved entries
+        /// from one lane, and keep the bookkeeping (`len`, popability)
+        /// exact.
+        #[test]
+        fn steal_tail_never_reorders_the_victims_remainder(
+            pushes in proptest::collection::vec((0u64..64, -3i32..4), 0..48),
+            max in 0usize..40,
+            keep_mask in proptest::prelude::any::<u64>(),
+        ) {
+            use proptest::prelude::prop_assert;
+            use proptest::prelude::prop_assert_eq;
+            let mut q = RunQueue::default();
+            // Distinct tids: index * 64 + tid-seed keeps them unique while
+            // the seed still controls stealability below.
+            let entries: Vec<(ThreadId, i32)> = pushes
+                .iter()
+                .enumerate()
+                .map(|(i, &(t, p))| (ThreadId((i as u64) << 6 | t), p))
+                .collect();
+            for &(t, p) in &entries {
+                q.push(t, p);
+            }
+            let stealable = |t: ThreadId| keep_mask & (1 << (t.0 & 63)) != 0;
+            let stolen = q.steal_tail(max, stealable);
+            // Steals come from exactly one lane, filter-approved only.
+            prop_assert!(stolen.iter().all(|&t| stealable(t)));
+            let lanes_of: std::collections::HashSet<i32> = stolen
+                .iter()
+                .map(|s| entries.iter().find(|(t, _)| t == s).unwrap().1)
+                .collect();
+            prop_assert!(lanes_of.len() <= 1, "one donation, one lane");
+            prop_assert_eq!(q.len(), entries.len() - stolen.len());
+            // Remaining entries pop in priority order, and *within every
+            // lane* in their original arrival order.
+            let popped: Vec<ThreadId> = std::iter::from_fn(|| q.pop()).collect();
+            prop_assert_eq!(popped.len(), entries.len() - stolen.len());
+            for lane in -3i32..4 {
+                let original: Vec<ThreadId> = entries
+                    .iter()
+                    .filter(|&&(_, p)| p == lane)
+                    .map(|&(t, _)| t)
+                    .collect();
+                let remaining: Vec<ThreadId> = popped
+                    .iter()
+                    .copied()
+                    .filter(|t| original.contains(t))
+                    .collect();
+                let expect: Vec<ThreadId> = original
+                    .iter()
+                    .copied()
+                    .filter(|t| !stolen.contains(t))
+                    .collect();
+                prop_assert_eq!(
+                    remaining, expect,
+                    "lane {} must keep arrival order", lane
+                );
+            }
+            // Stolen entries preserve arrival order too (the thief's lane
+            // receives them oldest-first).
+            if let Some(&lane) = lanes_of.iter().next() {
+                let original: Vec<ThreadId> = entries
+                    .iter()
+                    .filter(|&&(_, p)| p == lane)
+                    .map(|&(t, _)| t)
+                    .collect();
+                let expect: Vec<ThreadId> = original
+                    .iter()
+                    .copied()
+                    .filter(|t| stolen.contains(t))
+                    .collect();
+                prop_assert_eq!(stolen, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn steal_tail_targets_longest_lane_and_spares_overflow() {
+        let mut q = RunQueue::default();
+        q.push(tid(1), -5); // urgent lane, length 1: quota 0
+        for n in 10..16 {
+            q.push(tid(n), 3); // longest lane
+        }
+        q.push(tid(99), 500); // overflow heap is never stealable
+        let stolen = q.steal_tail(64, |_| true);
+        assert_eq!(stolen, vec![tid(13), tid(14), tid(15)]);
+        assert_eq!(q.len(), 5);
+        // A single-entry lane yields nothing (quota = len/2 = 0).
+        let mut solo = RunQueue::default();
+        solo.push(tid(7), 0);
+        assert!(solo.steal_tail(64, |_| true).is_empty());
+        assert_eq!(solo.pop(), Some(tid(7)));
     }
 }

@@ -15,6 +15,7 @@
 //! idle.
 
 use crate::payload::PayloadPool;
+use crate::steal::StealMesh;
 use flows_mem::{AliasStackPool, CopyStackPool, IsoConfig, IsoRegion, SlabCache};
 use flows_sys::SysResult;
 use parking_lot::Mutex;
@@ -35,6 +36,7 @@ pub struct SharedPools {
     copy: Mutex<CopyStackPool>,
     slab_cache: Mutex<SlabCache>,
     payload: Vec<Arc<PayloadPool>>,
+    steal: StealMesh,
 }
 
 impl std::fmt::Debug for SharedPools {
@@ -65,6 +67,7 @@ impl SharedPools {
             copy: Mutex::new(CopyStackPool::new(common_len)?),
             slab_cache: Mutex::new(SlabCache::new(num_pes)),
             payload: (0..num_pes).map(|_| PayloadPool::with_defaults()).collect(),
+            steal: StealMesh::new(num_pes),
         }))
     }
 
@@ -104,6 +107,12 @@ impl SharedPools {
     /// The stack-copy pool (process-wide lock).
     pub fn copy(&self) -> &Mutex<CopyStackPool> {
         &self.copy
+    }
+
+    /// The work-stealing coordination mesh (published loads, request
+    /// words, donation inboxes).
+    pub fn steal(&self) -> &StealMesh {
+        &self.steal
     }
 
     /// The message-payload recycling pool of PE `pe` (clamped, so a

@@ -1,0 +1,215 @@
+//! Intra-node work stealing: the machine-wide coordination mesh.
+//!
+//! A per-PE scheduler is `!Sync` by design — a thief cannot reach into a
+//! victim's run queue from another OS thread. Stealing therefore runs as
+//! a lightly-locked request/donate protocol over this shared mesh:
+//!
+//! 1. An idle thief reads the victims' *published* runnable counts
+//!    (relaxed atomics, refreshed by each scheduler as it pumps), picks
+//!    the richest victim, and sets its bit in that victim's request word
+//!    (`StealAttempt` in the trace).
+//! 2. The victim notices the request word at its next pump boundary —
+//!    never mid-switch — pops a chunk from the **tail** of its richest
+//!    run-queue lane (so FIFO-within-priority is preserved for everything
+//!    it keeps), packs the threads through the ordinary migration path,
+//!    and deposits them in the thief's inbox.
+//! 3. The thief absorbs its inbox (`StealHit`), unpacking each thread
+//!    locally; warm slot/window adoption makes that cheap (see
+//!    `flows-mem`: alias pairs ride in-transit mapping-intact, isomalloc
+//!    slots re-commit warm).
+//!
+//! The only locks are the per-inbox mutexes, held for a push or a drain;
+//! victim selection and the request handshake are single atomic words.
+//! Packed threads waiting in an inbox count as local work for the
+//! quiescence detector (`in_flight`), so a machine cannot declare itself
+//! idle while stolen threads are still in transit.
+
+use crate::migrate::PackedThread;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Largest number of threads one donation moves. Chunked steals amortize
+/// the request/absorb handshake without letting one hungry thief drain a
+/// victim dry.
+pub const MAX_STEAL_CHUNK: usize = 32;
+
+/// A victim donates only while it keeps at least this many runnable
+/// threads for itself (it must stay busy, or work ping-pongs).
+pub const STEAL_KEEP_MIN: usize = 2;
+
+/// The shared work-stealing state of one machine: published loads, the
+/// per-victim request words, and the per-thief donation inboxes.
+///
+/// Request words are one `u64` bitmask per victim (bit `t` = PE `t` wants
+/// work), which caps direct request addressing at 64 PEs — machines here
+/// are far smaller; larger machines would shard the mask.
+pub struct StealMesh {
+    /// `loads[pe]` = that scheduler's last published runnable count.
+    loads: Vec<AtomicUsize>,
+    /// `requests[victim]` = bitmask of thief PEs awaiting a donation.
+    requests: Vec<AtomicU64>,
+    /// `inbox[thief]` = packed threads donated to that PE.
+    inbox: Vec<Mutex<Vec<PackedThread>>>,
+    /// Lock-free mirror of each inbox's length, for idle-path polling.
+    inbox_len: Vec<AtomicUsize>,
+}
+
+impl std::fmt::Debug for StealMesh {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StealMesh")
+            .field("pes", &self.loads.len())
+            .field("in_flight", &self.in_flight())
+            .finish()
+    }
+}
+
+impl StealMesh {
+    /// An empty mesh for `num_pes` PEs.
+    pub fn new(num_pes: usize) -> StealMesh {
+        let n = num_pes.max(1);
+        StealMesh {
+            loads: (0..n).map(|_| AtomicUsize::new(0)).collect(),
+            requests: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            inbox: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
+            inbox_len: (0..n).map(|_| AtomicUsize::new(0)).collect(),
+        }
+    }
+
+    /// Machine size the mesh was built for.
+    pub fn num_pes(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Publish `pe`'s current runnable count (relaxed: staleness only
+    /// makes a thief pick a slightly worse victim).
+    #[inline]
+    pub fn publish_load(&self, pe: usize, runnable: usize) {
+        self.loads[pe].store(runnable, Ordering::Relaxed);
+    }
+
+    /// `pe`'s last published runnable count.
+    pub fn load_of(&self, pe: usize) -> usize {
+        self.loads[pe].load(Ordering::Relaxed)
+    }
+
+    /// The busiest PE other than `thief` whose published load clears the
+    /// donation threshold, with its load. Ties go to the lowest PE index
+    /// (deterministic, and cheap to reason about in tests).
+    pub fn richest_victim(&self, thief: usize) -> Option<(usize, usize)> {
+        let mut best: Option<(usize, usize)> = None;
+        for (pe, load) in self.loads.iter().enumerate() {
+            if pe == thief {
+                continue;
+            }
+            let l = load.load(Ordering::Relaxed);
+            if l > STEAL_KEEP_MIN && best.is_none_or(|(_, bl)| l > bl) {
+                best = Some((pe, l));
+            }
+        }
+        best
+    }
+
+    /// Record that `thief` wants work from `victim`. Idempotent; returns
+    /// whether the bit was newly set (first request since the victim last
+    /// drained its word).
+    pub fn request(&self, victim: usize, thief: usize) -> bool {
+        let bit = 1u64 << (thief as u64 & 63);
+        self.requests[victim].fetch_or(bit, Ordering::AcqRel) & bit == 0
+    }
+
+    /// Drain and return `victim`'s pending request mask (bit `t` = PE `t`).
+    pub fn take_requests(&self, victim: usize) -> u64 {
+        self.requests[victim].swap(0, Ordering::AcqRel)
+    }
+
+    /// Does `victim` have requests pending? (Relaxed peek for the pump's
+    /// per-iteration check.)
+    #[inline]
+    pub fn has_requests(&self, victim: usize) -> bool {
+        self.requests[victim].load(Ordering::Relaxed) != 0
+    }
+
+    /// Deposit donated threads into `thief`'s inbox.
+    pub fn donate(&self, thief: usize, packed: Vec<PackedThread>) {
+        if packed.is_empty() {
+            return;
+        }
+        let n = packed.len();
+        self.inbox[thief].lock().extend(packed);
+        self.inbox_len[thief].fetch_add(n, Ordering::Release);
+    }
+
+    /// Drain `thief`'s inbox. The length mirror is decremented before the
+    /// lock drops, so `in_flight` never undercounts while threads exist
+    /// only in the returned vector *and* the caller still holds them —
+    /// callers must unpack the returned threads before yielding control.
+    pub fn absorb(&self, thief: usize) -> Vec<PackedThread> {
+        if self.inbox_len[thief].load(Ordering::Acquire) == 0 {
+            return Vec::new();
+        }
+        let mut g = self.inbox[thief].lock();
+        let out = std::mem::take(&mut *g);
+        self.inbox_len[thief].fetch_sub(out.len(), Ordering::Release);
+        out
+    }
+
+    /// Packed threads currently waiting in `pe`'s inbox.
+    #[inline]
+    pub fn inbox_len(&self, pe: usize) -> usize {
+        self.inbox_len[pe].load(Ordering::Acquire)
+    }
+
+    /// Packed threads waiting in any inbox — work the quiescence detector
+    /// must not overlook.
+    pub fn in_flight(&self) -> usize {
+        self.inbox_len
+            .iter()
+            .map(|n| n.load(Ordering::Acquire))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn richest_victim_respects_keep_min_and_skips_self() {
+        let m = StealMesh::new(4);
+        assert_eq!(m.richest_victim(0), None);
+        m.publish_load(0, 100);
+        assert_eq!(m.richest_victim(0), None, "self is never a victim");
+        m.publish_load(1, STEAL_KEEP_MIN); // at the threshold: keep it all
+        assert_eq!(m.richest_victim(0), None);
+        m.publish_load(2, 7);
+        m.publish_load(3, 9);
+        assert_eq!(m.richest_victim(0), Some((3, 9)));
+        assert_eq!(m.richest_victim(3), Some((0, 100)));
+    }
+
+    #[test]
+    fn request_word_accumulates_and_drains() {
+        let m = StealMesh::new(3);
+        assert!(m.request(0, 1));
+        assert!(!m.request(0, 1), "second request is idempotent");
+        assert!(m.request(0, 2));
+        assert!(m.has_requests(0));
+        assert_eq!(m.take_requests(0), 0b110);
+        assert!(!m.has_requests(0));
+        assert_eq!(m.take_requests(0), 0);
+    }
+
+    #[test]
+    fn inbox_tracks_in_flight_counts() {
+        let m = StealMesh::new(2);
+        m.donate(1, vec![PackedThread::default(), PackedThread::default()]);
+        assert_eq!(m.inbox_len(1), 2);
+        assert_eq!(m.in_flight(), 2);
+        let got = m.absorb(1);
+        assert_eq!(got.len(), 2);
+        assert_eq!(m.in_flight(), 0);
+        assert!(m.absorb(1).is_empty());
+        m.donate(1, Vec::new());
+        assert_eq!(m.in_flight(), 0);
+    }
+}

@@ -74,11 +74,20 @@ impl StackFlavor {
     }
 }
 
-/// Per-flavor owned memory resources.
+/// Per-flavor owned memory resources. The isomalloc slab is boxed: its
+/// heap bookkeeping is ~112 inline bytes, which every Tcb of every flavor
+/// would otherwise pay through the enum's largest-variant size.
 #[derive(Debug)]
 pub(crate) enum FlavorData {
     Standard { stack: Vec<u8> },
-    Iso { slab: ThreadSlab },
+    Iso { slab: Box<ThreadSlab> },
+    /// An isomalloc thread that has not run yet and owns no slot
+    /// ([`crate::SchedConfig::lazy_iso`]): the slab is materialized at
+    /// first resume. This is what lets one node *hold* a million live
+    /// threads — an unstarted thread costs its Tcb and nothing from the
+    /// region, so neither committed stacks nor `vm.max_map_count` scale
+    /// with spawned threads, only with started ones.
+    IsoLazy { want: usize },
     Alias { binding: AliasBinding },
     Copy { image: CopyStack },
 }
@@ -87,7 +96,7 @@ impl FlavorData {
     pub(crate) fn flavor(&self) -> StackFlavor {
         match self {
             FlavorData::Standard { .. } => StackFlavor::Standard,
-            FlavorData::Iso { .. } => StackFlavor::Isomalloc,
+            FlavorData::Iso { .. } | FlavorData::IsoLazy { .. } => StackFlavor::Isomalloc,
             FlavorData::Alias { .. } => StackFlavor::Alias,
             FlavorData::Copy { .. } => StackFlavor::StackCopy,
         }
@@ -95,6 +104,12 @@ impl FlavorData {
 }
 
 /// The control block: everything the scheduler knows about one thread.
+///
+/// One `Box<Tcb>` exists per live thread, so its size is a direct term in
+/// the machine's bytes-per-thread floor at million-thread scale — a size
+/// regression test below keeps it honest. The two big-ticket shrinks:
+/// `Context` boxes its signal mask (128 inline bytes otherwise), and the
+/// entry closure pointer rides in a niche-packed `Option<NonZeroUsize>`.
 pub(crate) struct Tcb {
     pub id: ThreadId,
     pub ctx: Context,
@@ -102,7 +117,8 @@ pub(crate) struct Tcb {
     pub flavor: FlavorData,
     /// Raw `Box<Box<dyn FnOnce()>>` passed to the entry trampoline at
     /// first resume; consumed there. Present only before the thread starts.
-    pub entry_raw: Option<usize>,
+    /// (`Box::into_raw` never returns null, so the niche costs nothing.)
+    pub entry_raw: Option<std::num::NonZeroUsize>,
     pub started: bool,
     /// Private globals block (swap-global privatization), if the scheduler
     /// has a `GlobalsLayout`.
@@ -129,7 +145,7 @@ impl Drop for Tcb {
         if let Some(raw) = self.entry_raw.take() {
             // SAFETY: `raw` came from Box::into_raw in spawn and was not
             // consumed (the thread never started).
-            drop(unsafe { Box::from_raw(raw as *mut Box<dyn FnOnce()>) });
+            drop(unsafe { Box::from_raw(raw.get() as *mut Box<dyn FnOnce()>) });
         }
     }
 }
@@ -147,6 +163,24 @@ mod tests {
         let names: std::collections::HashSet<_> =
             StackFlavor::ALL.iter().map(|f| f.name()).collect();
         assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    fn tcb_stays_small() {
+        // One Box<Tcb> per live thread: its size is a direct term in the
+        // bytes-per-thread floor of the million-thread probe. The biggest
+        // historical regression risk is Context growing an inline
+        // sigset_t (128 bytes) back.
+        assert!(
+            std::mem::size_of::<Context>() <= 32,
+            "Context grew to {} bytes — did the signal mask move inline?",
+            std::mem::size_of::<Context>()
+        );
+        assert!(
+            std::mem::size_of::<Tcb>() <= 128,
+            "Tcb grew to {} bytes; million-thread RSS pays this per thread",
+            std::mem::size_of::<Tcb>()
+        );
     }
 
     #[test]

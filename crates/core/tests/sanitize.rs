@@ -145,6 +145,67 @@ fn readable_vacated_slot_trips() {
 }
 
 #[test]
+fn steal_and_slot_adoption_under_sanitize_round_trip() {
+    // The whole steal path — tail steal off the run queue, pack, mesh
+    // transit, absorb + slot adoption on the thief — with every sanitize
+    // detector armed: canaries re-verified each switch, vacated-slot
+    // checks at pack, PUP size validation on every head, eager reclaim
+    // (high-water 0) so adoption always crosses the evict path.
+    set_trip_panics(true);
+    let shared = SharedPools::new_for_tests();
+    let s0 = Scheduler::new(0, shared.clone(), SchedConfig::default());
+    let s1 = Scheduler::new(1, shared.clone(), SchedConfig::default());
+    let done = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    for flavor in [StackFlavor::Isomalloc, StackFlavor::Alias] {
+        for _ in 0..6 {
+            let done = done.clone();
+            s0.spawn(flavor, move || {
+                // Live stack + heap state that must survive the steal.
+                let stack_word = 0xA5A5_5A5Au64;
+                let heap = (flavor == StackFlavor::Isomalloc).then(|| {
+                    let p = flows_core::iso_malloc(512).unwrap();
+                    // SAFETY: freshly allocated from this thread's heap.
+                    unsafe { std::ptr::write_bytes(p, 0x77, 512) };
+                    p
+                });
+                for _ in 0..6 {
+                    yield_now();
+                }
+                assert_eq!(stack_word, 0xA5A5_5A5Au64);
+                if let Some(p) = heap {
+                    // SAFETY: allocation above; address survives the move.
+                    unsafe { assert_eq!(*p, 0x77) };
+                    assert!(flows_core::iso_free(p));
+                }
+                done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+    }
+    // Start every thread (unstarted threads are not stealable), then run
+    // repeated steal rounds while both schedulers keep draining.
+    for _ in 0..12 {
+        s0.step();
+    }
+    let mesh = shared.steal();
+    let mut stolen_total = 0u64;
+    for _ in 0..8 {
+        mesh.request(0, 1);
+        s0.donate_steals();
+        stolen_total += s1.absorb_steals() as u64;
+        s0.step();
+        s1.step();
+    }
+    assert_eq!(mesh.in_flight(), 0);
+    s0.run();
+    s1.run();
+    assert_eq!(done.load(std::sync::atomic::Ordering::Relaxed), 12);
+    assert_eq!(s0.thread_count() + s1.thread_count(), 0);
+    assert!(stolen_total > 0, "rounds above must actually move threads");
+    assert_eq!(s1.stats().migrations_in, stolen_total);
+}
+
+#[test]
 fn migration_under_sanitize_round_trips() {
     set_trip_panics(true);
     let shared = SharedPools::new_for_tests();

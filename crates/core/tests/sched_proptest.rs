@@ -86,6 +86,55 @@ proptest! {
         prop_assert_eq!(pe0.thread_count() + pe1.thread_count(), 0);
     }
 
+    /// The full steal protocol under randomness: whatever mix of flavors,
+    /// warm-up steps and yield counts, a request → donate → absorb round
+    /// between two schedulers never loses or duplicates a thread, leaves
+    /// nothing in flight, and both PEs drain to empty.
+    #[test]
+    fn steal_protocol_never_loses_threads(
+        specs in proptest::collection::vec((any::<u8>(), 1usize..10), 2..24),
+        warmup in 0usize..30,
+    ) {
+        let shared = SharedPools::new_for_tests();
+        let pe0 = Scheduler::new(0, shared.clone(), SchedConfig::default());
+        let pe1 = Scheduler::new(1, shared.clone(), SchedConfig::default());
+        let done: Rc<RefCell<Vec<usize>>> = Rc::new(RefCell::new(Vec::new()));
+        for (i, &(fl, yields)) in specs.iter().enumerate() {
+            let done = done.clone();
+            pe0.spawn(flavor_of(fl), move || {
+                for _ in 0..yields {
+                    yield_now();
+                }
+                done.borrow_mut().push(i);
+            }).unwrap();
+        }
+        // Random warm-up: some threads start (become stealable), some may
+        // already finish, some never run before the steal.
+        for _ in 0..warmup {
+            if !pe0.step() {
+                break;
+            }
+        }
+        let mesh = shared.steal();
+        mesh.request(0, 1);
+        let donated = pe0.donate_steals();
+        let absorbed = pe1.absorb_steals();
+        if donated != 0 {
+            prop_assert!(absorbed > 0, "a donation bitmask implies threads moved");
+        }
+        prop_assert_eq!(mesh.in_flight(), 0, "absorb drained the inbox");
+        pe0.run();
+        pe1.run();
+        let mut d = done.borrow().clone();
+        d.sort_unstable();
+        prop_assert_eq!(d, (0..specs.len()).collect::<Vec<_>>());
+        prop_assert_eq!(pe0.thread_count() + pe1.thread_count(), 0);
+        let s0 = pe0.stats();
+        let s1 = pe1.stats();
+        prop_assert_eq!(s0.migrations_out, s1.migrations_in);
+        prop_assert_eq!(s0.completed + s1.completed, specs.len() as u64);
+    }
+
     /// Priorities: whatever the spawn order, strictly higher-priority
     /// (lower-valued) non-yielding threads finish in priority order.
     #[test]

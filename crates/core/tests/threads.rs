@@ -13,6 +13,44 @@ fn sched() -> Scheduler {
 }
 
 #[test]
+fn lazy_iso_spawns_need_no_slots_until_first_run() {
+    // Million-thread mode: spawning must not consume region slots (the
+    // test pool has only 64 per PE), and running the backlog recycles a
+    // handful of slabs through the warm cache rather than holding one
+    // slot per thread.
+    let shared = SharedPools::new_for_tests();
+    let s = Scheduler::new(
+        0,
+        shared.clone(),
+        SchedConfig {
+            lazy_iso: true,
+            ..SchedConfig::default()
+        },
+    );
+    let done = Rc::new(Cell::new(0u32));
+    for _ in 0..500 {
+        let done = done.clone();
+        s.spawn_with(StackFlavor::Isomalloc, 16 * 1024, move || {
+            done.set(done.get() + 1);
+        })
+        .unwrap();
+    }
+    assert_eq!(
+        shared.region().live_slots(0),
+        0,
+        "unstarted lazy threads own no slots"
+    );
+    s.run();
+    assert_eq!(done.get(), 500);
+    assert_eq!(s.stats().completed, 500);
+    assert!(
+        shared.region().live_slots(0) <= 8,
+        "run-to-exit recycles slabs instead of hoarding slots: {}",
+        shared.region().live_slots(0)
+    );
+}
+
+#[test]
 fn threads_round_robin_fairly() {
     let s = sched();
     let order = Rc::new(RefCell::new(Vec::new()));

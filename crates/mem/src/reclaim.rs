@@ -95,6 +95,27 @@ impl SlabCache {
         ThreadSlab::new(slab.into_slot(), stack_len).ok()
     }
 
+    /// [`SlabCache::take`], falling back to *other* PEs' parking lists
+    /// when `pe`'s own list has no match. Isomalloc slots are globally
+    /// unique addresses, so any PE can host any slot; a warm slab parked
+    /// by a neighbour (say, after a stolen thread ran to exit here while
+    /// its home PE churns) still beats a cold slot commit. Local hits are
+    /// always preferred — cross-PE adoption trades a little NUMA locality
+    /// for saved syscalls, the right trade only when the local list is
+    /// dry.
+    pub fn take_any(&mut self, pe: usize, stack_len: usize) -> Option<ThreadSlab> {
+        if let Some(slab) = self.take(pe, stack_len) {
+            return Some(slab);
+        }
+        let n = self.per_pe.len();
+        for other in (0..n).filter(|&o| o != pe) {
+            if let Some(slab) = self.take(other, stack_len) {
+                return Some(slab);
+            }
+        }
+        None
+    }
+
     /// Drop the cached slab owning `global_index`, if any, returning
     /// whether one was found. A migration image adopting a slot MUST call
     /// this first: the cached slab is a live owner, and dropping it
@@ -250,6 +271,38 @@ mod tests {
         }
         assert!(cache.cached(0) <= 3);
         assert!(cache.reclaim_batches() >= 1);
+    }
+
+    #[test]
+    fn take_any_prefers_local_then_adopts_cross_pe() {
+        let r = IsoRegion::new(IsoConfig {
+            base: 0,
+            num_pes: 2,
+            slots_per_pe: 2,
+            slot_len: SLOT_LEN,
+        })
+        .unwrap();
+        let mut cache = SlabCache::new(2);
+        cache.set_high_water(usize::MAX);
+        let local = ThreadSlab::new(r.alloc_slot(0).unwrap(), STACK_LEN).unwrap();
+        let local_idx = local.slot().global_index();
+        let remote = ThreadSlab::new(r.alloc_slot(1).unwrap(), STACK_LEN).unwrap();
+        let remote_idx = remote.slot().global_index();
+        cache.put(0, local).unwrap();
+        cache.put(1, remote).unwrap();
+        let first = cache.take_any(0, STACK_LEN).expect("local hit");
+        assert_eq!(first.slot().global_index(), local_idx, "local list wins");
+        // Local list now dry: the neighbour's warm slab is adopted, and
+        // reusing it costs no syscalls (the warm-respawn fast path holds
+        // across PEs).
+        let before = syscall_snapshot();
+        let second = cache.take_any(0, STACK_LEN).expect("cross-PE hit");
+        assert_eq!(second.slot().global_index(), remote_idx);
+        assert_eq!(syscall_snapshot().since(&before).total(), 0);
+        assert!(cache.take_any(0, STACK_LEN).is_none(), "both lists dry");
+        // Wrong stack length never matches anywhere.
+        cache.put(1, second).unwrap();
+        assert!(cache.take_any(0, STACK_LEN * 2).is_none());
     }
 
     #[test]

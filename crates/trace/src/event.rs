@@ -83,6 +83,13 @@ pub enum EventKind {
     /// happens on first allocation touching the range, not eagerly at
     /// slab build). `a`=slot global index, `b`=arena offset, `c`=bytes.
     LazyCommit,
+    /// An idle PE asked a busier victim for run-queue tail threads.
+    /// `a`=victim PE, `b`=thief PE, `c`=victim's published runnable count
+    /// at selection time.
+    StealAttempt,
+    /// A thief absorbed donated threads from its steal inbox. `a`=thief
+    /// PE, `b`=threads absorbed, `c`=packed bytes absorbed.
+    StealHit,
 }
 
 impl EventKind {
@@ -114,6 +121,8 @@ impl EventKind {
             EventKind::FtResume => "ft_resume",
             EventKind::RemapBatch => "remap_batch",
             EventKind::LazyCommit => "lazy_commit",
+            EventKind::StealAttempt => "steal_attempt",
+            EventKind::StealHit => "steal_hit",
         }
     }
 }

@@ -67,6 +67,11 @@ pub struct PeTraceSummary {
     /// one batched syscall pass releasing a PE's vacated alias windows
     /// or isomalloc slots.
     pub remap_batches: u64,
+    /// Steal requests this PE posted while idle (`StealAttempt` events).
+    pub steal_attempts: u64,
+    /// Threads this PE absorbed from its steal inbox (sum of `StealHit`
+    /// counts).
+    pub steal_hits: u64,
     /// Memory-alias `MAP_FIXED` remaps issued by this PE's OS thread
     /// (filled from the syscall counters, not from events).
     pub remap: u64,
@@ -100,6 +105,8 @@ pup_fields!(PeTraceSummary {
     sanitizer_trips,
     recovery_events,
     remap_batches,
+    steal_attempts,
+    steal_hits,
     remap,
     syscalls_total,
     grainsize_hist
@@ -196,6 +203,8 @@ pub fn summarize_pe(ring: &TraceRing, migs: &mut Vec<MigRecord>) -> PeTraceSumma
             | EventKind::FtRespawn
             | EventKind::FtResume => s.recovery_events += 1,
             EventKind::RemapBatch => s.remap_batches += 1,
+            EventKind::StealAttempt => s.steal_attempts += 1,
+            EventKind::StealHit => s.steal_hits += ev.b,
             EventKind::SwitchIn | EventKind::VtStep | EventKind::Mark | EventKind::LazyCommit => {}
         }
     }

@@ -48,7 +48,7 @@ check "ring det 16K reliable"     "$(rate ring det 16384 true)"     900000
 check "pingpong det 8B raw"       "$(rate pingpong det 8 false)"    2500000
 check "fanin det 64B raw"         "$(rate fanin det 64 false)"      3000000
 
-cargo run --offline --release -q -p flows-bench --bin sched_migrate -- --fast --json "$SJSON"
+cargo run --offline --release -q -p flows-bench --bin sched_migrate -- --fast --steal --reps 3 --json "$SJSON"
 
 # srate <scenario> <flavor> -> ops_per_sec
 srate() {
@@ -67,6 +67,44 @@ check "churn isomalloc"         "$(srate churn isomalloc)"         500000
 check "migrate stack-copy"      "$(srate migrate stack-copy)"      500000
 check "migrate isomalloc"       "$(srate migrate isomalloc)"       70000
 check "migrate memory-alias"    "$(srate migrate memory-alias)"    100000
+
+# Work-stealing shootout (modeled-parallel makespan; burst steps are
+# charged at a min-calibrated slice cost, so these figures are stable on
+# loaded hosts). The skewed spawn must clear >= 2x faster with stealing
+# on than with no balancing at all — the headline claim of the steal
+# path — plus an absolute floor ~3x under what this host measures.
+SPEEDUP=$(sed -n 's/.*"steal_speedup": \([0-9.]*\).*/\1/p' "$SJSON" | head -1)
+if [ -z "$SPEEDUP" ]; then
+  echo "FAIL  steal_speedup: missing from $SJSON"
+  fail=1
+elif awk -v s="$SPEEDUP" 'BEGIN { exit !(s >= 2.0) }'; then
+  echo "ok    steal_speedup: ${SPEEDUP}x (gate 2.0x)"
+else
+  echo "FAIL  steal_speedup: ${SPEEDUP}x below 2.0x gate"
+  fail=1
+fi
+check "steal_skew isomalloc"    "$(srate steal_skew isomalloc)"    400000
+
+# Million-thread scale-out: one PE must hold >= 1M live migratable
+# threads (lazy slabs), at a bounded holding cost per thread. The 4 KiB
+# ceiling is generous — ~20x the measured Tcb+bookkeeping cost — so it
+# trips on an O(threads) memory regression, not allocator jitter.
+ISO_OUT=$(cargo run --offline --release -q -p flows-bench --bin table2_limits -- \
+  --proc-cap 16 --kthread-cap 16 --uthread-cap 16 --iso-cap 1000000)
+ISO_LIVE=$(printf '%s\n' "$ISO_OUT" | sed -n 's/^iso_live_threads: \([0-9]*\)$/\1/p')
+ISO_BPT=$(printf '%s\n' "$ISO_OUT" | sed -n 's/^iso_bytes_per_thread: \([0-9]*\)$/\1/p')
+if [ -z "$ISO_LIVE" ] || [ "$ISO_LIVE" -lt 1000000 ]; then
+  echo "FAIL  iso_live_threads: ${ISO_LIVE:-missing} below 1000000"
+  fail=1
+else
+  echo "ok    iso_live_threads: $ISO_LIVE (gate 1000000)"
+fi
+if [ -z "$ISO_BPT" ] || [ "$ISO_BPT" -gt 4096 ]; then
+  echo "FAIL  iso_bytes_per_thread: ${ISO_BPT:-missing} above 4096 ceiling"
+  fail=1
+else
+  echo "ok    iso_bytes_per_thread: $ISO_BPT (ceiling 4096)"
+fi
 
 if [ "$fail" -ne 0 ]; then
   echo "bench_smoke: FAIL (throughput regressed below recorded floor)"

@@ -3,8 +3,12 @@
 # at full windows, then run the bench_smoke floor gate so a regression
 # is caught in the same invocation that records the numbers.
 #
-#   scripts/run_benches.sh [--flavors a,b,c] [--reps N]
+#   scripts/run_benches.sh [--quick] [--flavors a,b,c] [--reps N]
 #
+# `--quick` skips the full-window regeneration entirely and runs only
+# the floor gates (bench_smoke's fast windows, best-of-3) — the mode CI
+# and pre-commit hooks want: minutes of sweep collapse to seconds, and
+# nothing under version control is rewritten.
 # `--flavors` restricts the sched_migrate sweep to the named stack
 # flavors (default: all four — standard, stack-copy, isomalloc,
 # memory-alias); `--reps` sets its best-of-N pass count (default 3;
@@ -16,13 +20,20 @@ cd "$(dirname "$0")/.."
 
 FLAVORS=""
 REPS=""
+QUICK=0
 while [ $# -gt 0 ]; do
   case "$1" in
+    --quick)   QUICK=1;      shift ;;
     --flavors) FLAVORS="$2"; shift 2 ;;
     --reps)    REPS="$2";    shift 2 ;;
-    *) echo "usage: $0 [--flavors a,b,c] [--reps N]" >&2; exit 2 ;;
+    *) echo "usage: $0 [--quick] [--flavors a,b,c] [--reps N]" >&2; exit 2 ;;
   esac
 done
+
+if [ "$QUICK" -eq 1 ]; then
+  echo "run_benches: quick mode (floors only, no artifact regeneration)"
+  exec scripts/bench_smoke.sh
+fi
 
 SCHED_ARGS=""
 SCHED_JSON=BENCH_sched.json
@@ -38,8 +49,12 @@ fi
 cargo build --offline --release -q -p flows-bench
 
 # shellcheck disable=SC2086 — SCHED_ARGS is a deliberate word list.
-./target/release/sched_migrate $SCHED_ARGS --json "$SCHED_JSON"
+./target/release/sched_migrate --steal $SCHED_ARGS --json "$SCHED_JSON"
 ./target/release/msgpath --json BENCH_msgpath.json
+
+# Million-thread scale-out probe at full cap (the smoke gate re-runs it
+# with the same cap and enforces the floors).
+./target/release/table2_limits --iso-cap 1000000
 
 scripts/bench_smoke.sh
 scripts/chaos.sh
