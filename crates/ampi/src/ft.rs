@@ -158,7 +158,19 @@ pub fn run_world_ft(
         // Any single PE may end up hosting every rank after repeated
         // crashes; size the isomalloc region for that worst case.
         iso.slots_per_pe = (opts.ranks + 2) * 2;
+        if opts.multiproc.is_some() {
+            // Keep the fixed default base: checkpoint images embed
+            // absolute slot addresses, and a respawn on another process
+            // adopts the slot at the identical virtual address.
+            iso.base = flows_mem::DEFAULT_BASE;
+        }
         let shared = SharedPools::new(iso, 1 << 20).expect("ft memory pools");
+        if opts.multiproc.is_some() {
+            assert!(
+                shared.region().at_fixed_base(),
+                "multi-process recovery needs the isomalloc region at its fixed base"
+            );
+        }
         let report = run_attempt(world, &opts, opts.pes, Some(shared), Some(plan), None, &main);
         assert!(
             report.crashed.is_none(),

@@ -135,6 +135,9 @@ pub struct WorldMeta {
     /// can respawn ranks from scratch when no checkpoint generation
     /// survives a failure.
     pub main: Arc<dyn Fn(&mut crate::Ampi) + Send + Sync>,
+    /// Whether this world spans processes (rank images may be respawned
+    /// in a process other than the one that spawned them).
+    pub multiproc: bool,
 }
 
 impl std::fmt::Debug for WorldMeta {
@@ -201,6 +204,10 @@ pub struct AmpiOptions {
     /// `MachineBuilder::tracing`); the reduction and raw rings ride in the
     /// returned `MachineReport`.
     pub tracing: bool,
+    /// Span OS processes: this process drives the world's slice of the
+    /// PEs and the rest live in sibling processes reached through the
+    /// flows-net transport. Forces the threaded drive mode.
+    pub multiproc: Option<Arc<flows_net::World>>,
 }
 
 impl AmpiOptions {
@@ -217,6 +224,7 @@ impl AmpiOptions {
             slot_len: 1 << 20,
             faults: None,
             tracing: false,
+            multiproc: None,
         }
     }
 
@@ -254,6 +262,14 @@ impl AmpiOptions {
     /// Record a Projections-style event trace of the run.
     pub fn tracing(mut self, yes: bool) -> Self {
         self.tracing = yes;
+        self
+    }
+
+    /// Run this world across the processes of a [`flows_net::World`]
+    /// (the machine spans `procs × pes_per_proc` PEs; `pes` must equal
+    /// that product).
+    pub fn multiproc(mut self, world: Arc<flows_net::World>) -> Self {
+        self.multiproc = Some(world);
         self
     }
 }
@@ -310,6 +326,7 @@ pub(crate) fn run_attempt(
         size: opts.ranks,
         strategy: opts.strategy.clone(),
         main: main.clone(),
+        multiproc: opts.multiproc.is_some(),
     });
 
     let mut mb = MachineBuilder::new(pes)
@@ -344,11 +361,17 @@ pub(crate) fn run_attempt(
         mb = mb.on_death_confirmed(crate::recover::on_death_confirmed);
     }
 
+    if let Some(w) = &opts.multiproc {
+        mb = mb.multiproc(w.clone());
+    }
+
     let placement = restore
         .as_ref()
         .map(|snaps| Arc::new(place_restored(snaps, pes, &meta)));
     let opts2 = opts.clone();
-    let threaded = opts.threaded;
+    // A multi-process machine has no deterministic round-robin mode: the
+    // comm thread and the transport are inherently concurrent.
+    let threaded = opts.threaded || opts.multiproc.is_some();
     let init = move |pe: &Pe| match (&restore, &placement) {
         (Some(snaps), Some(place)) => restore_pe(pe, &meta, snaps, place),
         _ => init_pe(pe, &meta, &opts2, pes),
@@ -377,7 +400,17 @@ fn init_pe(pe: &Pe, meta: &Arc<WorldMeta>, opts: &AmpiOptions, pes: usize) {
 /// Spawn rank `rank`'s main thread fresh on this PE and register its
 /// routed object (initial placement and scratch recovery respawn).
 pub(crate) fn spawn_rank(pe: &Pe, meta: &Arc<WorldMeta>, rank: u64) {
-    let main = meta.main.clone();
+    // The clone rides the rank's own stack (the entry trampoline moves it
+    // there), but its refcount cell is on the spawning process's heap. In
+    // a multi-process world a rank respawned in another process after a
+    // cross-process recovery must not decrement through that stale
+    // pointer, so the count is leaked instead (one word per rank spawn,
+    // reclaimed at process exit). Cross-process worlds additionally
+    // require a capture-free `main` (a plain `fn`): a closure's
+    // environment lives behind this pointer and would be read, not just
+    // dropped.
+    let mut main = std::mem::ManuallyDrop::new(meta.main.clone());
+    let multiproc = meta.multiproc;
     let world = meta.world;
     let size = meta.size;
     let tid = pe
@@ -386,6 +419,13 @@ pub(crate) fn spawn_rank(pe: &Pe, meta: &Arc<WorldMeta>, rank: u64) {
             let mut ampi = crate::Ampi::new(world, rank as usize, size);
             main(&mut ampi);
             ampi.finish();
+            if !multiproc {
+                // Single-process machine: the refcount cell is in this
+                // process; release the clone normally so user closures
+                // (and what they capture) are dropped at world end.
+                // SAFETY: `main` is not used again.
+                unsafe { std::mem::ManuallyDrop::drop(&mut main) };
+            }
         })
         .expect("spawn rank thread");
     pe.ext::<AmpiState, _>(|st| {

@@ -5,10 +5,16 @@
 //! with the pre-zero-copy baseline and speedup where one was recorded).
 //!
 //! `--fast` shrinks every scenario (smoke mode); `--json PATH` overrides
-//! the output path.
+//! the output path. `--processes N` adds a multi-process leg: the same
+//! pingpong/ring programs crossing real OS-process boundaries over both
+//! flows-net backends (shared-memory rings and Unix sockets), one
+//! `N procs × 2 PEs` world per scenario. The leader re-executes this
+//! binary as each child rank (`--mp-scenario` selects the SPMD body), so
+//! in-process vs shm vs socket rows land in one table.
 
 use flows_bench::{arg_flag, arg_val, Table};
 use flows_converse::{FaultPlan, MachineBuilder, NetModel};
+use flows_net::{Backend, TopologySpec, World};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -57,12 +63,19 @@ impl Mode {
 struct Scenario {
     name: &'static str,
     mode: &'static str,
+    /// OS processes the machine spans (1 = classic in-process machine).
+    procs: usize,
+    /// Wire backend carrying inter-process crossings; "in-process" when
+    /// every PE shares one address space.
+    backend: &'static str,
     pes: usize,
     payload: usize,
     reliable: bool,
     messages: u64,
     /// Handler invocations summed over PEs — must equal `messages` at
-    /// quiescence (exactly-once dispatch).
+    /// quiescence (exactly-once dispatch). Multi-process rows count only
+    /// the leader's local PEs, so there the ledger check is global
+    /// `messages` agreement instead (asserted by the machine itself).
     delivered: u64,
     wall_ns: u64,
 }
@@ -116,6 +129,8 @@ fn pingpong(mode: Mode, payload: usize, reliable: bool, rounds: u64) -> Scenario
     Scenario {
         name: "pingpong",
         mode: mode.name(),
+        procs: 1,
+        backend: "in-process",
         pes: 2,
         payload: payload.max(8),
         reliable,
@@ -152,6 +167,8 @@ fn ring(mode: Mode, pes: usize, payload: usize, reliable: bool, hops: u64) -> Sc
     Scenario {
         name: "ring",
         mode: mode.name(),
+        procs: 1,
+        backend: "in-process",
         pes,
         payload: payload.max(8),
         reliable,
@@ -191,6 +208,8 @@ fn fanin(mode: Mode, pes: usize, payload: usize, reliable: bool, count: u64) -> 
     Scenario {
         name: "fanin",
         mode: mode.name(),
+        procs: 1,
+        backend: "in-process",
         pes,
         payload: payload.max(8),
         reliable,
@@ -200,10 +219,114 @@ fn fanin(mode: Mode, pes: usize, payload: usize, reliable: bool, count: u64) -> 
     }
 }
 
+/// Multi-process message body: comfortably past the inline-payload
+/// threshold so a shared-memory delivery is a zero-copy arena view.
+const MP_BODY: usize = 256;
+
+/// Hop budget for one multi-process scenario at `k = 1`.
+const MP_HOPS: u64 = 200;
+
+fn mp_fill(hops: u64) -> Vec<u8> {
+    let mut v = vec![0xA5u8; MP_BODY];
+    v[..8].copy_from_slice(&hops.to_le_bytes());
+    v
+}
+
+/// The SPMD body of one multi-process scenario; every process of the
+/// world runs this identical function (handler ids must agree
+/// machine-wide). The hop budget travels in the message body — a shared
+/// atomic cannot cross process boundaries.
+fn mp_one(world: &Arc<World>, name: &'static str, hops: u64) -> Scenario {
+    let first_remote = world.pes_per_proc();
+    let pingpong = name == "pingpong";
+    let mut mb = MachineBuilder::new(world.num_pes())
+        .net_model(NetModel::zero())
+        .multiproc(world.clone());
+    let h = mb.handler(move |pe, msg| {
+        let left = u64::from_le_bytes(msg.data[..8].try_into().unwrap());
+        if left > 0 {
+            let dst = if pingpong {
+                msg.src_pe
+            } else {
+                (pe.id() + 1) % pe.num_pes()
+            };
+            pe.send(dst, msg.handler, mp_fill(left - 1));
+        }
+    });
+    let t0 = flows_sys::time::monotonic_ns();
+    let rep = mb.run(move |pe| {
+        if pe.id() == 0 {
+            // Pingpong crosses the process boundary every hop (PE 0 on
+            // the leader <-> the first PE of process 1); the ring token
+            // visits every PE of every process in turn.
+            let dst = if pingpong { first_remote } else { 1 % pe.num_pes() };
+            pe.send(dst, h, mp_fill(hops));
+        }
+    });
+    let wall_ns = flows_sys::time::monotonic_ns() - t0;
+    Scenario {
+        name,
+        mode: "threaded",
+        procs: world.procs(),
+        backend: world.backend().as_str(),
+        pes: world.num_pes(),
+        payload: MP_BODY,
+        reliable: false,
+        messages: rep.messages,
+        delivered: rep.pe_delivered.iter().sum(),
+        wall_ns,
+    }
+}
+
+/// Leader side of the multi-process leg: one fresh `procs × 2` world per
+/// (backend, scenario) pair, children re-executing this binary with
+/// `--mp-scenario` so they run the matching SPMD body.
+fn mp_leg(procs: usize, fast: bool, k: u64) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    for backend in [Backend::Shm, Backend::Uds] {
+        let copies_before = flows_net::body_copies();
+        for name in ["pingpong", "ring"] {
+            let mut args = vec!["--mp-scenario".to_string(), name.to_string()];
+            if fast {
+                args.push("--fast".to_string());
+            }
+            let world = TopologySpec::new(procs, 2)
+                .backend(backend)
+                .child_args(args)
+                .launch()
+                .unwrap_or_else(|e| panic!("launch {} world: {e}", backend.as_str()));
+            out.push(mp_one(&world, name, MP_HOPS * k));
+            world.shutdown().expect("children exited clean");
+        }
+        if backend == Backend::Shm {
+            assert_eq!(
+                flows_net::body_copies() - copies_before,
+                0,
+                "shm backend staged body copies on the intra-host bench path"
+            );
+        }
+    }
+    out
+}
+
 fn main() {
     let fast = arg_flag("fast");
     let json_path = arg_val("json").unwrap_or_else(|| "BENCH_msgpath.json".into());
     let k = if fast { 1 } else { 10 };
+
+    // Child rank of a multi-process leg: join the leader's world, run the
+    // one SPMD scenario it named, and exit (no table, no JSON).
+    if flows_net::child_rank().is_some() {
+        let world = flows_net::attach_from_env().expect("child attach");
+        let name: &'static str = match arg_val("mp-scenario").as_deref() {
+            Some("pingpong") => "pingpong",
+            Some("ring") => "ring",
+            other => panic!("child spawned without a known --mp-scenario ({other:?})"),
+        };
+        mp_one(&world, name, MP_HOPS * k);
+        return;
+    }
+    let processes: usize = arg_val("processes").map_or(0, |v| v.parse().expect("--processes N"));
 
     let mut results: Vec<Scenario> = vec![
         // Headline scenarios: 16 KiB payloads over the reliable transport
@@ -223,20 +346,29 @@ fn main() {
     for size in [8usize, 1024, 4096, 65536] {
         results.push(pingpong(Mode::Det, size, true, 200 * k));
     }
+    // Multi-process leg: the same pingpong/ring over real process
+    // boundaries, shared-memory rings then Unix sockets.
+    if processes >= 2 {
+        results.extend(mp_leg(processes, fast, k as u64));
+    }
 
     let mut t = Table::new(&[
-        "scenario", "mode", "pes", "payload", "reliable", "messages", "ns/msg", "msgs/sec",
-        "speedup",
+        "scenario", "mode", "procs", "backend", "pes", "payload", "reliable", "messages",
+        "ns/msg", "msgs/sec", "speedup",
     ]);
     for s in &results {
-        assert_eq!(
-            s.delivered, s.messages,
-            "{}/{}: dispatch count diverged from logical sends",
-            s.name, s.mode
-        );
+        if s.procs == 1 {
+            assert_eq!(
+                s.delivered, s.messages,
+                "{}/{}: dispatch count diverged from logical sends",
+                s.name, s.mode
+            );
+        }
         t.row(vec![
             s.name.into(),
             s.mode.into(),
+            s.procs.to_string(),
+            s.backend.into(),
             s.pes.to_string(),
             s.payload.to_string(),
             s.reliable.to_string(),
@@ -254,12 +386,15 @@ fn main() {
     for (i, s) in results.iter().enumerate() {
         let base = baseline_of(s);
         json.push_str(&format!(
-            "    {{\"scenario\": \"{}\", \"mode\": \"{}\", \"pes\": {}, \"payload_bytes\": {}, \
+            "    {{\"scenario\": \"{}\", \"mode\": \"{}\", \"processes\": {}, \
+             \"backend\": \"{}\", \"pes\": {}, \"payload_bytes\": {}, \
              \"reliable_link\": {}, \"messages\": {}, \"delivered\": {}, \"wall_ns\": {}, \
              \"ns_per_msg\": {:.1}, \"msgs_per_sec\": {:.1}, \"baseline_msgs_per_sec\": {}, \
              \"speedup\": {}}}{}\n",
             s.name,
             s.mode,
+            s.procs,
+            s.backend,
             s.pes,
             s.payload,
             s.reliable,

@@ -226,6 +226,49 @@ fn waiver_for_one_rule_does_not_hide_another() {
     assert_eq!(rules_of(&f), vec![Rule::NoGlobalState]);
 }
 
+// ---- flows-net coverage pins ----
+//
+// The transport layer is the one place syscall-heavy code (memfd rings,
+// futex parking, sockets) lives *outside* flows-sys, so pin two things:
+// the rules fire on flows-net paths exactly as anywhere else, and the
+// real crates/net sources are inside the workspace scan set (a rename or
+// walker change silently dropping them would void the first guarantee).
+
+#[test]
+fn net_files_direct_libc_fires() {
+    let src = "pub fn park() {\n    let r = unsafe { libc::syscall(0) }; // SAFETY: test\n    let _ = r;\n}\n";
+    let f = lint_at("crates/net/src/shm.rs", src);
+    assert_eq!(rules_of(&f), vec![Rule::NoDirectLibc]);
+}
+
+#[test]
+fn net_files_unsafe_needs_safety_comment() {
+    let src = "pub fn view(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+    let f = lint_at("crates/net/src/topo.rs", src);
+    assert_eq!(rules_of(&f), vec![Rule::UnsafeSafetyComment]);
+}
+
+#[test]
+fn real_net_sources_are_in_the_scan_set() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/check has a workspace root two levels up");
+    let net = root.join("crates/net/src");
+    let expect = ["lib.rs", "frame.rs", "shm.rs", "sock.rs", "topo.rs"];
+    for f in expect {
+        assert!(net.join(f).is_file(), "crates/net/src/{f} moved — update this pin");
+    }
+    // lint_workspace scans every non-vendored .rs under the root; the
+    // real workspace-clean assertion below is only meaningful for
+    // flows-net if its files actually participate in that count.
+    let (_, scanned) = flows_check::lint_workspace(&net).expect("scan crates/net");
+    assert!(
+        scanned >= expect.len(),
+        "only {scanned} files under crates/net/src — transport sources left the scan set"
+    );
+}
+
 // ---- the real workspace must be clean (acceptance criterion) ----
 
 #[test]

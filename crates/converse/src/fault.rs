@@ -164,6 +164,19 @@ impl FaultPlan {
         self
     }
 
+    /// Script a whole-process crash in a multi-process machine: every PE
+    /// hosted by process `proc` (ranks are `pes_per_proc` wide) crashes at
+    /// the same virtual time, and the surviving processes detect, write
+    /// off, and heal the loss. Whole-process failure units need buddy
+    /// images to land off-process: pair this with
+    /// [`FaultPlan::online_recovery`]`(k)` where `k >= pes_per_proc`.
+    pub fn crash_process(mut self, proc: usize, pes_per_proc: usize, at_vtime_ns: u64) -> Self {
+        for pe in proc * pes_per_proc..(proc + 1) * pes_per_proc {
+            self.crashes.push(PeCrash { pe, at_vtime_ns });
+        }
+        self
+    }
+
     /// Script a PE stall at a virtual time.
     pub fn stall_pe(mut self, pe: usize, at_vtime_ns: u64, for_steps: u64) -> Self {
         self.stalls.push(PeStall {

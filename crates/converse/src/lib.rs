@@ -50,6 +50,7 @@ pub mod fault;
 mod link;
 pub mod machine;
 pub mod msg;
+mod netpump;
 pub mod pe;
 
 pub use fault::{FaultPlan, FaultSummary, PeCrash, PeStall, RecoveryEvent, RecoveryPhase};

@@ -69,6 +69,14 @@ pub(crate) struct Hub {
     timeline: Mutex<Vec<RecoveryEvent>>,
     /// Dead-PE pairs whose mutual in-flight traffic has been written off.
     pair_reaped: Mutex<Vec<(usize, usize)>>,
+    /// First global PE id hosted by this process (0 unless the machine
+    /// spans processes through a `flows_net::World`). Wakers and inject
+    /// channels are local-length, indexed by `global_pe - base`.
+    pub(crate) base: usize,
+    /// Machine-wide sent total as declared by the quiescence leader
+    /// (multi-process runs only; the local `sent` counter covers just
+    /// this process's PEs).
+    pub(crate) net_global_sent: AtomicU64,
 }
 
 /// The link-layer ledger a dying PE publishes so survivors can write off
@@ -103,6 +111,8 @@ impl Default for Hub {
             morgue: Mutex::new(HashMap::new()),
             timeline: Mutex::new(Vec::new()),
             pair_reaped: Mutex::new(Vec::new()),
+            base: 0,
+            net_global_sent: AtomicU64::new(0),
         }
     }
 }
@@ -213,11 +223,54 @@ impl Hub {
         (0..64).filter(|pe| mask & (1 << pe) != 0).collect()
     }
 
-    /// Wake PE `dest` if it is parked (no-op under deterministic drive).
+    /// Wake PE `dest` if it is parked (no-op under deterministic drive,
+    /// and for destinations hosted by another process — their wake rides
+    /// the transport doorbell instead).
     pub(crate) fn wake(&self, dest: usize) {
         if let Some(ws) = self.wakers.get() {
-            ws[dest].unpark();
+            let local = dest.wrapping_sub(self.base);
+            if let Some(w) = ws.get(local) {
+                w.unpark();
+            }
         }
+    }
+
+    /// Number of local PEs currently announced at the idle barrier.
+    pub(crate) fn idle_count(&self) -> usize {
+        self.idle.load(Ordering::SeqCst)
+    }
+
+    /// Has the run been declared over (quiescence or crash abort)?
+    pub(crate) fn done_flag(&self) -> bool {
+        self.done.load(Ordering::SeqCst)
+    }
+
+    /// Declare the run over and wake every parked PE (the comm thread's
+    /// entry into the shutdown the drive loops normally own).
+    pub(crate) fn set_done_and_wake(&self) {
+        self.done.store(true, Ordering::SeqCst);
+        self.wake_all();
+    }
+
+    /// Snapshot of the failure masks, for cross-process synchronization.
+    pub(crate) fn masks(&self) -> (u64, u64, u64, u64) {
+        (
+            self.dead.load(Ordering::SeqCst),
+            self.fenced.load(Ordering::SeqCst),
+            self.confirmed.load(Ordering::SeqCst),
+            self.resolved.load(Ordering::SeqCst),
+        )
+    }
+
+    /// OR another process's failure masks into ours. Bits only ever
+    /// accumulate, so the sync is idempotent and order-insensitive.
+    /// Dead bits may land before the matching morgue record; everything
+    /// that needs the record (reap, upcall) already gates on it.
+    pub(crate) fn absorb_masks(&self, dead: u64, fenced: u64, confirmed: u64, resolved: u64) {
+        self.dead.fetch_or(dead, Ordering::SeqCst);
+        self.fenced.fetch_or(fenced, Ordering::SeqCst);
+        self.confirmed.fetch_or(confirmed, Ordering::SeqCst);
+        self.resolved.fetch_or(resolved, Ordering::SeqCst);
     }
 
     /// Wake every parked PE (crash abort / quiescence declaration).
@@ -309,6 +362,7 @@ pub struct MachineBuilder {
     trace_cap: usize,
     steal: bool,
     death_upcall: Option<DeathUpcall>,
+    world: Option<Arc<flows_net::World>>,
 }
 
 impl MachineBuilder {
@@ -329,7 +383,25 @@ impl MachineBuilder {
             trace_cap: 1 << 16,
             steal: false,
             death_upcall: None,
+            world: None,
         }
+    }
+
+    /// Span this machine across the processes of a [`flows_net::World`]:
+    /// this process hosts the `world.pes_per_proc()` PEs starting at
+    /// `world.first_pe()`, and every other global PE is reached through
+    /// the world's transport (a comm thread is spawned by [`Self::run`];
+    /// the deterministic drive cannot cross processes). Every process
+    /// must build an identical machine — same handlers in the same
+    /// order, same fault plan, same options — and call `run` (SPMD).
+    pub fn multiproc(mut self, world: Arc<flows_net::World>) -> Self {
+        assert_eq!(
+            world.num_pes(),
+            self.num_pes,
+            "the machine size must equal the world's procs × pes_per_proc"
+        );
+        self.world = Some(world);
+        self
     }
 
     /// Enable intra-node work stealing: idle PEs pull chunks off the
@@ -433,10 +505,23 @@ impl MachineBuilder {
             return s.clone();
         }
         let mut iso = IsoConfig::for_pes(self.num_pes);
-        iso.base = 0; // machines in one process must not fight over a base
+        if self.world.is_none() {
+            iso.base = 0; // machines in one process must not fight over a base
+        }
+        // else: keep the fixed default base — every process of a
+        // multi-process machine must map the isomalloc region at the same
+        // virtual address, or migrated thread images (absolute slot
+        // addresses) could not cross the process boundary.
         iso.slot_len = self.slot_len;
         iso.slots_per_pe = self.slots_per_pe;
-        SharedPools::new(iso, 1 << 20).expect("machine memory pools")
+        let pools = SharedPools::new(iso, 1 << 20).expect("machine memory pools");
+        if self.world.is_some() {
+            assert!(
+                pools.region().at_fixed_base(),
+                "multi-process machines need the isomalloc region at its fixed base"
+            );
+        }
+        pools
     }
 
     #[allow(clippy::type_complexity)]
@@ -447,10 +532,21 @@ impl MachineBuilder {
         Arc<Hub>,
         Option<Arc<FaultStats>>,
         Vec<Arc<TraceRing>>,
+        Vec<crossbeam::channel::Sender<Packet>>,
     ) {
         let shared = self.build_shared();
         let handlers = Arc::new(std::mem::take(&mut self.handlers));
-        let hub = Arc::new(Hub::default());
+        // A multi-process machine hosts only its world's slice of the PEs:
+        // channels, wakers and trace rings are local-length, while ids,
+        // link tables and failure masks stay global.
+        let (base, local) = match &self.world {
+            Some(w) => (w.first_pe(), w.pes_per_proc()),
+            None => (0, self.num_pes),
+        };
+        let hub = Arc::new(Hub {
+            base,
+            ..Hub::default()
+        });
         let fault = self.fault.clone().map(|plan| FaultCtx {
             plan,
             stats: Arc::new(FaultStats::default()),
@@ -458,18 +554,19 @@ impl MachineBuilder {
         let stats = fault.as_ref().map(|f| f.stats.clone());
         let rings: Vec<Arc<TraceRing>> = if self.tracing {
             flows_trace::set_enabled(true);
-            (0..self.num_pes)
-                .map(|i| Arc::new(TraceRing::new(i, self.trace_cap)))
+            (0..local)
+                .map(|i| Arc::new(TraceRing::new(base + i, self.trace_cap)))
                 .collect()
         } else {
             Vec::new()
         };
-        let (txs, rxs): (Vec<_>, Vec<_>) = (0..self.num_pes).map(|_| unbounded()).unzip();
+        let (txs, rxs): (Vec<_>, Vec<_>) = (0..local).map(|_| unbounded()).unzip();
         let seeds = rxs
             .into_iter()
             .enumerate()
             .map(|(i, rx)| PeSeed {
-                id: i,
+                id: base + i,
+                base,
                 num_pes: self.num_pes,
                 shared: shared.clone(),
                 sched_cfg: self.sched_cfg.clone(),
@@ -483,16 +580,21 @@ impl MachineBuilder {
                 steal: self.steal,
                 ring: rings.get(i).cloned(),
                 death_upcall: self.death_upcall.clone(),
+                world: self.world.clone(),
             })
             .collect();
-        (seeds, hub, stats, rings)
+        (seeds, hub, stats, rings, txs)
     }
 
     /// Drive all PEs round-robin on the calling OS thread until
     /// quiescence. Deterministic given deterministic application code.
     pub fn run_deterministic(mut self, init: impl Fn(&Pe)) -> MachineReport {
+        assert!(
+            self.world.is_none(),
+            "a multi-process machine needs its comm thread: use run()"
+        );
         let online = self.fault.as_ref().is_some_and(|p| p.online);
-        let (seeds, hub, stats, rings) = self.make_seeds();
+        let (seeds, hub, stats, rings, _txs) = self.make_seeds();
         let pes: Vec<Pe> = seeds.into_iter().map(PeSeed::build).collect();
         let sc0 = flows_sys::counters::snapshot();
         let t0 = flows_sys::time::monotonic_ns();
@@ -580,16 +682,56 @@ impl MachineBuilder {
     /// on a per-PE [`Parker`] and are woken by incoming packets (instead
     /// of spinning on `yield_now`).
     pub fn run(mut self, init: impl Fn(&Pe) + Send + Sync) -> MachineReport {
+        let online = self.fault.as_ref().is_some_and(|p| p.online);
+        let multiproc = self.world.is_some();
         assert!(
-            !self.fault.as_ref().is_some_and(|p| p.online),
-            "online recovery requires the deterministic drive mode"
+            !online || multiproc,
+            "online recovery requires the deterministic drive mode \
+             (or a multi-process world, whose comm thread owns quiescence)"
         );
-        let (seeds, hub, stats, rings) = self.make_seeds();
+        if multiproc {
+            assert!(!self.steal, "work stealing cannot cross process boundaries");
+        }
+        if let (Some(w), Some(plan)) = (&self.world, &self.fault) {
+            if plan.online && w.is_leader() {
+                let leader_pes = w.first_pe()..w.first_pe() + w.pes_per_proc();
+                assert!(
+                    !leader_pes.clone().all(|p| plan.crash_for(p).is_some()),
+                    "the lead process hosts the quiescence gather and the \
+                     recovery leader; it cannot be scripted to fully crash"
+                );
+            }
+        }
+        if let Some(w) = &self.world {
+            // Thread ids mint per-process but travel with packed images
+            // across process boundaries (migration, recovery respawn);
+            // partition the namespace so they can never collide.
+            flows_core::seed_tid_namespace(w.rank());
+        }
+        let (seeds, hub, stats, rings, txs) = self.make_seeds();
         let num_pes = self.num_pes;
-        let parkers: Vec<Parker> = (0..num_pes).map(|_| Parker::new()).collect();
+        let local_pes = seeds.len();
+        let parkers: Vec<Parker> = (0..local_pes).map(|_| Parker::new()).collect();
         hub.wakers
             .set(parkers.iter().map(Parker::unparker).collect())
             .expect("fresh hub");
+        // The comm thread outlives the PE scope on purpose: the leader's
+        // finish handshake (DONE/GOODBYE) may still be draining while the
+        // local PEs are already done.
+        let pump = self.world.clone().map(|world| {
+            let pump = crate::netpump::NetPump {
+                world,
+                hub: hub.clone(),
+                txs,
+                stats: stats.clone(),
+                online,
+                num_pes,
+            };
+            std::thread::Builder::new()
+                .name("flows-netpump".into())
+                .spawn(move || pump.run())
+                .expect("spawn comm thread")
+        });
         let t0 = flows_sys::time::monotonic_ns();
         let results: Vec<(u64, SchedStats, usize, u64, u64, SyscallCounts)> =
             std::thread::scope(|s| {
@@ -609,7 +751,7 @@ impl MachineBuilder {
                             pe.set_threaded();
                             let prev = pe.enter();
                             init(&pe);
-                            drive_until_quiescent(&pe, &hub, num_pes, &parker);
+                            drive_until_quiescent(&pe, &hub, local_pes, multiproc, &parker);
                             // Final flush so the report's totals are complete
                             // on every exit path (quiescence or crash abort).
                             pe.flush_counters();
@@ -627,14 +769,22 @@ impl MachineBuilder {
                     .collect();
                 handles.into_iter().map(|h| h.join().expect("PE thread")).collect()
             });
+        if let Some(h) = pump {
+            let _ = h.join();
+        }
         let wall_ns = flows_sys::time::monotonic_ns() - t0;
         let syscalls: Vec<SyscallCounts> = results.iter().map(|r| r.5).collect();
         let trace = finish_trace(&rings, &syscalls);
+        let messages = if multiproc {
+            hub.net_global_sent.load(Ordering::SeqCst)
+        } else {
+            hub.sent.load(Ordering::SeqCst)
+        };
         MachineReport {
             pe_vtimes: results.iter().map(|r| r.0).collect(),
             wall_ns,
             sched_stats: results.iter().map(|r| r.1).collect(),
-            messages: hub.sent.load(Ordering::SeqCst),
+            messages,
             pe_delivered: results.iter().map(|r| r.4).collect(),
             stranded_threads: results.iter().map(|r| r.2).collect(),
             pe_busy: results.iter().map(|r| r.3).collect(),
@@ -654,6 +804,8 @@ impl MachineBuilder {
 struct PeSeed {
     id: usize,
     num_pes: usize,
+    base: usize,
+    world: Option<Arc<flows_net::World>>,
     shared: Arc<SharedPools>,
     sched_cfg: SchedConfig,
     rx: crossbeam::channel::Receiver<Packet>,
@@ -670,10 +822,14 @@ struct PeSeed {
 
 impl PeSeed {
     fn build(self) -> Pe {
+        // Pools are built machine-wide (global PE count) in every process
+        // so isomalloc slot ranges agree across process boundaries.
         let pool = self.shared.payload_pool(self.id).clone();
         Pe::new(
             self.id,
             self.num_pes,
+            self.base,
+            self.world,
             Scheduler::new(self.id, self.shared, self.sched_cfg),
             self.rx,
             self.txs,
@@ -747,7 +903,7 @@ const IDLE_SPINS_BEFORE_PARK: u32 = 128;
 /// on), then spin-yields briefly and finally parks until a packet arrives.
 /// The park has a short timeout so virtual-time retransmission deadlines
 /// are still noticed on an otherwise-silent machine.
-fn drive_until_quiescent(pe: &Pe, hub: &Hub, num_pes: usize, parker: &Parker) {
+fn drive_until_quiescent(pe: &Pe, hub: &Hub, num_pes: usize, multiproc: bool, parker: &Parker) {
     loop {
         if hub.done.load(Ordering::SeqCst) {
             // Another PE crashed (or quiescence was declared while we were
@@ -785,7 +941,8 @@ fn drive_until_quiescent(pe: &Pe, hub: &Hub, num_pes: usize, parker: &Parker) {
                 }
                 break;
             }
-            if hub.idle.load(Ordering::SeqCst) == num_pes
+            if !multiproc
+                && hub.idle.load(Ordering::SeqCst) == num_pes
                 && hub.sent.load(Ordering::SeqCst) == hub.recv.load(Ordering::SeqCst)
                 && pe.steal_in_flight() == 0
             {
@@ -820,6 +977,17 @@ fn drive_until_quiescent(pe: &Pe, hub: &Hub, num_pes: usize, parker: &Parker) {
                 // parker token first, so the park returns immediately.)
                 pe.steal_request();
                 parker.park_timeout(IDLE_PARK);
+                if multiproc {
+                    // Quiescence is the comm thread's call in a
+                    // multi-process machine (it gathers every process's
+                    // counters); a PE only reports idleness. Leave the
+                    // barrier and re-pump so link maintenance — heartbeat
+                    // schedules, retransmission deadlines, failure
+                    // detection — keeps running while the machine waits
+                    // on remote traffic.
+                    hub.idle.fetch_sub(1, Ordering::SeqCst);
+                    break;
+                }
             }
         }
     }

@@ -1,0 +1,580 @@
+//! The comm thread: bridges in-process packet channels and the
+//! `flows-net` transport so one machine can span `N processes × M PEs`.
+//!
+//! Each process runs exactly one comm thread (spawned by
+//! `MachineBuilder::run` when a [`flows_net::World`] is attached). The
+//! thread owns two jobs:
+//!
+//! * **The packet pump.** PEs post to remote destinations through
+//!   [`send_packet`], which encodes a link-layer [`Packet`] as a
+//!   [`Frame`] (the link protocol — sequence numbers, cumulative acks,
+//!   heartbeats — runs end-to-end between global PEs and never notices
+//!   the boundary). Inbound frames are decoded and injected into the
+//!   destination PE's local channel.
+//!
+//! * **The machine protocols.** Quiescence detection becomes a
+//!   leader-driven double gather (children report `STATS`, the leader
+//!   probes a stable fixpoint twice before declaring `DONE`); failure
+//!   masks are synchronized with `MASKS` broadcasts; a process whose
+//!   PEs all hit scripted crashes broadcasts its `MORGUE` records and a
+//!   `PROC_DEAD` notice, then exits cleanly so the leader can reap it.
+//!
+//! Scope: recovery *decisions* (confirm, epoch allocation, dead-pair
+//! write-off) run on the process hosting the recovery-leader PE; mask
+//! sync makes the outcome visible everywhere. The scripted-crash plans
+//! supported across processes are whole-process crashes with the
+//! survivors' recovery leader on the lead process.
+
+use crate::fault::FaultStats;
+use crate::link::{Packet, PacketBody};
+use crate::machine::{Hub, Morgue};
+use crate::msg::{HandlerId, Message};
+use crossbeam::channel::Sender;
+use flows_net::{ctrl, Frame, FrameKind, World};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long the comm thread parks between drain rounds when the wire is
+/// silent. Arrivals cut it short on backends with doorbells.
+const PUMP_PARK: Duration = Duration::from_micros(500);
+
+/// How long the leader waits for children's `GOODBYE`s after `DONE`.
+const GOODBYE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Encode one link-layer packet and ship it to the process hosting the
+/// global PE `dest`. Called by `Pe::post` for non-local destinations —
+/// from any PE thread, concurrently with the comm thread.
+pub(crate) fn send_packet(world: &World, dest: usize, pkt: Packet) {
+    let frame = match pkt.body {
+        PacketBody::Data { seq, msg } => Frame::data(
+            pkt.src as u32,
+            dest as u32,
+            seq,
+            msg.handler.0 as u64,
+            msg.sent_vtime,
+            msg.data,
+        ),
+        PacketBody::Ack { cum } => Frame::ack(pkt.src as u32, dest as u32, cum),
+        PacketBody::Heartbeat { hb_seq, vt } => {
+            Frame::heartbeat(pkt.src as u32, dest as u32, hb_seq, vt)
+        }
+    };
+    world.send(world.proc_of_pe(dest), &frame);
+}
+
+/// Decode a non-control frame back into the packet the sender posted.
+fn packet_of(f: Frame) -> Packet {
+    let src = f.src_pe as usize;
+    let body = match f.kind {
+        FrameKind::Data => PacketBody::Data {
+            seq: f.a,
+            msg: Message {
+                handler: HandlerId(f.b as usize),
+                data: f.body,
+                src_pe: src,
+                sent_vtime: f.c,
+            },
+        },
+        FrameKind::Ack => PacketBody::Ack { cum: f.a },
+        FrameKind::Heartbeat => PacketBody::Heartbeat { hb_seq: f.a, vt: f.b },
+        FrameKind::Ctrl => unreachable!("control frames are consumed by the comm thread"),
+    };
+    Packet { src, body }
+}
+
+/// Serialize a morgue record (all vectors are global-length):
+/// `[rx_cum × n][tx_last × n][reaped_mask]`, little-endian u64s.
+fn encode_morgue(m: &Morgue) -> Vec<u8> {
+    let mut out = Vec::with_capacity((m.rx_cum.len() + m.tx_last.len() + 1) * 8);
+    for v in m.rx_cum.iter().chain(m.tx_last.iter()) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out.extend_from_slice(&m.reaped_mask.to_le_bytes());
+    out
+}
+
+fn decode_morgue(body: &[u8], num_pes: usize) -> Option<Morgue> {
+    if body.len() != (2 * num_pes + 1) * 8 {
+        return None;
+    }
+    let u64_at = |i: usize| u64::from_le_bytes(body[i * 8..i * 8 + 8].try_into().unwrap());
+    Some(Morgue {
+        rx_cum: (0..num_pes).map(u64_at).collect(),
+        tx_last: (0..num_pes).map(|i| u64_at(num_pes + i)).collect(),
+        reaped_mask: u64_at(2 * num_pes),
+    })
+}
+
+/// Everything the comm thread needs; built by `MachineBuilder::run`.
+pub(crate) struct NetPump {
+    pub world: Arc<World>,
+    pub hub: Arc<Hub>,
+    /// Local PEs' inject channels, indexed by `global_pe - base`.
+    pub txs: Vec<Sender<Packet>>,
+    pub stats: Option<Arc<FaultStats>>,
+    pub online: bool,
+    pub num_pes: usize,
+}
+
+/// One process's quiescence-gather row on the leader.
+#[derive(Clone, Copy, Default)]
+struct ProcRow {
+    sent: u64,
+    recv: u64,
+    written_off: u64,
+    idle: bool,
+    unresolved: bool,
+    /// Probe round this row last echoed (0 = never probed).
+    round: u64,
+    /// Process announced PROC_DEAD; its counters are frozen.
+    dead: bool,
+    /// Process sent GOODBYE (only during the finish wait).
+    departed: bool,
+}
+
+impl NetPump {
+    fn base(&self) -> usize {
+        self.world.first_pe()
+    }
+
+    fn local(&self) -> usize {
+        self.world.pes_per_proc()
+    }
+
+    /// Bitmask of this process's global PE ids (online mode caps the
+    /// machine at 64 PEs, so the mask math is exact).
+    fn local_mask(&self) -> u64 {
+        (((1u128 << self.local()) - 1) << self.base()) as u64
+    }
+
+    /// Inject one decoded packet into its destination PE's channel.
+    fn inject(&self, f: Frame) {
+        let dst = f.dst_pe as usize;
+        let local = dst.wrapping_sub(self.base());
+        if local >= self.txs.len() {
+            return; // misrouted frame; drop rather than poison a channel
+        }
+        let _ = self.txs[local].send(packet_of(f));
+        self.hub.wake(dst);
+    }
+
+    fn local_written_off(&self) -> u64 {
+        self.stats.as_ref().map_or(0, |s| s.summary().written_off)
+    }
+
+    /// This process's own gather row, sampled from the hub.
+    fn own_row(&self) -> ProcRow {
+        ProcRow {
+            sent: self.hub.sent.load(Ordering::SeqCst),
+            recv: self.hub.recv.load(Ordering::SeqCst),
+            written_off: self.local_written_off(),
+            idle: self.hub.idle_count() == self.local(),
+            unresolved: self.hub.unresolved(),
+            round: 0,
+            dead: false,
+            departed: false,
+        }
+    }
+
+    fn stats_frame(&self, round: u64) -> Frame {
+        let row = self.own_row();
+        let (dead, fenced, confirmed, resolved) = self.hub.masks();
+        let mut body = Vec::with_capacity(1 + 5 * 8);
+        body.push(u8::from(row.idle) | (u8::from(row.unresolved) << 1));
+        for v in [row.written_off, dead, fenced, confirmed, resolved] {
+            body.extend_from_slice(&v.to_le_bytes());
+        }
+        Frame::control(
+            ctrl::STATS,
+            self.world.rank() as u32,
+            row.sent,
+            row.recv,
+            round,
+            body.into(),
+        )
+    }
+
+    /// Absorb a STATS frame into the sender's row (leader side).
+    fn absorb_stats(&self, rows: &mut [ProcRow], f: &Frame) {
+        let proc = f.src_pe as usize;
+        if proc >= rows.len() || rows[proc].dead {
+            return;
+        }
+        let b = f.body.as_slice();
+        if b.len() != 1 + 5 * 8 {
+            return;
+        }
+        let u64_at =
+            |o: usize| u64::from_le_bytes(b[1 + o * 8..1 + o * 8 + 8].try_into().unwrap());
+        rows[proc] = ProcRow {
+            sent: f.a,
+            recv: f.b,
+            written_off: u64_at(0),
+            idle: b[0] & 1 != 0,
+            unresolved: b[0] & 2 != 0,
+            round: f.c,
+            dead: false,
+            departed: rows[proc].departed,
+        };
+        self.hub.absorb_masks(u64_at(1), u64_at(2), u64_at(3), u64_at(4));
+    }
+
+    /// A morgue notice from a dying remote PE: record the crash exactly
+    /// as the local `die()` path would, so detection/write-off/upcall
+    /// machinery runs unchanged on survivors.
+    fn absorb_morgue(&self, f: &Frame) {
+        let pe = f.a as usize;
+        if pe >= self.num_pes || self.hub.morgue_ready(pe) {
+            return;
+        }
+        if let Some(m) = decode_morgue(f.body.as_slice(), self.num_pes) {
+            self.hub.record_crash_online(pe, m);
+        }
+    }
+
+    fn absorb_masks_frame(&self, f: &Frame) {
+        let fenced = f
+            .body
+            .as_slice()
+            .get(..8)
+            .map_or(0, |b| u64::from_le_bytes(b.try_into().unwrap()));
+        self.hub.absorb_masks(f.a, fenced, f.b, f.c);
+    }
+
+    /// All of this process's PEs have hit their scripted crashes: publish
+    /// every local morgue to the survivors, report the frozen counters to
+    /// the leader, and take the whole process down cleanly (exit code 0 —
+    /// the *machine-level* failure was scripted, the process did its job).
+    fn announce_proc_death(&self) {
+        let me = self.world.rank();
+        for pe in self.base()..self.base() + self.local() {
+            let Some(m) = self.hub.morgue_get(pe) else { continue };
+            let f = Frame::control(
+                ctrl::MORGUE,
+                me as u32,
+                pe as u64,
+                0,
+                0,
+                encode_morgue(&m).into(),
+            );
+            for p in 0..self.world.procs() {
+                if p != me {
+                    self.world.send(p, &f);
+                }
+            }
+        }
+        let woff = self.local_written_off();
+        self.world.send(
+            0,
+            &Frame::control(
+                ctrl::PROC_DEAD,
+                me as u32,
+                me as u64,
+                self.hub.sent.load(Ordering::SeqCst),
+                self.hub.recv.load(Ordering::SeqCst),
+                woff.to_le_bytes().to_vec().into(),
+            ),
+        );
+        self.hub.set_done_and_wake();
+    }
+
+    /// The child-process comm loop: pump frames, answer probes, report
+    /// state changes, exit on DONE (or on whole-process death).
+    fn run_child(self) {
+        let me = self.world.rank();
+        let mut last_sent: Option<(u64, u64, u64, bool, bool)> = None;
+        // Highest probe round this process has answered. Every STATS frame
+        // carries it — "I have seen probe N" is monotone state, not a
+        // one-shot reply. If a state-change report could carry round 0 it
+        // would overwrite the leader's record of our reply, and a wave
+        // whose counters then stopped moving would wait forever for a
+        // re-reply nothing will ever trigger.
+        let mut seen_round: u64 = 0;
+        loop {
+            while let Some((_, f)) = self.world.try_recv() {
+                match f.kind {
+                    FrameKind::Ctrl => match f.ctrl {
+                        ctrl::MORGUE => self.absorb_morgue(&f),
+                        ctrl::MASKS => self.absorb_masks_frame(&f),
+                        ctrl::PROBE => {
+                            seen_round = seen_round.max(f.a);
+                            self.world.send(0, &self.stats_frame(seen_round));
+                        }
+                        ctrl::DONE => {
+                            self.hub.net_global_sent.store(f.a, Ordering::SeqCst);
+                            self.hub.set_done_and_wake();
+                            self.world.send(
+                                0,
+                                &Frame::control(
+                                    ctrl::GOODBYE,
+                                    me as u32,
+                                    me as u64,
+                                    0,
+                                    0,
+                                    flows_core::Payload::empty(),
+                                ),
+                            );
+                            return;
+                        }
+                        _ => {}
+                    },
+                    _ => self.inject(f),
+                }
+            }
+            if self.hub.done_flag() {
+                // A local abort (legacy crash path) without a DONE: say
+                // goodbye so the leader's finish wait does not time out.
+                self.world.send(
+                    0,
+                    &Frame::control(
+                        ctrl::GOODBYE,
+                        me as u32,
+                        me as u64,
+                        0,
+                        0,
+                        flows_core::Payload::empty(),
+                    ),
+                );
+                return;
+            }
+            if self.online {
+                let (dead, _, _, _) = self.hub.masks();
+                if dead & self.local_mask() == self.local_mask() {
+                    self.announce_proc_death();
+                    return;
+                }
+            }
+            let row = self.own_row();
+            let state = (row.sent, row.recv, row.written_off, row.idle, row.unresolved);
+            if last_sent != Some(state) {
+                last_sent = Some(state);
+                self.world.send(0, &self.stats_frame(seen_round));
+            }
+            self.world.park(PUMP_PARK);
+        }
+    }
+
+    /// The leader comm loop: gather rows, double-probe the fixpoint,
+    /// declare quiescence, then collect goodbyes.
+    fn run_leader(self) {
+        let procs = self.world.procs();
+        let mut rows = vec![ProcRow::default(); procs];
+        let mut round: u64 = 0;
+        let mut snapshot: Option<(u64, u64, u64)> = None;
+        let mut last_masks = (0u64, 0u64, 0u64, 0u64);
+        loop {
+            while let Some((_, f)) = self.world.try_recv() {
+                match f.kind {
+                    FrameKind::Ctrl => match f.ctrl {
+                        ctrl::STATS => self.absorb_stats(&mut rows, &f),
+                        ctrl::MORGUE => self.absorb_morgue(&f),
+                        ctrl::PROC_DEAD => {
+                            let proc = f.a as usize;
+                            if proc < procs && !rows[proc].dead {
+                                let woff = f.body.as_slice().get(..8).map_or(0, |b| {
+                                    u64::from_le_bytes(b.try_into().unwrap())
+                                });
+                                // Frozen final counters; a dead process's
+                                // failures are the survivors' to resolve,
+                                // so it gathers as idle and resolved.
+                                rows[proc] = ProcRow {
+                                    sent: f.b,
+                                    recv: f.c,
+                                    written_off: woff,
+                                    idle: true,
+                                    unresolved: false,
+                                    round: u64::MAX,
+                                    dead: true,
+                                    departed: true,
+                                };
+                                self.world.mark_proc_dead(proc);
+                            }
+                        }
+                        _ => {}
+                    },
+                    _ => self.inject(f),
+                }
+            }
+            if self.hub.done_flag() {
+                // Declared below on a previous iteration — unreachable —
+                // or a legacy crash abort: finish either way.
+                self.finish(&rows, self.hub.sent.load(Ordering::SeqCst));
+                return;
+            }
+            rows[0] = self.own_row();
+            let masks = self.hub.masks();
+            if masks != last_masks {
+                last_masks = masks;
+                let (dead, fenced, confirmed, resolved) = masks;
+                let f = Frame::control(
+                    ctrl::MASKS,
+                    0,
+                    dead,
+                    confirmed,
+                    resolved,
+                    fenced.to_le_bytes().to_vec().into(),
+                );
+                for (p, row) in rows.iter().enumerate().skip(1) {
+                    if !row.dead {
+                        self.world.send(p, &f);
+                    }
+                }
+            }
+            match self.fixpoint(&rows) {
+                None => snapshot = None,
+                Some(sums) => {
+                    let replied = rows
+                        .iter()
+                        .skip(1)
+                        .all(|r| r.dead || r.round >= round.max(1));
+                    match snapshot {
+                        Some(prev) if replied && prev == sums => {
+                            // Second wave saw the identical balanced
+                            // fixpoint: quiescent machine-wide.
+                            let global_sent = sums.0;
+                            self.hub.net_global_sent.store(global_sent, Ordering::SeqCst);
+                            self.hub.set_done_and_wake();
+                            self.finish(&rows, global_sent);
+                            return;
+                        }
+                        Some(prev) if replied => {
+                            // Moved under the probe: start a fresh wave.
+                            let _ = prev;
+                            snapshot = None;
+                        }
+                        Some(prev) if prev != sums => {
+                            // The ledger moved while replies were still
+                            // outstanding — this wave's snapshot is moot,
+                            // and an unanswered stale wave must not be
+                            // waited out (the traffic that moved the sums
+                            // may have been the machine's last).
+                            snapshot = None;
+                        }
+                        Some(_) => {} // waiting for probe replies
+                        None => {
+                            round += 1;
+                            snapshot = Some(sums);
+                            let f = Frame::control(
+                                ctrl::PROBE,
+                                0,
+                                round,
+                                0,
+                                0,
+                                flows_core::Payload::empty(),
+                            );
+                            for (p, row) in rows.iter().enumerate().skip(1) {
+                                if !row.dead {
+                                    self.world.send(p, &f);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            self.world.park(PUMP_PARK);
+        }
+    }
+
+    /// Balanced-and-idle check over the gather rows. `Some((Σsent, Σrecv,
+    /// Σwritten_off))` when every live process is idle with no unresolved
+    /// failure and the global ledger balances.
+    fn fixpoint(&self, rows: &[ProcRow]) -> Option<(u64, u64, u64)> {
+        if rows.iter().any(|r| !r.idle || r.unresolved) {
+            return None;
+        }
+        let sent: u64 = rows.iter().map(|r| r.sent).sum();
+        let recv: u64 = rows.iter().map(|r| r.recv).sum();
+        let woff: u64 = rows.iter().map(|r| r.written_off).sum();
+        (sent == recv + woff).then_some((sent, recv, woff))
+    }
+
+    /// Broadcast DONE and wait for every live child's GOODBYE so no child
+    /// is still mid-drain when the leader tears the session down.
+    fn finish(&self, rows: &[ProcRow], global_sent: u64) {
+        let mut pending: Vec<bool> = rows.iter().map(|r| !r.departed).collect();
+        pending[0] = false;
+        let done = Frame::control(
+            ctrl::DONE,
+            0,
+            global_sent,
+            0,
+            0,
+            flows_core::Payload::empty(),
+        );
+        for (p, wait) in pending.iter().enumerate() {
+            if *wait {
+                self.world.send(p, &done);
+            }
+        }
+        let deadline = Instant::now() + GOODBYE_TIMEOUT;
+        while pending.iter().any(|w| *w) && Instant::now() < deadline {
+            while let Some((_, f)) = self.world.try_recv() {
+                if f.kind == FrameKind::Ctrl && f.ctrl == ctrl::GOODBYE {
+                    if let Some(w) = pending.get_mut(f.a as usize) {
+                        *w = false;
+                    }
+                }
+            }
+            self.world.park(PUMP_PARK);
+        }
+    }
+
+    /// The comm-thread entry point.
+    pub(crate) fn run(self) {
+        if self.world.is_leader() {
+            self.run_leader();
+        } else {
+            self.run_child();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn morgue_codec_round_trips() {
+        let m = Morgue {
+            rx_cum: vec![1, 2, 3, 4],
+            tx_last: vec![9, 8, 7, 6],
+            reaped_mask: 0b1010,
+        };
+        let wire = encode_morgue(&m);
+        let back = decode_morgue(&wire, 4).expect("well-formed");
+        assert_eq!(back.rx_cum, m.rx_cum);
+        assert_eq!(back.tx_last, m.tx_last);
+        assert_eq!(back.reaped_mask, m.reaped_mask);
+        assert!(decode_morgue(&wire, 5).is_none(), "length is validated");
+    }
+
+    #[test]
+    fn packet_codec_preserves_link_fields() {
+        let body: flows_core::Payload = vec![7u8; 90].into();
+        let f = Frame::data(3, 6, 42, 5, 1_000, body.clone());
+        let pkt = packet_of(f);
+        assert_eq!(pkt.src, 3);
+        match pkt.body {
+            PacketBody::Data { seq, msg } => {
+                assert_eq!(seq, 42);
+                assert_eq!(msg.handler, HandlerId(5));
+                assert_eq!(msg.src_pe, 3);
+                assert_eq!(msg.sent_vtime, 1_000);
+                assert_eq!(msg.data, body);
+            }
+            other => panic!("wrong body: {other:?}"),
+        }
+        match packet_of(Frame::ack(1, 2, 17)).body {
+            PacketBody::Ack { cum } => assert_eq!(cum, 17),
+            other => panic!("wrong body: {other:?}"),
+        }
+        match packet_of(Frame::heartbeat(1, 2, 9, 5_000)).body {
+            PacketBody::Heartbeat { hb_seq, vt } => {
+                assert_eq!(hb_seq, 9);
+                assert_eq!(vt, 5_000);
+            }
+            other => panic!("wrong body: {other:?}"),
+        }
+    }
+}

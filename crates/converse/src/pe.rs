@@ -71,6 +71,12 @@ const RX_BATCH: usize = 64;
 pub struct Pe {
     id: usize,
     num_pes: usize,
+    /// Global id of this process's first PE (0 in a single-process
+    /// machine). `txs` is indexed by `dest - base`.
+    base: usize,
+    /// The multi-process world, when this machine spans processes.
+    /// Destinations outside `base..base + txs.len()` route through it.
+    world: Option<Arc<flows_net::World>>,
     sched: Scheduler,
     rx: Receiver<Packet>,
     txs: Vec<Sender<Packet>>,
@@ -147,6 +153,8 @@ impl Pe {
     pub(crate) fn new(
         id: usize,
         num_pes: usize,
+        base: usize,
+        world: Option<Arc<flows_net::World>>,
         sched: Scheduler,
         rx: Receiver<Packet>,
         txs: Vec<Sender<Packet>>,
@@ -178,6 +186,8 @@ impl Pe {
         Pe {
             id,
             num_pes,
+            base,
+            world,
             sched,
             rx,
             txs,
@@ -313,11 +323,22 @@ impl Pe {
     }
 
     /// Push one packet onto `dest`'s channel and wake it if it is parked.
+    /// In a multi-process machine, destinations hosted by another process
+    /// go out through the transport instead.
     fn post(&self, dest: usize, pkt: Packet) {
-        // Unbounded channel: send can only fail if the PE is gone,
-        // which means the machine is shutting down.
-        let _ = self.txs[dest].send(pkt);
-        self.hub.wake(dest);
+        let local = dest.wrapping_sub(self.base);
+        if let Some(tx) = self.txs.get(local) {
+            // Unbounded channel: send can only fail if the PE is gone,
+            // which means the machine is shutting down.
+            let _ = tx.send(pkt);
+            self.hub.wake(dest);
+        } else {
+            let world = self
+                .world
+                .as_ref()
+                .expect("non-local destination without a multi-process world");
+            crate::netpump::send_packet(world, dest, pkt);
+        }
     }
 
     /// Flush locally batched quiescence deltas to the hub counters.
@@ -516,12 +537,12 @@ impl Pe {
                 PacketBody::Ack { cum } => {
                     self.links.borrow_mut().tx[pkt.src].ack_through(cum);
                 }
-                PacketBody::Heartbeat { .. } => {
+                PacketBody::Heartbeat { vt, .. } => {
                     // Heartbeats are protocol-invisible: they update the
                     // detector but count as neither progress nor delivery,
                     // or an idle machine trading heartbeats could never
                     // quiesce. Keep draining for a real packet.
-                    self.note_heartbeat(pkt.src);
+                    self.note_heartbeat(pkt.src, vt);
                     continue;
                 }
             }
@@ -710,17 +731,23 @@ impl Pe {
                 d,
                 Packet {
                     src: self.id,
-                    body: PacketBody::Heartbeat { hb_seq: hb },
+                    body: PacketBody::Heartbeat { hb_seq: hb, vt: now },
                 },
             );
         }
     }
 
     /// Record a heartbeat arrival from `src`: update the inter-arrival
-    /// EWMA and withdraw any active suspicion.
-    fn note_heartbeat(&self, src: usize) {
+    /// EWMA and withdraw any active suspicion. In threaded machines the
+    /// sender's clock also drags ours forward (Lamport-style): every PE
+    /// idle-jumps its clock independently, and without the sync a fast
+    /// observer would read its own clock advance as the peer's silence.
+    fn note_heartbeat(&self, src: usize, sender_vt: u64) {
         if self.det.borrow().is_empty() || self.crashed.get() {
             return;
+        }
+        if self.threaded.get() && sender_vt > self.vtime.get() {
+            self.vtime.set(sender_vt);
         }
         let now = self.vtime.get().max(1);
         let period = self.fault.as_ref().map_or(1, |c| c.plan.heartbeat_ns) as f64;

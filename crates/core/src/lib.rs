@@ -53,11 +53,11 @@ pub mod tcb;
 
 pub use checkpoint::{evacuate, frame_payload, unframe_payload, Checkpoint, FRAME_HEADER_LEN};
 pub use migrate::PackedThread;
-pub use payload::{Payload, PayloadBuf, PayloadPool, PoolStats};
+pub use payload::{ExternRegion, Payload, PayloadBuf, PayloadPool, PoolStats};
 pub use privatize::{GlobalVar, GlobalsLayout, GlobalsLayoutBuilder, PrivatizeMode};
 pub use scheduler::{
-    awaken, current, current_load_ns, iso_free, iso_malloc, set_priority, suspend, yield_now,
-    SchedConfig, SchedStats, Scheduler,
+    awaken, current, current_load_ns, iso_free, iso_malloc, seed_tid_namespace, set_priority,
+    suspend, yield_now, SchedConfig, SchedStats, Scheduler,
 };
 pub use shared::SharedPools;
 pub use steal::{StealMesh, MAX_STEAL_CHUNK, STEAL_KEEP_MIN};

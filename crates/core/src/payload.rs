@@ -256,6 +256,17 @@ impl std::ops::DerefMut for PayloadBuf {
 /// when many senders target one PE) costs more than copying the bytes.
 pub const INLINE_CAP: usize = 64;
 
+/// Foreign memory a [`Payload`] can alias without copying: the
+/// shared-memory transport implements this for its ring slots, so a
+/// message body delivered from another process is a view *into the
+/// shared arena* — the slot is reclaimed (the implementor's `Drop`)
+/// when the last payload view drops. The bytes must stay valid and
+/// unchanged for the implementor's lifetime.
+pub trait ExternRegion: Send + Sync {
+    /// The region's bytes (stable for the region's whole lifetime).
+    fn bytes(&self) -> &[u8];
+}
+
 enum Repr {
     /// Small payload, stored by value. Clone copies the array; drop is
     /// free.
@@ -263,6 +274,14 @@ enum Repr {
     /// Large payload, a view of a shared backing buffer.
     Shared {
         backing: Arc<Backing>,
+        off: usize,
+        len: usize,
+    },
+    /// A view of memory owned outside the payload system (a transport
+    /// ring slot, a mapped segment). Dropping the last view releases
+    /// the region.
+    Extern {
+        region: Arc<dyn ExternRegion>,
         off: usize,
         len: usize,
     },
@@ -315,11 +334,32 @@ impl Payload {
         }
     }
 
+    /// Alias foreign memory (a transport ring slot, a mapped segment)
+    /// without copying. The region is released — the implementor's
+    /// `Drop` runs — when the last view drops. Regions at or below
+    /// [`INLINE_CAP`] bytes are copied inline and released immediately:
+    /// for a shm ring slot that frees the slot at decode time, which is
+    /// the right trade for small control messages.
+    pub fn from_extern(region: Arc<dyn ExternRegion>) -> Payload {
+        let len = region.bytes().len();
+        if len <= INLINE_CAP {
+            return Payload::inline_from(region.bytes());
+        }
+        Payload {
+            repr: Repr::Extern {
+                region,
+                off: 0,
+                len,
+            },
+        }
+    }
+
     /// Byte length of this view.
     pub fn len(&self) -> usize {
         match &self.repr {
             Repr::Inline { len, .. } => *len as usize,
             Repr::Shared { len, .. } => *len,
+            Repr::Extern { len, .. } => *len,
         }
     }
 
@@ -333,6 +373,7 @@ impl Payload {
         match &self.repr {
             Repr::Inline { len, bytes } => &bytes[..*len as usize],
             Repr::Shared { backing, off, len } => &backing.data[*off..*off + *len],
+            Repr::Extern { region, off, len } => &region.bytes()[*off..*off + *len],
         }
     }
 
@@ -350,6 +391,13 @@ impl Payload {
             Repr::Shared { backing, off, .. } => Payload {
                 repr: Repr::Shared {
                     backing: backing.clone(),
+                    off: off + range.start,
+                    len: range.end - range.start,
+                },
+            },
+            Repr::Extern { region, off, .. } => Payload {
+                repr: Repr::Extern {
+                    region: region.clone(),
                     off: off + range.start,
                     len: range.end - range.start,
                 },
@@ -392,6 +440,9 @@ impl Payload {
             (Repr::Shared { backing: a, .. }, Repr::Shared { backing: b, .. }) => {
                 Arc::ptr_eq(a, b)
             }
+            (Repr::Extern { region: a, .. }, Repr::Extern { region: b, .. }) => {
+                std::ptr::addr_eq(Arc::as_ptr(a), Arc::as_ptr(b))
+            }
             _ => false,
         }
     }
@@ -401,6 +452,7 @@ impl Payload {
         match &self.repr {
             Repr::Inline { .. } => 1,
             Repr::Shared { backing, .. } => Arc::strong_count(backing),
+            Repr::Extern { region, .. } => Arc::strong_count(region),
         }
     }
 }
@@ -415,6 +467,11 @@ impl Clone for Payload {
                 },
                 Repr::Shared { backing, off, len } => Repr::Shared {
                     backing: backing.clone(),
+                    off: *off,
+                    len: *len,
+                },
+                Repr::Extern { region, off, len } => Repr::Extern {
+                    region: region.clone(),
                     off: *off,
                     len: *len,
                 },
@@ -447,6 +504,8 @@ impl std::fmt::Debug for Payload {
         write!(f, "Payload({} bytes", self.len())?;
         if matches!(self.repr, Repr::Inline { .. }) {
             write!(f, ", inline")?;
+        } else if matches!(self.repr, Repr::Extern { .. }) {
+            write!(f, ", extern")?;
         } else if self.ref_count() > 1 {
             write!(f, ", {} refs", self.ref_count())?;
         }
@@ -713,6 +772,58 @@ mod tests {
         let r: Wire = flows_pup::from_bytes(&bytes).unwrap();
         assert_eq!(r.tag, 9);
         assert_eq!(r.body, [1u8, 2, 3]);
+    }
+
+    #[test]
+    fn extern_region_aliases_without_copy_and_releases_on_drop() {
+        use std::sync::atomic::AtomicBool;
+
+        struct Region {
+            bytes: Vec<u8>,
+            released: Arc<AtomicBool>,
+        }
+        impl ExternRegion for Region {
+            fn bytes(&self) -> &[u8] {
+                &self.bytes
+            }
+        }
+        impl Drop for Region {
+            fn drop(&mut self) {
+                self.released.store(true, Ordering::SeqCst);
+            }
+        }
+
+        let released = Arc::new(AtomicBool::new(false));
+        let bytes: Vec<u8> = (0..200u8).collect();
+        let base = bytes.as_ptr() as usize;
+        let region: Arc<dyn ExternRegion> = Arc::new(Region {
+            bytes,
+            released: released.clone(),
+        });
+        let p = Payload::from_extern(region);
+        assert_eq!(p.len(), 200);
+        assert_eq!(p.as_slice().as_ptr() as usize, base, "aliases, no copy");
+        let tail = p.slice_from(100);
+        assert!(tail.same_backing(&p), "subviews share the region");
+        assert_eq!(tail.as_slice().as_ptr() as usize, base + 100);
+        assert_eq!(tail[0], 100);
+        let q = p.clone();
+        assert_eq!(q.ref_count(), 3);
+        drop(p);
+        drop(q);
+        assert!(!released.load(Ordering::SeqCst), "tail still holds it");
+        drop(tail);
+        assert!(released.load(Ordering::SeqCst), "last view frees the slot");
+
+        // Small regions inline and release the slot immediately.
+        let released = Arc::new(AtomicBool::new(false));
+        let small: Arc<dyn ExternRegion> = Arc::new(Region {
+            bytes: vec![7u8; 8],
+            released: released.clone(),
+        });
+        let p = Payload::from_extern(small);
+        assert!(released.load(Ordering::SeqCst), "inlined, slot freed");
+        assert_eq!(p, vec![7u8; 8]);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 
 use crate::privatize::PrivatizeMode;
 use crate::shared::{SharedPools, DEFAULT_STACK_LEN};
-use crate::tcb::{FlavorData, StackFlavor, Tcb, ThreadId, ThreadState};
+use crate::tcb::{Entry, FlavorData, StackFlavor, Tcb, ThreadId, ThreadState};
 use flows_arch::{set_exit_hook, Context, InitialStack, SwapKind};
 use flows_sys::error::{SysError, SysResult};
 use flows_trace::{emit, EventKind, LoadTracker};
@@ -25,6 +25,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+/// Partition the thread-id namespace for one process of a multi-process
+/// machine: ids minted after this call are at least `rank << 48`, so
+/// threads created in different processes can never collide when packed
+/// images (which carry their ids) cross the process boundary during
+/// migration or recovery. Monotone and idempotent.
+pub fn seed_tid_namespace(rank: usize) {
+    NEXT_TID.fetch_max((rank as u64) << 48 | 1, Ordering::Relaxed);
+}
 
 // flowslint::allow(no-global-state): scheduler identity is per-OS-thread
 // by design — a migratable flow asks "which scheduler is driving me right
@@ -410,9 +419,7 @@ impl Scheduler {
         };
         let id = ThreadId(NEXT_TID.fetch_add(1, Ordering::Relaxed));
         let ftag = crate::migrate::flavor_tag(data.flavor()) as u64;
-        let entry: Box<dyn FnOnce()> = Box::new(f);
-        let entry_raw = std::num::NonZeroUsize::new(Box::into_raw(Box::new(entry)) as usize)
-            .expect("Box::into_raw is never null");
+        let entry_raw = entry_cell(f);
         let tcb = Box::new(Tcb {
             id,
             ctx: Context::new(inner.cfg.swap_kind),
@@ -931,14 +938,45 @@ impl Scheduler {
     }
 }
 
-/// The C-ABI entry every flow starts in: consumes the boxed closure and
+/// Build the heap cell the entry trampoline consumes at first resume.
+fn entry_cell<F: FnOnce() + 'static>(f: F) -> std::num::NonZeroUsize {
+    fn call_on_stack<F: FnOnce()>(env: *mut ()) {
+        // Move the environment out of its spawn-time box onto THIS
+        // thread's own stack and free the box now — while still in the
+        // process (and at latest the first resume) that allocated it.
+        // From here on the thread's entry state lives entirely in its own
+        // stack: a packed image carries it, and thread exit frees nothing
+        // from a heap that may belong to another process after a
+        // cross-process migration. (Return addresses still point into the
+        // text segment, which is why such migration additionally needs an
+        // identical text base — `TopologySpec::migratable` in flows-net.)
+        // SAFETY: `Entry` invariant — env is the matching `Box::into_raw`,
+        // consumed exactly once (at first resume).
+        let f: F = *unsafe { Box::from_raw(env as *mut F) };
+        f();
+    }
+    fn drop_env<F>(env: *mut ()) {
+        // SAFETY: `Entry` invariant, never-started reclaim path.
+        drop(unsafe { Box::from_raw(env as *mut F) });
+    }
+    let cell = Box::new(Entry {
+        call: call_on_stack::<F>,
+        drop_env: drop_env::<F>,
+        env: Box::into_raw(Box::new(f)) as *mut (),
+    });
+    std::num::NonZeroUsize::new(Box::into_raw(cell) as usize).expect("Box::into_raw is never null")
+}
+
+/// The C-ABI entry every flow starts in: consumes the entry cell and
 /// runs it, catching panics so a failing thread cannot unwind into the
 /// hand-crafted bootstrap frame.
 extern "C" fn thread_main(arg: usize) {
-    // SAFETY: `arg` is the Box::into_raw of spawn's double-boxed closure,
-    // consumed exactly once (entry_raw was take()n before first resume).
-    let entry = unsafe { Box::from_raw(arg as *mut Box<dyn FnOnce()>) };
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(*entry));
+    // SAFETY: `arg` is the Box::into_raw of spawn's entry cell, consumed
+    // exactly once (entry_raw was take()n before first resume).
+    let entry = unsafe { Box::from_raw(arg as *mut Entry) };
+    let (call, env) = (entry.call, entry.env);
+    drop(entry);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| call(env)));
     if result.is_err() {
         with_current_tcb(|tcb| tcb.panicked = true);
     }

@@ -103,6 +103,24 @@ impl FlavorData {
     }
 }
 
+/// Spawn-time entry cell handed to a new thread at first resume: a
+/// monomorphized shim plus the boxed environment it consumes. The shim
+/// moves the environment out of `env` onto the thread's own stack and
+/// frees the box immediately — so once a thread is running, none of its
+/// entry state lives on the spawning process's heap and a packed image
+/// carries all of it.
+/// Both shims trust `env` to be the matching `Box::into_raw`, consumed
+/// exactly once; the scheduler's spawn/first-resume/drop paths are the
+/// only constructors and consumers.
+pub(crate) struct Entry {
+    /// Moves the env onto the calling stack, frees its box, runs it.
+    pub call: fn(*mut ()),
+    /// Drops the env in place (never-started thread reclaim).
+    pub drop_env: fn(*mut ()),
+    /// `Box::into_raw` of the spawn closure.
+    pub env: *mut (),
+}
+
 /// The control block: everything the scheduler knows about one thread.
 ///
 /// One `Box<Tcb>` exists per live thread, so its size is a direct term in
@@ -115,8 +133,8 @@ pub(crate) struct Tcb {
     pub ctx: Context,
     pub state: ThreadState,
     pub flavor: FlavorData,
-    /// Raw `Box<Box<dyn FnOnce()>>` passed to the entry trampoline at
-    /// first resume; consumed there. Present only before the thread starts.
+    /// Raw `Box<Entry>` passed to the entry trampoline at first resume;
+    /// consumed there. Present only before the thread starts.
     /// (`Box::into_raw` never returns null, so the niche costs nothing.)
     pub entry_raw: Option<std::num::NonZeroUsize>,
     pub started: bool,
@@ -144,8 +162,10 @@ impl Drop for Tcb {
         // Reclaim a never-started entry closure.
         if let Some(raw) = self.entry_raw.take() {
             // SAFETY: `raw` came from Box::into_raw in spawn and was not
-            // consumed (the thread never started).
-            drop(unsafe { Box::from_raw(raw.get() as *mut Box<dyn FnOnce()>) });
+            // consumed (the thread never started); drop_env matches env's
+            // real type.
+            let e = unsafe { Box::from_raw(raw.get() as *mut Entry) };
+            (e.drop_env)(e.env);
         }
     }
 }

@@ -38,5 +38,5 @@ pub use copystack::{CopyStack, CopyStackPool};
 pub use heap::IsoHeap;
 pub use probe::HugePageProbe;
 pub use reclaim::SlabCache;
-pub use region::{IsoConfig, IsoRegion, Slot};
+pub use region::{IsoConfig, IsoRegion, Slot, DEFAULT_BASE};
 pub use slab::ThreadSlab;

@@ -220,6 +220,19 @@ impl IsoRegion {
         if let Some(pos) = st.free.iter().position(|&i| i == local) {
             st.free.swap_remove(pos);
             st.live += 1;
+        } else if local >= st.next_fresh {
+            // Never allocated by THIS region instance: the image comes
+            // from another process of the same machine (cross-process
+            // recovery respawn), whose region allocated the index out of
+            // its own instance of this PE's range. Materialize it here —
+            // skipped fresh indices go to the free list so the invariant
+            // "every index is free-listed, fresh, or live" holds and the
+            // eventual drop balances.
+            for i in st.next_fresh..local {
+                st.free.push(i);
+            }
+            st.next_fresh = local + 1;
+            st.live += 1;
         }
         drop(st);
         Ok(Slot {

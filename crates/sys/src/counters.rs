@@ -49,6 +49,10 @@ counters! {
     PWRITE / pwrite: "`pwrite` calls (frame writes).",
     SIGMASK / sigmask: "`sigprocmask`/`pthread_sigmask` calls (swapcontext-style mask save/restore, §4.3).",
     RECLAIM_BATCH / reclaim_batch: "Deferred-reclaim flushes: each is one batched pass releasing a PE's vacated alias windows or isomalloc slots (not itself a syscall — the remaps/discards it issues are counted by the other fields).",
+    FUTEX_WAIT / futex_wait: "`futex(FUTEX_WAIT)` calls (shared-memory doorbell parks).",
+    FUTEX_WAKE / futex_wake: "`futex(FUTEX_WAKE)` calls (shared-memory doorbell wakes).",
+    SOCK_SEND / sock_send: "Socket `write` calls (one per framed transport send).",
+    SOCK_RECV / sock_recv: "Socket `read` calls (transport reader-thread fills).",
 }
 
 /// Record one deferred-reclaim batch flush on the calling thread.
@@ -74,6 +78,10 @@ impl SyscallCounts {
             pwrite: self.pwrite.saturating_sub(earlier.pwrite),
             sigmask: self.sigmask.saturating_sub(earlier.sigmask),
             reclaim_batch: self.reclaim_batch.saturating_sub(earlier.reclaim_batch),
+            futex_wait: self.futex_wait.saturating_sub(earlier.futex_wait),
+            futex_wake: self.futex_wake.saturating_sub(earlier.futex_wake),
+            sock_send: self.sock_send.saturating_sub(earlier.sock_send),
+            sock_recv: self.sock_recv.saturating_sub(earlier.sock_recv),
         }
     }
 
@@ -91,6 +99,10 @@ impl SyscallCounts {
             + self.pread
             + self.pwrite
             + self.sigmask
+            + self.futex_wait
+            + self.futex_wake
+            + self.sock_send
+            + self.sock_recv
     }
 }
 

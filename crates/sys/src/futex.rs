@@ -1,0 +1,112 @@
+//! Futex wait/wake on 32-bit words, including words in shared memory.
+//!
+//! The flows-net shared-memory transport parks its per-process doorbell
+//! consumers here. The *shared* futex variant is used deliberately (no
+//! `FUTEX_PRIVATE_FLAG`): the doorbell word lives in a `memfd` segment
+//! mapped by several processes, and a private futex would hash the wait
+//! queue per-process, so a producer's wake could never reach a consumer
+//! parked in another process.
+
+use crate::error::{SysError, SysResult};
+use std::sync::atomic::AtomicU32;
+use std::time::Duration;
+
+/// Block until `word` no longer holds `expected`, a wake arrives, or
+/// `timeout` elapses. Returns `Ok(true)` when (possibly spuriously)
+/// woken or the value already differed, `Ok(false)` on timeout. Callers
+/// must re-check their condition either way — futex wakeups carry no
+/// payload.
+pub fn wait(word: &AtomicU32, expected: u32, timeout: Option<Duration>) -> SysResult<bool> {
+    crate::counters::futex_wait();
+    let ts = timeout.map(|d| libc::timespec {
+        tv_sec: d.as_secs() as libc::time_t,
+        tv_nsec: i64::from(d.subsec_nanos()),
+    });
+    let ts_ptr = ts
+        .as_ref()
+        .map_or(std::ptr::null(), |t| t as *const libc::timespec);
+    // SAFETY: FUTEX_WAIT reads the 4-byte word (valid: it is a borrowed
+    // AtomicU32) and the optional timespec pointer is either null or
+    // points at a live stack value for the duration of the call.
+    let rc = unsafe {
+        libc::syscall(
+            libc::SYS_futex,
+            word.as_ptr(),
+            libc::FUTEX_WAIT,
+            expected,
+            ts_ptr,
+        )
+    };
+    if rc == 0 {
+        return Ok(true);
+    }
+    let err = SysError::last("futex_wait");
+    match err.errno {
+        // Value already differed from `expected` — the condition the
+        // caller waits on may already hold.
+        libc::EAGAIN | libc::EINTR => Ok(true),
+        libc::ETIMEDOUT => Ok(false),
+        _ => Err(err),
+    }
+}
+
+/// Wake up to `n` waiters parked on `word`. Returns how many were woken.
+pub fn wake(word: &AtomicU32, n: u32) -> SysResult<u32> {
+    crate::counters::futex_wake();
+    // SAFETY: FUTEX_WAKE only uses the word's address as a key; the word
+    // is a live borrowed AtomicU32.
+    let rc = unsafe { libc::syscall(libc::SYS_futex, word.as_ptr(), libc::FUTEX_WAKE, n) };
+    if rc < 0 {
+        return Err(SysError::last("futex_wake"));
+    }
+    Ok(rc as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+    use std::sync::Arc;
+
+    #[test]
+    fn wait_returns_immediately_on_changed_value() {
+        let w = AtomicU32::new(7);
+        // expected 3 != actual 7 -> EAGAIN -> Ok(true) without blocking.
+        assert!(wait(&w, 3, Some(Duration::from_secs(5))).unwrap());
+    }
+
+    #[test]
+    fn wait_times_out() {
+        let w = AtomicU32::new(0);
+        let t0 = std::time::Instant::now();
+        let woken = wait(&w, 0, Some(Duration::from_millis(20))).unwrap();
+        assert!(!woken, "nobody woke us");
+        assert!(t0.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn wake_unblocks_waiter_in_another_thread() {
+        let w = Arc::new(AtomicU32::new(0));
+        let w2 = w.clone();
+        let h = std::thread::spawn(move || {
+            while w2.load(Ordering::SeqCst) == 0 {
+                let _ = wait(&w2, 0, Some(Duration::from_secs(2))).unwrap();
+            }
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        w.store(1, Ordering::SeqCst);
+        wake(&w, u32::MAX).unwrap();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn waits_and_wakes_are_counted() {
+        let before = crate::counters::snapshot();
+        let w = AtomicU32::new(1);
+        let _ = wait(&w, 0, None).unwrap();
+        let _ = wake(&w, 1).unwrap();
+        let d = crate::counters::snapshot().since(&before);
+        assert_eq!(d.futex_wait, 1);
+        assert_eq!(d.futex_wake, 1);
+    }
+}

@@ -22,11 +22,13 @@
 
 pub mod counters;
 pub mod error;
+pub mod futex;
 pub mod map;
 pub mod memfd;
 pub mod os;
 pub mod page;
 pub mod signal;
+pub mod sock;
 pub mod time;
 
 pub use error::{SysError, SysResult};

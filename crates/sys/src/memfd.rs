@@ -79,6 +79,38 @@ impl MemFd {
         })
     }
 
+    /// Attach to another (same-user) process's memfd by reopening it
+    /// through procfs — the flows-net attach-by-address mode, where a
+    /// process that was not spawned by the segment's creator joins its
+    /// shared-memory rings. The returned handle owns a fresh fd onto the
+    /// same in-memory object; length is taken from the object itself.
+    pub fn open_pid_fd(pid: i32, fd: RawFd) -> SysResult<MemFd> {
+        use std::os::fd::IntoRawFd;
+        let path = format!("/proc/{pid}/fd/{fd}");
+        let f = std::fs::File::options()
+            .read(true)
+            .write(true)
+            .open(&path)
+            .map_err(|e| {
+                SysError::logic("memfd_attach", format!("open {path}: {e}"))
+            })?;
+        let len = f
+            .metadata()
+            .map_err(|e| SysError::logic("memfd_attach", format!("fstat {path}: {e}")))?
+            .len();
+        if len == 0 {
+            return Err(SysError::logic(
+                "memfd_attach",
+                format!("{path} has zero length"),
+            ));
+        }
+        Ok(MemFd {
+            fd: f.into_raw_fd(),
+            len,
+            hugetlb: false,
+        })
+    }
+
     /// Whether this object is backed by reserved hugetlb pages.
     pub fn is_hugetlb(&self) -> bool {
         self.hugetlb

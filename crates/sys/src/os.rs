@@ -87,6 +87,54 @@ pub fn max_map_count() -> Option<u64> {
     read_proc_u64("/proc/sys/vm/max_map_count")
 }
 
+/// `personality(2)` syscall number.
+#[cfg(target_arch = "x86_64")]
+const SYS_PERSONALITY: libc::c_long = 135;
+#[cfg(target_arch = "aarch64")]
+const SYS_PERSONALITY: libc::c_long = 92;
+
+/// The `ADDR_NO_RANDOMIZE` personality bit: disable address-space layout
+/// randomization for this process and everything it execs.
+const ADDR_NO_RANDOMIZE: libc::c_long = 0x0040000;
+
+/// Query the current personality word without changing it.
+fn personality_get() -> libc::c_long {
+    // SAFETY: 0xffffffff is the documented "query only" argument.
+    unsafe { libc::syscall(SYS_PERSONALITY, 0xffff_ffffu64 as libc::c_long) }
+}
+
+/// Is address-space layout randomization off for this process — either
+/// system-wide (`randomize_va_space = 0`) or via `ADDR_NO_RANDOMIZE`?
+///
+/// Migratable-thread images embed raw return addresses into the text
+/// segment, so images may only cross a process boundary between processes
+/// whose executable is mapped at the same base: same binary, ASLR off.
+pub fn aslr_disabled() -> bool {
+    if personality_get() & ADDR_NO_RANDOMIZE != 0 {
+        return true;
+    }
+    matches!(
+        std::fs::read_to_string("/proc/sys/kernel/randomize_va_space")
+            .map(|s| s.trim().to_string()),
+        Ok(ref v) if v == "0"
+    )
+}
+
+/// Set `ADDR_NO_RANDOMIZE` on the current process. The flag survives
+/// `execve`, so a process that sets it and re-execs itself gets a
+/// deterministic layout, as do all children it then spawns (this is what
+/// `setarch -R` does). Returns whether the bit is now set.
+pub fn disable_aslr() -> bool {
+    let cur = personality_get();
+    if cur & ADDR_NO_RANDOMIZE != 0 {
+        return true;
+    }
+    // SAFETY: personality only alters execution-domain flags of the
+    // calling process.
+    unsafe { libc::syscall(SYS_PERSONALITY, cur | ADDR_NO_RANDOMIZE) };
+    personality_get() & ADDR_NO_RANDOMIZE != 0
+}
+
 /// Number of online CPUs.
 pub fn cpu_count() -> usize {
     std::thread::available_parallelism()
@@ -136,6 +184,13 @@ mod tests {
         if let Some(v) = max_map_count() {
             assert!(v > 16);
         }
+    }
+
+    #[test]
+    fn aslr_personality_round_trip() {
+        // Setting the bit only affects future execs; safe to do in-process.
+        assert!(disable_aslr());
+        assert!(aslr_disabled());
     }
 
     #[test]

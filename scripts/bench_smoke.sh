@@ -17,11 +17,27 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+# --mp adds the multi-process leg: msgpath's 2-proc x 2-PE scenarios over
+# the flows-net backends, with a floor on the shared-memory ring. Off by
+# default so `run_benches.sh --quick` stays single-process.
+MP=0
+for a in "$@"; do
+  case "$a" in
+    --mp) MP=1 ;;
+    *) echo "usage: $0 [--mp]" >&2; exit 2 ;;
+  esac
+done
+
 JSON=$(mktemp /tmp/bench_smoke.XXXXXX.json)
 SJSON=$(mktemp /tmp/bench_smoke_sched.XXXXXX.json)
 trap 'rm -f "$JSON" "$SJSON"' EXIT
 
-cargo run --offline --release -q -p flows-bench --bin msgpath -- --fast --json "$JSON"
+MPARGS=""
+if [ "$MP" -eq 1 ]; then
+  MPARGS="--processes 2"
+fi
+# shellcheck disable=SC2086 — MPARGS is a deliberate word list.
+cargo run --offline --release -q -p flows-bench --bin msgpath -- --fast $MPARGS --json "$JSON"
 
 # rate <scenario> <mode> <payload_bytes> <reliable> -> msgs_per_sec
 rate() {
@@ -46,7 +62,20 @@ check() { # <label> <observed> <floor>
 check "pingpong det 16K reliable" "$(rate pingpong det 16384 true)" 900000
 check "ring det 16K reliable"     "$(rate ring det 16384 true)"     900000
 check "pingpong det 8B raw"       "$(rate pingpong det 8 false)"    2500000
-check "fanin det 64B raw"         "$(rate fanin det 64 false)"      3000000
+check "fanin det 64B raw"         "$(rate fanin det 64 false)"    3000000
+
+# mprate <scenario> <backend> -> msgs_per_sec of the 2-process rows
+mprate() {
+  grep "\"scenario\": \"$1\", \"mode\": \"threaded\", \"processes\": 2, \"backend\": \"$2\"," "$JSON" \
+    | sed -n 's/.*"msgs_per_sec": \([0-9.]*\).*/\1/p' | head -1
+}
+
+if [ "$MP" -eq 1 ]; then
+  # Cross-process hops measure ~40K/sec on this 1-core host; the floor
+  # sits far below jitter but far above the ~13/sec a quiescence-probe
+  # wedge (or a park-timeout-per-hop regression) collapses to.
+  check "mp ring shm 2proc" "$(mprate ring shm)" 10000
+fi
 
 cargo run --offline --release -q -p flows-bench --bin sched_migrate -- --fast --steal --reps 3 --json "$SJSON"
 

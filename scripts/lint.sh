@@ -14,4 +14,11 @@ if grep -Eq '^\s*libc\s*[=.]' crates/mem/Cargo.toml; then
   exit 1
 fi
 echo "OK: flows-mem has no direct libc dependency"
+# Same edge for the transport layer: memfd/futex/socket syscalls must go
+# through flows-sys wrappers so multi-process runs count syscalls too.
+if grep -Eq '^\s*libc\s*[=.]' crates/net/Cargo.toml; then
+  echo "FAIL: flows-net must not depend on libc directly — go through flows-sys"
+  exit 1
+fi
+echo "OK: flows-net has no direct libc dependency"
 bash scripts/check.sh

@@ -50,11 +50,17 @@ cargo build --offline --release -q -p flows-bench
 
 # shellcheck disable=SC2086 — SCHED_ARGS is a deliberate word list.
 ./target/release/sched_migrate --steal $SCHED_ARGS --json "$SCHED_JSON"
-./target/release/msgpath --json BENCH_msgpath.json
+./target/release/msgpath --json BENCH_msgpath.json --processes 2
 
 # Million-thread scale-out probe at full cap (the smoke gate re-runs it
 # with the same cap and enforces the floors).
 ./target/release/table2_limits --iso-cap 1000000
 
-scripts/bench_smoke.sh
+scripts/bench_smoke.sh --mp
+
+# Multi-process smoke: a 2-proc x 2-PE machine must heal a whole-process
+# crash from buddy checkpoints over the socket backend (the same gate
+# chaos.sh provides for single-process fault schedules).
+cargo test --offline --release -q -p flows-ampi --test mp_recovery -- --test-threads 1
+
 scripts/chaos.sh

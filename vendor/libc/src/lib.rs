@@ -8,6 +8,7 @@
 //! (`cargo build --offline`); see README "Building offline".
 
 #![allow(non_camel_case_types)]
+#![allow(non_upper_case_globals)]
 
 pub use std::ffi::c_void;
 pub type c_char = i8;
@@ -83,6 +84,24 @@ pub const SIG_SETMASK: c_int = 2;
 
 pub const _SC_PAGESIZE: c_int = 30;
 
+/// `futex(2)` syscall number (no glibc wrapper exists; called via
+/// `syscall`).
+#[cfg(target_arch = "x86_64")]
+pub const SYS_futex: c_long = 202;
+#[cfg(target_arch = "aarch64")]
+pub const SYS_futex: c_long = 98;
+
+pub const FUTEX_WAIT: c_int = 0;
+pub const FUTEX_WAKE: c_int = 1;
+/// Process-private futex flag — deliberately NOT used by flows-net:
+/// cross-process doorbells in shared memory need the shared (unflagged)
+/// futex variant.
+pub const FUTEX_PRIVATE_FLAG: c_int = 128;
+
+pub const ETIMEDOUT: c_int = 110;
+pub const EAGAIN: c_int = 11;
+pub const EINTR: c_int = 4;
+
 extern "C" {
     pub fn clock_gettime(clk_id: clockid_t, tp: *mut timespec) -> c_int;
     pub fn sysconf(name: c_int) -> c_long;
@@ -116,4 +135,6 @@ extern "C" {
     pub fn _exit(status: c_int) -> !;
 
     pub fn pthread_sigmask(how: c_int, set: *const sigset_t, oldset: *mut sigset_t) -> c_int;
+
+    pub fn syscall(num: c_long, ...) -> c_long;
 }
