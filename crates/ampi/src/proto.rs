@@ -22,6 +22,7 @@ pub const PORT_AMPI: Port = 1;
 /// * 2 — load-balance decision: `a` = LB sequence, `b` = destination PE;
 /// * 3 — checkpoint command: `a` = checkpoint sequence; the rank packs
 ///   itself into the generation store and resumes.
+// flows-image: root
 #[derive(Debug, Default, Clone, Copy, PartialEq)]
 pub struct RankWire {
     pub kind: u8,
@@ -182,25 +183,38 @@ pub struct RepRec {
 }
 pup_fields!(RepRec { rank, load_ns, len });
 
+/// Message kinds of the recovery control plane ([`CtlMsg::kind`]).
+// flows-wire: defines ampi-ctl
+pub mod ctl {
+    /// Coordinator → all; generation `a` is globally committed.
+    pub const COMMIT: u8 = 0;
+    /// Buddy → owner; replica batch for generation `a` stored (`b`
+    /// echoes the batch's `purpose`).
+    pub const ACK: u8 = 1;
+    /// Leader → all live; begin recovery round `epoch` for the dead-PE
+    /// set `a` (bitmask).
+    pub const START: u8 = 2;
+    /// Survivor `a` → leader; `b` = its committed generation, `pairs` =
+    /// (gen, rank | OWN_BIT) for every checksum-valid shelf holding.
+    pub const INVENTORY: u8 = 3;
+    /// Leader → all live; roll back to generation `a - 1` (`a == 0`
+    /// means scratch restart), dead mask `b`, `pairs` = the full
+    /// (rank, assigned PE) respawn map.
+    pub const PLAN: u8 = 4;
+    /// Survivor `a` → leader; its assigned ranks are respawned and
+    /// re-replicated.
+    pub const PLAN_DONE: u8 = 5;
+    /// Leader → all live; recovery round `epoch` is complete, generation
+    /// `a` is the new baseline, dead mask `b` is healed.
+    pub const RESUME: u8 = 6;
+    /// Owner → coordinator; all of `a`'s deposits and buddy acks for
+    /// generation `a` are in (commit barrier input).
+    pub const VOTE: u8 = 7;
+}
+
 /// Recovery control-plane message. One struct, one converse handler;
-/// `kind` selects the interpretation (fields unused by a kind are zero):
-/// * 0 — COMMIT: coordinator → all; generation `a` is globally committed.
-/// * 1 — ACK: buddy → owner; replica batch for generation `a` stored
-///   (`b` echoes the batch's `purpose`).
-/// * 2 — START: leader → all live; begin recovery round `epoch` for the
-///   dead-PE set `a` (bitmask).
-/// * 3 — INVENTORY: survivor `a` → leader; `b` = its committed
-///   generation, `pairs` = (gen, rank | OWN_BIT) for every
-///   checksum-valid shelf holding.
-/// * 4 — PLAN: leader → all live; roll back to generation `a - 1`
-///   (`a == 0` means scratch restart), dead mask `b`, `pairs` = the full
-///   (rank, assigned PE) respawn map.
-/// * 5 — PLAN_DONE: survivor `a` → leader; its assigned ranks are
-///   respawned and re-replicated.
-/// * 6 — RESUME: leader → all live; recovery round `epoch` is complete,
-///   generation `a` is the new baseline, dead mask `b` is healed.
-/// * 7 — VOTE: owner → coordinator; all of `a`'s deposits and buddy acks
-///   for generation `a` are in (commit barrier input).
+/// [`ctl`] names the `kind` values and documents each interpretation
+/// (fields unused by a kind are zero).
 #[derive(Debug, Default, Clone, PartialEq)]
 pub struct CtlMsg {
     pub kind: u8,

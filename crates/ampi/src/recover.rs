@@ -34,7 +34,7 @@
 //! round's messages are dropped everywhere and its partial state is
 //! re-rolled-back by the new START.
 
-use crate::proto::{CtlMsg, RankMove, RepHead, RepRec};
+use crate::proto::{ctl, CtlMsg, RankMove, RepHead, RepRec};
 use crate::world::{obj_of, pe_of_rank, AmpiState, RankBox, WorldMeta};
 use flows_converse::{HandlerId, MachineBuilder, Message, Pe, RecoveryPhase};
 use flows_core::{frame_payload, unframe_payload, PackedThread, ThreadId, ThreadState};
@@ -294,7 +294,7 @@ pub(crate) fn on_replica(pe: &Pe, msg: Message) {
     }
     debug_assert_eq!(off, msg.data.len(), "trailing bytes in replica batch");
     let mut ack = CtlMsg {
-        kind: 1,
+        kind: ctl::ACK,
         epoch: h.epoch,
         a: h.gen,
         b: h.purpose as u64,
@@ -308,7 +308,7 @@ fn cast_vote(pe: &Pe, gen: u64, epoch: u64, count: u64) {
     if coord == pe.id() {
         on_vote(pe, pe.id(), gen, count);
     } else {
-        let mut m = CtlMsg { kind: 7, epoch, a: gen, b: count, pairs: Vec::new() };
+        let mut m = CtlMsg { kind: ctl::VOTE, epoch, a: gen, b: count, pairs: Vec::new() };
         pe.send(coord, ctl_handler(), pe.pack_payload(&mut m));
     }
 }
@@ -336,7 +336,7 @@ fn on_vote(pe: &Pe, from: usize, gen: u64, count: u64) {
     });
     let Some(epoch) = commit else { return };
     let dead = pe.confirmed_dead_mask();
-    let mut m = CtlMsg { kind: 0, epoch, a: gen, b: 0, pairs: Vec::new() };
+    let mut m = CtlMsg { kind: ctl::COMMIT, epoch, a: gen, b: 0, pairs: Vec::new() };
     let wire = pe.pack_payload(&mut m);
     for d in 0..pe.num_pes() {
         if d != pe.id() && dead & (1 << d) == 0 {
@@ -392,7 +392,7 @@ fn start_round(pe: &Pe) {
             genp1: 0,
         });
     });
-    let mut m = CtlMsg { kind: 2, epoch, a: dead_mask, b: 0, pairs: Vec::new() };
+    let mut m = CtlMsg { kind: ctl::START, epoch, a: dead_mask, b: 0, pairs: Vec::new() };
     let wire = pe.pack_payload(&mut m);
     for d in 0..pe.num_pes() {
         if d != pe.id() && live_mask & (1 << d) != 0 {
@@ -461,7 +461,7 @@ fn handle_start(pe: &Pe, leader: usize, epoch: u64, dead_mask: u64) {
     if leader == pe.id() {
         record_inventory(pe, pe.id(), pairs);
     } else {
-        let mut m = CtlMsg { kind: 3, epoch, a: pe.id() as u64, b: cp1, pairs };
+        let mut m = CtlMsg { kind: ctl::INVENTORY, epoch, a: pe.id() as u64, b: cp1, pairs };
         pe.send(leader, ctl_handler(), pe.pack_payload(&mut m));
     }
 }
@@ -531,7 +531,7 @@ fn record_inventory(pe: &Pe, from: usize, pairs: Vec<(u64, u64)>) {
             l.genp1 = genp1;
         }
     });
-    let mut m = CtlMsg { kind: 4, epoch, a: genp1, b: dead_mask, pairs: assign.clone() };
+    let mut m = CtlMsg { kind: ctl::PLAN, epoch, a: genp1, b: dead_mask, pairs: assign.clone() };
     let wire = pe.pack_payload(&mut m);
     for d in 0..pe.num_pes() {
         if d != pe.id() && live_mask & (1 << d) != 0 {
@@ -634,7 +634,7 @@ fn plan_done(pe: &Pe, epoch: u64, leader: usize) {
     if leader == pe.id() {
         record_plan_done(pe, pe.id());
     } else {
-        let mut m = CtlMsg { kind: 5, epoch, a: pe.id() as u64, b: 0, pairs: Vec::new() };
+        let mut m = CtlMsg { kind: ctl::PLAN_DONE, epoch, a: pe.id() as u64, b: 0, pairs: Vec::new() };
         pe.send(leader, ctl_handler(), pe.pack_payload(&mut m));
     }
 }
@@ -653,7 +653,7 @@ fn record_plan_done(pe: &Pe, from: usize) {
         }
     });
     let Some((epoch, genp1, dead_mask, live_mask)) = ready else { return };
-    let mut m = CtlMsg { kind: 6, epoch, a: genp1, b: dead_mask, pairs: Vec::new() };
+    let mut m = CtlMsg { kind: ctl::RESUME, epoch, a: genp1, b: dead_mask, pairs: Vec::new() };
     let wire = pe.pack_payload(&mut m);
     for d in 0..pe.num_pes() {
         if d != pe.id() && live_mask & (1 << d) != 0 {
@@ -705,10 +705,11 @@ fn apply_resume(pe: &Pe, epoch: u64, _genp1: u64, dead_mask: u64) {
     }
 }
 
-/// Recovery control-plane dispatcher (see [`CtlMsg`] for the kinds).
+/// Recovery control-plane dispatcher (see [`ctl`] for the kinds).
+// flows-wire: handles ampi-ctl
 pub(crate) fn on_ctl(pe: &Pe, msg: Message) {
     let m: CtlMsg = flows_pup::from_bytes(&msg.data).expect("ctl wire");
-    if m.kind != 2 {
+    if m.kind != ctl::START {
         // START carries the *new* epoch; everything else from an older
         // epoch is pre-rollback traffic.
         let stale = pe.ext::<RecoverState, _>(|rs| m.epoch < rs.epoch);
@@ -717,14 +718,14 @@ pub(crate) fn on_ctl(pe: &Pe, msg: Message) {
         }
     }
     match m.kind {
-        0 => on_commit(pe, m.a),
-        1 => on_ack(pe, m.a, m.b),
-        2 => handle_start(pe, msg.src_pe, m.epoch, m.a),
-        3 => record_inventory(pe, m.a as usize, m.pairs),
-        4 => apply_plan(pe, msg.src_pe, m.epoch, m.a, m.b, &m.pairs),
-        5 => record_plan_done(pe, m.a as usize),
-        6 => apply_resume(pe, m.epoch, m.a, m.b),
-        7 => on_vote(pe, msg.src_pe, m.a, m.b),
+        ctl::COMMIT => on_commit(pe, m.a),
+        ctl::ACK => on_ack(pe, m.a, m.b),
+        ctl::START => handle_start(pe, msg.src_pe, m.epoch, m.a),
+        ctl::INVENTORY => record_inventory(pe, m.a as usize, m.pairs),
+        ctl::PLAN => apply_plan(pe, msg.src_pe, m.epoch, m.a, m.b, &m.pairs),
+        ctl::PLAN_DONE => record_plan_done(pe, m.a as usize),
+        ctl::RESUME => apply_resume(pe, m.epoch, m.a, m.b),
+        ctl::VOTE => on_vote(pe, msg.src_pe, m.a, m.b),
         k => panic!("bad recovery control kind {k}"),
     }
 }

@@ -54,6 +54,10 @@ pub(crate) struct RankBox {
     pub wait: Wait,
     pub coll_result: Option<Payload>,
     /// Next expected sequence number per source rank (MPI non-overtaking).
+    // flowslint::allow(migration-image-closure): the map itself never
+    // crosses a process boundary — pack_rank() drains it into the sorted
+    // `RankMove.next_seq` Vec<(u64, u64)> pairs and unpack rebuilds it,
+    // so the image carries the counters, not the randomized buckets.
     pub next_seq: HashMap<u64, u64>,
     /// Next outgoing sequence number per destination rank. Lives here —
     /// not inside the rank's [`crate::Ampi`] handle — because the handle's
@@ -62,6 +66,9 @@ pub(crate) struct RankBox {
     /// checkpoint-cut stack against live post-cut counters and every
     /// replayed send would run one sequence ahead of its receiver. In the
     /// box, the counters ride the explicit RankMove pup like `next_seq`.
+    // flowslint::allow(migration-image-closure): same contract as
+    // `next_seq` — explicitly converted to sorted pairs in RankMove at
+    // pack time (the PR 6 fix this rule now enforces).
     pub send_seq: HashMap<u64, u64>,
     /// Messages that arrived ahead of their sequence, keyed (src, seq).
     pub stashed: BTreeMap<(u64, u64), (u64, Payload)>,

@@ -1,0 +1,138 @@
+//! The committed-baseline waiver file.
+//!
+//! A baseline entry identifies one accepted finding by `(rule id, file,
+//! content hash)` — the hash is FNV-1a over the *trimmed code text* of
+//! the flagged line, so entries survive the line drifting up or down
+//! the file and expire automatically when the flagged code actually
+//! changes. The file format is line-oriented and diff-friendly:
+//!
+//! ```text
+//! # comment
+//! <rule-id>\t<file>\t<fnv64 hex>\t<optional note>
+//! ```
+
+use crate::Finding;
+
+/// FNV-1a, 64-bit: tiny, stable, dependency-free.
+pub fn fnv1a(text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One parsed baseline entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Rule id (`migration-image-closure`, ...).
+    pub rule: String,
+    /// Workspace-relative path.
+    pub file: String,
+    /// FNV-1a of the trimmed code line, lowercase hex.
+    pub hash: String,
+}
+
+fn finding_key(f: &Finding) -> Entry {
+    Entry {
+        rule: f.rule.map(|r| r.id()).unwrap_or("flowslint-meta").to_string(),
+        file: f.file.clone(),
+        hash: format!("{:016x}", fnv1a(f.context.trim())),
+    }
+}
+
+/// Parse baseline text; bad lines are returned as errors rather than
+/// silently dropped (a corrupt baseline must not un-suppress findings
+/// without saying why).
+pub fn parse(text: &str) -> (Vec<Entry>, Vec<String>) {
+    let mut entries = Vec::new();
+    let mut errors = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut cols = line.split('\t');
+        match (cols.next(), cols.next(), cols.next()) {
+            (Some(rule), Some(file), Some(hash)) if !rule.is_empty() && !file.is_empty() => {
+                entries.push(Entry {
+                    rule: rule.to_string(),
+                    file: file.to_string(),
+                    hash: hash.to_string(),
+                });
+            }
+            _ => errors.push(format!(
+                "baseline line {}: expected `rule<TAB>file<TAB>hash[<TAB>note]`",
+                i + 1
+            )),
+        }
+    }
+    (entries, errors)
+}
+
+/// Split findings into (still live, suppressed-by-baseline).
+pub fn apply(findings: Vec<Finding>, entries: &[Entry]) -> (Vec<Finding>, Vec<Finding>) {
+    let (mut live, mut suppressed) = (Vec::new(), Vec::new());
+    for f in findings {
+        let key = finding_key(&f);
+        if entries.contains(&key) {
+            suppressed.push(f);
+        } else {
+            live.push(f);
+        }
+    }
+    (live, suppressed)
+}
+
+/// Render findings as a fresh baseline file.
+pub fn render(findings: &[Finding]) -> String {
+    let mut out = String::from(
+        "# flowslint baseline: accepted findings, keyed by (rule, file, code-line hash).\n\
+         # Regenerate with `flowslint --write-baseline <path>`; entries expire when the\n\
+         # flagged line's code changes.\n",
+    );
+    for f in findings {
+        let k = finding_key(f);
+        out.push_str(&format!("{}\t{}\t{}\t{}\n", k.rule, k.file, k.hash, f.msg));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rule;
+
+    fn finding(line: usize, context: &str) -> Finding {
+        Finding {
+            file: "crates/x/src/a.rs".into(),
+            line,
+            rule: Some(Rule::NoDirectLibc),
+            msg: "m".into(),
+            context: context.into(),
+        }
+    }
+
+    #[test]
+    fn round_trip_survives_line_drift() {
+        let base = render(&[finding(10, "libc::getpid();")]);
+        let (entries, errs) = parse(&base);
+        assert!(errs.is_empty());
+        // Same code on a different line: still suppressed.
+        let (live, supp) = apply(vec![finding(99, "  libc::getpid();  ")], &entries);
+        assert!(live.is_empty());
+        assert_eq!(supp.len(), 1);
+        // Changed code: entry expires.
+        let (live, supp) = apply(vec![finding(10, "libc::kill(0, 9);")], &entries);
+        assert_eq!(live.len(), 1);
+        assert!(supp.is_empty());
+    }
+
+    #[test]
+    fn bad_lines_are_reported() {
+        let (entries, errs) = parse("# ok\nnot a valid line\n");
+        assert!(entries.is_empty());
+        assert_eq!(errs.len(), 1);
+    }
+}

@@ -1,0 +1,483 @@
+//! The interprocedural rules: migration-image closure, atomic-protocol
+//! pairing, and wire-message exhaustiveness. All three work on the
+//! workspace-wide symbol graph built by [`crate::parse`], because the
+//! thing they check — a type reachable from a migration root, a
+//! publish/consume pair, a protocol and its dispatcher — routinely
+//! spans files and crates.
+
+use crate::lexer::find_token;
+use crate::parse::{FileSymbols, ItemAnno};
+use crate::tokens::Tok;
+use crate::{Finding, Rule, SourceFile};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+// ---------------------------------------------------------------------
+// Rule: migration-image-closure
+// ---------------------------------------------------------------------
+
+/// Types that always root the reachability walk, in addition to
+/// anything annotated as a root: the thread control block and the AMPI
+/// rank containers, the two images that actually cross process
+/// boundaries (paper §3.4).
+const FIXED_ROOTS: [&str; 3] = ["Tcb", "RankMove", "RankBox"];
+
+/// Why a type name is process-local, or `None` if it is fine.
+fn process_local(name: &str) -> Option<&'static str> {
+    Some(match name {
+        "HashMap" | "HashSet" | "RandomState" => {
+            "hash-randomized container — iteration order is seeded per process, \
+             so replay diverges after restore (the PR 6 replay wedge)"
+        }
+        "Mutex" | "RwLock" | "Condvar" | "Parker" | "Barrier" | "Once" | "OnceLock"
+        | "OnceCell" | "LazyLock" => "OS-thread synchronization state is meaningless once \
+             the image lands in another process",
+        "Sender" | "Receiver" | "SyncSender" => {
+            "channel endpoint — the peer queue lives on this process's heap"
+        }
+        "RawFd" | "OwnedFd" | "BorrowedFd" | "File" | "TcpStream" | "TcpListener"
+        | "UdpSocket" | "UnixStream" | "UnixListener" | "UnixDatagram" => {
+            "file descriptor — indexes a per-process descriptor table"
+        }
+        "MemFd" | "Mapping" => "memory mapping / memfd — a per-process resource",
+        "JoinHandle" | "Thread" => "OS thread handle",
+        "Instant" => "monotonic clock reading — the origin is per-process",
+        "AtomicPtr" | "NonNull" => "raw address in disguise",
+        _ => return None,
+    })
+}
+
+/// Walk type reachability from every migration root and flag
+/// process-local state that is reachable without a waiver.
+pub(crate) fn rule_image_closure(
+    files: &[SourceFile],
+    syms: &[FileSymbols],
+    out: &mut Vec<Finding>,
+) {
+    // Name → every definition site (same-crate candidates preferred at
+    // resolution time, so an `ampi::Head` does not drag in a `net::Head`).
+    let mut index: HashMap<&str, Vec<(usize, usize)>> = HashMap::new();
+    for (fi, s) in syms.iter().enumerate() {
+        for (ti, t) in s.types.iter().enumerate() {
+            index.entry(&t.name).or_default().push((fi, ti));
+        }
+    }
+
+    // Seed: fixed roots plus annotated ones. The walk carries the root
+    // name and the field path for the report.
+    let mut queue: Vec<(usize, usize, String, String)> = Vec::new();
+    for (fi, s) in syms.iter().enumerate() {
+        for (ti, t) in s.types.iter().enumerate() {
+            let fixed = FIXED_ROOTS.contains(&t.name.as_str());
+            if fixed || t.annos.contains(&ItemAnno::ImageRoot) {
+                queue.push((fi, ti, t.name.clone(), t.name.clone()));
+            }
+        }
+    }
+
+    let mut visited: HashSet<(usize, usize)> = HashSet::new();
+    while let Some((fi, ti, path, root)) = queue.pop() {
+        if !visited.insert((fi, ti)) {
+            continue;
+        }
+        let t = &syms[fi].types[ti];
+        if t.annos.contains(&ItemAnno::ImageOpaque) {
+            continue; // hand-written serializer owns this subtree
+        }
+        let f = &files[fi];
+        for field in &t.fields {
+            // A waived field is neither reported nor descended into: the
+            // waiver asserts the pack path handles it explicitly.
+            if f.waived(Rule::MigrationImageClosure, field.line) {
+                continue;
+            }
+            let fpath = trim_path(&format!("{path}.{}", field.name));
+            if field.raw_ptr {
+                f.report(
+                    Rule::MigrationImageClosure,
+                    field.line,
+                    format!(
+                        "raw pointer reachable from migration root `{root}` at `{fpath}` \
+                         ({}): addresses do not survive repacking in another process — \
+                         store an offset/index, or waive with the invariant that rebinds it",
+                        field.ty_text
+                    ),
+                    out,
+                );
+            }
+            let mut seen_here: HashSet<&str> = HashSet::new();
+            for r in &field.refs {
+                if !seen_here.insert(r) {
+                    continue;
+                }
+                if let Some(cands) = index.get(r.as_str()) {
+                    let same: Vec<(usize, usize)> = cands
+                        .iter()
+                        .copied()
+                        .filter(|(cfi, _)| files[*cfi].crate_key == f.crate_key)
+                        .collect();
+                    let chosen = if same.is_empty() { cands.clone() } else { same };
+                    for (cfi, cti) in chosen {
+                        queue.push((cfi, cti, fpath.clone(), root.clone()));
+                    }
+                } else if let Some(why) = process_local(r) {
+                    f.report(
+                        Rule::MigrationImageClosure,
+                        field.line,
+                        format!(
+                            "process-local `{r}` reachable from migration root `{root}` \
+                             at `{fpath}`: {why}; capture this state in the wire format \
+                             explicitly or waive with a justification"
+                        ),
+                        out,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Keep reported paths readable: elide the middle of very deep chains.
+fn trim_path(path: &str) -> String {
+    let hops: Vec<&str> = path.split('.').collect();
+    if hops.len() <= 8 {
+        return path.to_string();
+    }
+    format!(
+        "{}…{}",
+        hops[..3].join("."),
+        hops[hops.len() - 3..].join(".")
+    )
+}
+
+// ---------------------------------------------------------------------
+// Rule: atomic-protocol
+// ---------------------------------------------------------------------
+
+/// One annotated atomic site.
+struct AtomicSite {
+    file_idx: usize,
+    /// The annotated code line (where waivers apply and findings land).
+    line: usize,
+    publishes: bool,
+    tag: String,
+}
+
+/// Atomic operations that write (can publish) and read (can consume).
+/// RMW ops appear in both.
+const WRITE_OPS: [&str; 12] = [
+    "store", "swap", "compare_exchange", "compare_exchange_weak", "fetch_add", "fetch_sub",
+    "fetch_or", "fetch_and", "fetch_xor", "fetch_nand", "fetch_max", "fetch_update",
+];
+const READ_OPS: [&str; 12] = [
+    "load", "swap", "compare_exchange", "compare_exchange_weak", "fetch_add", "fetch_sub",
+    "fetch_or", "fetch_and", "fetch_xor", "fetch_nand", "fetch_max", "fetch_update",
+];
+
+/// Gather the statement starting at `line`: concatenated code lines
+/// until the delimiters balance and a `;` has appeared (capped — an
+/// annotation should sit on the operation, not a page above it).
+fn statement_text(f: &SourceFile, line: usize) -> String {
+    let mut stmt = String::new();
+    let mut depth = 0i32;
+    let end = (line + 8).min(f.stripped.code.len());
+    for l in line..end {
+        let code = &f.stripped.code[l];
+        stmt.push_str(code);
+        stmt.push(' ');
+        for ch in code.chars() {
+            match ch {
+                '(' | '[' | '{' => depth += 1,
+                ')' | ']' | '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if depth <= 0 && code.contains(';') {
+            break;
+        }
+    }
+    stmt
+}
+
+fn has_any_token(text: &str, words: &[&str]) -> bool {
+    words.iter().any(|w| !find_token(text, w).is_empty())
+}
+
+/// Parse `flows-atomic:` directives and check each site's operation and
+/// ordering; then check tag pairing across the whole file set.
+pub(crate) fn rule_atomic_protocol(files: &[SourceFile], out: &mut Vec<Finding>) {
+    let mut sites: Vec<AtomicSite> = Vec::new();
+    for (fi, f) in files.iter().enumerate() {
+        for (i, comment) in f.stripped.comments.iter().enumerate() {
+            let text = comment.trim();
+            let Some(rest) = text.strip_prefix("flows-atomic:") else {
+                continue;
+            };
+            let mut words = rest.split_whitespace();
+            let verb = words.next().unwrap_or("");
+            let tag: String = words
+                .next()
+                .unwrap_or("")
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '-' || *c == '_')
+                .collect();
+            let publishes = match verb {
+                "publishes" => true,
+                "consumes" => false,
+                _ => {
+                    out.push(f.meta_finding(
+                        i,
+                        format!(
+                            "unknown flows-atomic directive `{verb}` (expected \
+                             `publishes <tag>` or `consumes <tag>`)"
+                        ),
+                    ));
+                    continue;
+                }
+            };
+            if tag.is_empty() {
+                out.push(f.meta_finding(i, format!("flows-atomic `{verb}` names no tag")));
+                continue;
+            }
+            // Same-line annotation covers its line; a pure-comment line
+            // covers the next code line (waiver convention).
+            let mut target = i;
+            if f.stripped.code[i].trim().is_empty() {
+                match (i + 1..f.stripped.code.len()).find(|&j| !f.stripped.code[j].trim().is_empty())
+                {
+                    Some(j) => target = j,
+                    None => {
+                        out.push(f.meta_finding(i, "flows-atomic annotation covers no code".into()));
+                        continue;
+                    }
+                }
+            }
+            sites.push(AtomicSite { file_idx: fi, line: target, publishes, tag: tag.clone() });
+
+            let stmt = statement_text(f, target);
+            let (ops, side): (&[&str], _) = if publishes {
+                (&WRITE_OPS, "publish")
+            } else {
+                (&READ_OPS, "consume")
+            };
+            if !has_any_token(&stmt, ops) {
+                f.report(
+                    Rule::AtomicProtocol,
+                    target,
+                    format!(
+                        "flows-atomic `{side}s {tag}` covers no atomic {side} operation \
+                         (move the annotation onto the store/load it describes)"
+                    ),
+                    out,
+                );
+                continue;
+            }
+            let strong = if publishes {
+                has_any_token(&stmt, &["Release", "AcqRel", "SeqCst"])
+            } else {
+                has_any_token(&stmt, &["Acquire", "AcqRel", "SeqCst"])
+            };
+            if !strong {
+                let (need, lost) = if publishes {
+                    ("Release", "the consumer's Acquire load cannot synchronize with it, \
+                      so data written before the flag may not be visible")
+                } else {
+                    ("Acquire", "reads after it may be satisfied before the publisher's \
+                      writes become visible")
+                };
+                f.report(
+                    Rule::AtomicProtocol,
+                    target,
+                    format!(
+                        "{side} of tag `{tag}` uses no {need}-class ordering — {lost}; \
+                         strengthen the ordering or waive with the invariant that makes \
+                         Relaxed sufficient"
+                    ),
+                    out,
+                );
+            }
+        }
+    }
+
+    // Pairing over every annotated site, waived or not: a waiver blesses
+    // one site's ordering, it does not delete the site from the protocol.
+    let mut tags: BTreeMap<&str, (Vec<&AtomicSite>, Vec<&AtomicSite>)> = BTreeMap::new();
+    for s in &sites {
+        let entry = tags.entry(&s.tag).or_default();
+        if s.publishes {
+            entry.0.push(s);
+        } else {
+            entry.1.push(s);
+        }
+    }
+    for (tag, (pubs, cons)) in tags {
+        if cons.is_empty() {
+            let s = pubs[0];
+            files[s.file_idx].report(
+                Rule::AtomicProtocol,
+                s.line,
+                format!(
+                    "tag `{tag}` is published but no site consumes it — either the \
+                     consumer is missing its `flows-atomic` annotation or the protocol \
+                     has no reader"
+                ),
+                out,
+            );
+        } else if pubs.is_empty() {
+            let s = cons[0];
+            files[s.file_idx].report(
+                Rule::AtomicProtocol,
+                s.line,
+                format!(
+                    "unpaired acquire: tag `{tag}` is consumed but no site publishes it \
+                     — either the publisher is missing its `flows-atomic` annotation or \
+                     this read is not part of a protocol"
+                ),
+                out,
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule: wire-exhaustive
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct Proto {
+    /// `(message name, file_idx, line)` — consts of the defining mod or
+    /// variants of the defining enum.
+    messages: Vec<(String, usize, usize)>,
+    /// `(file_idx, line)` of each `defines` site.
+    def_sites: Vec<(usize, usize)>,
+    /// `(file_idx, first line, last line)` of each handler fn.
+    handlers: Vec<(usize, usize, usize)>,
+}
+
+/// Is the identifier at `idx` used in a dispatch position: a match arm
+/// pattern (`=> `, `| `) or an equality comparison?
+fn is_match_site(toks: &[Tok], idx: usize) -> bool {
+    if let Some(next) = toks.get(idx + 1) {
+        if next.is_punct("=>") || next.is_punct("|") || next.is_punct("==") || next.is_punct("!=")
+        {
+            return true;
+        }
+    }
+    // Walk back over the `path::` prefix, then look for a comparison or
+    // an alternative separator before the whole path.
+    let mut j = idx;
+    while j >= 2 && toks[j - 1].is_punct("::") && toks[j - 2].ident().is_some() {
+        j -= 2;
+    }
+    j.checked_sub(1)
+        .and_then(|p| toks.get(p))
+        .is_some_and(|prev| prev.is_punct("==") || prev.is_punct("!=") || prev.is_punct("|"))
+}
+
+/// Every message of every `defines` protocol must be matched inside
+/// some `handles` fn; a protocol with no handler at all is itself a
+/// finding.
+pub(crate) fn rule_wire_exhaustive(
+    files: &[SourceFile],
+    syms: &[FileSymbols],
+    out: &mut Vec<Finding>,
+) {
+    let mut protos: BTreeMap<String, Proto> = BTreeMap::new();
+    for (fi, s) in syms.iter().enumerate() {
+        for m in &s.mods {
+            for a in &m.annos {
+                if let ItemAnno::WireDefines(p) = a {
+                    let proto = protos.entry(p.clone()).or_default();
+                    proto.def_sites.push((fi, m.line));
+                    for (cname, cline) in &s.consts {
+                        if *cline >= m.line && *cline <= m.end_line {
+                            proto.messages.push((cname.clone(), fi, *cline));
+                        }
+                    }
+                }
+            }
+        }
+        for t in &s.types {
+            if !t.is_enum {
+                continue;
+            }
+            for a in &t.annos {
+                if let ItemAnno::WireDefines(p) = a {
+                    let proto = protos.entry(p.clone()).or_default();
+                    proto.def_sites.push((fi, t.line));
+                    for (vname, vline) in &t.variants {
+                        proto.messages.push((vname.clone(), fi, *vline));
+                    }
+                }
+            }
+        }
+        for func in &s.fns {
+            for a in &func.annos {
+                if let ItemAnno::WireHandles(p) = a {
+                    protos
+                        .entry(p.clone())
+                        .or_default()
+                        .handlers
+                        .push((fi, func.line, func.end_line));
+                }
+            }
+        }
+    }
+
+    for (name, proto) in &protos {
+        if proto.def_sites.is_empty() {
+            for &(fi, line, _) in &proto.handlers {
+                files[fi].report(
+                    Rule::WireExhaustive,
+                    line,
+                    format!("handler for unknown protocol `{name}` — no mod or enum \
+                             carries the matching `defines` annotation"),
+                    out,
+                );
+            }
+            continue;
+        }
+        if proto.handlers.is_empty() {
+            let (fi, line) = proto.def_sites[0];
+            files[fi].report(
+                Rule::WireExhaustive,
+                line,
+                format!(
+                    "protocol `{name}` defines {} message(s) but no fn is annotated as \
+                     its handler — messages would be silently dropped",
+                    proto.messages.len()
+                ),
+                out,
+            );
+            continue;
+        }
+        let names: HashSet<&str> = proto.messages.iter().map(|(n, _, _)| n.as_str()).collect();
+        let mut matched: HashSet<&str> = HashSet::new();
+        for &(fi, start, end) in &proto.handlers {
+            let toks = &syms[fi].toks;
+            for (idx, tok) in toks.iter().enumerate() {
+                if tok.line < start || tok.line > end {
+                    continue;
+                }
+                if let Some(word) = tok.ident() {
+                    if names.contains(word) && is_match_site(toks, idx) {
+                        matched.insert(word);
+                    }
+                }
+            }
+        }
+        for (msg, fi, line) in &proto.messages {
+            if !matched.contains(msg.as_str()) {
+                files[*fi].report(
+                    Rule::WireExhaustive,
+                    *line,
+                    format!(
+                        "wire message `{msg}` of protocol `{name}` is matched in no \
+                         handler — it would be silently dropped on receive; handle it \
+                         or waive here"
+                    ),
+                    out,
+                );
+            }
+        }
+    }
+}

@@ -136,7 +136,13 @@ pub fn strip(src: &str) -> Stripped {
                     i += 1;
                     continue;
                 }
-                if c == '\'' && !prev_ident && is_char_literal(&chars, i) {
+                // Byte-char literals (`b'x'`, `b'"'`) put an identifier
+                // char right before the quote — allow exactly a lone
+                // `b` prefix, or `"` inside one would open phantom
+                // string state and flip code/comment sense downstream.
+                let byte_prefix =
+                    i > 0 && chars[i - 1] == 'b' && (i < 2 || !is_ident(chars[i - 2]));
+                if c == '\'' && (!prev_ident || byte_prefix) && is_char_literal(&chars, i) {
                     code_line.push('\'');
                     state = State::CharLit;
                     i += 1;
@@ -268,6 +274,21 @@ mod tests {
         assert!(!s.code[0].contains("libc"));
         assert!(s.comments[0].is_empty(), "comment inside raw string ignored");
         assert!(s.code[0].contains("&'static str"), "lifetime kept as code");
+    }
+
+    #[test]
+    fn byte_char_literal_with_quote_does_not_open_a_string() {
+        // `b'"'` must lex as one char literal: if the inner `"` opened
+        // string state, everything after it would flip code/comment
+        // sense — real string contents would leak out as lintable text.
+        let s = strip("if b.get(i) == Some(&b'\"') { f(); } // trailing\nlet s = \"// flows-atomic: publishes x\";\n");
+        assert!(s.comments[0].contains("trailing"));
+        assert!(
+            s.comments[1].is_empty(),
+            "directive inside a string literal must stay blanked: {:?}",
+            s.comments[1]
+        );
+        assert!(!s.code[1].contains("flows-atomic"));
     }
 
     #[test]

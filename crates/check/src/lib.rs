@@ -17,6 +17,14 @@
 //! | `no-global-state` | `static mut` / `thread_local!` forbidden in the migratable crates (`core`, `ampi`, `npb`, `chare`) outside `core/src/privatize.rs` |
 //! | `pup-raw-pointer` | raw-pointer fields flagged in any type that implements `Pup` (raw addresses do not survive stack-copy migration) |
 //! | `no-direct-libc` | `libc::` forbidden outside `flows-sys` (bypasses `SyscallCounts`) |
+//! | `migration-image-closure` | no process-local state (raw pointers, fds, locks, channel endpoints, hash-randomized maps) transitively reachable from a migration-image root (`Tcb`, `RankMove`, `RankBox`, and annotated roots) |
+//! | `atomic-protocol` | every annotated atomic publish/consume site uses a Release/Acquire-class ordering, and every tag has both sides |
+//! | `wire-exhaustive` | every message of an annotated wire protocol is matched in some annotated handler fn |
+//!
+//! The last three are interprocedural: they run on a workspace-wide
+//! symbol graph (see [`parse`]) built from the token stream the [`lexer`]
+//! front end produces, and are driven by source annotations (the grammar
+//! is documented in [`parse`]).
 //!
 //! ## Waivers
 //!
@@ -32,14 +40,20 @@
 //! must name a real rule — unknown ids are themselves findings — so a
 //! typo cannot silently disable checking.
 
+pub mod baseline;
+mod graph_rules;
+pub mod interleave;
 pub mod lexer;
+pub mod parse;
+pub mod report;
+pub mod tokens;
 
 use lexer::{find_token, strip, Stripped};
 use std::collections::HashSet;
 use std::fmt;
 use std::path::Path;
 
-/// The four lint rules (see crate docs).
+/// The seven lint rules (see crate docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Rule {
     /// `unsafe` without a `// SAFETY:` / `# Safety` justification.
@@ -50,15 +64,25 @@ pub enum Rule {
     PupRawPointer,
     /// Direct `libc::` use outside `flows-sys`.
     NoDirectLibc,
+    /// Process-local state reachable from a migration-image root.
+    MigrationImageClosure,
+    /// Annotated atomic publish/consume with a too-weak ordering, or an
+    /// unpaired tag.
+    AtomicProtocol,
+    /// Wire-protocol message matched in no annotated handler.
+    WireExhaustive,
 }
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 4] = [
+    pub const ALL: [Rule; 7] = [
         Rule::UnsafeSafetyComment,
         Rule::NoGlobalState,
         Rule::PupRawPointer,
         Rule::NoDirectLibc,
+        Rule::MigrationImageClosure,
+        Rule::AtomicProtocol,
+        Rule::WireExhaustive,
     ];
 
     /// The stable id used in reports and waiver comments.
@@ -68,6 +92,35 @@ impl Rule {
             Rule::NoGlobalState => "no-global-state",
             Rule::PupRawPointer => "pup-raw-pointer",
             Rule::NoDirectLibc => "no-direct-libc",
+            Rule::MigrationImageClosure => "migration-image-closure",
+            Rule::AtomicProtocol => "atomic-protocol",
+            Rule::WireExhaustive => "wire-exhaustive",
+        }
+    }
+
+    /// One-line description (SARIF rule metadata, `--list-rules`).
+    pub fn describe(self) -> &'static str {
+        match self {
+            Rule::UnsafeSafetyComment => {
+                "every `unsafe` carries a SAFETY justification"
+            }
+            Rule::NoGlobalState => {
+                "no `static mut` / `thread_local!` in migratable crates"
+            }
+            Rule::PupRawPointer => {
+                "no raw-pointer fields in Pup-serialized types"
+            }
+            Rule::NoDirectLibc => "all syscalls flow through flows-sys",
+            Rule::MigrationImageClosure => {
+                "no process-local state reachable from a migration-image root"
+            }
+            Rule::AtomicProtocol => {
+                "annotated atomic publish/consume sites carry Release/Acquire \
+                 orderings and pair up"
+            }
+            Rule::WireExhaustive => {
+                "every wire-protocol message is matched in an annotated handler"
+            }
         }
     }
 
@@ -87,6 +140,9 @@ pub struct Finding {
     pub rule: Option<Rule>,
     /// Human explanation.
     pub msg: String,
+    /// The flagged line's code text, trimmed — the [`baseline`] keys
+    /// entries on its hash so they survive line drift.
+    pub context: String,
 }
 
 impl fmt::Display for Finding {
@@ -104,11 +160,11 @@ const MIGRATABLE_CRATES: [&str; 4] = ["core", "ampi", "npb", "chare"];
 /// crates: the swap-global privatization layer itself.
 const PRIVATIZE_FILE: &str = "core/src/privatize.rs";
 
-struct SourceFile {
-    path: String,
+pub(crate) struct SourceFile {
+    pub(crate) path: String,
     /// `crates/<key>/...` → `<key>`; everything else → "".
-    crate_key: String,
-    stripped: Stripped,
+    pub(crate) crate_key: String,
+    pub(crate) stripped: Stripped,
     /// Per-line waived rules (line-scoped `flowslint::allow`).
     line_waivers: Vec<HashSet<Rule>>,
     /// File-scoped waivers (`flowslint::allow-file`).
@@ -168,6 +224,7 @@ fn analyze(path: &str, src: &str, findings: &mut Vec<Finding>) -> SourceFile {
                 line: i + 1,
                 rule: None,
                 msg: format!("waiver names unknown rule `{id}`"),
+                context: stripped.code[i].trim().to_string(),
             });
         }
         file_waivers.extend(file);
@@ -196,19 +253,40 @@ fn analyze(path: &str, src: &str, findings: &mut Vec<Finding>) -> SourceFile {
 }
 
 impl SourceFile {
-    fn waived(&self, rule: Rule, line_idx: usize) -> bool {
+    pub(crate) fn waived(&self, rule: Rule, line_idx: usize) -> bool {
         self.file_waivers.contains(&rule)
             || self.line_waivers.get(line_idx).is_some_and(|w| w.contains(&rule))
     }
 
-    fn report(&self, rule: Rule, line_idx: usize, msg: String, out: &mut Vec<Finding>) {
+    fn line_context(&self, line_idx: usize) -> String {
+        self.stripped
+            .code
+            .get(line_idx)
+            .map(|c| c.trim().to_string())
+            .unwrap_or_default()
+    }
+
+    pub(crate) fn report(&self, rule: Rule, line_idx: usize, msg: String, out: &mut Vec<Finding>) {
         if !self.waived(rule, line_idx) {
             out.push(Finding {
                 file: self.path.clone(),
                 line: line_idx + 1,
                 rule: Some(rule),
                 msg,
+                context: self.line_context(line_idx),
             });
+        }
+    }
+
+    /// An unwaivable meta-finding (malformed annotation), mirroring the
+    /// unknown-waiver-id findings.
+    pub(crate) fn meta_finding(&self, line_idx: usize, msg: String) -> Finding {
+        Finding {
+            file: self.path.clone(),
+            line: line_idx + 1,
+            rule: None,
+            msg,
+            context: self.line_context(line_idx),
         }
     }
 }
@@ -219,7 +297,7 @@ fn mentions_safety(comment: &str) -> bool {
 
 /// A line that may sit between a SAFETY comment and its `unsafe`:
 /// blank, or an attribute.
-fn is_transparent(code: &str) -> bool {
+pub(crate) fn is_transparent(code: &str) -> bool {
     let t = code.trim();
     t.is_empty() || t.starts_with("#[") || t.starts_with("#![") || t == ")]"
 }
@@ -423,6 +501,17 @@ pub fn lint_sources(files: &[(String, String)]) -> Vec<Finding> {
         .iter()
         .map(|(p, s)| analyze(p, s, &mut findings))
         .collect();
+    // The symbol graph: one parse per file, consumed by the
+    // interprocedural rules below.
+    let syms: Vec<parse::FileSymbols> = parsed
+        .iter()
+        .map(|f| parse::parse_file(&f.stripped))
+        .collect();
+    for (f, s) in parsed.iter().zip(&syms) {
+        for (line_idx, msg) in &s.anno_errors {
+            findings.push(f.meta_finding(*line_idx, msg.clone()));
+        }
+    }
     // Pup-implementing type names are collected workspace-wide: the impl
     // and the struct may live in different files.
     let mut pup_names = HashSet::new();
@@ -448,6 +537,9 @@ pub fn lint_sources(files: &[(String, String)]) -> Vec<Finding> {
             }
         }
     }
+    graph_rules::rule_image_closure(&parsed, &syms, &mut findings);
+    graph_rules::rule_atomic_protocol(&parsed, &mut findings);
+    graph_rules::rule_wire_exhaustive(&parsed, &syms, &mut findings);
     findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     findings
 }

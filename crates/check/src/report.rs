@@ -1,0 +1,129 @@
+//! Machine-readable output: a compact JSON report and SARIF 2.1.0, both
+//! hand-rolled (this crate is dependency-free by design). SARIF is the
+//! interchange format CI viewers ingest; the JSON form is for quick
+//! `jq`-style consumption in scripts.
+
+use crate::{Finding, Rule};
+
+/// Escape a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn rule_id(f: &Finding) -> &'static str {
+    f.rule.map(|r| r.id()).unwrap_or("flowslint-meta")
+}
+
+/// The compact JSON report: tool header plus one object per finding.
+pub fn to_json(findings: &[Finding], scanned: usize) -> String {
+    let mut out = String::from("{\n  \"tool\": \"flowslint\",\n");
+    out.push_str(&format!("  \"files_scanned\": {scanned},\n"));
+    out.push_str("  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"msg\": \"{}\"}}",
+            json_escape(&f.file),
+            f.line,
+            rule_id(f),
+            json_escape(&f.msg)
+        ));
+    }
+    out.push_str(if findings.is_empty() { "]\n}\n" } else { "\n  ]\n}\n" });
+    out
+}
+
+/// SARIF 2.1.0 with the full rule table in the driver metadata and one
+/// `result` per finding.
+pub fn to_sarif(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"flowslint\",\n");
+    out.push_str("          \"version\": \"2.0.0\",\n");
+    out.push_str("          \"informationUri\": \"https://example.invalid/flowslint\",\n");
+    out.push_str("          \"rules\": [");
+    for (i, r) in Rule::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}",
+            r.id(),
+            json_escape(r.describe())
+        ));
+    }
+    out.push_str("\n          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n        {{\"ruleId\": \"{}\", \"level\": \"error\", \"message\": {{\"text\": \
+             \"{}\"}}, \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": \
+             {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}}}}}}}]}}",
+            rule_id(f),
+            json_escape(&f.msg),
+            json_escape(&f.file),
+            f.line
+        ));
+    }
+    out.push_str(if findings.is_empty() {
+        "]\n    }\n  ]\n}\n"
+    } else {
+        "\n      ]\n    }\n  ]\n}\n"
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Finding> {
+        vec![Finding {
+            file: "crates/x/src/a.rs".into(),
+            line: 3,
+            rule: Some(Rule::NoDirectLibc),
+            msg: "a \"quoted\" message\nwith a newline".into(),
+            context: "libc::getpid()".into(),
+        }]
+    }
+
+    #[test]
+    fn json_escapes_and_structure() {
+        let j = to_json(&sample(), 7);
+        assert!(j.contains("\\\"quoted\\\""));
+        assert!(j.contains("\\n"));
+        assert!(j.contains("\"files_scanned\": 7"));
+    }
+
+    #[test]
+    fn sarif_has_rules_and_results() {
+        let s = to_sarif(&sample());
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"ruleId\": \"no-direct-libc\""));
+        assert!(s.contains("\"startLine\": 3"));
+        for r in Rule::ALL {
+            assert!(s.contains(r.id()), "rule table lists {}", r.id());
+        }
+    }
+}

@@ -64,6 +64,7 @@ pub(crate) fn send_packet(world: &World, dest: usize, pkt: Packet) {
 }
 
 /// Decode a non-control frame back into the packet the sender posted.
+// flows-wire: handles net-frame
 fn packet_of(f: Frame) -> Packet {
     let src = f.src_pe as usize;
     let body = match f.kind {
@@ -281,6 +282,7 @@ impl NetPump {
 
     /// The child-process comm loop: pump frames, answer probes, report
     /// state changes, exit on DONE (or on whole-process death).
+    // flows-wire: handles net-ctrl
     fn run_child(self) {
         let me = self.world.rank();
         let mut last_sent: Option<(u64, u64, u64, bool, bool)> = None;
@@ -357,6 +359,7 @@ impl NetPump {
 
     /// The leader comm loop: gather rows, double-probe the fixpoint,
     /// declare quiescence, then collect goodbyes.
+    // flows-wire: handles net-ctrl
     fn run_leader(self) {
         let procs = self.world.procs();
         let mut rows = vec![ProcRow::default(); procs];
@@ -491,6 +494,7 @@ impl NetPump {
 
     /// Broadcast DONE and wait for every live child's GOODBYE so no child
     /// is still mid-drain when the leader tears the session down.
+    // flows-wire: handles net-ctrl
     fn finish(&self, rows: &[ProcRow], global_sent: u64) {
         let mut pending: Vec<bool> = rows.iter().map(|r| !r.departed).collect();
         pending[0] = false;

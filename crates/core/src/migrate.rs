@@ -28,6 +28,7 @@ use flows_sys::error::{SysError, SysResult};
 
 /// A thread serialized for migration: a self-describing head plus the raw
 /// flavor payload (stack/heap bytes) behind a refcounted buffer.
+// flows-image: root
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct PackedThread {
     head: Head,

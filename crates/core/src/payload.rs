@@ -293,6 +293,9 @@ enum Repr {
 /// subviews. At or below the threshold the bytes live inline in the value
 /// (copied on clone/slice, but allocation- and lock-free).
 /// `Deref<Target = [u8]>` gives slice access either way.
+// flows-image: opaque — the hand-written Pup impl serializes the byte
+// contents only; backings, pools and extern-region views are re-bound
+// (inline or freshly Arc-backed) when the image is unpacked.
 pub struct Payload {
     repr: Repr,
 }

@@ -84,7 +84,11 @@ impl StealMesh {
     /// makes a thief pick a slightly worse victim).
     #[inline]
     pub fn publish_load(&self, pe: usize, runnable: usize) {
-        self.loads[pe].store(runnable, Ordering::Relaxed);
+        // flowslint::allow(atomic-protocol): advisory gossip — the count is
+        // the only datum and it rides in the atomic itself; a stale read
+        // just makes a thief pick a slightly worse victim, so Relaxed is
+        // sufficient and keeps the pump's per-iteration publish free.
+        self.loads[pe].store(runnable, Ordering::Relaxed); // flows-atomic: publishes steal-load
     }
 
     /// `pe`'s last published runnable count.
@@ -101,7 +105,9 @@ impl StealMesh {
             if pe == thief {
                 continue;
             }
-            let l = load.load(Ordering::Relaxed);
+            // flowslint::allow(atomic-protocol): advisory read of the load
+            // gossip (see `publish_load` — no data is published under it).
+            let l = load.load(Ordering::Relaxed); // flows-atomic: consumes steal-load
             if l > STEAL_KEEP_MIN && best.is_none_or(|(_, bl)| l > bl) {
                 best = Some((pe, l));
             }
@@ -114,29 +120,38 @@ impl StealMesh {
     /// drained its word).
     pub fn request(&self, victim: usize, thief: usize) -> bool {
         let bit = 1u64 << (thief as u64 & 63);
-        self.requests[victim].fetch_or(bit, Ordering::AcqRel) & bit == 0
+        self.requests[victim].fetch_or(bit, Ordering::AcqRel) & bit == 0 // flows-atomic: publishes steal-request
     }
 
     /// Drain and return `victim`'s pending request mask (bit `t` = PE `t`).
     pub fn take_requests(&self, victim: usize) -> u64 {
-        self.requests[victim].swap(0, Ordering::AcqRel)
+        self.requests[victim].swap(0, Ordering::AcqRel) // flows-atomic: consumes steal-request
     }
 
     /// Does `victim` have requests pending? (Relaxed peek for the pump's
     /// per-iteration check.)
     #[inline]
     pub fn has_requests(&self, victim: usize) -> bool {
-        self.requests[victim].load(Ordering::Relaxed) != 0
+        // flowslint::allow(atomic-protocol): cheap per-pump peek; the
+        // authoritative drain is `take_requests` (AcqRel swap), and a bit
+        // missed by a stale peek is re-noticed on the next pump boundary.
+        self.requests[victim].load(Ordering::Relaxed) != 0 // flows-atomic: consumes steal-request
     }
 
-    /// Deposit donated threads into `thief`'s inbox.
+    /// Deposit donated threads into `thief`'s inbox. The length mirror is
+    /// bumped *before* the threads land in the inbox: `in_flight` may
+    /// transiently overcount (harmless — the quiescence detector just
+    /// polls again), but it must never undercount, or the machine can
+    /// declare itself idle while stolen threads exist only inside this
+    /// call. `absorb` subtracts what it actually took, so a transient
+    /// overcount converges as soon as the threads are in.
     pub fn donate(&self, thief: usize, packed: Vec<PackedThread>) {
         if packed.is_empty() {
             return;
         }
         let n = packed.len();
+        self.inbox_len[thief].fetch_add(n, Ordering::Release); // flows-atomic: publishes steal-inbox
         self.inbox[thief].lock().extend(packed);
-        self.inbox_len[thief].fetch_add(n, Ordering::Release);
     }
 
     /// Drain `thief`'s inbox. The length mirror is decremented before the
@@ -144,12 +159,12 @@ impl StealMesh {
     /// only in the returned vector *and* the caller still holds them —
     /// callers must unpack the returned threads before yielding control.
     pub fn absorb(&self, thief: usize) -> Vec<PackedThread> {
-        if self.inbox_len[thief].load(Ordering::Acquire) == 0 {
+        if self.inbox_len[thief].load(Ordering::Acquire) == 0 { // flows-atomic: consumes steal-inbox
             return Vec::new();
         }
         let mut g = self.inbox[thief].lock();
         let out = std::mem::take(&mut *g);
-        self.inbox_len[thief].fetch_sub(out.len(), Ordering::Release);
+        self.inbox_len[thief].fetch_sub(out.len(), Ordering::Release); // flows-atomic: publishes steal-inbox
         out
     }
 
@@ -164,6 +179,7 @@ impl StealMesh {
     pub fn in_flight(&self) -> usize {
         self.inbox_len
             .iter()
+            // flows-atomic: consumes steal-inbox
             .map(|n| n.load(Ordering::Acquire))
             .sum()
     }
@@ -211,5 +227,51 @@ mod tests {
         assert!(m.absorb(1).is_empty());
         m.donate(1, Vec::new());
         assert_eq!(m.in_flight(), 0);
+    }
+
+    #[test]
+    fn in_flight_never_undercounts_during_donation() {
+        // Regression: donate() bumps the length mirror BEFORE the threads
+        // land in the inbox. With the old inbox-first order there was a
+        // window where packed threads sat in the inbox while in_flight()
+        // read 0 — the quiescence detector could declare the machine idle
+        // with stolen threads still in transit. The deterministic
+        // interleaving proof lives in tests/steal_interleave.rs; this is
+        // the live two-thread stress of the same invariant.
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let m = Arc::new(StealMesh::new(2));
+        let stop = Arc::new(AtomicBool::new(false));
+        let donor = {
+            let (m, stop) = (m.clone(), stop.clone());
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    m.donate(1, vec![PackedThread::default()]);
+                    while m.inbox_len(1) != 0 && !stop.load(Ordering::Relaxed) {
+                        std::hint::spin_loop();
+                    }
+                }
+            })
+        };
+        let t0 = std::time::Instant::now();
+        let mut checks = 0u64;
+        while t0.elapsed() < std::time::Duration::from_millis(100) {
+            // Only this thread absorbs, so between absorbs the mirror is
+            // monotonically non-decreasing. Sampling the inbox truth
+            // first therefore makes `mirror >= actual` a hard invariant
+            // of count-first donation — the inbox-first order violates it
+            // whenever the sample lands inside donate()'s window.
+            let actual = m.inbox[1].lock().len();
+            let mirror = m.in_flight();
+            assert!(
+                mirror >= actual,
+                "in_flight undercounted: mirror {mirror} < inbox {actual}"
+            );
+            checks += 1;
+            m.absorb(1);
+        }
+        stop.store(true, Ordering::Relaxed);
+        donor.join().unwrap();
+        assert!(checks > 0);
     }
 }

@@ -1,0 +1,137 @@
+//! Exhaustive interleaving checks of the StealMesh request/donate
+//! handshake (`crates/core/src/steal.rs`).
+//!
+//! The load-bearing invariant is that `in_flight()` (the `inbox_len`
+//! mirror) never undercounts the packed threads physically sitting in
+//! an inbox. The quiescence detector reads the mirror at arbitrary
+//! instants, so the invariant is checked after *every* step of every
+//! schedule — each check is one possible detector read. An undercount
+//! window lets the machine declare itself idle while stolen threads
+//! are still in transit; `donate()` therefore bumps the mirror
+//! *before* extending the inbox (transient overcount is harmless — the
+//! detector just polls again). These models prove the count-first
+//! order and demonstrate that the inbox-first order is broken.
+
+use flows_check::interleave::{Explorer, Step};
+
+/// `inbox` is the physical vector length, `counter` the `inbox_len`
+/// mirror the detector reads.
+#[derive(Clone, Default)]
+struct Mesh {
+    inbox: u64,
+    counter: u64,
+    absorbed: u64,
+}
+
+/// A detector read at this instant must not see fewer threads than the
+/// inbox physically holds — `counter == 0 && inbox > 0` is exactly the
+/// state in which quiescence would misfire.
+fn never_undercounts(s: &Mesh) -> Result<(), String> {
+    if s.counter < s.inbox {
+        return Err(format!(
+            "inbox_len mirror undercounts: counter {} < inbox {} — a \
+             quiescence probe here declares idle over threads in transit",
+            s.counter, s.inbox
+        ));
+    }
+    Ok(())
+}
+
+#[test]
+fn count_first_donation_never_undercounts() {
+    let ex = Explorer::new(vec![
+        // donate(): fetch_add first, then lock + extend.
+        vec![
+            Step::new("bump-counter", |s: &mut Mesh| s.counter += 1),
+            Step::new("push-inbox", |s| s.inbox += 1),
+        ],
+        // absorb(): blocks until a thread is actually present (the real
+        // caller re-polls from its idle loop), takes the inbox under
+        // the lock, subtracts exactly what it took.
+        vec![Step::guarded("absorb", |s| s.counter > 0 && s.inbox > 0, |s| {
+            let took = s.inbox;
+            s.inbox = 0;
+            s.counter -= took;
+            s.absorbed += took;
+        })],
+    ]);
+    let n = ex.check(&Mesh::default(), never_undercounts).expect("count-first is safe");
+    assert!(n >= 1, "explored at least one complete schedule");
+}
+
+#[test]
+fn inbox_first_donation_lets_quiescence_misfire() {
+    // The pre-fix order: extend the inbox, then bump the mirror. The
+    // explorer must find the state where the inbox holds a thread the
+    // mirror does not yet count.
+    let ex = Explorer::new(vec![
+        vec![
+            Step::new("push-inbox", |s: &mut Mesh| s.inbox += 1),
+            Step::new("bump-counter", |s| s.counter += 1),
+        ],
+        vec![Step::guarded("absorb", |s| s.counter > 0 && s.inbox > 0, |s| {
+            let took = s.inbox;
+            s.inbox = 0;
+            s.counter -= took;
+            s.absorbed += took;
+        })],
+    ]);
+    let v = ex
+        .check(&Mesh::default(), never_undercounts)
+        .expect_err("undercount window must be discoverable");
+    assert!(
+        v.schedule.iter().any(|step| step.contains("push-inbox")),
+        "violation happens inside donate()'s window: {v}"
+    );
+}
+
+/// Thief-side request/absorb against victim-side drain/donate: the
+/// whole handshake, every interleaving.
+#[derive(Clone, Default)]
+struct Hand {
+    request: bool,
+    counter: u64,
+    inbox: u64,
+    absorbed: u64,
+}
+
+#[test]
+fn full_request_donate_absorb_handshake_is_clean() {
+    let ex = Explorer::new(vec![
+        // Thief: fetch_or the request bit, then (eventually) absorb.
+        vec![
+            Step::new("request", |s: &mut Hand| s.request = true),
+            Step::guarded("absorb", |s| s.counter > 0 && s.inbox > 0, |s| {
+                let took = s.inbox;
+                s.inbox = 0;
+                s.counter -= took;
+                s.absorbed += took;
+            }),
+        ],
+        // Victim: the pump boundary swaps the request word, packs a
+        // chunk, donates it count-first.
+        vec![
+            Step::guarded("take-requests", |s| s.request, |s| s.request = false),
+            Step::new("bump-counter", |s| s.counter += 1),
+            Step::new("push-inbox", |s| s.inbox += 1),
+        ],
+    ]);
+    let n = ex
+        .check(&Hand::default(), |s| {
+            if s.counter < s.inbox {
+                return Err(format!(
+                    "mirror undercounts: counter {} < inbox {}",
+                    s.counter, s.inbox
+                ));
+            }
+            if s.absorbed > 1 {
+                return Err(format!("thread duplicated: absorbed {}", s.absorbed));
+            }
+            Ok(())
+        })
+        .expect("handshake is clean in every schedule");
+    // Reaching here also proves liveness: a schedule where the guarded
+    // absorb could never run (donation lost) would be a deadlock
+    // violation, and every complete schedule absorbed the chunk.
+    assert!(n >= 1);
+}

@@ -275,6 +275,11 @@ impl IsoRegion {
 /// free list.
 #[derive(Debug)]
 pub struct Slot {
+    // flowslint::allow(migration-image-closure): the region handle is
+    // process-local on purpose — a packed thread never serializes it;
+    // unpack re-derives the slot from the destination's own IsoRegion at
+    // the same global_index (iso slots occupy identical addresses in
+    // every process, §3.4.2).
     region: Arc<IsoRegion>,
     global_index: usize,
 }

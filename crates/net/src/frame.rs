@@ -17,6 +17,7 @@ pub const HEADER_LEN: usize = 38;
 /// What a frame carries. `Data`/`Ack`/`Heartbeat` mirror the in-process
 /// link layer's `PacketBody`; `Ctrl` frames belong to the machine-wide
 /// protocols and are consumed by the comm thread itself.
+// flows-wire: defines net-frame
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FrameKind {
     /// An application message: `a` = link seq (0 = unsequenced),
@@ -52,6 +53,7 @@ impl FrameKind {
 }
 
 /// Control-frame tags (the `ctrl` byte of a [`FrameKind::Ctrl`] frame).
+// flows-wire: defines net-ctrl
 pub mod ctrl {
     /// Child → leader: local counter snapshot for quiescence gathering.
     /// `a` = sent, `b` = recv, `c` = probe round (0 = unsolicited);

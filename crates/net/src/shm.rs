@@ -207,7 +207,7 @@ impl ExternRegion for SlotRegion {
 
 impl Drop for SlotRegion {
     fn drop(&mut self) {
-        self.seg.atom(self.state_off).store(SLOT_FREE, Ordering::Release);
+        self.seg.atom(self.state_off).store(SLOT_FREE, Ordering::Release); // flows-atomic: publishes shm-slot-free
     }
 }
 
@@ -254,7 +254,7 @@ impl ShmTransport {
     pub fn set_ready(&self) {
         self.seg
             .atom(self.seg.ctrl_off(self.rank) + CTRL_READY)
-            .store(1, Ordering::Release);
+            .store(1, Ordering::Release); // flows-atomic: publishes shm-ready
     }
 
     /// Wait until every process has set its ready flag.
@@ -262,6 +262,7 @@ impl ShmTransport {
         let deadline = Instant::now() + timeout;
         loop {
             let all = (0..self.seg.procs)
+                // flows-atomic: consumes shm-ready
                 .all(|p| self.seg.atom(self.seg.ctrl_off(p) + CTRL_READY).load(Ordering::Acquire) == 1);
             if all {
                 return true;
@@ -278,8 +279,8 @@ impl ShmTransport {
         let doorbell = self.seg.atom(ctrl + CTRL_DOORBELL);
         // SeqCst on both sides closes the classic lost-wakeup race with
         // the consumer's parked-flag / doorbell-snapshot ordering.
-        doorbell.fetch_add(1, Ordering::SeqCst);
-        if self.seg.atom(ctrl + CTRL_PARKED).load(Ordering::SeqCst) == 1 {
+        doorbell.fetch_add(1, Ordering::SeqCst); // flows-atomic: publishes shm-doorbell
+        if self.seg.atom(ctrl + CTRL_PARKED).load(Ordering::SeqCst) == 1 { // flows-atomic: consumes shm-parked
             let _ = futex::wake(doorbell, 1);
         }
     }
@@ -288,7 +289,7 @@ impl ShmTransport {
     fn wait_free(&self, off: usize, dst: usize) -> bool {
         let state = self.seg.atom(off);
         let mut spins = 0u32;
-        while state.load(Ordering::Acquire) != SLOT_FREE {
+        while state.load(Ordering::Acquire) != SLOT_FREE { // flows-atomic: consumes shm-slot-free
             if self.dead[dst].load(Ordering::Relaxed) {
                 return false;
             }
@@ -329,7 +330,7 @@ impl ShmTransport {
             seg.write_bytes(off + SLOT_HDR + HEADER_LEN, frame.body.as_slice());
             seg.atom(off + 4).store(total as u32, Ordering::Relaxed);
             seg.atom(off + 8).store(0, Ordering::Relaxed);
-            seg.atom(off).store(SLOT_FULL, Ordering::Release);
+            seg.atom(off).store(SLOT_FULL, Ordering::Release); // flows-atomic: publishes shm-slot-full
             *tail += 1;
             drop(tail);
             self.ring_doorbell(dst);
@@ -354,7 +355,7 @@ impl ShmTransport {
             seg.atom(off + 4).store(chunk as u32, Ordering::Relaxed);
             let more = if written + chunk < total { FLAG_MORE } else { 0 };
             seg.atom(off + 8).store(more, Ordering::Relaxed);
-            seg.atom(off).store(SLOT_FULL, Ordering::Release);
+            seg.atom(off).store(SLOT_FULL, Ordering::Release); // flows-atomic: publishes shm-slot-full
             *tail += 1;
             written += chunk;
         }
@@ -376,7 +377,7 @@ impl ShmTransport {
             }
             let idx = (heads[src] % seg.slots as u64) as usize;
             let off = seg.slot_off(src, self.rank, idx);
-            if seg.atom(off).load(Ordering::Acquire) != SLOT_FULL {
+            if seg.atom(off).load(Ordering::Acquire) != SLOT_FULL { // flows-atomic: consumes shm-slot-full
                 continue;
             }
             let len = seg.atom(off + 4).load(Ordering::Relaxed) as usize;
@@ -386,10 +387,19 @@ impl ShmTransport {
                 return frame.map(|f| (src, f));
             }
             debug_assert!(len >= HEADER_LEN && len <= seg.slot_bytes);
-            let hdr = Header::decode(seg.bytes(off + SLOT_HDR, HEADER_LEN))?;
+            let Some(hdr) = Header::decode(seg.bytes(off + SLOT_HDR, HEADER_LEN)) else {
+                // A corrupt header must not wedge the ring: bailing out
+                // with the slot still FULL would make every later poll
+                // re-read the same slot and the producer's lane would
+                // stall forever once the ring wrapped. Discard the slot
+                // and keep scanning.
+                seg.atom(off).store(SLOT_FREE, Ordering::Release); // flows-atomic: publishes shm-slot-free
+                heads[src] += 1;
+                continue;
+            };
             let body_len = hdr.body_len as usize;
             let body = if body_len == 0 {
-                seg.atom(off).store(SLOT_FREE, Ordering::Release);
+                seg.atom(off).store(SLOT_FREE, Ordering::Release); // flows-atomic: publishes shm-slot-free
                 Payload::empty()
             } else {
                 // Zero-copy handoff: the payload aliases the slot; the
@@ -422,7 +432,7 @@ impl ShmTransport {
         crate::bump_body_copies();
         let mut buf = Vec::with_capacity(first_len * 2);
         buf.extend_from_slice(seg.bytes(first_off + SLOT_HDR, first_len));
-        seg.atom(first_off).store(SLOT_FREE, Ordering::Release);
+        seg.atom(first_off).store(SLOT_FREE, Ordering::Release); // flows-atomic: publishes shm-slot-free
         heads[src] += 1;
         loop {
             let idx = (heads[src] % seg.slots as u64) as usize;
@@ -431,13 +441,13 @@ impl ShmTransport {
             // chunks are published in order, so later chunks may still
             // be in flight — spin for each.
             let state = seg.atom(off);
-            while state.load(Ordering::Acquire) != SLOT_FULL {
+            while state.load(Ordering::Acquire) != SLOT_FULL { // flows-atomic: consumes shm-slot-full
                 std::hint::spin_loop();
             }
             let len = seg.atom(off + 4).load(Ordering::Relaxed) as usize;
             let flags = seg.atom(off + 8).load(Ordering::Relaxed);
             buf.extend_from_slice(seg.bytes(off + SLOT_HDR, len));
-            state.store(SLOT_FREE, Ordering::Release);
+            state.store(SLOT_FREE, Ordering::Release); // flows-atomic: publishes shm-slot-free
             heads[src] += 1;
             if flags & FLAG_MORE == 0 {
                 break;
@@ -455,6 +465,7 @@ impl ShmTransport {
         (0..seg.procs).any(|src| {
             src != self.rank && {
                 let idx = (heads[src] % seg.slots as u64) as usize;
+                // flows-atomic: consumes shm-slot-full
                 seg.atom(seg.slot_off(src, self.rank, idx)).load(Ordering::Acquire) == SLOT_FULL
             }
         })
@@ -466,8 +477,8 @@ impl ShmTransport {
         let ctrl = self.seg.ctrl_off(self.rank);
         let doorbell = self.seg.atom(ctrl + CTRL_DOORBELL);
         let parked = self.seg.atom(ctrl + CTRL_PARKED);
-        let snapshot = doorbell.load(Ordering::SeqCst);
-        parked.store(1, Ordering::SeqCst);
+        let snapshot = doorbell.load(Ordering::SeqCst); // flows-atomic: consumes shm-doorbell
+        parked.store(1, Ordering::SeqCst); // flows-atomic: publishes shm-parked
         if self.any_full() {
             parked.store(0, Ordering::SeqCst);
             return;
@@ -522,6 +533,39 @@ mod tests {
                 let (_, f) = b.try_recv().expect("slot pending");
                 assert_eq!(f.body[0], round);
             }
+        }
+    }
+
+    #[test]
+    fn corrupt_header_slot_is_discarded_not_wedged() {
+        let (a, b) = pair();
+        a.send(1, &Frame::ack(0, 1, 7));
+        // Smash the frame's kind byte in the shared slot — a buggy or
+        // hostile peer writes garbage. The receiver used to bail out of
+        // try_recv with the slot still FULL, re-reading the same slot on
+        // every later poll and stalling the lane forever.
+        let seg = a.segment();
+        let off = seg.slot_off(0, 1, 0);
+        seg.write_bytes(off + SLOT_HDR, &[99]);
+        a.send(1, &Frame::ack(0, 1, 8));
+        // The corrupt slot is discarded (one poll may come back empty
+        // while the scan cursor passes it), then the good frame arrives.
+        let mut got = None;
+        for _ in 0..4 {
+            if let Some(x) = b.try_recv() {
+                got = Some(x);
+                break;
+            }
+        }
+        let (src, f) = got.expect("ring must not wedge on a corrupt header");
+        assert_eq!(src, 0);
+        assert_eq!(f.a, 8);
+        // The discarded slot really went back to FREE: the ring still
+        // sustains full-depth traffic past the poisoned index.
+        for i in 0..16u64 {
+            a.send(1, &Frame::ack(0, 1, i));
+            let (_, f) = b.try_recv().expect("ring healthy after discard");
+            assert_eq!(f.a, i);
         }
     }
 

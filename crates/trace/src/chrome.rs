@@ -239,6 +239,7 @@ mod tests {
     use super::*;
 
     fn push(ring: &TraceRing, ts: u64, kind: EventKind, a: u64, b: u64, c: u64) {
+        // SAFETY: the test thread is the only one driving this ring.
         unsafe { ring.push(Event { ts, kind, a, b, c }) }
     }
 

@@ -2,11 +2,20 @@
 # Safety gate: the migration-safety lint plus the runtime-sanitizer test
 # pass.
 #
-#  1. flowslint — the dependency-free static analysis in crates/check:
-#     SAFETY-comment coverage on `unsafe`, no hidden global state in
-#     migratable crates, raw-pointer fields in Pup types flagged, libc
-#     confined to flows-sys. The workspace must stay finding-free.
-#  2. `--features sanitize` test pass — rebuilds the substrate with the
+#  1. flowslint — the dependency-free static analysis in crates/check,
+#     seven rules over a per-crate symbol graph: SAFETY-comment coverage
+#     on `unsafe`, no hidden global state in migratable crates,
+#     raw-pointer fields in Pup types flagged, libc confined to
+#     flows-sys, process-local state reachable from a migration-image
+#     root (migration-image-closure), annotated atomic publish/consume
+#     ordering + pairing (atomic-protocol), and wire-message
+#     exhaustiveness in annotated pump handlers (wire-exhaustive).
+#     The workspace must stay free of unwaived findings; accepted ones
+#     live in flowslint.baseline, and every run writes the SARIF
+#     artifact to target/flowslint.sarif for upload/inspection.
+#  2. flowslint's own test suite — tokenizer/parser units, rule
+#     fixtures, interleaver models, report/baseline round-trips.
+#  3. `--features sanitize` test pass — rebuilds the substrate with the
 #     runtime detectors armed (stack canaries, heap red zones + freed
 #     quarantine, vacated-slot poisoning, scheduler lifecycle trips,
 #     pup-size validation) and proves both that the regular suites still
@@ -14,6 +23,9 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-cargo run --offline -q -p flows-check --bin flowslint -- --root .
+mkdir -p target
+cargo run --offline -q -p flows-check --bin flowslint -- --root . \
+  --baseline flowslint.baseline --sarif-out target/flowslint.sarif
+cargo test --offline -q -p flows-check
 cargo test --offline -q -p flows-mem -p flows-core -p flows-ampi --features sanitize
-echo "OK: flowslint clean + sanitize test pass green"
+echo "OK: flowslint clean (SARIF at target/flowslint.sarif) + check suite + sanitize pass green"

@@ -18,6 +18,11 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+# Safety gate first: numbers recorded from a workspace that fails the
+# migration-safety/concurrency-protocol lint are not worth keeping.
+cargo run --offline -q -p flows-check --bin flowslint -- --root . \
+  --baseline flowslint.baseline
+
 FLAVORS=""
 REPS=""
 QUICK=0
